@@ -1,0 +1,43 @@
+//! MotherNet construction and clustering cost. The paper's Algorithm 1
+//! reduces clustering from exponential to linearithmic by sorting on
+//! parameter count (§2.3); this bench shows the cheap scaling in practice
+//! and compares the greedy sweep against the exhaustive DP oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mn_bench::zoo::{resnet_ensemble, vgg_large_ensemble};
+use mothernets::cluster::{cluster_architectures, min_clusters_exhaustive};
+use mothernets::construct::mothernet_of;
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mothernet_of");
+    for n in [5usize, 25, 100] {
+        let ens = vgg_large_ensemble(n, 10);
+        group.bench_function(format!("vgg_{n}"), |b| {
+            b.iter(|| black_box(mothernet_of(&ens, "mother").unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    // The ResNet ladder actually splits into multiple clusters.
+    let resnets = resnet_ensemble(5, 10);
+    group.bench_function("greedy_resnet_25", |b| {
+        b.iter(|| black_box(cluster_architectures(&resnets, 0.5).unwrap()))
+    });
+    group.bench_function("dp_oracle_resnet_25", |b| {
+        b.iter(|| black_box(min_clusters_exhaustive(&resnets, 0.5).unwrap()))
+    });
+    for n in [25usize, 100] {
+        let ens = vgg_large_ensemble(n, 10);
+        group.bench_function(format!("greedy_vgg_{n}"), |b| {
+            b.iter(|| black_box(cluster_architectures(&ens, 0.5).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Hatching latency: the paper claims hatching is "instantaneous" relative
+//! to training — "generating every ensemble network requires a single pass
+//! on the MotherNet" (§2.2). This bench measures that single pass, plus the
+//! noise-vs-exact ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mn_bench::zoo::{v13, v16, v19, vgg_large_ensemble};
+use mn_morph::{morph_to_with, MorphOptions};
+use mn_nn::Network;
+use mothernets::construct::mothernet_of;
+use std::hint::black_box;
+
+fn bench_hatch_by_target_size(c: &mut Criterion) {
+    let ens = vec![v13(10), v16(10), v19(10)];
+    let mother_arch = mothernet_of(&ens, "mother").expect("zoo is compatible");
+    let mother = Network::seeded(&mother_arch, 1);
+    let mut group = c.benchmark_group("hatch");
+    for target in [v13(10), v16(10), v19(10)] {
+        group.bench_function(format!("to_{}_{}params", target.name, target.param_count()), |b| {
+            b.iter(|| {
+                black_box(
+                    morph_to_with(&mother, &target, &MorphOptions::exact())
+                        .expect("compatible"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hatch_noise_ablation(c: &mut Criterion) {
+    let ens = vgg_large_ensemble(8, 10);
+    let mother_arch = mothernet_of(&ens, "mother").expect("zoo is compatible");
+    let mother = Network::seeded(&mother_arch, 2);
+    let target = &ens[7];
+    let mut group = c.benchmark_group("hatch_noise_ablation");
+    group.bench_function("exact", |b| {
+        b.iter(|| black_box(morph_to_with(&mother, target, &MorphOptions::exact()).unwrap()))
+    });
+    group.bench_function("with_noise", |b| {
+        b.iter(|| {
+            black_box(
+                morph_to_with(&mother, target, &MorphOptions::with_noise(5e-3, 3)).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hatch_by_target_size, bench_hatch_noise_ablation);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Substrate throughput: the tensor kernels that dominate training cost.
+//! These give context for every wall-clock number in the figure harness.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mn_tensor::{conv, ops, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Tensor::randn([64, 64], 1.0, &mut rng);
+    let b = Tensor::randn([64, 64], 1.0, &mut rng);
+    c.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| black_box(ops::matmul(black_box(&a), black_box(&b))))
+    });
+    let at = Tensor::randn([64, 32], 1.0, &mut rng);
+    c.bench_function("matmul_tn_64x32", |bench| {
+        bench.iter(|| black_box(ops::matmul_tn(black_box(&at), black_box(&a))))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let input = Tensor::randn([32, 16, 8, 8], 1.0, &mut rng);
+    let weight = Tensor::randn([16, 16, 3, 3], 1.0, &mut rng);
+    let bias = Tensor::zeros([16]);
+    c.bench_function("conv2d_fwd_32x16x8x8_k3", |bench| {
+        bench.iter(|| black_box(conv::conv2d_forward(&input, &weight, &bias, 1)))
+    });
+    let gout = conv::conv2d_forward(&input, &weight, &bias, 1);
+    c.bench_function("conv2d_bwd_input", |bench| {
+        bench.iter(|| black_box(conv::conv2d_backward_input(&gout, &weight, 8, 8, 1)))
+    });
+    c.bench_function("conv2d_bwd_params", |bench| {
+        bench.iter(|| black_box(conv::conv2d_backward_params(&gout, &input, 3, 1)))
+    });
+}
+
+fn bench_conv_formulations(c: &mut Criterion) {
+    // Direct loops vs im2col+GEMM: the ablation behind choosing the direct
+    // kernel as the default at this workspace's spatial extents.
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut group = c.benchmark_group("conv_formulation");
+    for (cin, hw) in [(8usize, 8usize), (32, 8), (16, 16)] {
+        let input = Tensor::randn([8, cin, hw, hw], 1.0, &mut rng);
+        let weight = Tensor::randn([16, cin, 3, 3], 1.0, &mut rng);
+        let bias = Tensor::zeros([16]);
+        group.bench_function(format!("direct_c{cin}_s{hw}"), |b| {
+            b.iter(|| black_box(conv::conv2d_forward(&input, &weight, &bias, 1)))
+        });
+        group.bench_function(format!("im2col_c{cin}_s{hw}"), |b| {
+            b.iter(|| {
+                black_box(mn_tensor::im2col::conv2d_forward_im2col(
+                    &input, &weight, &bias, 1,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let logits = Tensor::randn([256, 100], 1.0, &mut rng);
+    c.bench_function("softmax_rows_256x100", |bench| {
+        bench.iter_batched(
+            || logits.clone(),
+            |mut x| {
+                ops::softmax_rows(&mut x);
+                black_box(x)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_conv, bench_conv_formulations, bench_softmax);
+criterion_main!(benches);

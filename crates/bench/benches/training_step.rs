@@ -1,0 +1,54 @@
+//! Per-gradient-step training cost: the MotherNet (smallest common
+//! structure) versus the largest ensemble member. The MotherNets speedup
+//! model is "cheap network trained long once + expensive networks trained
+//! briefly"; this bench quantifies the per-step sides of that trade.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mn_bench::zoo::{v13, v19};
+use mn_nn::loss::softmax_cross_entropy;
+use mn_nn::optim::Sgd;
+use mn_nn::{Mode, Network};
+use mn_tensor::Tensor;
+use mothernets::construct::mothernet_of;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn step(net: &mut Network, opt: &mut Sgd, x: &Tensor, y: &[usize]) -> f32 {
+    let logits = net.forward(x, Mode::Train);
+    let (loss, grad) = softmax_cross_entropy(&logits, y);
+    net.backward(&grad);
+    let mut params = net.params_mut();
+    opt.step(&mut params);
+    loss
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::randn([32, 3, 8, 8], 1.0, &mut rng);
+    let y: Vec<usize> = (0..32).map(|i| i % 10).collect();
+
+    let mother_arch = mothernet_of(&[v13(10), v19(10)], "mother").unwrap();
+    let mut group = c.benchmark_group("sgd_step_batch32");
+    for arch in [mother_arch, v13(10), v19(10)] {
+        let label = format!("{}_{}params", arch.name, arch.param_count());
+        let mut net = Network::seeded(&arch, 2);
+        let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(step(&mut net, &mut opt, &x, &y)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let x = Tensor::randn([64, 3, 8, 8], 1.0, &mut rng);
+    let mut net = Network::seeded(&v19(10), 4);
+    c.bench_function("inference_v19_batch64", |b| {
+        b.iter(|| black_box(net.predict_proba(&x)))
+    });
+}
+
+criterion_group!(benches, bench_training_step, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! `reproduce`: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce <experiment> [--scale tiny|small|full] [--seed N] [--n K] [--out DIR]
+//!
+//! experiments:
+//!   table1   VGGNet variants of the small ensemble
+//!   fig5     small ensemble: error by inference method + time breakdown
+//!   fig6     large VGG ensemble on CIFAR-10 (sim)
+//!   fig7     large VGG ensemble on CIFAR-100 (sim)
+//!   fig8     large VGG ensemble on SVHN (sim)
+//!   fig9     clustered ResNet ensemble on CIFAR-10 (sim)
+//!   fig10    oracle error of all large ensembles (needs fig6..fig9)
+//!   ablation MotherNets design-choice ablation grid (DESIGN.md)
+//!   all      everything above, in order (ablation excluded)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mn_bench::experiments::{ablation, large, oracle, small_ensemble, ExpConfig};
+use mn_data::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce <table1|fig5|fig6|fig7|fig8|fig9|fig10|ablation|all> \
+         [--scale tiny|small|full] [--seed N] [--n K] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let experiment = args[0].clone();
+    let mut cfg = ExpConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage());
+                cfg.scale = Scale::parse(v).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage());
+                cfg.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--n" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage());
+                cfg.n_override = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--out" => {
+                i += 1;
+                let v = args.get(i).unwrap_or_else(|| usage());
+                cfg.out_dir = PathBuf::from(v);
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let run_fig10 = |cfg: &ExpConfig| -> ExitCode {
+        match oracle::run_fig10(cfg) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("fig10 failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    };
+
+    match experiment.as_str() {
+        "table1" => small_ensemble::run_table1(),
+        "fig5" => {
+            small_ensemble::run_fig5(&cfg);
+        }
+        "fig6" => {
+            large::run_fig6(&cfg);
+        }
+        "fig7" => {
+            large::run_fig7(&cfg);
+        }
+        "fig8" => {
+            large::run_fig8(&cfg);
+        }
+        "fig9" => {
+            large::run_fig9(&cfg);
+        }
+        "fig10" => return run_fig10(&cfg),
+        "ablation" => {
+            ablation::run_ablation(&cfg);
+        }
+        "all" => {
+            small_ensemble::run_table1();
+            small_ensemble::run_fig5(&cfg);
+            large::run_fig6(&cfg);
+            large::run_fig7(&cfg);
+            large::run_fig8(&cfg);
+            large::run_fig9(&cfg);
+            return run_fig10(&cfg);
+        }
+        _ => usage(),
+    }
+    ExitCode::SUCCESS
+}

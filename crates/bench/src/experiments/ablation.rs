@@ -1,0 +1,148 @@
+//! Ablation study: which parts of the MotherNets recipe matter?
+//!
+//! Nine configurations on the same ensemble and data, isolating each design
+//! choice the paper (and DESIGN.md) calls out:
+//!
+//! * member fine-tuning data — bagging (paper) vs full data vs none;
+//! * hatch noise — symmetry breaking on vs exact transfer;
+//! * fine-tuning learning rate — scaled (default) vs full rate;
+//! * clustering τ — 0.5 (paper) vs 1.0 (every member its own MotherNet);
+//! * against all three non-MotherNets strategies, including the
+//!   snapshot-ensemble comparator from the related work (§4).
+
+use mn_data::presets::cifar10_sim;
+use mn_data::sampler::train_val_split;
+use mn_data::Scale;
+use mn_ensemble::diversity::pairwise_disagreement;
+use mn_ensemble::{evaluate_members, MemberPredictions};
+use mothernets::{
+    train_ensemble, MemberTraining, MotherNetsStrategy, SnapshotStrategy, Strategy,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::experiments::{to_percent, ExpConfig};
+use crate::report::{pct, render_table, save_json, MethodErrors};
+use crate::zoo::vgg_large_ensemble;
+
+/// One ablation configuration's outcome.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub label: String,
+    /// MotherNet clusters used (0 for non-MotherNets strategies).
+    pub clusters: usize,
+    /// Test errors.
+    pub errors: MethodErrors,
+    /// Total sequential-equivalent training seconds.
+    pub total_wall_secs: f64,
+    /// Total deterministic cost units.
+    pub total_cost_units: f64,
+    /// Mean member epochs to convergence.
+    pub mean_member_epochs: f64,
+    /// Mean pairwise disagreement of the members on the test set.
+    pub diversity: f64,
+}
+
+/// Runs the ablation grid and saves `ablation.json`.
+pub fn run_ablation(cfg: &ExpConfig) -> Vec<AblationRow> {
+    let n = cfg.n_override.unwrap_or(match cfg.scale {
+        Scale::Tiny => 4,
+        Scale::Small => 8,
+        Scale::Full => 12,
+    });
+    println!("\n== Ablation: MotherNets design choices ({n} VGG variants, CIFAR-10 sim, scale {}) ==", cfg.scale);
+    let task = cifar10_sim(cfg.scale, cfg.seed);
+    let mut archs = vgg_large_ensemble(n, task.train.num_classes());
+    archs.sort_by_key(|a| a.param_count());
+    let tc = cfg.ensemble_train_config();
+    let (_, val) = train_val_split(&task.train, tc.val_fraction, tc.seed);
+
+    let base = MotherNetsStrategy::default();
+    let grid: Vec<(&str, Strategy)> = vec![
+        ("MotherNets (paper recipe)", Strategy::MotherNets(base)),
+        (
+            "MN members on full data",
+            Strategy::MotherNets(MotherNetsStrategy {
+                member_training: MemberTraining::FullData,
+                ..base
+            }),
+        ),
+        (
+            "MN no member training",
+            Strategy::MotherNets(MotherNetsStrategy {
+                member_training: MemberTraining::None,
+                ..base
+            }),
+        ),
+        (
+            "MN exact hatch (no noise)",
+            Strategy::MotherNets(MotherNetsStrategy { hatch_noise: 0.0, ..base }),
+        ),
+        (
+            "MN full member lr",
+            Strategy::MotherNets(MotherNetsStrategy { member_lr_scale: 1.0, ..base }),
+        ),
+        (
+            "MN tau = 1.0 (no sharing)",
+            Strategy::MotherNets(MotherNetsStrategy { tau: 1.0, ..base }),
+        ),
+        ("full-data baseline", Strategy::FullData),
+        ("bagging baseline", Strategy::Bagging),
+        ("snapshot ensembles", Strategy::Snapshot(SnapshotStrategy::default())),
+    ];
+
+    let mut rows = Vec::with_capacity(grid.len());
+    for (label, strategy) in grid {
+        println!("  running: {label}...");
+        let mut trained =
+            train_ensemble(&archs, &task.train, &strategy, &tc).expect("valid ensemble");
+        let eval = evaluate_members(
+            &mut trained.members,
+            task.test.images(),
+            task.test.labels(),
+            val.images(),
+            val.labels(),
+            cfg.eval_batch(),
+        );
+        let test_preds = MemberPredictions::collect(
+            &mut trained.members,
+            task.test.images(),
+            cfg.eval_batch(),
+        );
+        rows.push(AblationRow {
+            label: label.to_string(),
+            clusters: trained.clustering.as_ref().map(|c| c.len()).unwrap_or(0),
+            errors: to_percent(&eval),
+            total_wall_secs: trained.total_wall_secs(),
+            total_cost_units: trained.total_cost_units(),
+            mean_member_epochs: trained.mean_member_epochs(),
+            diversity: pairwise_disagreement(&test_preds),
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.clusters.to_string(),
+                pct(r.errors.ea),
+                pct(r.errors.vote),
+                pct(r.errors.sl),
+                pct(r.errors.oracle),
+                format!("{:.1}", r.total_wall_secs),
+                format!("{:.1}", r.mean_member_epochs),
+                format!("{:.3}", r.diversity),
+            ]
+        })
+        .collect();
+    println!(
+        "\n{}",
+        render_table(
+            &["configuration", "clusters", "EA", "Vote", "SL", "Oracle", "secs", "epochs", "diversity"],
+            &table
+        )
+    );
+    save_json(&cfg.out_dir, "ablation", &rows);
+    rows
+}

@@ -1,0 +1,247 @@
+//! Figures 6–9: large-ensemble sweeps — error and cumulative training time
+//! versus ensemble size, MotherNets against the full-data and bagging
+//! baselines.
+
+use mn_data::presets::{cifar100_sim, cifar10_sim, svhn_sim};
+use mn_data::sampler::train_val_split;
+use mn_data::{Scale, SyntheticTask};
+use mn_ensemble::{evaluate_predictions, MemberPredictions};
+use mn_nn::arch::Architecture;
+use mothernets::{train_ensemble, Strategy, TrainedEnsemble};
+
+use crate::experiments::{sample_ks, to_percent, ExpConfig};
+use crate::report::{pct, render_table, save_json, CurvePoint, LargeEnsembleResult};
+use crate::zoo::{resnet_ensemble, vgg_large_ensemble};
+
+struct LargeSpec {
+    figure: &'static str,
+    dataset: &'static str,
+    family: &'static str,
+    default_n: fn(Scale) -> usize,
+    make_task: fn(Scale, u64) -> SyntheticTask,
+    make_archs: fn(usize, usize) -> Vec<Architecture>,
+}
+
+/// Figure 6: up to 100 VGGNet variants on CIFAR-10 (sim).
+pub fn run_fig6(cfg: &ExpConfig) -> LargeEnsembleResult {
+    run_large(
+        &LargeSpec {
+            figure: "fig6",
+            dataset: "CIFAR-10 (sim)",
+            family: "VGGNet",
+            default_n: |s| match s {
+                Scale::Tiny => 6,
+                Scale::Small => 30,
+                Scale::Full => 100,
+            },
+            make_task: cifar10_sim,
+            make_archs: vgg_large_ensemble,
+        },
+        cfg,
+    )
+}
+
+/// Figure 7: up to 100 VGGNet variants on CIFAR-100 (sim).
+pub fn run_fig7(cfg: &ExpConfig) -> LargeEnsembleResult {
+    run_large(
+        &LargeSpec {
+            figure: "fig7",
+            dataset: "CIFAR-100 (sim)",
+            family: "VGGNet",
+            default_n: |s| match s {
+                Scale::Tiny => 6,
+                Scale::Small => 30,
+                Scale::Full => 100,
+            },
+            make_task: cifar100_sim,
+            make_archs: vgg_large_ensemble,
+        },
+        cfg,
+    )
+}
+
+/// Figure 8: up to 50 VGGNet variants on SVHN (sim).
+pub fn run_fig8(cfg: &ExpConfig) -> LargeEnsembleResult {
+    run_large(
+        &LargeSpec {
+            figure: "fig8",
+            dataset: "SVHN (sim)",
+            family: "VGGNet",
+            default_n: |s| match s {
+                Scale::Tiny => 5,
+                Scale::Small => 20,
+                Scale::Full => 50,
+            },
+            make_task: svhn_sim,
+            make_archs: vgg_large_ensemble,
+        },
+        cfg,
+    )
+}
+
+/// Figure 9: up to 25 ResNets (5 depths × 5 width variants) on CIFAR-10
+/// (sim), trained with τ = 0.5 clustering.
+pub fn run_fig9(cfg: &ExpConfig) -> LargeEnsembleResult {
+    run_large(
+        &LargeSpec {
+            figure: "fig9",
+            dataset: "CIFAR-10 (sim)",
+            family: "ResNet",
+            default_n: |s| match s {
+                Scale::Tiny => 5,
+                Scale::Small => 10,
+                Scale::Full => 25,
+            },
+            make_task: cifar10_sim,
+            // n is rounded up to whole depth groups of 5.
+            make_archs: |n, classes| {
+                let depths = n.div_ceil(5).clamp(1, 5);
+                resnet_ensemble(depths, classes)
+            },
+        },
+        cfg,
+    )
+}
+
+fn run_large(spec: &LargeSpec, cfg: &ExpConfig) -> LargeEnsembleResult {
+    let n_requested = cfg.n_override.unwrap_or((spec.default_n)(cfg.scale));
+    let task = (spec.make_task)(cfg.scale, cfg.seed);
+    let archs = (spec.make_archs)(n_requested, task.train.num_classes());
+    let n = archs.len();
+    println!(
+        "\n== {}: large ensemble ({} {} nets, {}, scale {}) ==",
+        spec.figure, n, spec.family, spec.dataset, cfg.scale
+    );
+    let tc = cfg.ensemble_train_config();
+
+    // The paper trains members "in ascending order of their size" for the
+    // ResNet figure; sort all large ensembles the same way so prefix
+    // ensembles are meaningful.
+    let mut archs = archs;
+    archs.sort_by_key(|a| a.param_count());
+
+    println!("  training with MotherNets...");
+    let mut mn = train_ensemble(&archs, &task.train, &Strategy::mothernets(), &tc)
+        .expect("zoo ensemble is valid");
+    let clusters = mn.clustering.as_ref().map(|c| c.len()).unwrap_or(0);
+    println!("    ({} cluster(s) at tau = 0.5)", clusters);
+    println!("  training with full-data...");
+    let fd = train_ensemble(&archs, &task.train, &Strategy::FullData, &tc)
+        .expect("zoo ensemble is valid");
+    println!("  training with bagging...");
+    let bag = train_ensemble(&archs, &task.train, &Strategy::Bagging, &tc)
+        .expect("zoo ensemble is valid");
+
+    // Collect per-member predictions once; prefix ensembles re-use them.
+    let (_, val) = train_val_split(&task.train, tc.val_fraction, tc.seed);
+    let test_preds =
+        MemberPredictions::collect(&mut mn.members, task.test.images(), cfg.eval_batch());
+    let val_preds =
+        MemberPredictions::collect(&mut mn.members, val.images(), cfg.eval_batch());
+
+    let ks = sample_ks(n, 9);
+    let mut points = Vec::with_capacity(ks.len());
+    for &k in &ks {
+        let eval = evaluate_predictions(
+            &test_preds.prefix(k),
+            task.test.labels(),
+            &val_preds.prefix(k),
+            val.labels(),
+        );
+        points.push(CurvePoint {
+            k,
+            errors: to_percent(&eval),
+            mn_secs: mn.cumulative_wall_secs(k),
+            fd_secs: fd.cumulative_wall_secs(k),
+            bag_secs: bag.cumulative_wall_secs(k),
+            mn_cost: mn.cumulative_cost_units(k),
+            fd_cost: fd.cumulative_cost_units(k),
+            bag_cost: bag.cumulative_cost_units(k),
+        });
+    }
+
+    // Baseline accuracies at full size, for the accuracy-ordering claim.
+    let mut fd = fd;
+    let fd_eval = {
+        let tp = MemberPredictions::collect(&mut fd.members, task.test.images(), cfg.eval_batch());
+        let vp = MemberPredictions::collect(&mut fd.members, val.images(), cfg.eval_batch());
+        evaluate_predictions(&tp, task.test.labels(), &vp, val.labels())
+    };
+    let mut bag = bag;
+    let bag_eval = {
+        let tp =
+            MemberPredictions::collect(&mut bag.members, task.test.images(), cfg.eval_batch());
+        let vp = MemberPredictions::collect(&mut bag.members, val.images(), cfg.eval_batch());
+        evaluate_predictions(&tp, task.test.labels(), &vp, val.labels())
+    };
+
+    let result = LargeEnsembleResult {
+        figure: spec.figure.to_string(),
+        dataset: spec.dataset.to_string(),
+        family: spec.family.to_string(),
+        scale: cfg.scale.to_string(),
+        seed: cfg.seed,
+        n,
+        clusters,
+        points,
+        fd_errors: to_percent(&fd_eval),
+        bag_errors: to_percent(&bag_eval),
+        mn_member_epochs: mn.mean_member_epochs(),
+        fd_member_epochs: fd_member_epochs(&fd),
+    };
+    print_large(&result);
+    save_json(&cfg.out_dir, spec.figure, &result);
+    result
+}
+
+fn fd_member_epochs(fd: &TrainedEnsemble) -> f64 {
+    fd.mean_member_epochs()
+}
+
+fn print_large(r: &LargeEnsembleResult) {
+    println!("\n-- {}a: test error rate (%) vs number of networks (MotherNets) --", r.figure);
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.k.to_string(),
+                pct(p.errors.ea),
+                pct(p.errors.vote),
+                pct(p.errors.sl),
+                pct(p.errors.oracle),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["k", "EA", "Vote", "SL", "Oracle"], &rows));
+
+    println!("-- {}b: cumulative training time (s) vs number of networks --", r.figure);
+    let rows: Vec<Vec<String>> = r
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.k.to_string(),
+                format!("{:.1}", p.fd_secs),
+                format!("{:.1}", p.bag_secs),
+                format!("{:.1}", p.mn_secs),
+                format!("{:.2}x", p.fd_secs / p.mn_secs.max(1e-12)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["k", "full-data", "bagging", "MotherNets", "speedup vs FD"], &rows)
+    );
+    println!(
+        "context: at k = {}, full-data EA error {}%, bagging EA error {}%, MotherNets EA error {}%",
+        r.n,
+        pct(r.fd_errors.ea),
+        pct(r.bag_errors.ea),
+        pct(r.points.last().expect("non-empty").errors.ea),
+    );
+    println!(
+        "mean member epochs: MotherNets {:.1} vs full-data {:.1} (hatched networks converge faster)",
+        r.mn_member_epochs, r.fd_member_epochs
+    );
+}

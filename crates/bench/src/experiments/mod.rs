@@ -1,0 +1,136 @@
+//! The figure/table harness: one module per experiment of the paper's
+//! evaluation, each regenerating the corresponding rows/series.
+//!
+//! | Paper artifact | Function |
+//! |----------------|----------|
+//! | Table 1        | [`small_ensemble::run_table1`] |
+//! | Figure 5       | [`small_ensemble::run_fig5`] |
+//! | Figure 6       | [`large::run_fig6`] |
+//! | Figure 7       | [`large::run_fig7`] |
+//! | Figure 8       | [`large::run_fig8`] |
+//! | Figure 9       | [`large::run_fig9`] |
+//! | Figure 10      | [`oracle::run_fig10`] |
+//! | Ablation (DESIGN.md §7–8) | [`ablation::run_ablation`] |
+
+pub mod ablation;
+pub mod large;
+pub mod oracle;
+pub mod small_ensemble;
+
+use std::path::PathBuf;
+
+use mn_data::Scale;
+use mn_ensemble::EnsembleEvaluation;
+use mn_nn::train::TrainConfig;
+use mothernets::EnsembleTrainConfig;
+
+use crate::report::MethodErrors;
+
+/// Shared configuration for every experiment run.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Experiment scale (data volume, epoch caps, ensemble sizes).
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    /// Override the figure's default ensemble size.
+    pub n_override: Option<usize>,
+    /// Directory for JSON results.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            scale: Scale::Small,
+            seed: 7,
+            n_override: None,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// The per-network training configuration for this scale. The same
+    /// convergence criterion is used for MotherNets, hatched members, and
+    /// baselines (paper §3).
+    pub fn ensemble_train_config(&self) -> EnsembleTrainConfig {
+        let train = match self.scale {
+            Scale::Tiny => TrainConfig {
+                max_epochs: 3,
+                patience: 2,
+                min_delta: 0.01,
+                ..TrainConfig::default()
+            },
+            Scale::Small => TrainConfig {
+                max_epochs: 20,
+                patience: 2,
+                min_delta: 0.015,
+                ..TrainConfig::default()
+            },
+            Scale::Full => TrainConfig {
+                max_epochs: 40,
+                patience: 3,
+                min_delta: 0.01,
+                ..TrainConfig::default()
+            },
+        };
+        // Members are trained sequentially: on a small CPU, parallel
+        // training contends for cores and inflates per-network wall-clock
+        // times, which are exactly what the figures report.
+        EnsembleTrainConfig { train, val_fraction: 0.15, seed: self.seed, parallel: false }
+    }
+
+    /// Evaluation batch size.
+    pub fn eval_batch(&self) -> usize {
+        64
+    }
+}
+
+/// Converts an [`EnsembleEvaluation`] (fractions) to percent.
+pub fn to_percent(eval: &EnsembleEvaluation) -> MethodErrors {
+    MethodErrors {
+        ea: eval.ea_error * 100.0,
+        vote: eval.vote_error * 100.0,
+        sl: eval.sl_error * 100.0,
+        oracle: eval.oracle_error * 100.0,
+    }
+}
+
+/// Roughly `points` ensemble sizes in `[1, n]`, always including 1 and `n`.
+pub fn sample_ks(n: usize, points: usize) -> Vec<usize> {
+    assert!(n >= 1, "need at least one member");
+    if n <= points {
+        return (1..=n).collect();
+    }
+    let mut ks: Vec<usize> = (0..points)
+        .map(|i| 1 + (i * (n - 1)) / (points - 1))
+        .collect();
+    ks.dedup();
+    ks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_ks_includes_endpoints() {
+        let ks = sample_ks(100, 9);
+        assert_eq!(*ks.first().unwrap(), 1);
+        assert_eq!(*ks.last().unwrap(), 100);
+        assert!(ks.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(sample_ks(3, 10), vec![1, 2, 3]);
+        assert_eq!(sample_ks(1, 5), vec![1]);
+    }
+
+    #[test]
+    fn config_scales_epoch_caps() {
+        let tiny = ExpConfig { scale: Scale::Tiny, ..Default::default() };
+        let full = ExpConfig { scale: Scale::Full, ..Default::default() };
+        assert!(
+            tiny.ensemble_train_config().train.max_epochs
+                < full.ensemble_train_config().train.max_epochs
+        );
+    }
+}

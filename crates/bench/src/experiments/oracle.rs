@@ -1,0 +1,59 @@
+//! Figure 10: oracle error versus ensemble size for all four large
+//! ensembles, aggregated from the saved Figure 6–9 results.
+
+use crate::experiments::ExpConfig;
+use crate::report::{load_json, pct, render_table, save_json, LargeEnsembleResult};
+
+/// A row of the Figure 10 aggregation.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct OracleCurve {
+    /// Source figure (fig6..fig9).
+    pub figure: String,
+    /// Data-set / family label.
+    pub label: String,
+    /// Ensemble sizes sampled.
+    pub ks: Vec<usize>,
+    /// Oracle error (%) at each size.
+    pub oracle: Vec<f32>,
+}
+
+/// Runs Figure 10 by aggregating the oracle columns of the saved large
+/// ensemble results.
+///
+/// # Errors
+///
+/// Returns a message naming any missing prerequisite result file.
+pub fn run_fig10(cfg: &ExpConfig) -> Result<Vec<OracleCurve>, String> {
+    println!("\n== Figure 10: oracle error rate of large ensembles ==");
+    let mut curves = Vec::new();
+    for figure in ["fig6", "fig7", "fig8", "fig9"] {
+        let r: LargeEnsembleResult = load_json(&cfg.out_dir, figure)?;
+        curves.push(OracleCurve {
+            figure: figure.to_string(),
+            label: format!("{}, {}", r.family, r.dataset),
+            ks: r.points.iter().map(|p| p.k).collect(),
+            oracle: r.points.iter().map(|p| p.errors.oracle).collect(),
+        });
+    }
+
+    for curve in &curves {
+        println!("\n-- {} ({}) --", curve.label, curve.figure);
+        let rows: Vec<Vec<String>> = curve
+            .ks
+            .iter()
+            .zip(&curve.oracle)
+            .map(|(k, o)| vec![k.to_string(), pct(*o)])
+            .collect();
+        println!("{}", render_table(&["k", "oracle error (%)"], &rows));
+        let first = *curve.oracle.first().expect("non-empty");
+        let last = *curve.oracle.last().expect("non-empty");
+        println!(
+            "oracle error improves {} -> {} as networks are added ({})",
+            pct(first),
+            pct(last),
+            if last <= first { "improving, as in the paper" } else { "NOT improving" }
+        );
+    }
+    save_json(&cfg.out_dir, "fig10", &curves);
+    Ok(curves)
+}

@@ -1,0 +1,159 @@
+//! Table 1 and Figure 5: the small five-VGGNet ensemble on CIFAR-10 (sim).
+
+use mn_data::presets::cifar10_sim;
+use mn_data::sampler::train_val_split;
+use mn_ensemble::evaluate_members;
+use mothernets::{train_ensemble, Strategy, TrainedEnsemble};
+
+use crate::experiments::{to_percent, ExpConfig};
+use crate::report::{
+    pct, render_table, save_json, NamedTime, SmallEnsembleResult, StrategyOutcome,
+};
+use crate::zoo::vgg_small_ensemble;
+
+/// Prints the Table 1 analogue: the five scaled-down VGG variants with
+/// their per-block layer specifications and parameter counts.
+pub fn run_table1() {
+    println!("\n== Table 1: VGGNet variants in the small ensemble (scaled-down) ==");
+    println!("   notation: <filter_size>:<filter_number>\n");
+    let ens = vgg_small_ensemble(10);
+    let rows: Vec<Vec<String>> = ens
+        .iter()
+        .map(|a| {
+            let mut row = vec![a.name.clone()];
+            match &a.body {
+                mn_nn::arch::Body::Plain { blocks, dense } => {
+                    for b in blocks {
+                        row.push(format!("{b}"));
+                    }
+                    row.push(format!("dense {dense:?}"));
+                }
+                _ => unreachable!("zoo VGGs are plain"),
+            }
+            row.push(a.param_count().to_string());
+            row
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["net", "subnet 1", "subnet 2", "subnet 3", "head", "params"], &rows)
+    );
+}
+
+fn outcome(
+    label: &str,
+    trained: &mut TrainedEnsemble,
+    task: &mn_data::SyntheticTask,
+    cfg: &ExpConfig,
+) -> StrategyOutcome {
+    let tc = cfg.ensemble_train_config();
+    // Reconstruct the same validation split the trainer used, for fitting
+    // the super learner without test leakage.
+    let (_, val) = train_val_split(&task.train, tc.val_fraction, tc.seed);
+    let eval = evaluate_members(
+        &mut trained.members,
+        task.test.images(),
+        task.test.labels(),
+        val.images(),
+        val.labels(),
+        cfg.eval_batch(),
+    );
+    let times = |records: &[mothernets::MemberRecord]| -> Vec<NamedTime> {
+        records
+            .iter()
+            .map(|r| NamedTime {
+                name: r.name.clone(),
+                wall_secs: r.wall_secs,
+                epochs: r.epochs,
+                cost_units: r.cost_units,
+            })
+            .collect()
+    };
+    StrategyOutcome {
+        strategy: label.to_string(),
+        errors: to_percent(&eval),
+        member_times: times(&trained.member_records),
+        mother_times: times(&trained.mother_records),
+        total_wall_secs: trained.total_wall_secs(),
+        total_cost_units: trained.total_cost_units(),
+        mean_member_epochs: trained.mean_member_epochs(),
+    }
+}
+
+/// Runs Figure 5: trains the Table 1 ensemble with bagging, full-data, and
+/// MotherNets; reports error under EA / SL / Vote / Oracle (5a) and the
+/// per-network training-time breakdown (5b).
+pub fn run_fig5(cfg: &ExpConfig) -> SmallEnsembleResult {
+    println!("\n== Figure 5: small ensemble (5 VGGNets, CIFAR-10 sim, scale {}) ==", cfg.scale);
+    let task = cifar10_sim(cfg.scale, cfg.seed);
+    let archs = vgg_small_ensemble(task.train.num_classes());
+    let tc = cfg.ensemble_train_config();
+
+    let mut outcomes = Vec::new();
+    for (label, strategy) in [
+        ("bagging", Strategy::Bagging),
+        ("full-data", Strategy::FullData),
+        ("MotherNets", Strategy::mothernets()),
+    ] {
+        println!("  training with {label}...");
+        let mut trained = train_ensemble(&archs, &task.train, &strategy, &tc)
+            .expect("zoo ensemble is valid");
+        outcomes.push(outcome(label, &mut trained, &task, cfg));
+    }
+
+    // Figure 5a: error rate by inference method.
+    println!("\n-- Fig 5a: test error rate (%) --");
+    let rows: Vec<Vec<String>> = outcomes
+        .iter()
+        .map(|o| {
+            vec![
+                o.strategy.clone(),
+                pct(o.errors.ea),
+                pct(o.errors.sl),
+                pct(o.errors.vote),
+                pct(o.errors.oracle),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["strategy", "EA", "SL", "Vote", "Oracle"], &rows));
+
+    // Figure 5b: training-time breakdown.
+    println!("-- Fig 5b: training time split between networks (seconds) --");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for o in &outcomes {
+        for t in o.mother_times.iter().chain(&o.member_times) {
+            rows.push(vec![
+                o.strategy.clone(),
+                t.name.clone(),
+                format!("{:.2}", t.wall_secs),
+                t.epochs.to_string(),
+                format!("{:.3e}", t.cost_units),
+            ]);
+        }
+        rows.push(vec![
+            o.strategy.clone(),
+            "TOTAL".into(),
+            format!("{:.2}", o.total_wall_secs),
+            format!("{:.1} mean member epochs", o.mean_member_epochs),
+            format!("{:.3e}", o.total_cost_units),
+        ]);
+    }
+    println!("{}", render_table(&["strategy", "network", "secs", "epochs", "cost"], &rows));
+
+    let fd = outcomes.iter().find(|o| o.strategy == "full-data").expect("fd present");
+    let bag = outcomes.iter().find(|o| o.strategy == "bagging").expect("bag present");
+    let mn = outcomes.iter().find(|o| o.strategy == "MotherNets").expect("mn present");
+    println!(
+        "speedup: MotherNets is {:.2}x faster than full-data, {:.2}x faster than bagging",
+        fd.total_wall_secs / mn.total_wall_secs.max(1e-12),
+        bag.total_wall_secs / mn.total_wall_secs.max(1e-12)
+    );
+
+    let result = SmallEnsembleResult {
+        scale: cfg.scale.to_string(),
+        seed: cfg.seed,
+        outcomes,
+    };
+    save_json(&cfg.out_dir, "fig5", &result);
+    result
+}

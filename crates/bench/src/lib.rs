@@ -1,0 +1,26 @@
+//! # mn-bench
+//!
+//! The benchmark harness of the MotherNets reproduction: regenerates every
+//! table and figure of the paper's evaluation (§3) on the synthetic
+//! stand-ins for CIFAR-10 / CIFAR-100 / SVHN.
+//!
+//! * [`zoo`] — scaled-down analogues of the paper's architectures
+//!   (Table 1 VGG variants, 100-variant V16 family, the 25-net ResNet
+//!   ladder);
+//! * [`experiments`] — one runner per table/figure;
+//! * [`report`] — JSON persistence and text tables.
+//!
+//! Run experiments with the `reproduce` binary:
+//!
+//! ```text
+//! cargo run -p mn-bench --release --bin reproduce -- fig5 --scale small
+//! cargo run -p mn-bench --release --bin reproduce -- all --scale tiny
+//! ```
+//!
+//! Component-level Criterion benches (`cargo bench -p mn-bench`) exercise
+//! the paper's non-figure claims: hatching latency ("a single pass"),
+//! construction/clustering cost, and per-epoch training cost.
+
+pub mod experiments;
+pub mod report;
+pub mod zoo;

@@ -1,0 +1,252 @@
+//! Result types (JSON-serializable) and plain-text table rendering for the
+//! figure harness.
+
+use std::fs;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+/// Test error under the four inference methods, in percent.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct MethodErrors {
+    /// Ensemble-averaging error (%).
+    pub ea: f32,
+    /// Voting error (%).
+    pub vote: f32,
+    /// Super-learner error (%).
+    pub sl: f32,
+    /// Oracle error (%).
+    pub oracle: f32,
+}
+
+/// Training cost of one network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NamedTime {
+    /// Network name.
+    pub name: String,
+    /// Wall-clock seconds.
+    pub wall_secs: f64,
+    /// Epochs to convergence.
+    pub epochs: usize,
+    /// Deterministic cost units (gradient steps × parameters).
+    pub cost_units: f64,
+}
+
+/// One strategy's outcome on a fixed ensemble (Figure 5).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StrategyOutcome {
+    /// Strategy label (`MotherNets` / `full-data` / `bagging`).
+    pub strategy: String,
+    /// Test errors under all four inference methods.
+    pub errors: MethodErrors,
+    /// Per-member training cost (ensemble members, in order).
+    pub member_times: Vec<NamedTime>,
+    /// MotherNet training cost(s) (empty for baselines).
+    pub mother_times: Vec<NamedTime>,
+    /// Total sequential-equivalent wall seconds.
+    pub total_wall_secs: f64,
+    /// Total deterministic cost units.
+    pub total_cost_units: f64,
+    /// Mean member epochs to convergence.
+    pub mean_member_epochs: f64,
+}
+
+/// Figure 5 (small ensemble): all strategies on the Table 1 ensemble.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SmallEnsembleResult {
+    /// Experiment scale label.
+    pub scale: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Outcome per strategy.
+    pub outcomes: Vec<StrategyOutcome>,
+}
+
+/// One point of a "versus ensemble size" curve.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Ensemble size (first `k` members).
+    pub k: usize,
+    /// MotherNets-trained ensemble errors at size `k`.
+    pub errors: MethodErrors,
+    /// Cumulative MotherNets training seconds through member `k`.
+    pub mn_secs: f64,
+    /// Cumulative full-data training seconds through member `k`.
+    pub fd_secs: f64,
+    /// Cumulative bagging training seconds through member `k`.
+    pub bag_secs: f64,
+    /// Deterministic-cost analogues of the three time columns.
+    pub mn_cost: f64,
+    /// Cumulative full-data cost units.
+    pub fd_cost: f64,
+    /// Cumulative bagging cost units.
+    pub bag_cost: f64,
+}
+
+/// Figures 6–9: a large-ensemble sweep on one data set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LargeEnsembleResult {
+    /// Which figure this reproduces (e.g. `"fig6"`).
+    pub figure: String,
+    /// Data-set label (e.g. `"CIFAR-10 (sim)"`).
+    pub dataset: String,
+    /// Network family label (`"VGGNet"` / `"ResNet"`).
+    pub family: String,
+    /// Experiment scale label.
+    pub scale: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Total ensemble size trained.
+    pub n: usize,
+    /// Number of MotherNet clusters used by the MotherNets strategy.
+    pub clusters: usize,
+    /// The sampled curve.
+    pub points: Vec<CurvePoint>,
+    /// Full-ensemble test errors of the two baselines (accuracy context).
+    pub fd_errors: MethodErrors,
+    /// Bagging full-ensemble test errors.
+    pub bag_errors: MethodErrors,
+    /// Mean epochs to convergence: MotherNet-hatched members vs from
+    /// scratch (the per-network speedup mechanism).
+    pub mn_member_epochs: f64,
+    /// Mean epochs of full-data members.
+    pub fd_member_epochs: f64,
+}
+
+impl LargeEnsembleResult {
+    /// Speedup of MotherNets over full-data at the largest k (wall clock).
+    pub fn final_speedup_vs_fd(&self) -> f64 {
+        let last = self.points.last().expect("non-empty curve");
+        last.fd_secs / last.mn_secs.max(1e-12)
+    }
+
+    /// Speedup of MotherNets over bagging at the largest k (wall clock).
+    pub fn final_speedup_vs_bag(&self) -> f64 {
+        let last = self.points.last().expect("non-empty curve");
+        last.bag_secs / last.mn_secs.max(1e-12)
+    }
+}
+
+/// Writes any serializable result as pretty JSON under `out_dir`.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created or the file cannot be
+/// written — the harness treats an unwritable results directory as fatal.
+pub fn save_json<T: Serialize>(out_dir: &Path, name: &str, value: &T) {
+    fs::create_dir_all(out_dir)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", out_dir.display()));
+    let path = out_dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    fs::write(&path, json).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("  [saved {}]", path.display());
+}
+
+/// Loads a previously saved result.
+///
+/// # Errors
+///
+/// Returns a message naming the missing/invalid file.
+pub fn load_json<T: for<'de> Deserialize<'de>>(out_dir: &Path, name: &str) -> Result<T, String> {
+    let path = out_dir.join(format!("{name}.json"));
+    let data = fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {} ({e}); run the prerequisite experiment first", path.display()))?;
+    serde_json::from_str(&data).map_err(|e| format!("invalid JSON in {}: {e}", path.display()))
+}
+
+/// Renders a fixed-width text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("| ");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!("{cell:<w$} | "));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&format!(
+        "|{}|",
+        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+    ));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(x: f32) -> String {
+    format!("{:.2}", x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2.5".into()],
+            ],
+        );
+        assert!(t.contains("| name   | value |"));
+        assert!(t.contains("| longer | 2.5   |"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let dir = std::env::temp_dir().join("mn-bench-test");
+        let value = MethodErrors { ea: 1.0, vote: 2.0, sl: 3.0, oracle: 4.0 };
+        save_json(&dir, "probe", &value);
+        let back: MethodErrors = load_json(&dir, "probe").unwrap();
+        assert_eq!(back.ea, 1.0);
+        assert_eq!(back.oracle, 4.0);
+        let missing: Result<MethodErrors, _> = load_json(&dir, "absent");
+        assert!(missing.is_err());
+    }
+
+    #[test]
+    fn speedup_computation() {
+        let result = LargeEnsembleResult {
+            figure: "f".into(),
+            dataset: "d".into(),
+            family: "v".into(),
+            scale: "tiny".into(),
+            seed: 0,
+            n: 2,
+            clusters: 1,
+            points: vec![CurvePoint {
+                k: 2,
+                errors: MethodErrors::default(),
+                mn_secs: 10.0,
+                fd_secs: 60.0,
+                bag_secs: 40.0,
+                mn_cost: 1.0,
+                fd_cost: 6.0,
+                bag_cost: 4.0,
+            }],
+            fd_errors: MethodErrors::default(),
+            bag_errors: MethodErrors::default(),
+            mn_member_epochs: 2.0,
+            fd_member_epochs: 10.0,
+        };
+        assert!((result.final_speedup_vs_fd() - 6.0).abs() < 1e-9);
+        assert!((result.final_speedup_vs_bag() - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,384 @@
+//! MotherNet construction (paper §2.1).
+//!
+//! Given an ensemble of architectures, the MotherNet is the largest network
+//! from which every member can be obtained by function-preserving
+//! transformations. Construction is purely structural:
+//!
+//! * **Fully-connected** ensembles: the MotherNet has as many hidden layers
+//!   as the shallowest member, and its *i*-th layer is the smallest *i*-th
+//!   layer of any member.
+//! * **Convolutional (plain/VGG-style)** ensembles: built block-by-block —
+//!   each MotherNet block has as many layers as the member with the fewest
+//!   layers in that block, and each layer position takes the minimum filter
+//!   count and smallest filter size at that position (Figure 4).
+//! * **Residual** ensembles: per stage, the minimum unit count, width, and
+//!   kernel size.
+
+use mn_morph::check_compatible;
+use mn_nn::arch::{Architecture, Body, ConvBlockSpec, ConvLayerSpec, ResBlockSpec};
+
+use crate::error::MotherNetsError;
+
+/// Constructs the MotherNet of an ensemble of architectures.
+///
+/// The result is guaranteed (and tested) to be expandable into every member
+/// by function-preserving transformations, and to be no larger than the
+/// smallest member.
+///
+/// # Errors
+///
+/// Returns [`MotherNetsError::EmptyEnsemble`] for an empty slice, or
+/// [`MotherNetsError::IncompatibleMembers`] when members differ in family,
+/// input geometry, class count, or block count.
+///
+/// # Examples
+///
+/// ```
+/// use mn_nn::arch::{Architecture, InputSpec};
+/// use mothernets::construct::mothernet_of;
+///
+/// let members = vec![
+///     Architecture::mlp("a", InputSpec::new(3, 8, 8), 10, vec![32, 16]),
+///     Architecture::mlp("b", InputSpec::new(3, 8, 8), 10, vec![16, 24]),
+/// ];
+/// let mother = mothernet_of(&members, "mother").unwrap();
+/// // Per-position minima (16, 16) — no larger than either member.
+/// assert!(mother.param_count() <= members[1].param_count());
+/// ```
+///
+/// ## Reachability
+///
+/// Deepening inserts identity layers at the *end* of a block (or of the
+/// hidden-layer chain), matching how the paper's VGG variants deepen.
+/// An inserted identity layer cannot narrow its input, so a member whose
+/// extra (beyond-MotherNet-depth) layers narrow is not hatchable from a
+/// shallower MotherNet; in that case this function returns
+/// [`MotherNetsError::Hatch`] and the clustering algorithm places such
+/// members in smaller clusters (ultimately singletons, which always
+/// succeed).
+pub fn mothernet_of(
+    members: &[Architecture],
+    name: &str,
+) -> Result<Architecture, MotherNetsError> {
+    let first = members.first().ok_or(MotherNetsError::EmptyEnsemble)?;
+    for m in members {
+        m.validate()?;
+        if m.input != first.input {
+            return Err(MotherNetsError::IncompatibleMembers {
+                reason: format!("{} has different input geometry", m.name),
+            });
+        }
+        if m.num_classes != first.num_classes {
+            return Err(MotherNetsError::IncompatibleMembers {
+                reason: format!("{} has different class count", m.name),
+            });
+        }
+        if m.family() != first.family() {
+            return Err(MotherNetsError::IncompatibleMembers {
+                reason: format!(
+                    "{} is {} but {} is {}",
+                    m.name,
+                    m.family(),
+                    first.name,
+                    first.family()
+                ),
+            });
+        }
+    }
+
+    let body = match &first.body {
+        Body::Mlp { .. } => {
+            let hiddens: Vec<&Vec<usize>> = members
+                .iter()
+                .map(|m| match &m.body {
+                    Body::Mlp { hidden } => hidden,
+                    _ => unreachable!("family checked above"),
+                })
+                .collect();
+            let depth = hiddens.iter().map(|h| h.len()).min().expect("non-empty");
+            let hidden = (0..depth)
+                .map(|i| hiddens.iter().map(|h| h[i]).min().expect("non-empty"))
+                .collect();
+            Body::Mlp { hidden }
+        }
+        Body::Plain { blocks: first_blocks, .. } => {
+            let bodies: Vec<(&Vec<ConvBlockSpec>, &Vec<usize>)> = members
+                .iter()
+                .map(|m| match &m.body {
+                    Body::Plain { blocks, dense } => (blocks, dense),
+                    _ => unreachable!("family checked above"),
+                })
+                .collect();
+            for (m, (blocks, _)) in members.iter().zip(&bodies) {
+                if blocks.len() != first_blocks.len() {
+                    return Err(MotherNetsError::IncompatibleMembers {
+                        reason: format!(
+                            "{} has {} blocks, expected {}",
+                            m.name,
+                            blocks.len(),
+                            first_blocks.len()
+                        ),
+                    });
+                }
+            }
+            let mut blocks = Vec::with_capacity(first_blocks.len());
+            for bi in 0..first_blocks.len() {
+                let depth = bodies
+                    .iter()
+                    .map(|(bs, _)| bs[bi].layers.len())
+                    .min()
+                    .expect("non-empty");
+                let layers = (0..depth)
+                    .map(|li| {
+                        let filters = bodies
+                            .iter()
+                            .map(|(bs, _)| bs[bi].layers[li].filters)
+                            .min()
+                            .expect("non-empty");
+                        let filter_size = bodies
+                            .iter()
+                            .map(|(bs, _)| bs[bi].layers[li].filter_size)
+                            .min()
+                            .expect("non-empty");
+                        ConvLayerSpec::new(filter_size, filters)
+                    })
+                    .collect();
+                blocks.push(ConvBlockSpec::new(layers));
+            }
+            let dense_depth =
+                bodies.iter().map(|(_, d)| d.len()).min().expect("non-empty");
+            let dense = (0..dense_depth)
+                .map(|i| bodies.iter().map(|(_, d)| d[i]).min().expect("non-empty"))
+                .collect();
+            Body::Plain { blocks, dense }
+        }
+        Body::Residual { blocks: first_blocks } => {
+            let bodies: Vec<&Vec<ResBlockSpec>> = members
+                .iter()
+                .map(|m| match &m.body {
+                    Body::Residual { blocks } => blocks,
+                    _ => unreachable!("family checked above"),
+                })
+                .collect();
+            for (m, blocks) in members.iter().zip(&bodies) {
+                if blocks.len() != first_blocks.len() {
+                    return Err(MotherNetsError::IncompatibleMembers {
+                        reason: format!(
+                            "{} has {} stages, expected {}",
+                            m.name,
+                            blocks.len(),
+                            first_blocks.len()
+                        ),
+                    });
+                }
+            }
+            let blocks = (0..first_blocks.len())
+                .map(|bi| {
+                    ResBlockSpec::new(
+                        bodies.iter().map(|bs| bs[bi].units).min().expect("non-empty"),
+                        bodies.iter().map(|bs| bs[bi].filters).min().expect("non-empty"),
+                        bodies.iter().map(|bs| bs[bi].filter_size).min().expect("non-empty"),
+                    )
+                })
+                .collect();
+            Body::Residual { blocks }
+        }
+    };
+
+    let mother = Architecture {
+        name: name.to_string(),
+        input: first.input,
+        num_classes: first.num_classes,
+        body,
+    };
+    mother.validate()?;
+    // Post-condition: every member must be reachable from the MotherNet by
+    // function-preserving expansion. This is guaranteed by per-position
+    // minima; the check converts any latent bug into an error.
+    for m in members {
+        check_compatible(&mother, m)?;
+    }
+    Ok(mother)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_nn::arch::InputSpec;
+
+    fn input() -> InputSpec {
+        InputSpec::new(3, 8, 8)
+    }
+
+    #[test]
+    fn mlp_mothernet_takes_minima() {
+        let members = vec![
+            Architecture::mlp("a", input(), 10, vec![32, 16]),
+            Architecture::mlp("b", input(), 10, vec![16, 24]),
+        ];
+        let mother = mothernet_of(&members, "m").unwrap();
+        match &mother.body {
+            Body::Mlp { hidden } => assert_eq!(hidden, &vec![16, 16]),
+            _ => panic!("wrong family"),
+        }
+    }
+
+    #[test]
+    fn mlp_mothernet_uses_shallowest_depth() {
+        // Deeper member's extra layers are non-narrowing, so reachable.
+        let members = vec![
+            Architecture::mlp("a", input(), 10, vec![16, 24, 24]),
+            Architecture::mlp("b", input(), 10, vec![20, 20]),
+        ];
+        let mother = mothernet_of(&members, "m").unwrap();
+        match &mother.body {
+            Body::Mlp { hidden } => assert_eq!(hidden, &vec![16, 20]),
+            _ => panic!("wrong family"),
+        }
+    }
+
+    #[test]
+    fn unreachable_member_yields_hatch_error() {
+        // Member "a" narrows in its extra layer (16 -> 8): not hatchable
+        // from a 2-layer MotherNet by end-insertion deepening.
+        let members = vec![
+            Architecture::mlp("a", input(), 10, vec![32, 16, 8]),
+            Architecture::mlp("b", input(), 10, vec![16, 24]),
+        ];
+        assert!(matches!(
+            mothernet_of(&members, "m"),
+            Err(MotherNetsError::Hatch(_))
+        ));
+    }
+
+    #[test]
+    fn plain_mothernet_is_blockwise_minimum() {
+        // Mirrors the paper's Figure 4 example structure.
+        let n1 = Architecture::plain(
+            "n1",
+            input(),
+            10,
+            vec![
+                ConvBlockSpec::new(vec![ConvLayerSpec::new(3, 64), ConvLayerSpec::new(3, 64)]),
+                ConvBlockSpec::new(vec![
+                    ConvLayerSpec::new(3, 64),
+                    ConvLayerSpec::new(5, 64),
+                    ConvLayerSpec::new(1, 64),
+                ]),
+            ],
+            vec![64],
+        );
+        let n2 = Architecture::plain(
+            "n2",
+            input(),
+            10,
+            vec![
+                ConvBlockSpec::new(vec![ConvLayerSpec::new(3, 32), ConvLayerSpec::new(1, 64)]),
+                ConvBlockSpec::new(vec![ConvLayerSpec::new(3, 72), ConvLayerSpec::new(3, 64)]),
+            ],
+            vec![48, 64],
+        );
+        let mother = mothernet_of(&[n1, n2], "m").unwrap();
+        match &mother.body {
+            Body::Plain { blocks, dense } => {
+                assert_eq!(
+                    blocks[0].layers,
+                    vec![ConvLayerSpec::new(3, 32), ConvLayerSpec::new(1, 64)]
+                );
+                assert_eq!(
+                    blocks[1].layers,
+                    vec![ConvLayerSpec::new(3, 64), ConvLayerSpec::new(3, 64)]
+                );
+                assert_eq!(dense, &vec![48]);
+            }
+            _ => panic!("wrong family"),
+        }
+    }
+
+    #[test]
+    fn residual_mothernet_minima() {
+        let a = Architecture::residual(
+            "a",
+            input(),
+            10,
+            vec![ResBlockSpec::new(2, 8, 3), ResBlockSpec::new(3, 16, 3)],
+        );
+        let b = Architecture::residual(
+            "b",
+            input(),
+            10,
+            vec![ResBlockSpec::new(3, 4, 5), ResBlockSpec::new(2, 32, 3)],
+        );
+        let mother = mothernet_of(&[a, b], "m").unwrap();
+        match &mother.body {
+            Body::Residual { blocks } => {
+                assert_eq!(blocks[0], ResBlockSpec::new(2, 4, 3));
+                assert_eq!(blocks[1], ResBlockSpec::new(2, 16, 3));
+            }
+            _ => panic!("wrong family"),
+        }
+    }
+
+    #[test]
+    fn mothernet_not_larger_than_smallest_member() {
+        let members = vec![
+            Architecture::mlp("a", input(), 10, vec![32, 32]),
+            Architecture::mlp("b", input(), 10, vec![16, 32]),
+            Architecture::mlp("c", input(), 10, vec![64]),
+        ];
+        let mother = mothernet_of(&members, "m").unwrap();
+        let min_size = members.iter().map(|m| m.param_count()).min().unwrap();
+        assert!(mother.param_count() <= min_size);
+    }
+
+    #[test]
+    fn singleton_ensemble_returns_member_structure() {
+        let a = Architecture::mlp("a", input(), 10, vec![12, 8]);
+        let mother = mothernet_of(std::slice::from_ref(&a), "m").unwrap();
+        assert_eq!(mother.body, a.body);
+        assert_eq!(mother.param_count(), a.param_count());
+    }
+
+    #[test]
+    fn rejects_empty_and_mixed() {
+        assert!(matches!(mothernet_of(&[], "m"), Err(MotherNetsError::EmptyEnsemble)));
+        let mlp = Architecture::mlp("a", input(), 10, vec![8]);
+        let plain = Architecture::plain(
+            "b",
+            input(),
+            10,
+            vec![ConvBlockSpec::repeated(3, 4, 1)],
+            vec![],
+        );
+        assert!(matches!(
+            mothernet_of(&[mlp.clone(), plain], "m"),
+            Err(MotherNetsError::IncompatibleMembers { .. })
+        ));
+        let other_input = Architecture::mlp("c", InputSpec::new(1, 8, 8), 10, vec![8]);
+        assert!(mothernet_of(&[mlp.clone(), other_input], "m").is_err());
+        let other_classes = Architecture::mlp("d", input(), 5, vec![8]);
+        assert!(mothernet_of(&[mlp, other_classes], "m").is_err());
+    }
+
+    #[test]
+    fn rejects_block_count_mismatch() {
+        let a = Architecture::plain(
+            "a",
+            input(),
+            10,
+            vec![ConvBlockSpec::repeated(3, 4, 1)],
+            vec![],
+        );
+        let b = Architecture::plain(
+            "b",
+            input(),
+            10,
+            vec![ConvBlockSpec::repeated(3, 4, 1), ConvBlockSpec::repeated(3, 4, 1)],
+            vec![],
+        );
+        assert!(matches!(
+            mothernet_of(&[a, b], "m"),
+            Err(MotherNetsError::IncompatibleMembers { .. })
+        ));
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type of the MotherNets pipeline.
+
+use std::fmt;
+
+use mn_morph::MorphError;
+use mn_nn::arch::ArchError;
+
+/// Why a MotherNets operation failed.
+#[derive(Clone, PartialEq, Debug)]
+pub enum MotherNetsError {
+    /// An empty ensemble was supplied.
+    EmptyEnsemble,
+    /// Ensemble members cannot share a MotherNet (different family, input,
+    /// class count, or block count).
+    IncompatibleMembers {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A constructed or supplied architecture failed validation.
+    InvalidArchitecture(ArchError),
+    /// Hatching a member from its MotherNet failed.
+    Hatch(MorphError),
+    /// A configuration parameter was out of range.
+    InvalidParameter {
+        /// Which parameter.
+        what: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The supplied data set does not match the ensemble's input geometry
+    /// or class count.
+    DataMismatch {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for MotherNetsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MotherNetsError::EmptyEnsemble => write!(f, "ensemble is empty"),
+            MotherNetsError::IncompatibleMembers { reason } => {
+                write!(f, "incompatible ensemble members: {reason}")
+            }
+            MotherNetsError::InvalidArchitecture(e) => write!(f, "invalid architecture: {e}"),
+            MotherNetsError::Hatch(e) => write!(f, "hatching failed: {e}"),
+            MotherNetsError::InvalidParameter { what, value } => {
+                write!(f, "invalid parameter {what} = {value}")
+            }
+            MotherNetsError::DataMismatch { reason } => {
+                write!(f, "data set does not match ensemble: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MotherNetsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MotherNetsError::InvalidArchitecture(e) => Some(e),
+            MotherNetsError::Hatch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for MotherNetsError {
+    fn from(e: ArchError) -> Self {
+        MotherNetsError::InvalidArchitecture(e)
+    }
+}
+
+impl From<MorphError> for MotherNetsError {
+    fn from(e: MorphError) -> Self {
+        MotherNetsError::Hatch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(MotherNetsError::EmptyEnsemble.to_string(), "ensemble is empty");
+        let e = MotherNetsError::InvalidParameter { what: "tau".into(), value: 2.0 };
+        assert!(e.to_string().contains("tau"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Hatching: expanding a trained MotherNet into an ensemble member
+//! (paper §2.2).
+//!
+//! Hatching is a thin, instrumented wrapper over the morphism engine: it is
+//! a single pass over the MotherNet's parameters (the paper calls it
+//! "instantaneous" relative to training) and the hatched network inherits
+//! the MotherNet's function exactly (eval mode) unless symmetry-breaking
+//! noise is requested.
+
+use std::time::Instant;
+
+use mn_morph::{morph_to_with, MorphOptions, MorphPlan};
+use mn_nn::arch::Architecture;
+use mn_nn::Network;
+
+use crate::error::MotherNetsError;
+
+/// Diagnostics of one hatch.
+#[derive(Clone, Debug)]
+pub struct HatchReport {
+    /// The structural diff that was applied.
+    pub plan: MorphPlan,
+    /// Wall-clock seconds spent hatching (weight transfer only).
+    pub wall_secs: f64,
+}
+
+/// Hatches `target` from a trained `mothernet`, exactly.
+///
+/// # Errors
+///
+/// Returns [`MotherNetsError::Hatch`] if the target is not reachable by
+/// function-preserving expansion.
+pub fn hatch(mothernet: &Network, target: &Architecture) -> Result<Network, MotherNetsError> {
+    Ok(morph_to_with(mothernet, target, &MorphOptions::exact())?)
+}
+
+/// Hatches with options (noise, seed) and returns diagnostics.
+///
+/// # Errors
+///
+/// As [`hatch`].
+pub fn hatch_with_report(
+    mothernet: &Network,
+    target: &Architecture,
+    opts: &MorphOptions,
+) -> Result<(Network, HatchReport), MotherNetsError> {
+    let plan = MorphPlan::between(mothernet.arch(), target)?;
+    let start = Instant::now();
+    let net = morph_to_with(mothernet, target, opts)?;
+    let report = HatchReport { plan, wall_secs: start.elapsed().as_secs_f64() };
+    Ok((net, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_nn::arch::{ConvBlockSpec, InputSpec};
+    use mn_nn::Mode;
+    use mn_tensor::{max_abs_diff, Tensor, PRESERVATION_TOLERANCE};
+
+    #[test]
+    fn hatch_preserves_function() {
+        let mother_arch = Architecture::plain(
+            "mother",
+            InputSpec::new(3, 8, 8),
+            10,
+            vec![ConvBlockSpec::repeated(3, 4, 1)],
+            vec![8],
+        );
+        let member_arch = Architecture::plain(
+            "member",
+            InputSpec::new(3, 8, 8),
+            10,
+            vec![ConvBlockSpec::repeated(3, 8, 2)],
+            vec![16],
+        );
+        let mut mother = Network::seeded(&mother_arch, 1);
+        let (mut hatched, report) =
+            hatch_with_report(&mother, &member_arch, &MorphOptions::exact()).unwrap();
+        let x = Tensor::randn([3, 3, 8, 8], 1.0, &mut rand::thread_rng());
+        let a = mother.forward(&x, Mode::Eval);
+        let b = hatched.forward(&x, Mode::Eval);
+        assert!(max_abs_diff(a.data(), b.data()) <= PRESERVATION_TOLERANCE);
+        assert!(report.plan.total_ops() > 0);
+        assert!(report.wall_secs >= 0.0);
+        assert!(report.plan.inherited_fraction > 0.0);
+    }
+
+    #[test]
+    fn hatch_rejects_incompatible() {
+        let mother_arch = Architecture::mlp("m", InputSpec::new(3, 8, 8), 10, vec![8]);
+        let smaller = Architecture::mlp("s", InputSpec::new(3, 8, 8), 10, vec![4]);
+        let mother = Network::seeded(&mother_arch, 2);
+        assert!(matches!(hatch(&mother, &smaller), Err(MotherNetsError::Hatch(_))));
+    }
+}

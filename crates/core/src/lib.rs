@@ -1,0 +1,75 @@
+//! # mothernets
+//!
+//! A Rust reproduction of **MotherNets: Rapid Deep Ensemble Learning**
+//! (Wasay, Liao, Idreos — MLSYS 2020): train very large ensembles of
+//! structurally diverse neural networks at a fraction of the cost of
+//! training every member from scratch.
+//!
+//! The pipeline (paper §2):
+//!
+//! 1. [`construct::mothernet_of`] — build the MotherNet that captures the
+//!    largest structural commonality of the ensemble;
+//! 2. [`cluster::cluster_architectures`] — when member sizes vary widely,
+//!    split the ensemble into the minimum number of clusters whose members
+//!    each inherit at least a τ-fraction of parameters (Algorithm 1);
+//! 3. train each MotherNet once on the full data (low bias);
+//! 4. [`hatch::hatch`] — expand the trained MotherNet into every member via
+//!    function-preserving transformations (`mn-morph`);
+//! 5. fine-tune each member on a bootstrap resample (diversity).
+//!
+//! [`training::train_ensemble`] runs the whole pipeline — or either
+//! baseline ([`training::Strategy::FullData`],
+//! [`training::Strategy::Bagging`]) — with per-network cost accounting.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mn_data::presets::{cifar10_sim, Scale};
+//! use mn_nn::arch::{Architecture, InputSpec};
+//! use mothernets::prelude::*;
+//!
+//! // Three small MLP members of different sizes.
+//! let input = InputSpec::new(3, 8, 8);
+//! let archs = vec![
+//!     Architecture::mlp("small", input, 10, vec![16]),
+//!     Architecture::mlp("medium", input, 10, vec![24]),
+//!     Architecture::mlp("large", input, 10, vec![32]),
+//! ];
+//!
+//! let task = cifar10_sim(Scale::Tiny, 0);
+//! let cfg = EnsembleTrainConfig {
+//!     train: mn_nn::train::TrainConfig { max_epochs: 2, ..Default::default() },
+//!     ..Default::default()
+//! };
+//! let trained =
+//!     train_ensemble(&archs, &task.train, &Strategy::mothernets(), &cfg).unwrap();
+//! assert_eq!(trained.members.len(), 3);
+//! assert_eq!(trained.mothernets.len(), trained.clustering.as_ref().unwrap().len());
+//! ```
+
+pub mod cluster;
+pub mod construct;
+pub mod error;
+pub mod hatch;
+pub mod training;
+
+pub use cluster::{cluster_architectures, Cluster, Clustering};
+pub use construct::mothernet_of;
+pub use error::MotherNetsError;
+pub use hatch::{hatch, hatch_with_report, HatchReport};
+pub use training::{
+    train_ensemble, EnsembleTrainConfig, MemberRecord, MemberTraining, MotherNetsStrategy,
+    Phase, SnapshotStrategy, Strategy, TrainedEnsemble,
+};
+
+/// Convenient glob-import surface for applications.
+pub mod prelude {
+    pub use crate::cluster::{cluster_architectures, Clustering};
+    pub use crate::construct::mothernet_of;
+    pub use crate::error::MotherNetsError;
+    pub use crate::hatch::{hatch, hatch_with_report};
+    pub use crate::training::{
+        train_ensemble, EnsembleTrainConfig, MemberTraining, MotherNetsStrategy, Phase,
+        SnapshotStrategy, Strategy, TrainedEnsemble,
+    };
+}

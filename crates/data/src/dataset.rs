@@ -1,0 +1,156 @@
+//! Labelled image data sets.
+
+use mn_tensor::Tensor;
+
+/// A labelled set of images `[N, C, H, W]` with class labels `< num_classes`.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a data set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not 4-D, the label count does not match the
+    /// image count, or any label is out of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(images.shape().ndim(), 4, "images must be [N, C, H, W]");
+        assert_eq!(images.shape().dim(0), labels.len(), "image/label count mismatch");
+        assert!(num_classes > 0, "num_classes must be positive");
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "labels must be < {num_classes}"
+        );
+        Dataset { images, labels, num_classes }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The image tensor `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of class labels.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Input geometry `(channels, height, width)`.
+    pub fn geometry(&self) -> (usize, usize, usize) {
+        let d = self.images.shape().dims();
+        (d[1], d[2], d[3])
+    }
+
+    /// A new data set containing the examples at `indices` (with
+    /// repetition allowed — this is what bootstrap resampling uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or `indices` is empty.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        assert!(!indices.is_empty(), "subset cannot be empty");
+        let (c, h, w) = self.geometry();
+        let row = c * h * w;
+        let mut images = Tensor::zeros([indices.len(), c, h, w]);
+        let mut labels = Vec::with_capacity(indices.len());
+        let src = self.images.data();
+        let dst = images.data_mut();
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.len(), "index {idx} out of range");
+            dst[i * row..(i + 1) * row].copy_from_slice(&src[idx * row..(idx + 1) * row]);
+            labels.push(self.labels[idx]);
+        }
+        Dataset { images, labels, num_classes: self.num_classes }
+    }
+
+    /// Splits into `([0, at), [at, len))` without shuffling.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < at < len`.
+    pub fn split_at(&self, at: usize) -> (Dataset, Dataset) {
+        assert!(at > 0 && at < self.len(), "split point {at} out of range");
+        let head: Vec<usize> = (0..at).collect();
+        let tail: Vec<usize> = (at..self.len()).collect();
+        (self.subset(&head), self.subset(&tail))
+    }
+
+    /// Number of examples per class, indexed by label.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_vec([4, 1, 1, 2], (0..8).map(|v| v as f32).collect());
+        Dataset::new(images, vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.geometry(), (1, 1, 2));
+        assert_eq!(d.class_histogram(), vec![2, 2]);
+    }
+
+    #[test]
+    fn subset_with_repetition() {
+        let d = tiny();
+        let s = d.subset(&[3, 3, 0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), &[1, 1, 0]);
+        assert_eq!(&s.images().data()[0..2], &[6.0, 7.0]);
+        assert_eq!(&s.images().data()[4..6], &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let d = tiny();
+        let (a, b) = d.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.labels(), &[1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn subset_validates_indices() {
+        tiny().subset(&[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be <")]
+    fn new_validates_labels() {
+        let images = Tensor::zeros([1, 1, 1, 1]);
+        Dataset::new(images, vec![5], 2);
+    }
+}

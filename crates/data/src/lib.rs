@@ -1,0 +1,30 @@
+//! # mn-data
+//!
+//! Data substrate for the MotherNets reproduction: labelled image
+//! [`Dataset`]s, a [`synthetic`] task generator that simulates the paper's
+//! CIFAR-10 / CIFAR-100 / SVHN data sets (see DESIGN.md §4 for the
+//! substitution argument), and the bootstrap [`sampler`] used by bagging.
+//!
+//! ## Example
+//!
+//! ```
+//! use mn_data::presets::{cifar10_sim, Scale};
+//! use mn_data::sampler::bag_seeded;
+//!
+//! let task = cifar10_sim(Scale::Tiny, 42);
+//! assert_eq!(task.train.num_classes(), 10);
+//!
+//! // A bootstrap resample for one ensemble member.
+//! let member_data = bag_seeded(&task.train, 7);
+//! assert_eq!(member_data.len(), task.train.len());
+//! ```
+
+pub mod dataset;
+pub mod presets;
+pub mod sampler;
+pub mod stats;
+pub mod synthetic;
+
+pub use dataset::Dataset;
+pub use presets::Scale;
+pub use synthetic::{SyntheticSpec, SyntheticTask};

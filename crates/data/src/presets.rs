@@ -1,0 +1,162 @@
+//! Preset tasks simulating the paper's three data sets.
+//!
+//! | Preset | Simulates | Key property preserved |
+//! |--------|-----------|------------------------|
+//! | [`cifar10_sim`]  | CIFAR-10  | 10 classes, high intra-class variation |
+//! | [`cifar100_sim`] | CIFAR-100 | many classes (ensembles help more, Fig. 7) |
+//! | [`svhn_sim`]     | SVHN      | low intra-class variation, more training data, easy base task (Fig. 8) |
+//!
+//! Every preset is parameterized by a [`Scale`] so tests can run in
+//! milliseconds while the figure harness uses more data.
+
+use crate::synthetic::{generate, SyntheticSpec, SyntheticTask};
+
+/// Experiment scale: trades fidelity for runtime.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Milliseconds; for unit tests.
+    Tiny,
+    /// Seconds per network; the default for the figure harness.
+    Small,
+    /// The largest configuration that is still laptop-feasible.
+    Full,
+}
+
+impl Scale {
+    /// Parses `"tiny" | "small" | "full"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(Scale::Tiny),
+            "small" => Some(Scale::Small),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scale::Tiny => write!(f, "tiny"),
+            Scale::Small => write!(f, "small"),
+            Scale::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// A CIFAR-10-like task: 10 classes, multi-modal classes, moderate noise.
+pub fn cifar10_sim(scale: Scale, seed: u64) -> SyntheticTask {
+    let (train_pc, test_pc) = match scale {
+        Scale::Tiny => (16, 8),
+        Scale::Small => (90, 30),
+        Scale::Full => (240, 80),
+    };
+    generate(&SyntheticSpec {
+        num_classes: 10,
+        train_per_class: train_pc,
+        test_per_class: test_pc,
+        channels: 3,
+        height: 8,
+        width: 8,
+        modes_per_class: 3,
+        prototype_scale: 1.0,
+        jitter: 0.55,
+        noise_std: 0.85,
+        seed,
+    })
+}
+
+/// A CIFAR-100-like task: many classes with fewer examples each. `Tiny`
+/// scales the label space down to 20 classes to stay fast; `Small`/`Full`
+/// use the full 100.
+pub fn cifar100_sim(scale: Scale, seed: u64) -> SyntheticTask {
+    let (classes, train_pc, test_pc) = match scale {
+        Scale::Tiny => (20, 8, 4),
+        Scale::Small => (100, 12, 4),
+        Scale::Full => (100, 30, 10),
+    };
+    generate(&SyntheticSpec {
+        num_classes: classes,
+        train_per_class: train_pc,
+        test_per_class: test_pc,
+        channels: 3,
+        height: 8,
+        width: 8,
+        modes_per_class: 3,
+        prototype_scale: 1.0,
+        jitter: 0.6,
+        noise_std: 0.9,
+        seed: seed.wrapping_add(100),
+    })
+}
+
+/// An SVHN-like task: 10 classes (digits), a single mode per class (cropped
+/// digits show little intra-class variation), lower noise, and more
+/// training data — so a single base learner is already strong, as in the
+/// paper's Figure 8 discussion.
+pub fn svhn_sim(scale: Scale, seed: u64) -> SyntheticTask {
+    let (train_pc, test_pc) = match scale {
+        Scale::Tiny => (24, 10),
+        Scale::Small => (130, 45),
+        Scale::Full => (360, 130),
+    };
+    generate(&SyntheticSpec {
+        num_classes: 10,
+        train_per_class: train_pc,
+        test_per_class: test_pc,
+        channels: 3,
+        height: 8,
+        width: 8,
+        modes_per_class: 1,
+        prototype_scale: 1.1,
+        jitter: 0.35,
+        noise_std: 0.7,
+        seed: seed.wrapping_add(200),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parse_roundtrip() {
+        for s in [Scale::Tiny, Scale::Small, Scale::Full] {
+            assert_eq!(Scale::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(Scale::parse("LARGE"), None);
+    }
+
+    #[test]
+    fn cifar10_sim_shape() {
+        let t = cifar10_sim(Scale::Tiny, 0);
+        assert_eq!(t.train.num_classes(), 10);
+        assert_eq!(t.train.len(), 160);
+        assert_eq!(t.test.len(), 80);
+        assert_eq!(t.train.geometry(), (3, 8, 8));
+    }
+
+    #[test]
+    fn cifar100_sim_has_many_classes() {
+        let t = cifar100_sim(Scale::Tiny, 0);
+        assert_eq!(t.train.num_classes(), 20);
+        let full = cifar100_sim(Scale::Small, 0);
+        assert_eq!(full.train.num_classes(), 100);
+    }
+
+    #[test]
+    fn svhn_sim_has_single_mode_and_more_data() {
+        let svhn = svhn_sim(Scale::Tiny, 0);
+        let cifar = cifar10_sim(Scale::Tiny, 0);
+        assert_eq!(svhn.spec.modes_per_class, 1);
+        assert!(svhn.train.len() > cifar.train.len());
+        assert!(svhn.spec.noise_std < cifar.spec.noise_std);
+    }
+
+    #[test]
+    fn presets_differ_across_seeds() {
+        let a = cifar10_sim(Scale::Tiny, 0);
+        let b = cifar10_sim(Scale::Tiny, 1);
+        assert_ne!(a.train.images().data(), b.train.images().data());
+    }
+}

@@ -1,0 +1,125 @@
+//! Bootstrap (bagging) resampling and train/validation splitting.
+//!
+//! Bagging (Breiman 1996) is how the paper trains both the bagging baseline
+//! and the hatched ensemble members (§2.2): every member sees a resample of
+//! the full training set, drawn with replacement, of the same size as the
+//! original. A bootstrap resample contains ≈ 63.2 % unique items in
+//! expectation — the mechanism behind the paper's observation that bagging
+//! from scratch hurts accuracy (fewer unique items) while bagging *after*
+//! hatching keeps bias low.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+
+/// Draws a bootstrap resample of `dataset` (same size, with replacement).
+pub fn bag<R: Rng>(dataset: &Dataset, rng: &mut R) -> Dataset {
+    let n = dataset.len();
+    let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+    dataset.subset(&indices)
+}
+
+/// [`bag`] with a dedicated seed (deterministic per member).
+pub fn bag_seeded(dataset: &Dataset, seed: u64) -> Dataset {
+    bag(dataset, &mut StdRng::seed_from_u64(seed))
+}
+
+/// Fraction of `dataset` rows that are unique in a resample's index set.
+/// Exposed for tests and diagnostics.
+pub fn unique_fraction(indices: &[usize]) -> f64 {
+    let mut sorted = indices.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len() as f64 / indices.len() as f64
+}
+
+/// Shuffles and splits a data set into `(train, validation)` where the
+/// validation part holds `val_fraction` of the examples (at least 1).
+///
+/// # Panics
+///
+/// Panics unless `0 < val_fraction < 1` and the set has at least 2 items.
+pub fn train_val_split(dataset: &Dataset, val_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!(
+        val_fraction > 0.0 && val_fraction < 1.0,
+        "val_fraction must be in (0, 1), got {val_fraction}"
+    );
+    assert!(dataset.len() >= 2, "need at least 2 examples to split");
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fisher–Yates.
+    for i in (1..indices.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        indices.swap(i, j);
+    }
+    let val_len = ((dataset.len() as f64 * val_fraction).round() as usize)
+        .clamp(1, dataset.len() - 1);
+    let (val_idx, train_idx) = indices.split_at(val_len);
+    (dataset.subset(train_idx), dataset.subset(val_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_tensor::Tensor;
+
+    fn dataset(n: usize) -> Dataset {
+        let images = Tensor::zeros([n, 1, 2, 2]);
+        let labels = (0..n).map(|i| i % 2).collect();
+        Dataset::new(images, labels, 2)
+    }
+
+    #[test]
+    fn bag_preserves_size_and_classes() {
+        let d = dataset(50);
+        let b = bag_seeded(&d, 1);
+        assert_eq!(b.len(), 50);
+        assert_eq!(b.num_classes(), 2);
+    }
+
+    #[test]
+    fn bag_is_deterministic_per_seed() {
+        let d = dataset(30);
+        let a = bag_seeded(&d, 7);
+        let b = bag_seeded(&d, 7);
+        assert_eq!(a.labels(), b.labels());
+        let c = bag_seeded(&d, 8);
+        assert_ne!(a.labels(), c.labels());
+    }
+
+    #[test]
+    fn bootstrap_unique_fraction_near_632() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let indices: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        let f = unique_fraction(&indices);
+        assert!(
+            (f - 0.632).abs() < 0.01,
+            "unique fraction {f} far from 1 - 1/e"
+        );
+    }
+
+    #[test]
+    fn split_partitions_without_overlap_in_counts() {
+        let d = dataset(100);
+        let (train, val) = train_val_split(&d, 0.2, 3);
+        assert_eq!(train.len(), 80);
+        assert_eq!(val.len(), 20);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = dataset(40);
+        let (t1, v1) = train_val_split(&d, 0.25, 9);
+        let (t2, v2) = train_val_split(&d, 0.25, 9);
+        assert_eq!(t1.labels(), t2.labels());
+        assert_eq!(v1.labels(), v2.labels());
+    }
+
+    #[test]
+    #[should_panic(expected = "val_fraction")]
+    fn split_validates_fraction() {
+        train_val_split(&dataset(10), 1.5, 0);
+    }
+}

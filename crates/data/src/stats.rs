@@ -1,0 +1,151 @@
+//! Per-channel data statistics and standardization.
+//!
+//! Standard preprocessing for image classification: compute per-channel
+//! mean/standard deviation on the *training* split and apply the same
+//! affine transform to every split (never re-fit on test data).
+
+use crate::dataset::Dataset;
+
+/// Per-channel first and second moments of a data set.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ChannelStats {
+    /// Mean per channel.
+    pub mean: Vec<f32>,
+    /// Standard deviation per channel (floored at a small epsilon).
+    pub std: Vec<f32>,
+}
+
+impl ChannelStats {
+    /// Computes the statistics of a data set's images.
+    pub fn of(dataset: &Dataset) -> Self {
+        let (c, h, w) = dataset.geometry();
+        let n = dataset.len();
+        let plane = h * w;
+        let count = (n * plane) as f64;
+        let data = dataset.images().data();
+        let mut mean = vec![0.0f64; c];
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * plane;
+                mean[ch] += data[base..base + plane].iter().map(|&v| v as f64).sum::<f64>();
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= count);
+        let mut var = vec![0.0f64; c];
+        for i in 0..n {
+            for ch in 0..c {
+                let base = (i * c + ch) * plane;
+                var[ch] += data[base..base + plane]
+                    .iter()
+                    .map(|&v| {
+                        let d = v as f64 - mean[ch];
+                        d * d
+                    })
+                    .sum::<f64>();
+            }
+        }
+        var.iter_mut().for_each(|v| *v /= count);
+        ChannelStats {
+            mean: mean.into_iter().map(|m| m as f32).collect(),
+            std: var.into_iter().map(|v| (v.sqrt() as f32).max(1e-6)).collect(),
+        }
+    }
+
+    /// Returns a standardized copy of a data set:
+    /// `x' = (x − mean[c]) / std[c]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel count differs from the fitted statistics.
+    pub fn standardize(&self, dataset: &Dataset) -> Dataset {
+        let (c, h, w) = dataset.geometry();
+        assert_eq!(c, self.mean.len(), "channel count mismatch");
+        let plane = h * w;
+        let mut images = dataset.images().clone();
+        {
+            let data = images.data_mut();
+            for i in 0..dataset.len() {
+                for ch in 0..c {
+                    let base = (i * c + ch) * plane;
+                    let (m, s) = (self.mean[ch], self.std[ch]);
+                    for v in &mut data[base..base + plane] {
+                        *v = (*v - m) / s;
+                    }
+                }
+            }
+        }
+        Dataset::new(images, dataset.labels().to_vec(), dataset.num_classes())
+    }
+}
+
+/// Convenience: fit on `train`, apply to both splits, return
+/// `(train', test', stats)`.
+pub fn standardize_task(train: &Dataset, test: &Dataset) -> (Dataset, Dataset, ChannelStats) {
+    let stats = ChannelStats::of(train);
+    (stats.standardize(train), stats.standardize(test), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_tensor::Tensor;
+
+    fn skewed_dataset() -> Dataset {
+        // Channel 0 ~ mean 10 std 2-ish, channel 1 ~ mean -5.
+        let mut images = Tensor::zeros([4, 2, 2, 2]);
+        for i in 0..4 {
+            for p in 0..4 {
+                *images.at4_mut(i, 0, p / 2, p % 2) = 10.0 + (i as f32 - 1.5);
+                *images.at4_mut(i, 1, p / 2, p % 2) = -5.0 + 0.5 * (p as f32 - 1.5);
+            }
+        }
+        Dataset::new(images, vec![0, 1, 0, 1], 2)
+    }
+
+    #[test]
+    fn stats_recover_moments() {
+        let d = skewed_dataset();
+        let stats = ChannelStats::of(&d);
+        assert!((stats.mean[0] - 10.0).abs() < 1e-4);
+        assert!((stats.mean[1] + 5.0).abs() < 1e-4);
+        assert!(stats.std[0] > 0.0 && stats.std[1] > 0.0);
+    }
+
+    #[test]
+    fn standardized_data_has_zero_mean_unit_std() {
+        let d = skewed_dataset();
+        let stats = ChannelStats::of(&d);
+        let s = stats.standardize(&d);
+        let restats = ChannelStats::of(&s);
+        for c in 0..2 {
+            assert!(restats.mean[c].abs() < 1e-4, "mean {}", restats.mean[c]);
+            assert!((restats.std[c] - 1.0).abs() < 1e-3, "std {}", restats.std[c]);
+        }
+        // Labels and geometry preserved.
+        assert_eq!(s.labels(), d.labels());
+        assert_eq!(s.geometry(), d.geometry());
+    }
+
+    #[test]
+    fn constant_channel_does_not_divide_by_zero() {
+        let images = Tensor::filled([3, 1, 2, 2], 7.0);
+        let d = Dataset::new(images, vec![0, 0, 0], 1);
+        let stats = ChannelStats::of(&d);
+        let s = stats.standardize(&d);
+        assert!(s.images().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn standardize_task_fits_on_train_only() {
+        let train = skewed_dataset();
+        // Test split with a different distribution.
+        let test = Dataset::new(Tensor::filled([2, 2, 2, 2], 100.0), vec![0, 1], 2);
+        let (strain, stest, stats) = standardize_task(&train, &test);
+        // Train standardizes to ~0 mean; test does NOT (transform is fixed).
+        let train_stats = ChannelStats::of(&strain);
+        assert!(train_stats.mean[0].abs() < 1e-4);
+        let test_stats = ChannelStats::of(&stest);
+        assert!(test_stats.mean[0].abs() > 1.0);
+        assert_eq!(stats.mean.len(), 2);
+    }
+}

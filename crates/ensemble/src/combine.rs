@@ -1,0 +1,141 @@
+//! Ensemble combination rules: Ensemble Averaging, Voting, and the Oracle.
+//!
+//! These are three of the four inference methods the paper evaluates with
+//! (§3, "Evaluation metrics"); the fourth — the Super Learner — learns
+//! weights and lives in [`crate::super_learner`].
+
+use mn_tensor::{ops, Tensor};
+
+use crate::member::MemberPredictions;
+
+/// Ensemble Averaging (EA): the arithmetic mean of member probabilities.
+pub fn ensemble_average(preds: &MemberPredictions) -> Tensor {
+    let mut avg = Tensor::zeros([preds.num_examples(), preds.num_classes()]);
+    for p in preds.probs() {
+        avg.add_assign(p);
+    }
+    avg.scale(1.0 / preds.num_members() as f32);
+    avg
+}
+
+/// Hard labels from averaged probabilities.
+pub fn ensemble_average_labels(preds: &MemberPredictions) -> Vec<usize> {
+    ops::argmax_rows(&ensemble_average(preds))
+}
+
+/// Majority voting: each member casts its argmax; ties are broken by the
+/// summed probability of the tied classes.
+pub fn vote_labels(preds: &MemberPredictions) -> Vec<usize> {
+    let n = preds.num_examples();
+    let k = preds.num_classes();
+    let member_labels: Vec<Vec<usize>> =
+        preds.probs().iter().map(ops::argmax_rows).collect();
+    let avg = ensemble_average(preds);
+    (0..n)
+        .map(|i| {
+            let mut votes = vec![0usize; k];
+            for labels in &member_labels {
+                votes[labels[i]] += 1;
+            }
+            let max_votes = *votes.iter().max().expect("non-empty vote array");
+            // Tie-break among classes with max votes by mean probability.
+            let mut best = 0usize;
+            let mut best_prob = f32::NEG_INFINITY;
+            for c in 0..k {
+                if votes[c] == max_votes {
+                    let p = avg.at2(i, c);
+                    if p > best_prob {
+                        best_prob = p;
+                        best = c;
+                    }
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Oracle error rate: an item counts as correct if *any* member predicts it
+/// correctly. The paper uses this to measure how much the ensemble knows as
+/// a collection of specialists (Figure 10).
+///
+/// # Panics
+///
+/// Panics if `labels` length differs from the prediction count.
+pub fn oracle_error(preds: &MemberPredictions, labels: &[usize]) -> f32 {
+    let n = preds.num_examples();
+    assert_eq!(labels.len(), n, "labels length mismatch");
+    let member_labels: Vec<Vec<usize>> =
+        preds.probs().iter().map(ops::argmax_rows).collect();
+    let mut wrong = 0usize;
+    for (i, &label) in labels.iter().enumerate() {
+        let any_correct = member_labels.iter().any(|m| m[i] == label);
+        if !any_correct {
+            wrong += 1;
+        }
+    }
+    wrong as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::member::MemberPredictions;
+
+    fn preds_two_members() -> MemberPredictions {
+        // Two examples, three classes.
+        let a = Tensor::from_vec([2, 3], vec![0.8, 0.1, 0.1, 0.2, 0.7, 0.1]);
+        let b = Tensor::from_vec([2, 3], vec![0.6, 0.3, 0.1, 0.1, 0.2, 0.7]);
+        MemberPredictions::from_probs(vec![a, b])
+    }
+
+    #[test]
+    fn average_is_elementwise_mean() {
+        let avg = ensemble_average(&preds_two_members());
+        assert!((avg.at2(0, 0) - 0.7).abs() < 1e-6);
+        assert!((avg.at2(1, 2) - 0.4).abs() < 1e-6);
+        assert_eq!(ensemble_average_labels(&preds_two_members()), vec![0, 1]);
+    }
+
+    #[test]
+    fn vote_majority_wins() {
+        // Three members: two vote class 1, one votes class 0.
+        let m0 = Tensor::from_vec([1, 2], vec![0.9, 0.1]);
+        let m1 = Tensor::from_vec([1, 2], vec![0.2, 0.8]);
+        let m2 = Tensor::from_vec([1, 2], vec![0.4, 0.6]);
+        let preds = MemberPredictions::from_probs(vec![m0, m1, m2]);
+        assert_eq!(vote_labels(&preds), vec![1]);
+    }
+
+    #[test]
+    fn vote_tie_breaks_by_probability() {
+        // One member votes 0 confidently, one votes 1 weakly.
+        let m0 = Tensor::from_vec([1, 2], vec![0.95, 0.05]);
+        let m1 = Tensor::from_vec([1, 2], vec![0.45, 0.55]);
+        let preds = MemberPredictions::from_probs(vec![m0, m1]);
+        // Mean prob favors class 0 (0.70 vs 0.30).
+        assert_eq!(vote_labels(&preds), vec![0]);
+    }
+
+    #[test]
+    fn oracle_needs_only_one_correct_member() {
+        let preds = preds_two_members();
+        // Example 0: both predict 0. Example 1: member a predicts 1,
+        // member b predicts 2.
+        assert_eq!(oracle_error(&preds, &[0, 1]), 0.0);
+        assert_eq!(oracle_error(&preds, &[0, 2]), 0.0);
+        assert_eq!(oracle_error(&preds, &[1, 0]), 1.0);
+        assert_eq!(oracle_error(&preds, &[0, 0]), 0.5);
+    }
+
+    #[test]
+    fn oracle_never_worse_than_any_single_member() {
+        let preds = preds_two_members();
+        let labels = vec![0, 2];
+        let oracle = oracle_error(&preds, &labels);
+        for p in preds.probs() {
+            let member = mn_nn::metrics::error_rate(&ops::argmax_rows(p), &labels);
+            assert!(oracle <= member + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Ensemble diversity measures.
+//!
+//! The paper reads the improving oracle error of Figure 10 as evidence
+//! that "the overall diversity of the ensemble keeps on improving, i.e.,
+//! newly introduced networks provide different predictions from existing
+//! ones" (§3). These metrics quantify that directly:
+//!
+//! * [`pairwise_disagreement`] — the classic diversity measure: the mean,
+//!   over member pairs, of the fraction of examples on which the two
+//!   members predict different labels;
+//! * [`mean_prediction_entropy`] — the mean entropy of the per-example
+//!   vote distribution, 0 when all members always agree.
+
+use mn_tensor::ops;
+
+use crate::member::MemberPredictions;
+
+/// Mean pairwise disagreement rate in `[0, 1]`.
+///
+/// Returns 0 for a single-member ensemble (no pairs).
+pub fn pairwise_disagreement(preds: &MemberPredictions) -> f64 {
+    let m = preds.num_members();
+    if m < 2 {
+        return 0.0;
+    }
+    let labels: Vec<Vec<usize>> = preds.probs().iter().map(ops::argmax_rows).collect();
+    let n = preds.num_examples();
+    let mut total = 0.0f64;
+    let mut pairs = 0usize;
+    for i in 0..m {
+        for j in (i + 1)..m {
+            let disagree =
+                labels[i].iter().zip(&labels[j]).filter(|(a, b)| a != b).count();
+            total += disagree as f64 / n as f64;
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Mean (over examples) entropy of the member-vote distribution, in nats.
+///
+/// 0 when every member casts the same vote on every example; grows as the
+/// ensemble spreads its votes.
+pub fn mean_prediction_entropy(preds: &MemberPredictions) -> f64 {
+    let m = preds.num_members() as f64;
+    let k = preds.num_classes();
+    let n = preds.num_examples();
+    let labels: Vec<Vec<usize>> = preds.probs().iter().map(ops::argmax_rows).collect();
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let mut votes = vec![0usize; k];
+        for member in &labels {
+            votes[member[i]] += 1;
+        }
+        let mut h = 0.0f64;
+        for &v in &votes {
+            if v > 0 {
+                let p = v as f64 / m;
+                h -= p * p.ln();
+            }
+        }
+        total += h;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_tensor::Tensor;
+
+    fn one_hot(rows: &[usize], k: usize) -> Tensor {
+        let mut t = Tensor::zeros([rows.len(), k]);
+        for (i, &c) in rows.iter().enumerate() {
+            *t.at2_mut(i, c) = 1.0;
+        }
+        t
+    }
+
+    #[test]
+    fn identical_members_have_zero_diversity() {
+        let a = one_hot(&[0, 1, 2], 3);
+        let preds = MemberPredictions::from_probs(vec![a.clone(), a.clone(), a]);
+        assert_eq!(pairwise_disagreement(&preds), 0.0);
+        assert_eq!(mean_prediction_entropy(&preds), 0.0);
+    }
+
+    #[test]
+    fn fully_disagreeing_members() {
+        let a = one_hot(&[0, 0], 2);
+        let b = one_hot(&[1, 1], 2);
+        let preds = MemberPredictions::from_probs(vec![a, b]);
+        assert_eq!(pairwise_disagreement(&preds), 1.0);
+        // Two-way even split: entropy = ln 2.
+        assert!((mean_prediction_entropy(&preds) - (2.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_disagreement_is_fractional() {
+        let a = one_hot(&[0, 0, 0, 0], 2);
+        let b = one_hot(&[0, 0, 1, 1], 2);
+        let preds = MemberPredictions::from_probs(vec![a, b]);
+        assert!((pairwise_disagreement(&preds) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_member_is_degenerate() {
+        let preds = MemberPredictions::from_probs(vec![one_hot(&[0], 2)]);
+        assert_eq!(pairwise_disagreement(&preds), 0.0);
+        assert_eq!(mean_prediction_entropy(&preds), 0.0);
+    }
+
+    #[test]
+    fn disagreement_averages_over_pairs() {
+        // Three members: two identical, one fully different.
+        let a = one_hot(&[0, 0], 2);
+        let b = one_hot(&[0, 0], 2);
+        let c = one_hot(&[1, 1], 2);
+        let preds = MemberPredictions::from_probs(vec![a, b, c]);
+        // Pairs: (a,b)=0, (a,c)=1, (b,c)=1 -> mean 2/3.
+        assert!((pairwise_disagreement(&preds) - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,148 @@
+//! One-stop ensemble evaluation under all four inference methods.
+
+use mn_nn::metrics::error_rate;
+use mn_tensor::ops;
+
+use crate::combine::{ensemble_average_labels, oracle_error, vote_labels};
+use crate::member::{EnsembleMember, MemberPredictions};
+use crate::super_learner::{SuperLearner, SuperLearnerConfig};
+
+/// Test error rates of an ensemble under the paper's four inference
+/// methods, plus each member's individual error.
+#[derive(Clone, Debug)]
+pub struct EnsembleEvaluation {
+    /// Ensemble-averaging error.
+    pub ea_error: f32,
+    /// Majority-voting error.
+    pub vote_error: f32,
+    /// Super-learner error (weights fit on the validation set).
+    pub sl_error: f32,
+    /// Oracle error.
+    pub oracle_error: f32,
+    /// Individual member errors, in member order.
+    pub member_errors: Vec<f32>,
+    /// The fitted super-learner weights.
+    pub sl_weights: Vec<f32>,
+}
+
+impl EnsembleEvaluation {
+    /// The best (lowest) combined error across EA / Vote / SL.
+    pub fn best_combined(&self) -> f32 {
+        self.ea_error.min(self.vote_error).min(self.sl_error)
+    }
+
+    /// Mean individual member error.
+    pub fn mean_member_error(&self) -> f32 {
+        self.member_errors.iter().sum::<f32>() / self.member_errors.len() as f32
+    }
+}
+
+/// Evaluates pre-collected test/validation predictions.
+///
+/// The super learner is fit on `(val_preds, val_labels)` and applied to the
+/// test predictions, mirroring proper stacked generalization (no test
+/// leakage).
+///
+/// # Panics
+///
+/// Panics on label/prediction count mismatches.
+pub fn evaluate_predictions(
+    test_preds: &MemberPredictions,
+    test_labels: &[usize],
+    val_preds: &MemberPredictions,
+    val_labels: &[usize],
+) -> EnsembleEvaluation {
+    assert_eq!(
+        test_preds.num_members(),
+        val_preds.num_members(),
+        "test/val member counts differ"
+    );
+    let sl = SuperLearner::fit(val_preds, val_labels, &SuperLearnerConfig::default());
+    let member_errors = test_preds
+        .probs()
+        .iter()
+        .map(|p| error_rate(&ops::argmax_rows(p), test_labels))
+        .collect();
+    EnsembleEvaluation {
+        ea_error: error_rate(&ensemble_average_labels(test_preds), test_labels),
+        vote_error: error_rate(&vote_labels(test_preds), test_labels),
+        sl_error: error_rate(&sl.predict(test_preds), test_labels),
+        oracle_error: oracle_error(test_preds, test_labels),
+        member_errors,
+        sl_weights: sl.weights().to_vec(),
+    }
+}
+
+/// Convenience wrapper: collects predictions from members and evaluates.
+///
+/// # Panics
+///
+/// As [`evaluate_predictions`]; additionally panics if `members` is empty.
+pub fn evaluate_members(
+    members: &mut [EnsembleMember],
+    x_test: &mn_tensor::Tensor,
+    test_labels: &[usize],
+    x_val: &mn_tensor::Tensor,
+    val_labels: &[usize],
+    batch_size: usize,
+) -> EnsembleEvaluation {
+    let test_preds = MemberPredictions::collect(members, x_test, batch_size);
+    let val_preds = MemberPredictions::collect(members, x_val, batch_size);
+    evaluate_predictions(&test_preds, test_labels, &val_preds, val_labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_tensor::Tensor;
+
+    fn synthetic_preds() -> (MemberPredictions, Vec<usize>) {
+        // 4 examples, 2 classes; member 0 gets 3/4 right, member 1 gets
+        // 2/4 right with different mistakes.
+        let m0 = Tensor::from_vec(
+            [4, 2],
+            vec![0.9, 0.1, 0.8, 0.2, 0.3, 0.7, 0.4, 0.6],
+        );
+        let m1 = Tensor::from_vec(
+            [4, 2],
+            vec![0.2, 0.8, 0.7, 0.3, 0.6, 0.4, 0.2, 0.8],
+        );
+        let labels = vec![0, 0, 1, 1];
+        (MemberPredictions::from_probs(vec![m0, m1]), labels)
+    }
+
+    #[test]
+    fn evaluation_fields_consistent() {
+        let (preds, labels) = synthetic_preds();
+        let eval = evaluate_predictions(&preds, &labels, &preds, &labels);
+        // member 0 errs on example 3... check expected values:
+        // m0 argmax: [0, 0, 1, 1] -> 0 errors.
+        // m1 argmax: [1, 0, 0, 1] -> 2 errors.
+        assert_eq!(eval.member_errors, vec![0.0, 0.5]);
+        // Oracle: every example has a correct member.
+        assert_eq!(eval.oracle_error, 0.0);
+        assert!(eval.best_combined() <= 0.5);
+        assert!((eval.mean_member_error() - 0.25).abs() < 1e-6);
+        let wsum: f32 = eval.sl_weights.iter().sum();
+        assert!((wsum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn oracle_bounds_all_methods() {
+        let (preds, labels) = synthetic_preds();
+        let eval = evaluate_predictions(&preds, &labels, &preds, &labels);
+        assert!(eval.oracle_error <= eval.ea_error + 1e-6);
+        assert!(eval.oracle_error <= eval.vote_error + 1e-6);
+        assert!(eval.oracle_error <= eval.sl_error + 1e-6);
+    }
+
+    #[test]
+    fn sl_beats_or_matches_uniform_when_members_unequal() {
+        let (preds, labels) = synthetic_preds();
+        let eval = evaluate_predictions(&preds, &labels, &preds, &labels);
+        // SL fit on the same data must be at least as good as EA here.
+        assert!(eval.sl_error <= eval.ea_error + 1e-6);
+        // And it should put more weight on the stronger member 0.
+        assert!(eval.sl_weights[0] > eval.sl_weights[1]);
+    }
+}

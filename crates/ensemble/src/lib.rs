@@ -1,0 +1,42 @@
+//! # mn-ensemble
+//!
+//! Ensemble inference for the MotherNets reproduction: the four methods the
+//! paper evaluates trained ensembles with (§3, "Evaluation metrics"):
+//!
+//! * **Ensemble Averaging (EA)** — mean of member probabilities
+//!   ([`combine::ensemble_average`]);
+//! * **Voting** — majority vote with probability tie-breaking
+//!   ([`combine::vote_labels`]);
+//! * **Super Learner (SL)** — a convex combination of members with weights
+//!   fit on validation data ([`super_learner::SuperLearner`]);
+//! * **Oracle (O)** — correct if any member is correct
+//!   ([`combine::oracle_error`]), the specialist-knowledge measure of the
+//!   paper's Figure 10.
+//!
+//! [`evaluate::evaluate_members`] runs all four at once.
+//!
+//! ## Example
+//!
+//! ```
+//! use mn_ensemble::member::MemberPredictions;
+//! use mn_ensemble::evaluate::evaluate_predictions;
+//! use mn_tensor::Tensor;
+//!
+//! let m0 = Tensor::from_vec([2, 2], vec![0.9, 0.1, 0.2, 0.8]);
+//! let m1 = Tensor::from_vec([2, 2], vec![0.7, 0.3, 0.4, 0.6]);
+//! let preds = MemberPredictions::from_probs(vec![m0, m1]);
+//! let labels = vec![0, 1];
+//! let eval = evaluate_predictions(&preds, &labels, &preds, &labels);
+//! assert_eq!(eval.ea_error, 0.0);
+//! assert_eq!(eval.oracle_error, 0.0);
+//! ```
+
+pub mod combine;
+pub mod diversity;
+pub mod evaluate;
+pub mod member;
+pub mod super_learner;
+
+pub use evaluate::{evaluate_members, evaluate_predictions, EnsembleEvaluation};
+pub use member::{EnsembleMember, MemberPredictions};
+pub use super_learner::{SuperLearner, SuperLearnerConfig};

@@ -1,0 +1,179 @@
+//! The Super Learner (SL): stacked generalization with learned
+//! non-negative member weights (van der Laan et al.), one of the paper's
+//! four inference methods.
+//!
+//! The combiner predicts `p = Σ_m w_m p_m` with `w = softmax(α)`; the
+//! logits `α` are fit by gradient descent on the negative log-likelihood of
+//! a held-out validation set. Softmax parameterization keeps the weights on
+//! the simplex, which is the standard convex-combination super learner.
+
+use mn_tensor::Tensor;
+
+use crate::member::MemberPredictions;
+
+/// Hyper-parameters for fitting a [`SuperLearner`].
+#[derive(Clone, Copy, Debug)]
+pub struct SuperLearnerConfig {
+    /// Gradient-descent steps.
+    pub steps: usize,
+    /// Learning rate on the weight logits.
+    pub lr: f32,
+}
+
+impl Default for SuperLearnerConfig {
+    fn default() -> Self {
+        SuperLearnerConfig { steps: 300, lr: 0.5 }
+    }
+}
+
+/// A fitted super learner: a convex combination of ensemble members.
+#[derive(Clone, Debug)]
+pub struct SuperLearner {
+    weights: Vec<f32>,
+}
+
+impl SuperLearner {
+    /// Uniform weights (equivalent to ensemble averaging) — the starting
+    /// point of fitting and a sensible fallback.
+    pub fn uniform(num_members: usize) -> Self {
+        assert!(num_members > 0, "need at least one member");
+        SuperLearner { weights: vec![1.0 / num_members as f32; num_members] }
+    }
+
+    /// Fits member weights on validation predictions and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` length does not match the prediction count.
+    pub fn fit(
+        val_preds: &MemberPredictions,
+        labels: &[usize],
+        cfg: &SuperLearnerConfig,
+    ) -> Self {
+        let n = val_preds.num_examples();
+        let k = val_preds.num_classes();
+        let m = val_preds.num_members();
+        assert_eq!(labels.len(), n, "labels length mismatch");
+
+        let mut alpha = vec![0.0f32; m];
+        for _ in 0..cfg.steps {
+            let w = softmax(&alpha);
+            // Combined probability of the true label per example.
+            // dL/dw_j = -(1/N) Σ_i p_j(y_i) / p(y_i)
+            let mut grad_w = vec![0.0f32; m];
+            for (i, &label) in labels.iter().enumerate() {
+                let mut p_true = 0.0f32;
+                for (j, probs) in val_preds.probs().iter().enumerate() {
+                    p_true += w[j] * probs.data()[i * k + label];
+                }
+                let p_true = p_true.max(1e-9);
+                for (j, probs) in val_preds.probs().iter().enumerate() {
+                    grad_w[j] -= probs.data()[i * k + label] / p_true;
+                }
+            }
+            let inv_n = 1.0 / n as f32;
+            grad_w.iter_mut().for_each(|g| *g *= inv_n);
+            // Chain through softmax: dL/dα_j = w_j (g_j − Σ_m w_m g_m).
+            let dot: f32 = w.iter().zip(&grad_w).map(|(a, b)| a * b).sum();
+            for j in 0..m {
+                alpha[j] -= cfg.lr * w[j] * (grad_w[j] - dot);
+            }
+        }
+        SuperLearner { weights: softmax(&alpha) }
+    }
+
+    /// The fitted convex weights (sum to 1).
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Combines member predictions with the fitted weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the member count differs from the fitted weights.
+    pub fn combine(&self, preds: &MemberPredictions) -> Tensor {
+        assert_eq!(
+            preds.num_members(),
+            self.weights.len(),
+            "member count does not match fitted weights"
+        );
+        let mut out = Tensor::zeros([preds.num_examples(), preds.num_classes()]);
+        for (w, p) in self.weights.iter().zip(preds.probs()) {
+            out.axpy(*w, p);
+        }
+        out
+    }
+
+    /// Hard labels from the weighted combination.
+    pub fn predict(&self, preds: &MemberPredictions) -> Vec<usize> {
+        mn_tensor::ops::argmax_rows(&self.combine(preds))
+    }
+}
+
+fn softmax(alpha: &[f32]) -> Vec<f32> {
+    let max = alpha.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = alpha.iter().map(|a| (a - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Member 0 is always right, member 1 always wrong: fitting must put
+    /// nearly all weight on member 0.
+    #[test]
+    fn fit_upweights_the_good_member() {
+        let good = Tensor::from_vec([4, 2], vec![0.9, 0.1, 0.9, 0.1, 0.1, 0.9, 0.1, 0.9]);
+        let bad = Tensor::from_vec([4, 2], vec![0.1, 0.9, 0.1, 0.9, 0.9, 0.1, 0.9, 0.1]);
+        let preds = MemberPredictions::from_probs(vec![good, bad]);
+        let labels = vec![0, 0, 1, 1];
+        let sl = SuperLearner::fit(&preds, &labels, &SuperLearnerConfig::default());
+        assert!(sl.weights()[0] > 0.9, "weights: {:?}", sl.weights());
+        assert_eq!(sl.predict(&preds), labels);
+    }
+
+    #[test]
+    fn weights_stay_on_simplex() {
+        let a = Tensor::filled([3, 2], 0.5);
+        let b = Tensor::filled([3, 2], 0.5);
+        let preds = MemberPredictions::from_probs(vec![a, b]);
+        let sl = SuperLearner::fit(&preds, &[0, 1, 0], &SuperLearnerConfig::default());
+        let sum: f32 = sl.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(sl.weights().iter().all(|&w| w >= 0.0));
+    }
+
+    #[test]
+    fn uniform_equals_ensemble_average() {
+        let a = Tensor::from_vec([1, 2], vec![0.8, 0.2]);
+        let b = Tensor::from_vec([1, 2], vec![0.4, 0.6]);
+        let preds = MemberPredictions::from_probs(vec![a, b]);
+        let sl = SuperLearner::uniform(2);
+        let combined = sl.combine(&preds);
+        assert!((combined.at2(0, 0) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sl_never_much_worse_than_best_member_on_val() {
+        // Fit on a set where member 1 is better; SL val accuracy must be at
+        // least member 1's.
+        let m0 = Tensor::from_vec([4, 2], vec![0.6, 0.4, 0.4, 0.6, 0.6, 0.4, 0.6, 0.4]);
+        let m1 = Tensor::from_vec([4, 2], vec![0.9, 0.1, 0.9, 0.1, 0.1, 0.9, 0.1, 0.9]);
+        let labels = vec![0, 0, 1, 1];
+        let preds = MemberPredictions::from_probs(vec![m0, m1]);
+        let sl = SuperLearner::fit(&preds, &labels, &SuperLearnerConfig::default());
+        let sl_err = mn_nn::metrics::error_rate(&sl.predict(&preds), &labels);
+        assert_eq!(sl_err, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match fitted weights")]
+    fn combine_validates_member_count() {
+        let preds =
+            MemberPredictions::from_probs(vec![Tensor::filled([1, 2], 0.5)]);
+        SuperLearner::uniform(3).combine(&preds);
+    }
+}

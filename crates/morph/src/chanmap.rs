@@ -1,0 +1,226 @@
+//! Channel mappings: the bookkeeping that makes widening exact.
+//!
+//! When a layer is widened by replication (Net2Net/Network-Morphism style),
+//! every channel of the widened network carries the value of *some* channel
+//! of the source network. A [`ChannelMap`] records that correspondence
+//! (`target channel → source channel`) together with the replica count of
+//! every source channel, which is exactly the information the next consumer
+//! layer needs to rescale its incoming weights so that the overall function
+//! is unchanged:
+//!
+//! ```text
+//! W'[j, c] = W[m_out(j), m_in(c)] / replicas(m_in(c))
+//! ```
+
+use std::fmt;
+
+/// A mapping from the channels (or flat features) of a widened tensor to
+/// the channels of its source tensor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChannelMap {
+    map: Vec<usize>,
+    replicas: Vec<usize>,
+}
+
+impl ChannelMap {
+    /// Builds a map from an explicit `target → source` table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is `>= source_len`, if `map` is empty, or if some
+    /// source channel has no replica (every source channel must survive —
+    /// widening never drops channels).
+    pub fn from_map(map: Vec<usize>, source_len: usize) -> Self {
+        assert!(!map.is_empty(), "channel map cannot be empty");
+        let mut replicas = vec![0usize; source_len];
+        for &s in &map {
+            assert!(s < source_len, "map entry {s} out of range for source {source_len}");
+            replicas[s] += 1;
+        }
+        assert!(
+            replicas.iter().all(|&r| r > 0),
+            "every source channel must be mapped at least once"
+        );
+        ChannelMap { map, replicas }
+    }
+
+    /// The identity map over `n` channels (no widening).
+    pub fn identity(n: usize) -> Self {
+        ChannelMap::from_map((0..n).collect(), n)
+    }
+
+    /// The canonical widening map: `target_len >= source_len`, new channels
+    /// replicate sources round-robin (`m(j) = j mod source_len`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_len < source_len` or `source_len == 0`.
+    pub fn round_robin(source_len: usize, target_len: usize) -> Self {
+        assert!(source_len > 0, "source must be non-empty");
+        assert!(
+            target_len >= source_len,
+            "round_robin cannot shrink: {source_len} -> {target_len}"
+        );
+        ChannelMap::from_map((0..target_len).map(|j| j % source_len).collect(), source_len)
+    }
+
+    /// Number of target channels.
+    pub fn target_len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Number of source channels.
+    pub fn source_len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Source channel carried by target channel `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    pub fn source_of(&self, t: usize) -> usize {
+        self.map[t]
+    }
+
+    /// Number of target replicas of source channel `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn replicas_of(&self, s: usize) -> usize {
+        self.replicas[s]
+    }
+
+    /// The incoming-weight scale for target channel `t`:
+    /// `1 / replicas(source_of(t))`.
+    pub fn scale_of(&self, t: usize) -> f32 {
+        1.0 / self.replicas[self.map[t]] as f32
+    }
+
+    /// Whether this map is the identity (no widening happened).
+    pub fn is_identity(&self) -> bool {
+        self.source_len() == self.target_len()
+            && self.map.iter().enumerate().all(|(i, &s)| i == s)
+    }
+
+    /// Expands a per-channel map into a per-feature map after flattening
+    /// `[C, H, W] → [C·H·W]`: feature `(c, p)` maps to `(source(c), p)`.
+    pub fn expand_per_position(&self, positions: usize) -> ChannelMap {
+        assert!(positions > 0, "positions must be positive");
+        let mut map = Vec::with_capacity(self.target_len() * positions);
+        for &s in &self.map {
+            for p in 0..positions {
+                map.push(s * positions + p);
+            }
+        }
+        ChannelMap::from_map(map, self.source_len() * positions)
+    }
+
+    /// The map produced by a *duplication layer* that copies target channel
+    /// `pick[j]` of this map's target side to its own output `j`: the new
+    /// map sends `j` to `self.source_of(pick[j])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any pick index is out of range or if the picks do not
+    /// cover every source channel.
+    pub fn select(&self, pick: &[usize]) -> ChannelMap {
+        let map = pick
+            .iter()
+            .map(|&t| {
+                assert!(t < self.target_len(), "pick {t} out of range");
+                self.map[t]
+            })
+            .collect();
+        ChannelMap::from_map(map, self.source_len())
+    }
+}
+
+impl fmt::Display for ChannelMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChannelMap({} -> {})", self.source_len(), self.target_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let m = ChannelMap::identity(4);
+        assert!(m.is_identity());
+        assert_eq!(m.target_len(), 4);
+        assert_eq!(m.source_len(), 4);
+        assert_eq!(m.scale_of(2), 1.0);
+    }
+
+    #[test]
+    fn round_robin_replication() {
+        let m = ChannelMap::round_robin(3, 7);
+        assert_eq!(m.source_of(0), 0);
+        assert_eq!(m.source_of(3), 0);
+        assert_eq!(m.source_of(6), 0);
+        assert_eq!(m.source_of(4), 1);
+        assert_eq!(m.replicas_of(0), 3);
+        assert_eq!(m.replicas_of(1), 2);
+        assert_eq!(m.replicas_of(2), 2);
+        assert!((m.scale_of(0) - 1.0 / 3.0).abs() < 1e-6);
+        assert!(!m.is_identity());
+    }
+
+    #[test]
+    fn scales_sum_to_one_per_source() {
+        // Key invariant: the total contribution of each source channel's
+        // replicas, each scaled by 1/replicas, is exactly 1.
+        let m = ChannelMap::round_robin(4, 11);
+        for s in 0..4 {
+            let sum: f32 =
+                (0..11).filter(|&t| m.source_of(t) == s).map(|t| m.scale_of(t)).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn round_robin_rejects_shrink() {
+        ChannelMap::round_robin(4, 3);
+    }
+
+    #[test]
+    fn expand_per_position_layout() {
+        let m = ChannelMap::round_robin(2, 3); // [0, 1, 0]
+        let f = m.expand_per_position(2);
+        // target features: c0(p0,p1), c1(p0,p1), c2(p0,p1)
+        // sources:         0,1,        2,3,       0,1
+        assert_eq!(f.target_len(), 6);
+        assert_eq!(f.source_len(), 4);
+        assert_eq!(f.source_of(0), 0);
+        assert_eq!(f.source_of(1), 1);
+        assert_eq!(f.source_of(2), 2);
+        assert_eq!(f.source_of(4), 0);
+        assert_eq!(f.replicas_of(0), 2);
+        assert_eq!(f.replicas_of(2), 1);
+    }
+
+    #[test]
+    fn select_composes_duplication() {
+        let m = ChannelMap::round_robin(2, 3); // sources [0, 1, 0]
+        // A duplication layer with 4 outputs picking inputs [0, 1, 2, 0].
+        let d = m.select(&[0, 1, 2, 0]);
+        assert_eq!(d.target_len(), 4);
+        assert_eq!(d.source_len(), 2);
+        assert_eq!(d.source_of(0), 0);
+        assert_eq!(d.source_of(1), 1);
+        assert_eq!(d.source_of(2), 0);
+        assert_eq!(d.source_of(3), 0);
+        assert_eq!(d.replicas_of(0), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mapped at least once")]
+    fn from_map_requires_coverage() {
+        ChannelMap::from_map(vec![0, 0], 2);
+    }
+}

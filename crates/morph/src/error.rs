@@ -1,0 +1,81 @@
+//! Error type of the morphism engine.
+
+use std::fmt;
+
+use mn_nn::arch::ArchError;
+
+/// Why a morphism could not be performed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MorphError {
+    /// Source and target cannot be related by function-preserving
+    /// transformations (e.g. the target is *smaller* somewhere, or the
+    /// families differ).
+    NotExpandable {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The target architecture is itself malformed.
+    InvalidTarget(ArchError),
+    /// The source network's node sequence did not have the expected shape
+    /// (it was not produced by the standard builder).
+    StructureMismatch {
+        /// What the walker expected next.
+        expected: String,
+        /// What it found.
+        found: String,
+    },
+    /// An index passed to a single-transformation helper was out of range.
+    BadIndex {
+        /// Which index space.
+        what: String,
+        /// The offending index.
+        index: usize,
+        /// The number of valid entries.
+        len: usize,
+    },
+}
+
+impl fmt::Display for MorphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MorphError::NotExpandable { reason } => {
+                write!(f, "target not reachable by function-preserving transformations: {reason}")
+            }
+            MorphError::InvalidTarget(e) => write!(f, "invalid target architecture: {e}"),
+            MorphError::StructureMismatch { expected, found } => {
+                write!(f, "source structure mismatch: expected {expected}, found {found}")
+            }
+            MorphError::BadIndex { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MorphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MorphError::InvalidTarget(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for MorphError {
+    fn from(e: ArchError) -> Self {
+        MorphError::InvalidTarget(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MorphError::NotExpandable { reason: "shrinks block 2".into() };
+        assert!(e.to_string().contains("shrinks block 2"));
+        let e = MorphError::BadIndex { what: "block".into(), index: 5, len: 3 };
+        assert!(e.to_string().contains("5"));
+    }
+}

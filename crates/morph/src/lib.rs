@@ -1,0 +1,66 @@
+//! # mn-morph
+//!
+//! Function-preserving network transformations (network morphism) for the
+//! MotherNets reproduction — the *hatching* mechanism of the paper.
+//!
+//! The paper (§2, Figure 3) uses three classes of transformations to grow a
+//! trained MotherNet into each ensemble member while preserving the learned
+//! function:
+//!
+//! 1. **Deepening** — inserting identity layers ([`ops::deepen_block`],
+//!    [`ops::add_dense_layer`], [`ops::add_residual_units`]);
+//! 2. **Widening** — replicating units/filters and rescaling consumers
+//!    ([`ops::widen_conv_layer`], [`ops::widen_dense_layer`],
+//!    [`ops::widen_stage`]);
+//! 3. **Filter growth** — zero-padding convolution kernels
+//!    ([`ops::expand_conv_kernel`]).
+//!
+//! The workhorse is [`morph::morph_to`], which hatches an entire target
+//! architecture from a source network in a single lockstep pass — the
+//! paper's "hatching … requires a single pass on the MotherNet" (§2.2). The
+//! transformation arithmetic lives in [`transfer`]; the channel-replication
+//! bookkeeping that makes widening exact lives in [`chanmap`].
+//!
+//! ## Example: hatch a wider, deeper network
+//!
+//! ```
+//! use mn_morph::morph::morph_to;
+//! use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
+//! use mn_nn::{Mode, Network};
+//! use mn_tensor::{assert_close, Tensor, PRESERVATION_TOLERANCE};
+//!
+//! let small = Architecture::plain(
+//!     "mothernet",
+//!     InputSpec::new(3, 8, 8),
+//!     10,
+//!     vec![ConvBlockSpec::repeated(3, 4, 1)],
+//!     vec![16],
+//! );
+//! let big = Architecture::plain(
+//!     "member",
+//!     InputSpec::new(3, 8, 8),
+//!     10,
+//!     vec![ConvBlockSpec::repeated(3, 8, 2)],
+//!     vec![32],
+//! );
+//! let mut mother = Network::seeded(&small, 7);
+//! let mut hatched = morph_to(&mother, &big).unwrap();
+//!
+//! // The hatched network computes the same function (eval mode).
+//! let x = Tensor::randn([4, 3, 8, 8], 1.0, &mut rand::thread_rng());
+//! let before = mother.forward(&x, Mode::Eval);
+//! let after = hatched.forward(&x, Mode::Eval);
+//! assert_close(before.data(), after.data(), PRESERVATION_TOLERANCE);
+//! ```
+
+pub mod chanmap;
+pub mod error;
+pub mod morph;
+pub mod ops;
+pub mod plan;
+pub mod transfer;
+
+pub use chanmap::ChannelMap;
+pub use error::MorphError;
+pub use morph::{check_compatible, morph_to, morph_to_with, MorphOptions};
+pub use plan::MorphPlan;

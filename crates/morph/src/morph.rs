@@ -1,0 +1,525 @@
+//! `morph_to`: hatch a target architecture from a trained source network in
+//! one pass.
+//!
+//! The paper hatches every ensemble member from the trained MotherNet by a
+//! sequence of function-preserving transformations (§2.2, "Hatching
+//! ensemble networks … requires a single pass on the MotherNet"). This
+//! module implements hatching as exactly that: a single lockstep walk over
+//! the source network and the target architecture, emitting each target
+//! layer with weights produced by the transfer rules of [`crate::transfer`].
+//!
+//! Function preservation is **exact in eval mode** (batch statistics frozen)
+//! and exact in train mode for all transformations except inserted
+//! batch-norm layers, which normalize by live batch statistics. The
+//! integration tests assert eval-mode preservation to
+//! [`mn_tensor::PRESERVATION_TOLERANCE`].
+
+use mn_nn::arch::{Architecture, Body};
+use mn_nn::layers::{BatchNorm, BnLayout, ConvLayer, DenseLayer, ResidualUnit};
+use mn_nn::layers::{FlattenLayer, GlobalAvgPoolLayer, MaxPoolLayer, ReluLayer};
+use mn_nn::{LayerNode, Network};
+use mn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::chanmap::ChannelMap;
+use crate::error::MorphError;
+use crate::transfer::{
+    duplication_conv, duplication_dense, transfer_batchnorm, transfer_conv, transfer_dense,
+};
+
+/// Options controlling a hatch.
+#[derive(Clone, Copy, Debug)]
+pub struct MorphOptions {
+    /// Standard deviation of Gaussian noise added to transferred weights.
+    ///
+    /// Zero (the default) gives exact function preservation; a small
+    /// positive value breaks the symmetry between replicated channels so
+    /// that the widened capacity can be used during further training
+    /// (Net2Net practice). Applied to convolution and dense weights only.
+    pub noise_std: f32,
+    /// RNG seed for noise and for the randomly initialized halves of
+    /// inserted residual units.
+    pub seed: u64,
+}
+
+impl Default for MorphOptions {
+    fn default() -> Self {
+        MorphOptions { noise_std: 0.0, seed: 0x5eed }
+    }
+}
+
+impl MorphOptions {
+    /// Exact preservation (no noise) — the default.
+    pub fn exact() -> Self {
+        MorphOptions::default()
+    }
+
+    /// Symmetry-breaking noise with the given standard deviation.
+    pub fn with_noise(noise_std: f32, seed: u64) -> Self {
+        MorphOptions { noise_std, seed }
+    }
+}
+
+/// Hatches a network with `target` architecture from `source`, preserving
+/// the source's function exactly (eval mode).
+///
+/// # Errors
+///
+/// Returns [`MorphError`] if the target is invalid, belongs to a different
+/// family, or is not reachable by function-preserving *expansion* (it
+/// shrinks the source somewhere).
+pub fn morph_to(source: &Network, target: &Architecture) -> Result<Network, MorphError> {
+    morph_to_with(source, target, &MorphOptions::exact())
+}
+
+/// [`morph_to`] with explicit [`MorphOptions`].
+///
+/// # Errors
+///
+/// As [`morph_to`].
+pub fn morph_to_with(
+    source: &Network,
+    target: &Architecture,
+    opts: &MorphOptions,
+) -> Result<Network, MorphError> {
+    check_compatible(source.arch(), target)?;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    fn jitter(w: &mut Tensor, noise_std: f32, rng: &mut StdRng) {
+        if noise_std > 0.0 {
+            let noise = Tensor::randn(w.shape().dims().to_vec(), noise_std, rng);
+            w.add_assign(&noise);
+        }
+    }
+
+    let mut cursor = Cursor::new(source.nodes());
+    let mut nodes: Vec<LayerNode> = Vec::new();
+    let s_arch = source.arch();
+
+    match (&s_arch.body, &target.body) {
+        (Body::Mlp { hidden: sh }, Body::Mlp { hidden: th }) => {
+            cursor.flatten()?;
+            nodes.push(LayerNode::Flatten(FlattenLayer::new()));
+            let in_features = target.input.channels * target.input.height * target.input.width;
+            let mut m = ChannelMap::identity(in_features);
+            for (di, &t_units) in th.iter().enumerate() {
+                if di < sh.len() {
+                    let src = cursor.dense()?;
+                    cursor.relu()?;
+                    let m_out = ChannelMap::round_robin(sh[di], t_units);
+                    let (mut w, b) =
+                        transfer_dense(&src.weight.value, &src.bias.value, &m, &m_out);
+                    jitter(&mut w, opts.noise_std, &mut rng);
+                    nodes.push(LayerNode::Dense(DenseLayer::from_params(w, b)));
+                    nodes.push(LayerNode::Relu(ReluLayer::new()));
+                    m = m_out;
+                } else {
+                    let (mut w, b, m_out) = duplication_dense(&m, t_units);
+                    jitter(&mut w, opts.noise_std, &mut rng);
+                    nodes.push(LayerNode::Dense(DenseLayer::from_params(w, b)));
+                    nodes.push(LayerNode::Relu(ReluLayer::new()));
+                    m = m_out;
+                }
+            }
+            let src = cursor.dense()?;
+            let m_out = ChannelMap::identity(target.num_classes);
+            let (mut w, b) = transfer_dense(&src.weight.value, &src.bias.value, &m, &m_out);
+            jitter(&mut w, opts.noise_std, &mut rng);
+            nodes.push(LayerNode::Dense(DenseLayer::from_params(w, b)));
+        }
+        (Body::Plain { blocks: sb, dense: sd }, Body::Plain { blocks: tb, dense: td }) => {
+            let mut m = ChannelMap::identity(target.input.channels);
+            for (sblock, tblock) in sb.iter().zip(tb.iter()) {
+                for (li, tl) in tblock.layers.iter().enumerate() {
+                    if li < sblock.layers.len() {
+                        let src_conv = cursor.conv()?;
+                        let src_bn = cursor.bn()?;
+                        cursor.relu()?;
+                        let m_out =
+                            ChannelMap::round_robin(sblock.layers[li].filters, tl.filters);
+                        let (mut w, b) = transfer_conv(
+                            &src_conv.weight.value,
+                            &src_conv.bias.value,
+                            &m,
+                            &m_out,
+                            tl.filter_size,
+                        );
+                        jitter(&mut w, opts.noise_std, &mut rng);
+                        nodes.push(LayerNode::Conv(ConvLayer::from_params(w, b)));
+                        nodes.push(LayerNode::BatchNorm(transfer_batchnorm(
+                            src_bn,
+                            &m_out,
+                            BnLayout::Spatial,
+                        )));
+                        nodes.push(LayerNode::Relu(ReluLayer::new()));
+                        m = m_out;
+                    } else {
+                        let (mut w, b, m_out) =
+                            duplication_conv(&m, tl.filters, tl.filter_size);
+                        jitter(&mut w, opts.noise_std, &mut rng);
+                        nodes.push(LayerNode::Conv(ConvLayer::from_params(w, b)));
+                        nodes.push(LayerNode::BatchNorm(BatchNorm::identity(
+                            tl.filters,
+                            BnLayout::Spatial,
+                        )));
+                        nodes.push(LayerNode::Relu(ReluLayer::new()));
+                        m = m_out;
+                    }
+                }
+                cursor.maxpool()?;
+                nodes.push(LayerNode::MaxPool(MaxPoolLayer::new()));
+            }
+            cursor.flatten()?;
+            nodes.push(LayerNode::Flatten(FlattenLayer::new()));
+            let (h, w_sp) = target.spatial_after_body();
+            let mut m = m.expand_per_position(h * w_sp);
+            for (di, &t_units) in td.iter().enumerate() {
+                if di < sd.len() {
+                    let src = cursor.dense()?;
+                    cursor.relu()?;
+                    let m_out = ChannelMap::round_robin(sd[di], t_units);
+                    let (mut w, b) =
+                        transfer_dense(&src.weight.value, &src.bias.value, &m, &m_out);
+                    jitter(&mut w, opts.noise_std, &mut rng);
+                    nodes.push(LayerNode::Dense(DenseLayer::from_params(w, b)));
+                    nodes.push(LayerNode::Relu(ReluLayer::new()));
+                    m = m_out;
+                } else {
+                    let (mut w, b, m_out) = duplication_dense(&m, t_units);
+                    jitter(&mut w, opts.noise_std, &mut rng);
+                    nodes.push(LayerNode::Dense(DenseLayer::from_params(w, b)));
+                    nodes.push(LayerNode::Relu(ReluLayer::new()));
+                    m = m_out;
+                }
+            }
+            let src = cursor.dense()?;
+            let m_out = ChannelMap::identity(target.num_classes);
+            let (mut w, b) = transfer_dense(&src.weight.value, &src.bias.value, &m, &m_out);
+            jitter(&mut w, opts.noise_std, &mut rng);
+            nodes.push(LayerNode::Dense(DenseLayer::from_params(w, b)));
+        }
+        (Body::Residual { blocks: sb }, Body::Residual { blocks: tb }) => {
+            // Stem.
+            let src_conv = cursor.conv()?;
+            let src_bn = cursor.bn()?;
+            cursor.relu()?;
+            let mut m_prev = ChannelMap::identity(target.input.channels);
+            let m_stem = ChannelMap::round_robin(sb[0].filters, tb[0].filters);
+            let (mut w, b) = transfer_conv(
+                &src_conv.weight.value,
+                &src_conv.bias.value,
+                &m_prev,
+                &m_stem,
+                3,
+            );
+            jitter(&mut w, opts.noise_std, &mut rng);
+            nodes.push(LayerNode::Conv(ConvLayer::from_params(w, b)));
+            nodes.push(LayerNode::BatchNorm(transfer_batchnorm(
+                src_bn,
+                &m_stem,
+                BnLayout::Spatial,
+            )));
+            nodes.push(LayerNode::Relu(ReluLayer::new()));
+            m_prev = m_stem;
+
+            for (bi, (sblock, tblock)) in sb.iter().zip(tb.iter()).enumerate() {
+                if bi > 0 {
+                    cursor.maxpool()?;
+                    nodes.push(LayerNode::MaxPool(MaxPoolLayer::new()));
+                }
+                // Transition (1x1) — present in every stage by construction.
+                let src_conv = cursor.conv()?;
+                let src_bn = cursor.bn()?;
+                cursor.relu()?;
+                let m_stage = ChannelMap::round_robin(sblock.filters, tblock.filters);
+                let (mut w, b) = transfer_conv(
+                    &src_conv.weight.value,
+                    &src_conv.bias.value,
+                    &m_prev,
+                    &m_stage,
+                    1,
+                );
+                jitter(&mut w, opts.noise_std, &mut rng);
+                nodes.push(LayerNode::Conv(ConvLayer::from_params(w, b)));
+                nodes.push(LayerNode::BatchNorm(transfer_batchnorm(
+                    src_bn,
+                    &m_stage,
+                    BnLayout::Spatial,
+                )));
+                nodes.push(LayerNode::Relu(ReluLayer::new()));
+
+                for u in 0..tblock.units {
+                    if u < sblock.units {
+                        let src_unit = cursor.residual()?;
+                        let (mut w1, b1) = transfer_conv(
+                            &src_unit.conv1.weight.value,
+                            &src_unit.conv1.bias.value,
+                            &m_stage,
+                            &m_stage,
+                            tblock.filter_size,
+                        );
+                        jitter(&mut w1, opts.noise_std, &mut rng);
+                        let bn1 = transfer_batchnorm(&src_unit.bn1, &m_stage, BnLayout::Spatial);
+                        let (w2, b2) = transfer_conv(
+                            &src_unit.conv2.weight.value,
+                            &src_unit.conv2.bias.value,
+                            &m_stage,
+                            &m_stage,
+                            tblock.filter_size,
+                        );
+                        // conv2 is deliberately not jittered: noise there
+                        // would leak through the skip connection unscaled.
+                        let bn2 = transfer_batchnorm(&src_unit.bn2, &m_stage, BnLayout::Spatial);
+                        nodes.push(LayerNode::Residual(ResidualUnit::from_parts(
+                            ConvLayer::from_params(w1, b1),
+                            bn1,
+                            ConvLayer::from_params(w2, b2),
+                            bn2,
+                        )));
+                    } else {
+                        nodes.push(LayerNode::Residual(ResidualUnit::identity(
+                            tblock.filters,
+                            tblock.filter_size,
+                            &mut rng,
+                        )));
+                    }
+                }
+                m_prev = m_stage;
+            }
+            cursor.gap()?;
+            nodes.push(LayerNode::GlobalAvgPool(GlobalAvgPoolLayer::new()));
+            let src = cursor.dense()?;
+            let m_out = ChannelMap::identity(target.num_classes);
+            let (mut w, b) = transfer_dense(&src.weight.value, &src.bias.value, &m_prev, &m_out);
+            jitter(&mut w, opts.noise_std, &mut rng);
+            nodes.push(LayerNode::Dense(DenseLayer::from_params(w, b)));
+        }
+        _ => unreachable!("family mismatch is caught by check_compatible"),
+    }
+    cursor.finished()?;
+
+    Ok(Network::from_parts(target.clone(), nodes))
+}
+
+/// Checks that `target` is reachable from `source` by function-preserving
+/// expansion.
+///
+/// # Errors
+///
+/// Returns [`MorphError::NotExpandable`] with a human-readable reason, or
+/// [`MorphError::InvalidTarget`] if the target itself is malformed.
+pub fn check_compatible(source: &Architecture, target: &Architecture) -> Result<(), MorphError> {
+    target.validate()?;
+    let fail = |reason: String| Err(MorphError::NotExpandable { reason });
+    if source.input != target.input {
+        return fail(format!("input geometry differs ({:?} vs {:?})", source.input, target.input));
+    }
+    if source.num_classes != target.num_classes {
+        return fail(format!(
+            "class count differs ({} vs {})",
+            source.num_classes, target.num_classes
+        ));
+    }
+    match (&source.body, &target.body) {
+        (Body::Mlp { hidden: sh }, Body::Mlp { hidden: th }) => {
+            if th.len() < sh.len() {
+                return fail(format!("target has fewer hidden layers ({} < {})", th.len(), sh.len()));
+            }
+            for (i, (&s, &t)) in sh.iter().zip(th.iter()).enumerate() {
+                if t < s {
+                    return fail(format!("hidden layer {i} shrinks ({s} -> {t})"));
+                }
+            }
+            check_monotone_added(sh.len(), th, "hidden layer")?;
+        }
+        (Body::Plain { blocks: sb, dense: sd }, Body::Plain { blocks: tb, dense: td }) => {
+            if sb.len() != tb.len() {
+                return fail(format!("block count differs ({} vs {})", sb.len(), tb.len()));
+            }
+            for (bi, (s, t)) in sb.iter().zip(tb.iter()).enumerate() {
+                if t.layers.len() < s.layers.len() {
+                    return fail(format!(
+                        "block {bi} has fewer layers ({} < {})",
+                        t.layers.len(),
+                        s.layers.len()
+                    ));
+                }
+                for (li, (sl, tl)) in s.layers.iter().zip(t.layers.iter()).enumerate() {
+                    if tl.filters < sl.filters {
+                        return fail(format!(
+                            "block {bi} layer {li} loses filters ({} -> {})",
+                            sl.filters, tl.filters
+                        ));
+                    }
+                    if tl.filter_size < sl.filter_size {
+                        return fail(format!(
+                            "block {bi} layer {li} shrinks kernel ({} -> {})",
+                            sl.filter_size, tl.filter_size
+                        ));
+                    }
+                }
+                // Inserted layers must not narrow the block (a duplication
+                // layer cannot drop channels).
+                for li in s.layers.len()..t.layers.len() {
+                    let prev = t.layers[li - 1].filters;
+                    if t.layers[li].filters < prev {
+                        return fail(format!(
+                            "inserted layer {li} in block {bi} narrows {prev} -> {}",
+                            t.layers[li].filters
+                        ));
+                    }
+                }
+            }
+            if td.len() < sd.len() {
+                return fail(format!("fewer dense layers ({} < {})", td.len(), sd.len()));
+            }
+            for (i, (&s, &t)) in sd.iter().zip(td.iter()).enumerate() {
+                if t < s {
+                    return fail(format!("dense layer {i} shrinks ({s} -> {t})"));
+                }
+            }
+            check_monotone_added(sd.len(), td, "dense layer")?;
+        }
+        (Body::Residual { blocks: sb }, Body::Residual { blocks: tb }) => {
+            if sb.len() != tb.len() {
+                return fail(format!("stage count differs ({} vs {})", sb.len(), tb.len()));
+            }
+            for (bi, (s, t)) in sb.iter().zip(tb.iter()).enumerate() {
+                if t.units < s.units {
+                    return fail(format!("stage {bi} loses units ({} -> {})", s.units, t.units));
+                }
+                if t.filters < s.filters {
+                    return fail(format!("stage {bi} loses filters ({} -> {})", s.filters, t.filters));
+                }
+                if t.filter_size < s.filter_size {
+                    return fail(format!(
+                        "stage {bi} shrinks kernel ({} -> {})",
+                        s.filter_size, t.filter_size
+                    ));
+                }
+            }
+        }
+        _ => {
+            return fail(format!(
+                "family mismatch ({} vs {})",
+                source.family(),
+                target.family()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_monotone_added(
+    matched: usize,
+    target_widths: &[usize],
+    what: &str,
+) -> Result<(), MorphError> {
+    for i in matched.max(1)..target_widths.len() {
+        if target_widths[i] < target_widths[i - 1] {
+            return Err(MorphError::NotExpandable {
+                reason: format!(
+                    "inserted {what} {i} narrows {} -> {}",
+                    target_widths[i - 1],
+                    target_widths[i]
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Lockstep reader over a source network's node sequence.
+struct Cursor<'a> {
+    nodes: &'a [LayerNode],
+    i: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(nodes: &'a [LayerNode]) -> Self {
+        Cursor { nodes, i: 0 }
+    }
+
+    fn next(&mut self, expected: &str) -> Result<&'a LayerNode, MorphError> {
+        let node = self.nodes.get(self.i).ok_or_else(|| MorphError::StructureMismatch {
+            expected: expected.to_string(),
+            found: "end of network".to_string(),
+        })?;
+        self.i += 1;
+        Ok(node)
+    }
+
+    fn conv(&mut self) -> Result<&'a ConvLayer, MorphError> {
+        match self.next("conv")? {
+            LayerNode::Conv(c) => Ok(c),
+            other => Err(mismatch("conv", other)),
+        }
+    }
+
+    fn bn(&mut self) -> Result<&'a BatchNorm, MorphError> {
+        match self.next("batchnorm")? {
+            LayerNode::BatchNorm(b) => Ok(b),
+            other => Err(mismatch("batchnorm", other)),
+        }
+    }
+
+    fn dense(&mut self) -> Result<&'a DenseLayer, MorphError> {
+        match self.next("dense")? {
+            LayerNode::Dense(d) => Ok(d),
+            other => Err(mismatch("dense", other)),
+        }
+    }
+
+    fn residual(&mut self) -> Result<&'a ResidualUnit, MorphError> {
+        match self.next("residual")? {
+            LayerNode::Residual(r) => Ok(r),
+            other => Err(mismatch("residual", other)),
+        }
+    }
+
+    fn relu(&mut self) -> Result<(), MorphError> {
+        match self.next("relu")? {
+            LayerNode::Relu(_) => Ok(()),
+            other => Err(mismatch("relu", other)),
+        }
+    }
+
+    fn maxpool(&mut self) -> Result<(), MorphError> {
+        match self.next("maxpool")? {
+            LayerNode::MaxPool(_) => Ok(()),
+            other => Err(mismatch("maxpool", other)),
+        }
+    }
+
+    fn flatten(&mut self) -> Result<(), MorphError> {
+        match self.next("flatten")? {
+            LayerNode::Flatten(_) => Ok(()),
+            other => Err(mismatch("flatten", other)),
+        }
+    }
+
+    fn gap(&mut self) -> Result<(), MorphError> {
+        match self.next("gap")? {
+            LayerNode::GlobalAvgPool(_) => Ok(()),
+            other => Err(mismatch("gap", other)),
+        }
+    }
+
+    fn finished(&self) -> Result<(), MorphError> {
+        if self.i == self.nodes.len() {
+            Ok(())
+        } else {
+            Err(MorphError::StructureMismatch {
+                expected: "end of network".to_string(),
+                found: format!("{} trailing nodes", self.nodes.len() - self.i),
+            })
+        }
+    }
+}
+
+fn mismatch(expected: &str, found: &LayerNode) -> MorphError {
+    MorphError::StructureMismatch {
+        expected: expected.to_string(),
+        found: found.kind().to_string(),
+    }
+}

@@ -1,0 +1,217 @@
+//! Single-transformation helpers mirroring the paper's Figure 3.
+//!
+//! Each helper applies *one* function-preserving transformation to a
+//! network by editing its architecture description and re-hatching through
+//! [`crate::morph::morph_to_with`]. They are convenience wrappers for
+//! experimentation; the MotherNets pipeline itself hatches whole
+//! architectures in one pass.
+
+use mn_nn::arch::{Architecture, Body, ConvLayerSpec};
+use mn_nn::Network;
+
+use crate::error::MorphError;
+use crate::morph::{morph_to_with, MorphOptions};
+
+/// Widens one convolutional layer of a plain network (Figure 3b).
+///
+/// # Errors
+///
+/// Returns [`MorphError::BadIndex`] for out-of-range positions, and
+/// [`MorphError::NotExpandable`] if `new_filters` shrinks the layer or the
+/// network is not a plain convolutional network.
+pub fn widen_conv_layer(
+    net: &Network,
+    block: usize,
+    layer: usize,
+    new_filters: usize,
+    opts: &MorphOptions,
+) -> Result<Network, MorphError> {
+    let mut arch = net.arch().clone();
+    let spec = plain_layer_mut(&mut arch, block, layer)?;
+    spec.filters = new_filters;
+    morph_to_with(net, &arch, opts)
+}
+
+/// Grows the kernel of one convolutional layer of a plain network
+/// (Figure 3c).
+///
+/// # Errors
+///
+/// As [`widen_conv_layer`]; additionally the new size must be an odd value
+/// at least the current size.
+pub fn expand_conv_kernel(
+    net: &Network,
+    block: usize,
+    layer: usize,
+    new_size: usize,
+    opts: &MorphOptions,
+) -> Result<Network, MorphError> {
+    let mut arch = net.arch().clone();
+    let spec = plain_layer_mut(&mut arch, block, layer)?;
+    spec.filter_size = new_size;
+    morph_to_with(net, &arch, opts)
+}
+
+/// Appends `extra_layers` identity layers to a block of a plain network
+/// (Figure 3a). The inserted layers replicate the block's last layer spec.
+///
+/// # Errors
+///
+/// Returns [`MorphError::BadIndex`] if `block` is out of range or the
+/// network is not plain.
+pub fn deepen_block(
+    net: &Network,
+    block: usize,
+    extra_layers: usize,
+    opts: &MorphOptions,
+) -> Result<Network, MorphError> {
+    let mut arch = net.arch().clone();
+    match &mut arch.body {
+        Body::Plain { blocks, .. } => {
+            let len = blocks.len();
+            let b = blocks
+                .get_mut(block)
+                .ok_or(MorphError::BadIndex { what: "block".into(), index: block, len })?;
+            let last: ConvLayerSpec =
+                *b.layers.last().expect("validated blocks are non-empty");
+            for _ in 0..extra_layers {
+                b.layers.push(last);
+            }
+        }
+        _ => {
+            return Err(MorphError::NotExpandable {
+                reason: "deepen_block requires a plain convolutional network".into(),
+            })
+        }
+    }
+    morph_to_with(net, &arch, opts)
+}
+
+/// Widens one hidden dense layer (plain networks' head or MLPs).
+///
+/// # Errors
+///
+/// Returns [`MorphError::BadIndex`] for out-of-range positions or
+/// [`MorphError::NotExpandable`] on shrink / wrong family.
+pub fn widen_dense_layer(
+    net: &Network,
+    index: usize,
+    new_units: usize,
+    opts: &MorphOptions,
+) -> Result<Network, MorphError> {
+    let mut arch = net.arch().clone();
+    let widths = dense_widths_mut(&mut arch)?;
+    let len = widths.len();
+    let w = widths
+        .get_mut(index)
+        .ok_or(MorphError::BadIndex { what: "dense layer".into(), index, len })?;
+    *w = new_units;
+    morph_to_with(net, &arch, opts)
+}
+
+/// Appends an identity hidden dense layer of `units` width before the
+/// classifier.
+///
+/// # Errors
+///
+/// As [`widen_dense_layer`]; `units` must be at least the width feeding it.
+pub fn add_dense_layer(
+    net: &Network,
+    units: usize,
+    opts: &MorphOptions,
+) -> Result<Network, MorphError> {
+    let mut arch = net.arch().clone();
+    dense_widths_mut(&mut arch)?.push(units);
+    morph_to_with(net, &arch, opts)
+}
+
+/// Widens one residual stage of a residual network.
+///
+/// # Errors
+///
+/// Returns [`MorphError::BadIndex`] / [`MorphError::NotExpandable`] as the
+/// other helpers.
+pub fn widen_stage(
+    net: &Network,
+    stage: usize,
+    new_filters: usize,
+    opts: &MorphOptions,
+) -> Result<Network, MorphError> {
+    let mut arch = net.arch().clone();
+    match &mut arch.body {
+        Body::Residual { blocks } => {
+            let len = blocks.len();
+            let b = blocks
+                .get_mut(stage)
+                .ok_or(MorphError::BadIndex { what: "stage".into(), index: stage, len })?;
+            b.filters = new_filters;
+        }
+        _ => {
+            return Err(MorphError::NotExpandable {
+                reason: "widen_stage requires a residual network".into(),
+            })
+        }
+    }
+    morph_to_with(net, &arch, opts)
+}
+
+/// Appends `extra_units` identity residual units to a stage.
+///
+/// # Errors
+///
+/// As [`widen_stage`].
+pub fn add_residual_units(
+    net: &Network,
+    stage: usize,
+    extra_units: usize,
+    opts: &MorphOptions,
+) -> Result<Network, MorphError> {
+    let mut arch = net.arch().clone();
+    match &mut arch.body {
+        Body::Residual { blocks } => {
+            let len = blocks.len();
+            let b = blocks
+                .get_mut(stage)
+                .ok_or(MorphError::BadIndex { what: "stage".into(), index: stage, len })?;
+            b.units += extra_units;
+        }
+        _ => {
+            return Err(MorphError::NotExpandable {
+                reason: "add_residual_units requires a residual network".into(),
+            })
+        }
+    }
+    morph_to_with(net, &arch, opts)
+}
+
+fn plain_layer_mut(
+    arch: &mut Architecture,
+    block: usize,
+    layer: usize,
+) -> Result<&mut ConvLayerSpec, MorphError> {
+    match &mut arch.body {
+        Body::Plain { blocks, .. } => {
+            let len = blocks.len();
+            let b = blocks
+                .get_mut(block)
+                .ok_or(MorphError::BadIndex { what: "block".into(), index: block, len })?;
+            let len = b.layers.len();
+            b.layers
+                .get_mut(layer)
+                .ok_or(MorphError::BadIndex { what: "layer".into(), index: layer, len })
+        }
+        _ => Err(MorphError::NotExpandable {
+            reason: "conv-layer transformations require a plain convolutional network".into(),
+        }),
+    }
+}
+
+fn dense_widths_mut(arch: &mut Architecture) -> Result<&mut Vec<usize>, MorphError> {
+    match &mut arch.body {
+        Body::Mlp { hidden } => Ok(hidden),
+        Body::Plain { dense, .. } => Ok(dense),
+        Body::Residual { .. } => Err(MorphError::NotExpandable {
+            reason: "residual networks have no hidden dense layers".into(),
+        }),
+    }
+}

@@ -1,0 +1,207 @@
+//! Morph plans: a structural diff between two architectures.
+//!
+//! A [`MorphPlan`] summarizes which function-preserving transformations a
+//! hatch will perform (how many layers are widened, deepened, or get larger
+//! kernels) and how many parameters the target inherits from the source —
+//! the quantity the paper's clustering parameter τ controls (§2.3).
+
+use std::fmt;
+
+use mn_nn::arch::{Architecture, Body};
+
+use crate::error::MorphError;
+use crate::morph::check_compatible;
+
+/// Summary of the transformations needed to reach `target` from `source`.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct MorphPlan {
+    /// Matched convolutional layers whose filter count grows (Fig. 3b).
+    pub widened_conv_layers: usize,
+    /// Matched convolutional layers whose kernel grows (Fig. 3c).
+    pub expanded_kernels: usize,
+    /// Convolutional layers inserted as identities (Fig. 3a).
+    pub added_conv_layers: usize,
+    /// Matched dense layers that widen.
+    pub widened_dense_layers: usize,
+    /// Dense layers inserted as identities.
+    pub added_dense_layers: usize,
+    /// Residual stages whose width grows.
+    pub widened_stages: usize,
+    /// Residual units inserted as identities.
+    pub added_units: usize,
+    /// Parameters added by the hatch (`|target| − |source|`).
+    pub new_params: u64,
+    /// Fraction of the target's parameters inherited from the source,
+    /// `|source| / |target|` — the clustering condition requires this to
+    /// exceed `1 − τ`.
+    pub inherited_fraction: f64,
+}
+
+impl MorphPlan {
+    /// Computes the plan from `source` to `target`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MorphError`] if the pair is not morphable (see
+    /// [`check_compatible`]).
+    pub fn between(source: &Architecture, target: &Architecture) -> Result<Self, MorphError> {
+        check_compatible(source, target)?;
+        let mut plan = MorphPlan::default();
+        match (&source.body, &target.body) {
+            (Body::Mlp { hidden: sh }, Body::Mlp { hidden: th }) => {
+                diff_dense(sh, th, &mut plan);
+            }
+            (Body::Plain { blocks: sb, dense: sd }, Body::Plain { blocks: tb, dense: td }) => {
+                for (s, t) in sb.iter().zip(tb.iter()) {
+                    for (sl, tl) in s.layers.iter().zip(t.layers.iter()) {
+                        if tl.filters > sl.filters {
+                            plan.widened_conv_layers += 1;
+                        }
+                        if tl.filter_size > sl.filter_size {
+                            plan.expanded_kernels += 1;
+                        }
+                    }
+                    plan.added_conv_layers += t.layers.len() - s.layers.len();
+                }
+                diff_dense(sd, td, &mut plan);
+            }
+            (Body::Residual { blocks: sb }, Body::Residual { blocks: tb }) => {
+                for (s, t) in sb.iter().zip(tb.iter()) {
+                    if t.filters > s.filters {
+                        plan.widened_stages += 1;
+                    }
+                    if t.filter_size > s.filter_size {
+                        plan.expanded_kernels += 1;
+                    }
+                    plan.added_units += t.units - s.units;
+                }
+            }
+            _ => unreachable!("family mismatch caught by check_compatible"),
+        }
+        let sp = source.param_count();
+        let tp = target.param_count();
+        plan.new_params = tp.saturating_sub(sp);
+        plan.inherited_fraction = sp as f64 / tp as f64;
+        Ok(plan)
+    }
+
+    /// Total number of individual transformations.
+    pub fn total_ops(&self) -> usize {
+        self.widened_conv_layers
+            + self.expanded_kernels
+            + self.added_conv_layers
+            + self.widened_dense_layers
+            + self.added_dense_layers
+            + self.widened_stages
+            + self.added_units
+    }
+
+    /// Whether the plan is a no-op (identical architectures up to naming).
+    pub fn is_noop(&self) -> bool {
+        self.total_ops() == 0 && self.new_params == 0
+    }
+}
+
+fn diff_dense(s: &[usize], t: &[usize], plan: &mut MorphPlan) {
+    for (&su, &tu) in s.iter().zip(t.iter()) {
+        if tu > su {
+            plan.widened_dense_layers += 1;
+        }
+    }
+    plan.added_dense_layers += t.len() - s.len();
+}
+
+impl fmt::Display for MorphPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MorphPlan: {} ops (+{} conv widen, +{} kernel, +{} conv deepen, \
+             +{} dense widen, +{} dense deepen, +{} stage widen, +{} units), \
+             +{} params, {:.1}% inherited",
+            self.total_ops(),
+            self.widened_conv_layers,
+            self.expanded_kernels,
+            self.added_conv_layers,
+            self.widened_dense_layers,
+            self.added_dense_layers,
+            self.widened_stages,
+            self.added_units,
+            self.new_params,
+            self.inherited_fraction * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_nn::arch::{ConvBlockSpec, ConvLayerSpec, InputSpec, ResBlockSpec};
+
+    fn input() -> InputSpec {
+        InputSpec::new(3, 8, 8)
+    }
+
+    #[test]
+    fn noop_plan() {
+        let a = Architecture::mlp("a", input(), 10, vec![8]);
+        let plan = MorphPlan::between(&a, &a).unwrap();
+        assert!(plan.is_noop());
+        assert_eq!(plan.inherited_fraction, 1.0);
+    }
+
+    #[test]
+    fn plain_diff_counts() {
+        let s = Architecture::plain(
+            "s",
+            input(),
+            10,
+            vec![ConvBlockSpec::repeated(3, 4, 2)],
+            vec![8],
+        );
+        let t = Architecture::plain(
+            "t",
+            input(),
+            10,
+            vec![ConvBlockSpec::new(vec![
+                ConvLayerSpec::new(3, 8), // widened
+                ConvLayerSpec::new(5, 4), // kernel expanded
+                ConvLayerSpec::new(3, 8), // added
+            ])],
+            vec![8, 16], // one added dense
+        );
+        let plan = MorphPlan::between(&s, &t).unwrap();
+        assert_eq!(plan.widened_conv_layers, 1);
+        assert_eq!(plan.expanded_kernels, 1);
+        assert_eq!(plan.added_conv_layers, 1);
+        assert_eq!(plan.added_dense_layers, 1);
+        assert_eq!(plan.widened_dense_layers, 0);
+        assert!(plan.new_params > 0);
+        assert!(plan.inherited_fraction < 1.0 && plan.inherited_fraction > 0.0);
+        assert_eq!(plan.total_ops(), 4);
+    }
+
+    #[test]
+    fn residual_diff_counts() {
+        let s = Architecture::residual("s", input(), 10, vec![ResBlockSpec::new(2, 4, 3)]);
+        let t = Architecture::residual("t", input(), 10, vec![ResBlockSpec::new(4, 8, 5)]);
+        let plan = MorphPlan::between(&s, &t).unwrap();
+        assert_eq!(plan.widened_stages, 1);
+        assert_eq!(plan.expanded_kernels, 1);
+        assert_eq!(plan.added_units, 2);
+    }
+
+    #[test]
+    fn incompatible_pair_errors() {
+        let s = Architecture::mlp("s", input(), 10, vec![8]);
+        let t = Architecture::mlp("t", input(), 10, vec![4]);
+        assert!(MorphPlan::between(&s, &t).is_err());
+    }
+
+    #[test]
+    fn display_mentions_inheritance() {
+        let s = Architecture::mlp("s", input(), 10, vec![8]);
+        let t = Architecture::mlp("t", input(), 10, vec![16]);
+        let plan = MorphPlan::between(&s, &t).unwrap();
+        assert!(format!("{plan}").contains("inherited"));
+    }
+}

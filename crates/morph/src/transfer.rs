@@ -1,0 +1,336 @@
+//! Weight-transfer rules: the arithmetic core of every function-preserving
+//! transformation (paper Figure 3).
+//!
+//! Each rule takes source parameters plus the input/output
+//! [`ChannelMap`]s and produces target parameters such that the layer's
+//! output under the *widened, duplicated* representation equals the source
+//! layer's output under the original representation:
+//!
+//! * [`transfer_conv`] — widening (more filters), consumer rescaling, and
+//!   filter-size growth by centered zero-padding, in one rule;
+//! * [`transfer_dense`] — the same rule for dense layers (flattened maps);
+//! * [`duplication_conv`] / [`duplication_dense`] — the *deepening*
+//!   primitives: freshly inserted layers that copy one representative input
+//!   channel per output, i.e. identity layers up to channel duplication;
+//! * [`transfer_batchnorm`] — per-channel replication of the normalization
+//!   statistics and affine parameters.
+
+use mn_nn::layers::{BatchNorm, BnLayout};
+use mn_tensor::Tensor;
+
+use crate::chanmap::ChannelMap;
+
+/// Transfers a convolution's parameters onto a (possibly wider, possibly
+/// larger-kernel) target layer.
+///
+/// `src_w` is `[Fs, Cs, ks, ks]`, `src_b` is `[Fs]`. The target has
+/// `m_in.target_len()` input channels, `m_out.target_len()` filters, and
+/// kernel `k_t ≥ ks` (both odd). New kernel positions are zero so the
+/// receptive field's effective weights are unchanged.
+///
+/// # Panics
+///
+/// Panics if the maps do not match the source tensor dimensions or
+/// `k_t < ks` / parities differ.
+pub fn transfer_conv(
+    src_w: &Tensor,
+    src_b: &Tensor,
+    m_in: &ChannelMap,
+    m_out: &ChannelMap,
+    k_t: usize,
+) -> (Tensor, Tensor) {
+    let d = src_w.shape().dims();
+    assert_eq!(d.len(), 4, "conv weight must be 4-D");
+    let (fs, cs, ks) = (d[0], d[1], d[2]);
+    assert_eq!(m_in.source_len(), cs, "input map does not match source channels");
+    assert_eq!(m_out.source_len(), fs, "output map does not match source filters");
+    assert!(k_t >= ks, "kernel cannot shrink: {ks} -> {k_t}");
+    assert_eq!(k_t % 2, 1, "target kernel must be odd");
+    assert_eq!(ks % 2, 1, "source kernel must be odd");
+    let off = (k_t - ks) / 2;
+
+    let ft = m_out.target_len();
+    let ct = m_in.target_len();
+    let mut w = Tensor::zeros([ft, ct, k_t, k_t]);
+    let mut b = Tensor::zeros([ft]);
+    for j in 0..ft {
+        let sj = m_out.source_of(j);
+        for c in 0..ct {
+            let sc = m_in.source_of(c);
+            let scale = m_in.scale_of(c);
+            for kh in 0..ks {
+                for kw in 0..ks {
+                    *w.at4_mut(j, c, kh + off, kw + off) = src_w.at4(sj, sc, kh, kw) * scale;
+                }
+            }
+        }
+        b[j] = src_b[sj];
+    }
+    (w, b)
+}
+
+/// Transfers a dense layer's parameters (`src_w: [Ins, Outs]`,
+/// `src_b: [Outs]`) onto a wider target.
+///
+/// # Panics
+///
+/// Panics if the maps do not match the source dimensions.
+pub fn transfer_dense(
+    src_w: &Tensor,
+    src_b: &Tensor,
+    m_in: &ChannelMap,
+    m_out: &ChannelMap,
+) -> (Tensor, Tensor) {
+    let d = src_w.shape().dims();
+    assert_eq!(d.len(), 2, "dense weight must be 2-D");
+    let (ins, outs) = (d[0], d[1]);
+    assert_eq!(m_in.source_len(), ins, "input map does not match source fan-in");
+    assert_eq!(m_out.source_len(), outs, "output map does not match source fan-out");
+
+    let it = m_in.target_len();
+    let ot = m_out.target_len();
+    let mut w = Tensor::zeros([it, ot]);
+    let mut b = Tensor::zeros([ot]);
+    for i in 0..it {
+        let si = m_in.source_of(i);
+        let scale = m_in.scale_of(i);
+        for j in 0..ot {
+            *w.at2_mut(i, j) = src_w.at2(si, m_out.source_of(j)) * scale;
+        }
+    }
+    for j in 0..ot {
+        b[j] = src_b[m_out.source_of(j)];
+    }
+    (w, b)
+}
+
+/// Builds a freshly *inserted* convolution (deepening, Figure 3a): output
+/// `j` copies input channel `j mod C_in` through a centered-1 kernel. Also
+/// returns the resulting channel map relative to the source network.
+///
+/// Returns `(weight, bias, m_out)`.
+///
+/// # Panics
+///
+/// Panics if `k` is even or `f_t < m_in.target_len()` would drop channels.
+pub fn duplication_conv(
+    m_in: &ChannelMap,
+    f_t: usize,
+    k: usize,
+) -> (Tensor, Tensor, ChannelMap) {
+    assert_eq!(k % 2, 1, "kernel must be odd");
+    let ct = m_in.target_len();
+    assert!(f_t >= ct, "inserted layer cannot shrink: {ct} -> {f_t}");
+    let pick: Vec<usize> = (0..f_t).map(|j| j % ct).collect();
+    let mut w = Tensor::zeros([f_t, ct, k, k]);
+    let mid = k / 2;
+    for (j, &p) in pick.iter().enumerate() {
+        *w.at4_mut(j, p, mid, mid) = 1.0;
+    }
+    let b = Tensor::zeros([f_t]);
+    let m_out = m_in.select(&pick);
+    (w, b, m_out)
+}
+
+/// Builds a freshly *inserted* dense layer: output `j` copies input
+/// feature `j mod I`. Returns `(weight, bias, m_out)`.
+///
+/// # Panics
+///
+/// Panics if `out_t` would drop features.
+pub fn duplication_dense(m_in: &ChannelMap, out_t: usize) -> (Tensor, Tensor, ChannelMap) {
+    let it = m_in.target_len();
+    assert!(out_t >= it, "inserted layer cannot shrink: {it} -> {out_t}");
+    let pick: Vec<usize> = (0..out_t).map(|j| j % it).collect();
+    let mut w = Tensor::zeros([it, out_t]);
+    for (j, &p) in pick.iter().enumerate() {
+        *w.at2_mut(p, j) = 1.0;
+    }
+    let b = Tensor::zeros([out_t]);
+    let m_out = m_in.select(&pick);
+    (w, b, m_out)
+}
+
+/// Replicates a batch-norm layer's affine parameters and running statistics
+/// according to the output map of the convolution it follows.
+///
+/// # Panics
+///
+/// Panics if the map does not match the source channel count.
+pub fn transfer_batchnorm(src: &BatchNorm, m_out: &ChannelMap, layout: BnLayout) -> BatchNorm {
+    let cs = src.channels();
+    assert_eq!(m_out.source_len(), cs, "bn map does not match source channels");
+    let ct = m_out.target_len();
+    let mut bn = BatchNorm::new(ct, layout);
+    bn.momentum = src.momentum;
+    bn.eps = src.eps;
+    for j in 0..ct {
+        let s = m_out.source_of(j);
+        bn.gamma.value[j] = src.gamma.value[s];
+        bn.beta.value[j] = src.beta.value[s];
+        bn.running_mean[j] = src.running_mean[s];
+        bn.running_var[j] = src.running_var[s];
+    }
+    bn
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_tensor::{assert_close, conv, ops};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Reference check: widened conv output channels carry duplicated
+    /// source outputs, exactly.
+    #[test]
+    fn conv_widening_duplicates_outputs_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let src_w = Tensor::randn([3, 2, 3, 3], 1.0, &mut rng);
+        let src_b = Tensor::randn([3], 1.0, &mut rng);
+        let x = Tensor::randn([2, 2, 5, 5], 1.0, &mut rng);
+
+        let m_in = ChannelMap::identity(2);
+        let m_out = ChannelMap::round_robin(3, 7);
+        let (w, b) = transfer_conv(&src_w, &src_b, &m_in, &m_out, 3);
+
+        let y_src = conv::conv2d_forward(&x, &src_w, &src_b, 1);
+        let y_tgt = conv::conv2d_forward(&x, &w, &b, 1);
+        let hw = 25;
+        for n in 0..2 {
+            for j in 0..7 {
+                let s = m_out.source_of(j);
+                let tgt = &y_tgt.data()[(n * 7 + j) * hw..(n * 7 + j + 1) * hw];
+                let src = &y_src.data()[(n * 3 + s) * hw..(n * 3 + s + 1) * hw];
+                assert_close(tgt, src, 1e-4);
+            }
+        }
+    }
+
+    /// Reference check: a consumer conv fed a duplicated representation
+    /// (scaled by the input map) reproduces the source output exactly.
+    #[test]
+    fn conv_consumer_rescaling_is_exact() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Source: 3 channels in, 2 out. Input map duplicates 3 -> 8.
+        let src_w = Tensor::randn([2, 3, 3, 3], 1.0, &mut rng);
+        let src_b = Tensor::randn([2], 1.0, &mut rng);
+        let m_in = ChannelMap::round_robin(3, 8);
+        let m_out = ChannelMap::identity(2);
+        let (w, b) = transfer_conv(&src_w, &src_b, &m_in, &m_out, 3);
+
+        // Build the duplicated input from a source input.
+        let x_src = Tensor::randn([1, 3, 4, 4], 1.0, &mut rng);
+        let mut x_dup = Tensor::zeros([1, 8, 4, 4]);
+        for c in 0..8 {
+            let s = m_in.source_of(c);
+            for h in 0..4 {
+                for wi in 0..4 {
+                    *x_dup.at4_mut(0, c, h, wi) = x_src.at4(0, s, h, wi);
+                }
+            }
+        }
+        let y_src = conv::conv2d_forward(&x_src, &src_w, &src_b, 1);
+        let y_tgt = conv::conv2d_forward(&x_dup, &w, &b, 1);
+        assert_close(y_tgt.data(), y_src.data(), 1e-4);
+    }
+
+    #[test]
+    fn kernel_growth_preserves_function() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let src_w = Tensor::randn([2, 2, 3, 3], 1.0, &mut rng);
+        let src_b = Tensor::zeros([2]);
+        let m = ChannelMap::identity(2);
+        let (w5, b5) = transfer_conv(&src_w, &src_b, &m, &m, 5);
+        let x = Tensor::randn([1, 2, 6, 6], 1.0, &mut rng);
+        let y3 = conv::conv2d_forward(&x, &src_w, &src_b, 1);
+        let y5 = conv::conv2d_forward(&x, &w5, &b5, 2);
+        assert_close(y5.data(), y3.data(), 1e-4);
+    }
+
+    #[test]
+    fn dense_transfer_round_trip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let src_w = Tensor::randn([3, 4], 1.0, &mut rng);
+        let src_b = Tensor::randn([4], 1.0, &mut rng);
+        let m_in = ChannelMap::round_robin(3, 5);
+        let m_out = ChannelMap::round_robin(4, 6);
+        let (w, b) = transfer_dense(&src_w, &src_b, &m_in, &m_out);
+
+        let x_src = Tensor::randn([2, 3], 1.0, &mut rng);
+        let mut x_dup = Tensor::zeros([2, 5]);
+        for n in 0..2 {
+            for c in 0..5 {
+                *x_dup.at2_mut(n, c) = x_src.at2(n, m_in.source_of(c));
+            }
+        }
+        let mut y_src = ops::matmul(&x_src, &src_w);
+        ops::add_row_bias(&mut y_src, &src_b);
+        let mut y_tgt = ops::matmul(&x_dup, &w);
+        ops::add_row_bias(&mut y_tgt, &b);
+        for n in 0..2 {
+            for j in 0..6 {
+                let expect = y_src.at2(n, m_out.source_of(j));
+                assert!((y_tgt.at2(n, j) - expect).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn duplication_conv_is_identity_up_to_duplication() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let m_in = ChannelMap::round_robin(2, 3);
+        let (w, b, m_out) = duplication_conv(&m_in, 5, 3);
+        let x = Tensor::randn([1, 3, 4, 4], 1.0, &mut rng);
+        let y = conv::conv2d_forward(&x, &w, &b, 1);
+        assert_eq!(y.shape().dims(), &[1, 5, 4, 4]);
+        for j in 0..5 {
+            let p = j % 3;
+            for h in 0..4 {
+                for wi in 0..4 {
+                    assert!((y.at4(0, j, h, wi) - x.at4(0, p, h, wi)).abs() < 1e-6);
+                }
+            }
+        }
+        // New map composes through the duplication.
+        assert_eq!(m_out.source_len(), 2);
+        assert_eq!(m_out.source_of(3), m_in.source_of(0));
+    }
+
+    #[test]
+    fn duplication_dense_copies_features() {
+        let m_in = ChannelMap::identity(3);
+        let (w, b, m_out) = duplication_dense(&m_in, 4);
+        let x = Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]);
+        let mut y = ops::matmul(&x, &w);
+        ops::add_row_bias(&mut y, &b);
+        assert_close(y.data(), &[1.0, 2.0, 3.0, 1.0], 1e-6);
+        assert_eq!(m_out.replicas_of(0), 2);
+    }
+
+    #[test]
+    fn batchnorm_transfer_replicates_statistics() {
+        let mut src = BatchNorm::new(2, BnLayout::Spatial);
+        src.gamma.value = Tensor::from_vec([2], vec![1.5, 0.5]);
+        src.beta.value = Tensor::from_vec([2], vec![0.1, 0.2]);
+        src.running_mean = Tensor::from_vec([2], vec![-1.0, 1.0]);
+        src.running_var = Tensor::from_vec([2], vec![2.0, 3.0]);
+        let m = ChannelMap::round_robin(2, 5);
+        let bn = transfer_batchnorm(&src, &m, BnLayout::Spatial);
+        assert_eq!(bn.channels(), 5);
+        for j in 0..5 {
+            let s = m.source_of(j);
+            assert_eq!(bn.gamma.value[j], src.gamma.value[s]);
+            assert_eq!(bn.running_var[j], src.running_var[s]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn conv_transfer_rejects_kernel_shrink() {
+        let src_w = Tensor::zeros([1, 1, 5, 5]);
+        let src_b = Tensor::zeros([1]);
+        let m = ChannelMap::identity(1);
+        transfer_conv(&src_w, &src_b, &m, &m, 3);
+    }
+}

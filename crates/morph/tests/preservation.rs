@@ -1,0 +1,364 @@
+//! Function-preservation tests: the load-bearing guarantee of hatching.
+//!
+//! Every transformation the paper uses (Figure 3) — and every composition
+//! of them that `morph_to` performs — must leave the network's eval-mode
+//! outputs unchanged to within [`mn_tensor::PRESERVATION_TOLERANCE`].
+
+use mn_morph::morph::{morph_to, morph_to_with, MorphOptions};
+use mn_morph::{ops, MorphError, MorphPlan};
+use mn_nn::arch::{Architecture, ConvBlockSpec, ConvLayerSpec, InputSpec, ResBlockSpec};
+use mn_nn::{Mode, Network};
+use mn_tensor::{max_abs_diff, Tensor, PRESERVATION_TOLERANCE};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn input() -> InputSpec {
+    InputSpec::new(3, 8, 8)
+}
+
+fn probe(seed: u64, n: usize) -> Tensor {
+    Tensor::randn([n, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(seed))
+}
+
+/// Train-mode passes perturb batch-norm running statistics; run a couple to
+/// make the source's running stats non-trivial before testing preservation.
+fn warm_up(net: &mut Network, seed: u64) {
+    let x = probe(seed, 8);
+    for _ in 0..3 {
+        let y = net.forward(&x, Mode::Train);
+        net.backward(&y);
+        net.zero_grad();
+    }
+    net.clear_caches();
+}
+
+fn assert_preserved(a: &mut Network, b: &mut Network, seed: u64) {
+    let x = probe(seed, 5);
+    let ya = a.forward(&x, Mode::Eval);
+    let yb = b.forward(&x, Mode::Eval);
+    let diff = max_abs_diff(ya.data(), yb.data());
+    assert!(
+        diff <= PRESERVATION_TOLERANCE,
+        "outputs differ by {diff} (tolerance {PRESERVATION_TOLERANCE})"
+    );
+}
+
+#[test]
+fn mlp_widen_and_deepen_preserves() {
+    let small = Architecture::mlp("s", input(), 10, vec![8, 8]);
+    let big = Architecture::mlp("t", input(), 10, vec![16, 8, 8, 12]);
+    let mut src = Network::seeded(&small, 1);
+    let mut hatched = morph_to(&src, &big).unwrap();
+    assert_preserved(&mut src, &mut hatched, 100);
+    assert_eq!(hatched.param_count() as u64, big.param_count());
+}
+
+#[test]
+fn plain_widen_preserves_after_warmup() {
+    let small = Architecture::plain(
+        "s",
+        input(),
+        10,
+        vec![ConvBlockSpec::repeated(3, 4, 2), ConvBlockSpec::repeated(3, 8, 1)],
+        vec![16],
+    );
+    let big = Architecture::plain(
+        "t",
+        input(),
+        10,
+        vec![ConvBlockSpec::repeated(3, 9, 2), ConvBlockSpec::repeated(3, 13, 1)],
+        vec![31],
+    );
+    let mut src = Network::seeded(&small, 2);
+    warm_up(&mut src, 3);
+    let mut hatched = morph_to(&src, &big).unwrap();
+    assert_preserved(&mut src, &mut hatched, 101);
+}
+
+#[test]
+fn plain_deepen_preserves() {
+    let small = Architecture::plain(
+        "s",
+        input(),
+        10,
+        vec![ConvBlockSpec::repeated(3, 4, 1), ConvBlockSpec::repeated(3, 8, 1)],
+        vec![16],
+    );
+    let big = Architecture::plain(
+        "t",
+        input(),
+        10,
+        vec![ConvBlockSpec::repeated(3, 4, 3), ConvBlockSpec::repeated(3, 8, 2)],
+        vec![16, 16],
+    );
+    let mut src = Network::seeded(&small, 4);
+    warm_up(&mut src, 5);
+    let mut hatched = morph_to(&src, &big).unwrap();
+    assert_preserved(&mut src, &mut hatched, 102);
+}
+
+#[test]
+fn plain_kernel_growth_preserves() {
+    let small = Architecture::plain(
+        "s",
+        input(),
+        10,
+        vec![ConvBlockSpec::new(vec![ConvLayerSpec::new(3, 4), ConvLayerSpec::new(1, 4)])],
+        vec![8],
+    );
+    let big = Architecture::plain(
+        "t",
+        input(),
+        10,
+        vec![ConvBlockSpec::new(vec![ConvLayerSpec::new(5, 4), ConvLayerSpec::new(3, 4)])],
+        vec![8],
+    );
+    let mut src = Network::seeded(&small, 6);
+    warm_up(&mut src, 7);
+    let mut hatched = morph_to(&src, &big).unwrap();
+    assert_preserved(&mut src, &mut hatched, 103);
+}
+
+#[test]
+fn plain_all_transformations_composed_preserve() {
+    // Widen + deepen + kernel growth + dense widen + dense deepen at once.
+    let small = Architecture::plain(
+        "s",
+        input(),
+        10,
+        vec![ConvBlockSpec::repeated(3, 4, 1), ConvBlockSpec::repeated(3, 6, 2)],
+        vec![12],
+    );
+    let big = Architecture::plain(
+        "t",
+        input(),
+        10,
+        vec![
+            ConvBlockSpec::new(vec![ConvLayerSpec::new(5, 7), ConvLayerSpec::new(3, 7)]),
+            ConvBlockSpec::new(vec![
+                ConvLayerSpec::new(3, 6),
+                ConvLayerSpec::new(5, 11),
+                ConvLayerSpec::new(3, 11),
+            ]),
+        ],
+        vec![20, 24],
+    );
+    let mut src = Network::seeded(&small, 8);
+    warm_up(&mut src, 9);
+    let mut hatched = morph_to(&src, &big).unwrap();
+    assert_preserved(&mut src, &mut hatched, 104);
+    assert_eq!(hatched.param_count() as u64, big.param_count());
+}
+
+#[test]
+fn residual_widen_deepen_preserves() {
+    let small = Architecture::residual(
+        "s",
+        input(),
+        10,
+        vec![ResBlockSpec::new(1, 4, 3), ResBlockSpec::new(2, 8, 3)],
+    );
+    let big = Architecture::residual(
+        "t",
+        input(),
+        10,
+        vec![ResBlockSpec::new(3, 6, 3), ResBlockSpec::new(3, 11, 3)],
+    );
+    let mut src = Network::seeded(&small, 10);
+    warm_up(&mut src, 11);
+    let mut hatched = morph_to(&src, &big).unwrap();
+    assert_preserved(&mut src, &mut hatched, 105);
+    assert_eq!(hatched.param_count() as u64, big.param_count());
+}
+
+#[test]
+fn residual_kernel_growth_preserves() {
+    let small = Architecture::residual("s", input(), 10, vec![ResBlockSpec::new(2, 4, 3)]);
+    let big = Architecture::residual("t", input(), 10, vec![ResBlockSpec::new(2, 4, 5)]);
+    let mut src = Network::seeded(&small, 12);
+    warm_up(&mut src, 13);
+    let mut hatched = morph_to(&src, &big).unwrap();
+    assert_preserved(&mut src, &mut hatched, 106);
+}
+
+#[test]
+fn single_op_helpers_preserve() {
+    let arch = Architecture::plain(
+        "s",
+        input(),
+        10,
+        vec![ConvBlockSpec::repeated(3, 4, 2), ConvBlockSpec::repeated(3, 8, 1)],
+        vec![16],
+    );
+    let mut src = Network::seeded(&arch, 14);
+    warm_up(&mut src, 15);
+    let opts = MorphOptions::exact();
+
+    let mut widened = ops::widen_conv_layer(&src, 0, 1, 9, &opts).unwrap();
+    assert_preserved(&mut src, &mut widened, 107);
+
+    let mut grown = ops::expand_conv_kernel(&src, 1, 0, 5, &opts).unwrap();
+    assert_preserved(&mut src, &mut grown, 108);
+
+    let mut deepened = ops::deepen_block(&src, 0, 2, &opts).unwrap();
+    assert_preserved(&mut src, &mut deepened, 109);
+
+    let mut dense_wide = ops::widen_dense_layer(&src, 0, 24, &opts).unwrap();
+    assert_preserved(&mut src, &mut dense_wide, 110);
+
+    let mut dense_deep = ops::add_dense_layer(&src, 16, &opts).unwrap();
+    assert_preserved(&mut src, &mut dense_deep, 111);
+}
+
+#[test]
+fn residual_op_helpers_preserve() {
+    let arch = Architecture::residual(
+        "s",
+        input(),
+        10,
+        vec![ResBlockSpec::new(1, 4, 3), ResBlockSpec::new(1, 8, 3)],
+    );
+    let mut src = Network::seeded(&arch, 16);
+    warm_up(&mut src, 17);
+    let opts = MorphOptions::exact();
+
+    let mut wide = ops::widen_stage(&src, 1, 12, &opts).unwrap();
+    assert_preserved(&mut src, &mut wide, 112);
+
+    let mut deep = ops::add_residual_units(&src, 0, 2, &opts).unwrap();
+    assert_preserved(&mut src, &mut deep, 113);
+}
+
+#[test]
+fn noise_breaks_exactness_but_stays_close() {
+    let small = Architecture::mlp("s", input(), 10, vec![8]);
+    let big = Architecture::mlp("t", input(), 10, vec![16]);
+    let mut src = Network::seeded(&small, 18);
+    let mut hatched =
+        morph_to_with(&src, &big, &MorphOptions::with_noise(1e-3, 99)).unwrap();
+    let x = probe(200, 4);
+    let ya = src.forward(&x, Mode::Eval);
+    let yb = hatched.forward(&x, Mode::Eval);
+    let diff = max_abs_diff(ya.data(), yb.data());
+    assert!(diff > 0.0, "noise should perturb outputs");
+    assert!(diff < 0.5, "noise perturbation too large: {diff}");
+}
+
+#[test]
+fn incompatible_targets_are_rejected() {
+    let plain = Architecture::plain(
+        "p",
+        input(),
+        10,
+        vec![ConvBlockSpec::repeated(3, 4, 1)],
+        vec![8],
+    );
+    let mlp = Architecture::mlp("m", input(), 10, vec![8]);
+    let res = Architecture::residual("r", input(), 10, vec![ResBlockSpec::new(1, 4, 3)]);
+    let src = Network::seeded(&plain, 19);
+    assert!(matches!(morph_to(&src, &mlp), Err(MorphError::NotExpandable { .. })));
+    assert!(matches!(morph_to(&src, &res), Err(MorphError::NotExpandable { .. })));
+
+    // Shrinking targets rejected.
+    let smaller = Architecture::plain(
+        "p2",
+        input(),
+        10,
+        vec![ConvBlockSpec::repeated(3, 2, 1)],
+        vec![8],
+    );
+    assert!(morph_to(&src, &smaller).is_err());
+
+    // Different class count rejected.
+    let other_classes = Architecture::plain(
+        "p3",
+        input(),
+        5,
+        vec![ConvBlockSpec::repeated(3, 4, 1)],
+        vec![8],
+    );
+    assert!(morph_to(&src, &other_classes).is_err());
+}
+
+#[test]
+fn plan_matches_hatch_param_growth() {
+    let small = Architecture::plain(
+        "s",
+        input(),
+        10,
+        vec![ConvBlockSpec::repeated(3, 4, 1)],
+        vec![8],
+    );
+    let big = Architecture::plain(
+        "t",
+        input(),
+        10,
+        vec![ConvBlockSpec::repeated(3, 8, 2)],
+        vec![16],
+    );
+    let plan = MorphPlan::between(&small, &big).unwrap();
+    let src = Network::seeded(&small, 20);
+    let mut hatched = morph_to(&src, &big).unwrap();
+    let src_params = small.param_count();
+    assert_eq!(hatched.param_count() as u64, src_params + plan.new_params);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: for arbitrary compatible MLP pairs, morphing preserves the
+    /// function exactly.
+    #[test]
+    fn prop_mlp_morph_preserves(
+        base_widths in proptest::collection::vec(2usize..10, 1..3),
+        growth in proptest::collection::vec(0usize..8, 3),
+        extra_layers in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let small = Architecture::mlp("s", input(), 5, base_widths.clone());
+        let mut t_widths: Vec<usize> = base_widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w + growth[i.min(growth.len() - 1)])
+            .collect();
+        let last = *t_widths.last().unwrap();
+        for _ in 0..extra_layers {
+            t_widths.push(last);
+        }
+        let big = Architecture::mlp("t", input(), 5, t_widths);
+        let mut src = Network::seeded(&small, seed);
+        let mut hatched = morph_to(&src, &big).unwrap();
+        let x = probe(seed.wrapping_add(1), 3);
+        let ya = src.forward(&x, Mode::Eval);
+        let yb = hatched.forward(&x, Mode::Eval);
+        prop_assert!(max_abs_diff(ya.data(), yb.data()) <= PRESERVATION_TOLERANCE);
+    }
+
+    /// Property: widening any single conv layer of a two-block plain net
+    /// preserves the function.
+    #[test]
+    fn prop_plain_single_widen_preserves(
+        block in 0usize..2,
+        layer in 0usize..2,
+        extra in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let arch = Architecture::plain(
+            "s",
+            input(),
+            5,
+            vec![ConvBlockSpec::repeated(3, 4, 2), ConvBlockSpec::repeated(3, 6, 2)],
+            vec![8],
+        );
+        let mut src = Network::seeded(&arch, seed);
+        warm_up(&mut src, seed.wrapping_add(7));
+        let base = if block == 0 { 4 } else { 6 };
+        let hatched = ops::widen_conv_layer(&src, block, layer, base + extra, &MorphOptions::exact());
+        let mut hatched = hatched.unwrap();
+        let x = probe(seed.wrapping_add(2), 3);
+        let ya = src.forward(&x, Mode::Eval);
+        let yb = hatched.forward(&x, Mode::Eval);
+        prop_assert!(max_abs_diff(ya.data(), yb.data()) <= PRESERVATION_TOLERANCE);
+    }
+}

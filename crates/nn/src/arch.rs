@@ -1,0 +1,620 @@
+//! Architecture descriptors.
+//!
+//! MotherNet construction (paper §2.1) and τ-clustering (§2.3) operate on
+//! *descriptions* of networks, not on weights: the MotherNet of an ensemble
+//! is computed purely from the members' layer/block structure, and the
+//! clustering condition compares parameter counts. This module is that
+//! description language.
+//!
+//! Three families are supported, mirroring the paper:
+//!
+//! * [`Body::Mlp`] — fully-connected networks (paper §2.1, "Fully-connected
+//!   networks"): MotherNets are built layer-by-layer.
+//! * [`Body::Plain`] — VGG-style convolutional networks: blocks of
+//!   stride-1 convolutions separated by 2×2 max pooling, followed by dense
+//!   layers. MotherNets are built block-by-block.
+//! * [`Body::Residual`] — ResNet-style networks: blocks of residual units
+//!   separated by max pooling, with a global-average-pool head.
+//!
+//! Convolutional layers are written `<filter_size>:<filter_number>`
+//! throughout, matching the paper's notation (e.g. `3:64`).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Input tensor geometry: channels × height × width.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct InputSpec {
+    /// Number of input channels (3 for RGB image tasks).
+    pub channels: usize,
+    /// Input height in pixels.
+    pub height: usize,
+    /// Input width in pixels.
+    pub width: usize,
+}
+
+impl InputSpec {
+    /// Convenience constructor.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        InputSpec { channels, height, width }
+    }
+}
+
+/// One convolutional layer inside a plain (VGG-style) block, in the paper's
+/// `<filter_size>:<filter_number>` notation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ConvLayerSpec {
+    /// Square kernel extent (must be odd: 1, 3, 5, …).
+    pub filter_size: usize,
+    /// Number of output filters (channels).
+    pub filters: usize,
+}
+
+impl ConvLayerSpec {
+    /// Convenience constructor: `conv(3, 64)` is the paper's `3:64`.
+    pub fn new(filter_size: usize, filters: usize) -> Self {
+        ConvLayerSpec { filter_size, filters }
+    }
+}
+
+impl fmt::Display for ConvLayerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.filter_size, self.filters)
+    }
+}
+
+/// A block of convolutional layers; blocks are separated by 2×2 max pooling.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct ConvBlockSpec {
+    /// The block's layers, input side first.
+    pub layers: Vec<ConvLayerSpec>,
+}
+
+impl ConvBlockSpec {
+    /// Builds a block from `(filter_size, filters)` pairs.
+    pub fn new(layers: Vec<ConvLayerSpec>) -> Self {
+        ConvBlockSpec { layers }
+    }
+
+    /// Builds a block of `count` identical `filter_size:filters` layers —
+    /// the paper's `(3:64)x2` shorthand.
+    pub fn repeated(filter_size: usize, filters: usize, count: usize) -> Self {
+        ConvBlockSpec { layers: vec![ConvLayerSpec::new(filter_size, filters); count] }
+    }
+}
+
+impl fmt::Display for ConvBlockSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A ResNet-style stage: `units` residual units, each two
+/// `filter_size`×`filter_size` convolutions of `filters` channels with an
+/// identity skip connection.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ResBlockSpec {
+    /// Number of residual units in the stage.
+    pub units: usize,
+    /// Channel width of every convolution in the stage.
+    pub filters: usize,
+    /// Square kernel extent of the unit convolutions (odd).
+    pub filter_size: usize,
+}
+
+impl ResBlockSpec {
+    /// Convenience constructor.
+    pub fn new(units: usize, filters: usize, filter_size: usize) -> Self {
+        ResBlockSpec { units, filters, filter_size }
+    }
+}
+
+impl fmt::Display for ResBlockSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}u {}:{}]", self.units, self.filter_size, self.filters)
+    }
+}
+
+/// The trainable body of an architecture.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Body {
+    /// Fully-connected: hidden layer widths, input side first.
+    Mlp {
+        /// Hidden layer widths.
+        hidden: Vec<usize>,
+    },
+    /// VGG-style: convolutional blocks then dense hidden layers.
+    Plain {
+        /// Convolutional blocks, separated by 2×2 max pooling.
+        blocks: Vec<ConvBlockSpec>,
+        /// Hidden dense layer widths after flattening.
+        dense: Vec<usize>,
+    },
+    /// ResNet-style: residual stages then a global-average-pool head.
+    Residual {
+        /// Residual stages, separated by 2×2 max pooling.
+        blocks: Vec<ResBlockSpec>,
+    },
+}
+
+/// Which structural family an architecture belongs to.
+///
+/// MotherNet construction requires all ensemble members to share a family;
+/// see [`Architecture::family`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Family {
+    /// Fully-connected networks.
+    Mlp,
+    /// VGG-style plain convolutional networks.
+    Plain,
+    /// ResNet-style residual networks.
+    Residual,
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Family::Mlp => write!(f, "mlp"),
+            Family::Plain => write!(f, "plain"),
+            Family::Residual => write!(f, "residual"),
+        }
+    }
+}
+
+/// Errors produced when validating an [`Architecture`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ArchError {
+    /// A kernel size was even or zero; same-padding needs odd kernels.
+    InvalidFilterSize {
+        /// The offending kernel extent.
+        filter_size: usize,
+    },
+    /// A layer, block, or width count was zero.
+    EmptyStructure {
+        /// Human-readable description of what was empty.
+        what: String,
+    },
+    /// The pooling pyramid exhausts the spatial extent.
+    SpatialUnderflow {
+        /// Number of pooling steps requested.
+        pools: usize,
+        /// Input spatial extent that cannot support them.
+        extent: usize,
+    },
+    /// Two architectures that must be comparable are not (different family,
+    /// input, classes or block count).
+    Incompatible {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidFilterSize { filter_size } => {
+                write!(f, "filter size {filter_size} is not an odd positive integer")
+            }
+            ArchError::EmptyStructure { what } => write!(f, "empty structure: {what}"),
+            ArchError::SpatialUnderflow { pools, extent } => write!(
+                f,
+                "{pools} pooling steps exhaust spatial extent {extent}"
+            ),
+            ArchError::Incompatible { reason } => write!(f, "incompatible architectures: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ArchError {}
+
+/// A complete description of a feed-forward network: input geometry, body,
+/// and classifier width.
+///
+/// ```
+/// use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
+///
+/// // A small VGG-style net: two conv blocks then a 32-wide dense layer.
+/// let arch = Architecture::plain(
+///     "tiny-vgg",
+///     InputSpec::new(3, 8, 8),
+///     10,
+///     vec![ConvBlockSpec::repeated(3, 8, 2), ConvBlockSpec::repeated(3, 16, 2)],
+///     vec![32],
+/// );
+/// arch.validate().unwrap();
+/// assert!(arch.param_count() > 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Architecture {
+    /// Human-readable name (e.g. `"V16"`).
+    pub name: String,
+    /// Input tensor geometry.
+    pub input: InputSpec,
+    /// Number of output class labels.
+    pub num_classes: usize,
+    /// The trainable body.
+    pub body: Body,
+}
+
+impl Architecture {
+    /// Creates a fully-connected architecture.
+    pub fn mlp(
+        name: impl Into<String>,
+        input: InputSpec,
+        num_classes: usize,
+        hidden: Vec<usize>,
+    ) -> Self {
+        Architecture { name: name.into(), input, num_classes, body: Body::Mlp { hidden } }
+    }
+
+    /// Creates a VGG-style plain convolutional architecture.
+    pub fn plain(
+        name: impl Into<String>,
+        input: InputSpec,
+        num_classes: usize,
+        blocks: Vec<ConvBlockSpec>,
+        dense: Vec<usize>,
+    ) -> Self {
+        Architecture {
+            name: name.into(),
+            input,
+            num_classes,
+            body: Body::Plain { blocks, dense },
+        }
+    }
+
+    /// Creates a ResNet-style residual architecture.
+    pub fn residual(
+        name: impl Into<String>,
+        input: InputSpec,
+        num_classes: usize,
+        blocks: Vec<ResBlockSpec>,
+    ) -> Self {
+        Architecture { name: name.into(), input, num_classes, body: Body::Residual { blocks } }
+    }
+
+    /// The structural family of this architecture.
+    pub fn family(&self) -> Family {
+        match &self.body {
+            Body::Mlp { .. } => Family::Mlp,
+            Body::Plain { .. } => Family::Plain,
+            Body::Residual { .. } => Family::Residual,
+        }
+    }
+
+    /// Checks structural well-formedness.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`ArchError`] if any kernel is even/zero, any layer list
+    /// or width is empty/zero, or pooling would exhaust the input's spatial
+    /// extent.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.num_classes == 0 {
+            return Err(ArchError::EmptyStructure { what: "num_classes".into() });
+        }
+        if self.input.channels == 0 || self.input.height == 0 || self.input.width == 0 {
+            return Err(ArchError::EmptyStructure { what: "input geometry".into() });
+        }
+        match &self.body {
+            Body::Mlp { hidden } => {
+                if hidden.is_empty() {
+                    return Err(ArchError::EmptyStructure { what: "mlp hidden layers".into() });
+                }
+                if hidden.iter().any(|&u| u == 0) {
+                    return Err(ArchError::EmptyStructure { what: "mlp hidden width".into() });
+                }
+            }
+            Body::Plain { blocks, dense } => {
+                if blocks.is_empty() {
+                    return Err(ArchError::EmptyStructure { what: "conv blocks".into() });
+                }
+                for b in blocks {
+                    if b.layers.is_empty() {
+                        return Err(ArchError::EmptyStructure { what: "conv block layers".into() });
+                    }
+                    for l in &b.layers {
+                        if l.filter_size % 2 == 0 || l.filter_size == 0 {
+                            return Err(ArchError::InvalidFilterSize {
+                                filter_size: l.filter_size,
+                            });
+                        }
+                        if l.filters == 0 {
+                            return Err(ArchError::EmptyStructure {
+                                what: "conv layer filters".into(),
+                            });
+                        }
+                    }
+                }
+                if dense.iter().any(|&u| u == 0) {
+                    return Err(ArchError::EmptyStructure { what: "dense width".into() });
+                }
+                self.check_spatial(blocks.len())?;
+            }
+            Body::Residual { blocks } => {
+                if blocks.is_empty() {
+                    return Err(ArchError::EmptyStructure { what: "residual blocks".into() });
+                }
+                for b in blocks {
+                    if b.units == 0 {
+                        return Err(ArchError::EmptyStructure { what: "residual units".into() });
+                    }
+                    if b.filters == 0 {
+                        return Err(ArchError::EmptyStructure { what: "residual filters".into() });
+                    }
+                    if b.filter_size % 2 == 0 || b.filter_size == 0 {
+                        return Err(ArchError::InvalidFilterSize { filter_size: b.filter_size });
+                    }
+                }
+                // Pooling between blocks only (blocks.len() - 1 pools).
+                self.check_spatial(blocks.len() - 1)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_spatial(&self, pools: usize) -> Result<(), ArchError> {
+        let mut h = self.input.height.min(self.input.width);
+        for _ in 0..pools {
+            h /= 2;
+            if h == 0 {
+                return Err(ArchError::SpatialUnderflow {
+                    pools,
+                    extent: self.input.height.min(self.input.width),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Spatial extent `(h, w)` after the convolutional body (before flatten
+    /// / global pooling). Plain bodies pool after every block; residual
+    /// bodies pool between blocks.
+    pub fn spatial_after_body(&self) -> (usize, usize) {
+        let (mut h, mut w) = (self.input.height, self.input.width);
+        let pools = match &self.body {
+            Body::Mlp { .. } => 0,
+            Body::Plain { blocks, .. } => blocks.len(),
+            Body::Residual { blocks } => blocks.len() - 1,
+        };
+        for _ in 0..pools {
+            h /= 2;
+            w /= 2;
+        }
+        (h, w)
+    }
+
+    /// Total number of trainable parameters (weights, biases, and
+    /// batch-norm scale/shift), computed analytically from the description.
+    ///
+    /// This is the size measure `|N|` used by the clustering condition
+    /// (paper §2.3). It is validated against the parameter count of a built
+    /// network in the `mn-nn` tests.
+    pub fn param_count(&self) -> u64 {
+        let mut total: u64 = 0;
+        match &self.body {
+            Body::Mlp { hidden } => {
+                let mut fan_in = (self.input.channels * self.input.height * self.input.width) as u64;
+                for &units in hidden {
+                    total += fan_in * units as u64 + units as u64; // dense W + b
+                    fan_in = units as u64;
+                }
+                total += fan_in * self.num_classes as u64 + self.num_classes as u64;
+            }
+            Body::Plain { blocks, dense } => {
+                let mut c_in = self.input.channels as u64;
+                for block in blocks {
+                    for l in &block.layers {
+                        let k = l.filter_size as u64;
+                        let f = l.filters as u64;
+                        total += f * c_in * k * k + f; // conv W + b
+                        total += 2 * f; // batch-norm gamma + beta
+                        c_in = f;
+                    }
+                }
+                let (h, w) = self.spatial_after_body();
+                let mut fan_in = c_in * h as u64 * w as u64;
+                for &units in dense {
+                    total += fan_in * units as u64 + units as u64;
+                    fan_in = units as u64;
+                }
+                total += fan_in * self.num_classes as u64 + self.num_classes as u64;
+            }
+            Body::Residual { blocks } => {
+                // Stem: 3x3 conv into the first block's width + BN.
+                let mut c_in = self.input.channels as u64;
+                let stem_f = blocks[0].filters as u64;
+                total += stem_f * c_in * 9 + stem_f + 2 * stem_f;
+                c_in = stem_f;
+                for block in blocks {
+                    let f = block.filters as u64;
+                    let k = block.filter_size as u64;
+                    // Every stage begins with a 1x1 transition conv + BN.
+                    // Keeping the transition even when widths match gives
+                    // every residual architecture the same node skeleton,
+                    // which is what lets the morphism engine hatch any
+                    // member from a MotherNet by pure weight transfer.
+                    total += f * c_in + f + 2 * f;
+                    c_in = f;
+                    for _ in 0..block.units {
+                        // Two convs + two BNs per unit.
+                        total += 2 * (f * f * k * k + f) + 2 * (2 * f);
+                    }
+                }
+                total += c_in * self.num_classes as u64 + self.num_classes as u64;
+            }
+        }
+        total
+    }
+
+    /// A one-line structural summary, e.g.
+    /// `V16 plain [3:8 3:8][3:16 3:16] d[32] (12345 params)`.
+    pub fn summary(&self) -> String {
+        let mut s = format!("{} {} ", self.name, self.family());
+        match &self.body {
+            Body::Mlp { hidden } => {
+                s.push_str(&format!("h{hidden:?}"));
+            }
+            Body::Plain { blocks, dense } => {
+                for b in blocks {
+                    s.push_str(&format!("{b}"));
+                }
+                s.push_str(&format!(" d{dense:?}"));
+            }
+            Body::Residual { blocks } => {
+                for b in blocks {
+                    s.push_str(&format!("{b}"));
+                }
+            }
+        }
+        s.push_str(&format!(" ({} params)", self.param_count()));
+        s
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input() -> InputSpec {
+        InputSpec::new(3, 8, 8)
+    }
+
+    #[test]
+    fn mlp_param_count() {
+        let a = Architecture::mlp("m", input(), 10, vec![16, 8]);
+        // 192*16+16 + 16*8+8 + 8*10+10 = 3088 + 136 + 90
+        assert_eq!(a.param_count(), 3088 + 136 + 90);
+    }
+
+    #[test]
+    fn plain_param_count() {
+        let a = Architecture::plain(
+            "p",
+            input(),
+            10,
+            vec![ConvBlockSpec::repeated(3, 4, 1)],
+            vec![8],
+        );
+        // conv: 4*3*9+4 = 112, bn: 8; flatten 4*4*4=64 -> dense 64*8+8=520,
+        // classifier 8*10+10=90.
+        assert_eq!(a.param_count(), 112 + 8 + 520 + 90);
+    }
+
+    #[test]
+    fn residual_param_count() {
+        let a = Architecture::residual("r", input(), 10, vec![ResBlockSpec::new(1, 4, 3)]);
+        // stem: 4*3*9+4+8 = 120; transition: 4*4+4+8 = 28;
+        // unit: 2*(4*4*9+4)+2*8 = 296+16; classifier: 4*10+10 = 50.
+        assert_eq!(a.param_count(), 120 + 28 + 296 + 16 + 50);
+    }
+
+    #[test]
+    fn residual_projection_counted_on_width_change() {
+        let same = Architecture::residual(
+            "r",
+            input(),
+            10,
+            vec![ResBlockSpec::new(1, 4, 3), ResBlockSpec::new(1, 4, 3)],
+        );
+        let wider = Architecture::residual(
+            "r",
+            input(),
+            10,
+            vec![ResBlockSpec::new(1, 4, 3), ResBlockSpec::new(1, 8, 3)],
+        );
+        // The wider second block must include a projection's parameters.
+        assert!(wider.param_count() > same.param_count());
+    }
+
+    #[test]
+    fn validate_catches_even_kernel() {
+        let a = Architecture::plain(
+            "p",
+            input(),
+            10,
+            vec![ConvBlockSpec::repeated(2, 4, 1)],
+            vec![],
+        );
+        assert!(matches!(a.validate(), Err(ArchError::InvalidFilterSize { filter_size: 2 })));
+    }
+
+    #[test]
+    fn validate_catches_spatial_underflow() {
+        let a = Architecture::plain(
+            "p",
+            InputSpec::new(3, 4, 4),
+            10,
+            vec![
+                ConvBlockSpec::repeated(3, 4, 1),
+                ConvBlockSpec::repeated(3, 4, 1),
+                ConvBlockSpec::repeated(3, 4, 1),
+            ],
+            vec![],
+        );
+        assert!(matches!(a.validate(), Err(ArchError::SpatialUnderflow { .. })));
+    }
+
+    #[test]
+    fn validate_catches_empty() {
+        let a = Architecture::mlp("m", input(), 10, vec![]);
+        assert!(a.validate().is_err());
+        let b = Architecture::plain("p", input(), 0, vec![ConvBlockSpec::repeated(3, 4, 1)], vec![]);
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn spatial_after_body() {
+        let a = Architecture::plain(
+            "p",
+            input(),
+            10,
+            vec![ConvBlockSpec::repeated(3, 4, 1), ConvBlockSpec::repeated(3, 4, 1)],
+            vec![],
+        );
+        assert_eq!(a.spatial_after_body(), (2, 2));
+        let r = Architecture::residual(
+            "r",
+            input(),
+            10,
+            vec![ResBlockSpec::new(1, 4, 3), ResBlockSpec::new(1, 4, 3)],
+        );
+        assert_eq!(r.spatial_after_body(), (4, 4));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let spec = ConvLayerSpec::new(3, 64);
+        assert_eq!(format!("{spec}"), "3:64");
+        let block = ConvBlockSpec::repeated(3, 64, 2);
+        assert_eq!(format!("{block}"), "[3:64 3:64]");
+    }
+
+    #[test]
+    fn family_detection() {
+        assert_eq!(Architecture::mlp("m", input(), 2, vec![4]).family(), Family::Mlp);
+        assert_eq!(
+            Architecture::plain("p", input(), 2, vec![ConvBlockSpec::repeated(3, 4, 1)], vec![])
+                .family(),
+            Family::Plain
+        );
+        assert_eq!(
+            Architecture::residual("r", input(), 2, vec![ResBlockSpec::new(1, 4, 3)]).family(),
+            Family::Residual
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Confusion matrices and per-class metrics.
+
+use std::fmt;
+
+/// A `K×K` confusion matrix: `counts[true][predicted]`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch, empty input, or out-of-range entries.
+    pub fn from_predictions(predictions: &[usize], labels: &[usize], num_classes: usize) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+        assert!(!labels.is_empty(), "cannot build a confusion matrix from nothing");
+        assert!(num_classes > 0, "need at least one class");
+        let mut counts = vec![vec![0usize; num_classes]; num_classes];
+        for (&p, &t) in predictions.iter().zip(labels) {
+            assert!(p < num_classes && t < num_classes, "entry out of range");
+            counts[t][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of examples with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let correct: usize = (0..self.num_classes()).map(|c| self.counts[c][c]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        correct as f32 / total as f32
+    }
+
+    /// Per-class recall (`None` when the class has no true examples).
+    pub fn recall(&self, class: usize) -> Option<f32> {
+        let row: usize = self.counts[class].iter().sum();
+        (row > 0).then(|| self.counts[class][class] as f32 / row as f32)
+    }
+
+    /// Per-class precision (`None` when the class is never predicted).
+    pub fn precision(&self, class: usize) -> Option<f32> {
+        let col: usize = (0..self.num_classes()).map(|t| self.counts[t][class]).sum();
+        (col > 0).then(|| self.counts[class][class] as f32 / col as f32)
+    }
+
+    /// The most confused (off-diagonal) pair `(true, predicted, count)`,
+    /// if any misclassification occurred.
+    pub fn worst_confusion(&self) -> Option<(usize, usize, usize)> {
+        let mut best: Option<(usize, usize, usize)> = None;
+        for t in 0..self.num_classes() {
+            for p in 0..self.num_classes() {
+                if t != p
+                    && self.counts[t][p] > 0
+                    && best.is_none_or(|(_, _, c)| self.counts[t][p] > c)
+                {
+                    best = Some((t, p, self.counts[t][p]));
+                }
+            }
+        }
+        best
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion (rows = true, cols = predicted):")?;
+        for row in &self.counts {
+            for c in row {
+                write!(f, "{c:>6}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = ConfusionMatrix::from_predictions(&[0, 1, 2], &[0, 1, 2], 3);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.recall(0), Some(1.0));
+        assert_eq!(m.precision(2), Some(1.0));
+        assert_eq!(m.worst_confusion(), None);
+    }
+
+    #[test]
+    fn mixed_predictions() {
+        // true:  0 0 1 1 1
+        // pred:  0 1 1 1 0
+        let m = ConfusionMatrix::from_predictions(&[0, 1, 1, 1, 0], &[0, 0, 1, 1, 1], 2);
+        assert_eq!(m.count(0, 0), 1);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(1, 1), 2);
+        assert_eq!(m.count(1, 0), 1);
+        assert!((m.accuracy() - 0.6).abs() < 1e-6);
+        assert_eq!(m.recall(0), Some(0.5));
+        assert!((m.recall(1).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(m.precision(0), Some(0.5));
+        let worst = m.worst_confusion().unwrap();
+        assert_eq!(worst.2, 1);
+    }
+
+    #[test]
+    fn absent_class_yields_none() {
+        let m = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0], 3);
+        assert_eq!(m.recall(1), None);
+        assert_eq!(m.precision(2), None);
+        assert_eq!(m.recall(0), Some(1.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = ConfusionMatrix::from_predictions(&[0], &[0], 1);
+        assert!(format!("{m}").contains("confusion"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn validates_entries() {
+        ConfusionMatrix::from_predictions(&[5], &[0], 2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Network weight checkpointing.
+//!
+//! Serializes every persistent tensor of a network — trainable parameters
+//! *and* batch-norm running statistics — into a compact little-endian
+//! binary format, and restores them into a structurally identical network.
+//! Architectures themselves serialize as JSON via serde
+//! ([`crate::arch::Architecture`]); a checkpoint is the pair
+//! (architecture JSON, weight blob).
+//!
+//! Format: magic `MNW1`, `u32` tensor count, then per tensor a `u32`
+//! element count followed by that many `f32` values.
+
+use std::fmt;
+
+use bytes::{Buf, BufMut};
+
+use crate::network::Network;
+
+const MAGIC: &[u8; 4] = b"MNW1";
+
+/// Errors when restoring a weight blob.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WeightsError {
+    /// The blob does not start with the expected magic bytes.
+    BadMagic,
+    /// The blob ended before all tensors were read.
+    Truncated,
+    /// Tensor count or a tensor's element count does not match the target
+    /// network's structure.
+    ShapeMismatch {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Trailing bytes after the last tensor.
+    TrailingBytes {
+        /// Number of unread bytes.
+        count: usize,
+    },
+}
+
+impl fmt::Display for WeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightsError::BadMagic => write!(f, "not a MNW1 weight blob"),
+            WeightsError::Truncated => write!(f, "weight blob ended early"),
+            WeightsError::ShapeMismatch { detail } => {
+                write!(f, "weight blob does not match network: {detail}")
+            }
+            WeightsError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after weights")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WeightsError {}
+
+/// Serializes all persistent state of `net` into a weight blob.
+pub fn save_weights(net: &mut Network) -> Vec<u8> {
+    let state: Vec<Vec<f32>> = net
+        .nodes_mut()
+        .iter_mut()
+        .flat_map(|n| n.state_mut().into_iter().map(|t| t.data().to_vec()))
+        .collect();
+    let total: usize = state.iter().map(|t| 4 + 4 * t.len()).sum();
+    let mut out = Vec::with_capacity(8 + total);
+    out.put_slice(MAGIC);
+    out.put_u32_le(state.len() as u32);
+    for tensor in &state {
+        out.put_u32_le(tensor.len() as u32);
+        for &v in tensor {
+            out.put_f32_le(v);
+        }
+    }
+    out
+}
+
+/// Restores a weight blob produced by [`save_weights`] into a structurally
+/// identical network.
+///
+/// # Errors
+///
+/// Returns a [`WeightsError`] if the blob is malformed or does not match
+/// the network's structure. On error the network may be partially updated.
+pub fn load_weights(net: &mut Network, mut blob: &[u8]) -> Result<(), WeightsError> {
+    if blob.remaining() < 8 {
+        return Err(WeightsError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    blob.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(WeightsError::BadMagic);
+    }
+    let count = blob.get_u32_le() as usize;
+    let mut targets: Vec<&mut mn_tensor::Tensor> =
+        net.nodes_mut().iter_mut().flat_map(|n| n.state_mut()).collect();
+    if targets.len() != count {
+        return Err(WeightsError::ShapeMismatch {
+            detail: format!("blob has {count} tensors, network has {}", targets.len()),
+        });
+    }
+    for (i, target) in targets.iter_mut().enumerate() {
+        if blob.remaining() < 4 {
+            return Err(WeightsError::Truncated);
+        }
+        let len = blob.get_u32_le() as usize;
+        if len != target.len() {
+            return Err(WeightsError::ShapeMismatch {
+                detail: format!("tensor {i}: blob has {len} elements, network has {}", target.len()),
+            });
+        }
+        if blob.remaining() < 4 * len {
+            return Err(WeightsError::Truncated);
+        }
+        for v in target.data_mut() {
+            *v = blob.get_f32_le();
+        }
+    }
+    if blob.has_remaining() {
+        return Err(WeightsError::TrailingBytes { count: blob.remaining() });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{Architecture, ConvBlockSpec, InputSpec, ResBlockSpec};
+    use crate::{Mode, Network};
+    use mn_tensor::Tensor;
+
+    fn archs() -> Vec<Architecture> {
+        let input = InputSpec::new(3, 8, 8);
+        vec![
+            Architecture::mlp("m", input, 5, vec![8]),
+            Architecture::plain(
+                "p",
+                input,
+                5,
+                vec![ConvBlockSpec::repeated(3, 4, 1)],
+                vec![8],
+            ),
+            Architecture::residual("r", input, 5, vec![ResBlockSpec::new(1, 4, 3)]),
+        ]
+    }
+
+    #[test]
+    fn round_trip_restores_exact_outputs() {
+        for arch in archs() {
+            let mut original = Network::seeded(&arch, 7);
+            // Perturb running stats so they are part of the round trip.
+            let x = Tensor::randn([4, 3, 8, 8], 1.0, &mut rand::thread_rng());
+            original.forward(&x, Mode::Train);
+            original.clear_caches();
+            let blob = save_weights(&mut original);
+
+            let mut restored = Network::seeded(&arch, 999); // different init
+            load_weights(&mut restored, &blob).unwrap();
+            let a = original.forward(&x, Mode::Eval);
+            let b = restored.forward(&x, Mode::Eval);
+            assert_eq!(a.data(), b.data(), "round trip not exact for {}", arch.name);
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_network() {
+        let input = InputSpec::new(3, 8, 8);
+        let mut small = Network::seeded(&Architecture::mlp("s", input, 5, vec![8]), 1);
+        let mut big = Network::seeded(&Architecture::mlp("b", input, 5, vec![16]), 1);
+        let blob = save_weights(&mut small);
+        assert!(matches!(
+            load_weights(&mut big, &blob),
+            Err(WeightsError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let input = InputSpec::new(3, 8, 8);
+        let mut net = Network::seeded(&Architecture::mlp("m", input, 5, vec![8]), 1);
+        assert_eq!(load_weights(&mut net, b"junk"), Err(WeightsError::Truncated));
+        assert_eq!(
+            load_weights(&mut net, b"JUNKJUNKJUNK"),
+            Err(WeightsError::BadMagic)
+        );
+        // Valid header, truncated body.
+        let mut blob = save_weights(&mut net);
+        blob.truncate(blob.len() - 2);
+        assert_eq!(load_weights(&mut net, &blob), Err(WeightsError::Truncated));
+        // Trailing bytes.
+        let mut blob = save_weights(&mut net);
+        blob.push(0);
+        assert!(matches!(
+            load_weights(&mut net, &blob),
+            Err(WeightsError::TrailingBytes { count: 1 })
+        ));
+    }
+}

@@ -1,0 +1,79 @@
+//! Shared layer machinery: trainable parameters and execution mode.
+
+use mn_tensor::Tensor;
+
+/// A trainable parameter: a value tensor and its accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient of the loss w.r.t. `value`, filled by the backward pass.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().dims().to_vec());
+        Param { value, grad }
+    }
+
+    /// Replaces the value and resizes the gradient to match (used by the
+    /// morphism engine when a parameter changes shape).
+    pub fn replace(&mut self, value: Tensor) {
+        self.grad = Tensor::zeros(value.shape().dims().to_vec());
+        self.value = value;
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty (never true for valid tensors).
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Zeroes the gradient in place.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+}
+
+/// Execution mode of a forward pass.
+///
+/// Batch normalization behaves differently in the two modes: `Train` uses
+/// batch statistics (and updates running statistics); `Eval` uses the frozen
+/// running statistics. Function preservation of the morphism engine is exact
+/// in `Eval` mode (see `mn-morph`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Training: batch statistics, caches retained for backward.
+    Train,
+    /// Inference: running statistics, no parameter updates expected.
+    Eval,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_tracks_shapes() {
+        let mut p = Param::new(Tensor::ones([2, 3]));
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.grad.len(), 6);
+        p.replace(Tensor::zeros([4]));
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.grad.len(), 4);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones([3]));
+        p.grad = Tensor::ones([3]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Activation layers.
+
+use mn_tensor::Tensor;
+
+/// Rectified linear unit, `y = max(x, 0)`, applied element-wise.
+///
+/// ReLU is the activation the deepening morphism relies on: an inserted
+/// identity layer followed by ReLU preserves the function because the
+/// preceding activation is already non-negative (Net2Net/Network Morphism
+/// precondition).
+#[derive(Clone, Debug, Default)]
+pub struct ReluLayer {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReluLayer {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        ReluLayer { mask: None }
+    }
+
+    /// Forward pass; caches the activation mask when `train` is set.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        }
+        x.map(|v| v.max(0.0))
+    }
+
+    /// Backward pass: zeroes gradient where the input was non-positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass or on a length
+    /// mismatch.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("relu backward before forward");
+        assert_eq!(mask.len(), grad_out.len(), "relu mask length mismatch");
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.data_mut().iter_mut().zip(mask.iter()) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+
+    /// Drops cached activations.
+    pub fn clear_cache(&mut self) {
+        self.mask = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_clamps_negatives() {
+        let mut relu = ReluLayer::new();
+        let x = Tensor::from_vec([4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu.forward(&x, false);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn backward_masks_gradient() {
+        let mut relu = ReluLayer::new();
+        let x = Tensor::from_vec([4], vec![-1.0, 0.5, 2.0, -3.0]);
+        relu.forward(&x, true);
+        let g = relu.backward(&Tensor::ones([4]));
+        assert_eq!(g.data(), &[0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_input_blocks_gradient() {
+        // Subgradient choice at 0 is 0 (x > 0 strictly).
+        let mut relu = ReluLayer::new();
+        relu.forward(&Tensor::zeros([2]), true);
+        let g = relu.backward(&Tensor::ones([2]));
+        assert_eq!(g.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        ReluLayer::new().backward(&Tensor::ones([1]));
+    }
+}

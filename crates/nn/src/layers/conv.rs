@@ -1,0 +1,181 @@
+//! 2-D convolutional layer (stride 1, same padding).
+
+use mn_tensor::{conv, init, Tensor};
+use rand::Rng;
+
+use crate::layer::Param;
+
+/// A stride-1, same-padded 2-D convolution: input `[N, C, H, W]`, weight
+/// `[F, C, K, K]`, bias `[F]`, output `[N, F, H, W]`.
+#[derive(Clone, Debug)]
+pub struct ConvLayer {
+    /// Kernel weights `[F, C, K, K]`.
+    pub weight: Param,
+    /// Per-filter bias `[F]`.
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl ConvLayer {
+    /// Creates a conv layer with He-initialized kernels and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even (same padding requires odd kernels).
+    pub fn new<R: Rng>(in_channels: usize, filters: usize, kernel: usize, rng: &mut R) -> Self {
+        let _ = conv::same_padding(kernel); // validates oddness
+        let std = init::he_std(init::conv_fan_in(in_channels, kernel));
+        ConvLayer {
+            weight: Param::new(Tensor::randn([filters, in_channels, kernel, kernel], std, rng)),
+            bias: Param::new(Tensor::zeros([filters])),
+            cached_input: None,
+        }
+    }
+
+    /// Creates a conv layer from explicit parameters (morphism engine,
+    /// tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed shapes or even kernels.
+    pub fn from_params(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.shape().ndim(), 4, "conv weight must be [F, C, K, K]");
+        let k = weight.shape().dim(2);
+        assert_eq!(k, weight.shape().dim(3), "conv kernels must be square");
+        let _ = conv::same_padding(k);
+        assert_eq!(
+            bias.shape().dims(),
+            &[weight.shape().dim(0)],
+            "conv bias must be [filters]"
+        );
+        ConvLayer { weight: Param::new(weight), bias: Param::new(bias), cached_input: None }
+    }
+
+    /// Number of output filters.
+    pub fn filters(&self) -> usize {
+        self.weight.value.shape().dim(0)
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.shape().dim(1)
+    }
+
+    /// Kernel extent.
+    pub fn kernel(&self) -> usize {
+        self.weight.value.shape().dim(2)
+    }
+
+    /// Same padding for this layer's kernel.
+    pub fn padding(&self) -> usize {
+        self.kernel() / 2
+    }
+
+    /// Forward pass; caches the input for backward when `train` is set.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let y = conv::conv2d_forward(x, &self.weight.value, &self.bias.value, self.padding());
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("conv backward before forward");
+        let (gw, gb) =
+            conv::conv2d_backward_params(grad_out, x, self.kernel(), self.padding());
+        self.weight.grad.add_assign(&gw);
+        self.bias.grad.add_assign(&gb);
+        let h = x.shape().dim(2);
+        let w = x.shape().dim(3);
+        conv::conv2d_backward_input(grad_out, &self.weight.value, h, w, self.padding())
+    }
+
+    /// The layer's trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Drops cached activations.
+    pub fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_tensor::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = ConvLayer::new(3, 8, 3, &mut rng);
+        let x = Tensor::randn([2, 3, 6, 6], 1.0, &mut rng);
+        let y = layer.forward(&x, false);
+        assert_eq!(y.shape().dims(), &[2, 8, 6, 6]);
+        assert_eq!(layer.filters(), 8);
+        assert_eq!(layer.in_channels(), 3);
+        assert_eq!(layer.kernel(), 3);
+        assert_eq!(layer.padding(), 1);
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = ConvLayer::new(2, 3, 3, &mut rng);
+        let x = Tensor::randn([1, 2, 4, 4], 1.0, &mut rng);
+        let y = layer.forward(&x, true);
+        let gin = layer.backward(&y); // L = 0.5||y||^2
+        let eps = 1e-2;
+        let mut x2 = x.clone();
+        let dir = Tensor::randn([1, 2, 4, 4], 1.0, &mut rng);
+        x2.axpy(eps, &dir);
+        let lp = layer.forward(&x2, false).sq_norm() * 0.5;
+        let mut x3 = x.clone();
+        x3.axpy(-eps, &dir);
+        let lm = layer.forward(&x3, false).sq_norm() * 0.5;
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic: f32 = gin.data().iter().zip(dir.data()).map(|(g, d)| g * d).sum();
+        assert!(
+            (numeric - analytic).abs() / (1.0 + analytic.abs()) < 5e-2,
+            "{numeric} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn one_by_one_kernel_supported() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = ConvLayer::new(4, 2, 1, &mut rng);
+        let x = Tensor::randn([1, 4, 3, 3], 1.0, &mut rng);
+        let y = layer.forward(&x, false);
+        assert_eq!(y.shape().dims(), &[1, 2, 3, 3]);
+        assert_eq!(layer.padding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn even_kernel_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        ConvLayer::new(3, 4, 2, &mut rng);
+    }
+
+    #[test]
+    fn from_params_roundtrip() {
+        let w = Tensor::ones([2, 1, 3, 3]);
+        let b = Tensor::zeros([2]);
+        let mut layer = ConvLayer::from_params(w, b);
+        let x = Tensor::ones([1, 1, 3, 3]);
+        let y = layer.forward(&x, false);
+        // Center pixel sees the full 3x3 window of ones.
+        assert_close(&[y.at4(0, 0, 1, 1)], &[9.0], 1e-6);
+    }
+}

@@ -1,0 +1,169 @@
+//! Fully-connected (dense) layer.
+
+use mn_tensor::{init, ops, Tensor};
+use rand::Rng;
+
+use crate::layer::Param;
+
+/// A dense layer computing `y = x · W + b` for `x: [N, in]`,
+/// `W: [in, out]`, `b: [out]`.
+#[derive(Clone, Debug)]
+pub struct DenseLayer {
+    /// Weight matrix `[in, out]`.
+    pub weight: Param,
+    /// Bias vector `[out]`.
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl DenseLayer {
+    /// Creates a dense layer with He-initialized weights and zero bias.
+    pub fn new<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        let std = init::he_std(in_features);
+        DenseLayer {
+            weight: Param::new(Tensor::randn([in_features, out_features], std, rng)),
+            bias: Param::new(Tensor::zeros([out_features])),
+            cached_input: None,
+        }
+    }
+
+    /// Creates a dense layer from explicit weights (used by the morphism
+    /// engine and by tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not 2-D or `bias` does not match its width.
+    pub fn from_params(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.shape().ndim(), 2, "dense weight must be [in, out]");
+        assert_eq!(
+            bias.shape().dims(),
+            &[weight.shape().dim(1)],
+            "dense bias must match weight width"
+        );
+        DenseLayer { weight: Param::new(weight), bias: Param::new(bias), cached_input: None }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.shape().dim(0)
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.shape().dim(1)
+    }
+
+    /// Forward pass; caches the input for backward when `train` is set.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut y = ops::matmul(x, &self.weight.value);
+        ops::add_row_bias(&mut y, &self.bias.value);
+        if train {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns the
+    /// gradient w.r.t. the input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("dense backward before forward");
+        let gw = ops::matmul_tn(x, grad_out);
+        self.weight.grad.add_assign(&gw);
+        self.bias.grad.add_assign(&ops::column_sums(grad_out));
+        ops::matmul_nt(grad_out, &self.weight.value)
+    }
+
+    /// The layer's trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Drops cached activations (used between training runs).
+    pub fn clear_cache(&mut self) {
+        self.cached_input = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_tensor::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_known_values() {
+        let w = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3], vec![0.1, 0.2, 0.3]);
+        let mut layer = DenseLayer::from_params(w, b);
+        let x = Tensor::from_vec([1, 2], vec![1., 1.]);
+        let y = layer.forward(&x, false);
+        assert_close(y.data(), &[5.1, 7.2, 9.3], 1e-5);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut layer = DenseLayer::new(4, 3, &mut rng);
+        let x = Tensor::randn([2, 4], 1.0, &mut rng);
+        // L = 0.5 * ||y||^2 -> dL/dy = y.
+        let y = layer.forward(&x, true);
+        let gin = layer.backward(&y);
+        let eps = 1e-2;
+        // Check weight gradient entries.
+        for idx in [0usize, 5, 11] {
+            let orig = layer.weight.value[idx];
+            layer.weight.value[idx] = orig + eps;
+            let lp = layer.forward(&x, false).sq_norm() * 0.5;
+            layer.weight.value[idx] = orig - eps;
+            let lm = layer.forward(&x, false).sq_norm() * 0.5;
+            layer.weight.value[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = layer.weight.grad[idx];
+            assert!(
+                (numeric - analytic).abs() / (1.0 + analytic.abs()) < 5e-2,
+                "weight grad mismatch at {idx}: {numeric} vs {analytic}"
+            );
+        }
+        // Check input gradient via directional derivative.
+        let mut x2 = x.clone();
+        let dir = Tensor::randn([2, 4], 1.0, &mut rng);
+        x2.axpy(eps, &dir);
+        let lp = layer.forward(&x2, false).sq_norm() * 0.5;
+        let mut x3 = x.clone();
+        x3.axpy(-eps, &dir);
+        let lm = layer.forward(&x3, false).sq_norm() * 0.5;
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic: f32 = gin.data().iter().zip(dir.data()).map(|(g, d)| g * d).sum();
+        assert!(
+            (numeric - analytic).abs() / (1.0 + analytic.abs()) < 5e-2,
+            "input grad mismatch: {numeric} vs {analytic}"
+        );
+    }
+
+    #[test]
+    fn grads_accumulate_across_calls() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = DenseLayer::new(2, 2, &mut rng);
+        let x = Tensor::ones([1, 2]);
+        let g = Tensor::ones([1, 2]);
+        layer.forward(&x, true);
+        layer.backward(&g);
+        let after_one = layer.bias.grad.sum();
+        layer.forward(&x, true);
+        layer.backward(&g);
+        assert!((layer.bias.grad.sum() - 2.0 * after_one).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn backward_requires_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut layer = DenseLayer::new(2, 2, &mut rng);
+        layer.backward(&Tensor::ones([1, 2]));
+    }
+}

@@ -1,0 +1,16 @@
+//! The layer zoo: every trainable and structural layer used by the paper's
+//! networks, each with an exact forward/backward pair.
+
+pub mod activation;
+pub mod batchnorm;
+pub mod conv;
+pub mod dense;
+pub mod residual;
+pub mod spatial;
+
+pub use activation::ReluLayer;
+pub use batchnorm::{BatchNorm, BnLayout};
+pub use conv::ConvLayer;
+pub use dense::DenseLayer;
+pub use residual::ResidualUnit;
+pub use spatial::{FlattenLayer, GlobalAvgPoolLayer, MaxPoolLayer};

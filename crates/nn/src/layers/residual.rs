@@ -1,0 +1,233 @@
+//! Residual units (He et al.), the building block of the paper's ResNet
+//! ensembles (§3, "ResNets").
+
+use mn_tensor::Tensor;
+use rand::Rng;
+
+use crate::layer::Param;
+use crate::layers::activation::ReluLayer;
+use crate::layers::batchnorm::{BatchNorm, BnLayout};
+use crate::layers::conv::ConvLayer;
+
+/// A two-convolution residual unit with an identity skip connection:
+///
+/// ```text
+/// out = ReLU( BN2(Conv2( ReLU(BN1(Conv1(x))) )) + x )
+/// ```
+///
+/// Input and output channel counts are equal (`filters`); the surrounding
+/// network inserts a 1×1 projection when a stage changes width.
+///
+/// A unit whose second convolution is all-zero is an *identity map* (the
+/// branch contributes nothing and the inputs are post-ReLU, hence
+/// non-negative) — this is how the deepening morphism adds depth to
+/// residual networks. See [`ResidualUnit::identity`].
+#[derive(Clone, Debug)]
+pub struct ResidualUnit {
+    /// First convolution of the branch.
+    pub conv1: ConvLayer,
+    /// Batch norm after the first convolution.
+    pub bn1: BatchNorm,
+    relu1: ReluLayer,
+    /// Second convolution of the branch.
+    pub conv2: ConvLayer,
+    /// Batch norm after the second convolution.
+    pub bn2: BatchNorm,
+    relu_out: ReluLayer,
+}
+
+impl ResidualUnit {
+    /// Creates a randomly initialized residual unit of the given width and
+    /// kernel size.
+    pub fn new<R: Rng>(filters: usize, kernel: usize, rng: &mut R) -> Self {
+        ResidualUnit {
+            conv1: ConvLayer::new(filters, filters, kernel, rng),
+            bn1: BatchNorm::new(filters, BnLayout::Spatial),
+            relu1: ReluLayer::new(),
+            conv2: ConvLayer::new(filters, filters, kernel, rng),
+            bn2: BatchNorm::new(filters, BnLayout::Spatial),
+            relu_out: ReluLayer::new(),
+        }
+    }
+
+    /// Creates a residual unit that computes the identity function:
+    /// `conv1` is randomly initialized (so the unit can learn once trained)
+    /// but `conv2` is all-zero and `bn2` is the exact-identity batch norm,
+    /// so the branch contributes nothing.
+    pub fn identity<R: Rng>(filters: usize, kernel: usize, rng: &mut R) -> Self {
+        let mut unit = ResidualUnit::new(filters, kernel, rng);
+        unit.conv2.weight.value.fill_zero();
+        unit.conv2.bias.value.fill_zero();
+        unit.bn2 = BatchNorm::identity(filters, BnLayout::Spatial);
+        unit
+    }
+
+    /// Assembles a residual unit from explicit sub-layers — the constructor
+    /// used by the morphism engine when transferring MotherNet weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sub-layers' widths are inconsistent.
+    pub fn from_parts(conv1: ConvLayer, bn1: BatchNorm, conv2: ConvLayer, bn2: BatchNorm) -> Self {
+        let f = conv1.filters();
+        assert_eq!(conv1.in_channels(), f, "residual conv1 must be square");
+        assert_eq!(conv2.in_channels(), f, "residual conv2 input width mismatch");
+        assert_eq!(conv2.filters(), f, "residual conv2 output width mismatch");
+        assert_eq!(bn1.channels(), f, "residual bn1 width mismatch");
+        assert_eq!(bn2.channels(), f, "residual bn2 width mismatch");
+        ResidualUnit {
+            conv1,
+            bn1,
+            relu1: ReluLayer::new(),
+            conv2,
+            bn2,
+            relu_out: ReluLayer::new(),
+        }
+    }
+
+    /// Channel width of the unit.
+    pub fn filters(&self) -> usize {
+        self.conv1.filters()
+    }
+
+    /// Kernel extent of the unit's convolutions.
+    pub fn kernel(&self) -> usize {
+        self.conv1.kernel()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count does not match the unit width.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(
+            x.shape().dim(1),
+            self.filters(),
+            "residual unit width {} does not match input channels {}",
+            self.filters(),
+            x.shape().dim(1)
+        );
+        let h = self.conv1.forward(x, train);
+        let h = self.bn1.forward(&h, train);
+        let h = self.relu1.forward(&h, train);
+        let h = self.conv2.forward(&h, train);
+        let h = self.bn2.forward(&h, train);
+        let mut s = h;
+        s.add_assign(x);
+        self.relu_out.forward(&s, train)
+    }
+
+    /// Backward pass through both the branch and the skip connection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let gs = self.relu_out.backward(grad_out);
+        let g = self.bn2.backward(&gs);
+        let g = self.conv2.backward(&g);
+        let g = self.relu1.backward(&g);
+        let g = self.bn1.backward(&g);
+        let mut gin = self.conv1.backward(&g);
+        gin.add_assign(&gs); // skip path
+        gin
+    }
+
+    /// The unit's trainable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.conv1.params_mut();
+        p.extend(self.bn1.params_mut());
+        p.extend(self.conv2.params_mut());
+        p.extend(self.bn2.params_mut());
+        p
+    }
+
+    /// Drops cached activations.
+    pub fn clear_cache(&mut self) {
+        self.conv1.clear_cache();
+        self.bn1.clear_cache();
+        self.relu1.clear_cache();
+        self.conv2.clear_cache();
+        self.bn2.clear_cache();
+        self.relu_out.clear_cache();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_tensor::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_unit_preserves_nonnegative_input_eval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut unit = ResidualUnit::identity(3, 3, &mut rng);
+        // Post-ReLU inputs are non-negative.
+        let x = Tensor::randn([2, 3, 4, 4], 1.0, &mut rng).map(|v| v.max(0.0));
+        let y = unit.forward(&x, false);
+        assert_close(y.data(), x.data(), 1e-5);
+    }
+
+    #[test]
+    fn identity_unit_preserves_in_train_mode_too() {
+        // conv2 is all-zero, so the branch is exactly zero regardless of
+        // batch statistics.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut unit = ResidualUnit::identity(2, 3, &mut rng);
+        let x = Tensor::randn([4, 2, 4, 4], 1.0, &mut rng).map(|v| v.max(0.0));
+        let y = unit.forward(&x, true);
+        assert_close(y.data(), x.data(), 1e-5);
+    }
+
+    #[test]
+    fn forward_shape_preserved() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut unit = ResidualUnit::new(4, 3, &mut rng);
+        let x = Tensor::randn([2, 4, 5, 5], 1.0, &mut rng);
+        let y = unit.forward(&x, false);
+        assert_eq!(y.shape().dims(), x.shape().dims());
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut unit = ResidualUnit::new(2, 3, &mut rng);
+        let x = Tensor::randn([2, 2, 4, 4], 1.0, &mut rng);
+        let y = unit.forward(&x, true);
+        let gin = unit.backward(&y); // L = 0.5||y||^2 in train mode
+        let eps = 1e-2;
+        let dir = Tensor::randn([2, 2, 4, 4], 1.0, &mut rng);
+        let mut xp = x.clone();
+        xp.axpy(eps, &dir);
+        let lp = unit.clone().forward(&xp, true).sq_norm() * 0.5;
+        let mut xm = x.clone();
+        xm.axpy(-eps, &dir);
+        let lm = unit.clone().forward(&xm, true).sq_norm() * 0.5;
+        let numeric = (lp - lm) / (2.0 * eps);
+        let analytic: f32 = gin.data().iter().zip(dir.data()).map(|(g, d)| g * d).sum();
+        assert!(
+            (numeric - analytic).abs() / (1.0 + analytic.abs()) < 8e-2,
+            "{numeric} vs {analytic}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match input channels")]
+    fn width_mismatch_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut unit = ResidualUnit::new(4, 3, &mut rng);
+        unit.forward(&Tensor::ones([1, 3, 4, 4]), false);
+    }
+
+    #[test]
+    fn param_count_matches_arch_formula() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut unit = ResidualUnit::new(4, 3, &mut rng);
+        let count: usize = unit.params_mut().iter().map(|p| p.len()).sum();
+        // 2 convs (4*4*9+4) + 2 BNs (2*4).
+        assert_eq!(count, 2 * (4 * 4 * 9 + 4) + 2 * 8);
+    }
+}

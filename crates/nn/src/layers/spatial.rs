@@ -1,0 +1,166 @@
+//! Spatial reshaping layers: max pooling, global average pooling, flatten.
+
+use mn_tensor::{pool, Tensor};
+
+/// 2×2 stride-2 max pooling — the block separator of the paper's VGG- and
+/// ResNet-style architectures.
+#[derive(Clone, Debug, Default)]
+pub struct MaxPoolLayer {
+    argmax: Option<Vec<usize>>,
+    input_shape: Option<Vec<usize>>,
+}
+
+impl MaxPoolLayer {
+    /// Creates a max-pool layer.
+    pub fn new() -> Self {
+        MaxPoolLayer { argmax: None, input_shape: None }
+    }
+
+    /// Forward pass; caches routing information when `train` is set.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let out = pool::maxpool2x2_forward(x);
+        if train {
+            self.argmax = Some(out.argmax);
+            self.input_shape = Some(x.shape().dims().to_vec());
+        }
+        out.output
+    }
+
+    /// Backward pass: routes gradients to the argmax positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("maxpool backward before forward");
+        let shape = self.input_shape.as_ref().expect("maxpool backward before forward");
+        pool::maxpool2x2_backward(grad_out, argmax, shape)
+    }
+
+    /// Drops cached activations.
+    pub fn clear_cache(&mut self) {
+        self.argmax = None;
+        self.input_shape = None;
+    }
+}
+
+/// Global average pooling `[N, C, H, W] → [N, C]` — the ResNet-style head.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalAvgPoolLayer {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPoolLayer {
+    /// Creates a global-average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPoolLayer { input_shape: None }
+    }
+
+    /// Forward pass.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.input_shape = Some(x.shape().dims().to_vec());
+        }
+        pool::global_avg_pool_forward(x)
+    }
+
+    /// Backward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.as_ref().expect("gap backward before forward");
+        pool::global_avg_pool_backward(grad_out, shape)
+    }
+
+    /// Drops cached activations.
+    pub fn clear_cache(&mut self) {
+        self.input_shape = None;
+    }
+}
+
+/// Flattens `[N, C, H, W] → [N, C·H·W]` between the convolutional body and
+/// the dense head.
+#[derive(Clone, Debug, Default)]
+pub struct FlattenLayer {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl FlattenLayer {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        FlattenLayer { input_shape: None }
+    }
+
+    /// Forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 4-D.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let d = x.shape().dims();
+        assert_eq!(d.len(), 4, "flatten expects [N,C,H,W], got {}", x.shape());
+        if train {
+            self.input_shape = Some(d.to_vec());
+        }
+        x.reshape([d[0], d[1] * d[2] * d[3]])
+    }
+
+    /// Backward pass: un-flattens the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.as_ref().expect("flatten backward before forward");
+        grad_out.reshape(shape.clone())
+    }
+
+    /// Drops cached activations.
+    pub fn clear_cache(&mut self) {
+        self.input_shape = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_roundtrip() {
+        let mut mp = MaxPoolLayer::new();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = mp.forward(&x, true);
+        assert_eq!(y.data(), &[4.0]);
+        let g = mp.backward(&Tensor::from_vec([1, 1, 1, 1], vec![7.0]));
+        assert_eq!(g.data(), &[0., 0., 0., 7.]);
+    }
+
+    #[test]
+    fn gap_roundtrip() {
+        let mut gap = GlobalAvgPoolLayer::new();
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let y = gap.forward(&x, true);
+        assert_eq!(y.data(), &[2.5]);
+        let g = gap.backward(&Tensor::from_vec([1, 1], vec![4.0]));
+        assert_eq!(g.data(), &[1., 1., 1., 1.]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut fl = FlattenLayer::new();
+        let x = Tensor::from_vec([2, 1, 2, 2], (0..8).map(|v| v as f32).collect());
+        let y = fl.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[2, 4]);
+        let g = fl.backward(&y);
+        assert_eq!(g.shape().dims(), &[2, 1, 2, 2]);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "backward before forward")]
+    fn flatten_backward_requires_forward() {
+        FlattenLayer::new().backward(&Tensor::ones([1, 4]));
+    }
+}

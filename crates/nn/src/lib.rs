@@ -1,0 +1,61 @@
+//! # mn-nn
+//!
+//! Neural networks for the MotherNets reproduction: architecture
+//! descriptors, a layer zoo with exact backpropagation, and a mini-batch
+//! SGD training loop with the paper's uniform convergence criterion.
+//!
+//! The crate splits a network into two representations:
+//!
+//! * [`arch::Architecture`] — the *description* (blocks, layers, widths,
+//!   kernel sizes). MotherNet construction and τ-clustering (in the
+//!   `mothernets` crate) operate purely on descriptions.
+//! * [`network::Network`] — the *executable*: a sequence of
+//!   [`node::LayerNode`]s with weights, built from a description.
+//!
+//! The `mn-morph` crate rewrites a `Network` structurally (widening,
+//! deepening, filter growth) while preserving its function; the enum-based
+//! [`node::LayerNode`] exists to make those rewrites pattern-matchable.
+//!
+//! ## Example: build and train a small convolutional network
+//!
+//! ```
+//! use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
+//! use mn_nn::network::Network;
+//! use mn_nn::train::{train, TrainConfig};
+//! use mn_tensor::Tensor;
+//!
+//! let arch = Architecture::plain(
+//!     "tiny",
+//!     InputSpec::new(1, 4, 4),
+//!     2,
+//!     vec![ConvBlockSpec::repeated(3, 4, 1)],
+//!     vec![8],
+//! );
+//! let mut net = Network::seeded(&arch, 0);
+//! // Trivial two-class data: all-zeros vs all-ones images.
+//! let mut x = Tensor::zeros([8, 1, 4, 4]);
+//! for i in 4..8 { for j in 0..16 { x[i * 16 + j] = 1.0; } }
+//! let y = vec![0, 0, 0, 0, 1, 1, 1, 1];
+//! let cfg = TrainConfig { max_epochs: 5, batch_size: 4, ..TrainConfig::default() };
+//! let report = train(&mut net, &x, &y, &x, &y, &cfg);
+//! assert!(report.final_val.loss.is_finite());
+//! ```
+
+pub mod arch;
+pub mod confusion;
+pub mod io;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod network;
+pub mod node;
+pub mod optim;
+pub mod schedule;
+pub mod train;
+
+pub use arch::{Architecture, Body, Family, InputSpec};
+pub use layer::{Mode, Param};
+pub use network::Network;
+pub use node::LayerNode;
+pub use schedule::LrSchedule;

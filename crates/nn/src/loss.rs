@@ -1,0 +1,121 @@
+//! Softmax cross-entropy loss.
+
+use mn_tensor::{ops, Tensor};
+
+/// Mean softmax cross-entropy over a batch, plus the gradient w.r.t. the
+/// logits.
+///
+/// `logits` is `[N, K]`, `labels` has length `N` with entries `< K`.
+/// The returned gradient is `(softmax(logits) − onehot(labels)) / N`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or out-of-range labels.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let n = logits.shape().dim(0);
+    let k = logits.shape().dim(1);
+    assert_eq!(labels.len(), n, "labels length {} != batch {n}", labels.len());
+    let mut probs = logits.clone();
+    ops::softmax_rows(&mut probs);
+    let mut loss = 0.0f32;
+    {
+        let pd = probs.data();
+        for (i, &label) in labels.iter().enumerate() {
+            assert!(label < k, "label {label} out of range for {k} classes");
+            // Clamp to avoid -inf on a confidently wrong prediction.
+            loss -= pd[i * k + label].max(1e-12).ln();
+        }
+    }
+    loss /= n as f32;
+    let inv_n = 1.0 / n as f32;
+    {
+        let pd = probs.data_mut();
+        for (i, &label) in labels.iter().enumerate() {
+            pd[i * k + label] -= 1.0;
+        }
+        pd.iter_mut().for_each(|v| *v *= inv_n);
+    }
+    (loss, probs)
+}
+
+/// Mean cross-entropy of already-softmaxed probabilities against labels
+/// (no gradient) — used when evaluating ensembles whose combination step
+/// produces probabilities directly.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or out-of-range labels.
+pub fn nll_of_probs(probs: &Tensor, labels: &[usize]) -> f32 {
+    let n = probs.shape().dim(0);
+    let k = probs.shape().dim(1);
+    assert_eq!(labels.len(), n, "labels length {} != batch {n}", labels.len());
+    let pd = probs.data();
+    let mut loss = 0.0f32;
+    for (i, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of range for {k} classes");
+        loss -= pd[i * k + label].max(1e-12).ln();
+    }
+    loss / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros([2, 4]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn perfect_prediction_low_loss() {
+        let mut logits = Tensor::zeros([1, 3]);
+        logits[1] = 50.0;
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-4, "loss {loss}");
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut logits = Tensor::from_vec([2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for idx in 0..6 {
+            let orig = logits[idx];
+            logits[idx] = orig + eps;
+            let (lp, _) = softmax_cross_entropy(&logits, &labels);
+            logits[idx] = orig - eps;
+            let (lm, _) = softmax_cross_entropy(&logits, &labels);
+            logits[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[idx]).abs() < 1e-3,
+                "grad mismatch at {idx}: {numeric} vs {}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Tensor::from_vec([1, 3], vec![1.0, 2.0, 3.0]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[0]);
+        let sum: f32 = grad.data().iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_label() {
+        softmax_cross_entropy(&Tensor::zeros([1, 2]), &[5]);
+    }
+
+    #[test]
+    fn nll_of_probs_matches() {
+        let probs = Tensor::from_vec([1, 2], vec![0.25, 0.75]);
+        assert!((nll_of_probs(&probs, &[1]) - (-0.75f32.ln())).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,366 @@
+//! [`Network`]: an executable network built from an [`Architecture`].
+
+use mn_tensor::{ops, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arch::{Architecture, Body};
+use crate::layer::{Mode, Param};
+use crate::layers::{
+    BatchNorm, BnLayout, ConvLayer, DenseLayer, FlattenLayer, GlobalAvgPoolLayer, MaxPoolLayer,
+    ReluLayer, ResidualUnit,
+};
+use crate::node::LayerNode;
+
+/// A feed-forward network: an [`Architecture`] plus the layer sequence that
+/// realizes it.
+///
+/// ```
+/// use mn_nn::arch::{Architecture, InputSpec};
+/// use mn_nn::network::Network;
+/// use mn_nn::layer::Mode;
+/// use mn_tensor::Tensor;
+///
+/// let arch = Architecture::mlp("m", InputSpec::new(1, 2, 2), 3, vec![8]);
+/// let mut net = Network::seeded(&arch, 42);
+/// let x = Tensor::zeros([5, 1, 2, 2]);
+/// let logits = net.forward(&x, Mode::Eval);
+/// assert_eq!(logits.shape().dims(), &[5, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Network {
+    arch: Architecture,
+    nodes: Vec<LayerNode>,
+}
+
+impl Network {
+    /// Builds a freshly initialized network for `arch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arch` fails [`Architecture::validate`].
+    pub fn new<R: Rng>(arch: &Architecture, rng: &mut R) -> Self {
+        arch.validate().unwrap_or_else(|e| panic!("invalid architecture {}: {e}", arch.name));
+        let nodes = build_nodes(arch, rng);
+        Network { arch: arch.clone(), nodes }
+    }
+
+    /// Builds a freshly initialized network with a dedicated RNG seed.
+    pub fn seeded(arch: &Architecture, seed: u64) -> Self {
+        Network::new(arch, &mut StdRng::seed_from_u64(seed))
+    }
+
+    /// Reassembles a network from an architecture and a layer sequence —
+    /// the constructor used by the morphism engine after structural
+    /// rewrites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arch` is invalid or if a single-item forward pass does
+    /// not produce `[1, num_classes]` logits (i.e. the node sequence does
+    /// not realize the architecture).
+    pub fn from_parts(arch: Architecture, nodes: Vec<LayerNode>) -> Self {
+        arch.validate().unwrap_or_else(|e| panic!("invalid architecture {}: {e}", arch.name));
+        let mut net = Network { arch, nodes };
+        let probe = Tensor::zeros([
+            1,
+            net.arch.input.channels,
+            net.arch.input.height,
+            net.arch.input.width,
+        ]);
+        let out = net.forward(&probe, Mode::Eval);
+        assert_eq!(
+            out.shape().dims(),
+            &[1, net.arch.num_classes],
+            "node sequence does not realize architecture {}",
+            net.arch.name
+        );
+        net
+    }
+
+    /// The architecture this network realizes.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The layer sequence (read-only).
+    pub fn nodes(&self) -> &[LayerNode] {
+        &self.nodes
+    }
+
+    /// Mutable access to the layer sequence.
+    ///
+    /// This is the structural hook used by the `mn-morph` crate; prefer the
+    /// high-level morphism API over direct manipulation.
+    pub fn nodes_mut(&mut self) -> &mut Vec<LayerNode> {
+        &mut self.nodes
+    }
+
+    /// Decomposes the network into its parts (architecture, nodes).
+    pub fn into_parts(self) -> (Architecture, Vec<LayerNode>) {
+        (self.arch, self.nodes)
+    }
+
+    /// Forward pass over a batch `[N, C, H, W]`, returning logits `[N, K]`.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let mut h = x.clone();
+        for node in &mut self.nodes {
+            h = node.forward(&h, mode);
+        }
+        h
+    }
+
+    /// Backward pass from logit gradients; accumulates parameter gradients.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless a training-mode forward pass preceded this call.
+    pub fn backward(&mut self, grad_logits: &Tensor) {
+        let mut g = grad_logits.clone();
+        for node in self.nodes.iter_mut().rev() {
+            g = node.backward(&g);
+        }
+    }
+
+    /// Class-probability predictions `[N, K]` (eval mode).
+    pub fn predict_proba(&mut self, x: &Tensor) -> Tensor {
+        let mut logits = self.forward(x, Mode::Eval);
+        ops::softmax_rows(&mut logits);
+        logits
+    }
+
+    /// Hard label predictions (eval mode).
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        let logits = self.forward(x, Mode::Eval);
+        ops::argmax_rows(&logits)
+    }
+
+    /// All trainable parameters, in layer order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.nodes.iter_mut().flat_map(|n| n.params_mut()).collect()
+    }
+
+    /// Zeroes every parameter gradient.
+    pub fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    pub fn param_count(&mut self) -> usize {
+        self.nodes.iter_mut().map(|n| n.param_count()).sum()
+    }
+
+    /// Drops all cached activations (shrinks memory between runs).
+    pub fn clear_caches(&mut self) {
+        for n in &mut self.nodes {
+            n.clear_cache();
+        }
+    }
+}
+
+fn build_nodes<R: Rng>(arch: &Architecture, rng: &mut R) -> Vec<LayerNode> {
+    let mut nodes = Vec::new();
+    match &arch.body {
+        Body::Mlp { hidden } => {
+            nodes.push(LayerNode::Flatten(FlattenLayer::new()));
+            let mut fan_in = arch.input.channels * arch.input.height * arch.input.width;
+            for &units in hidden {
+                nodes.push(LayerNode::Dense(DenseLayer::new(fan_in, units, rng)));
+                nodes.push(LayerNode::Relu(ReluLayer::new()));
+                fan_in = units;
+            }
+            nodes.push(LayerNode::Dense(DenseLayer::new(fan_in, arch.num_classes, rng)));
+        }
+        Body::Plain { blocks, dense } => {
+            let mut c_in = arch.input.channels;
+            for block in blocks {
+                for l in &block.layers {
+                    nodes.push(LayerNode::Conv(ConvLayer::new(
+                        c_in,
+                        l.filters,
+                        l.filter_size,
+                        rng,
+                    )));
+                    nodes.push(LayerNode::BatchNorm(BatchNorm::new(
+                        l.filters,
+                        BnLayout::Spatial,
+                    )));
+                    nodes.push(LayerNode::Relu(ReluLayer::new()));
+                    c_in = l.filters;
+                }
+                nodes.push(LayerNode::MaxPool(MaxPoolLayer::new()));
+            }
+            nodes.push(LayerNode::Flatten(FlattenLayer::new()));
+            let (h, w) = arch.spatial_after_body();
+            let mut fan_in = c_in * h * w;
+            for &units in dense {
+                nodes.push(LayerNode::Dense(DenseLayer::new(fan_in, units, rng)));
+                nodes.push(LayerNode::Relu(ReluLayer::new()));
+                fan_in = units;
+            }
+            nodes.push(LayerNode::Dense(DenseLayer::new(fan_in, arch.num_classes, rng)));
+        }
+        Body::Residual { blocks } => {
+            // Stem.
+            let stem_f = blocks[0].filters;
+            nodes.push(LayerNode::Conv(ConvLayer::new(arch.input.channels, stem_f, 3, rng)));
+            nodes.push(LayerNode::BatchNorm(BatchNorm::new(stem_f, BnLayout::Spatial)));
+            nodes.push(LayerNode::Relu(ReluLayer::new()));
+            let mut c_in = stem_f;
+            for (i, block) in blocks.iter().enumerate() {
+                if i > 0 {
+                    nodes.push(LayerNode::MaxPool(MaxPoolLayer::new()));
+                }
+                // Unconditional 1x1 transition: see Architecture::param_count.
+                nodes.push(LayerNode::Conv(ConvLayer::new(c_in, block.filters, 1, rng)));
+                nodes.push(LayerNode::BatchNorm(BatchNorm::new(
+                    block.filters,
+                    BnLayout::Spatial,
+                )));
+                nodes.push(LayerNode::Relu(ReluLayer::new()));
+                c_in = block.filters;
+                for _ in 0..block.units {
+                    nodes.push(LayerNode::Residual(ResidualUnit::new(
+                        block.filters,
+                        block.filter_size,
+                        rng,
+                    )));
+                }
+            }
+            nodes.push(LayerNode::GlobalAvgPool(GlobalAvgPoolLayer::new()));
+            nodes.push(LayerNode::Dense(DenseLayer::new(c_in, arch.num_classes, rng)));
+        }
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{ConvBlockSpec, InputSpec, ResBlockSpec};
+
+    fn input() -> InputSpec {
+        InputSpec::new(3, 8, 8)
+    }
+
+    #[test]
+    fn mlp_param_count_matches_analytic() {
+        let arch = Architecture::mlp("m", input(), 10, vec![16, 8]);
+        let mut net = Network::seeded(&arch, 0);
+        assert_eq!(net.param_count() as u64, arch.param_count());
+    }
+
+    #[test]
+    fn plain_param_count_matches_analytic() {
+        let arch = Architecture::plain(
+            "p",
+            input(),
+            10,
+            vec![ConvBlockSpec::repeated(3, 4, 2), ConvBlockSpec::repeated(5, 8, 1)],
+            vec![16],
+        );
+        let mut net = Network::seeded(&arch, 0);
+        assert_eq!(net.param_count() as u64, arch.param_count());
+    }
+
+    #[test]
+    fn residual_param_count_matches_analytic() {
+        let arch = Architecture::residual(
+            "r",
+            input(),
+            10,
+            vec![ResBlockSpec::new(2, 4, 3), ResBlockSpec::new(1, 8, 3)],
+        );
+        let mut net = Network::seeded(&arch, 0);
+        assert_eq!(net.param_count() as u64, arch.param_count());
+    }
+
+    #[test]
+    fn forward_shapes_all_families() {
+        let archs = vec![
+            Architecture::mlp("m", input(), 7, vec![12]),
+            Architecture::plain(
+                "p",
+                input(),
+                7,
+                vec![ConvBlockSpec::repeated(3, 4, 1), ConvBlockSpec::repeated(3, 8, 1)],
+                vec![16],
+            ),
+            Architecture::residual("r", input(), 7, vec![ResBlockSpec::new(1, 4, 3)]),
+        ];
+        for arch in archs {
+            let mut net = Network::seeded(&arch, 1);
+            let x = Tensor::zeros([3, 3, 8, 8]);
+            let y = net.forward(&x, Mode::Eval);
+            assert_eq!(y.shape().dims(), &[3, 7], "wrong logits for {}", arch.name);
+        }
+    }
+
+    #[test]
+    fn train_backward_produces_gradients() {
+        let arch = Architecture::plain(
+            "p",
+            input(),
+            4,
+            vec![ConvBlockSpec::repeated(3, 4, 1)],
+            vec![8],
+        );
+        let mut net = Network::seeded(&arch, 2);
+        let x = Tensor::randn([4, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(3));
+        let y = net.forward(&x, Mode::Train);
+        net.backward(&y);
+        let grads_sq: f32 = net.params_mut().iter().map(|p| p.grad.sq_norm()).sum();
+        assert!(grads_sq > 0.0, "no gradient accumulated");
+        net.zero_grad();
+        let grads_sq: f32 = net.params_mut().iter().map(|p| p.grad.sq_norm()).sum();
+        assert_eq!(grads_sq, 0.0);
+    }
+
+    #[test]
+    fn predict_proba_rows_sum_to_one() {
+        let arch = Architecture::mlp("m", input(), 5, vec![8]);
+        let mut net = Network::seeded(&arch, 4);
+        let x = Tensor::randn([6, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(5));
+        let p = net.predict_proba(&x);
+        for i in 0..6 {
+            let sum: f32 = (0..5).map(|j| p.at2(i, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
+        let labels = net.predict(&x);
+        assert_eq!(labels.len(), 6);
+        assert!(labels.iter().all(|&l| l < 5));
+    }
+
+    #[test]
+    fn from_parts_validates_realization() {
+        let arch = Architecture::mlp("m", input(), 5, vec![8]);
+        let net = Network::seeded(&arch, 6);
+        let (a, nodes) = net.into_parts();
+        let rebuilt = Network::from_parts(a, nodes);
+        assert_eq!(rebuilt.arch().name, "m");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not realize")]
+    fn from_parts_rejects_wrong_head() {
+        let arch = Architecture::mlp("m", input(), 5, vec![8]);
+        let other = Architecture::mlp("m", input(), 3, vec![8]);
+        let net = Network::seeded(&arch, 7);
+        let (_, nodes) = net.into_parts();
+        Network::from_parts(other, nodes);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let arch = Architecture::mlp("m", input(), 5, vec![8]);
+        let mut a = Network::seeded(&arch, 9);
+        let mut b = Network::seeded(&arch, 9);
+        let x = Tensor::randn([2, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(10));
+        assert_eq!(a.forward(&x, Mode::Eval).data(), b.forward(&x, Mode::Eval).data());
+    }
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+}

@@ -1,0 +1,198 @@
+//! [`LayerNode`]: the enum that composes layers into networks.
+//!
+//! Networks are `Vec<LayerNode>`. An enum (rather than `Box<dyn Layer>`) is
+//! used deliberately: the morphism engine in `mn-morph` needs to pattern
+//! match on layer kinds and rewrite their parameters structurally, which is
+//! natural over an enum and awkward over trait objects — and the training
+//! loop benefits from static dispatch.
+
+use mn_tensor::Tensor;
+
+use crate::layer::{Mode, Param};
+use crate::layers::{
+    BatchNorm, ConvLayer, DenseLayer, FlattenLayer, GlobalAvgPoolLayer, MaxPoolLayer,
+    ReluLayer, ResidualUnit,
+};
+
+/// One node in a network's layer sequence.
+#[derive(Clone, Debug)]
+pub enum LayerNode {
+    /// Fully-connected layer.
+    Dense(DenseLayer),
+    /// Stride-1 same-padded convolution.
+    Conv(ConvLayer),
+    /// Batch normalization (spatial or flat).
+    BatchNorm(BatchNorm),
+    /// ReLU activation.
+    Relu(ReluLayer),
+    /// 2×2 stride-2 max pooling.
+    MaxPool(MaxPoolLayer),
+    /// `[N,C,H,W] → [N,CHW]`.
+    Flatten(FlattenLayer),
+    /// Global average pooling `[N,C,H,W] → [N,C]`.
+    GlobalAvgPool(GlobalAvgPoolLayer),
+    /// Two-conv residual unit with identity skip.
+    Residual(ResidualUnit),
+}
+
+impl LayerNode {
+    /// Forward pass through this node.
+    pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let train = mode == Mode::Train;
+        match self {
+            LayerNode::Dense(l) => l.forward(x, train),
+            LayerNode::Conv(l) => l.forward(x, train),
+            LayerNode::BatchNorm(l) => l.forward(x, train),
+            LayerNode::Relu(l) => l.forward(x, train),
+            LayerNode::MaxPool(l) => l.forward(x, train),
+            LayerNode::Flatten(l) => l.forward(x, train),
+            LayerNode::GlobalAvgPool(l) => l.forward(x, train),
+            LayerNode::Residual(l) => l.forward(x, train),
+        }
+    }
+
+    /// Backward pass through this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has not run a training-mode forward pass.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match self {
+            LayerNode::Dense(l) => l.backward(grad_out),
+            LayerNode::Conv(l) => l.backward(grad_out),
+            LayerNode::BatchNorm(l) => l.backward(grad_out),
+            LayerNode::Relu(l) => l.backward(grad_out),
+            LayerNode::MaxPool(l) => l.backward(grad_out),
+            LayerNode::Flatten(l) => l.backward(grad_out),
+            LayerNode::GlobalAvgPool(l) => l.backward(grad_out),
+            LayerNode::Residual(l) => l.backward(grad_out),
+        }
+    }
+
+    /// The node's trainable parameters (empty for structural nodes).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        match self {
+            LayerNode::Dense(l) => l.params_mut(),
+            LayerNode::Conv(l) => l.params_mut(),
+            LayerNode::BatchNorm(l) => l.params_mut(),
+            LayerNode::Residual(l) => l.params_mut(),
+            LayerNode::Relu(_)
+            | LayerNode::MaxPool(_)
+            | LayerNode::Flatten(_)
+            | LayerNode::GlobalAvgPool(_) => Vec::new(),
+        }
+    }
+
+    /// Number of trainable scalars in this node.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.len()).sum()
+    }
+
+    /// All persistent state tensors of this node, in a stable order:
+    /// trainable parameter values plus batch-norm running statistics.
+    /// This is the checkpointing surface (see `network::Network`'s
+    /// `save_weights` / `load_weights`).
+    pub fn state_mut(&mut self) -> Vec<&mut mn_tensor::Tensor> {
+        match self {
+            LayerNode::Dense(l) => vec![&mut l.weight.value, &mut l.bias.value],
+            LayerNode::Conv(l) => vec![&mut l.weight.value, &mut l.bias.value],
+            LayerNode::BatchNorm(l) => vec![
+                &mut l.gamma.value,
+                &mut l.beta.value,
+                &mut l.running_mean,
+                &mut l.running_var,
+            ],
+            LayerNode::Residual(l) => {
+                let mut v = vec![&mut l.conv1.weight.value, &mut l.conv1.bias.value];
+                v.extend([
+                    &mut l.bn1.gamma.value,
+                    &mut l.bn1.beta.value,
+                    &mut l.bn1.running_mean,
+                    &mut l.bn1.running_var,
+                ]);
+                v.extend([&mut l.conv2.weight.value, &mut l.conv2.bias.value]);
+                v.extend([
+                    &mut l.bn2.gamma.value,
+                    &mut l.bn2.beta.value,
+                    &mut l.bn2.running_mean,
+                    &mut l.bn2.running_var,
+                ]);
+                v
+            }
+            LayerNode::Relu(_)
+            | LayerNode::MaxPool(_)
+            | LayerNode::Flatten(_)
+            | LayerNode::GlobalAvgPool(_) => Vec::new(),
+        }
+    }
+
+    /// Short kind name for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LayerNode::Dense(_) => "dense",
+            LayerNode::Conv(_) => "conv",
+            LayerNode::BatchNorm(_) => "batchnorm",
+            LayerNode::Relu(_) => "relu",
+            LayerNode::MaxPool(_) => "maxpool",
+            LayerNode::Flatten(_) => "flatten",
+            LayerNode::GlobalAvgPool(_) => "gap",
+            LayerNode::Residual(_) => "residual",
+        }
+    }
+
+    /// Drops cached activations.
+    pub fn clear_cache(&mut self) {
+        match self {
+            LayerNode::Dense(l) => l.clear_cache(),
+            LayerNode::Conv(l) => l.clear_cache(),
+            LayerNode::BatchNorm(l) => l.clear_cache(),
+            LayerNode::Relu(l) => l.clear_cache(),
+            LayerNode::MaxPool(l) => l.clear_cache(),
+            LayerNode::Flatten(l) => l.clear_cache(),
+            LayerNode::GlobalAvgPool(l) => l.clear_cache(),
+            LayerNode::Residual(l) => l.clear_cache(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kinds_and_counts() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut nodes = [
+            LayerNode::Conv(ConvLayer::new(3, 4, 3, &mut rng)),
+            LayerNode::BatchNorm(BatchNorm::new(4, crate::layers::BnLayout::Spatial)),
+            LayerNode::Relu(ReluLayer::new()),
+            LayerNode::MaxPool(MaxPoolLayer::new()),
+            LayerNode::Flatten(FlattenLayer::new()),
+        ];
+        assert_eq!(nodes[0].kind(), "conv");
+        assert_eq!(nodes[0].param_count(), 4 * 3 * 9 + 4);
+        assert_eq!(nodes[1].param_count(), 8);
+        assert_eq!(nodes[2].param_count(), 0);
+        assert_eq!(nodes[3].param_count(), 0);
+        assert_eq!(nodes[4].param_count(), 0);
+    }
+
+    #[test]
+    fn forward_chain_through_nodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut nodes = vec![
+            LayerNode::Conv(ConvLayer::new(3, 4, 3, &mut rng)),
+            LayerNode::Relu(ReluLayer::new()),
+            LayerNode::MaxPool(MaxPoolLayer::new()),
+            LayerNode::Flatten(FlattenLayer::new()),
+            LayerNode::Dense(DenseLayer::new(4 * 2 * 2, 10, &mut rng)),
+        ];
+        let mut x = Tensor::randn([2, 3, 4, 4], 1.0, &mut rng);
+        for n in &mut nodes {
+            x = n.forward(&x, Mode::Eval);
+        }
+        assert_eq!(x.shape().dims(), &[2, 10]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Learning-rate schedules.
+//!
+//! The trainer multiplies its base learning rate by
+//! [`LrSchedule::factor`] at the start of every epoch. Besides the
+//! standard decays, [`LrSchedule::CyclicCosine`] implements the
+//! warm-restart annealing that snapshot ensembles (Huang et al., cited in
+//! the paper's related work §4) rely on: the rate anneals to a minimum
+//! within each cycle and restarts at the cycle boundary, driving the
+//! network into successive local minima.
+
+/// A learning-rate schedule: a multiplier on the base rate per epoch.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant,
+    /// `factor = gamma^epoch`.
+    Exponential {
+        /// Per-epoch multiplier in `(0, 1]`.
+        gamma: f32,
+    },
+    /// Multiply by `gamma` every `every` epochs.
+    Step {
+        /// Epochs between drops.
+        every: usize,
+        /// Multiplier at each drop, in `(0, 1]`.
+        gamma: f32,
+    },
+    /// Single cosine annealing from 1 to `min_factor` over `period` epochs,
+    /// holding `min_factor` afterwards.
+    Cosine {
+        /// Annealing horizon in epochs.
+        period: usize,
+        /// Final multiplier in `[0, 1]`.
+        min_factor: f32,
+    },
+    /// Cosine annealing with warm restarts every `cycle_len` epochs
+    /// (snapshot-ensemble style).
+    CyclicCosine {
+        /// Cycle length in epochs.
+        cycle_len: usize,
+        /// Multiplier at the end of each cycle, in `[0, 1]`.
+        min_factor: f32,
+    },
+}
+
+impl Default for LrSchedule {
+    fn default() -> Self {
+        LrSchedule::Exponential { gamma: 0.97 }
+    }
+}
+
+impl LrSchedule {
+    /// The multiplier applied to the base learning rate during `epoch`
+    /// (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a schedule was constructed with a zero period/cycle.
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Exponential { gamma } => gamma.powi(epoch as i32),
+            LrSchedule::Step { every, gamma } => {
+                assert!(every > 0, "step period must be positive");
+                gamma.powi((epoch / every) as i32)
+            }
+            LrSchedule::Cosine { period, min_factor } => {
+                assert!(period > 0, "cosine period must be positive");
+                if epoch >= period {
+                    min_factor
+                } else {
+                    let t = epoch as f32 / period as f32;
+                    min_factor
+                        + (1.0 - min_factor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+                }
+            }
+            LrSchedule::CyclicCosine { cycle_len, min_factor } => {
+                assert!(cycle_len > 0, "cycle length must be positive");
+                let t = (epoch % cycle_len) as f32 / cycle_len as f32;
+                min_factor
+                    + (1.0 - min_factor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+
+    /// Whether `epoch` (0-based) is the last epoch of a cyclic cycle — the
+    /// moment a snapshot ensemble would save the model. Always `false` for
+    /// non-cyclic schedules.
+    pub fn is_cycle_end(&self, epoch: usize) -> bool {
+        match *self {
+            LrSchedule::CyclicCosine { cycle_len, .. } => (epoch + 1) % cycle_len == 0,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(LrSchedule::Constant.factor(0), 1.0);
+        assert_eq!(LrSchedule::Constant.factor(100), 1.0);
+    }
+
+    #[test]
+    fn exponential_decays() {
+        let s = LrSchedule::Exponential { gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(1), 0.5);
+        assert_eq!(s.factor(3), 0.125);
+    }
+
+    #[test]
+    fn step_drops_at_boundaries() {
+        let s = LrSchedule::Step { every: 2, gamma: 0.1 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(1), 1.0);
+        assert!((s.factor(2) - 0.1).abs() < 1e-6);
+        assert!((s.factor(5) - 0.01).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_anneals_to_min_and_holds() {
+        let s = LrSchedule::Cosine { period: 10, min_factor: 0.1 };
+        assert_eq!(s.factor(0), 1.0);
+        assert!(s.factor(5) < 1.0 && s.factor(5) > 0.1);
+        // Monotone within the period.
+        for e in 1..10 {
+            assert!(s.factor(e) <= s.factor(e - 1) + 1e-6);
+        }
+        assert!((s.factor(10) - 0.1).abs() < 1e-6);
+        assert!((s.factor(99) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cyclic_restarts() {
+        let s = LrSchedule::CyclicCosine { cycle_len: 4, min_factor: 0.05 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(4), 1.0, "warm restart at cycle boundary");
+        assert!(s.factor(3) < s.factor(1), "annealing within the cycle");
+        assert!(!s.is_cycle_end(0));
+        assert!(s.is_cycle_end(3));
+        assert!(s.is_cycle_end(7));
+        assert!(!s.is_cycle_end(4));
+    }
+
+    #[test]
+    fn default_matches_legacy_decay() {
+        // The default schedule reproduces the historical lr_decay = 0.97.
+        let s = LrSchedule::default();
+        assert!((s.factor(2) - 0.97f32 * 0.97).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,151 @@
+//! im2col + GEMM convolution: the standard alternative formulation.
+//!
+//! Direct convolution ([`crate::conv`]) wins on the small spatial extents
+//! this workspace trains at; the im2col path lowers convolution onto the
+//! matrix-multiply kernel instead, which wins when `C·K·K` is large. Both
+//! are exposed so the `tensor_kernels` bench can compare them, and the
+//! property tests pin them to identical outputs.
+
+use crate::conv::conv_out_extent;
+use crate::{ops, Tensor};
+
+/// Unfolds `input: [N, C, H, W]` into the im2col matrix
+/// `[N·H'·W', C·K·K]`, where each row is the receptive field of one output
+/// position (zero-padded out of bounds).
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or the kernel (less padding) exceeds the
+/// input extent.
+pub fn im2col(input: &Tensor, k: usize, pad: usize) -> Tensor {
+    let d = input.shape().dims();
+    assert_eq!(d.len(), 4, "im2col input must be [N, C, H, W]");
+    let (n_batch, c_in, h, w) = (d[0], d[1], d[2], d[3]);
+    let ho = conv_out_extent(h, k, pad);
+    let wo = conv_out_extent(w, k, pad);
+    let row_len = c_in * k * k;
+    let mut out = Tensor::zeros([n_batch * ho * wo, row_len]);
+    let id = input.data();
+    let od = out.data_mut();
+    let ipad = pad as isize;
+    for n in 0..n_batch {
+        for oh in 0..ho {
+            for ow in 0..wo {
+                let row = ((n * ho + oh) * wo + ow) * row_len;
+                for c in 0..c_in {
+                    let ibase = (n * c_in + c) * h * w;
+                    for kh in 0..k {
+                        let ih = oh as isize + kh as isize - ipad;
+                        if ih < 0 || ih as usize >= h {
+                            continue; // leave zero padding
+                        }
+                        let irow = ibase + ih as usize * w;
+                        let obase = row + (c * k + kh) * k;
+                        for kw in 0..k {
+                            let iw = ow as isize + kw as isize - ipad;
+                            if iw >= 0 && (iw as usize) < w {
+                                od[obase + kw] = id[irow + iw as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Convolution via im2col + GEMM; numerically identical to
+/// [`crate::conv::conv2d_forward`].
+///
+/// # Panics
+///
+/// Panics on the same layout violations as the direct kernel.
+pub fn conv2d_forward_im2col(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    pad: usize,
+) -> Tensor {
+    let d = input.shape().dims();
+    let (n_batch, _, h, w) = (d[0], d[1], d[2], d[3]);
+    let wd = weight.shape().dims();
+    assert_eq!(wd.len(), 4, "conv weight must be [F, C, K, K]");
+    let (f_out, c_w, k) = (wd[0], wd[1], wd[2]);
+    assert_eq!(wd[3], k, "only square kernels supported");
+    assert_eq!(d[1], c_w, "input channels mismatch");
+    assert_eq!(bias.shape().dims(), &[f_out], "bias must be [filters]");
+    let ho = conv_out_extent(h, k, pad);
+    let wo = conv_out_extent(w, k, pad);
+
+    // [NHW, CKK] x [CKK, F] = [NHW, F]
+    let cols = im2col(input, k, pad);
+    let w_mat = weight.reshape([f_out, c_w * k * k]);
+    let mut prod = ops::matmul_nt(&cols, &w_mat);
+    ops::add_row_bias(&mut prod, bias);
+
+    // Rearrange [N·H'·W', F] -> [N, F, H', W'].
+    let mut out = Tensor::zeros([n_batch, f_out, ho, wo]);
+    let pd = prod.data();
+    let od = out.data_mut();
+    for n in 0..n_batch {
+        for oh in 0..ho {
+            for ow in 0..wo {
+                let prow = ((n * ho + oh) * wo + ow) * f_out;
+                for f in 0..f_out {
+                    od[((n * f_out + f) * ho + oh) * wo + ow] = pd[prow + f];
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d_forward;
+    use crate::{assert_close, Tensor};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn im2col_known_layout() {
+        // 1x1x2x2 input, k=1, pad=0: rows are single pixels in order.
+        let input = Tensor::from_vec([1, 1, 2, 2], vec![1., 2., 3., 4.]);
+        let cols = im2col(&input, 1, 0);
+        assert_eq!(cols.shape().dims(), &[4, 1]);
+        assert_eq!(cols.data(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn im2col_pads_with_zeros() {
+        let input = Tensor::ones([1, 1, 1, 1]);
+        let cols = im2col(&input, 3, 1);
+        // One output position; its 3x3 window has the 1 at the center.
+        assert_eq!(cols.shape().dims(), &[1, 9]);
+        assert_eq!(cols.data()[4], 1.0);
+        assert_eq!(cols.sum(), 1.0);
+    }
+
+    #[test]
+    fn matches_direct_convolution() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for (k, pad) in [(1usize, 0usize), (3, 1), (5, 2), (3, 0)] {
+            let input = Tensor::randn([2, 3, 6, 6], 1.0, &mut rng);
+            let weight = Tensor::randn([4, 3, k, k], 1.0, &mut rng);
+            let bias = Tensor::randn([4], 1.0, &mut rng);
+            let direct = conv2d_forward(&input, &weight, &bias, pad);
+            let gemm = conv2d_forward_im2col(&input, &weight, &bias, pad);
+            assert_close(gemm.data(), direct.data(), 1e-4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channels mismatch")]
+    fn validates_channels() {
+        let input = Tensor::zeros([1, 2, 4, 4]);
+        let weight = Tensor::zeros([1, 3, 3, 3]);
+        conv2d_forward_im2col(&input, &weight, &Tensor::zeros([1]), 1);
+    }
+}

@@ -1,0 +1,109 @@
+//! Weight initializers.
+//!
+//! The paper initializes weights "by sampling from a gaussian distribution
+//! with zero mean and unit standard deviation" (§3). A literal unit-variance
+//! Gaussian saturates any non-trivially deep network, so — as recorded in
+//! DESIGN.md — we keep the Gaussian family but use He/Kaiming fan-in scaling,
+//! the standard choice for ReLU networks. The sampler is a hand-rolled
+//! Box–Muller transform so the crate needs no distribution dependency.
+
+use rand::Rng;
+
+/// Fills `data` with i.i.d. Gaussian samples of the given `mean` and `std`
+/// using the Box–Muller transform.
+///
+/// `std == 0.0` fills with `mean` exactly (useful for deterministic tests).
+pub fn fill_gaussian<R: Rng>(data: &mut [f32], mean: f32, std: f32, rng: &mut R) {
+    if std == 0.0 {
+        data.iter_mut().for_each(|x| *x = mean);
+        return;
+    }
+    let mut i = 0;
+    while i < data.len() {
+        // Box–Muller: two uniforms -> two independent standard normals.
+        let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        data[i] = mean + std * r * theta.cos();
+        i += 1;
+        if i < data.len() {
+            data[i] = mean + std * r * theta.sin();
+            i += 1;
+        }
+    }
+}
+
+/// He/Kaiming standard deviation for a layer with the given fan-in:
+/// `sqrt(2 / fan_in)`. Appropriate for ReLU activations.
+///
+/// # Panics
+///
+/// Panics if `fan_in` is zero.
+pub fn he_std(fan_in: usize) -> f32 {
+    assert!(fan_in > 0, "fan_in must be positive");
+    (2.0 / fan_in as f32).sqrt()
+}
+
+/// Fan-in of a convolutional kernel: `in_channels * k_h * k_w`.
+pub fn conv_fan_in(in_channels: usize, kernel: usize) -> usize {
+    in_channels * kernel * kernel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut data = vec![0.0f32; 20_000];
+        fill_gaussian(&mut data, 1.0, 0.5, &mut rng);
+        let mean = data.iter().sum::<f32>() / data.len() as f32;
+        let var =
+            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / data.len() as f32;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn zero_std_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut data = vec![0.0f32; 5];
+        fill_gaussian(&mut data, 3.0, 0.0, &mut rng);
+        assert!(data.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn odd_length_filled() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut data = vec![0.0f32; 7];
+        fill_gaussian(&mut data, 0.0, 1.0, &mut rng);
+        // All elements written (probability of an exact 0.0 sample is ~0).
+        assert!(data.iter().all(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn he_scaling() {
+        assert!((he_std(2) - 1.0).abs() < 1e-6);
+        assert!((he_std(8) - 0.5).abs() < 1e-6);
+        assert_eq!(conv_fan_in(3, 3), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn he_rejects_zero_fan_in() {
+        he_std(0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = vec![0.0f32; 16];
+        let mut b = vec![0.0f32; 16];
+        fill_gaussian(&mut a, 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        fill_gaussian(&mut b, 0.0, 1.0, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,99 @@
+//! # mn-tensor
+//!
+//! Dense `f32` tensor substrate for the MotherNets reproduction.
+//!
+//! This crate provides the numerical kernels that every other crate in the
+//! workspace builds on: an owned, row-major [`Tensor`] type plus the forward
+//! and backward kernels needed to train the convolutional and fully-connected
+//! networks of the paper — matrix multiplication ([`ops`]), direct 2-D
+//! convolution ([`conv`]), max/average pooling ([`pool`]) and weight
+//! initializers ([`init`]).
+//!
+//! The crate is deliberately small and dependency-light: it implements only
+//! what the paper's networks need (stride-1 same-padding convolutions,
+//! 2×2 max pooling, dense layers), with straightforward cache-friendly loops
+//! rather than a general einsum engine.
+//!
+//! ## Conventions
+//!
+//! * Image batches are stored `[N, C, H, W]` (NCHW).
+//! * Matrices are stored `[rows, cols]`, row-major.
+//! * Shape mismatches **panic** with a descriptive message; this crate sits
+//!   below the public API surface and treats shape errors as programmer bugs
+//!   (the higher-level crates validate user input and return `Result`s).
+//!
+//! ## Example
+//!
+//! ```
+//! use mn_tensor::{Tensor, ops};
+//!
+//! let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+//! let b = Tensor::eye(3);
+//! let c = ops::matmul(&a, &b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod conv;
+pub mod im2col;
+pub mod init;
+pub mod ops;
+pub mod pool;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Numeric tolerance used throughout the workspace when asserting that a
+/// function-preserving transformation left network outputs unchanged.
+pub const PRESERVATION_TOLERANCE: f32 = 1e-4;
+
+/// Asserts that two slices are element-wise close within `tol`.
+///
+/// # Panics
+///
+/// Panics if lengths differ or any pair of elements differs by more than
+/// `tol`, reporting the first offending index.
+pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert!(
+            (x - y).abs() <= tol,
+            "elements differ at index {i}: {x} vs {y} (tol {tol})"
+        );
+    }
+}
+
+/// Returns the maximum absolute element-wise difference between two slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assert_close_accepts_equal() {
+        assert_close(&[1.0, 2.0], &[1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "elements differ")]
+    fn assert_close_rejects_distant() {
+        assert_close(&[1.0], &[2.0], 0.5);
+    }
+
+    #[test]
+    fn max_abs_diff_computes() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[1.5, 4.0]), 1.0);
+    }
+}

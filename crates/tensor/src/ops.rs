@@ -1,0 +1,299 @@
+//! Dense linear-algebra kernels: matrix products, bias broadcast, softmax.
+//!
+//! All matrices are `[rows, cols]`, row-major. Every function panics on
+//! shape mismatch (see crate-level documentation).
+
+use crate::Tensor;
+
+/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
+///
+/// Straightforward ikj-ordered triple loop — cache-friendly for the sizes
+/// the workspace uses (hundreds × hundreds at most).
+///
+/// # Panics
+///
+/// Panics unless `A` and `B` are matrices with matching inner dimension.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "matmul lhs");
+    let (k2, n) = mat_dims(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+    let mut c = Tensor::zeros([m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    for i in 0..m {
+        for p in 0..k {
+            let aip = ad[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (no explicit transpose).
+///
+/// # Panics
+///
+/// Panics unless both are matrices with matching leading dimension.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = mat_dims(a, "matmul_tn lhs");
+    let (k2, n) = mat_dims(b, "matmul_tn rhs");
+    assert_eq!(k, k2, "matmul_tn leading dims differ: {k} vs {k2}");
+    let mut c = Tensor::zeros([m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    for p in 0..k {
+        let arow = &ad[p * m..(p + 1) * m];
+        let brow = &bd[p * n..(p + 1) * n];
+        for i in 0..m {
+            let aip = arow[i];
+            if aip == 0.0 {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for j in 0..n {
+                crow[j] += aip * brow[j];
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (no explicit transpose).
+///
+/// # Panics
+///
+/// Panics unless both are matrices with matching trailing dimension.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = mat_dims(a, "matmul_nt lhs");
+    let (n, k2) = mat_dims(b, "matmul_nt rhs");
+    assert_eq!(k, k2, "matmul_nt trailing dims differ: {k} vs {k2}");
+    let mut c = Tensor::zeros([m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let cd = c.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &bd[j * k..(j + 1) * k];
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += arow[p] * brow[p];
+            }
+            cd[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Transposes a matrix.
+///
+/// # Panics
+///
+/// Panics if `a` is not 2-D.
+pub fn transpose(a: &Tensor) -> Tensor {
+    let (m, n) = mat_dims(a, "transpose");
+    let mut t = Tensor::zeros([n, m]);
+    for i in 0..m {
+        for j in 0..n {
+            *t.at2_mut(j, i) = a.at2(i, j);
+        }
+    }
+    t
+}
+
+/// Adds a bias row-vector `bias: [n]` to every row of `x: [m, n]`, in place.
+///
+/// # Panics
+///
+/// Panics unless `x` is a matrix and `bias` a vector of matching width.
+pub fn add_row_bias(x: &mut Tensor, bias: &Tensor) {
+    let (m, n) = mat_dims(x, "add_row_bias input");
+    assert_eq!(
+        bias.shape().dims(),
+        &[n],
+        "bias shape {} does not match row width {n}",
+        bias.shape()
+    );
+    let bd: Vec<f32> = bias.data().to_vec();
+    let xd = x.data_mut();
+    for i in 0..m {
+        let row = &mut xd[i * n..(i + 1) * n];
+        for j in 0..n {
+            row[j] += bd[j];
+        }
+    }
+}
+
+/// Column sums of a matrix `x: [m, n]`, returned as `[n]`.
+///
+/// This is the bias gradient of a dense layer.
+///
+/// # Panics
+///
+/// Panics if `x` is not 2-D.
+pub fn column_sums(x: &Tensor) -> Tensor {
+    let (m, n) = mat_dims(x, "column_sums");
+    let mut s = Tensor::zeros([n]);
+    let xd = x.data();
+    let sd = s.data_mut();
+    for i in 0..m {
+        let row = &xd[i * n..(i + 1) * n];
+        for j in 0..n {
+            sd[j] += row[j];
+        }
+    }
+    s
+}
+
+/// Row-wise numerically-stable softmax, in place, for `x: [m, n]`.
+///
+/// # Panics
+///
+/// Panics if `x` is not 2-D.
+pub fn softmax_rows(x: &mut Tensor) {
+    let (m, n) = mat_dims(x, "softmax_rows");
+    let xd = x.data_mut();
+    for i in 0..m {
+        let row = &mut xd[i * n..(i + 1) * n];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Index of the maximum element of each row of `x: [m, n]`.
+///
+/// Ties resolve to the lowest index.
+///
+/// # Panics
+///
+/// Panics if `x` is not 2-D.
+pub fn argmax_rows(x: &Tensor) -> Vec<usize> {
+    let (m, n) = mat_dims(x, "argmax_rows");
+    let xd = x.data();
+    (0..m)
+        .map(|i| {
+            let row = &xd[i * n..(i + 1) * n];
+            let mut best = 0;
+            for j in 1..n {
+                if row[j] > row[best] {
+                    best = j;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+fn mat_dims(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(t.shape().ndim(), 2, "{what} must be 2-D, got {}", t.shape());
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Tensor::randn([4, 4], 1.0, &mut rng);
+        let c = matmul(&a, &Tensor::eye(4));
+        assert_close(c.data(), a.data(), 1e-6);
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Tensor::randn([5, 3], 1.0, &mut rng);
+        let b = Tensor::randn([5, 4], 1.0, &mut rng);
+        let via_tn = matmul_tn(&a, &b);
+        let via_t = matmul(&transpose(&a), &b);
+        assert_close(via_tn.data(), via_t.data(), 1e-5);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn([5, 3], 1.0, &mut rng);
+        let b = Tensor::randn([4, 3], 1.0, &mut rng);
+        let via_nt = matmul_nt(&a, &b);
+        let via_t = matmul(&a, &transpose(&b));
+        assert_close(via_nt.data(), via_t.data(), 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn matmul_rejects_mismatch() {
+        matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::randn([3, 5], 1.0, &mut rng);
+        assert_eq!(transpose(&transpose(&a)), a);
+    }
+
+    #[test]
+    fn bias_broadcast() {
+        let mut x = Tensor::zeros([2, 3]);
+        let b = Tensor::from_vec([3], vec![1., 2., 3.]);
+        add_row_bias(&mut x, &b);
+        assert_eq!(x.data(), &[1., 2., 3., 1., 2., 3.]);
+    }
+
+    #[test]
+    fn column_sums_are_bias_grad() {
+        let x = Tensor::from_vec([2, 3], vec![1., 2., 3., 10., 20., 30.]);
+        let s = column_sums(&x);
+        assert_eq!(s.data(), &[11., 22., 33.]);
+    }
+
+    #[test]
+    fn softmax_rows_normalizes() {
+        let mut x = Tensor::from_vec([2, 3], vec![1., 2., 3., 1000., 1000., 1000.]);
+        softmax_rows(&mut x);
+        for i in 0..2 {
+            let row_sum: f32 = (0..3).map(|j| x.at2(i, j)).sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // Large logits must not overflow (stability check).
+        assert!((x.at2(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+        // Monotone in logits.
+        assert!(x.at2(0, 2) > x.at2(0, 1) && x.at2(0, 1) > x.at2(0, 0));
+    }
+
+    #[test]
+    fn argmax_ties_to_lowest() {
+        let x = Tensor::from_vec([2, 3], vec![5., 5., 1., 0., 2., 2.]);
+        assert_eq!(argmax_rows(&x), vec![0, 1]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Pooling kernels: 2×2 max pooling (the VGG/ResNet block separator in the
+//! paper) and global average pooling (ResNet-style heads).
+
+use crate::Tensor;
+
+/// Result of a max-pool forward pass: the pooled output plus the linear
+/// index (into the input tensor) of each selected maximum, which the
+/// backward pass routes gradients through.
+#[derive(Debug, Clone)]
+pub struct MaxPoolOutput {
+    /// Pooled activations `[N, C, H/2, W/2]`.
+    pub output: Tensor,
+    /// For every output element, the flat input index of its argmax.
+    pub argmax: Vec<usize>,
+}
+
+/// 2×2, stride-2 max pooling.
+///
+/// Odd trailing rows/columns are dropped (floor semantics), matching the
+/// usual framework behaviour.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or has spatial extent < 2.
+pub fn maxpool2x2_forward(input: &Tensor) -> MaxPoolOutput {
+    let d = input.shape().dims();
+    assert_eq!(d.len(), 4, "maxpool input must be 4-D, got {}", input.shape());
+    let (n_batch, c, h, w) = (d[0], d[1], d[2], d[3]);
+    assert!(h >= 2 && w >= 2, "maxpool needs spatial extent >= 2, got {h}x{w}");
+    let ho = h / 2;
+    let wo = w / 2;
+    let mut out = Tensor::zeros([n_batch, c, ho, wo]);
+    let mut argmax = vec![0usize; n_batch * c * ho * wo];
+    let id = input.data();
+    let od = out.data_mut();
+    for n in 0..n_batch {
+        for ch in 0..c {
+            let ibase = (n * c + ch) * h * w;
+            let obase = (n * c + ch) * ho * wo;
+            for oh in 0..ho {
+                for ow in 0..wo {
+                    let i00 = ibase + (2 * oh) * w + 2 * ow;
+                    let i01 = i00 + 1;
+                    let i10 = i00 + w;
+                    let i11 = i10 + 1;
+                    let mut best_idx = i00;
+                    let mut best = id[i00];
+                    for idx in [i01, i10, i11] {
+                        if id[idx] > best {
+                            best = id[idx];
+                            best_idx = idx;
+                        }
+                    }
+                    od[obase + oh * wo + ow] = best;
+                    argmax[obase + oh * wo + ow] = best_idx;
+                }
+            }
+        }
+    }
+    MaxPoolOutput { output: out, argmax }
+}
+
+/// Backward pass of 2×2 max pooling: routes each upstream gradient to the
+/// input position that produced the maximum.
+///
+/// # Panics
+///
+/// Panics if `grad_out` length does not match `argmax` length.
+pub fn maxpool2x2_backward(
+    grad_out: &Tensor,
+    argmax: &[usize],
+    input_shape: &[usize],
+) -> Tensor {
+    assert_eq!(
+        grad_out.len(),
+        argmax.len(),
+        "grad_out/argmax length mismatch: {} vs {}",
+        grad_out.len(),
+        argmax.len()
+    );
+    let mut gin = Tensor::zeros(input_shape.to_vec());
+    let gd = grad_out.data();
+    let gid = gin.data_mut();
+    for (g, &idx) in gd.iter().zip(argmax.iter()) {
+        gid[idx] += g;
+    }
+    gin
+}
+
+/// Global average pooling: `[N, C, H, W] -> [N, C]`.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D.
+pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
+    let d = input.shape().dims();
+    assert_eq!(d.len(), 4, "gap input must be 4-D, got {}", input.shape());
+    let (n_batch, c, h, w) = (d[0], d[1], d[2], d[3]);
+    let inv = 1.0 / (h * w) as f32;
+    let mut out = Tensor::zeros([n_batch, c]);
+    let id = input.data();
+    let od = out.data_mut();
+    for n in 0..n_batch {
+        for ch in 0..c {
+            let ibase = (n * c + ch) * h * w;
+            od[n * c + ch] = id[ibase..ibase + h * w].iter().sum::<f32>() * inv;
+        }
+    }
+    out
+}
+
+/// Backward pass of global average pooling: spreads each upstream gradient
+/// uniformly over the pooled window.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
+    assert_eq!(input_shape.len(), 4, "gap input shape must be 4-D");
+    let (n_batch, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    assert_eq!(grad_out.shape().dims(), &[n_batch, c], "gap grad_out shape mismatch");
+    let inv = 1.0 / (h * w) as f32;
+    let mut gin = Tensor::zeros(input_shape.to_vec());
+    let gd = grad_out.data();
+    let gid = gin.data_mut();
+    for n in 0..n_batch {
+        for ch in 0..c {
+            let g = gd[n * c + ch] * inv;
+            let ibase = (n * c + ch) * h * w;
+            gid[ibase..ibase + h * w].iter_mut().for_each(|x| *x = g);
+        }
+    }
+    gin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn maxpool_picks_maximum() {
+        let input = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        );
+        let MaxPoolOutput { output, argmax } = maxpool2x2_forward(&input);
+        assert_eq!(output.data(), &[4., 8., 12., 16.]);
+        assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_floor_semantics_on_odd() {
+        let input = Tensor::ones([1, 1, 5, 5]);
+        let out = maxpool2x2_forward(&input);
+        assert_eq!(out.output.shape().dims(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let input = Tensor::from_vec([1, 1, 2, 2], vec![1., 9., 3., 4.]);
+        let fwd = maxpool2x2_forward(&input);
+        let gout = Tensor::from_vec([1, 1, 1, 1], vec![5.0]);
+        let gin = maxpool2x2_backward(&gout, &fwd.argmax, &[1, 1, 2, 2]);
+        assert_eq!(gin.data(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn gap_forward_and_backward() {
+        let input = Tensor::from_vec([1, 2, 2, 2], vec![1., 2., 3., 4., 10., 10., 10., 10.]);
+        let out = global_avg_pool_forward(&input);
+        assert_close(out.data(), &[2.5, 10.0], 1e-6);
+        let gout = Tensor::from_vec([1, 2], vec![4.0, 8.0]);
+        let gin = global_avg_pool_backward(&gout, &[1, 2, 2, 2]);
+        assert_close(gin.data(), &[1., 1., 1., 1., 2., 2., 2., 2.], 1e-6);
+    }
+
+    #[test]
+    fn gap_gradient_check() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut input = Tensor::randn([1, 2, 3, 3], 1.0, &mut StdRng::seed_from_u64(1));
+        let loss =
+            |x: &Tensor| -> f32 { global_avg_pool_forward(x).data().iter().map(|v| v * v).sum::<f32>() * 0.5 };
+        let out = global_avg_pool_forward(&input);
+        let gin = global_avg_pool_backward(&out, &[1, 2, 3, 3]);
+        let eps = 1e-2;
+        for idx in [0usize, 8, 17] {
+            let orig = input[idx];
+            input[idx] = orig + eps;
+            let lp = loss(&input);
+            input[idx] = orig - eps;
+            let lm = loss(&input);
+            input[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - gin[idx]).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Tensor shapes and index arithmetic.
+
+use std::fmt;
+
+/// The shape of a [`crate::Tensor`]: a list of dimension extents.
+///
+/// A `Shape` is an inexpensive wrapper around `Vec<usize>` that adds the
+/// index arithmetic the kernels need (row-major linearization) and a
+/// human-readable `Display`.
+///
+/// ```
+/// use mn_tensor::Shape;
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.ndim(), 3);
+/// assert_eq!(format!("{s}"), "[2, 3, 4]");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or any extent is zero: zero-sized tensors
+    /// are never meaningful in this workspace and almost always indicate an
+    /// upstream bug.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "shape must have at least one dimension");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "shape extents must be positive, got {dims:?}"
+        );
+        Shape(dims)
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of extents).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Whether the shape has zero total elements. Always `false` for a
+    /// validly constructed shape; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extent of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.ndim()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major linear index of a 2-D coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the shape is not 2-D or the coordinate is out
+    /// of bounds.
+    #[inline]
+    pub fn index2(&self, r: usize, c: usize) -> usize {
+        debug_assert_eq!(self.ndim(), 2, "index2 on non-matrix shape {self}");
+        debug_assert!(r < self.0[0] && c < self.0[1], "({r},{c}) out of {self}");
+        r * self.0[1] + c
+    }
+
+    /// Row-major linear index of a 4-D (NCHW) coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic if the shape is not 4-D or the coordinate is out
+    /// of bounds.
+    #[inline]
+    pub fn index4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert_eq!(self.ndim(), 4, "index4 on non-4D shape {self}");
+        debug_assert!(
+            n < self.0[0] && c < self.0[1] && h < self.0[2] && w < self.0[3],
+            "({n},{c},{h},{w}) out of {self}"
+        );
+        ((n * self.0[1] + c) * self.0[2] + h) * self.0[3] + w
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn len_is_product() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).len(), 24);
+        assert_eq!(Shape::new(vec![7]).len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        Shape::new(vec![2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_rejected() {
+        Shape::new(vec![]);
+    }
+
+    #[test]
+    fn index2_row_major() {
+        let s = Shape::new(vec![3, 5]);
+        assert_eq!(s.index2(0, 0), 0);
+        assert_eq!(s.index2(0, 4), 4);
+        assert_eq!(s.index2(1, 0), 5);
+        assert_eq!(s.index2(2, 3), 13);
+    }
+
+    #[test]
+    fn index4_nchw() {
+        let s = Shape::new(vec![2, 3, 4, 5]);
+        assert_eq!(s.index4(0, 0, 0, 0), 0);
+        assert_eq!(s.index4(0, 0, 0, 1), 1);
+        assert_eq!(s.index4(0, 0, 1, 0), 5);
+        assert_eq!(s.index4(0, 1, 0, 0), 20);
+        assert_eq!(s.index4(1, 0, 0, 0), 60);
+        assert_eq!(s.index4(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", Shape::new(vec![1, 2])), "[1, 2]");
+    }
+
+    #[test]
+    fn conversions() {
+        let a: Shape = vec![2, 2].into();
+        let b: Shape = [2usize, 2].into();
+        assert_eq!(a, b);
+    }
+}

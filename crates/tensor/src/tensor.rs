@@ -1,0 +1,407 @@
+//! The owned dense tensor type.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use rand::Rng;
+
+use crate::init;
+use crate::shape::Shape;
+
+/// An owned, row-major, dense `f32` tensor.
+///
+/// `Tensor` is the single value type flowing through every layer of the
+/// networks in this workspace. It is intentionally simple: owned storage, no
+/// views, no broadcasting — the kernels in [`crate::ops`], [`crate::conv`]
+/// and [`crate::pool`] encode exactly the access patterns the paper's
+/// networks need.
+///
+/// ```
+/// use mn_tensor::Tensor;
+/// let t = Tensor::zeros([2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape().dims(), &[2, 3]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros<S: Into<Shape>>(shape: S) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor { shape, data: vec![0.0; len] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn filled<S: Into<Shape>>(shape: S, value: f32) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        Tensor { shape, data: vec![value; len] }
+    }
+
+    /// Creates a tensor of ones with the given shape.
+    pub fn ones<S: Into<Shape>>(shape: S) -> Self {
+        Self::filled(shape, 1.0)
+    }
+
+    /// Creates a tensor from existing row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the number of elements implied
+    /// by `shape`.
+    pub fn from_vec<S: Into<Shape>>(shape: S, data: Vec<f32>) -> Self {
+        let shape = shape.into();
+        assert_eq!(
+            shape.len(),
+            data.len(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { shape, data }
+    }
+
+    /// Creates the `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros([n, n]);
+        for i in 0..n {
+            let idx = t.shape.index2(i, i);
+            t.data[idx] = 1.0;
+        }
+        t
+    }
+
+    /// Creates a tensor with elements drawn i.i.d. from a Gaussian with
+    /// mean 0 and standard deviation `std`.
+    pub fn randn<S: Into<Shape>, R: Rng>(shape: S, std: f32, rng: &mut R) -> Self {
+        let shape = shape.into();
+        let len = shape.len();
+        let mut data = vec![0.0; len];
+        init::fill_gaussian(&mut data, 0.0, std, rng);
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true for a validly
+    /// constructed tensor).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only access to the underlying row-major storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at 2-D coordinate `(r, c)`.
+    #[inline]
+    pub fn at2(&self, r: usize, c: usize) -> f32 {
+        self.data[self.shape.index2(r, c)]
+    }
+
+    /// Mutable element at 2-D coordinate `(r, c)`.
+    #[inline]
+    pub fn at2_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        let idx = self.shape.index2(r, c);
+        &mut self.data[idx]
+    }
+
+    /// Element at 4-D (NCHW) coordinate.
+    #[inline]
+    pub fn at4(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.shape.index4(n, c, h, w)]
+    }
+
+    /// Mutable element at 4-D (NCHW) coordinate.
+    #[inline]
+    pub fn at4_mut(&mut self, n: usize, c: usize, h: usize, w: usize) -> &mut f32 {
+        let idx = self.shape.index4(n, c, h, w);
+        &mut self.data[idx]
+    }
+
+    /// Returns a tensor with the same data but a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different number of elements.
+    pub fn reshape<S: Into<Shape>>(&self, shape: S) -> Tensor {
+        let shape = shape.into();
+        assert_eq!(
+            shape.len(),
+            self.len(),
+            "cannot reshape {} elements into {shape}",
+            self.len()
+        );
+        Tensor { shape, data: self.data.clone() }
+    }
+
+    /// In-place reshape (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different number of elements.
+    pub fn reshape_in_place<S: Into<Shape>>(&mut self, shape: S) {
+        let shape = shape.into();
+        assert_eq!(
+            shape.len(),
+            self.len(),
+            "cannot reshape {} elements into {shape}",
+            self.len()
+        );
+        self.shape = shape;
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Element-wise `self += other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Element-wise `self -= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn sub_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "sub_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a -= b;
+        }
+    }
+
+    /// Element-wise `self *= other` (Hadamard product).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mul_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "mul_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a *= b;
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// `self += alpha * other`, the BLAS `axpy` primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.len() as f32
+    }
+
+    /// Maximum element (NaN-free inputs assumed).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Squared L2 norm of all elements.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+}
+
+impl Index<usize> for Tensor {
+    type Output = f32;
+    fn index(&self, i: usize) -> &f32 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Tensor {
+    fn index_mut(&mut self, i: usize) -> &mut f32 {
+        &mut self.data[i]
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.len() <= 16 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(f, "[{:?}.., len={}]", &self.data[..8], self.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = Tensor::zeros([2, 2]);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+        let o = Tensor::ones([2, 2]);
+        assert!(o.data().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let i = Tensor::eye(3);
+        assert_eq!(i.at2(0, 0), 1.0);
+        assert_eq!(i.at2(1, 1), 1.0);
+        assert_eq!(i.at2(0, 1), 0.0);
+        assert_eq!(i.sum(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_validates() {
+        Tensor::from_vec([2, 2], vec![1.0; 3]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec([2, 3], (0..6).map(|x| x as f32).collect());
+        let r = t.reshape([3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.shape().dims(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_validates() {
+        Tensor::zeros([2, 3]).reshape([4, 2]);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let mut a = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec([3], vec![10.0, 20.0, 30.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[11.0, 22.0, 33.0]);
+        a.sub_assign(&b);
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[2.0, 4.0, 6.0]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[7.0, 14.0, 21.0]);
+        a.mul_assign(&b);
+        assert_eq!(a.data(), &[70.0, 280.0, 630.0]);
+        a.fill_zero();
+        assert_eq!(a.sum(), 0.0);
+    }
+
+    #[test]
+    fn statistics() {
+        let t = Tensor::from_vec([4], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.sq_norm(), 30.0);
+    }
+
+    #[test]
+    fn randn_statistics_roughly_normal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = Tensor::randn([10_000], 2.0, &mut rng);
+        let mean = t.mean();
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+            / t.len() as f32;
+        assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
+        assert!((var - 4.0).abs() < 0.3, "variance {var} too far from 4");
+    }
+
+    #[test]
+    fn indexing() {
+        let mut t = Tensor::zeros([2, 2]);
+        t[3] = 5.0;
+        assert_eq!(t[3], 5.0);
+        *t.at2_mut(0, 1) = 2.0;
+        assert_eq!(t.at2(0, 1), 2.0);
+        let mut t4 = Tensor::zeros([1, 2, 2, 2]);
+        *t4.at4_mut(0, 1, 1, 1) = 9.0;
+        assert_eq!(t4.at4(0, 1, 1, 1), 9.0);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let t = Tensor::zeros([2]);
+        assert!(!format!("{t:?}").is_empty());
+        let big = Tensor::zeros([100]);
+        assert!(format!("{big:?}").contains("len=100"));
+    }
+
+    #[test]
+    fn map_applies() {
+        let t = Tensor::from_vec([2], vec![-1.0, 2.0]);
+        let r = t.map(|x| x.max(0.0));
+        assert_eq!(r.data(), &[0.0, 2.0]);
+        let mut m = t.clone();
+        m.map_in_place(|x| x * 10.0);
+        assert_eq!(m.data(), &[-10.0, 20.0]);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of the tensor kernels: the optimized loops must
+//! agree with naive reference implementations for arbitrary shapes, and
+//! algebraic identities must hold.
+
+use mn_tensor::{conv, ops, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn randn(shape: Vec<usize>, seed: u64) -> Tensor {
+    Tensor::randn(shape, 1.0, &mut StdRng::seed_from_u64(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fast convolution agrees with the obviously-correct reference
+    /// for arbitrary geometry, kernel size, and padding.
+    #[test]
+    fn conv_forward_matches_reference(
+        n in 1usize..3,
+        c in 1usize..4,
+        f in 1usize..4,
+        hw in 3usize..8,
+        k_idx in 0usize..3,
+        pad_same in proptest::bool::ANY,
+        seed in 0u64..1000,
+    ) {
+        let k = [1usize, 3, 5][k_idx];
+        prop_assume!(hw + 2 * (if pad_same { k / 2 } else { 0 }) >= k);
+        let pad = if pad_same { k / 2 } else { 0 };
+        let input = randn(vec![n, c, hw, hw], seed);
+        let weight = randn(vec![f, c, k, k], seed + 1);
+        let bias = randn(vec![f], seed + 2);
+        let fast = conv::conv2d_forward(&input, &weight, &bias, pad);
+        let slow = conv::conv2d_forward_reference(&input, &weight, &bias, pad);
+        prop_assert!(mn_tensor::max_abs_diff(fast.data(), slow.data()) < 1e-3);
+    }
+
+    /// Convolution is linear in its input:
+    /// conv(a·x + b·y) = a·conv(x) + b·conv(y) (zero bias).
+    #[test]
+    fn conv_is_linear_in_input(seed in 0u64..1000, a in -2.0f32..2.0, b in -2.0f32..2.0) {
+        let x = randn(vec![1, 2, 5, 5], seed);
+        let y = randn(vec![1, 2, 5, 5], seed + 1);
+        let w = randn(vec![3, 2, 3, 3], seed + 2);
+        let zero_bias = Tensor::zeros([3]);
+        let mut combo = x.clone();
+        combo.scale(a);
+        combo.axpy(b, &y);
+        let lhs = conv::conv2d_forward(&combo, &w, &zero_bias, 1);
+        let mut rhs = conv::conv2d_forward(&x, &w, &zero_bias, 1);
+        rhs.scale(a);
+        rhs.axpy(b, &conv::conv2d_forward(&y, &w, &zero_bias, 1));
+        prop_assert!(mn_tensor::max_abs_diff(lhs.data(), rhs.data()) < 1e-3);
+    }
+
+    /// Matrix multiplication is associative: (AB)C = A(BC).
+    #[test]
+    fn matmul_is_associative(m in 1usize..5, k in 1usize..5, l in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+        let a = randn(vec![m, k], seed);
+        let b = randn(vec![k, l], seed + 1);
+        let c = randn(vec![l, n], seed + 2);
+        let left = ops::matmul(&ops::matmul(&a, &b), &c);
+        let right = ops::matmul(&a, &ops::matmul(&b, &c));
+        prop_assert!(mn_tensor::max_abs_diff(left.data(), right.data()) < 1e-3);
+    }
+
+    /// Transposed-product kernels match explicit transposition.
+    #[test]
+    fn transpose_product_identities(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+        let a = randn(vec![k, m], seed);
+        let b = randn(vec![k, n], seed + 1);
+        let tn = ops::matmul_tn(&a, &b);
+        let explicit = ops::matmul(&ops::transpose(&a), &b);
+        prop_assert!(mn_tensor::max_abs_diff(tn.data(), explicit.data()) < 1e-4);
+
+        let c = randn(vec![m, k], seed + 2);
+        let d = randn(vec![n, k], seed + 3);
+        let nt = ops::matmul_nt(&c, &d);
+        let explicit = ops::matmul(&c, &ops::transpose(&d));
+        prop_assert!(mn_tensor::max_abs_diff(nt.data(), explicit.data()) < 1e-4);
+    }
+
+    /// Softmax rows always form a probability distribution, whatever the
+    /// logit magnitudes.
+    #[test]
+    fn softmax_rows_are_distributions(
+        rows in 1usize..6,
+        cols in 1usize..6,
+        scale in 0.01f32..100.0,
+        seed in 0u64..1000,
+    ) {
+        let mut x = randn(vec![rows, cols], seed);
+        x.scale(scale);
+        ops::softmax_rows(&mut x);
+        for r in 0..rows {
+            let row = &x.data()[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    /// Max pooling never invents values: every output element is present
+    /// in the input, and pooling an all-equal tensor is the identity value.
+    #[test]
+    fn maxpool_selects_existing_values(n in 1usize..3, c in 1usize..3, hw in 2usize..7, seed in 0u64..1000) {
+        let input = randn(vec![n, c, hw, hw], seed);
+        let out = mn_tensor::pool::maxpool2x2_forward(&input);
+        for (i, &v) in out.output.data().iter().enumerate() {
+            let idx = out.argmax[i];
+            prop_assert_eq!(input.data()[idx], v);
+        }
+    }
+
+    /// Gathering examples preserves rows exactly.
+    #[test]
+    fn column_sums_match_manual(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let x = randn(vec![rows, cols], seed);
+        let sums = ops::column_sums(&x);
+        for j in 0..cols {
+            let manual: f32 = (0..rows).map(|i| x.at2(i, j)).sum();
+            prop_assert!((sums[j] - manual).abs() < 1e-4);
+        }
+    }
+}

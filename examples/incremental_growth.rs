@@ -1,0 +1,106 @@
+//! Incremental ensemble growth: "train a couple, get many for cheap".
+//!
+//! ```text
+//! cargo run --release --example incremental_growth
+//! ```
+//!
+//! The paper's headline property (§1) is that once the MotherNet is
+//! trained, *every additional network* costs only a hatch plus a short
+//! fine-tune. This example trains a MotherNet once, then grows the
+//! ensemble one member at a time, printing the marginal cost of each new
+//! member and the ensemble error as it improves.
+
+use mn_data::presets::{cifar10_sim, Scale};
+use mn_data::sampler::train_val_split;
+use mn_ensemble::evaluate_members;
+use mn_nn::arch::{Architecture, ConvBlockSpec, ConvLayerSpec, InputSpec};
+use mn_nn::train::TrainConfig;
+use mothernets::prelude::*;
+
+/// Single-layer variations of a base network, in the style of the paper's
+/// 100-variant V16 ensemble.
+fn variants(base: &Architecture, n: usize) -> Vec<Architecture> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while out.len() < n {
+        let mut arch = base.clone();
+        if let mn_nn::arch::Body::Plain { blocks, .. } = &mut arch.body {
+            let bi = i % blocks.len();
+            let li = (i / blocks.len()) % blocks[bi].layers.len();
+            match i % 3 {
+                0 => blocks[bi].layers[li].filters += 4 + 4 * (i / 9),
+                1 => blocks[bi].layers[li].filter_size = 5,
+                _ => {
+                    blocks[bi].layers[li].filters += 4 + 4 * (i / 9);
+                    blocks[bi].layers[li].filter_size = 5;
+                }
+            }
+        }
+        arch.name = format!("variant-{}", out.len() + 1);
+        if !out.contains(&arch) && arch != *base {
+            out.push(arch);
+        }
+        i += 1;
+    }
+    out
+}
+
+fn main() {
+    let task = cifar10_sim(Scale::Tiny, 21);
+    let classes = task.train.num_classes();
+    let base = Architecture::plain(
+        "base",
+        InputSpec::new(3, 8, 8),
+        classes,
+        vec![
+            ConvBlockSpec::new(vec![ConvLayerSpec::new(3, 8), ConvLayerSpec::new(3, 8)]),
+            ConvBlockSpec::new(vec![ConvLayerSpec::new(3, 16), ConvLayerSpec::new(3, 16)]),
+        ],
+        vec![64],
+    );
+    let members = variants(&base, 8);
+
+    let strategy = MotherNetsStrategy::default();
+    let cfg = EnsembleTrainConfig {
+        train: TrainConfig { max_epochs: 6, ..TrainConfig::default() },
+        seed: 5,
+        ..Default::default()
+    };
+
+    // Phase 1: train the MotherNet by training a 1-member ensemble.
+    println!("training the MotherNet once (full data)...");
+    let mut trained = train_ensemble(
+        &members[..1],
+        &task.train,
+        &Strategy::MotherNets(strategy),
+        &cfg,
+    )
+    .expect("training succeeds");
+    let mother_secs: f64 = trained.mother_records.iter().map(|r| r.wall_secs).sum();
+    println!("MotherNet cost: {mother_secs:.2}s\n");
+
+    let (_, val) = train_val_split(&task.train, cfg.val_fraction, cfg.seed);
+    println!("{:<4} {:>14} {:>12} {:>10}", "k", "marginal (s)", "total (s)", "EA err %");
+    for arch in &members[1..] {
+        trained
+            .hatch_additional(arch, &task.train, &strategy, &cfg)
+            .expect("variants share the MotherNet");
+        let marginal = trained.member_records.last().expect("record").wall_secs;
+        let eval = evaluate_members(
+            &mut trained.members,
+            task.test.images(),
+            task.test.labels(),
+            val.images(),
+            val.labels(),
+            64,
+        );
+        println!(
+            "{:<4} {:>14.2} {:>12.2} {:>10.1}",
+            trained.members.len(),
+            marginal,
+            trained.total_wall_secs(),
+            eval.ea_error * 100.0
+        );
+    }
+    println!("\nEach extra member costs a hatch + short fine-tune — not a full training run.");
+}

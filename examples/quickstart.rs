@@ -1,0 +1,82 @@
+//! Quickstart: train a small diverse ensemble three ways and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds five small convolutional networks of different shapes, then
+//! trains the ensemble with (a) the full-data baseline, (b) the bagging
+//! baseline, and (c) MotherNets — construct, train once, hatch, fine-tune —
+//! and prints error under all four inference rules plus total training
+//! time.
+
+use mn_data::presets::{cifar10_sim, Scale};
+use mn_data::sampler::train_val_split;
+use mn_ensemble::evaluate_members;
+use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
+use mn_nn::train::TrainConfig;
+use mothernets::prelude::*;
+
+fn main() {
+    // A small CIFAR-10-like task (see mn-data docs for the simulation).
+    let task = cifar10_sim(Scale::Small, 42);
+    let input = InputSpec::new(3, 8, 8);
+    let classes = task.train.num_classes();
+
+    // Five members with diverse depth and width.
+    let archs: Vec<Architecture> = vec![
+        Architecture::plain("narrow", input, classes,
+            vec![ConvBlockSpec::repeated(3, 8, 1), ConvBlockSpec::repeated(3, 16, 1)],
+            vec![48]),
+        Architecture::plain("wide", input, classes,
+            vec![ConvBlockSpec::repeated(3, 12, 1), ConvBlockSpec::repeated(3, 24, 1)],
+            vec![48]),
+        Architecture::plain("deep", input, classes,
+            vec![ConvBlockSpec::repeated(3, 8, 2), ConvBlockSpec::repeated(3, 16, 2)],
+            vec![48]),
+        Architecture::plain("kernel5", input, classes,
+            vec![ConvBlockSpec::repeated(5, 8, 1), ConvBlockSpec::repeated(3, 16, 1)],
+            vec![48]),
+        Architecture::plain("big-head", input, classes,
+            vec![ConvBlockSpec::repeated(3, 8, 1), ConvBlockSpec::repeated(3, 16, 1)],
+            vec![64]),
+    ];
+
+    // The MotherNet these five share.
+    let mother = mothernet_of(&archs, "mothernet").expect("compatible ensemble");
+    println!("MotherNet: {mother}");
+    for a in &archs {
+        println!("  member:  {a}");
+    }
+
+    let cfg = EnsembleTrainConfig {
+        train: TrainConfig { max_epochs: 10, ..TrainConfig::default() },
+        seed: 7,
+        ..Default::default()
+    };
+    let (_, val) = train_val_split(&task.train, cfg.val_fraction, cfg.seed);
+
+    println!("\n{:<12} {:>6} {:>6} {:>6} {:>7} {:>9}", "strategy", "EA%", "Vote%", "SL%", "Oracle%", "time (s)");
+    for strategy in [Strategy::FullData, Strategy::Bagging, Strategy::mothernets()] {
+        let mut trained = train_ensemble(&archs, &task.train, &strategy, &cfg)
+            .expect("training succeeds");
+        let eval = evaluate_members(
+            &mut trained.members,
+            task.test.images(),
+            task.test.labels(),
+            val.images(),
+            val.labels(),
+            64,
+        );
+        println!(
+            "{:<12} {:>6.1} {:>6.1} {:>6.1} {:>7.1} {:>9.2}",
+            strategy.label(),
+            eval.ea_error * 100.0,
+            eval.vote_error * 100.0,
+            eval.sl_error * 100.0,
+            eval.oracle_error * 100.0,
+            trained.total_wall_secs(),
+        );
+    }
+    println!("\n(Small scale — run the `reproduce` binary in mn-bench for the paper figures.)");
+}

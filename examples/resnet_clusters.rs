@@ -1,0 +1,99 @@
+//! τ-clustering of a size-diverse ResNet ensemble (paper §2.3, Figure 9).
+//!
+//! ```text
+//! cargo run --release --example resnet_clusters
+//! ```
+//!
+//! Builds the 25-network ResNet ladder (5 depths × 5 width variants),
+//! shows how the number of MotherNet clusters changes with τ, then trains
+//! a small clustered ensemble end to end and grows it incrementally.
+
+use mn_data::presets::{cifar10_sim, Scale};
+use mn_nn::arch::{Architecture, ResBlockSpec};
+use mn_nn::train::TrainConfig;
+use mothernets::cluster::cluster_architectures;
+use mothernets::prelude::*;
+
+fn resnet_ladder(num_classes: usize) -> Vec<Architecture> {
+    // Mirrors mn-bench's zoo: depths 18/34/50/101/152 scaled down.
+    let ladder: [(&str, [usize; 3]); 5] = [
+        ("R18", [2, 2, 2]),
+        ("R34", [3, 4, 3]),
+        ("R50", [4, 6, 4]),
+        ("R101", [6, 10, 6]),
+        ("R152", [8, 12, 8]),
+    ];
+    let input = mn_nn::arch::InputSpec::new(3, 8, 8);
+    let mut out = Vec::new();
+    for (name, units) in ladder {
+        for (suffix, filters) in [
+            ("", [8usize, 16, 32]),
+            ("-2xE", [16, 16, 64]),
+            ("-2xO", [8, 32, 32]),
+            ("+2E", [10, 16, 34]),
+            ("+2O", [8, 18, 32]),
+        ] {
+            out.push(Architecture::residual(
+                format!("{name}{suffix}"),
+                input,
+                num_classes,
+                units
+                    .iter()
+                    .zip(filters.iter())
+                    .map(|(&u, &f)| ResBlockSpec::new(u, f, 3))
+                    .collect(),
+            ));
+        }
+    }
+    out
+}
+
+fn main() {
+    let ensemble = resnet_ladder(10);
+    println!("ResNet ensemble: {} networks, {} to {} parameters\n",
+        ensemble.len(),
+        ensemble.iter().map(|a| a.param_count()).min().unwrap(),
+        ensemble.iter().map(|a| a.param_count()).max().unwrap());
+
+    println!("{:<6} {:>9}  cluster sizes", "tau", "clusters");
+    for tau in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+        let clustering = cluster_architectures(&ensemble, tau).expect("clusterable");
+        let sizes: Vec<usize> =
+            clustering.clusters.iter().map(|c| c.member_indices.len()).collect();
+        println!("{tau:<6} {:>9}  {sizes:?}", clustering.len());
+    }
+
+    // Train a clustered sub-ensemble end to end at tiny scale.
+    println!("\nTraining the two smallest depth groups with MotherNets (tiny scale)...");
+    let task = cifar10_sim(Scale::Tiny, 3);
+    let small: Vec<Architecture> = ensemble[..10].to_vec(); // R18 + R34 groups
+    let strategy = MotherNetsStrategy { tau: 0.5, ..Default::default() };
+    let cfg = EnsembleTrainConfig {
+        train: TrainConfig { max_epochs: 2, ..TrainConfig::default() },
+        seed: 11,
+        ..Default::default()
+    };
+    let mut trained =
+        train_ensemble(&small, &task.train, &Strategy::MotherNets(strategy), &cfg)
+            .expect("training succeeds");
+    let clustering = trained.clustering.clone().expect("clustered");
+    println!("-> {} MotherNet cluster(s) for 10 networks", clustering.len());
+    for (g, c) in clustering.clusters.iter().enumerate() {
+        let names: Vec<&str> =
+            c.member_indices.iter().map(|&i| small[i].name.as_str()).collect();
+        println!("   cluster {g}: mothernet {} params, members {names:?}",
+            c.mothernet.param_count());
+    }
+
+    // Incremental growth: hatch an 11th member without retraining anything.
+    let extra = ensemble[10].clone(); // the R50 base — may or may not fit a stored mother
+    print!("\nHatching one more member ({}) from a stored MotherNet... ", extra.name);
+    match trained.hatch_additional(&extra, &task.train, &strategy, &cfg) {
+        Ok(()) => println!(
+            "ok — ensemble now has {} members; the new one cost {:.2}s",
+            trained.members.len(),
+            trained.member_records.last().expect("record").wall_secs
+        ),
+        Err(e) => println!("not hatchable from stored MotherNets ({e})"),
+    }
+}

@@ -1,0 +1,23 @@
+//! # mothernets-repro
+//!
+//! Umbrella package for the MotherNets (MLSYS 2020) reproduction. The
+//! actual functionality lives in the workspace crates:
+//!
+//! * [`mn_tensor`] — tensor kernels;
+//! * [`mn_nn`] — networks, architecture descriptors, training;
+//! * [`mn_morph`] — function-preserving transformations (hatching);
+//! * [`mn_data`] — synthetic CIFAR-10/100- and SVHN-like tasks, bagging;
+//! * [`mn_ensemble`] — EA / Voting / Super Learner / Oracle inference;
+//! * [`mothernets`] — MotherNet construction, τ-clustering, and the
+//!   end-to-end ensemble training pipeline.
+//!
+//! This package hosts the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). See the repository README for
+//! a tour.
+
+pub use mn_data;
+pub use mn_ensemble;
+pub use mn_morph;
+pub use mn_nn;
+pub use mn_tensor;
+pub use mothernets;

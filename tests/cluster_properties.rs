@@ -1,0 +1,111 @@
+//! Property-based tests of MotherNet construction and τ-clustering
+//! (Algorithm 1) over randomly generated ensembles.
+
+use mn_nn::arch::{Architecture, ConvBlockSpec, ConvLayerSpec, InputSpec};
+use mothernets::cluster::{
+    cluster_architectures, min_clusters_exhaustive, satisfies_condition,
+};
+use mothernets::construct::mothernet_of;
+use proptest::prelude::*;
+
+fn input() -> InputSpec {
+    InputSpec::new(3, 8, 8)
+}
+
+/// Random MLP ensembles: 2–8 members, widths 4–200.
+fn mlp_ensembles() -> impl Strategy<Value = Vec<Architecture>> {
+    proptest::collection::vec(4usize..200, 2..8).prop_map(|widths| {
+        widths
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| Architecture::mlp(format!("n{i}"), input(), 10, vec![w]))
+            .collect()
+    })
+}
+
+/// Random two-block plain conv ensembles with non-narrowing blocks.
+fn plain_ensembles() -> impl Strategy<Value = Vec<Architecture>> {
+    proptest::collection::vec((1usize..4, 2usize..10, 2usize..12), 2..6).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (depth, f1, f2))| {
+                Architecture::plain(
+                    format!("n{i}"),
+                    input(),
+                    10,
+                    vec![
+                        ConvBlockSpec::new(vec![ConvLayerSpec::new(3, f1); depth]),
+                        ConvBlockSpec::new(vec![ConvLayerSpec::new(3, f1 + f2); depth]),
+                    ],
+                    vec![16],
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The MotherNet is never larger than the smallest member and every
+    /// member is reachable from it.
+    #[test]
+    fn mothernet_is_lower_bound_and_reachable(ens in mlp_ensembles()) {
+        let mother = mothernet_of(&ens, "m").expect("same-depth MLPs always compose");
+        let min = ens.iter().map(|a| a.param_count()).min().expect("non-empty");
+        prop_assert!(mother.param_count() <= min);
+        for member in &ens {
+            prop_assert!(mn_morph::check_compatible(&mother, member).is_ok());
+        }
+    }
+
+    /// Clustering covers every member exactly once and each cluster
+    /// satisfies the τ condition with its own MotherNet.
+    #[test]
+    fn clustering_is_a_valid_partition(ens in mlp_ensembles(), tau in 0.05f64..1.0) {
+        let clustering = cluster_architectures(&ens, tau).expect("clusterable");
+        let mut seen = vec![0usize; ens.len()];
+        for cluster in &clustering.clusters {
+            for &i in &cluster.member_indices {
+                seen[i] += 1;
+                prop_assert!(satisfies_condition(&ens[i], &cluster.mothernet, tau));
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "not a partition: {seen:?}");
+    }
+
+    /// The greedy sorted sweep produces the minimum number of clusters
+    /// (checked against the exhaustive DP oracle).
+    #[test]
+    fn greedy_clustering_is_minimal(ens in mlp_ensembles(), tau in 0.1f64..1.0) {
+        let greedy = cluster_architectures(&ens, tau).expect("clusterable").len();
+        let oracle = min_clusters_exhaustive(&ens, tau).expect("clusterable");
+        prop_assert_eq!(greedy, oracle);
+    }
+
+    /// Clusters are monotone in τ: a stricter τ never yields fewer
+    /// clusters.
+    #[test]
+    fn cluster_count_is_monotone_in_tau(ens in mlp_ensembles()) {
+        let loose = cluster_architectures(&ens, 0.3).expect("clusterable").len();
+        let strict = cluster_architectures(&ens, 0.8).expect("clusterable").len();
+        prop_assert!(strict >= loose, "strict {strict} < loose {loose}");
+    }
+
+    /// Plain conv ensembles: MotherNet construction and clustering hold
+    /// the same invariants as MLPs.
+    #[test]
+    fn plain_conv_clustering_is_valid(ens in plain_ensembles(), tau in 0.2f64..0.9) {
+        let clustering = cluster_architectures(&ens, tau).expect("clusterable");
+        let mut covered = 0usize;
+        for cluster in &clustering.clusters {
+            covered += cluster.member_indices.len();
+            for &i in &cluster.member_indices {
+                prop_assert!(mn_morph::check_compatible(&cluster.mothernet, &ens[i]).is_ok());
+                prop_assert!(satisfies_condition(&ens[i], &cluster.mothernet, tau));
+            }
+        }
+        prop_assert_eq!(covered, ens.len());
+    }
+}

@@ -1,0 +1,110 @@
+//! Cross-crate invariants of ensemble inference and bagging, on real
+//! (trained) networks rather than synthetic probability tables.
+
+use mn_data::presets::{cifar10_sim, Scale};
+use mn_data::sampler::{bag_seeded, train_val_split};
+use mn_ensemble::{evaluate_predictions, EnsembleMember, MemberPredictions};
+use mn_nn::arch::{Architecture, InputSpec};
+use mn_nn::train::{train, TrainConfig};
+use mn_nn::Network;
+use proptest::prelude::*;
+
+fn trained_members(n: usize, seed: u64) -> (Vec<EnsembleMember>, mn_data::SyntheticTask) {
+    let task = cifar10_sim(Scale::Tiny, seed);
+    let classes = task.train.num_classes();
+    let input = InputSpec::new(3, 8, 8);
+    let cfg = TrainConfig { max_epochs: 3, ..TrainConfig::default() };
+    let members = (0..n)
+        .map(|i| {
+            let arch = Architecture::mlp(format!("m{i}"), input, classes, vec![16 + 4 * i]);
+            let mut net = Network::seeded(&arch, seed + i as u64);
+            let bagged = bag_seeded(&task.train, seed + 100 + i as u64);
+            train(
+                &mut net,
+                bagged.images(),
+                bagged.labels(),
+                task.test.images(),
+                task.test.labels(),
+                &cfg,
+            );
+            EnsembleMember::new(arch.name.clone(), net)
+        })
+        .collect();
+    (members, task)
+}
+
+#[test]
+fn oracle_improves_monotonically_with_members() {
+    let (mut members, task) = trained_members(5, 21);
+    let preds = MemberPredictions::collect(&mut members, task.test.images(), 64);
+    let labels = task.test.labels();
+    let mut prev = f32::INFINITY;
+    for k in 1..=5 {
+        let err = mn_ensemble::combine::oracle_error(&preds.prefix(k), labels);
+        assert!(err <= prev + 1e-6, "oracle error rose at k={k}: {prev} -> {err}");
+        prev = err;
+    }
+}
+
+#[test]
+fn super_learner_weights_form_a_distribution() {
+    let (mut members, task) = trained_members(4, 22);
+    let (_, val) = train_val_split(&task.train, 0.2, 1);
+    let test_preds = MemberPredictions::collect(&mut members, task.test.images(), 64);
+    let val_preds = MemberPredictions::collect(&mut members, val.images(), 64);
+    let eval =
+        evaluate_predictions(&test_preds, task.test.labels(), &val_preds, val.labels());
+    let sum: f32 = eval.sl_weights.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-4);
+    assert!(eval.sl_weights.iter().all(|&w| (0.0..=1.0).contains(&w)));
+    assert_eq!(eval.member_errors.len(), 4);
+}
+
+#[test]
+fn bootstrap_resample_has_expected_unique_fraction() {
+    let task = cifar10_sim(Scale::Tiny, 23);
+    // Count unique images by hashing rows.
+    let bagged = bag_seeded(&task.train, 9);
+    let (c, h, w) = bagged.geometry();
+    let row = c * h * w;
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..bagged.len() {
+        let bytes: Vec<u32> = bagged.images().data()[i * row..(i + 1) * row]
+            .iter()
+            .map(|f| f.to_bits())
+            .collect();
+        seen.insert(bytes);
+    }
+    let fraction = seen.len() as f64 / bagged.len() as f64;
+    // 1 - 1/e ≈ 0.632; tiny sets are noisy, accept a broad band.
+    assert!(
+        (0.5..0.75).contains(&fraction),
+        "unique fraction {fraction} far from bootstrap expectation"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Adding a member never hurts the oracle and keeps every combiner's
+    /// error a valid rate, for ensembles of varying size.
+    #[test]
+    fn combiners_stay_valid_for_any_prefix(n in 2usize..5, seed in 0u64..50) {
+        let (mut members, task) = trained_members(n, 200 + seed);
+        let (_, val) = train_val_split(&task.train, 0.2, seed);
+        let test_preds = MemberPredictions::collect(&mut members, task.test.images(), 64);
+        let val_preds = MemberPredictions::collect(&mut members, val.images(), 64);
+        for k in 1..=n {
+            let eval = evaluate_predictions(
+                &test_preds.prefix(k),
+                task.test.labels(),
+                &val_preds.prefix(k),
+                val.labels(),
+            );
+            for e in [eval.ea_error, eval.vote_error, eval.sl_error, eval.oracle_error] {
+                prop_assert!((0.0..=1.0).contains(&e));
+            }
+            prop_assert!(eval.oracle_error <= eval.ea_error + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Hatching from *trained* MotherNets, across families — the property the
+//! whole pipeline rests on: a hatched member starts exactly where the
+//! MotherNet left off.
+
+use mn_data::presets::{cifar10_sim, svhn_sim, Scale};
+use mn_morph::{morph_to, morph_to_with, MorphOptions, MorphPlan};
+use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec, ResBlockSpec};
+use mn_nn::metrics::evaluate;
+use mn_nn::train::{train, TrainConfig};
+use mn_nn::{Mode, Network};
+use mn_tensor::{max_abs_diff, PRESERVATION_TOLERANCE};
+use mothernets::construct::mothernet_of;
+
+fn train_briefly(net: &mut Network, task: &mn_data::SyntheticTask, epochs: usize) {
+    let cfg = TrainConfig { max_epochs: epochs, ..TrainConfig::default() };
+    train(
+        net,
+        task.train.images(),
+        task.train.labels(),
+        task.test.images(),
+        task.test.labels(),
+        &cfg,
+    );
+}
+
+#[test]
+fn trained_plain_mothernet_transfers_its_accuracy() {
+    let task = cifar10_sim(Scale::Tiny, 11);
+    let classes = task.train.num_classes();
+    let input = InputSpec::new(3, 8, 8);
+    let members = vec![
+        Architecture::plain(
+            "m1",
+            input,
+            classes,
+            vec![ConvBlockSpec::repeated(3, 8, 2), ConvBlockSpec::repeated(3, 16, 2)],
+            vec![48],
+        ),
+        Architecture::plain(
+            "m2",
+            input,
+            classes,
+            vec![ConvBlockSpec::repeated(5, 6, 1), ConvBlockSpec::repeated(3, 24, 1)],
+            vec![64],
+        ),
+    ];
+    let mother_arch = mothernet_of(&members, "mother").expect("compatible");
+    let mut mother = Network::seeded(&mother_arch, 12);
+    train_briefly(&mut mother, &task, 4);
+    let mother_eval = evaluate(&mut mother, task.test.images(), task.test.labels(), 64);
+
+    for member in &members {
+        let mut hatched = morph_to(&mother, member).expect("hatchable");
+        // Same test-set accuracy before any fine-tuning.
+        let hatched_eval = evaluate(&mut hatched, task.test.images(), task.test.labels(), 64);
+        assert!(
+            (hatched_eval.error - mother_eval.error).abs() < 1e-6,
+            "{}: hatched error {} != mother error {}",
+            member.name,
+            hatched_eval.error,
+            mother_eval.error
+        );
+        // And bit-close logits.
+        let x = task.test.images();
+        let idx: Vec<usize> = (0..8).collect();
+        let probe = mn_nn::metrics::gather_examples(x, &idx);
+        let a = mother.forward(&probe, Mode::Eval);
+        let b = hatched.forward(&probe, Mode::Eval);
+        assert!(max_abs_diff(a.data(), b.data()) <= PRESERVATION_TOLERANCE);
+    }
+}
+
+#[test]
+fn trained_residual_mothernet_transfers_its_accuracy() {
+    let task = svhn_sim(Scale::Tiny, 13);
+    let classes = task.train.num_classes();
+    let input = InputSpec::new(3, 8, 8);
+    let members = vec![
+        Architecture::residual(
+            "r1",
+            input,
+            classes,
+            vec![ResBlockSpec::new(2, 8, 3), ResBlockSpec::new(2, 16, 3)],
+        ),
+        Architecture::residual(
+            "r2",
+            input,
+            classes,
+            vec![ResBlockSpec::new(3, 12, 3), ResBlockSpec::new(2, 24, 3)],
+        ),
+    ];
+    let mother_arch = mothernet_of(&members, "mother").expect("compatible");
+    let mut mother = Network::seeded(&mother_arch, 14);
+    train_briefly(&mut mother, &task, 3);
+    let mother_eval = evaluate(&mut mother, task.test.images(), task.test.labels(), 64);
+
+    for member in &members {
+        let mut hatched = morph_to(&mother, member).expect("hatchable");
+        let hatched_eval = evaluate(&mut hatched, task.test.images(), task.test.labels(), 64);
+        assert!(
+            (hatched_eval.error - mother_eval.error).abs() < 1e-6,
+            "{}: hatched error {} != mother error {}",
+            member.name,
+            hatched_eval.error,
+            mother_eval.error
+        );
+    }
+}
+
+#[test]
+fn fine_tuning_a_hatched_member_does_not_regress_much() {
+    // The hatched member starts from the MotherNet's function; a couple of
+    // fine-tuning epochs must not be worse than random and typically
+    // improves.
+    let task = cifar10_sim(Scale::Tiny, 15);
+    let classes = task.train.num_classes();
+    let input = InputSpec::new(3, 8, 8);
+    let small = Architecture::plain(
+        "mother",
+        input,
+        classes,
+        vec![ConvBlockSpec::repeated(3, 6, 1), ConvBlockSpec::repeated(3, 12, 1)],
+        vec![32],
+    );
+    let big = Architecture::plain(
+        "member",
+        input,
+        classes,
+        vec![ConvBlockSpec::repeated(3, 10, 2), ConvBlockSpec::repeated(3, 16, 2)],
+        vec![48],
+    );
+    let mut mother = Network::seeded(&small, 16);
+    train_briefly(&mut mother, &task, 5);
+    let before = evaluate(&mut mother, task.test.images(), task.test.labels(), 64);
+
+    let mut hatched =
+        morph_to_with(&mother, &big, &MorphOptions::with_noise(5e-3, 17)).expect("hatchable");
+    let cfg = TrainConfig { max_epochs: 3, lr: 0.015, ..TrainConfig::default() };
+    train(
+        &mut hatched,
+        task.train.images(),
+        task.train.labels(),
+        task.test.images(),
+        task.test.labels(),
+        &cfg,
+    );
+    let after = evaluate(&mut hatched, task.test.images(), task.test.labels(), 64);
+    assert!(
+        after.error <= before.error + 0.10,
+        "fine-tuned hatched member regressed: {} -> {}",
+        before.error,
+        after.error
+    );
+}
+
+#[test]
+fn morph_plan_inherited_fraction_matches_cluster_condition() {
+    // tau = 0.5 clustering guarantees that every member inherits at least
+    // half its parameters; MorphPlan must agree.
+    let ens = vec![
+        Architecture::mlp("a", InputSpec::new(3, 8, 8), 10, vec![64]),
+        Architecture::mlp("b", InputSpec::new(3, 8, 8), 10, vec![80]),
+        Architecture::mlp("c", InputSpec::new(3, 8, 8), 10, vec![100]),
+    ];
+    let clustering = mothernets::cluster_architectures(&ens, 0.5).expect("clusterable");
+    for cluster in &clustering.clusters {
+        for &i in &cluster.member_indices {
+            let plan = MorphPlan::between(&cluster.mothernet, &ens[i]).expect("compatible");
+            assert!(
+                plan.inherited_fraction >= 0.5,
+                "member {} inherits only {:.1}%",
+                ens[i].name,
+                plan.inherited_fraction * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! End-to-end pipeline integration: data → architectures → MotherNet →
+//! training → hatching → ensemble inference, across crates.
+
+use mn_data::presets::{cifar10_sim, Scale};
+use mn_data::sampler::train_val_split;
+use mn_ensemble::evaluate_members;
+use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
+use mn_nn::train::TrainConfig;
+use mothernets::prelude::*;
+
+fn small_vgg_ensemble(classes: usize) -> Vec<Architecture> {
+    let input = InputSpec::new(3, 8, 8);
+    vec![
+        Architecture::plain(
+            "a",
+            input,
+            classes,
+            vec![ConvBlockSpec::repeated(3, 4, 1), ConvBlockSpec::repeated(3, 8, 1)],
+            vec![32],
+        ),
+        Architecture::plain(
+            "b",
+            input,
+            classes,
+            vec![ConvBlockSpec::repeated(3, 6, 1), ConvBlockSpec::repeated(3, 8, 2)],
+            vec![32],
+        ),
+        Architecture::plain(
+            "c",
+            input,
+            classes,
+            vec![ConvBlockSpec::repeated(5, 4, 1), ConvBlockSpec::repeated(3, 12, 1)],
+            vec![48],
+        ),
+    ]
+}
+
+fn fast_cfg(seed: u64) -> EnsembleTrainConfig {
+    EnsembleTrainConfig {
+        train: TrainConfig { max_epochs: 3, ..TrainConfig::default() },
+        seed,
+        parallel: true,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn all_three_strategies_produce_working_ensembles() {
+    let task = cifar10_sim(Scale::Tiny, 1);
+    let archs = small_vgg_ensemble(task.train.num_classes());
+    let mut cfg = fast_cfg(2);
+    cfg.train.max_epochs = 8;
+    let (_, val) = train_val_split(&task.train, cfg.val_fraction, cfg.seed);
+
+    for strategy in [Strategy::FullData, Strategy::Bagging, Strategy::mothernets()] {
+        let mut trained =
+            train_ensemble(&archs, &task.train, &strategy, &cfg).expect("train succeeds");
+        assert_eq!(trained.members.len(), 3, "{strategy}: wrong member count");
+
+        let eval = evaluate_members(
+            &mut trained.members,
+            task.test.images(),
+            task.test.labels(),
+            val.images(),
+            val.labels(),
+            64,
+        );
+        // Errors are valid rates and the oracle lower-bounds everything.
+        for e in [eval.ea_error, eval.vote_error, eval.sl_error, eval.oracle_error] {
+            assert!((0.0..=1.0).contains(&e), "{strategy}: error {e} out of range");
+        }
+        assert!(eval.oracle_error <= eval.ea_error + 1e-6);
+        assert!(eval.oracle_error <= eval.vote_error + 1e-6);
+        assert!(eval.oracle_error <= eval.sl_error + 1e-6);
+        assert!(
+            eval.oracle_error <= eval.member_errors.iter().cloned().fold(1.0, f32::min) + 1e-6
+        );
+        // Better than chance on a 10-class task (i.e. learned something).
+        assert!(eval.ea_error < 0.85, "{strategy}: EA error at chance: {}", eval.ea_error);
+    }
+}
+
+#[test]
+fn mothernets_costs_include_mother_and_members() {
+    let task = cifar10_sim(Scale::Tiny, 3);
+    let archs = small_vgg_ensemble(task.train.num_classes());
+    let cfg = fast_cfg(4);
+    let trained = train_ensemble(&archs, &task.train, &Strategy::mothernets(), &cfg)
+        .expect("train succeeds");
+
+    assert!(!trained.mother_records.is_empty());
+    let mother_cost: f64 = trained.mother_records.iter().map(|r| r.cost_units).sum();
+    assert!(mother_cost > 0.0);
+    // Cumulative curves are monotone and bracket the total.
+    let mut prev = trained.cumulative_wall_secs(0);
+    assert!(prev > 0.0, "k=0 must include MotherNet cost");
+    for k in 1..=trained.members.len() {
+        let cur = trained.cumulative_wall_secs(k);
+        assert!(cur >= prev);
+        prev = cur;
+    }
+    assert!((prev - trained.total_wall_secs()).abs() < 1e-9);
+}
+
+#[test]
+fn mothernet_members_inherit_trained_function_before_fine_tuning() {
+    // With MemberTraining::None, every hatched member must agree with its
+    // MotherNet's predictions (up to hatch noise = 0).
+    let task = cifar10_sim(Scale::Tiny, 5);
+    let archs = small_vgg_ensemble(task.train.num_classes());
+    let strategy = Strategy::MotherNets(MotherNetsStrategy {
+        hatch_noise: 0.0,
+        member_training: MemberTraining::None,
+        ..Default::default()
+    });
+    let cfg = fast_cfg(6);
+    let mut trained =
+        train_ensemble(&archs, &task.train, &strategy, &cfg).expect("train succeeds");
+
+    let clustering = trained.clustering.clone().expect("clustered");
+    let probe = task.test.images();
+    for (i, member) in trained.members.iter_mut().enumerate() {
+        let g = clustering.cluster_of(i);
+        let mother_probs = {
+            let (_, net) = &trained.mothernets[g];
+            let mut net = net.clone();
+            mn_nn::metrics::predict_proba_batched(&mut net, probe, 64)
+        };
+        let member_probs = member.predict_proba(probe, 64);
+        mn_tensor::assert_close(
+            member_probs.data(),
+            mother_probs.data(),
+            5e-4, // softmax of preserved logits
+        );
+    }
+}
+
+#[test]
+fn mixed_family_ensembles_are_rejected() {
+    let task = cifar10_sim(Scale::Tiny, 7);
+    let classes = task.train.num_classes();
+    let input = InputSpec::new(3, 8, 8);
+    let archs = vec![
+        Architecture::mlp("mlp", input, classes, vec![16]),
+        Architecture::plain(
+            "conv",
+            input,
+            classes,
+            vec![ConvBlockSpec::repeated(3, 4, 1)],
+            vec![16],
+        ),
+    ];
+    let err = train_ensemble(&archs, &task.train, &Strategy::mothernets(), &fast_cfg(8));
+    assert!(matches!(err, Err(MotherNetsError::IncompatibleMembers { .. })));
+    // But the baselines do not need a shared MotherNet.
+    let ok = train_ensemble(&archs, &task.train, &Strategy::FullData, &fast_cfg(8));
+    assert!(ok.is_ok());
+}
+
+#[test]
+fn repeated_runs_are_bitwise_reproducible() {
+    let task = cifar10_sim(Scale::Tiny, 9);
+    let archs = small_vgg_ensemble(task.train.num_classes());
+    let cfg = fast_cfg(10);
+    let a = train_ensemble(&archs, &task.train, &Strategy::mothernets(), &cfg).unwrap();
+    let b = train_ensemble(&archs, &task.train, &Strategy::mothernets(), &cfg).unwrap();
+    for (ra, rb) in a.member_records.iter().zip(&b.member_records) {
+        assert_eq!(ra.gradient_steps, rb.gradient_steps);
+        assert_eq!(ra.final_val_error, rb.final_val_error);
+    }
+}
