@@ -16,14 +16,17 @@ fn bench_hatch_by_target_size(c: &mut Criterion) {
     let mother = Network::seeded(&mother_arch, 1);
     let mut group = c.benchmark_group("hatch");
     for target in [v13(10), v16(10), v19(10)] {
-        group.bench_function(format!("to_{}_{}params", target.name, target.param_count()), |b| {
-            b.iter(|| {
-                black_box(
-                    morph_to_with(&mother, &target, &MorphOptions::exact())
-                        .expect("compatible"),
-                )
-            })
-        });
+        group.bench_function(
+            format!("to_{}_{}params", target.name, target.param_count()),
+            |b| {
+                b.iter(|| {
+                    black_box(
+                        morph_to_with(&mother, &target, &MorphOptions::exact())
+                            .expect("compatible"),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -39,13 +42,15 @@ fn bench_hatch_noise_ablation(c: &mut Criterion) {
     });
     group.bench_function("with_noise", |b| {
         b.iter(|| {
-            black_box(
-                morph_to_with(&mother, target, &MorphOptions::with_noise(5e-3, 3)).unwrap(),
-            )
+            black_box(morph_to_with(&mother, target, &MorphOptions::with_noise(5e-3, 3)).unwrap())
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_hatch_by_target_size, bench_hatch_noise_ablation);
+criterion_group!(
+    benches,
+    bench_hatch_by_target_size,
+    bench_hatch_noise_ablation
+);
 criterion_main!(benches);

@@ -75,5 +75,11 @@ fn bench_softmax(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_conv, bench_conv_formulations, bench_softmax);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_conv,
+    bench_conv_formulations,
+    bench_softmax
+);
 criterion_main!(benches);

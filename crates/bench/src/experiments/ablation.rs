@@ -15,9 +15,7 @@ use mn_data::sampler::train_val_split;
 use mn_data::Scale;
 use mn_ensemble::diversity::pairwise_disagreement;
 use mn_ensemble::{evaluate_members, MemberPredictions};
-use mothernets::{
-    train_ensemble, MemberTraining, MotherNetsStrategy, SnapshotStrategy, Strategy,
-};
+use mothernets::{train_ensemble, MemberTraining, MotherNetsStrategy, SnapshotStrategy, Strategy};
 use serde::{Deserialize, Serialize};
 
 use crate::experiments::{to_percent, ExpConfig};
@@ -50,7 +48,10 @@ pub fn run_ablation(cfg: &ExpConfig) -> Vec<AblationRow> {
         Scale::Small => 8,
         Scale::Full => 12,
     });
-    println!("\n== Ablation: MotherNets design choices ({n} VGG variants, CIFAR-10 sim, scale {}) ==", cfg.scale);
+    println!(
+        "\n== Ablation: MotherNets design choices ({n} VGG variants, CIFAR-10 sim, scale {}) ==",
+        cfg.scale
+    );
     let task = cifar10_sim(cfg.scale, cfg.seed);
     let mut archs = vgg_large_ensemble(n, task.train.num_classes());
     archs.sort_by_key(|a| a.param_count());
@@ -76,11 +77,17 @@ pub fn run_ablation(cfg: &ExpConfig) -> Vec<AblationRow> {
         ),
         (
             "MN exact hatch (no noise)",
-            Strategy::MotherNets(MotherNetsStrategy { hatch_noise: 0.0, ..base }),
+            Strategy::MotherNets(MotherNetsStrategy {
+                hatch_noise: 0.0,
+                ..base
+            }),
         ),
         (
             "MN full member lr",
-            Strategy::MotherNets(MotherNetsStrategy { member_lr_scale: 1.0, ..base }),
+            Strategy::MotherNets(MotherNetsStrategy {
+                member_lr_scale: 1.0,
+                ..base
+            }),
         ),
         (
             "MN tau = 1.0 (no sharing)",
@@ -88,7 +95,10 @@ pub fn run_ablation(cfg: &ExpConfig) -> Vec<AblationRow> {
         ),
         ("full-data baseline", Strategy::FullData),
         ("bagging baseline", Strategy::Bagging),
-        ("snapshot ensembles", Strategy::Snapshot(SnapshotStrategy::default())),
+        (
+            "snapshot ensembles",
+            Strategy::Snapshot(SnapshotStrategy::default()),
+        ),
     ];
 
     let mut rows = Vec::with_capacity(grid.len());
@@ -104,11 +114,8 @@ pub fn run_ablation(cfg: &ExpConfig) -> Vec<AblationRow> {
             val.labels(),
             cfg.eval_batch(),
         );
-        let test_preds = MemberPredictions::collect(
-            &mut trained.members,
-            task.test.images(),
-            cfg.eval_batch(),
-        );
+        let test_preds =
+            MemberPredictions::collect(&mut trained.members, task.test.images(), cfg.eval_batch());
         rows.push(AblationRow {
             label: label.to_string(),
             clusters: trained.clustering.as_ref().map(|c| c.len()).unwrap_or(0),
@@ -139,7 +146,17 @@ pub fn run_ablation(cfg: &ExpConfig) -> Vec<AblationRow> {
     println!(
         "\n{}",
         render_table(
-            &["configuration", "clusters", "EA", "Vote", "SL", "Oracle", "secs", "epochs", "diversity"],
+            &[
+                "configuration",
+                "clusters",
+                "EA",
+                "Vote",
+                "SL",
+                "Oracle",
+                "secs",
+                "epochs",
+                "diversity"
+            ],
             &table
         )
     );

@@ -136,8 +136,7 @@ fn run_large(spec: &LargeSpec, cfg: &ExpConfig) -> LargeEnsembleResult {
     let (_, val) = train_val_split(&task.train, tc.val_fraction, tc.seed);
     let test_preds =
         MemberPredictions::collect(&mut mn.members, task.test.images(), cfg.eval_batch());
-    let val_preds =
-        MemberPredictions::collect(&mut mn.members, val.images(), cfg.eval_batch());
+    let val_preds = MemberPredictions::collect(&mut mn.members, val.images(), cfg.eval_batch());
 
     let ks = sample_ks(n, 9);
     let mut points = Vec::with_capacity(ks.len());
@@ -169,8 +168,7 @@ fn run_large(spec: &LargeSpec, cfg: &ExpConfig) -> LargeEnsembleResult {
     };
     let mut bag = bag;
     let bag_eval = {
-        let tp =
-            MemberPredictions::collect(&mut bag.members, task.test.images(), cfg.eval_batch());
+        let tp = MemberPredictions::collect(&mut bag.members, task.test.images(), cfg.eval_batch());
         let vp = MemberPredictions::collect(&mut bag.members, val.images(), cfg.eval_batch());
         evaluate_predictions(&tp, task.test.labels(), &vp, val.labels())
     };
@@ -199,7 +197,10 @@ fn fd_member_epochs(fd: &TrainedEnsemble) -> f64 {
 }
 
 fn print_large(r: &LargeEnsembleResult) {
-    println!("\n-- {}a: test error rate (%) vs number of networks (MotherNets) --", r.figure);
+    println!(
+        "\n-- {}a: test error rate (%) vs number of networks (MotherNets) --",
+        r.figure
+    );
     let rows: Vec<Vec<String>> = r
         .points
         .iter()
@@ -213,9 +214,15 @@ fn print_large(r: &LargeEnsembleResult) {
             ]
         })
         .collect();
-    println!("{}", render_table(&["k", "EA", "Vote", "SL", "Oracle"], &rows));
+    println!(
+        "{}",
+        render_table(&["k", "EA", "Vote", "SL", "Oracle"], &rows)
+    );
 
-    println!("-- {}b: cumulative training time (s) vs number of networks --", r.figure);
+    println!(
+        "-- {}b: cumulative training time (s) vs number of networks --",
+        r.figure
+    );
     let rows: Vec<Vec<String>> = r
         .points
         .iter()
@@ -231,7 +238,10 @@ fn print_large(r: &LargeEnsembleResult) {
         .collect();
     println!(
         "{}",
-        render_table(&["k", "full-data", "bagging", "MotherNets", "speedup vs FD"], &rows)
+        render_table(
+            &["k", "full-data", "bagging", "MotherNets", "speedup vs FD"],
+            &rows
+        )
     );
     println!(
         "context: at k = {}, full-data EA error {}%, bagging EA error {}%, MotherNets EA error {}%",

@@ -78,7 +78,12 @@ impl ExpConfig {
         // Members are trained sequentially: on a small CPU, parallel
         // training contends for cores and inflates per-network wall-clock
         // times, which are exactly what the figures report.
-        EnsembleTrainConfig { train, val_fraction: 0.15, seed: self.seed, parallel: false }
+        EnsembleTrainConfig {
+            train,
+            val_fraction: 0.15,
+            seed: self.seed,
+            parallel: false,
+        }
     }
 
     /// Evaluation batch size.
@@ -126,8 +131,14 @@ mod tests {
 
     #[test]
     fn config_scales_epoch_caps() {
-        let tiny = ExpConfig { scale: Scale::Tiny, ..Default::default() };
-        let full = ExpConfig { scale: Scale::Full, ..Default::default() };
+        let tiny = ExpConfig {
+            scale: Scale::Tiny,
+            ..Default::default()
+        };
+        let full = ExpConfig {
+            scale: Scale::Full,
+            ..Default::default()
+        };
         assert!(
             tiny.ensemble_train_config().train.max_epochs
                 < full.ensemble_train_config().train.max_epochs

@@ -51,7 +51,11 @@ pub fn run_fig10(cfg: &ExpConfig) -> Result<Vec<OracleCurve>, String> {
             "oracle error improves {} -> {} as networks are added ({})",
             pct(first),
             pct(last),
-            if last <= first { "improving, as in the paper" } else { "NOT improving" }
+            if last <= first {
+                "improving, as in the paper"
+            } else {
+                "NOT improving"
+            }
         );
     }
     save_json(&cfg.out_dir, "fig10", &curves);

@@ -36,7 +36,10 @@ pub fn run_table1() {
         .collect();
     println!(
         "{}",
-        render_table(&["net", "subnet 1", "subnet 2", "subnet 3", "head", "params"], &rows)
+        render_table(
+            &["net", "subnet 1", "subnet 2", "subnet 3", "head", "params"],
+            &rows
+        )
     );
 }
 
@@ -84,7 +87,10 @@ fn outcome(
 /// MotherNets; reports error under EA / SL / Vote / Oracle (5a) and the
 /// per-network training-time breakdown (5b).
 pub fn run_fig5(cfg: &ExpConfig) -> SmallEnsembleResult {
-    println!("\n== Figure 5: small ensemble (5 VGGNets, CIFAR-10 sim, scale {}) ==", cfg.scale);
+    println!(
+        "\n== Figure 5: small ensemble (5 VGGNets, CIFAR-10 sim, scale {}) ==",
+        cfg.scale
+    );
     let task = cifar10_sim(cfg.scale, cfg.seed);
     let archs = vgg_small_ensemble(task.train.num_classes());
     let tc = cfg.ensemble_train_config();
@@ -96,8 +102,8 @@ pub fn run_fig5(cfg: &ExpConfig) -> SmallEnsembleResult {
         ("MotherNets", Strategy::mothernets()),
     ] {
         println!("  training with {label}...");
-        let mut trained = train_ensemble(&archs, &task.train, &strategy, &tc)
-            .expect("zoo ensemble is valid");
+        let mut trained =
+            train_ensemble(&archs, &task.train, &strategy, &tc).expect("zoo ensemble is valid");
         outcomes.push(outcome(label, &mut trained, &task, cfg));
     }
 
@@ -115,7 +121,10 @@ pub fn run_fig5(cfg: &ExpConfig) -> SmallEnsembleResult {
             ]
         })
         .collect();
-    println!("{}", render_table(&["strategy", "EA", "SL", "Vote", "Oracle"], &rows));
+    println!(
+        "{}",
+        render_table(&["strategy", "EA", "SL", "Vote", "Oracle"], &rows)
+    );
 
     // Figure 5b: training-time breakdown.
     println!("-- Fig 5b: training time split between networks (seconds) --");
@@ -138,11 +147,23 @@ pub fn run_fig5(cfg: &ExpConfig) -> SmallEnsembleResult {
             format!("{:.3e}", o.total_cost_units),
         ]);
     }
-    println!("{}", render_table(&["strategy", "network", "secs", "epochs", "cost"], &rows));
+    println!(
+        "{}",
+        render_table(&["strategy", "network", "secs", "epochs", "cost"], &rows)
+    );
 
-    let fd = outcomes.iter().find(|o| o.strategy == "full-data").expect("fd present");
-    let bag = outcomes.iter().find(|o| o.strategy == "bagging").expect("bag present");
-    let mn = outcomes.iter().find(|o| o.strategy == "MotherNets").expect("mn present");
+    let fd = outcomes
+        .iter()
+        .find(|o| o.strategy == "full-data")
+        .expect("fd present");
+    let bag = outcomes
+        .iter()
+        .find(|o| o.strategy == "bagging")
+        .expect("bag present");
+    let mn = outcomes
+        .iter()
+        .find(|o| o.strategy == "MotherNets")
+        .expect("mn present");
     println!(
         "speedup: MotherNets is {:.2}x faster than full-data, {:.2}x faster than bagging",
         fd.total_wall_secs / mn.total_wall_secs.max(1e-12),

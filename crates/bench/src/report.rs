@@ -149,8 +149,12 @@ pub fn save_json<T: Serialize>(out_dir: &Path, name: &str, value: &T) {
 /// Returns a message naming the missing/invalid file.
 pub fn load_json<T: for<'de> Deserialize<'de>>(out_dir: &Path, name: &str) -> Result<T, String> {
     let path = out_dir.join(format!("{name}.json"));
-    let data = fs::read_to_string(&path)
-        .map_err(|e| format!("cannot read {} ({e}); run the prerequisite experiment first", path.display()))?;
+    let data = fs::read_to_string(&path).map_err(|e| {
+        format!(
+            "cannot read {} ({e}); run the prerequisite experiment first",
+            path.display()
+        )
+    })?;
     serde_json::from_str(&data).map_err(|e| format!("invalid JSON in {}: {e}", path.display()))
 }
 
@@ -177,7 +181,11 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     out.push('\n');
     out.push_str(&format!(
         "|{}|",
-        widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
     ));
     out.push('\n');
     for row in rows {
@@ -212,7 +220,12 @@ mod tests {
     #[test]
     fn json_roundtrip() {
         let dir = std::env::temp_dir().join("mn-bench-test");
-        let value = MethodErrors { ea: 1.0, vote: 2.0, sl: 3.0, oracle: 4.0 };
+        let value = MethodErrors {
+            ea: 1.0,
+            vote: 2.0,
+            sl: 3.0,
+            oracle: 4.0,
+        };
         save_json(&dir, "probe", &value);
         let back: MethodErrors = load_json(&dir, "probe").unwrap();
         assert_eq!(back.ea, 1.0);

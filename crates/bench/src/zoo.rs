@@ -14,7 +14,7 @@
 //!   size, or both;
 //! * [`resnet_ensemble`] — 25 ResNets: five depths × (base + four width
 //!   variants: doubled/`+2` filters on even/odd stages).
-
+//!
 //! Note: like the paper's VGGs — whose three shared fully-connected layers
 //! hold ~120M of ~134M parameters — the mini-VGGs carry a shared dense
 //! head (`[192, 192]`) that dominates their parameter count. This matters
@@ -217,11 +217,31 @@ pub fn resnet_ensemble(depths: usize, num_classes: usize) -> Vec<Architecture> {
         // Base network.
         out.push(resnet(name, num_classes, *units, f));
         // Variant 1/2: doubled filters on even/odd stages.
-        out.push(resnet(&format!("{name}-2xE"), num_classes, *units, [f[0] * 2, f[1], f[2] * 2]));
-        out.push(resnet(&format!("{name}-2xO"), num_classes, *units, [f[0], f[1] * 2, f[2]]));
+        out.push(resnet(
+            &format!("{name}-2xE"),
+            num_classes,
+            *units,
+            [f[0] * 2, f[1], f[2] * 2],
+        ));
+        out.push(resnet(
+            &format!("{name}-2xO"),
+            num_classes,
+            *units,
+            [f[0], f[1] * 2, f[2]],
+        ));
         // Variant 3/4: +2 filters on even/odd stages.
-        out.push(resnet(&format!("{name}+2E"), num_classes, *units, [f[0] + 2, f[1], f[2] + 2]));
-        out.push(resnet(&format!("{name}+2O"), num_classes, *units, [f[0], f[1] + 2, f[2]]));
+        out.push(resnet(
+            &format!("{name}+2E"),
+            num_classes,
+            *units,
+            [f[0] + 2, f[1], f[2] + 2],
+        ));
+        out.push(resnet(
+            &format!("{name}+2O"),
+            num_classes,
+            *units,
+            [f[0], f[1] + 2, f[2]],
+        ));
     }
     out
 }
@@ -267,9 +287,10 @@ mod tests {
         // Mothernet block depths are per-block minima: [2, 2, 2].
         match &mother.body {
             mn_nn::arch::Body::Plain { blocks, .. } => {
-                assert_eq!(blocks.iter().map(|b| b.layers.len()).collect::<Vec<_>>(), vec![
-                    2, 2, 2
-                ]);
+                assert_eq!(
+                    blocks.iter().map(|b| b.layers.len()).collect::<Vec<_>>(),
+                    vec![2, 2, 2]
+                );
             }
             _ => panic!("wrong family"),
         }

@@ -102,7 +102,10 @@ pub fn cluster_architectures(
     tau: f64,
 ) -> Result<Clustering, MotherNetsError> {
     if !(tau > 0.0 && tau <= 1.0) {
-        return Err(MotherNetsError::InvalidParameter { what: "tau".into(), value: tau });
+        return Err(MotherNetsError::InvalidParameter {
+            what: "tau".into(),
+            value: tau,
+        });
     }
     if members.is_empty() {
         return Err(MotherNetsError::EmptyEnsemble);
@@ -123,18 +126,19 @@ pub fn cluster_architectures(
             &format!("mothernet-{}", clusters.len()),
         )?;
         while end < order.len() {
-            let candidate: Vec<Architecture> =
-                order[start..=end].iter().map(|&i| members[i].clone()).collect();
+            let candidate: Vec<Architecture> = order[start..=end]
+                .iter()
+                .map(|&i| members[i].clone())
+                .collect();
             // A reachability failure (a member not hatchable from the
             // candidate MotherNet) makes the candidate infeasible, exactly
             // like a size-condition violation; structural incompatibility
             // (family/input/classes) is a hard error.
-            let mother =
-                match mothernet_of(&candidate, &format!("mothernet-{}", clusters.len())) {
-                    Ok(m) => Some(m),
-                    Err(MotherNetsError::Hatch(_)) => None,
-                    Err(e) => return Err(e),
-                };
+            let mother = match mothernet_of(&candidate, &format!("mothernet-{}", clusters.len())) {
+                Ok(m) => Some(m),
+                Err(MotherNetsError::Hatch(_)) => None,
+                Err(e) => return Err(e),
+            };
             let ok = mother
                 .as_ref()
                 .is_some_and(|m| candidate.iter().all(|c| satisfies_condition(c, m, tau)));
@@ -169,7 +173,10 @@ pub fn min_clusters_exhaustive(
     tau: f64,
 ) -> Result<usize, MotherNetsError> {
     if !(tau > 0.0 && tau <= 1.0) {
-        return Err(MotherNetsError::InvalidParameter { what: "tau".into(), value: tau });
+        return Err(MotherNetsError::InvalidParameter {
+            what: "tau".into(),
+            value: tau,
+        });
     }
     if members.is_empty() {
         return Err(MotherNetsError::EmptyEnsemble);
@@ -182,8 +189,7 @@ pub fn min_clusters_exhaustive(
     let mut feasible = vec![vec![false; n]; n];
     for i in 0..n {
         for j in i..n {
-            let run: Vec<Architecture> =
-                order[i..=j].iter().map(|&k| members[k].clone()).collect();
+            let run: Vec<Architecture> = order[i..=j].iter().map(|&k| members[k].clone()).collect();
             feasible[i][j] = match mothernet_of(&run, "probe") {
                 Ok(mother) => run.iter().all(|c| satisfies_condition(c, &mother, tau)),
                 Err(MotherNetsError::Hatch(_)) => false,
@@ -233,8 +239,7 @@ mod tests {
 
     #[test]
     fn tiny_tau_gives_one_cluster() {
-        let members =
-            vec![mlp("a", vec![8]), mlp("b", vec![128]), mlp("c", vec![512])];
+        let members = vec![mlp("a", vec![8]), mlp("b", vec![128]), mlp("c", vec![512])];
         let clustering = cluster_architectures(&members, 0.01).unwrap();
         assert_eq!(clustering.len(), 1);
     }
@@ -260,11 +265,15 @@ mod tests {
 
     #[test]
     fn clusters_cover_all_members_once() {
-        let members: Vec<Architecture> =
-            (0..7).map(|i| mlp(&format!("n{i}"), vec![8 + 12 * i])).collect();
+        let members: Vec<Architecture> = (0..7)
+            .map(|i| mlp(&format!("n{i}"), vec![8 + 12 * i]))
+            .collect();
         let clustering = cluster_architectures(&members, 0.6).unwrap();
-        let mut seen: Vec<usize> =
-            clustering.clusters.iter().flat_map(|c| c.member_indices.clone()).collect();
+        let mut seen: Vec<usize> = clustering
+            .clusters
+            .iter()
+            .flat_map(|c| c.member_indices.clone())
+            .collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..7).collect::<Vec<_>>());
         // cluster_of agrees.
@@ -278,8 +287,11 @@ mod tests {
     fn greedy_is_minimal_vs_dp_oracle() {
         // A spread of sizes that produces multiple clusters.
         let widths = [8usize, 9, 14, 40, 44, 160, 170, 600];
-        let members: Vec<Architecture> =
-            widths.iter().enumerate().map(|(i, &w)| mlp(&format!("n{i}"), vec![w])).collect();
+        let members: Vec<Architecture> = widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| mlp(&format!("n{i}"), vec![w]))
+            .collect();
         for tau in [0.3, 0.5, 0.7, 0.9] {
             let greedy = cluster_architectures(&members, tau).unwrap().len();
             let oracle = min_clusters_exhaustive(&members, tau).unwrap();

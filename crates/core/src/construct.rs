@@ -56,10 +56,7 @@ use crate::error::MotherNetsError;
 /// [`MotherNetsError::Hatch`] and the clustering algorithm places such
 /// members in smaller clusters (ultimately singletons, which always
 /// succeed).
-pub fn mothernet_of(
-    members: &[Architecture],
-    name: &str,
-) -> Result<Architecture, MotherNetsError> {
+pub fn mothernet_of(members: &[Architecture], name: &str) -> Result<Architecture, MotherNetsError> {
     let first = members.first().ok_or(MotherNetsError::EmptyEnsemble)?;
     for m in members {
         m.validate()?;
@@ -101,7 +98,10 @@ pub fn mothernet_of(
                 .collect();
             Body::Mlp { hidden }
         }
-        Body::Plain { blocks: first_blocks, .. } => {
+        Body::Plain {
+            blocks: first_blocks,
+            ..
+        } => {
             let bodies: Vec<(&Vec<ConvBlockSpec>, &Vec<usize>)> = members
                 .iter()
                 .map(|m| match &m.body {
@@ -145,14 +145,19 @@ pub fn mothernet_of(
                     .collect();
                 blocks.push(ConvBlockSpec::new(layers));
             }
-            let dense_depth =
-                bodies.iter().map(|(_, d)| d.len()).min().expect("non-empty");
+            let dense_depth = bodies
+                .iter()
+                .map(|(_, d)| d.len())
+                .min()
+                .expect("non-empty");
             let dense = (0..dense_depth)
                 .map(|i| bodies.iter().map(|(_, d)| d[i]).min().expect("non-empty"))
                 .collect();
             Body::Plain { blocks, dense }
         }
-        Body::Residual { blocks: first_blocks } => {
+        Body::Residual {
+            blocks: first_blocks,
+        } => {
             let bodies: Vec<&Vec<ResBlockSpec>> = members
                 .iter()
                 .map(|m| match &m.body {
@@ -175,9 +180,21 @@ pub fn mothernet_of(
             let blocks = (0..first_blocks.len())
                 .map(|bi| {
                     ResBlockSpec::new(
-                        bodies.iter().map(|bs| bs[bi].units).min().expect("non-empty"),
-                        bodies.iter().map(|bs| bs[bi].filters).min().expect("non-empty"),
-                        bodies.iter().map(|bs| bs[bi].filter_size).min().expect("non-empty"),
+                        bodies
+                            .iter()
+                            .map(|bs| bs[bi].units)
+                            .min()
+                            .expect("non-empty"),
+                        bodies
+                            .iter()
+                            .map(|bs| bs[bi].filters)
+                            .min()
+                            .expect("non-empty"),
+                        bodies
+                            .iter()
+                            .map(|bs| bs[bi].filter_size)
+                            .min()
+                            .expect("non-empty"),
                     )
                 })
                 .collect();
@@ -341,7 +358,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_mixed() {
-        assert!(matches!(mothernet_of(&[], "m"), Err(MotherNetsError::EmptyEnsemble)));
+        assert!(matches!(
+            mothernet_of(&[], "m"),
+            Err(MotherNetsError::EmptyEnsemble)
+        ));
         let mlp = Architecture::mlp("a", input(), 10, vec![8]);
         let plain = Architecture::plain(
             "b",
@@ -373,7 +393,10 @@ mod tests {
             "b",
             input(),
             10,
-            vec![ConvBlockSpec::repeated(3, 4, 1), ConvBlockSpec::repeated(3, 4, 1)],
+            vec![
+                ConvBlockSpec::repeated(3, 4, 1),
+                ConvBlockSpec::repeated(3, 4, 1),
+            ],
             vec![],
         );
         assert!(matches!(

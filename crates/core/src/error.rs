@@ -82,8 +82,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert_eq!(MotherNetsError::EmptyEnsemble.to_string(), "ensemble is empty");
-        let e = MotherNetsError::InvalidParameter { what: "tau".into(), value: 2.0 };
+        assert_eq!(
+            MotherNetsError::EmptyEnsemble.to_string(),
+            "ensemble is empty"
+        );
+        let e = MotherNetsError::InvalidParameter {
+            what: "tau".into(),
+            value: 2.0,
+        };
         assert!(e.to_string().contains("tau"));
     }
 }

@@ -47,7 +47,10 @@ pub fn hatch_with_report(
     let plan = MorphPlan::between(mothernet.arch(), target)?;
     let start = Instant::now();
     let net = morph_to_with(mothernet, target, opts)?;
-    let report = HatchReport { plan, wall_secs: start.elapsed().as_secs_f64() };
+    let report = HatchReport {
+        plan,
+        wall_secs: start.elapsed().as_secs_f64(),
+    };
     Ok((net, report))
 }
 
@@ -91,6 +94,9 @@ mod tests {
         let mother_arch = Architecture::mlp("m", InputSpec::new(3, 8, 8), 10, vec![8]);
         let smaller = Architecture::mlp("s", InputSpec::new(3, 8, 8), 10, vec![4]);
         let mother = Network::seeded(&mother_arch, 2);
-        assert!(matches!(hatch(&mother, &smaller), Err(MotherNetsError::Hatch(_))));
+        assert!(matches!(
+            hatch(&mother, &smaller),
+            Err(MotherNetsError::Hatch(_))
+        ));
     }
 }

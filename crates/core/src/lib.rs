@@ -58,8 +58,8 @@ pub use construct::mothernet_of;
 pub use error::MotherNetsError;
 pub use hatch::{hatch, hatch_with_report, HatchReport};
 pub use training::{
-    train_ensemble, EnsembleTrainConfig, MemberRecord, MemberTraining, MotherNetsStrategy,
-    Phase, SnapshotStrategy, Strategy, TrainedEnsemble,
+    train_ensemble, EnsembleTrainConfig, MemberRecord, MemberTraining, MotherNetsStrategy, Phase,
+    SnapshotStrategy, Strategy, TrainedEnsemble,
 };
 
 /// Convenient glob-import surface for applications.

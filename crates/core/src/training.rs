@@ -94,7 +94,10 @@ pub struct SnapshotStrategy {
 
 impl Default for SnapshotStrategy {
     fn default() -> Self {
-        SnapshotStrategy { cycle_epochs: 4, min_lr_factor: 0.05 }
+        SnapshotStrategy {
+            cycle_epochs: 4,
+            min_lr_factor: 0.05,
+        }
     }
 }
 
@@ -194,12 +197,7 @@ pub struct MemberRecord {
 }
 
 impl MemberRecord {
-    fn from_report(
-        name: &str,
-        phase: Phase,
-        cluster: Option<usize>,
-        report: &TrainReport,
-    ) -> Self {
+    fn from_report(name: &str, phase: Phase, cluster: Option<usize>, report: &TrainReport) -> Self {
         MemberRecord {
             name: name.to_string(),
             phase,
@@ -390,8 +388,7 @@ pub fn train_ensemble(
 
             // Train each cluster's MotherNet on the full training split.
             for (g, cluster) in clustering.clusters.iter().enumerate() {
-                let mut net =
-                    Network::seeded(&cluster.mothernet, derive_seed(cfg.seed, 4, g));
+                let mut net = Network::seeded(&cluster.mothernet, derive_seed(cfg.seed, 4, g));
                 let tcfg = cfg.train.clone().with_seed(derive_seed(cfg.seed, 5, g));
                 let report = train(
                     &mut net,
@@ -418,18 +415,15 @@ pub fn train_ensemble(
                 let work = |&(i, arch): &(usize, &Architecture)| {
                     let g = clustering_ref.cluster_of(i);
                     let mother = &mothernets_ref[g].1;
-                    let opts = MorphOptions::with_noise(
-                        mcfg.hatch_noise,
-                        derive_seed(cfg.seed, 6, i),
-                    );
+                    let opts =
+                        MorphOptions::with_noise(mcfg.hatch_noise, derive_seed(cfg.seed, 6, i));
                     let (mut net, _report) = hatch_with_report(mother, arch, &opts)
                         .expect("clustering guarantees hatchability");
                     let mut tcfg = cfg.train.clone().with_seed(derive_seed(cfg.seed, 7, i));
                     tcfg.lr *= mcfg.member_lr_scale;
                     let report = match mcfg.member_training {
                         MemberTraining::Bagging => {
-                            let bagged =
-                                bag_seeded(&train_core, derive_seed(cfg.seed, 8, i));
+                            let bagged = bag_seeded(&train_core, derive_seed(cfg.seed, 8, i));
                             train(
                                 &mut net,
                                 bagged.images(),
@@ -460,9 +454,7 @@ pub fn train_ensemble(
 
             let mut members = Vec::with_capacity(archs.len());
             let mut member_records = Vec::with_capacity(archs.len());
-            for ((arch, (net, report, g)), _i) in
-                archs.iter().zip(results).zip(0..archs.len())
-            {
+            for ((arch, (net, report, g)), _i) in archs.iter().zip(results).zip(0..archs.len()) {
                 member_records.push(MemberRecord::from_report(
                     &arch.name,
                     Phase::Member,
@@ -512,10 +504,21 @@ fn assemble(
     let mut members = Vec::with_capacity(archs.len());
     let mut member_records = Vec::with_capacity(archs.len());
     for (arch, (net, report)) in archs.iter().zip(results) {
-        member_records.push(MemberRecord::from_report(&arch.name, Phase::Member, None, &report));
+        member_records.push(MemberRecord::from_report(
+            &arch.name,
+            Phase::Member,
+            None,
+            &report,
+        ));
         members.push(EnsembleMember::new(arch.name.clone(), net));
     }
-    TrainedEnsemble { members, mother_records, member_records, mothernets, clustering }
+    TrainedEnsemble {
+        members,
+        mother_records,
+        member_records,
+        mothernets,
+        clustering,
+    }
 }
 
 /// A report for the "no member training" ablation: zero cost, evaluated
@@ -536,12 +539,20 @@ impl TrainedEnsemble {
     /// Sum of wall-clock seconds over MotherNets and members —
     /// sequential-equivalent total training time (what Figures 5b–9b plot).
     pub fn total_wall_secs(&self) -> f64 {
-        self.mother_records.iter().chain(&self.member_records).map(|r| r.wall_secs).sum()
+        self.mother_records
+            .iter()
+            .chain(&self.member_records)
+            .map(|r| r.wall_secs)
+            .sum()
     }
 
     /// Sum of deterministic cost units over MotherNets and members.
     pub fn total_cost_units(&self) -> f64 {
-        self.mother_records.iter().chain(&self.member_records).map(|r| r.cost_units).sum()
+        self.mother_records
+            .iter()
+            .chain(&self.member_records)
+            .map(|r| r.cost_units)
+            .sum()
     }
 
     /// Training time if the ensemble had been stopped after its first `k`
@@ -554,7 +565,11 @@ impl TrainedEnsemble {
     pub fn cumulative_wall_secs(&self, k: usize) -> f64 {
         assert!(k <= self.member_records.len(), "k out of range");
         let mothers: f64 = self.mother_records.iter().map(|r| r.wall_secs).sum();
-        mothers + self.member_records[..k].iter().map(|r| r.wall_secs).sum::<f64>()
+        mothers
+            + self.member_records[..k]
+                .iter()
+                .map(|r| r.wall_secs)
+                .sum::<f64>()
     }
 
     /// Deterministic-cost analogue of [`Self::cumulative_wall_secs`].
@@ -565,13 +580,20 @@ impl TrainedEnsemble {
     pub fn cumulative_cost_units(&self, k: usize) -> f64 {
         assert!(k <= self.member_records.len(), "k out of range");
         let mothers: f64 = self.mother_records.iter().map(|r| r.cost_units).sum();
-        mothers + self.member_records[..k].iter().map(|r| r.cost_units).sum::<f64>()
+        mothers
+            + self.member_records[..k]
+                .iter()
+                .map(|r| r.cost_units)
+                .sum::<f64>()
     }
 
     /// Mean epochs to convergence across members (the per-network speedup
     /// the paper reports comes from this dropping after hatching).
     pub fn mean_member_epochs(&self) -> f64 {
-        self.member_records.iter().map(|r| r.epochs as f64).sum::<f64>()
+        self.member_records
+            .iter()
+            .map(|r| r.epochs as f64)
+            .sum::<f64>()
             / self.member_records.len().max(1) as f64
     }
 
@@ -609,8 +631,7 @@ impl TrainedEnsemble {
                 reason: format!("no stored MotherNet can hatch {}", arch.name),
             })?;
 
-        let opts =
-            MorphOptions::with_noise(strategy.hatch_noise, derive_seed(cfg.seed, 6, index));
+        let opts = MorphOptions::with_noise(strategy.hatch_noise, derive_seed(cfg.seed, 6, index));
         let (mut net, _) = hatch_with_report(mother, arch, &opts)?;
         let (train_core, val) = train_val_split(train_set, cfg.val_fraction, cfg.seed);
         let mut tcfg = cfg.train.clone().with_seed(derive_seed(cfg.seed, 7, index));
@@ -643,7 +664,8 @@ impl TrainedEnsemble {
             Some(g),
             &report,
         ));
-        self.members.push(EnsembleMember::new(arch.name.clone(), net));
+        self.members
+            .push(EnsembleMember::new(arch.name.clone(), net));
         Ok(())
     }
 }
@@ -665,7 +687,11 @@ mod tests {
 
     fn fast_cfg() -> EnsembleTrainConfig {
         EnsembleTrainConfig {
-            train: TrainConfig { max_epochs: 2, batch_size: 32, ..TrainConfig::default() },
+            train: TrainConfig {
+                max_epochs: 2,
+                batch_size: 32,
+                ..TrainConfig::default()
+            },
             val_fraction: 0.2,
             seed: 42,
             parallel: false,
@@ -690,15 +716,20 @@ mod tests {
     #[test]
     fn bagging_strategy_differs_from_full_data() {
         let task = cifar10_sim(Scale::Tiny, 2);
-        let fd = train_ensemble(&archs(), &task.train, &Strategy::FullData, &fast_cfg())
-            .unwrap();
-        let bag = train_ensemble(&archs(), &task.train, &Strategy::Bagging, &fast_cfg())
-            .unwrap();
+        let fd = train_ensemble(&archs(), &task.train, &Strategy::FullData, &fast_cfg()).unwrap();
+        let bag = train_ensemble(&archs(), &task.train, &Strategy::Bagging, &fast_cfg()).unwrap();
         // Different training data must produce different validation errors
         // for at least one member (same seeds otherwise).
-        let fd_errs: Vec<f32> = fd.member_records.iter().map(|r| r.final_val_error).collect();
-        let bag_errs: Vec<f32> =
-            bag.member_records.iter().map(|r| r.final_val_error).collect();
+        let fd_errs: Vec<f32> = fd
+            .member_records
+            .iter()
+            .map(|r| r.final_val_error)
+            .collect();
+        let bag_errs: Vec<f32> = bag
+            .member_records
+            .iter()
+            .map(|r| r.final_val_error)
+            .collect();
         assert_ne!(fd_errs, bag_errs);
     }
 
@@ -706,8 +737,7 @@ mod tests {
     fn mothernets_strategy_produces_mothers_and_records() {
         let task = cifar10_sim(Scale::Tiny, 3);
         let trained =
-            train_ensemble(&archs(), &task.train, &Strategy::mothernets(), &fast_cfg())
-                .unwrap();
+            train_ensemble(&archs(), &task.train, &Strategy::mothernets(), &fast_cfg()).unwrap();
         assert_eq!(trained.members.len(), 3);
         let clustering = trained.clustering.as_ref().expect("clustering present");
         assert_eq!(trained.mothernets.len(), clustering.len());
@@ -752,9 +782,10 @@ mod tests {
             &fast_cfg(),
         )
         .unwrap();
-        let extra =
-            Architecture::mlp("extra", InputSpec::new(3, 8, 8), 10, vec![18]);
-        trained.hatch_additional(&extra, &task.train, &strategy, &fast_cfg()).unwrap();
+        let extra = Architecture::mlp("extra", InputSpec::new(3, 8, 8), 10, vec![18]);
+        trained
+            .hatch_additional(&extra, &task.train, &strategy, &fast_cfg())
+            .unwrap();
         assert_eq!(trained.members.len(), 4);
         assert_eq!(trained.members[3].name, "extra");
         assert_eq!(trained.member_records[3].name, "extra");
@@ -773,10 +804,19 @@ mod tests {
             train_ensemble(&wrong, &task.train, &Strategy::FullData, &fast_cfg()),
             Err(MotherNetsError::DataMismatch { .. })
         ));
-        let wrong_classes =
-            vec![Architecture::mlp("wrong", InputSpec::new(3, 8, 8), 7, vec![8])];
+        let wrong_classes = vec![Architecture::mlp(
+            "wrong",
+            InputSpec::new(3, 8, 8),
+            7,
+            vec![8],
+        )];
         assert!(matches!(
-            train_ensemble(&wrong_classes, &task.train, &Strategy::FullData, &fast_cfg()),
+            train_ensemble(
+                &wrong_classes,
+                &task.train,
+                &Strategy::FullData,
+                &fast_cfg()
+            ),
             Err(MotherNetsError::DataMismatch { .. })
         ));
     }
@@ -784,10 +824,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let task = cifar10_sim(Scale::Tiny, 7);
-        let a = train_ensemble(&archs(), &task.train, &Strategy::mothernets(), &fast_cfg())
-            .unwrap();
-        let b = train_ensemble(&archs(), &task.train, &Strategy::mothernets(), &fast_cfg())
-            .unwrap();
+        let a =
+            train_ensemble(&archs(), &task.train, &Strategy::mothernets(), &fast_cfg()).unwrap();
+        let b =
+            train_ensemble(&archs(), &task.train, &Strategy::mothernets(), &fast_cfg()).unwrap();
         for (ra, rb) in a.member_records.iter().zip(&b.member_records) {
             assert_eq!(ra.final_val_error, rb.final_val_error);
             assert_eq!(ra.gradient_steps, rb.gradient_steps);
@@ -838,11 +878,12 @@ mod tests {
     fn parallel_matches_sequential_results() {
         let task = cifar10_sim(Scale::Tiny, 8);
         let seq_cfg = fast_cfg();
-        let par_cfg = EnsembleTrainConfig { parallel: true, ..fast_cfg() };
-        let seq =
-            train_ensemble(&archs(), &task.train, &Strategy::FullData, &seq_cfg).unwrap();
-        let par =
-            train_ensemble(&archs(), &task.train, &Strategy::FullData, &par_cfg).unwrap();
+        let par_cfg = EnsembleTrainConfig {
+            parallel: true,
+            ..fast_cfg()
+        };
+        let seq = train_ensemble(&archs(), &task.train, &Strategy::FullData, &seq_cfg).unwrap();
+        let par = train_ensemble(&archs(), &task.train, &Strategy::FullData, &par_cfg).unwrap();
         for (ra, rb) in seq.member_records.iter().zip(&par.member_records) {
             assert_eq!(ra.final_val_error, rb.final_val_error);
         }

@@ -19,13 +19,21 @@ impl Dataset {
     /// image count, or any label is out of range.
     pub fn new(images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
         assert_eq!(images.shape().ndim(), 4, "images must be [N, C, H, W]");
-        assert_eq!(images.shape().dim(0), labels.len(), "image/label count mismatch");
+        assert_eq!(
+            images.shape().dim(0),
+            labels.len(),
+            "image/label count mismatch"
+        );
         assert!(num_classes > 0, "num_classes must be positive");
         assert!(
             labels.iter().all(|&l| l < num_classes),
             "labels must be < {num_classes}"
         );
-        Dataset { images, labels, num_classes }
+        Dataset {
+            images,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of examples.
@@ -78,7 +86,11 @@ impl Dataset {
             dst[i * row..(i + 1) * row].copy_from_slice(&src[idx * row..(idx + 1) * row]);
             labels.push(self.labels[idx]);
         }
-        Dataset { images, labels, num_classes: self.num_classes }
+        Dataset {
+            images,
+            labels,
+            num_classes: self.num_classes,
+        }
     }
 
     /// Splits into `([0, at), [at, len))` without shuffling.

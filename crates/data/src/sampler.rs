@@ -53,8 +53,8 @@ pub fn train_val_split(dataset: &Dataset, val_fraction: f64, seed: u64) -> (Data
         let j = rng.gen_range(0..=i);
         indices.swap(i, j);
     }
-    let val_len = ((dataset.len() as f64 * val_fraction).round() as usize)
-        .clamp(1, dataset.len() - 1);
+    let val_len =
+        ((dataset.len() as f64 * val_fraction).round() as usize).clamp(1, dataset.len() - 1);
     let (val_idx, train_idx) = indices.split_at(val_len);
     (dataset.subset(train_idx), dataset.subset(val_idx))
 }
@@ -86,6 +86,37 @@ mod tests {
         assert_eq!(a.labels(), b.labels());
         let c = bag_seeded(&d, 8);
         assert_ne!(a.labels(), c.labels());
+    }
+
+    #[test]
+    fn bag_is_bitwise_deterministic_and_keeps_rows_aligned() {
+        // Encode each row's label into its pixels so resampling that
+        // desynchronized images from labels would be caught.
+        let n = 64;
+        let mut images = Tensor::zeros([n, 1, 2, 2]);
+        let labels: Vec<usize> = (0..n).map(|i| i % 5).collect();
+        for i in 0..n {
+            for px in 0..4 {
+                images[i * 4 + px] = labels[i] as f32;
+            }
+        }
+        let d = Dataset::new(images, labels, 5);
+
+        let a = bag_seeded(&d, 11);
+        let b = bag_seeded(&d, 11);
+        // Same seed: identical down to the image bits, not just labels.
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.images().data(), b.images().data());
+        // Every resampled row still carries its own label's pixel value.
+        for i in 0..a.len() {
+            let label = a.labels()[i] as f32;
+            assert!(a.images().data()[i * 4..(i + 1) * 4]
+                .iter()
+                .all(|&v| v == label));
+        }
+        // A different seed draws a different resample.
+        let c = bag_seeded(&d, 12);
+        assert_ne!(a.images().data(), c.images().data());
     }
 
     #[test]

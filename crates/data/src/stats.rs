@@ -25,9 +25,12 @@ impl ChannelStats {
         let data = dataset.images().data();
         let mut mean = vec![0.0f64; c];
         for i in 0..n {
-            for ch in 0..c {
+            for (ch, m) in mean.iter_mut().enumerate() {
                 let base = (i * c + ch) * plane;
-                mean[ch] += data[base..base + plane].iter().map(|&v| v as f64).sum::<f64>();
+                *m += data[base..base + plane]
+                    .iter()
+                    .map(|&v| v as f64)
+                    .sum::<f64>();
             }
         }
         mean.iter_mut().for_each(|m| *m /= count);
@@ -47,7 +50,10 @@ impl ChannelStats {
         var.iter_mut().for_each(|v| *v /= count);
         ChannelStats {
             mean: mean.into_iter().map(|m| m as f32).collect(),
-            std: var.into_iter().map(|v| (v.sqrt() as f32).max(1e-6)).collect(),
+            std: var
+                .into_iter()
+                .map(|v| (v.sqrt() as f32).max(1e-6))
+                .collect(),
         }
     }
 
@@ -119,7 +125,11 @@ mod tests {
         let restats = ChannelStats::of(&s);
         for c in 0..2 {
             assert!(restats.mean[c].abs() < 1e-4, "mean {}", restats.mean[c]);
-            assert!((restats.std[c] - 1.0).abs() < 1e-3, "std {}", restats.std[c]);
+            assert!(
+                (restats.std[c] - 1.0).abs() < 1e-3,
+                "std {}",
+                restats.std[c]
+            );
         }
         // Labels and geometry preserved.
         assert_eq!(s.labels(), d.labels());

@@ -101,8 +101,7 @@ fn smooth_field(
                 for w in 0..width {
                     let u = h as f32 / height as f32;
                     let v = w as f32 / width as f32;
-                    let val = amp
-                        * (std::f32::consts::TAU * (fx * u + fy * v) + phase).sin();
+                    let val = amp * (std::f32::consts::TAU * (fx * u + fy * v) + phase).sin();
                     let idx = (c * height + h) * width + w;
                     field[idx] += val;
                 }
@@ -119,7 +118,10 @@ fn smooth_field(
 /// Panics if any count or extent in the spec is zero.
 pub fn generate(spec: &SyntheticSpec) -> SyntheticTask {
     assert!(spec.num_classes > 0, "num_classes must be positive");
-    assert!(spec.train_per_class > 0 && spec.test_per_class > 0, "need examples per class");
+    assert!(
+        spec.train_per_class > 0 && spec.test_per_class > 0,
+        "need examples per class"
+    );
     assert!(spec.modes_per_class > 0, "need at least one mode per class");
     assert!(
         spec.channels > 0 && spec.height > 0 && spec.width > 0,
@@ -152,8 +154,7 @@ pub fn generate(spec: &SyntheticSpec) -> SyntheticTask {
             let proto = &prototypes[class][mode];
             let dst = &mut images.data_mut()[i * row..(i + 1) * row];
             for j in 0..row {
-                dst[j] =
-                    spec.prototype_scale * proto[j] + spec.jitter * jitter_field[j] + noise[j];
+                dst[j] = spec.prototype_scale * proto[j] + spec.jitter * jitter_field[j] + noise[j];
             }
         }
         Dataset::new(images, labels, spec.num_classes)
@@ -161,7 +162,11 @@ pub fn generate(spec: &SyntheticSpec) -> SyntheticTask {
 
     let train = make_split(spec.train_per_class);
     let test = make_split(spec.test_per_class);
-    SyntheticTask { train, test, spec: spec.clone() }
+    SyntheticTask {
+        train,
+        test,
+        spec: spec.clone(),
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +206,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate(&small_spec());
-        let b = generate(&SyntheticSpec { seed: 1, ..small_spec() });
+        let b = generate(&SyntheticSpec {
+            seed: 1,
+            ..small_spec()
+        });
         assert_ne!(a.train.images().data(), b.train.images().data());
     }
 
@@ -223,7 +231,10 @@ mod tests {
         };
         let data = d.images().data();
         let dot = |i: usize, j: usize| -> f32 {
-            (0..row).map(|k| data[i * row + k] * data[j * row + k]).sum::<f32>() / row as f32
+            (0..row)
+                .map(|k| data[i * row + k] * data[j * row + k])
+                .sum::<f32>()
+                / row as f32
         };
         let mut same = 0.0;
         let mut same_n = 0;
@@ -253,13 +264,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let f = smooth_field(1, 8, 8, 4, &mut rng);
         let mean = f.mean();
-        let var = f.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+        let var = f
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 64.0;
         assert!(var > 0.01, "field nearly constant (var {var})");
     }
 
     #[test]
     #[should_panic(expected = "at least one mode")]
     fn rejects_zero_modes() {
-        generate(&SyntheticSpec { modes_per_class: 0, ..small_spec() });
+        generate(&SyntheticSpec {
+            modes_per_class: 0,
+            ..small_spec()
+        });
     }
 }

@@ -28,8 +28,7 @@ pub fn ensemble_average_labels(preds: &MemberPredictions) -> Vec<usize> {
 pub fn vote_labels(preds: &MemberPredictions) -> Vec<usize> {
     let n = preds.num_examples();
     let k = preds.num_classes();
-    let member_labels: Vec<Vec<usize>> =
-        preds.probs().iter().map(ops::argmax_rows).collect();
+    let member_labels: Vec<Vec<usize>> = preds.probs().iter().map(ops::argmax_rows).collect();
     let avg = ensemble_average(preds);
     (0..n)
         .map(|i| {
@@ -41,8 +40,8 @@ pub fn vote_labels(preds: &MemberPredictions) -> Vec<usize> {
             // Tie-break among classes with max votes by mean probability.
             let mut best = 0usize;
             let mut best_prob = f32::NEG_INFINITY;
-            for c in 0..k {
-                if votes[c] == max_votes {
+            for (c, &v) in votes.iter().enumerate() {
+                if v == max_votes {
                     let p = avg.at2(i, c);
                     if p > best_prob {
                         best_prob = p;
@@ -65,8 +64,7 @@ pub fn vote_labels(preds: &MemberPredictions) -> Vec<usize> {
 pub fn oracle_error(preds: &MemberPredictions, labels: &[usize]) -> f32 {
     let n = preds.num_examples();
     assert_eq!(labels.len(), n, "labels length mismatch");
-    let member_labels: Vec<Vec<usize>> =
-        preds.probs().iter().map(ops::argmax_rows).collect();
+    let member_labels: Vec<Vec<usize>> = preds.probs().iter().map(ops::argmax_rows).collect();
     let mut wrong = 0usize;
     for (i, &label) in labels.iter().enumerate() {
         let any_correct = member_labels.iter().any(|m| m[i] == label);
@@ -126,6 +124,53 @@ mod tests {
         assert_eq!(oracle_error(&preds, &[0, 2]), 0.0);
         assert_eq!(oracle_error(&preds, &[1, 0]), 1.0);
         assert_eq!(oracle_error(&preds, &[0, 0]), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one member")]
+    fn empty_ensemble_is_rejected() {
+        let _ = MemberPredictions::from_probs(Vec::new());
+    }
+
+    #[test]
+    fn single_member_ensemble_is_degenerate() {
+        // With one member, every combiner collapses to that member.
+        let p = Tensor::from_vec([3, 2], vec![0.9, 0.1, 0.3, 0.7, 0.5, 0.5]);
+        let preds = MemberPredictions::from_probs(vec![p.clone()]);
+
+        let avg = ensemble_average(&preds);
+        assert_eq!(avg.data(), p.data());
+
+        let member_labels = ops::argmax_rows(&p);
+        assert_eq!(vote_labels(&preds), member_labels);
+
+        let labels = vec![0, 0, 0];
+        let member_err = mn_nn::metrics::error_rate(&member_labels, &labels);
+        assert_eq!(oracle_error(&preds, &labels), member_err);
+    }
+
+    #[test]
+    fn vote_tie_considers_only_tied_classes() {
+        // Classes 0 and 1 tie on votes. Class 2 has the highest mean
+        // probability but received no votes, so it must not win; the
+        // tie-break runs among voted classes only.
+        let m0 = Tensor::from_vec([1, 3], vec![0.50, 0.10, 0.40]);
+        let m1 = Tensor::from_vec([1, 3], vec![0.10, 0.46, 0.44]);
+        let preds = MemberPredictions::from_probs(vec![m0, m1]);
+        // Mean probs: class 0 = 0.30, class 1 = 0.28, class 2 = 0.42.
+        assert_eq!(vote_labels(&preds), vec![0]);
+    }
+
+    #[test]
+    fn vote_three_way_tie_breaks_by_probability() {
+        // Three members each vote a different class; the mean probability
+        // decides.
+        let m0 = Tensor::from_vec([1, 3], vec![0.80, 0.10, 0.10]);
+        let m1 = Tensor::from_vec([1, 3], vec![0.00, 0.60, 0.40]);
+        let m2 = Tensor::from_vec([1, 3], vec![0.00, 0.35, 0.65]);
+        let preds = MemberPredictions::from_probs(vec![m0, m1, m2]);
+        // Mean probs: 0.267, 0.35, 0.383 -> class 2 wins.
+        assert_eq!(vote_labels(&preds), vec![2]);
     }
 
     #[test]

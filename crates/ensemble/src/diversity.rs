@@ -29,8 +29,11 @@ pub fn pairwise_disagreement(preds: &MemberPredictions) -> f64 {
     let mut pairs = 0usize;
     for i in 0..m {
         for j in (i + 1)..m {
-            let disagree =
-                labels[i].iter().zip(&labels[j]).filter(|(a, b)| a != b).count();
+            let disagree = labels[i]
+                .iter()
+                .zip(&labels[j])
+                .filter(|(a, b)| a != b)
+                .count();
             total += disagree as f64 / n as f64;
             pairs += 1;
         }

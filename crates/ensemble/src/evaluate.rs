@@ -99,14 +99,8 @@ mod tests {
     fn synthetic_preds() -> (MemberPredictions, Vec<usize>) {
         // 4 examples, 2 classes; member 0 gets 3/4 right, member 1 gets
         // 2/4 right with different mistakes.
-        let m0 = Tensor::from_vec(
-            [4, 2],
-            vec![0.9, 0.1, 0.8, 0.2, 0.3, 0.7, 0.4, 0.6],
-        );
-        let m1 = Tensor::from_vec(
-            [4, 2],
-            vec![0.2, 0.8, 0.7, 0.3, 0.6, 0.4, 0.2, 0.8],
-        );
+        let m0 = Tensor::from_vec([4, 2], vec![0.9, 0.1, 0.8, 0.2, 0.3, 0.7, 0.4, 0.6]);
+        let m1 = Tensor::from_vec([4, 2], vec![0.2, 0.8, 0.7, 0.3, 0.6, 0.4, 0.2, 0.8]);
         let labels = vec![0, 0, 1, 1];
         (MemberPredictions::from_probs(vec![m0, m1]), labels)
     }

@@ -16,7 +16,10 @@ pub struct EnsembleMember {
 impl EnsembleMember {
     /// Wraps a trained network as an ensemble member.
     pub fn new(name: impl Into<String>, network: Network) -> Self {
-        EnsembleMember { name: name.into(), network }
+        EnsembleMember {
+            name: name.into(),
+            network,
+        }
     }
 
     /// Class-probability predictions `[N, K]` over a batch of examples.
@@ -42,9 +45,14 @@ impl MemberPredictions {
     ///
     /// Panics if `members` is empty or members disagree on class count.
     pub fn collect(members: &mut [EnsembleMember], x: &Tensor, batch_size: usize) -> Self {
-        assert!(!members.is_empty(), "cannot collect predictions of an empty ensemble");
-        let probs: Vec<Tensor> =
-            members.iter_mut().map(|m| m.predict_proba(x, batch_size)).collect();
+        assert!(
+            !members.is_empty(),
+            "cannot collect predictions of an empty ensemble"
+        );
+        let probs: Vec<Tensor> = members
+            .iter_mut()
+            .map(|m| m.predict_proba(x, batch_size))
+            .collect();
         let shape = probs[0].shape().clone();
         assert!(
             probs.iter().all(|p| *p.shape() == shape),
@@ -62,7 +70,10 @@ impl MemberPredictions {
     pub fn from_probs(probs: Vec<Tensor>) -> Self {
         assert!(!probs.is_empty(), "need at least one member");
         let shape = probs[0].shape().clone();
-        assert!(probs.iter().all(|p| *p.shape() == shape), "prediction shapes disagree");
+        assert!(
+            probs.iter().all(|p| *p.shape() == shape),
+            "prediction shapes disagree"
+        );
         MemberPredictions { probs }
     }
 
@@ -94,7 +105,9 @@ impl MemberPredictions {
     /// Panics unless `0 < k <= num_members()`.
     pub fn prefix(&self, k: usize) -> MemberPredictions {
         assert!(k > 0 && k <= self.probs.len(), "prefix {k} out of range");
-        MemberPredictions { probs: self.probs[..k].to_vec() }
+        MemberPredictions {
+            probs: self.probs[..k].to_vec(),
+        }
     }
 }
 

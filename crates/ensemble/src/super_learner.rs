@@ -22,7 +22,10 @@ pub struct SuperLearnerConfig {
 
 impl Default for SuperLearnerConfig {
     fn default() -> Self {
-        SuperLearnerConfig { steps: 300, lr: 0.5 }
+        SuperLearnerConfig {
+            steps: 300,
+            lr: 0.5,
+        }
     }
 }
 
@@ -37,7 +40,9 @@ impl SuperLearner {
     /// point of fitting and a sensible fallback.
     pub fn uniform(num_members: usize) -> Self {
         assert!(num_members > 0, "need at least one member");
-        SuperLearner { weights: vec![1.0 / num_members as f32; num_members] }
+        SuperLearner {
+            weights: vec![1.0 / num_members as f32; num_members],
+        }
     }
 
     /// Fits member weights on validation predictions and labels.
@@ -45,11 +50,7 @@ impl SuperLearner {
     /// # Panics
     ///
     /// Panics if `labels` length does not match the prediction count.
-    pub fn fit(
-        val_preds: &MemberPredictions,
-        labels: &[usize],
-        cfg: &SuperLearnerConfig,
-    ) -> Self {
+    pub fn fit(val_preds: &MemberPredictions, labels: &[usize], cfg: &SuperLearnerConfig) -> Self {
         let n = val_preds.num_examples();
         let k = val_preds.num_classes();
         let m = val_preds.num_members();
@@ -79,7 +80,9 @@ impl SuperLearner {
                 alpha[j] -= cfg.lr * w[j] * (grad_w[j] - dot);
             }
         }
-        SuperLearner { weights: softmax(&alpha) }
+        SuperLearner {
+            weights: softmax(&alpha),
+        }
     }
 
     /// The fitted convex weights (sum to 1).
@@ -172,8 +175,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "does not match fitted weights")]
     fn combine_validates_member_count() {
-        let preds =
-            MemberPredictions::from_probs(vec![Tensor::filled([1, 2], 0.5)]);
+        let preds = MemberPredictions::from_probs(vec![Tensor::filled([1, 2], 0.5)]);
         SuperLearner::uniform(3).combine(&preds);
     }
 }

@@ -34,7 +34,10 @@ impl ChannelMap {
         assert!(!map.is_empty(), "channel map cannot be empty");
         let mut replicas = vec![0usize; source_len];
         for &s in &map {
-            assert!(s < source_len, "map entry {s} out of range for source {source_len}");
+            assert!(
+                s < source_len,
+                "map entry {s} out of range for source {source_len}"
+            );
             replicas[s] += 1;
         }
         assert!(
@@ -61,7 +64,10 @@ impl ChannelMap {
             target_len >= source_len,
             "round_robin cannot shrink: {source_len} -> {target_len}"
         );
-        ChannelMap::from_map((0..target_len).map(|j| j % source_len).collect(), source_len)
+        ChannelMap::from_map(
+            (0..target_len).map(|j| j % source_len).collect(),
+            source_len,
+        )
     }
 
     /// Number of target channels.
@@ -100,8 +106,7 @@ impl ChannelMap {
 
     /// Whether this map is the identity (no widening happened).
     pub fn is_identity(&self) -> bool {
-        self.source_len() == self.target_len()
-            && self.map.iter().enumerate().all(|(i, &s)| i == s)
+        self.source_len() == self.target_len() && self.map.iter().enumerate().all(|(i, &s)| i == s)
     }
 
     /// Expands a per-channel map into a per-feature map after flattening
@@ -139,7 +144,12 @@ impl ChannelMap {
 
 impl fmt::Display for ChannelMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "ChannelMap({} -> {})", self.source_len(), self.target_len())
+        write!(
+            f,
+            "ChannelMap({} -> {})",
+            self.source_len(),
+            self.target_len()
+        )
     }
 }
 
@@ -176,8 +186,10 @@ mod tests {
         // replicas, each scaled by 1/replicas, is exactly 1.
         let m = ChannelMap::round_robin(4, 11);
         for s in 0..4 {
-            let sum: f32 =
-                (0..11).filter(|&t| m.source_of(t) == s).map(|t| m.scale_of(t)).sum();
+            let sum: f32 = (0..11)
+                .filter(|&t| m.source_of(t) == s)
+                .map(|t| m.scale_of(t))
+                .sum();
             assert!((sum - 1.0).abs() < 1e-6);
         }
     }
@@ -207,7 +219,7 @@ mod tests {
     #[test]
     fn select_composes_duplication() {
         let m = ChannelMap::round_robin(2, 3); // sources [0, 1, 0]
-        // A duplication layer with 4 outputs picking inputs [0, 1, 2, 0].
+                                               // A duplication layer with 4 outputs picking inputs [0, 1, 2, 0].
         let d = m.select(&[0, 1, 2, 0]);
         assert_eq!(d.target_len(), 4);
         assert_eq!(d.source_len(), 2);

@@ -39,11 +39,17 @@ impl fmt::Display for MorphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MorphError::NotExpandable { reason } => {
-                write!(f, "target not reachable by function-preserving transformations: {reason}")
+                write!(
+                    f,
+                    "target not reachable by function-preserving transformations: {reason}"
+                )
             }
             MorphError::InvalidTarget(e) => write!(f, "invalid target architecture: {e}"),
             MorphError::StructureMismatch { expected, found } => {
-                write!(f, "source structure mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "source structure mismatch: expected {expected}, found {found}"
+                )
             }
             MorphError::BadIndex { what, index, len } => {
                 write!(f, "{what} index {index} out of range (len {len})")
@@ -73,9 +79,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MorphError::NotExpandable { reason: "shrinks block 2".into() };
+        let e = MorphError::NotExpandable {
+            reason: "shrinks block 2".into(),
+        };
         assert!(e.to_string().contains("shrinks block 2"));
-        let e = MorphError::BadIndex { what: "block".into(), index: 5, len: 3 };
+        let e = MorphError::BadIndex {
+            what: "block".into(),
+            index: 5,
+            len: 3,
+        };
         assert!(e.to_string().contains("5"));
     }
 }

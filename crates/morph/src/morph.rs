@@ -45,7 +45,10 @@ pub struct MorphOptions {
 
 impl Default for MorphOptions {
     fn default() -> Self {
-        MorphOptions { noise_std: 0.0, seed: 0x5eed }
+        MorphOptions {
+            noise_std: 0.0,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -107,8 +110,7 @@ pub fn morph_to_with(
                     let src = cursor.dense()?;
                     cursor.relu()?;
                     let m_out = ChannelMap::round_robin(sh[di], t_units);
-                    let (mut w, b) =
-                        transfer_dense(&src.weight.value, &src.bias.value, &m, &m_out);
+                    let (mut w, b) = transfer_dense(&src.weight.value, &src.bias.value, &m, &m_out);
                     jitter(&mut w, opts.noise_std, &mut rng);
                     nodes.push(LayerNode::Dense(DenseLayer::from_params(w, b)));
                     nodes.push(LayerNode::Relu(ReluLayer::new()));
@@ -127,7 +129,16 @@ pub fn morph_to_with(
             jitter(&mut w, opts.noise_std, &mut rng);
             nodes.push(LayerNode::Dense(DenseLayer::from_params(w, b)));
         }
-        (Body::Plain { blocks: sb, dense: sd }, Body::Plain { blocks: tb, dense: td }) => {
+        (
+            Body::Plain {
+                blocks: sb,
+                dense: sd,
+            },
+            Body::Plain {
+                blocks: tb,
+                dense: td,
+            },
+        ) => {
             let mut m = ChannelMap::identity(target.input.channels);
             for (sblock, tblock) in sb.iter().zip(tb.iter()) {
                 for (li, tl) in tblock.layers.iter().enumerate() {
@@ -135,8 +146,7 @@ pub fn morph_to_with(
                         let src_conv = cursor.conv()?;
                         let src_bn = cursor.bn()?;
                         cursor.relu()?;
-                        let m_out =
-                            ChannelMap::round_robin(sblock.layers[li].filters, tl.filters);
+                        let m_out = ChannelMap::round_robin(sblock.layers[li].filters, tl.filters);
                         let (mut w, b) = transfer_conv(
                             &src_conv.weight.value,
                             &src_conv.bias.value,
@@ -154,8 +164,7 @@ pub fn morph_to_with(
                         nodes.push(LayerNode::Relu(ReluLayer::new()));
                         m = m_out;
                     } else {
-                        let (mut w, b, m_out) =
-                            duplication_conv(&m, tl.filters, tl.filter_size);
+                        let (mut w, b, m_out) = duplication_conv(&m, tl.filters, tl.filter_size);
                         jitter(&mut w, opts.noise_std, &mut rng);
                         nodes.push(LayerNode::Conv(ConvLayer::from_params(w, b)));
                         nodes.push(LayerNode::BatchNorm(BatchNorm::identity(
@@ -178,8 +187,7 @@ pub fn morph_to_with(
                     let src = cursor.dense()?;
                     cursor.relu()?;
                     let m_out = ChannelMap::round_robin(sd[di], t_units);
-                    let (mut w, b) =
-                        transfer_dense(&src.weight.value, &src.bias.value, &m, &m_out);
+                    let (mut w, b) = transfer_dense(&src.weight.value, &src.bias.value, &m, &m_out);
                     jitter(&mut w, opts.noise_std, &mut rng);
                     nodes.push(LayerNode::Dense(DenseLayer::from_params(w, b)));
                     nodes.push(LayerNode::Relu(ReluLayer::new()));
@@ -270,18 +278,18 @@ pub fn morph_to_with(
                         // conv2 is deliberately not jittered: noise there
                         // would leak through the skip connection unscaled.
                         let bn2 = transfer_batchnorm(&src_unit.bn2, &m_stage, BnLayout::Spatial);
-                        nodes.push(LayerNode::Residual(ResidualUnit::from_parts(
+                        nodes.push(LayerNode::Residual(Box::new(ResidualUnit::from_parts(
                             ConvLayer::from_params(w1, b1),
                             bn1,
                             ConvLayer::from_params(w2, b2),
                             bn2,
-                        )));
+                        ))));
                     } else {
-                        nodes.push(LayerNode::Residual(ResidualUnit::identity(
+                        nodes.push(LayerNode::Residual(Box::new(ResidualUnit::identity(
                             tblock.filters,
                             tblock.filter_size,
                             &mut rng,
-                        )));
+                        ))));
                     }
                 }
                 m_prev = m_stage;
@@ -312,7 +320,10 @@ pub fn check_compatible(source: &Architecture, target: &Architecture) -> Result<
     target.validate()?;
     let fail = |reason: String| Err(MorphError::NotExpandable { reason });
     if source.input != target.input {
-        return fail(format!("input geometry differs ({:?} vs {:?})", source.input, target.input));
+        return fail(format!(
+            "input geometry differs ({:?} vs {:?})",
+            source.input, target.input
+        ));
     }
     if source.num_classes != target.num_classes {
         return fail(format!(
@@ -323,7 +334,11 @@ pub fn check_compatible(source: &Architecture, target: &Architecture) -> Result<
     match (&source.body, &target.body) {
         (Body::Mlp { hidden: sh }, Body::Mlp { hidden: th }) => {
             if th.len() < sh.len() {
-                return fail(format!("target has fewer hidden layers ({} < {})", th.len(), sh.len()));
+                return fail(format!(
+                    "target has fewer hidden layers ({} < {})",
+                    th.len(),
+                    sh.len()
+                ));
             }
             for (i, (&s, &t)) in sh.iter().zip(th.iter()).enumerate() {
                 if t < s {
@@ -332,9 +347,22 @@ pub fn check_compatible(source: &Architecture, target: &Architecture) -> Result<
             }
             check_monotone_added(sh.len(), th, "hidden layer")?;
         }
-        (Body::Plain { blocks: sb, dense: sd }, Body::Plain { blocks: tb, dense: td }) => {
+        (
+            Body::Plain {
+                blocks: sb,
+                dense: sd,
+            },
+            Body::Plain {
+                blocks: tb,
+                dense: td,
+            },
+        ) => {
             if sb.len() != tb.len() {
-                return fail(format!("block count differs ({} vs {})", sb.len(), tb.len()));
+                return fail(format!(
+                    "block count differs ({} vs {})",
+                    sb.len(),
+                    tb.len()
+                ));
             }
             for (bi, (s, t)) in sb.iter().zip(tb.iter()).enumerate() {
                 if t.layers.len() < s.layers.len() {
@@ -382,14 +410,24 @@ pub fn check_compatible(source: &Architecture, target: &Architecture) -> Result<
         }
         (Body::Residual { blocks: sb }, Body::Residual { blocks: tb }) => {
             if sb.len() != tb.len() {
-                return fail(format!("stage count differs ({} vs {})", sb.len(), tb.len()));
+                return fail(format!(
+                    "stage count differs ({} vs {})",
+                    sb.len(),
+                    tb.len()
+                ));
             }
             for (bi, (s, t)) in sb.iter().zip(tb.iter()).enumerate() {
                 if t.units < s.units {
-                    return fail(format!("stage {bi} loses units ({} -> {})", s.units, t.units));
+                    return fail(format!(
+                        "stage {bi} loses units ({} -> {})",
+                        s.units, t.units
+                    ));
                 }
                 if t.filters < s.filters {
-                    return fail(format!("stage {bi} loses filters ({} -> {})", s.filters, t.filters));
+                    return fail(format!(
+                        "stage {bi} loses filters ({} -> {})",
+                        s.filters, t.filters
+                    ));
                 }
                 if t.filter_size < s.filter_size {
                     return fail(format!(
@@ -441,10 +479,13 @@ impl<'a> Cursor<'a> {
     }
 
     fn next(&mut self, expected: &str) -> Result<&'a LayerNode, MorphError> {
-        let node = self.nodes.get(self.i).ok_or_else(|| MorphError::StructureMismatch {
-            expected: expected.to_string(),
-            found: "end of network".to_string(),
-        })?;
+        let node = self
+            .nodes
+            .get(self.i)
+            .ok_or_else(|| MorphError::StructureMismatch {
+                expected: expected.to_string(),
+                found: "end of network".to_string(),
+            })?;
         self.i += 1;
         Ok(node)
     }

@@ -69,11 +69,12 @@ pub fn deepen_block(
     match &mut arch.body {
         Body::Plain { blocks, .. } => {
             let len = blocks.len();
-            let b = blocks
-                .get_mut(block)
-                .ok_or(MorphError::BadIndex { what: "block".into(), index: block, len })?;
-            let last: ConvLayerSpec =
-                *b.layers.last().expect("validated blocks are non-empty");
+            let b = blocks.get_mut(block).ok_or(MorphError::BadIndex {
+                what: "block".into(),
+                index: block,
+                len,
+            })?;
+            let last: ConvLayerSpec = *b.layers.last().expect("validated blocks are non-empty");
             for _ in 0..extra_layers {
                 b.layers.push(last);
             }
@@ -102,9 +103,11 @@ pub fn widen_dense_layer(
     let mut arch = net.arch().clone();
     let widths = dense_widths_mut(&mut arch)?;
     let len = widths.len();
-    let w = widths
-        .get_mut(index)
-        .ok_or(MorphError::BadIndex { what: "dense layer".into(), index, len })?;
+    let w = widths.get_mut(index).ok_or(MorphError::BadIndex {
+        what: "dense layer".into(),
+        index,
+        len,
+    })?;
     *w = new_units;
     morph_to_with(net, &arch, opts)
 }
@@ -141,9 +144,11 @@ pub fn widen_stage(
     match &mut arch.body {
         Body::Residual { blocks } => {
             let len = blocks.len();
-            let b = blocks
-                .get_mut(stage)
-                .ok_or(MorphError::BadIndex { what: "stage".into(), index: stage, len })?;
+            let b = blocks.get_mut(stage).ok_or(MorphError::BadIndex {
+                what: "stage".into(),
+                index: stage,
+                len,
+            })?;
             b.filters = new_filters;
         }
         _ => {
@@ -170,9 +175,11 @@ pub fn add_residual_units(
     match &mut arch.body {
         Body::Residual { blocks } => {
             let len = blocks.len();
-            let b = blocks
-                .get_mut(stage)
-                .ok_or(MorphError::BadIndex { what: "stage".into(), index: stage, len })?;
+            let b = blocks.get_mut(stage).ok_or(MorphError::BadIndex {
+                what: "stage".into(),
+                index: stage,
+                len,
+            })?;
             b.units += extra_units;
         }
         _ => {
@@ -192,13 +199,17 @@ fn plain_layer_mut(
     match &mut arch.body {
         Body::Plain { blocks, .. } => {
             let len = blocks.len();
-            let b = blocks
-                .get_mut(block)
-                .ok_or(MorphError::BadIndex { what: "block".into(), index: block, len })?;
+            let b = blocks.get_mut(block).ok_or(MorphError::BadIndex {
+                what: "block".into(),
+                index: block,
+                len,
+            })?;
             let len = b.layers.len();
-            b.layers
-                .get_mut(layer)
-                .ok_or(MorphError::BadIndex { what: "layer".into(), index: layer, len })
+            b.layers.get_mut(layer).ok_or(MorphError::BadIndex {
+                what: "layer".into(),
+                index: layer,
+                len,
+            })
         }
         _ => Err(MorphError::NotExpandable {
             reason: "conv-layer transformations require a plain convolutional network".into(),

@@ -51,7 +51,16 @@ impl MorphPlan {
             (Body::Mlp { hidden: sh }, Body::Mlp { hidden: th }) => {
                 diff_dense(sh, th, &mut plan);
             }
-            (Body::Plain { blocks: sb, dense: sd }, Body::Plain { blocks: tb, dense: td }) => {
+            (
+                Body::Plain {
+                    blocks: sb,
+                    dense: sd,
+                },
+                Body::Plain {
+                    blocks: tb,
+                    dense: td,
+                },
+            ) => {
                 for (s, t) in sb.iter().zip(tb.iter()) {
                     for (sl, tl) in s.layers.iter().zip(t.layers.iter()) {
                         if tl.filters > sl.filters {

@@ -42,8 +42,16 @@ pub fn transfer_conv(
     let d = src_w.shape().dims();
     assert_eq!(d.len(), 4, "conv weight must be 4-D");
     let (fs, cs, ks) = (d[0], d[1], d[2]);
-    assert_eq!(m_in.source_len(), cs, "input map does not match source channels");
-    assert_eq!(m_out.source_len(), fs, "output map does not match source filters");
+    assert_eq!(
+        m_in.source_len(),
+        cs,
+        "input map does not match source channels"
+    );
+    assert_eq!(
+        m_out.source_len(),
+        fs,
+        "output map does not match source filters"
+    );
     assert!(k_t >= ks, "kernel cannot shrink: {ks} -> {k_t}");
     assert_eq!(k_t % 2, 1, "target kernel must be odd");
     assert_eq!(ks % 2, 1, "source kernel must be odd");
@@ -84,8 +92,16 @@ pub fn transfer_dense(
     let d = src_w.shape().dims();
     assert_eq!(d.len(), 2, "dense weight must be 2-D");
     let (ins, outs) = (d[0], d[1]);
-    assert_eq!(m_in.source_len(), ins, "input map does not match source fan-in");
-    assert_eq!(m_out.source_len(), outs, "output map does not match source fan-out");
+    assert_eq!(
+        m_in.source_len(),
+        ins,
+        "input map does not match source fan-in"
+    );
+    assert_eq!(
+        m_out.source_len(),
+        outs,
+        "output map does not match source fan-out"
+    );
 
     let it = m_in.target_len();
     let ot = m_out.target_len();
@@ -113,11 +129,7 @@ pub fn transfer_dense(
 /// # Panics
 ///
 /// Panics if `k` is even or `f_t < m_in.target_len()` would drop channels.
-pub fn duplication_conv(
-    m_in: &ChannelMap,
-    f_t: usize,
-    k: usize,
-) -> (Tensor, Tensor, ChannelMap) {
+pub fn duplication_conv(m_in: &ChannelMap, f_t: usize, k: usize) -> (Tensor, Tensor, ChannelMap) {
     assert_eq!(k % 2, 1, "kernel must be odd");
     let ct = m_in.target_len();
     assert!(f_t >= ct, "inserted layer cannot shrink: {ct} -> {f_t}");
@@ -159,7 +171,11 @@ pub fn duplication_dense(m_in: &ChannelMap, out_t: usize) -> (Tensor, Tensor, Ch
 /// Panics if the map does not match the source channel count.
 pub fn transfer_batchnorm(src: &BatchNorm, m_out: &ChannelMap, layout: BnLayout) -> BatchNorm {
     let cs = src.channels();
-    assert_eq!(m_out.source_len(), cs, "bn map does not match source channels");
+    assert_eq!(
+        m_out.source_len(),
+        cs,
+        "bn map does not match source channels"
+    );
     let ct = m_out.target_len();
     let mut bn = BatchNorm::new(ct, layout);
     bn.momentum = src.momentum;

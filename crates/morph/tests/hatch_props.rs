@@ -1,0 +1,130 @@
+//! Property tests of whole-network hatching beyond `preservation.rs`:
+//! across randomized widths and depths, a hatched network's logits must
+//! match its MotherNet parent to within 1e-5 on random inputs — an order
+//! of magnitude tighter than the workspace-wide
+//! [`mn_tensor::PRESERVATION_TOLERANCE`], which exists for deep
+//! compositions; fresh single hatches should be nearly exact.
+
+use mn_morph::morph::morph_to;
+use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
+use mn_nn::{Mode, Network};
+use mn_tensor::{max_abs_diff, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Logit agreement required between a MotherNet and a fresh hatch.
+const HATCH_TOLERANCE: f32 = 1e-5;
+
+fn input() -> InputSpec {
+    InputSpec::new(3, 8, 8)
+}
+
+fn probe(seed: u64, n: usize) -> Tensor {
+    Tensor::randn([n, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(seed))
+}
+
+fn assert_logits_match(src: &mut Network, hatched: &mut Network, seed: u64) {
+    let x = probe(seed, 4);
+    let ya = src.forward(&x, Mode::Eval);
+    let yb = hatched.forward(&x, Mode::Eval);
+    let diff = max_abs_diff(ya.data(), yb.data());
+    assert!(
+        diff <= HATCH_TOLERANCE,
+        "hatched logits differ from MotherNet by {diff} (tolerance {HATCH_TOLERANCE})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// MLP hatching: arbitrary per-layer widening plus appended layers, at
+    /// arbitrary class counts, leaves the logits unchanged to 1e-5.
+    #[test]
+    fn mlp_hatched_logits_match_mother(
+        base_widths in proptest::collection::vec(2usize..12, 1..4),
+        growth in proptest::collection::vec(0usize..10, 4),
+        extra_layers in 0usize..3,
+        classes in 2usize..11,
+        seed in 0u64..10_000,
+    ) {
+        let small = Architecture::mlp("mother", input(), classes, base_widths.clone());
+        let mut target_widths: Vec<usize> = base_widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w + growth[i.min(growth.len() - 1)])
+            .collect();
+        let last = *target_widths.last().expect("non-empty widths");
+        for _ in 0..extra_layers {
+            target_widths.push(last);
+        }
+        let big = Architecture::mlp("member", input(), classes, target_widths);
+
+        let mut src = Network::seeded(&small, seed);
+        let mut hatched = morph_to(&src, &big).expect("grown MLP is hatchable");
+        assert_logits_match(&mut src, &mut hatched, seed.wrapping_add(1));
+    }
+
+    /// Plain convolutional hatching: simultaneous filter widening, block
+    /// deepening, and dense-head growth at random geometries preserves the
+    /// logits to 1e-5.
+    #[test]
+    fn plain_hatched_logits_match_mother(
+        depth1 in 1usize..3,
+        depth2 in 1usize..3,
+        f1 in 2usize..6,
+        f2_extra in 0usize..6,
+        widen1 in 0usize..5,
+        widen2 in 0usize..5,
+        deepen1 in 0usize..2,
+        deepen2 in 0usize..2,
+        dense_grow in 0usize..17,
+        seed in 0u64..10_000,
+    ) {
+        let f2 = f1 + f2_extra;
+        let small = Architecture::plain(
+            "mother",
+            input(),
+            10,
+            vec![
+                ConvBlockSpec::repeated(3, f1, depth1),
+                ConvBlockSpec::repeated(3, f2, depth2),
+            ],
+            vec![16],
+        );
+        let big = Architecture::plain(
+            "member",
+            input(),
+            10,
+            vec![
+                ConvBlockSpec::repeated(3, f1 + widen1, depth1 + deepen1),
+                ConvBlockSpec::repeated(3, f2 + widen2, depth2 + deepen2),
+            ],
+            vec![16 + dense_grow],
+        );
+
+        let mut src = Network::seeded(&small, seed);
+        let mut hatched = morph_to(&src, &big).expect("grown plain net is hatchable");
+        assert_logits_match(&mut src, &mut hatched, seed.wrapping_add(2));
+    }
+
+    /// Hatching accounts for every parameter: the hatched network has
+    /// exactly the target architecture's parameter count.
+    #[test]
+    fn hatched_param_count_matches_target(
+        base_widths in proptest::collection::vec(2usize..10, 1..3),
+        growth in proptest::collection::vec(0usize..8, 3),
+        seed in 0u64..10_000,
+    ) {
+        let small = Architecture::mlp("mother", input(), 5, base_widths.clone());
+        let target_widths: Vec<usize> = base_widths
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w + growth[i.min(growth.len() - 1)])
+            .collect();
+        let big = Architecture::mlp("member", input(), 5, target_widths);
+        let src = Network::seeded(&small, seed);
+        let mut hatched = morph_to(&src, &big).expect("grown MLP is hatchable");
+        prop_assert_eq!(hatched.param_count() as u64, big.param_count());
+    }
+}

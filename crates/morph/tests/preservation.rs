@@ -60,14 +60,20 @@ fn plain_widen_preserves_after_warmup() {
         "s",
         input(),
         10,
-        vec![ConvBlockSpec::repeated(3, 4, 2), ConvBlockSpec::repeated(3, 8, 1)],
+        vec![
+            ConvBlockSpec::repeated(3, 4, 2),
+            ConvBlockSpec::repeated(3, 8, 1),
+        ],
         vec![16],
     );
     let big = Architecture::plain(
         "t",
         input(),
         10,
-        vec![ConvBlockSpec::repeated(3, 9, 2), ConvBlockSpec::repeated(3, 13, 1)],
+        vec![
+            ConvBlockSpec::repeated(3, 9, 2),
+            ConvBlockSpec::repeated(3, 13, 1),
+        ],
         vec![31],
     );
     let mut src = Network::seeded(&small, 2);
@@ -82,14 +88,20 @@ fn plain_deepen_preserves() {
         "s",
         input(),
         10,
-        vec![ConvBlockSpec::repeated(3, 4, 1), ConvBlockSpec::repeated(3, 8, 1)],
+        vec![
+            ConvBlockSpec::repeated(3, 4, 1),
+            ConvBlockSpec::repeated(3, 8, 1),
+        ],
         vec![16],
     );
     let big = Architecture::plain(
         "t",
         input(),
         10,
-        vec![ConvBlockSpec::repeated(3, 4, 3), ConvBlockSpec::repeated(3, 8, 2)],
+        vec![
+            ConvBlockSpec::repeated(3, 4, 3),
+            ConvBlockSpec::repeated(3, 8, 2),
+        ],
         vec![16, 16],
     );
     let mut src = Network::seeded(&small, 4);
@@ -104,14 +116,20 @@ fn plain_kernel_growth_preserves() {
         "s",
         input(),
         10,
-        vec![ConvBlockSpec::new(vec![ConvLayerSpec::new(3, 4), ConvLayerSpec::new(1, 4)])],
+        vec![ConvBlockSpec::new(vec![
+            ConvLayerSpec::new(3, 4),
+            ConvLayerSpec::new(1, 4),
+        ])],
         vec![8],
     );
     let big = Architecture::plain(
         "t",
         input(),
         10,
-        vec![ConvBlockSpec::new(vec![ConvLayerSpec::new(5, 4), ConvLayerSpec::new(3, 4)])],
+        vec![ConvBlockSpec::new(vec![
+            ConvLayerSpec::new(5, 4),
+            ConvLayerSpec::new(3, 4),
+        ])],
         vec![8],
     );
     let mut src = Network::seeded(&small, 6);
@@ -127,7 +145,10 @@ fn plain_all_transformations_composed_preserve() {
         "s",
         input(),
         10,
-        vec![ConvBlockSpec::repeated(3, 4, 1), ConvBlockSpec::repeated(3, 6, 2)],
+        vec![
+            ConvBlockSpec::repeated(3, 4, 1),
+            ConvBlockSpec::repeated(3, 6, 2),
+        ],
         vec![12],
     );
     let big = Architecture::plain(
@@ -188,7 +209,10 @@ fn single_op_helpers_preserve() {
         "s",
         input(),
         10,
-        vec![ConvBlockSpec::repeated(3, 4, 2), ConvBlockSpec::repeated(3, 8, 1)],
+        vec![
+            ConvBlockSpec::repeated(3, 4, 2),
+            ConvBlockSpec::repeated(3, 8, 1),
+        ],
         vec![16],
     );
     let mut src = Network::seeded(&arch, 14);
@@ -235,8 +259,7 @@ fn noise_breaks_exactness_but_stays_close() {
     let small = Architecture::mlp("s", input(), 10, vec![8]);
     let big = Architecture::mlp("t", input(), 10, vec![16]);
     let mut src = Network::seeded(&small, 18);
-    let mut hatched =
-        morph_to_with(&src, &big, &MorphOptions::with_noise(1e-3, 99)).unwrap();
+    let mut hatched = morph_to_with(&src, &big, &MorphOptions::with_noise(1e-3, 99)).unwrap();
     let x = probe(200, 4);
     let ya = src.forward(&x, Mode::Eval);
     let yb = hatched.forward(&x, Mode::Eval);
@@ -257,8 +280,14 @@ fn incompatible_targets_are_rejected() {
     let mlp = Architecture::mlp("m", input(), 10, vec![8]);
     let res = Architecture::residual("r", input(), 10, vec![ResBlockSpec::new(1, 4, 3)]);
     let src = Network::seeded(&plain, 19);
-    assert!(matches!(morph_to(&src, &mlp), Err(MorphError::NotExpandable { .. })));
-    assert!(matches!(morph_to(&src, &res), Err(MorphError::NotExpandable { .. })));
+    assert!(matches!(
+        morph_to(&src, &mlp),
+        Err(MorphError::NotExpandable { .. })
+    ));
+    assert!(matches!(
+        morph_to(&src, &res),
+        Err(MorphError::NotExpandable { .. })
+    ));
 
     // Shrinking targets rejected.
     let smaller = Architecture::plain(

@@ -37,7 +37,11 @@ pub struct InputSpec {
 impl InputSpec {
     /// Convenience constructor.
     pub fn new(channels: usize, height: usize, width: usize) -> Self {
-        InputSpec { channels, height, width }
+        InputSpec {
+            channels,
+            height,
+            width,
+        }
     }
 }
 
@@ -54,7 +58,10 @@ pub struct ConvLayerSpec {
 impl ConvLayerSpec {
     /// Convenience constructor: `conv(3, 64)` is the paper's `3:64`.
     pub fn new(filter_size: usize, filters: usize) -> Self {
-        ConvLayerSpec { filter_size, filters }
+        ConvLayerSpec {
+            filter_size,
+            filters,
+        }
     }
 }
 
@@ -80,7 +87,9 @@ impl ConvBlockSpec {
     /// Builds a block of `count` identical `filter_size:filters` layers —
     /// the paper's `(3:64)x2` shorthand.
     pub fn repeated(filter_size: usize, filters: usize, count: usize) -> Self {
-        ConvBlockSpec { layers: vec![ConvLayerSpec::new(filter_size, filters); count] }
+        ConvBlockSpec {
+            layers: vec![ConvLayerSpec::new(filter_size, filters); count],
+        }
     }
 }
 
@@ -113,7 +122,11 @@ pub struct ResBlockSpec {
 impl ResBlockSpec {
     /// Convenience constructor.
     pub fn new(units: usize, filters: usize, filter_size: usize) -> Self {
-        ResBlockSpec { units, filters, filter_size }
+        ResBlockSpec {
+            units,
+            filters,
+            filter_size,
+        }
     }
 }
 
@@ -201,13 +214,15 @@ impl fmt::Display for ArchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ArchError::InvalidFilterSize { filter_size } => {
-                write!(f, "filter size {filter_size} is not an odd positive integer")
+                write!(
+                    f,
+                    "filter size {filter_size} is not an odd positive integer"
+                )
             }
             ArchError::EmptyStructure { what } => write!(f, "empty structure: {what}"),
-            ArchError::SpatialUnderflow { pools, extent } => write!(
-                f,
-                "{pools} pooling steps exhaust spatial extent {extent}"
-            ),
+            ArchError::SpatialUnderflow { pools, extent } => {
+                write!(f, "{pools} pooling steps exhaust spatial extent {extent}")
+            }
             ArchError::Incompatible { reason } => write!(f, "incompatible architectures: {reason}"),
         }
     }
@@ -252,7 +267,12 @@ impl Architecture {
         num_classes: usize,
         hidden: Vec<usize>,
     ) -> Self {
-        Architecture { name: name.into(), input, num_classes, body: Body::Mlp { hidden } }
+        Architecture {
+            name: name.into(),
+            input,
+            num_classes,
+            body: Body::Mlp { hidden },
+        }
     }
 
     /// Creates a VGG-style plain convolutional architecture.
@@ -278,7 +298,12 @@ impl Architecture {
         num_classes: usize,
         blocks: Vec<ResBlockSpec>,
     ) -> Self {
-        Architecture { name: name.into(), input, num_classes, body: Body::Residual { blocks } }
+        Architecture {
+            name: name.into(),
+            input,
+            num_classes,
+            body: Body::Residual { blocks },
+        }
     }
 
     /// The structural family of this architecture.
@@ -299,27 +324,39 @@ impl Architecture {
     /// extent.
     pub fn validate(&self) -> Result<(), ArchError> {
         if self.num_classes == 0 {
-            return Err(ArchError::EmptyStructure { what: "num_classes".into() });
+            return Err(ArchError::EmptyStructure {
+                what: "num_classes".into(),
+            });
         }
         if self.input.channels == 0 || self.input.height == 0 || self.input.width == 0 {
-            return Err(ArchError::EmptyStructure { what: "input geometry".into() });
+            return Err(ArchError::EmptyStructure {
+                what: "input geometry".into(),
+            });
         }
         match &self.body {
             Body::Mlp { hidden } => {
                 if hidden.is_empty() {
-                    return Err(ArchError::EmptyStructure { what: "mlp hidden layers".into() });
+                    return Err(ArchError::EmptyStructure {
+                        what: "mlp hidden layers".into(),
+                    });
                 }
-                if hidden.iter().any(|&u| u == 0) {
-                    return Err(ArchError::EmptyStructure { what: "mlp hidden width".into() });
+                if hidden.contains(&0) {
+                    return Err(ArchError::EmptyStructure {
+                        what: "mlp hidden width".into(),
+                    });
                 }
             }
             Body::Plain { blocks, dense } => {
                 if blocks.is_empty() {
-                    return Err(ArchError::EmptyStructure { what: "conv blocks".into() });
+                    return Err(ArchError::EmptyStructure {
+                        what: "conv blocks".into(),
+                    });
                 }
                 for b in blocks {
                     if b.layers.is_empty() {
-                        return Err(ArchError::EmptyStructure { what: "conv block layers".into() });
+                        return Err(ArchError::EmptyStructure {
+                            what: "conv block layers".into(),
+                        });
                     }
                     for l in &b.layers {
                         if l.filter_size % 2 == 0 || l.filter_size == 0 {
@@ -334,24 +371,34 @@ impl Architecture {
                         }
                     }
                 }
-                if dense.iter().any(|&u| u == 0) {
-                    return Err(ArchError::EmptyStructure { what: "dense width".into() });
+                if dense.contains(&0) {
+                    return Err(ArchError::EmptyStructure {
+                        what: "dense width".into(),
+                    });
                 }
                 self.check_spatial(blocks.len())?;
             }
             Body::Residual { blocks } => {
                 if blocks.is_empty() {
-                    return Err(ArchError::EmptyStructure { what: "residual blocks".into() });
+                    return Err(ArchError::EmptyStructure {
+                        what: "residual blocks".into(),
+                    });
                 }
                 for b in blocks {
                     if b.units == 0 {
-                        return Err(ArchError::EmptyStructure { what: "residual units".into() });
+                        return Err(ArchError::EmptyStructure {
+                            what: "residual units".into(),
+                        });
                     }
                     if b.filters == 0 {
-                        return Err(ArchError::EmptyStructure { what: "residual filters".into() });
+                        return Err(ArchError::EmptyStructure {
+                            what: "residual filters".into(),
+                        });
                     }
                     if b.filter_size % 2 == 0 || b.filter_size == 0 {
-                        return Err(ArchError::InvalidFilterSize { filter_size: b.filter_size });
+                        return Err(ArchError::InvalidFilterSize {
+                            filter_size: b.filter_size,
+                        });
                     }
                 }
                 // Pooling between blocks only (blocks.len() - 1 pools).
@@ -402,7 +449,8 @@ impl Architecture {
         let mut total: u64 = 0;
         match &self.body {
             Body::Mlp { hidden } => {
-                let mut fan_in = (self.input.channels * self.input.height * self.input.width) as u64;
+                let mut fan_in =
+                    (self.input.channels * self.input.height * self.input.width) as u64;
                 for &units in hidden {
                     total += fan_in * units as u64 + units as u64; // dense W + b
                     fan_in = units as u64;
@@ -550,7 +598,10 @@ mod tests {
             vec![ConvBlockSpec::repeated(2, 4, 1)],
             vec![],
         );
-        assert!(matches!(a.validate(), Err(ArchError::InvalidFilterSize { filter_size: 2 })));
+        assert!(matches!(
+            a.validate(),
+            Err(ArchError::InvalidFilterSize { filter_size: 2 })
+        ));
     }
 
     #[test]
@@ -566,14 +617,23 @@ mod tests {
             ],
             vec![],
         );
-        assert!(matches!(a.validate(), Err(ArchError::SpatialUnderflow { .. })));
+        assert!(matches!(
+            a.validate(),
+            Err(ArchError::SpatialUnderflow { .. })
+        ));
     }
 
     #[test]
     fn validate_catches_empty() {
         let a = Architecture::mlp("m", input(), 10, vec![]);
         assert!(a.validate().is_err());
-        let b = Architecture::plain("p", input(), 0, vec![ConvBlockSpec::repeated(3, 4, 1)], vec![]);
+        let b = Architecture::plain(
+            "p",
+            input(),
+            0,
+            vec![ConvBlockSpec::repeated(3, 4, 1)],
+            vec![],
+        );
         assert!(b.validate().is_err());
     }
 
@@ -583,7 +643,10 @@ mod tests {
             "p",
             input(),
             10,
-            vec![ConvBlockSpec::repeated(3, 4, 1), ConvBlockSpec::repeated(3, 4, 1)],
+            vec![
+                ConvBlockSpec::repeated(3, 4, 1),
+                ConvBlockSpec::repeated(3, 4, 1),
+            ],
             vec![],
         );
         assert_eq!(a.spatial_after_body(), (2, 2));
@@ -606,10 +669,19 @@ mod tests {
 
     #[test]
     fn family_detection() {
-        assert_eq!(Architecture::mlp("m", input(), 2, vec![4]).family(), Family::Mlp);
         assert_eq!(
-            Architecture::plain("p", input(), 2, vec![ConvBlockSpec::repeated(3, 4, 1)], vec![])
-                .family(),
+            Architecture::mlp("m", input(), 2, vec![4]).family(),
+            Family::Mlp
+        );
+        assert_eq!(
+            Architecture::plain(
+                "p",
+                input(),
+                2,
+                vec![ConvBlockSpec::repeated(3, 4, 1)],
+                vec![]
+            )
+            .family(),
             Family::Plain
         );
         assert_eq!(

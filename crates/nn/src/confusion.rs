@@ -15,8 +15,15 @@ impl ConfusionMatrix {
     ///
     /// Panics on length mismatch, empty input, or out-of-range entries.
     pub fn from_predictions(predictions: &[usize], labels: &[usize], num_classes: usize) -> Self {
-        assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
-        assert!(!labels.is_empty(), "cannot build a confusion matrix from nothing");
+        assert_eq!(
+            predictions.len(),
+            labels.len(),
+            "prediction/label length mismatch"
+        );
+        assert!(
+            !labels.is_empty(),
+            "cannot build a confusion matrix from nothing"
+        );
         assert!(num_classes > 0, "need at least one class");
         let mut counts = vec![vec![0usize; num_classes]; num_classes];
         for (&p, &t) in predictions.iter().zip(labels) {

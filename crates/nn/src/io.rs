@@ -92,8 +92,11 @@ pub fn load_weights(net: &mut Network, mut blob: &[u8]) -> Result<(), WeightsErr
         return Err(WeightsError::BadMagic);
     }
     let count = blob.get_u32_le() as usize;
-    let mut targets: Vec<&mut mn_tensor::Tensor> =
-        net.nodes_mut().iter_mut().flat_map(|n| n.state_mut()).collect();
+    let mut targets: Vec<&mut mn_tensor::Tensor> = net
+        .nodes_mut()
+        .iter_mut()
+        .flat_map(|n| n.state_mut())
+        .collect();
     if targets.len() != count {
         return Err(WeightsError::ShapeMismatch {
             detail: format!("blob has {count} tensors, network has {}", targets.len()),
@@ -106,7 +109,10 @@ pub fn load_weights(net: &mut Network, mut blob: &[u8]) -> Result<(), WeightsErr
         let len = blob.get_u32_le() as usize;
         if len != target.len() {
             return Err(WeightsError::ShapeMismatch {
-                detail: format!("tensor {i}: blob has {len} elements, network has {}", target.len()),
+                detail: format!(
+                    "tensor {i}: blob has {len} elements, network has {}",
+                    target.len()
+                ),
             });
         }
         if blob.remaining() < 4 * len {
@@ -117,7 +123,9 @@ pub fn load_weights(net: &mut Network, mut blob: &[u8]) -> Result<(), WeightsErr
         }
     }
     if blob.has_remaining() {
-        return Err(WeightsError::TrailingBytes { count: blob.remaining() });
+        return Err(WeightsError::TrailingBytes {
+            count: blob.remaining(),
+        });
     }
     Ok(())
 }
@@ -178,7 +186,10 @@ mod tests {
     fn rejects_garbage() {
         let input = InputSpec::new(3, 8, 8);
         let mut net = Network::seeded(&Architecture::mlp("m", input, 5, vec![8]), 1);
-        assert_eq!(load_weights(&mut net, b"junk"), Err(WeightsError::Truncated));
+        assert_eq!(
+            load_weights(&mut net, b"junk"),
+            Err(WeightsError::Truncated)
+        );
         assert_eq!(
             load_weights(&mut net, b"JUNKJUNKJUNK"),
             Err(WeightsError::BadMagic)

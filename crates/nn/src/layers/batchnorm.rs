@@ -94,7 +94,12 @@ impl BatchNorm {
         match self.layout {
             BnLayout::Spatial => {
                 let d = x.shape().dims();
-                assert_eq!(d.len(), 4, "spatial batch-norm needs [N,C,H,W], got {}", x.shape());
+                assert_eq!(
+                    d.len(),
+                    4,
+                    "spatial batch-norm needs [N,C,H,W], got {}",
+                    x.shape()
+                );
                 assert_eq!(d[1], self.channels(), "channel mismatch");
                 (d[0], d[1], d[2] * d[3])
             }
@@ -118,15 +123,18 @@ impl BatchNorm {
         let m = nb * inner;
         let mut y = Tensor::zeros(x.shape().dims().to_vec());
         if train {
-            assert!(m >= 2, "batch-norm needs >= 2 elements per channel in train mode");
+            assert!(
+                m >= 2,
+                "batch-norm needs >= 2 elements per channel in train mode"
+            );
             let mut mean = vec![0.0f32; cc];
             let mut var = vec![0.0f32; cc];
             let xd = x.data();
             for n in 0..nb {
-                for c in 0..cc {
+                for (c, m) in mean.iter_mut().enumerate() {
                     let base = (n * cc + c) * inner;
                     let s: f32 = xd[base..base + inner].iter().sum();
-                    mean[c] += s;
+                    *m += s;
                 }
             }
             let inv_m = 1.0 / m as f32;
@@ -135,7 +143,10 @@ impl BatchNorm {
                 for c in 0..cc {
                     let base = (n * cc + c) * inner;
                     let mu = mean[c];
-                    let s: f32 = xd[base..base + inner].iter().map(|v| (v - mu) * (v - mu)).sum();
+                    let s: f32 = xd[base..base + inner]
+                        .iter()
+                        .map(|v| (v - mu) * (v - mu))
+                        .sum();
                     var[c] += s;
                 }
             }
@@ -200,7 +211,10 @@ impl BatchNorm {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("batch-norm backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("batch-norm backward before forward");
         let (nb, cc, inner) = self.group_geometry(grad_out);
         let m = cache.m as f32;
         let gd = grad_out.data();

@@ -26,7 +26,11 @@ impl ConvLayer {
         let _ = conv::same_padding(kernel); // validates oddness
         let std = init::he_std(init::conv_fan_in(in_channels, kernel));
         ConvLayer {
-            weight: Param::new(Tensor::randn([filters, in_channels, kernel, kernel], std, rng)),
+            weight: Param::new(Tensor::randn(
+                [filters, in_channels, kernel, kernel],
+                std,
+                rng,
+            )),
             bias: Param::new(Tensor::zeros([filters])),
             cached_input: None,
         }
@@ -48,7 +52,11 @@ impl ConvLayer {
             &[weight.shape().dim(0)],
             "conv bias must be [filters]"
         );
-        ConvLayer { weight: Param::new(weight), bias: Param::new(bias), cached_input: None }
+        ConvLayer {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            cached_input: None,
+        }
     }
 
     /// Number of output filters.
@@ -87,9 +95,11 @@ impl ConvLayer {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("conv backward before forward");
-        let (gw, gb) =
-            conv::conv2d_backward_params(grad_out, x, self.kernel(), self.padding());
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("conv backward before forward");
+        let (gw, gb) = conv::conv2d_backward_params(grad_out, x, self.kernel(), self.padding());
         self.weight.grad.add_assign(&gw);
         self.bias.grad.add_assign(&gb);
         let h = x.shape().dim(2);

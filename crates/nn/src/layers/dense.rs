@@ -40,7 +40,11 @@ impl DenseLayer {
             &[weight.shape().dim(1)],
             "dense bias must match weight width"
         );
-        DenseLayer { weight: Param::new(weight), bias: Param::new(bias), cached_input: None }
+        DenseLayer {
+            weight: Param::new(weight),
+            bias: Param::new(bias),
+            cached_input: None,
+        }
     }
 
     /// Input feature count.
@@ -70,7 +74,10 @@ impl DenseLayer {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("dense backward before forward");
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("dense backward before forward");
         let gw = ops::matmul_tn(x, grad_out);
         self.weight.grad.add_assign(&gw);
         self.bias.grad.add_assign(&ops::column_sums(grad_out));

@@ -71,7 +71,11 @@ impl ResidualUnit {
     pub fn from_parts(conv1: ConvLayer, bn1: BatchNorm, conv2: ConvLayer, bn2: BatchNorm) -> Self {
         let f = conv1.filters();
         assert_eq!(conv1.in_channels(), f, "residual conv1 must be square");
-        assert_eq!(conv2.in_channels(), f, "residual conv2 input width mismatch");
+        assert_eq!(
+            conv2.in_channels(),
+            f,
+            "residual conv2 input width mismatch"
+        );
         assert_eq!(conv2.filters(), f, "residual conv2 output width mismatch");
         assert_eq!(bn1.channels(), f, "residual bn1 width mismatch");
         assert_eq!(bn2.channels(), f, "residual bn2 width mismatch");
@@ -198,7 +202,9 @@ mod tests {
         let x = Tensor::randn([2, 2, 4, 4], 1.0, &mut rng);
         let y = unit.forward(&x, true);
         let gin = unit.backward(&y); // L = 0.5||y||^2 in train mode
-        let eps = 1e-2;
+                                     // Small enough that no ReLU kink-crossing band inflates the
+                                     // central difference, large enough for f32 cancellation.
+        let eps = 2e-3;
         let dir = Tensor::randn([2, 2, 4, 4], 1.0, &mut rng);
         let mut xp = x.clone();
         xp.axpy(eps, &dir);

@@ -13,7 +13,10 @@ pub struct MaxPoolLayer {
 impl MaxPoolLayer {
     /// Creates a max-pool layer.
     pub fn new() -> Self {
-        MaxPoolLayer { argmax: None, input_shape: None }
+        MaxPoolLayer {
+            argmax: None,
+            input_shape: None,
+        }
     }
 
     /// Forward pass; caches routing information when `train` is set.
@@ -32,8 +35,14 @@ impl MaxPoolLayer {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let argmax = self.argmax.as_ref().expect("maxpool backward before forward");
-        let shape = self.input_shape.as_ref().expect("maxpool backward before forward");
+        let argmax = self
+            .argmax
+            .as_ref()
+            .expect("maxpool backward before forward");
+        let shape = self
+            .input_shape
+            .as_ref()
+            .expect("maxpool backward before forward");
         pool::maxpool2x2_backward(grad_out, argmax, shape)
     }
 
@@ -70,7 +79,10 @@ impl GlobalAvgPoolLayer {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.input_shape.as_ref().expect("gap backward before forward");
+        let shape = self
+            .input_shape
+            .as_ref()
+            .expect("gap backward before forward");
         pool::global_avg_pool_backward(grad_out, shape)
     }
 
@@ -113,7 +125,10 @@ impl FlattenLayer {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self.input_shape.as_ref().expect("flatten backward before forward");
+        let shape = self
+            .input_shape
+            .as_ref()
+            .expect("flatten backward before forward");
         grad_out.reshape(shape.clone())
     }
 

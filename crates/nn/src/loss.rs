@@ -14,7 +14,12 @@ use mn_tensor::{ops, Tensor};
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
     let n = logits.shape().dim(0);
     let k = logits.shape().dim(1);
-    assert_eq!(labels.len(), n, "labels length {} != batch {n}", labels.len());
+    assert_eq!(
+        labels.len(),
+        n,
+        "labels length {} != batch {n}",
+        labels.len()
+    );
     let mut probs = logits.clone();
     ops::softmax_rows(&mut probs);
     let mut loss = 0.0f32;
@@ -48,7 +53,12 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
 pub fn nll_of_probs(probs: &Tensor, labels: &[usize]) -> f32 {
     let n = probs.shape().dim(0);
     let k = probs.shape().dim(1);
-    assert_eq!(labels.len(), n, "labels length {} != batch {n}", labels.len());
+    assert_eq!(
+        labels.len(),
+        n,
+        "labels length {} != batch {n}",
+        labels.len()
+    );
     let pd = probs.data();
     let mut loss = 0.0f32;
     for (i, &label) in labels.iter().enumerate() {

@@ -12,9 +12,20 @@ use crate::network::Network;
 ///
 /// Panics if the slices have different lengths or are empty.
 pub fn error_rate(predictions: &[usize], labels: &[usize]) -> f32 {
-    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
-    assert!(!labels.is_empty(), "cannot compute error rate of an empty set");
-    let wrong = predictions.iter().zip(labels.iter()).filter(|(p, l)| p != l).count();
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "prediction/label length mismatch"
+    );
+    assert!(
+        !labels.is_empty(),
+        "cannot compute error rate of an empty set"
+    );
+    let wrong = predictions
+        .iter()
+        .zip(labels.iter())
+        .filter(|(p, l)| p != l)
+        .count();
     wrong as f32 / labels.len() as f32
 }
 
@@ -68,10 +79,17 @@ pub fn evaluate(net: &mut Network, x: &Tensor, labels: &[usize], batch_size: usi
         let (loss, _) = softmax_cross_entropy(&logits, &labels[start..end]);
         total_loss += loss as f64 * (end - start) as f64;
         let preds = ops::argmax_rows(&logits);
-        wrong += preds.iter().zip(&labels[start..end]).filter(|(p, l)| p != l).count();
+        wrong += preds
+            .iter()
+            .zip(&labels[start..end])
+            .filter(|(p, l)| p != l)
+            .count();
         start = end;
     }
-    Evaluation { loss: (total_loss / n as f64) as f32, error: wrong as f32 / n as f32 }
+    Evaluation {
+        loss: (total_loss / n as f64) as f32,
+        error: wrong as f32 / n as f32,
+    }
 }
 
 /// Collects class-probability predictions over a set in mini-batches.

@@ -40,9 +40,13 @@ impl Network {
     ///
     /// Panics if `arch` fails [`Architecture::validate`].
     pub fn new<R: Rng>(arch: &Architecture, rng: &mut R) -> Self {
-        arch.validate().unwrap_or_else(|e| panic!("invalid architecture {}: {e}", arch.name));
+        arch.validate()
+            .unwrap_or_else(|e| panic!("invalid architecture {}: {e}", arch.name));
         let nodes = build_nodes(arch, rng);
-        Network { arch: arch.clone(), nodes }
+        Network {
+            arch: arch.clone(),
+            nodes,
+        }
     }
 
     /// Builds a freshly initialized network with a dedicated RNG seed.
@@ -60,7 +64,8 @@ impl Network {
     /// not produce `[1, num_classes]` logits (i.e. the node sequence does
     /// not realize the architecture).
     pub fn from_parts(arch: Architecture, nodes: Vec<LayerNode>) -> Self {
-        arch.validate().unwrap_or_else(|e| panic!("invalid architecture {}: {e}", arch.name));
+        arch.validate()
+            .unwrap_or_else(|e| panic!("invalid architecture {}: {e}", arch.name));
         let mut net = Network { arch, nodes };
         let probe = Tensor::zeros([
             1,
@@ -171,7 +176,11 @@ fn build_nodes<R: Rng>(arch: &Architecture, rng: &mut R) -> Vec<LayerNode> {
                 nodes.push(LayerNode::Relu(ReluLayer::new()));
                 fan_in = units;
             }
-            nodes.push(LayerNode::Dense(DenseLayer::new(fan_in, arch.num_classes, rng)));
+            nodes.push(LayerNode::Dense(DenseLayer::new(
+                fan_in,
+                arch.num_classes,
+                rng,
+            )));
         }
         Body::Plain { blocks, dense } => {
             let mut c_in = arch.input.channels;
@@ -200,13 +209,25 @@ fn build_nodes<R: Rng>(arch: &Architecture, rng: &mut R) -> Vec<LayerNode> {
                 nodes.push(LayerNode::Relu(ReluLayer::new()));
                 fan_in = units;
             }
-            nodes.push(LayerNode::Dense(DenseLayer::new(fan_in, arch.num_classes, rng)));
+            nodes.push(LayerNode::Dense(DenseLayer::new(
+                fan_in,
+                arch.num_classes,
+                rng,
+            )));
         }
         Body::Residual { blocks } => {
             // Stem.
             let stem_f = blocks[0].filters;
-            nodes.push(LayerNode::Conv(ConvLayer::new(arch.input.channels, stem_f, 3, rng)));
-            nodes.push(LayerNode::BatchNorm(BatchNorm::new(stem_f, BnLayout::Spatial)));
+            nodes.push(LayerNode::Conv(ConvLayer::new(
+                arch.input.channels,
+                stem_f,
+                3,
+                rng,
+            )));
+            nodes.push(LayerNode::BatchNorm(BatchNorm::new(
+                stem_f,
+                BnLayout::Spatial,
+            )));
             nodes.push(LayerNode::Relu(ReluLayer::new()));
             let mut c_in = stem_f;
             for (i, block) in blocks.iter().enumerate() {
@@ -222,15 +243,19 @@ fn build_nodes<R: Rng>(arch: &Architecture, rng: &mut R) -> Vec<LayerNode> {
                 nodes.push(LayerNode::Relu(ReluLayer::new()));
                 c_in = block.filters;
                 for _ in 0..block.units {
-                    nodes.push(LayerNode::Residual(ResidualUnit::new(
+                    nodes.push(LayerNode::Residual(Box::new(ResidualUnit::new(
                         block.filters,
                         block.filter_size,
                         rng,
-                    )));
+                    ))));
                 }
             }
             nodes.push(LayerNode::GlobalAvgPool(GlobalAvgPoolLayer::new()));
-            nodes.push(LayerNode::Dense(DenseLayer::new(c_in, arch.num_classes, rng)));
+            nodes.push(LayerNode::Dense(DenseLayer::new(
+                c_in,
+                arch.num_classes,
+                rng,
+            )));
         }
     }
     nodes
@@ -258,7 +283,10 @@ mod tests {
             "p",
             input(),
             10,
-            vec![ConvBlockSpec::repeated(3, 4, 2), ConvBlockSpec::repeated(5, 8, 1)],
+            vec![
+                ConvBlockSpec::repeated(3, 4, 2),
+                ConvBlockSpec::repeated(5, 8, 1),
+            ],
             vec![16],
         );
         let mut net = Network::seeded(&arch, 0);
@@ -285,7 +313,10 @@ mod tests {
                 "p",
                 input(),
                 7,
-                vec![ConvBlockSpec::repeated(3, 4, 1), ConvBlockSpec::repeated(3, 8, 1)],
+                vec![
+                    ConvBlockSpec::repeated(3, 4, 1),
+                    ConvBlockSpec::repeated(3, 8, 1),
+                ],
                 vec![16],
             ),
             Architecture::residual("r", input(), 7, vec![ResBlockSpec::new(1, 4, 3)]),
@@ -358,7 +389,10 @@ mod tests {
         let mut a = Network::seeded(&arch, 9);
         let mut b = Network::seeded(&arch, 9);
         let x = Tensor::randn([2, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(10));
-        assert_eq!(a.forward(&x, Mode::Eval).data(), b.forward(&x, Mode::Eval).data());
+        assert_eq!(
+            a.forward(&x, Mode::Eval).data(),
+            b.forward(&x, Mode::Eval).data()
+        );
     }
 
     use rand::rngs::StdRng;

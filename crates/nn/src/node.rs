@@ -10,8 +10,8 @@ use mn_tensor::Tensor;
 
 use crate::layer::{Mode, Param};
 use crate::layers::{
-    BatchNorm, ConvLayer, DenseLayer, FlattenLayer, GlobalAvgPoolLayer, MaxPoolLayer,
-    ReluLayer, ResidualUnit,
+    BatchNorm, ConvLayer, DenseLayer, FlattenLayer, GlobalAvgPoolLayer, MaxPoolLayer, ReluLayer,
+    ResidualUnit,
 };
 
 /// One node in a network's layer sequence.
@@ -31,8 +31,10 @@ pub enum LayerNode {
     Flatten(FlattenLayer),
     /// Global average pooling `[N,C,H,W] → [N,C]`.
     GlobalAvgPool(GlobalAvgPoolLayer),
-    /// Two-conv residual unit with identity skip.
-    Residual(ResidualUnit),
+    /// Two-conv residual unit with identity skip. Boxed: the unit holds
+    /// four sub-layers and would otherwise more than triple the size of
+    /// every node in a network's layer sequence.
+    Residual(Box<ResidualUnit>),
 }
 
 impl LayerNode {

@@ -27,7 +27,12 @@ impl Sgd {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         assert!(weight_decay >= 0.0, "weight decay must be non-negative");
-        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 
     /// Applies one update step to `params` and zeroes their gradients.
@@ -42,8 +47,10 @@ impl Sgd {
                 .zip(params.iter())
                 .all(|(v, p)| v.shape() == p.value.shape());
         if !shapes_match {
-            self.velocity =
-                params.iter().map(|p| Tensor::zeros(p.value.shape().dims().to_vec())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().dims().to_vec()))
+                .collect();
         }
         for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
             if self.weight_decay > 0.0 {

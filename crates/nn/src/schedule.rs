@@ -70,15 +70,16 @@ impl LrSchedule {
                     min_factor
                 } else {
                     let t = epoch as f32 / period as f32;
-                    min_factor
-                        + (1.0 - min_factor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+                    min_factor + (1.0 - min_factor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
                 }
             }
-            LrSchedule::CyclicCosine { cycle_len, min_factor } => {
+            LrSchedule::CyclicCosine {
+                cycle_len,
+                min_factor,
+            } => {
                 assert!(cycle_len > 0, "cycle length must be positive");
                 let t = (epoch % cycle_len) as f32 / cycle_len as f32;
-                min_factor
-                    + (1.0 - min_factor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
+                min_factor + (1.0 - min_factor) * 0.5 * (1.0 + (std::f32::consts::PI * t).cos())
             }
         }
     }
@@ -114,7 +115,10 @@ mod tests {
 
     #[test]
     fn step_drops_at_boundaries() {
-        let s = LrSchedule::Step { every: 2, gamma: 0.1 };
+        let s = LrSchedule::Step {
+            every: 2,
+            gamma: 0.1,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert_eq!(s.factor(1), 1.0);
         assert!((s.factor(2) - 0.1).abs() < 1e-6);
@@ -123,7 +127,10 @@ mod tests {
 
     #[test]
     fn cosine_anneals_to_min_and_holds() {
-        let s = LrSchedule::Cosine { period: 10, min_factor: 0.1 };
+        let s = LrSchedule::Cosine {
+            period: 10,
+            min_factor: 0.1,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert!(s.factor(5) < 1.0 && s.factor(5) > 0.1);
         // Monotone within the period.
@@ -136,7 +143,10 @@ mod tests {
 
     #[test]
     fn cyclic_restarts() {
-        let s = LrSchedule::CyclicCosine { cycle_len: 4, min_factor: 0.05 };
+        let s = LrSchedule::CyclicCosine {
+            cycle_len: 4,
+            min_factor: 0.05,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert_eq!(s.factor(4), 1.0, "warm restart at cycle boundary");
         assert!(s.factor(3) < s.factor(1), "annealing within the cycle");

@@ -182,7 +182,11 @@ pub fn train(
         let val = evaluate(net, x_val, y_val, cfg.batch_size);
         epochs.push(EpochStats {
             epoch,
-            train_loss: if seen > 0 { (epoch_loss / seen as f64) as f32 } else { f32::NAN },
+            train_loss: if seen > 0 {
+                (epoch_loss / seen as f64) as f32
+            } else {
+                f32::NAN
+            },
             val_loss: val.loss,
             val_error: val.error,
             wall_secs: epoch_start.elapsed().as_secs_f64(),
@@ -243,10 +247,18 @@ mod tests {
         let arch = Architecture::mlp("m", InputSpec::new(3, 4, 4), 3, vec![16]);
         let mut net = Network::seeded(&arch, 3);
         let before = evaluate(&mut net, &x_val, &y_val, 32);
-        let cfg = TrainConfig { max_epochs: 15, patience: 5, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            max_epochs: 15,
+            patience: 5,
+            ..TrainConfig::default()
+        };
         let report = train(&mut net, &x_train, &y_train, &x_val, &y_val, &cfg);
         assert!(report.final_val.error < before.error, "no improvement");
-        assert!(report.final_val.error < 0.2, "error too high: {}", report.final_val.error);
+        assert!(
+            report.final_val.error < 0.2,
+            "error too high: {}",
+            report.final_val.error
+        );
         assert!(report.gradient_steps > 0);
         assert!(report.cost_units > 0.0);
         assert_eq!(report.epochs_run(), report.epochs.len());
@@ -276,7 +288,10 @@ mod tests {
     fn deterministic_given_seeds() {
         let (x, y) = toy_data(40, 6);
         let arch = Architecture::mlp("m", InputSpec::new(3, 4, 4), 3, vec![8]);
-        let cfg = TrainConfig { max_epochs: 3, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            max_epochs: 3,
+            ..TrainConfig::default()
+        };
         let mut a = Network::seeded(&arch, 7);
         let mut b = Network::seeded(&arch, 7);
         let ra = train(&mut a, &x, &y, &x, &y, &cfg);
@@ -291,6 +306,13 @@ mod tests {
         let arch = Architecture::mlp("m", InputSpec::new(3, 4, 4), 3, vec![8]);
         let mut net = Network::seeded(&arch, 8);
         let x = Tensor::zeros([4, 3, 4, 4]);
-        train(&mut net, &x, &[0, 1], &x, &[0, 1, 2, 0], &TrainConfig::default());
+        train(
+            &mut net,
+            &x,
+            &[0, 1],
+            &x,
+            &[0, 1, 2, 0],
+            &TrainConfig::default(),
+        );
     }
 }

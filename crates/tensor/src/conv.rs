@@ -35,7 +35,10 @@ pub fn conv_out_extent(input: usize, kernel: usize, pad: usize) -> usize {
 /// Panics if `kernel` is even — "same" padding is only well-defined for odd
 /// kernels, and the paper's architectures use odd kernels (1, 3, 5) only.
 pub fn same_padding(kernel: usize) -> usize {
-    assert!(kernel % 2 == 1, "same padding requires an odd kernel, got {kernel}");
+    assert!(
+        kernel % 2 == 1,
+        "same padding requires an odd kernel, got {kernel}"
+    );
     kernel / 2
 }
 
@@ -61,9 +64,8 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize
         let od = out.data_mut();
         let bd = bias.data();
         for n in 0..n_batch {
-            for f in 0..f_out {
+            for (f, &b) in bd.iter().enumerate() {
                 let base = (n * f_out + f) * ho * wo;
-                let b = bd[f];
                 od[base..base + ho * wo].iter_mut().for_each(|x| *x = b);
             }
         }
@@ -87,11 +89,11 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize
                         }
                         // out[oh, ow] += wval * in[oh + dkh - pad, ow + dkw - pad]
                         let oh_lo = (ipad - dkh as isize).max(0) as usize;
-                        let oh_hi = ((h as isize + ipad - dkh as isize).min(ho as isize))
-                            .max(0) as usize;
+                        let oh_hi =
+                            ((h as isize + ipad - dkh as isize).min(ho as isize)).max(0) as usize;
                         let ow_lo = (ipad - dkw as isize).max(0) as usize;
-                        let ow_hi = ((w as isize + ipad - dkw as isize).min(wo as isize))
-                            .max(0) as usize;
+                        let ow_hi =
+                            ((w as isize + ipad - dkw as isize).min(wo as isize)).max(0) as usize;
                         for oh in oh_lo..oh_hi {
                             let ih = (oh as isize + dkh as isize - ipad) as usize;
                             let irow = ibase + ih * w;
@@ -126,10 +128,21 @@ pub fn conv2d_backward_input(
 ) -> Tensor {
     let (n_batch, f_out, ho, wo) = dims4(grad_out, "conv grad_out");
     let (f_w, c_in, k, k2) = dims4(weight, "conv weight");
-    assert_eq!(f_out, f_w, "grad_out filters {f_out} != weight filters {f_w}");
+    assert_eq!(
+        f_out, f_w,
+        "grad_out filters {f_out} != weight filters {f_w}"
+    );
     assert_eq!(k, k2, "only square kernels supported");
-    assert_eq!(ho, conv_out_extent(h, k, pad), "grad_out height inconsistent");
-    assert_eq!(wo, conv_out_extent(w, k, pad), "grad_out width inconsistent");
+    assert_eq!(
+        ho,
+        conv_out_extent(h, k, pad),
+        "grad_out height inconsistent"
+    );
+    assert_eq!(
+        wo,
+        conv_out_extent(w, k, pad),
+        "grad_out width inconsistent"
+    );
 
     let mut gin = Tensor::zeros([n_batch, c_in, h, w]);
     let gd = grad_out.data();
@@ -150,11 +163,11 @@ pub fn conv2d_backward_input(
                         }
                         // gin[ih, iw] += wval * gout[ih - dkh + pad, iw - dkw + pad]
                         let oh_lo = (ipad - dkh as isize).max(0) as usize;
-                        let oh_hi = ((h as isize + ipad - dkh as isize).min(ho as isize))
-                            .max(0) as usize;
+                        let oh_hi =
+                            ((h as isize + ipad - dkh as isize).min(ho as isize)).max(0) as usize;
                         let ow_lo = (ipad - dkw as isize).max(0) as usize;
-                        let ow_hi = ((w as isize + ipad - dkw as isize).min(wo as isize))
-                            .max(0) as usize;
+                        let ow_hi =
+                            ((w as isize + ipad - dkw as isize).min(wo as isize)).max(0) as usize;
                         for oh in oh_lo..oh_hi {
                             let ih = (oh as isize + dkh as isize - ipad) as usize;
                             let irow = ibase + ih * w;
@@ -189,8 +202,16 @@ pub fn conv2d_backward_params(
     let (n_batch, f_out, ho, wo) = dims4(grad_out, "conv grad_out");
     let (n_in, c_in, h, w) = dims4(input, "conv input");
     assert_eq!(n_batch, n_in, "batch mismatch");
-    assert_eq!(ho, conv_out_extent(h, k, pad), "grad_out height inconsistent");
-    assert_eq!(wo, conv_out_extent(w, k, pad), "grad_out width inconsistent");
+    assert_eq!(
+        ho,
+        conv_out_extent(h, k, pad),
+        "grad_out height inconsistent"
+    );
+    assert_eq!(
+        wo,
+        conv_out_extent(w, k, pad),
+        "grad_out width inconsistent"
+    );
 
     let mut gw = Tensor::zeros([f_out, c_in, k, k]);
     let mut gb = Tensor::zeros([f_out]);
@@ -200,9 +221,9 @@ pub fn conv2d_backward_params(
     {
         let gbd = gb.data_mut();
         for n in 0..n_batch {
-            for f in 0..f_out {
+            for (f, g) in gbd.iter_mut().enumerate() {
                 let gbase = (n * f_out + f) * ho * wo;
-                gbd[f] += gd[gbase..gbase + ho * wo].iter().sum::<f32>();
+                *g += gd[gbase..gbase + ho * wo].iter().sum::<f32>();
             }
         }
     }
@@ -216,11 +237,11 @@ pub fn conv2d_backward_params(
                 for dkh in 0..k {
                     for dkw in 0..k {
                         let oh_lo = (ipad - dkh as isize).max(0) as usize;
-                        let oh_hi = ((h as isize + ipad - dkh as isize).min(ho as isize))
-                            .max(0) as usize;
+                        let oh_hi =
+                            ((h as isize + ipad - dkh as isize).min(ho as isize)).max(0) as usize;
                         let ow_lo = (ipad - dkw as isize).max(0) as usize;
-                        let ow_hi = ((w as isize + ipad - dkw as isize).min(wo as isize))
-                            .max(0) as usize;
+                        let ow_hi =
+                            ((w as isize + ipad - dkw as isize).min(wo as isize)).max(0) as usize;
                         let mut acc = 0.0;
                         for oh in oh_lo..oh_hi {
                             let ih = (oh as isize + dkh as isize - ipad) as usize;
@@ -263,8 +284,7 @@ pub fn conv2d_forward_reference(
                             for dkw in 0..k {
                                 let ih = oh as isize + dkh as isize - pad as isize;
                                 let iw = ow as isize + dkw as isize - pad as isize;
-                                if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w
-                                {
+                                if ih >= 0 && iw >= 0 && (ih as usize) < h && (iw as usize) < w {
                                     acc += weight.at4(f, c, dkh, dkw)
                                         * input.at4(n, c, ih as usize, iw as usize);
                                 }
@@ -348,7 +368,11 @@ mod tests {
         let bias = rand_t([1, 1, 1, 2], 3).reshape([2]);
         let pad = 1;
         let loss = |w: &Tensor| -> f32 {
-            conv2d_forward(&input, w, &bias, pad).data().iter().map(|x| x * x).sum::<f32>()
+            conv2d_forward(&input, w, &bias, pad)
+                .data()
+                .iter()
+                .map(|x| x * x)
+                .sum::<f32>()
                 * 0.5
         };
         let out = conv2d_forward(&input, &weight, &bias, pad);
@@ -378,7 +402,11 @@ mod tests {
         let bias = Tensor::zeros([3]);
         let pad = 1;
         let loss = |x: &Tensor| -> f32 {
-            conv2d_forward(x, &weight, &bias, pad).data().iter().map(|v| v * v).sum::<f32>()
+            conv2d_forward(x, &weight, &bias, pad)
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
                 * 0.5
         };
         let out = conv2d_forward(&input, &weight, &bias, pad);

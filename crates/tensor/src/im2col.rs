@@ -61,12 +61,7 @@ pub fn im2col(input: &Tensor, k: usize, pad: usize) -> Tensor {
 /// # Panics
 ///
 /// Panics on the same layout violations as the direct kernel.
-pub fn conv2d_forward_im2col(
-    input: &Tensor,
-    weight: &Tensor,
-    bias: &Tensor,
-    pad: usize,
-) -> Tensor {
+pub fn conv2d_forward_im2col(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize) -> Tensor {
     let d = input.shape().dims();
     let (n_batch, _, h, w) = (d[0], d[1], d[2], d[3]);
     let wd = weight.shape().dims();

@@ -62,8 +62,7 @@ mod tests {
         let mut data = vec![0.0f32; 20_000];
         fill_gaussian(&mut data, 1.0, 0.5, &mut rng);
         let mean = data.iter().sum::<f32>() / data.len() as f32;
-        let var =
-            data.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / data.len() as f32;
+        let var = data.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / data.len() as f32;
         assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
         assert!((var - 0.25).abs() < 0.02, "var {var}");
     }

@@ -55,7 +55,13 @@ pub const PRESERVATION_TOLERANCE: f32 = 1e-4;
 /// Panics if lengths differ or any pair of elements differs by more than
 /// `tol`, reporting the first offending index.
 pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
         assert!(
             (x - y).abs() <= tol,
@@ -70,7 +76,13 @@ pub fn assert_close(a: &[f32], b: &[f32], tol: f32) {
 ///
 /// Panics if the slices have different lengths.
 pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter()
         .zip(b.iter())
         .map(|(x, y)| (x - y).abs())

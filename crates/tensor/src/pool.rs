@@ -24,9 +24,17 @@ pub struct MaxPoolOutput {
 /// Panics if the input is not 4-D or has spatial extent < 2.
 pub fn maxpool2x2_forward(input: &Tensor) -> MaxPoolOutput {
     let d = input.shape().dims();
-    assert_eq!(d.len(), 4, "maxpool input must be 4-D, got {}", input.shape());
+    assert_eq!(
+        d.len(),
+        4,
+        "maxpool input must be 4-D, got {}",
+        input.shape()
+    );
     let (n_batch, c, h, w) = (d[0], d[1], d[2], d[3]);
-    assert!(h >= 2 && w >= 2, "maxpool needs spatial extent >= 2, got {h}x{w}");
+    assert!(
+        h >= 2 && w >= 2,
+        "maxpool needs spatial extent >= 2, got {h}x{w}"
+    );
     let ho = h / 2;
     let wo = w / 2;
     let mut out = Tensor::zeros([n_batch, c, ho, wo]);
@@ -57,7 +65,10 @@ pub fn maxpool2x2_forward(input: &Tensor) -> MaxPoolOutput {
             }
         }
     }
-    MaxPoolOutput { output: out, argmax }
+    MaxPoolOutput {
+        output: out,
+        argmax,
+    }
 }
 
 /// Backward pass of 2×2 max pooling: routes each upstream gradient to the
@@ -66,11 +77,7 @@ pub fn maxpool2x2_forward(input: &Tensor) -> MaxPoolOutput {
 /// # Panics
 ///
 /// Panics if `grad_out` length does not match `argmax` length.
-pub fn maxpool2x2_backward(
-    grad_out: &Tensor,
-    argmax: &[usize],
-    input_shape: &[usize],
-) -> Tensor {
+pub fn maxpool2x2_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
     assert_eq!(
         grad_out.len(),
         argmax.len(),
@@ -117,8 +124,17 @@ pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
 /// Panics if shapes are inconsistent.
 pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
     assert_eq!(input_shape.len(), 4, "gap input shape must be 4-D");
-    let (n_batch, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
-    assert_eq!(grad_out.shape().dims(), &[n_batch, c], "gap grad_out shape mismatch");
+    let (n_batch, c, h, w) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    assert_eq!(
+        grad_out.shape().dims(),
+        &[n_batch, c],
+        "gap grad_out shape mismatch"
+    );
     let inv = 1.0 / (h * w) as f32;
     let mut gin = Tensor::zeros(input_shape.to_vec());
     let gd = grad_out.data();
@@ -185,8 +201,14 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
         let mut input = Tensor::randn([1, 2, 3, 3], 1.0, &mut StdRng::seed_from_u64(1));
-        let loss =
-            |x: &Tensor| -> f32 { global_avg_pool_forward(x).data().iter().map(|v| v * v).sum::<f32>() * 0.5 };
+        let loss = |x: &Tensor| -> f32 {
+            global_avg_pool_forward(x)
+                .data()
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                * 0.5
+        };
         let out = global_avg_pool_forward(&input);
         let gin = global_avg_pool_backward(&out, &[1, 2, 3, 3]);
         let eps = 1e-2;

@@ -33,14 +33,20 @@ impl Tensor {
     pub fn zeros<S: Into<Shape>>(shape: S) -> Self {
         let shape = shape.into();
         let len = shape.len();
-        Tensor { shape, data: vec![0.0; len] }
+        Tensor {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn filled<S: Into<Shape>>(shape: S, value: f32) -> Self {
         let shape = shape.into();
         let len = shape.len();
-        Tensor { shape, data: vec![value; len] }
+        Tensor {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// Creates a tensor of ones with the given shape.
@@ -155,7 +161,10 @@ impl Tensor {
             "cannot reshape {} elements into {shape}",
             self.len()
         );
-        Tensor { shape, data: self.data.clone() }
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
     }
 
     /// In-place reshape (no copy).
@@ -369,7 +378,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let t = Tensor::randn([10_000], 2.0, &mut rng);
         let mean = t.mean();
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
             / t.len() as f32;
         assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
         assert!((var - 4.0).abs() < 0.3, "variance {var} too far from 4");

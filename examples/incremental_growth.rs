@@ -62,15 +62,21 @@ fn main() {
 
     let strategy = MotherNetsStrategy::default();
     let cfg = EnsembleTrainConfig {
-        train: TrainConfig { max_epochs: 6, ..TrainConfig::default() },
+        train: TrainConfig {
+            max_epochs: 6,
+            ..TrainConfig::default()
+        },
         seed: 5,
         ..Default::default()
     };
 
-    // Phase 1: train the MotherNet by training a 1-member ensemble.
+    // Phase 1: train the MotherNet by training a 1-member ensemble whose
+    // sole member is the base network. The stored MotherNet is then the
+    // structural core every variant grows from; starting from a variant
+    // instead would store a MotherNet too wide to hatch its siblings.
     println!("training the MotherNet once (full data)...");
     let mut trained = train_ensemble(
-        &members[..1],
+        std::slice::from_ref(&base),
         &task.train,
         &Strategy::MotherNets(strategy),
         &cfg,
@@ -80,8 +86,11 @@ fn main() {
     println!("MotherNet cost: {mother_secs:.2}s\n");
 
     let (_, val) = train_val_split(&task.train, cfg.val_fraction, cfg.seed);
-    println!("{:<4} {:>14} {:>12} {:>10}", "k", "marginal (s)", "total (s)", "EA err %");
-    for arch in &members[1..] {
+    println!(
+        "{:<4} {:>14} {:>12} {:>10}",
+        "k", "marginal (s)", "total (s)", "EA err %"
+    );
+    for arch in &members {
         trained
             .hatch_additional(arch, &task.train, &strategy, &cfg)
             .expect("variants share the MotherNet");

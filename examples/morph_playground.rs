@@ -35,7 +35,10 @@ fn main() {
         "base",
         InputSpec::new(3, 8, 8),
         10,
-        vec![ConvBlockSpec::repeated(3, 8, 2), ConvBlockSpec::repeated(3, 16, 2)],
+        vec![
+            ConvBlockSpec::repeated(3, 8, 2),
+            ConvBlockSpec::repeated(3, 16, 2),
+        ],
         vec![32],
     );
     let mut base = Network::seeded(&arch, 1);
@@ -73,15 +76,17 @@ fn main() {
         "member",
         InputSpec::new(3, 8, 8),
         10,
-        vec![ConvBlockSpec::repeated(5, 16, 3), ConvBlockSpec::repeated(3, 24, 3)],
+        vec![
+            ConvBlockSpec::repeated(5, 16, 3),
+            ConvBlockSpec::repeated(3, 24, 3),
+        ],
         vec![64, 64],
     );
     let mut composed = mn_morph::morph_to(&base, &target).expect("compose");
     check("ALL of the above composed", &mut base, &mut composed);
 
-    let mut noisy =
-        mn_morph::morph_to_with(&base, &target, &MorphOptions::with_noise(5e-3, 3))
-            .expect("compose with noise");
+    let mut noisy = mn_morph::morph_to_with(&base, &target, &MorphOptions::with_noise(5e-3, 3))
+        .expect("compose with noise");
     check("composed + training noise", &mut base, &mut noisy);
 
     println!("\nExact transfers deviate only by float error; the noisy hatch deviates");

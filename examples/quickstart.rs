@@ -25,21 +25,56 @@ fn main() {
 
     // Five members with diverse depth and width.
     let archs: Vec<Architecture> = vec![
-        Architecture::plain("narrow", input, classes,
-            vec![ConvBlockSpec::repeated(3, 8, 1), ConvBlockSpec::repeated(3, 16, 1)],
-            vec![48]),
-        Architecture::plain("wide", input, classes,
-            vec![ConvBlockSpec::repeated(3, 12, 1), ConvBlockSpec::repeated(3, 24, 1)],
-            vec![48]),
-        Architecture::plain("deep", input, classes,
-            vec![ConvBlockSpec::repeated(3, 8, 2), ConvBlockSpec::repeated(3, 16, 2)],
-            vec![48]),
-        Architecture::plain("kernel5", input, classes,
-            vec![ConvBlockSpec::repeated(5, 8, 1), ConvBlockSpec::repeated(3, 16, 1)],
-            vec![48]),
-        Architecture::plain("big-head", input, classes,
-            vec![ConvBlockSpec::repeated(3, 8, 1), ConvBlockSpec::repeated(3, 16, 1)],
-            vec![64]),
+        Architecture::plain(
+            "narrow",
+            input,
+            classes,
+            vec![
+                ConvBlockSpec::repeated(3, 8, 1),
+                ConvBlockSpec::repeated(3, 16, 1),
+            ],
+            vec![48],
+        ),
+        Architecture::plain(
+            "wide",
+            input,
+            classes,
+            vec![
+                ConvBlockSpec::repeated(3, 12, 1),
+                ConvBlockSpec::repeated(3, 24, 1),
+            ],
+            vec![48],
+        ),
+        Architecture::plain(
+            "deep",
+            input,
+            classes,
+            vec![
+                ConvBlockSpec::repeated(3, 8, 2),
+                ConvBlockSpec::repeated(3, 16, 2),
+            ],
+            vec![48],
+        ),
+        Architecture::plain(
+            "kernel5",
+            input,
+            classes,
+            vec![
+                ConvBlockSpec::repeated(5, 8, 1),
+                ConvBlockSpec::repeated(3, 16, 1),
+            ],
+            vec![48],
+        ),
+        Architecture::plain(
+            "big-head",
+            input,
+            classes,
+            vec![
+                ConvBlockSpec::repeated(3, 8, 1),
+                ConvBlockSpec::repeated(3, 16, 1),
+            ],
+            vec![64],
+        ),
     ];
 
     // The MotherNet these five share.
@@ -50,16 +85,26 @@ fn main() {
     }
 
     let cfg = EnsembleTrainConfig {
-        train: TrainConfig { max_epochs: 10, ..TrainConfig::default() },
+        train: TrainConfig {
+            max_epochs: 10,
+            ..TrainConfig::default()
+        },
         seed: 7,
         ..Default::default()
     };
     let (_, val) = train_val_split(&task.train, cfg.val_fraction, cfg.seed);
 
-    println!("\n{:<12} {:>6} {:>6} {:>6} {:>7} {:>9}", "strategy", "EA%", "Vote%", "SL%", "Oracle%", "time (s)");
-    for strategy in [Strategy::FullData, Strategy::Bagging, Strategy::mothernets()] {
-        let mut trained = train_ensemble(&archs, &task.train, &strategy, &cfg)
-            .expect("training succeeds");
+    println!(
+        "\n{:<12} {:>6} {:>6} {:>6} {:>7} {:>9}",
+        "strategy", "EA%", "Vote%", "SL%", "Oracle%", "time (s)"
+    );
+    for strategy in [
+        Strategy::FullData,
+        Strategy::Bagging,
+        Strategy::mothernets(),
+    ] {
+        let mut trained =
+            train_ensemble(&archs, &task.train, &strategy, &cfg).expect("training succeeds");
         let eval = evaluate_members(
             &mut trained.members,
             task.test.images(),

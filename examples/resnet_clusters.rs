@@ -50,16 +50,21 @@ fn resnet_ladder(num_classes: usize) -> Vec<Architecture> {
 
 fn main() {
     let ensemble = resnet_ladder(10);
-    println!("ResNet ensemble: {} networks, {} to {} parameters\n",
+    println!(
+        "ResNet ensemble: {} networks, {} to {} parameters\n",
         ensemble.len(),
         ensemble.iter().map(|a| a.param_count()).min().unwrap(),
-        ensemble.iter().map(|a| a.param_count()).max().unwrap());
+        ensemble.iter().map(|a| a.param_count()).max().unwrap()
+    );
 
     println!("{:<6} {:>9}  cluster sizes", "tau", "clusters");
     for tau in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
         let clustering = cluster_architectures(&ensemble, tau).expect("clusterable");
-        let sizes: Vec<usize> =
-            clustering.clusters.iter().map(|c| c.member_indices.len()).collect();
+        let sizes: Vec<usize> = clustering
+            .clusters
+            .iter()
+            .map(|c| c.member_indices.len())
+            .collect();
         println!("{tau:<6} {:>9}  {sizes:?}", clustering.len());
     }
 
@@ -67,27 +72,43 @@ fn main() {
     println!("\nTraining the two smallest depth groups with MotherNets (tiny scale)...");
     let task = cifar10_sim(Scale::Tiny, 3);
     let small: Vec<Architecture> = ensemble[..10].to_vec(); // R18 + R34 groups
-    let strategy = MotherNetsStrategy { tau: 0.5, ..Default::default() };
+    let strategy = MotherNetsStrategy {
+        tau: 0.5,
+        ..Default::default()
+    };
     let cfg = EnsembleTrainConfig {
-        train: TrainConfig { max_epochs: 2, ..TrainConfig::default() },
+        train: TrainConfig {
+            max_epochs: 2,
+            ..TrainConfig::default()
+        },
         seed: 11,
         ..Default::default()
     };
-    let mut trained =
-        train_ensemble(&small, &task.train, &Strategy::MotherNets(strategy), &cfg)
-            .expect("training succeeds");
+    let mut trained = train_ensemble(&small, &task.train, &Strategy::MotherNets(strategy), &cfg)
+        .expect("training succeeds");
     let clustering = trained.clustering.clone().expect("clustered");
-    println!("-> {} MotherNet cluster(s) for 10 networks", clustering.len());
+    println!(
+        "-> {} MotherNet cluster(s) for 10 networks",
+        clustering.len()
+    );
     for (g, c) in clustering.clusters.iter().enumerate() {
-        let names: Vec<&str> =
-            c.member_indices.iter().map(|&i| small[i].name.as_str()).collect();
-        println!("   cluster {g}: mothernet {} params, members {names:?}",
-            c.mothernet.param_count());
+        let names: Vec<&str> = c
+            .member_indices
+            .iter()
+            .map(|&i| small[i].name.as_str())
+            .collect();
+        println!(
+            "   cluster {g}: mothernet {} params, members {names:?}",
+            c.mothernet.param_count()
+        );
     }
 
     // Incremental growth: hatch an 11th member without retraining anything.
     let extra = ensemble[10].clone(); // the R50 base — may or may not fit a stored mother
-    print!("\nHatching one more member ({}) from a stored MotherNet... ", extra.name);
+    print!(
+        "\nHatching one more member ({}) from a stored MotherNet... ",
+        extra.name
+    );
     match trained.hatch_additional(&extra, &task.train, &strategy, &cfg) {
         Ok(()) => println!(
             "ok — ensemble now has {} members; the new one cost {:.2}s",

@@ -2,9 +2,7 @@
 //! (Algorithm 1) over randomly generated ensembles.
 
 use mn_nn::arch::{Architecture, ConvBlockSpec, ConvLayerSpec, InputSpec};
-use mothernets::cluster::{
-    cluster_architectures, min_clusters_exhaustive, satisfies_condition,
-};
+use mothernets::cluster::{cluster_architectures, min_clusters_exhaustive, satisfies_condition};
 use mothernets::construct::mothernet_of;
 use proptest::prelude::*;
 

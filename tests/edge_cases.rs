@@ -18,16 +18,26 @@ fn single_member_ensemble_works_end_to_end() {
     let task = cifar10_sim(Scale::Tiny, 31);
     let arch = Architecture::mlp("only", InputSpec::new(3, 8, 8), 10, vec![12]);
     let cfg = EnsembleTrainConfig {
-        train: TrainConfig { max_epochs: 2, ..TrainConfig::default() },
+        train: TrainConfig {
+            max_epochs: 2,
+            ..TrainConfig::default()
+        },
         ..Default::default()
     };
-    let trained =
-        train_ensemble(std::slice::from_ref(&arch), &task.train, &Strategy::mothernets(), &cfg)
-            .unwrap();
+    let trained = train_ensemble(
+        std::slice::from_ref(&arch),
+        &task.train,
+        &Strategy::mothernets(),
+        &cfg,
+    )
+    .unwrap();
     assert_eq!(trained.members.len(), 1);
     let clustering = trained.clustering.unwrap();
     assert_eq!(clustering.len(), 1);
-    assert_eq!(clustering.clusters[0].mothernet.param_count(), arch.param_count());
+    assert_eq!(
+        clustering.clusters[0].mothernet.param_count(),
+        arch.param_count()
+    );
 }
 
 #[test]
@@ -45,7 +55,10 @@ fn one_by_one_convolutions_throughout() {
         "three",
         input,
         5,
-        vec![ConvBlockSpec::new(vec![ConvLayerSpec::new(3, 8), ConvLayerSpec::new(3, 8)])],
+        vec![ConvBlockSpec::new(vec![
+            ConvLayerSpec::new(3, 8),
+            ConvLayerSpec::new(3, 8),
+        ])],
         vec![8],
     );
     let mut src = Network::seeded(&small, 32);
@@ -63,7 +76,10 @@ fn minimal_spatial_extent_survives_pooling() {
         "tiny-spatial",
         InputSpec::new(1, 4, 4),
         3,
-        vec![ConvBlockSpec::repeated(3, 2, 1), ConvBlockSpec::repeated(3, 4, 1)],
+        vec![
+            ConvBlockSpec::repeated(3, 2, 1),
+            ConvBlockSpec::repeated(3, 4, 1),
+        ],
         vec![6],
     );
     arch.validate().unwrap();
@@ -98,8 +114,14 @@ fn residual_and_plain_never_cross_morph() {
     let residual = Architecture::residual("r", input, 5, vec![ResBlockSpec::new(1, 4, 3)]);
     let p_net = Network::seeded(&plain, 34);
     let r_net = Network::seeded(&residual, 35);
-    assert!(matches!(morph_to(&p_net, &residual), Err(MorphError::NotExpandable { .. })));
-    assert!(matches!(morph_to(&r_net, &plain), Err(MorphError::NotExpandable { .. })));
+    assert!(matches!(
+        morph_to(&p_net, &residual),
+        Err(MorphError::NotExpandable { .. })
+    ));
+    assert!(matches!(
+        morph_to(&r_net, &plain),
+        Err(MorphError::NotExpandable { .. })
+    ));
 }
 
 #[test]
@@ -138,12 +160,15 @@ fn two_class_two_example_task_trains() {
         vec![4],
     );
     let cfg = EnsembleTrainConfig {
-        train: TrainConfig { max_epochs: 2, batch_size: 4, ..TrainConfig::default() },
+        train: TrainConfig {
+            max_epochs: 2,
+            batch_size: 4,
+            ..TrainConfig::default()
+        },
         val_fraction: 0.25,
         ..Default::default()
     };
-    let trained =
-        train_ensemble(&[arch], &task.train, &Strategy::FullData, &cfg).unwrap();
+    let trained = train_ensemble(&[arch], &task.train, &Strategy::FullData, &cfg).unwrap();
     assert_eq!(trained.members.len(), 1);
 }
 
@@ -152,10 +177,16 @@ fn snapshot_on_single_architecture() {
     let task = cifar10_sim(Scale::Tiny, 37);
     let arch = Architecture::mlp("solo", InputSpec::new(3, 8, 8), 10, vec![16]);
     let cfg = EnsembleTrainConfig {
-        train: TrainConfig { max_epochs: 4, ..TrainConfig::default() },
+        train: TrainConfig {
+            max_epochs: 4,
+            ..TrainConfig::default()
+        },
         ..Default::default()
     };
-    let strategy = Strategy::Snapshot(SnapshotStrategy { cycle_epochs: 2, min_lr_factor: 0.1 });
+    let strategy = Strategy::Snapshot(SnapshotStrategy {
+        cycle_epochs: 2,
+        min_lr_factor: 0.1,
+    });
     let trained = train_ensemble(&[arch], &task.train, &strategy, &cfg).unwrap();
     assert_eq!(trained.members.len(), 1);
     assert_eq!(trained.member_records[0].epochs, 2);
@@ -168,19 +199,19 @@ fn hatch_additional_rejects_incompatible_member() {
     let base = Architecture::mlp("base", input, 10, vec![16]);
     let strategy = MotherNetsStrategy::default();
     let cfg = EnsembleTrainConfig {
-        train: TrainConfig { max_epochs: 1, ..TrainConfig::default() },
+        train: TrainConfig {
+            max_epochs: 1,
+            ..TrainConfig::default()
+        },
         ..Default::default()
     };
-    let mut trained = train_ensemble(
-        &[base],
-        &task.train,
-        &Strategy::MotherNets(strategy),
-        &cfg,
-    )
-    .unwrap();
+    let mut trained =
+        train_ensemble(&[base], &task.train, &Strategy::MotherNets(strategy), &cfg).unwrap();
     // Smaller than the MotherNet: not hatchable.
     let smaller = Architecture::mlp("smaller", input, 10, vec![8]);
-    assert!(trained.hatch_additional(&smaller, &task.train, &strategy, &cfg).is_err());
+    assert!(trained
+        .hatch_additional(&smaller, &task.train, &strategy, &cfg)
+        .is_err());
     // Different family: not hatchable.
     let conv = Architecture::plain(
         "conv",
@@ -189,7 +220,9 @@ fn hatch_additional_rejects_incompatible_member() {
         vec![ConvBlockSpec::repeated(3, 4, 1)],
         vec![8],
     );
-    assert!(trained.hatch_additional(&conv, &task.train, &strategy, &cfg).is_err());
+    assert!(trained
+        .hatch_additional(&conv, &task.train, &strategy, &cfg)
+        .is_err());
     // Members unchanged after failed growth.
     assert_eq!(trained.members.len(), 1);
 }

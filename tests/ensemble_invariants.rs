@@ -13,7 +13,10 @@ fn trained_members(n: usize, seed: u64) -> (Vec<EnsembleMember>, mn_data::Synthe
     let task = cifar10_sim(Scale::Tiny, seed);
     let classes = task.train.num_classes();
     let input = InputSpec::new(3, 8, 8);
-    let cfg = TrainConfig { max_epochs: 3, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        max_epochs: 3,
+        ..TrainConfig::default()
+    };
     let members = (0..n)
         .map(|i| {
             let arch = Architecture::mlp(format!("m{i}"), input, classes, vec![16 + 4 * i]);
@@ -41,7 +44,10 @@ fn oracle_improves_monotonically_with_members() {
     let mut prev = f32::INFINITY;
     for k in 1..=5 {
         let err = mn_ensemble::combine::oracle_error(&preds.prefix(k), labels);
-        assert!(err <= prev + 1e-6, "oracle error rose at k={k}: {prev} -> {err}");
+        assert!(
+            err <= prev + 1e-6,
+            "oracle error rose at k={k}: {prev} -> {err}"
+        );
         prev = err;
     }
 }
@@ -52,8 +58,7 @@ fn super_learner_weights_form_a_distribution() {
     let (_, val) = train_val_split(&task.train, 0.2, 1);
     let test_preds = MemberPredictions::collect(&mut members, task.test.images(), 64);
     let val_preds = MemberPredictions::collect(&mut members, val.images(), 64);
-    let eval =
-        evaluate_predictions(&test_preds, task.test.labels(), &val_preds, val.labels());
+    let eval = evaluate_predictions(&test_preds, task.test.labels(), &val_preds, val.labels());
     let sum: f32 = eval.sl_weights.iter().sum();
     assert!((sum - 1.0).abs() < 1e-4);
     assert!(eval.sl_weights.iter().all(|&w| (0.0..=1.0).contains(&w)));

@@ -12,7 +12,10 @@ use mn_tensor::{max_abs_diff, PRESERVATION_TOLERANCE};
 use mothernets::construct::mothernet_of;
 
 fn train_briefly(net: &mut Network, task: &mn_data::SyntheticTask, epochs: usize) {
-    let cfg = TrainConfig { max_epochs: epochs, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        max_epochs: epochs,
+        ..TrainConfig::default()
+    };
     train(
         net,
         task.train.images(),
@@ -33,14 +36,20 @@ fn trained_plain_mothernet_transfers_its_accuracy() {
             "m1",
             input,
             classes,
-            vec![ConvBlockSpec::repeated(3, 8, 2), ConvBlockSpec::repeated(3, 16, 2)],
+            vec![
+                ConvBlockSpec::repeated(3, 8, 2),
+                ConvBlockSpec::repeated(3, 16, 2),
+            ],
             vec![48],
         ),
         Architecture::plain(
             "m2",
             input,
             classes,
-            vec![ConvBlockSpec::repeated(5, 6, 1), ConvBlockSpec::repeated(3, 24, 1)],
+            vec![
+                ConvBlockSpec::repeated(5, 6, 1),
+                ConvBlockSpec::repeated(3, 24, 1),
+            ],
             vec![64],
         ),
     ];
@@ -119,14 +128,20 @@ fn fine_tuning_a_hatched_member_does_not_regress_much() {
         "mother",
         input,
         classes,
-        vec![ConvBlockSpec::repeated(3, 6, 1), ConvBlockSpec::repeated(3, 12, 1)],
+        vec![
+            ConvBlockSpec::repeated(3, 6, 1),
+            ConvBlockSpec::repeated(3, 12, 1),
+        ],
         vec![32],
     );
     let big = Architecture::plain(
         "member",
         input,
         classes,
-        vec![ConvBlockSpec::repeated(3, 10, 2), ConvBlockSpec::repeated(3, 16, 2)],
+        vec![
+            ConvBlockSpec::repeated(3, 10, 2),
+            ConvBlockSpec::repeated(3, 16, 2),
+        ],
         vec![48],
     );
     let mut mother = Network::seeded(&small, 16);
@@ -135,7 +150,11 @@ fn fine_tuning_a_hatched_member_does_not_regress_much() {
 
     let mut hatched =
         morph_to_with(&mother, &big, &MorphOptions::with_noise(5e-3, 17)).expect("hatchable");
-    let cfg = TrainConfig { max_epochs: 3, lr: 0.015, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        max_epochs: 3,
+        lr: 0.015,
+        ..TrainConfig::default()
+    };
     train(
         &mut hatched,
         task.train.images(),

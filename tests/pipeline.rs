@@ -15,21 +15,30 @@ fn small_vgg_ensemble(classes: usize) -> Vec<Architecture> {
             "a",
             input,
             classes,
-            vec![ConvBlockSpec::repeated(3, 4, 1), ConvBlockSpec::repeated(3, 8, 1)],
+            vec![
+                ConvBlockSpec::repeated(3, 4, 1),
+                ConvBlockSpec::repeated(3, 8, 1),
+            ],
             vec![32],
         ),
         Architecture::plain(
             "b",
             input,
             classes,
-            vec![ConvBlockSpec::repeated(3, 6, 1), ConvBlockSpec::repeated(3, 8, 2)],
+            vec![
+                ConvBlockSpec::repeated(3, 6, 1),
+                ConvBlockSpec::repeated(3, 8, 2),
+            ],
             vec![32],
         ),
         Architecture::plain(
             "c",
             input,
             classes,
-            vec![ConvBlockSpec::repeated(5, 4, 1), ConvBlockSpec::repeated(3, 12, 1)],
+            vec![
+                ConvBlockSpec::repeated(5, 4, 1),
+                ConvBlockSpec::repeated(3, 12, 1),
+            ],
             vec![48],
         ),
     ]
@@ -37,7 +46,10 @@ fn small_vgg_ensemble(classes: usize) -> Vec<Architecture> {
 
 fn fast_cfg(seed: u64) -> EnsembleTrainConfig {
     EnsembleTrainConfig {
-        train: TrainConfig { max_epochs: 3, ..TrainConfig::default() },
+        train: TrainConfig {
+            max_epochs: 3,
+            ..TrainConfig::default()
+        },
         seed,
         parallel: true,
         ..Default::default()
@@ -52,7 +64,11 @@ fn all_three_strategies_produce_working_ensembles() {
     cfg.train.max_epochs = 8;
     let (_, val) = train_val_split(&task.train, cfg.val_fraction, cfg.seed);
 
-    for strategy in [Strategy::FullData, Strategy::Bagging, Strategy::mothernets()] {
+    for strategy in [
+        Strategy::FullData,
+        Strategy::Bagging,
+        Strategy::mothernets(),
+    ] {
         let mut trained =
             train_ensemble(&archs, &task.train, &strategy, &cfg).expect("train succeeds");
         assert_eq!(trained.members.len(), 3, "{strategy}: wrong member count");
@@ -66,17 +82,27 @@ fn all_three_strategies_produce_working_ensembles() {
             64,
         );
         // Errors are valid rates and the oracle lower-bounds everything.
-        for e in [eval.ea_error, eval.vote_error, eval.sl_error, eval.oracle_error] {
-            assert!((0.0..=1.0).contains(&e), "{strategy}: error {e} out of range");
+        for e in [
+            eval.ea_error,
+            eval.vote_error,
+            eval.sl_error,
+            eval.oracle_error,
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&e),
+                "{strategy}: error {e} out of range"
+            );
         }
         assert!(eval.oracle_error <= eval.ea_error + 1e-6);
         assert!(eval.oracle_error <= eval.vote_error + 1e-6);
         assert!(eval.oracle_error <= eval.sl_error + 1e-6);
-        assert!(
-            eval.oracle_error <= eval.member_errors.iter().cloned().fold(1.0, f32::min) + 1e-6
-        );
+        assert!(eval.oracle_error <= eval.member_errors.iter().cloned().fold(1.0, f32::min) + 1e-6);
         // Better than chance on a 10-class task (i.e. learned something).
-        assert!(eval.ea_error < 0.85, "{strategy}: EA error at chance: {}", eval.ea_error);
+        assert!(
+            eval.ea_error < 0.85,
+            "{strategy}: EA error at chance: {}",
+            eval.ea_error
+        );
     }
 }
 
@@ -85,8 +111,8 @@ fn mothernets_costs_include_mother_and_members() {
     let task = cifar10_sim(Scale::Tiny, 3);
     let archs = small_vgg_ensemble(task.train.num_classes());
     let cfg = fast_cfg(4);
-    let trained = train_ensemble(&archs, &task.train, &Strategy::mothernets(), &cfg)
-        .expect("train succeeds");
+    let trained =
+        train_ensemble(&archs, &task.train, &Strategy::mothernets(), &cfg).expect("train succeeds");
 
     assert!(!trained.mother_records.is_empty());
     let mother_cost: f64 = trained.mother_records.iter().map(|r| r.cost_units).sum();
@@ -114,8 +140,7 @@ fn mothernet_members_inherit_trained_function_before_fine_tuning() {
         ..Default::default()
     });
     let cfg = fast_cfg(6);
-    let mut trained =
-        train_ensemble(&archs, &task.train, &strategy, &cfg).expect("train succeeds");
+    let mut trained = train_ensemble(&archs, &task.train, &strategy, &cfg).expect("train succeeds");
 
     let clustering = trained.clustering.clone().expect("clustered");
     let probe = task.test.images();
@@ -151,7 +176,10 @@ fn mixed_family_ensembles_are_rejected() {
         ),
     ];
     let err = train_ensemble(&archs, &task.train, &Strategy::mothernets(), &fast_cfg(8));
-    assert!(matches!(err, Err(MotherNetsError::IncompatibleMembers { .. })));
+    assert!(matches!(
+        err,
+        Err(MotherNetsError::IncompatibleMembers { .. })
+    ));
     // But the baselines do not need a shared MotherNet.
     let ok = train_ensemble(&archs, &task.train, &Strategy::FullData, &fast_cfg(8));
     assert!(ok.is_ok());

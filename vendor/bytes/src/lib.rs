@@ -1,0 +1,121 @@
+//! Offline stand-in for the [`bytes`](https://crates.io/crates/bytes)
+//! crate: the little-endian cursor subset used by the checkpoint format in
+//! `mn-nn` (see `vendor/README.md` for the vendoring policy).
+//!
+//! [`Buf`] is implemented for `&[u8]` (reading advances the slice) and
+//! [`BufMut`] for `Vec<u8>` (writing appends), which matches how the
+//! upstream crate implements these traits for the same types.
+
+/// Sequential little-endian reads from a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Whether any bytes are left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copies `dst.len()` bytes out, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads a little-endian `u32`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "buffer underflow: need {} bytes, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Sequential little-endian writes to a growable byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_u32_f32() {
+        let mut out = Vec::new();
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_f32_le(1.5);
+        out.put_slice(b"xy");
+
+        let mut cursor: &[u8] = &out;
+        assert_eq!(cursor.remaining(), 10);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_f32_le(), 1.5);
+        let mut tail = [0u8; 2];
+        cursor.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xy");
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn short_read_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        let _ = cursor.get_u32_le();
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut out = Vec::new();
+        out.put_u32_le(1);
+        assert_eq!(out, vec![1, 0, 0, 0]);
+    }
+}

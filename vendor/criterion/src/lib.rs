@@ -1,0 +1,195 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion)
+//! (see `vendor/README.md` for the vendoring policy).
+//!
+//! Keeps the bench-target source shape (`criterion_group!` /
+//! `criterion_main!` / `Criterion` / `Bencher`) while replacing the
+//! statistical machinery with a simple adaptive wall-clock loop: each
+//! benchmark warms up once, then runs until it has accumulated
+//! ~`MEASURE_MS` of samples (capped), and reports the mean ns/iteration
+//! to stdout. Good enough to compare hot-path changes locally; not a
+//! substitute for upstream criterion's outlier analysis.
+
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u64 = 2;
+const MEASURE_MS: u64 = 120;
+const MAX_ITERS: u64 = 100_000;
+
+/// Batch sizing hints for [`Bencher::iter_batched`] (accepted for source
+/// compatibility; this shim sets up one input per measured call either
+/// way).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&name);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, name.into());
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        bencher.report(&label);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; this shim reports
+    /// eagerly, so it is a no-op kept for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Measures a closure's wall-clock time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Benchmarks `routine`, timing every call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let budget = Duration::from_millis(MEASURE_MS);
+        while self.total < budget && self.iters < MAX_ITERS {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; only `routine`
+    /// is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine(setup()));
+        }
+        let budget = Duration::from_millis(MEASURE_MS);
+        while self.total < budget && self.iters < MAX_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("bench {name:<50} (no measurements)");
+            return;
+        }
+        let ns_per_iter = self.total.as_nanos() as f64 / self.iters as f64;
+        println!(
+            "bench {name:<50} {:>14.1} ns/iter  ({} iters)",
+            ns_per_iter, self.iters
+        );
+    }
+}
+
+/// Defines a function running a list of benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` for a bench target from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_chains() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1))
+            .bench_function("alloc", |b| b.iter(|| vec![0u8; 16]));
+    }
+
+    #[test]
+    fn groups_and_batched_iteration_work() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(sample_group, sample_bench);
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sample", |b| b.iter(|| std::hint::black_box(3 * 7)));
+    }
+
+    #[test]
+    fn macro_generated_group_runs() {
+        sample_group();
+    }
+}

@@ -1,0 +1,394 @@
+//! Offline stand-in for [`proptest`](https://proptest-rs.github.io/proptest)
+//! (see `vendor/README.md` for the vendoring policy).
+//!
+//! Implements the subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` and
+//!   `arg in strategy` bindings;
+//! * [`Strategy`] with [`Strategy::prop_map`], implemented for integer and
+//!   float ranges, tuples of strategies, [`collection::vec`], and
+//!   [`bool::ANY`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Differences from upstream, deliberate for an offline shim: case
+//! generation is purely random (no edge-case biasing) from a fixed
+//! per-case seed, so runs are deterministic and reproducible, and there is
+//! **no shrinking** — a failing case panics with the ordinary assertion
+//! message. `prop_assume!` skips the current case rather than resampling,
+//! so the effective case count can be lower than configured when
+//! assumptions reject cases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy};
+}
+
+/// Per-test configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Returns the deterministic generator for one test case.
+///
+/// Every `proptest!` body receives a generator seeded only by the case
+/// index, so failures reproduce exactly across runs and machines.
+pub fn test_rng(case: u32) -> StdRng {
+    StdRng::seed_from_u64(
+        0x9E37_79B9_7F4A_7C15 ^ (case as u64 + 1).wrapping_mul(0xD129_0464_9574_9A4D),
+    )
+}
+
+/// A source of random values of an associated type.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                // Sampled as an inclusive range end-to-end: computing
+                // `end + 1` here would overflow for `..=MAX`.
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+pub mod bool {
+    //! Boolean strategies.
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A fair-coin boolean strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A length specification: a fixed size or a half-open range.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element`-generated values with a
+    /// length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// The attribute list is caller-supplied, so the same macro also defines
+/// plain functions (as this doctest does, where `#[test]` would not run):
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     fn sum_is_commutative(a in 0usize..100, b in 0usize..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+///
+/// sum_is_commutative();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_rng(__case);
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    // The case body runs in a closure so `prop_assume!`
+                    // can skip the rest of the case with `return`.
+                    let mut __case_fn = || $body;
+                    __case_fn();
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Skips the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::Strategy;
+
+    #[test]
+    fn ranges_generate_in_bounds() {
+        let mut rng = crate::test_rng(0);
+        for _ in 0..200 {
+            let v = (3usize..10).generate(&mut rng);
+            assert!((3..10).contains(&v));
+            let f = (-2.0f32..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_covers_full_domain_without_overflow() {
+        let mut rng = crate::test_rng(3);
+        let mut hit_max = false;
+        for _ in 0..2000 {
+            let v = (250u8..=u8::MAX).generate(&mut rng);
+            assert!(v >= 250);
+            hit_max |= v == u8::MAX;
+        }
+        assert!(hit_max, "inclusive upper bound was never sampled");
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut rng = crate::test_rng(1);
+        let s = crate::collection::vec(0usize..5, 2..8);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..8).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+        let fixed = crate::collection::vec(0usize..5, 3);
+        assert_eq!(fixed.generate(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let mut rng = crate::test_rng(2);
+        let s = (1usize..4, 2usize..10).prop_map(|(a, b)| a * 100 + b);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((100..400).contains(&v));
+            assert!((2..10).contains(&(v % 100)));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let s = crate::collection::vec(0usize..1000, 5..20);
+        let a = s.generate(&mut crate::test_rng(7));
+        let b = s.generate(&mut crate::test_rng(7));
+        assert_eq!(a, b);
+        let c = s.generate(&mut crate::test_rng(8));
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_and_asserts(a in 0usize..50, b in 0usize..50) {
+            prop_assume!(a != b);
+            prop_assert!(a + b < 100);
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn bool_any_generates(flag in crate::bool::ANY, n in 0usize..4) {
+            prop_assert!(n < 4);
+            let _ = flag;
+        }
+    }
+}

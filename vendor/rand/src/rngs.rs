@@ -1,0 +1,41 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard deterministic generator.
+///
+/// SplitMix64 (Steele, Lea & Flood 2014): a 64-bit-state generator with a
+/// full 2^64 period that passes BigCrush. Unlike upstream `rand`'s
+/// ChaCha12-backed `StdRng` it is trivially portable and dependency-free,
+/// which is what this offline workspace needs; the contract that matters —
+/// same seed, same stream — is identical.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        StdRng { state }
+    }
+}
+
+/// The generator returned by [`crate::thread_rng`].
+#[derive(Clone, Debug)]
+pub struct ThreadRng(pub(crate) StdRng);
+
+impl RngCore for ThreadRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -1,0 +1,56 @@
+//! Sequence utilities: in-place shuffling.
+
+use crate::Rng;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_is_seed_deterministic() {
+        let mut a: Vec<usize> = (0..20).collect();
+        let mut b: Vec<usize> = (0..20).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(8));
+        b.shuffle(&mut StdRng::seed_from_u64(8));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shuffle_moves_something() {
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(9));
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+}

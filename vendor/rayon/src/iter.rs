@@ -1,0 +1,89 @@
+//! The `par_iter().map().collect()` pipeline.
+
+/// Types whose contents can be iterated in parallel by reference.
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed item type.
+    type Item: 'data;
+
+    /// Returns a parallel iterator over borrowed items.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Maps each item through `f` (in parallel at collect time).
+    pub fn map<F, R>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The mapped pipeline; work runs when [`ParMap::collect`] is called.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, F> ParMap<'data, T, F> {
+    /// Runs the map across scoped threads and collects results in input
+    /// order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let threads = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let chunk = n.div_ceil(threads);
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for (item_chunk, slot_chunk) in self.items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (item, slot) in item_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        *slot = Some(f(item));
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker thread filled every slot"))
+            .collect()
+    }
+}

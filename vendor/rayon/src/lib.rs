@@ -1,0 +1,65 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon)
+//! crate (see `vendor/README.md` for the vendoring policy).
+//!
+//! Supports the one pattern the workspace uses —
+//! `slice.par_iter().map(f).collect()` — with genuine parallelism: the
+//! input is chunked across `std::thread::scope` threads (one per available
+//! core, capped by item count) and results are collected in input order.
+//! There is no work-stealing; ensemble-member training jobs are
+//! coarse-grained enough that static chunking is an even split.
+
+pub mod iter;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collects_in_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, items.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_collects_empty() {
+        let items: Vec<usize> = Vec::new();
+        let out: Vec<usize> = items.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_works() {
+        let items = [41usize];
+        let out: Vec<usize> = items.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..64).collect();
+        let _: Vec<()> = items
+            .par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        let threads = seen.lock().unwrap().len();
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores > 1 {
+            assert!(threads > 1, "expected >1 worker threads, saw {threads}");
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate (see
+//! `vendor/README.md` for the vendoring policy).
+//!
+//! Upstream serde abstracts over data formats with a visitor-based
+//! serializer model. This workspace serializes to exactly one format —
+//! JSON files written by `mn-bench` — so the shim collapses the model to a
+//! concrete JSON-shaped [`Value`] tree:
+//!
+//! * [`Serialize`] renders `Self` into a [`Value`];
+//! * [`Deserialize`] rebuilds `Self` from a borrowed [`Value`];
+//! * `#[derive(Serialize, Deserialize)]` (re-exported from the sibling
+//!   `serde_derive` shim) wires named-field structs and unit/named enums
+//!   using serde's externally-tagged conventions, so the JSON emitted here
+//!   matches what upstream serde_json would emit for the same types.
+//!
+//! The `serde_json` shim adds the text encoding/decoding on top.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON-shaped tree.
+///
+/// Object keys keep insertion order (a `Vec` of pairs, not a map): output
+/// field order then matches declaration order, like upstream serde_json.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers survive up to 2^53).
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON array.
+    Arr(Vec<Value>),
+    /// A JSON object, in insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key, if this is an `Obj`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// A deserialization error with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with a caller-supplied message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X, found Y" for a value of the wrong shape.
+    pub fn type_mismatch(expected: &str, found: &Value) -> Self {
+        DeError(format!("expected {expected}, found {}", found.kind()))
+    }
+
+    /// An unrecognized enum variant tag.
+    pub fn unknown_variant(enum_name: &str, tag: &str) -> Self {
+        DeError(format!("unknown variant `{tag}` for enum {enum_name}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a [`Value`] tree.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+///
+/// The lifetime parameter exists only so `for<'de> Deserialize<'de>`
+/// bounds written against upstream serde keep compiling; this shim never
+/// borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] naming the first shape mismatch.
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Extracts and deserializes a struct field (used by generated code).
+///
+/// # Errors
+///
+/// Fails if `v` is not an object, the field is missing, or the field's
+/// value does not deserialize as `T`.
+pub fn __field<'de, T: Deserialize<'de>>(v: &Value, name: &str) -> Result<T, DeError> {
+    match v {
+        Value::Obj(_) => match v.get(name) {
+            Some(field) => {
+                T::deserialize_value(field).map_err(|e| DeError(format!("field `{name}`: {e}")))
+            }
+            None => Err(DeError(format!("missing field `{name}`"))),
+        },
+        other => Err(DeError::type_mismatch("object", other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Impls for primitives and std containers
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(DeError::type_mismatch("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::type_mismatch("array", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(x) => x.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_round_trips() {
+        let v = vec![1usize, 2, 3];
+        let val = v.serialize_value();
+        assert_eq!(
+            val,
+            Value::Arr(vec![Value::Num(1.0), Value::Num(2.0), Value::Num(3.0)])
+        );
+        let back: Vec<usize> = Deserialize::deserialize_value(&val).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn field_lookup_reports_missing() {
+        let obj = Value::Obj(vec![("a".into(), Value::Num(1.0))]);
+        let got: Result<usize, _> = __field(&obj, "a");
+        assert_eq!(got, Ok(1));
+        let missing: Result<usize, _> = __field(&obj, "b");
+        assert!(missing
+            .unwrap_err()
+            .to_string()
+            .contains("missing field `b`"));
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(None::<usize>.serialize_value(), Value::Null);
+        let back: Option<usize> = Deserialize::deserialize_value(&Value::Null).unwrap();
+        assert_eq!(back, None);
+        let back: Option<usize> = Deserialize::deserialize_value(&Value::Num(3.0)).unwrap();
+        assert_eq!(back, Some(3));
+    }
+
+    #[test]
+    fn type_mismatch_is_descriptive() {
+        let err = <bool as Deserialize>::deserialize_value(&Value::Num(1.0)).unwrap_err();
+        assert_eq!(err.to_string(), "expected bool, found number");
+    }
+}

@@ -1,0 +1,339 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Upstream serde's derives ride on `syn`/`quote`; neither is available in
+//! this offline workspace, so this crate parses the derive input token
+//! stream by hand. It supports exactly the shapes this workspace derives:
+//!
+//! * structs with named fields (no generics),
+//! * enums whose variants are unit or have named fields.
+//!
+//! Anything else panics at compile time with a descriptive message, which
+//! is the correct failure mode for a build-environment shim.
+//!
+//! The generated impls target the data model of the sibling `serde` shim:
+//! `Serialize::serialize_value(&self) -> serde::Value` and
+//! `Deserialize::deserialize_value(&serde::Value) -> Result<Self, _>`,
+//! using serde's external JSON conventions (struct -> object, unit variant
+//! -> string, struct variant -> single-key object).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        /// `(variant, named fields)`; an empty field list is a unit variant.
+        variants: Vec<(String, Vec<String>)>,
+    },
+}
+
+/// Derives `serde::Serialize` for a named-field struct or a unit/named
+/// enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct or a unit/named
+/// enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.clone(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde_derive shim: generic type `{name}` is not supported")
+        }
+        other => panic!(
+            "serde_derive shim: `{name}` must have a braced body (tuple/unit \
+             types unsupported), found {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde_derive: expected struct or enum, found `{other}`"),
+    }
+}
+
+/// Advances past leading `#[...]` attributes and a `pub` / `pub(...)`
+/// visibility qualifier.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` from a braced field/variant body, returning
+/// the field names. Type tokens are skipped, tracking `<...>` depth so a
+/// comma between generic arguments is not taken as a field separator.
+fn parse_named_fields(body: &Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!(
+                "serde_derive shim: tuple fields unsupported (field `{name}`, \
+                 found {other:?})"
+            ),
+        }
+        let mut angle_depth = 0usize;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+fn parse_variants(body: &Group) -> Vec<(String, Vec<String>)> {
+    let tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple variant `{name}` unsupported")
+            }
+            _ => Vec::new(),
+        };
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                panic!("serde_derive shim: discriminant on variant `{name}` unsupported")
+            }
+            None => {}
+            other => panic!("serde_derive shim: unexpected token after `{name}`: {other:?}"),
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Emits the `("field", serialize(&expr))` pairs of an object literal.
+fn field_pairs(out: &mut String, fields: &[String], access_prefix: &str) {
+    for f in fields {
+        out.push_str("(::std::string::String::from(\"");
+        out.push_str(f);
+        out.push_str("\"), ::serde::Serialize::serialize_value(");
+        out.push_str(access_prefix);
+        out.push_str(f);
+        out.push_str(")),\n");
+    }
+}
+
+fn gen_struct_serialize(name: &str, fields: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("#[automatically_derived]\nimpl ::serde::Serialize for ");
+    out.push_str(name);
+    out.push_str(
+        " {\nfn serialize_value(&self) -> ::serde::Value {\n::serde::Value::Obj(::std::vec![\n",
+    );
+    field_pairs(&mut out, fields, "&self.");
+    out.push_str("])\n}\n}\n");
+    out
+}
+
+fn gen_enum_serialize(name: &str, variants: &[(String, Vec<String>)]) -> String {
+    let mut out = String::new();
+    out.push_str("#[automatically_derived]\nimpl ::serde::Serialize for ");
+    out.push_str(name);
+    out.push_str(" {\nfn serialize_value(&self) -> ::serde::Value {\nmatch self {\n");
+    for (variant, fields) in variants {
+        if fields.is_empty() {
+            out.push_str(name);
+            out.push_str("::");
+            out.push_str(variant);
+            out.push_str(" => ::serde::Value::Str(::std::string::String::from(\"");
+            out.push_str(variant);
+            out.push_str("\")),\n");
+        } else {
+            out.push_str(name);
+            out.push_str("::");
+            out.push_str(variant);
+            out.push_str(" { ");
+            out.push_str(&fields.join(", "));
+            out.push_str(" } => ::serde::Value::Obj(::std::vec![(\n");
+            out.push_str("::std::string::String::from(\"");
+            out.push_str(variant);
+            out.push_str("\"),\n::serde::Value::Obj(::std::vec![\n");
+            field_pairs(&mut out, fields, "");
+            out.push_str("]),\n)]),\n");
+        }
+    }
+    out.push_str("}\n}\n}\n");
+    out
+}
+
+/// Emits `field: ::serde::__field(src, "field")?,` initializers.
+fn field_inits(out: &mut String, fields: &[String], src: &str) {
+    for f in fields {
+        out.push_str(f);
+        out.push_str(": ::serde::__field(");
+        out.push_str(src);
+        out.push_str(", \"");
+        out.push_str(f);
+        out.push_str("\")?,\n");
+    }
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("#[automatically_derived]\nimpl<'de> ::serde::Deserialize<'de> for ");
+    out.push_str(name);
+    out.push_str(" {\nfn deserialize_value(v: &::serde::Value) -> ");
+    out.push_str("::std::result::Result<Self, ::serde::DeError> {\n");
+    out.push_str("::std::result::Result::Ok(");
+    out.push_str(name);
+    out.push_str(" {\n");
+    field_inits(&mut out, fields, "v");
+    out.push_str("})\n}\n}\n");
+    out
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[(String, Vec<String>)]) -> String {
+    let mut out = String::new();
+    out.push_str("#[automatically_derived]\nimpl<'de> ::serde::Deserialize<'de> for ");
+    out.push_str(name);
+    out.push_str(" {\nfn deserialize_value(v: &::serde::Value) -> ");
+    out.push_str("::std::result::Result<Self, ::serde::DeError> {\n");
+    out.push_str("match v {\n");
+
+    // Unit variants deserialize from a bare string.
+    out.push_str("::serde::Value::Str(tag) => match tag.as_str() {\n");
+    for (variant, fields) in variants {
+        if fields.is_empty() {
+            out.push('"');
+            out.push_str(variant);
+            out.push_str("\" => ::std::result::Result::Ok(");
+            out.push_str(name);
+            out.push_str("::");
+            out.push_str(variant);
+            out.push_str("),\n");
+        }
+    }
+    out.push_str("other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"");
+    out.push_str(name);
+    out.push_str("\", other)),\n},\n");
+
+    // Struct variants deserialize from a single-key object.
+    out.push_str(
+        "::serde::Value::Obj(pairs) if pairs.len() == 1 => {\nlet (tag, inner) = &pairs[0];\n\
+         match tag.as_str() {\n",
+    );
+    for (variant, fields) in variants {
+        if !fields.is_empty() {
+            out.push('"');
+            out.push_str(variant);
+            out.push_str("\" => ::std::result::Result::Ok(");
+            out.push_str(name);
+            out.push_str("::");
+            out.push_str(variant);
+            out.push_str(" {\n");
+            field_inits(&mut out, fields, "inner");
+            out.push_str("}),\n");
+        }
+    }
+    out.push_str("other => ::std::result::Result::Err(::serde::DeError::unknown_variant(\"");
+    out.push_str(name);
+    out.push_str("\", other)),\n}\n},\n");
+
+    out.push_str("_ => ::std::result::Result::Err(::serde::DeError::type_mismatch(\"");
+    out.push_str(name);
+    out.push_str(" variant\", v)),\n}\n}\n}\n");
+    out
+}
