@@ -20,6 +20,23 @@ fn bench_matmul(c: &mut Criterion) {
     });
 }
 
+fn bench_matmul_blocked_vs_reference(c: &mut Criterion) {
+    // The headline blocked-GEMM comparison (the `kernels` bin reports the
+    // same pair as JSON): register-tiled + parallel bands vs the naive
+    // triple loop at 256^3.
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Tensor::randn([256, 256], 1.0, &mut rng);
+    let b = Tensor::randn([256, 256], 1.0, &mut rng);
+    let mut group = c.benchmark_group("matmul_256");
+    group.bench_function("blocked", |bench| {
+        bench.iter(|| black_box(ops::matmul(black_box(&a), black_box(&b))))
+    });
+    group.bench_function("reference", |bench| {
+        bench.iter(|| black_box(ops::reference::matmul(black_box(&a), black_box(&b))))
+    });
+    group.finish();
+}
+
 fn bench_conv(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let input = Tensor::randn([32, 16, 8, 8], 1.0, &mut rng);
@@ -78,6 +95,7 @@ fn bench_softmax(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_matmul,
+    bench_matmul_blocked_vs_reference,
     bench_conv,
     bench_conv_formulations,
     bench_softmax

@@ -1,0 +1,54 @@
+//! Kernel/engine speedup harness:
+//!
+//! ```text
+//! cargo run --release -p mn-bench --bin kernels [-- --reps N] [--out DIR]
+//! ```
+//!
+//! Measures the blocked matmul and the batched ensemble inference engine
+//! against their naive baselines, prints a table, and saves
+//! `<out>/kernels.json` (default `results/`).
+
+use std::path::PathBuf;
+
+use mn_bench::kernels;
+use mn_bench::report::save_json;
+
+fn main() {
+    let mut reps = 15usize;
+    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--reps needs a positive integer"));
+            }
+            "--out" => {
+                out_dir = args
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| panic!("--out needs a directory"));
+            }
+            other => panic!("unknown argument {other:?} (expected --reps N / --out DIR)"),
+        }
+    }
+
+    println!(
+        "kernel bench: {reps} reps, {} worker thread(s)\n",
+        rayon::current_num_threads()
+    );
+    let result = kernels::run(reps);
+    print!("{}", result.table());
+    save_json(&out_dir, "kernels", &result);
+
+    let matmul = result.get("matmul_256").expect("matmul comparison present");
+    let infer = result
+        .get("ensemble_infer_8x64")
+        .expect("ensemble comparison present");
+    println!(
+        "\nmatmul 256^3: {:.2}x over naive; 8-member inference: {:.2}x over one-by-one",
+        matmul.speedup, infer.speedup
+    );
+}

@@ -1,0 +1,248 @@
+//! Kernel- and engine-level speedup measurements (the "BENCH json"
+//! numbers backing the performance-layer claims).
+//!
+//! The headline comparisons:
+//!
+//! * **matmul** — the blocked, register-tiled [`mn_tensor::ops::matmul`]
+//!   vs the naive [`mn_tensor::ops::reference::matmul`] on a
+//!   256×256×256 product;
+//! * **conv layer** — im2col + blocked GEMM vs the direct (pre-PR)
+//!   kernel on a representative VGG-style layer shape;
+//! * **ensemble inference** — the batched parallel
+//!   [`mn_ensemble::InferenceEngine`] vs the naive path — members run
+//!   one-by-one on a single thread with the pre-PR direct convolution
+//!   formulation and no workspace reuse — on an 8-member convolutional
+//!   ensemble.
+//!
+//! Run via `cargo run --release -p mn-bench --bin kernels` — prints a
+//! table and saves `results/kernels.json`.
+
+use std::time::Instant;
+
+use mn_ensemble::{EnsembleMember, InferenceEngine, MemberPredictions};
+use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
+use mn_nn::layers::ConvFormulation;
+use mn_nn::{LayerNode, Network};
+use mn_tensor::{conv, im2col, ops, Tensor, Workspace};
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::report::render_table;
+
+/// One timed comparison: a baseline implementation vs its optimized
+/// replacement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelComparison {
+    /// What is being measured.
+    pub name: String,
+    /// Baseline (naive path) milliseconds per call, median over reps.
+    pub baseline_ms: f64,
+    /// Optimized path milliseconds per call, median over reps.
+    pub optimized_ms: f64,
+    /// `baseline_ms / optimized_ms`.
+    pub speedup: f64,
+}
+
+/// The full kernel-bench report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct KernelBenchResult {
+    /// Worker threads available to the parallel paths.
+    pub threads: usize,
+    /// All comparisons, in measurement order.
+    pub comparisons: Vec<KernelComparison>,
+}
+
+impl KernelBenchResult {
+    /// Looks up a comparison by name.
+    pub fn get(&self, name: &str) -> Option<&KernelComparison> {
+        self.comparisons.iter().find(|c| c.name == name)
+    }
+
+    /// Renders the report as a fixed-width table.
+    pub fn table(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .comparisons
+            .iter()
+            .map(|c| {
+                vec![
+                    c.name.clone(),
+                    format!("{:.3}", c.baseline_ms),
+                    format!("{:.3}", c.optimized_ms),
+                    format!("{:.2}x", c.speedup),
+                ]
+            })
+            .collect();
+        render_table(
+            &["comparison", "baseline ms", "optimized ms", "speedup"],
+            &rows,
+        )
+    }
+}
+
+/// Median wall-clock milliseconds of `reps` calls to `f` (after one
+/// warm-up call).
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: page in buffers, fill workspaces
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1000.0
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn compare(
+    name: &str,
+    reps: usize,
+    baseline: impl FnMut(),
+    optimized: impl FnMut(),
+) -> KernelComparison {
+    let baseline_ms = median_ms(reps, baseline);
+    let optimized_ms = median_ms(reps, optimized);
+    KernelComparison {
+        name: name.to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms.max(1e-9),
+    }
+}
+
+/// Forces every convolution in a network onto `formulation` (the
+/// benchmark's lever for reproducing the pre-PR direct-kernel path).
+pub fn force_conv_formulation(net: &mut Network, formulation: ConvFormulation) {
+    for node in net.nodes_mut() {
+        match node {
+            LayerNode::Conv(l) => l.set_formulation(formulation),
+            LayerNode::Residual(r) => {
+                r.conv1.set_formulation(formulation);
+                r.conv2.set_formulation(formulation);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The 8-member convolutional ensemble the inference comparison serves.
+pub fn bench_ensemble_members() -> Vec<EnsembleMember> {
+    let input = InputSpec::new(3, 8, 8);
+    (0..8u64)
+        .map(|s| {
+            let arch = Architecture::plain(
+                format!("m{s}"),
+                input,
+                10,
+                vec![
+                    ConvBlockSpec::repeated(3, 8 + (s as usize % 3) * 2, 1),
+                    ConvBlockSpec::repeated(3, 16, 1),
+                ],
+                vec![32],
+            );
+            EnsembleMember::new(format!("m{s}"), Network::seeded(&arch, s))
+        })
+        .collect()
+}
+
+/// Runs every comparison and returns the report.
+pub fn run(reps: usize) -> KernelBenchResult {
+    let mut comparisons = Vec::new();
+
+    // --- matmul: 256x256x256, blocked vs naive ---
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let a = Tensor::randn([256, 256], 1.0, &mut rng);
+    let b = Tensor::randn([256, 256], 1.0, &mut rng);
+    comparisons.push(compare(
+        "matmul_256",
+        reps,
+        || {
+            std::hint::black_box(ops::reference::matmul(&a, &b));
+        },
+        || {
+            std::hint::black_box(ops::matmul(&a, &b));
+        },
+    ));
+
+    // --- conv layer formulation: direct (pre-PR) vs im2col + GEMM ---
+    let input = Tensor::randn([32, 16, 8, 8], 1.0, &mut rng);
+    let weight = Tensor::randn([16, 16, 3, 3], 1.0, &mut rng);
+    let cbias = Tensor::zeros([16]);
+    let mut conv_ws = Workspace::new();
+    comparisons.push(compare(
+        "conv3x3_c16_b32",
+        reps,
+        || {
+            std::hint::black_box(conv::conv2d_forward(&input, &weight, &cbias, 1));
+        },
+        || {
+            let y = im2col::conv2d_forward_im2col_ws(&input, &weight, &cbias, 1, &mut conv_ws);
+            conv_ws.release(std::hint::black_box(y));
+        },
+    ));
+
+    // --- 8-member ensemble inference over a 64-example request batch ---
+    let x = Tensor::randn([64, 3, 8, 8], 1.0, &mut rng);
+    let single_thread = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("pool builds");
+    let mut naive_members = bench_ensemble_members();
+    for m in naive_members.iter_mut() {
+        force_conv_formulation(&mut m.network, ConvFormulation::Direct);
+    }
+    let mut engine = InferenceEngine::new(bench_ensemble_members(), 32);
+    comparisons.push(compare(
+        "ensemble_infer_8x64",
+        reps,
+        || {
+            // Naive path: one core, members one-by-one, direct-formulation
+            // convolutions, fresh allocations per call.
+            single_thread.install(|| {
+                std::hint::black_box(MemberPredictions::collect(&mut naive_members, &x, 32));
+            });
+        },
+        || {
+            std::hint::black_box(engine.predict(&x));
+        },
+    ));
+
+    KernelBenchResult {
+        threads: rayon::current_num_threads(),
+        comparisons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_and_renders() {
+        let result = KernelBenchResult {
+            threads: 2,
+            comparisons: vec![KernelComparison {
+                name: "matmul_256".into(),
+                baseline_ms: 2.0,
+                optimized_ms: 0.5,
+                speedup: 4.0,
+            }],
+        };
+        let json = serde_json::to_string(&result).unwrap();
+        let back: KernelBenchResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("matmul_256").unwrap().speedup, 4.0);
+        assert!(back.get("absent").is_none());
+        assert!(result.table().contains("4.00x"));
+    }
+
+    #[test]
+    fn smoke_run_produces_positive_timings() {
+        // One rep keeps this cheap; the real numbers come from the bin.
+        let result = run(1);
+        assert_eq!(result.comparisons.len(), 3);
+        for c in &result.comparisons {
+            assert!(c.baseline_ms > 0.0 && c.optimized_ms > 0.0, "{c:?}");
+            assert!(c.speedup.is_finite());
+        }
+    }
+}

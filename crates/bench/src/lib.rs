@@ -8,6 +8,8 @@
 //!   (Table 1 VGG variants, 100-variant V16 family, the 25-net ResNet
 //!   ladder);
 //! * [`experiments`] — one runner per table/figure;
+//! * [`kernels`] — kernel/engine speedup measurements vs their naive
+//!   baselines (`cargo run -p mn-bench --release --bin kernels`);
 //! * [`report`] — JSON persistence and text tables.
 //!
 //! Run experiments with the `reproduce` binary:
@@ -22,5 +24,6 @@
 //! construction/clustering cost, and per-epoch training cost.
 
 pub mod experiments;
+pub mod kernels;
 pub mod report;
 pub mod zoo;

@@ -1,0 +1,227 @@
+//! [`InferenceEngine`]: batched, parallel ensemble inference.
+//!
+//! Serving an ensemble means paying the "combine many members per query"
+//! cost on every request. The naive loop — run each member over the batch,
+//! one after another, reallocating every activation — wastes both the
+//! machine's cores and its allocator. The engine fixes both:
+//!
+//! * **Parallel member fan-out.** Each member lives in a [`Worker`]
+//!   (member + private [`Workspace`]); a request batch is fanned across
+//!   workers with rayon, so independent members run on independent cores.
+//! * **Workspace reuse.** Every worker keeps its workspace across
+//!   requests, so steady-state serving stops allocating activations,
+//!   mini-batches, and im2col scratch (the GEMM's internal
+//!   operand-packing buffers are the remaining per-call allocations).
+//! * **Existing combine machinery.** Results stream into
+//!   [`MemberPredictions`], so every combination rule the paper evaluates
+//!   (EA / Voting / Super Learner / Oracle — see [`crate::combine`] and
+//!   [`crate::super_learner`]) applies unchanged.
+//!
+//! ## Determinism
+//!
+//! Engine output is bitwise identical across thread counts and across
+//! runs: members are independent, each worker's forward pass is
+//! sequential over its mini-batches, and every tensor kernel underneath
+//! partitions work over disjoint output regions with a fixed per-element
+//! accumulation order. The `engine_determinism` integration suite pins
+//! this property.
+//!
+//! ## Example
+//!
+//! ```
+//! use mn_ensemble::engine::InferenceEngine;
+//! use mn_ensemble::EnsembleMember;
+//! use mn_nn::arch::{Architecture, InputSpec};
+//! use mn_nn::Network;
+//! use mn_tensor::Tensor;
+//!
+//! let arch = Architecture::mlp("m", InputSpec::new(1, 2, 2), 3, vec![4]);
+//! let members: Vec<EnsembleMember> = (0..4)
+//!     .map(|s| EnsembleMember::new(format!("m{s}"), Network::seeded(&arch, s)))
+//!     .collect();
+//! let mut engine = InferenceEngine::new(members, 32);
+//! let x = Tensor::zeros([5, 1, 2, 2]);
+//! let labels = engine.predict_labels(&x);
+//! assert_eq!(labels.len(), 5);
+//! ```
+
+use mn_tensor::{ops, Tensor, Workspace};
+
+use rayon::prelude::*;
+
+use crate::combine;
+use crate::member::{EnsembleMember, MemberPredictions};
+
+/// One ensemble member plus its private inference scratch.
+#[derive(Debug)]
+struct Worker {
+    member: EnsembleMember,
+    workspace: Workspace,
+}
+
+/// A batched parallel inference engine over a fixed ensemble.
+#[derive(Debug)]
+pub struct InferenceEngine {
+    workers: Vec<Worker>,
+    batch_size: usize,
+}
+
+impl InferenceEngine {
+    /// Builds an engine that runs each member in mini-batches of
+    /// `batch_size` examples (clamped to at least 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty.
+    pub fn new(members: Vec<EnsembleMember>, batch_size: usize) -> Self {
+        assert!(
+            !members.is_empty(),
+            "inference engine needs at least one member"
+        );
+        InferenceEngine {
+            workers: members
+                .into_iter()
+                .map(|member| Worker {
+                    member,
+                    workspace: Workspace::new(),
+                })
+                .collect(),
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// Number of ensemble members.
+    pub fn num_members(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Mini-batch size used per member.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Member names, in engine order.
+    pub fn member_names(&self) -> Vec<&str> {
+        self.workers
+            .iter()
+            .map(|w| w.member.name.as_str())
+            .collect()
+    }
+
+    /// Runs every member over the request batch `x: [N, C, H, W]` in
+    /// parallel and collects per-member probabilities.
+    ///
+    /// An empty batch (`N = 0`) is legal and yields `[0, K]` predictions.
+    pub fn predict(&mut self, x: &Tensor) -> MemberPredictions {
+        let bs = self.batch_size;
+        let probs: Vec<Tensor> = self
+            .workers
+            .par_iter_mut()
+            .map(|w| w.member.predict_proba_with(x, bs, &mut w.workspace))
+            .collect();
+        MemberPredictions::from_probs(probs)
+    }
+
+    /// Ensemble-averaged probabilities `[N, K]` for the request batch.
+    pub fn predict_average(&mut self, x: &Tensor) -> Tensor {
+        combine::ensemble_average(&self.predict(x))
+    }
+
+    /// Hard labels under ensemble averaging (the paper's EA rule).
+    pub fn predict_labels(&mut self, x: &Tensor) -> Vec<usize> {
+        ops::argmax_rows(&self.predict_average(x))
+    }
+
+    /// Hard labels under majority voting with probability tie-breaking.
+    pub fn predict_vote_labels(&mut self, x: &Tensor) -> Vec<usize> {
+        combine::vote_labels(&self.predict(x))
+    }
+
+    /// Read access to the members, in engine order.
+    pub fn members(&self) -> Vec<&EnsembleMember> {
+        self.workers.iter().map(|w| &w.member).collect()
+    }
+
+    /// Decomposes the engine back into its members (workspaces dropped).
+    pub fn into_members(self) -> Vec<EnsembleMember> {
+        self.workers.into_iter().map(|w| w.member).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_nn::arch::{Architecture, InputSpec};
+    use mn_nn::Network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn members(n: u64) -> Vec<EnsembleMember> {
+        let arch = Architecture::mlp("m", InputSpec::new(1, 2, 2), 3, vec![6]);
+        (0..n)
+            .map(|s| EnsembleMember::new(format!("m{s}"), Network::seeded(&arch, s)))
+            .collect()
+    }
+
+    #[test]
+    fn engine_matches_sequential_collection() {
+        let x = Tensor::randn([7, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(1));
+        let mut seq_members = members(3);
+        let sequential = MemberPredictions::collect(&mut seq_members, &x, 2);
+        let mut engine = InferenceEngine::new(members(3), 2);
+        let parallel = engine.predict(&x);
+        assert_eq!(parallel.num_members(), 3);
+        for (p, s) in parallel.probs().iter().zip(sequential.probs()) {
+            assert_eq!(p.data(), s.data(), "engine diverged from sequential path");
+        }
+    }
+
+    #[test]
+    fn repeated_predictions_reuse_workspaces_and_stay_identical() {
+        let mut engine = InferenceEngine::new(members(2), 4);
+        let x = Tensor::randn([9, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(2));
+        let first = engine.predict(&x);
+        let second = engine.predict(&x);
+        for (a, b) in first.probs().iter().zip(second.probs()) {
+            assert_eq!(a.data(), b.data());
+        }
+    }
+
+    #[test]
+    fn combination_rules_run_on_engine_output() {
+        let mut engine = InferenceEngine::new(members(3), 8);
+        let x = Tensor::randn([5, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(3));
+        let avg = engine.predict_average(&x);
+        assert_eq!(avg.shape().dims(), &[5, 3]);
+        for i in 0..5 {
+            let row: f32 = (0..3).map(|j| avg.at2(i, j)).sum();
+            assert!((row - 1.0).abs() < 1e-4, "row {i} sums to {row}");
+        }
+        assert_eq!(engine.predict_labels(&x).len(), 5);
+        assert_eq!(engine.predict_vote_labels(&x).len(), 5);
+    }
+
+    #[test]
+    fn accessors_expose_members() {
+        let engine = InferenceEngine::new(members(2), 16);
+        assert_eq!(engine.num_members(), 2);
+        assert_eq!(engine.batch_size(), 16);
+        assert_eq!(engine.member_names(), vec!["m0", "m1"]);
+        let back = engine.into_members();
+        assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        InferenceEngine::new(Vec::new(), 8);
+    }
+
+    #[test]
+    fn zero_batch_size_clamps_to_one() {
+        let mut engine = InferenceEngine::new(members(1), 0);
+        assert_eq!(engine.batch_size(), 1);
+        let x = Tensor::zeros([2, 1, 2, 2]);
+        assert_eq!(engine.predict_labels(&x).len(), 2);
+    }
+}

@@ -15,6 +15,11 @@
 //!
 //! [`evaluate::evaluate_members`] runs all four at once.
 //!
+//! Serving lives in [`engine`]: a batched inference engine that fans each
+//! request batch across the members on rayon worker threads, keeps a
+//! reusable scratch [`mn_tensor::Workspace`] per member, and streams
+//! results into the same [`MemberPredictions`]/combine machinery.
+//!
 //! ## Example
 //!
 //! ```
@@ -33,10 +38,12 @@
 
 pub mod combine;
 pub mod diversity;
+pub mod engine;
 pub mod evaluate;
 pub mod member;
 pub mod super_learner;
 
+pub use engine::InferenceEngine;
 pub use evaluate::{evaluate_members, evaluate_predictions, EnsembleEvaluation};
 pub use member::{EnsembleMember, MemberPredictions};
 pub use super_learner::{SuperLearner, SuperLearnerConfig};

@@ -1,8 +1,8 @@
 //! Ensemble members and batched prediction collection.
 
-use mn_nn::metrics::predict_proba_batched;
+use mn_nn::metrics::{predict_proba_batched, predict_proba_batched_with};
 use mn_nn::Network;
-use mn_tensor::Tensor;
+use mn_tensor::{Tensor, Workspace};
 
 /// A named member of an ensemble.
 #[derive(Clone, Debug)]
@@ -25,6 +25,18 @@ impl EnsembleMember {
     /// Class-probability predictions `[N, K]` over a batch of examples.
     pub fn predict_proba(&mut self, x: &Tensor, batch_size: usize) -> Tensor {
         predict_proba_batched(&mut self.network, x, batch_size)
+    }
+
+    /// [`EnsembleMember::predict_proba`] staging all scratch in a
+    /// [`Workspace`] — the per-worker hot path of
+    /// [`crate::engine::InferenceEngine`].
+    pub fn predict_proba_with(
+        &mut self,
+        x: &Tensor,
+        batch_size: usize,
+        ws: &mut Workspace,
+    ) -> Tensor {
+        predict_proba_batched_with(&mut self.network, x, batch_size, ws)
     }
 }
 

@@ -1,6 +1,6 @@
 //! Activation layers.
 
-use mn_tensor::Tensor;
+use mn_tensor::{Tensor, Workspace};
 
 /// Rectified linear unit, `y = max(x, 0)`, applied element-wise.
 ///
@@ -21,10 +21,19 @@ impl ReluLayer {
 
     /// Forward pass; caches the activation mask when `train` is set.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    /// [`ReluLayer::forward`] staging its output in a [`Workspace`].
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         if train {
             self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
         }
-        x.map(|v| v.max(0.0))
+        let mut y = ws.acquire_uninit(x.shape().dims().to_vec());
+        for (out, &v) in y.data_mut().iter_mut().zip(x.data()) {
+            *out = v.max(0.0);
+        }
+        y
     }
 
     /// Backward pass: zeroes gradient where the input was non-positive.

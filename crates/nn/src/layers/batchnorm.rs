@@ -13,7 +13,7 @@
 //! the deepening morphism *exactly* function-preserving (see
 //! [`BatchNorm::identity`]).
 
-use mn_tensor::Tensor;
+use mn_tensor::{Tensor, Workspace};
 
 use crate::layer::Param;
 
@@ -119,9 +119,18 @@ impl BatchNorm {
     /// Panics on layout mismatch, or in train mode if the per-channel
     /// element count is < 2 (batch statistics undefined).
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    /// [`BatchNorm::forward`] staging its output in a [`Workspace`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`BatchNorm::forward`].
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let (nb, cc, inner) = self.group_geometry(x);
         let m = nb * inner;
-        let mut y = Tensor::zeros(x.shape().dims().to_vec());
+        let mut y = ws.acquire_uninit(x.shape().dims().to_vec());
         if train {
             assert!(
                 m >= 2,

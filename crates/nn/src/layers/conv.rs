@@ -1,9 +1,34 @@
 //! 2-D convolutional layer (stride 1, same padding).
+//!
+//! The forward pass picks between the two kernel formulations in
+//! `mn-tensor` per layer shape: im2col + blocked GEMM when the reduction
+//! depth `C·K·K` is deep enough for the register-tiled matmul to win,
+//! direct scalar×row accumulation otherwise (1×1 kernels on few
+//! channels). Both are pinned to the same outputs by the
+//! `kernel_equivalence` property suite.
 
-use mn_tensor::{conv, init, Tensor};
+use mn_tensor::{conv, im2col, init, Tensor, Workspace};
 use rand::Rng;
 
 use crate::layer::Param;
+
+/// Minimum im2col reduction depth (`C·K·K`) for the GEMM formulation to
+/// beat the direct kernel.
+const GEMM_MIN_REDUCTION: usize = 16;
+
+/// Which convolution kernel formulation a [`ConvLayer`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ConvFormulation {
+    /// Pick per layer shape: im2col + GEMM when the reduction depth is
+    /// deep enough, direct otherwise. The default.
+    #[default]
+    Auto,
+    /// Always the direct scalar×row kernel (the pre-optimization path;
+    /// used by benchmarks as the naive baseline).
+    Direct,
+    /// Always im2col + blocked GEMM.
+    Im2colGemm,
+}
 
 /// A stride-1, same-padded 2-D convolution: input `[N, C, H, W]`, weight
 /// `[F, C, K, K]`, bias `[F]`, output `[N, F, H, W]`.
@@ -13,6 +38,7 @@ pub struct ConvLayer {
     pub weight: Param,
     /// Per-filter bias `[F]`.
     pub bias: Param,
+    formulation: ConvFormulation,
     cached_input: Option<Tensor>,
 }
 
@@ -32,6 +58,7 @@ impl ConvLayer {
                 rng,
             )),
             bias: Param::new(Tensor::zeros([filters])),
+            formulation: ConvFormulation::Auto,
             cached_input: None,
         }
     }
@@ -55,6 +82,7 @@ impl ConvLayer {
         ConvLayer {
             weight: Param::new(weight),
             bias: Param::new(bias),
+            formulation: ConvFormulation::Auto,
             cached_input: None,
         }
     }
@@ -79,9 +107,47 @@ impl ConvLayer {
         self.kernel() / 2
     }
 
+    /// The formulation this layer's forward pass runs.
+    pub fn formulation(&self) -> ConvFormulation {
+        self.formulation
+    }
+
+    /// Overrides the forward formulation (benchmarks pin
+    /// [`ConvFormulation::Direct`] to measure the naive baseline).
+    pub fn set_formulation(&mut self, formulation: ConvFormulation) {
+        self.formulation = formulation;
+    }
+
+    fn use_gemm(&self) -> bool {
+        match self.formulation {
+            ConvFormulation::Auto => {
+                self.in_channels() * self.kernel() * self.kernel() >= GEMM_MIN_REDUCTION
+            }
+            ConvFormulation::Direct => false,
+            ConvFormulation::Im2colGemm => true,
+        }
+    }
+
     /// Forward pass; caches the input for backward when `train` is set.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let y = conv::conv2d_forward(x, &self.weight.value, &self.bias.value, self.padding());
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    /// [`ConvLayer::forward`] staging its output (and, on the GEMM path,
+    /// the im2col scratch) in a [`Workspace`].
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let k = self.kernel();
+        let pad = self.padding();
+        let y = if self.use_gemm() {
+            im2col::conv2d_forward_im2col_ws(x, &self.weight.value, &self.bias.value, pad, ws)
+        } else {
+            let d = x.shape().dims();
+            let ho = conv::conv_out_extent(d[2], k, pad);
+            let wo = conv::conv_out_extent(d[3], k, pad);
+            let mut y = ws.acquire_uninit([d[0], self.filters(), ho, wo]);
+            conv::conv2d_forward_into(x, &self.weight.value, &self.bias.value, pad, &mut y);
+            y
+        };
         if train {
             self.cached_input = Some(x.clone());
         }
@@ -159,6 +225,21 @@ mod tests {
             (numeric - analytic).abs() / (1.0 + analytic.abs()) < 5e-2,
             "{numeric} vs {analytic}"
         );
+    }
+
+    #[test]
+    fn formulations_agree_and_are_overridable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut layer = ConvLayer::new(4, 6, 3, &mut rng);
+        assert_eq!(layer.formulation(), ConvFormulation::Auto);
+        let x = Tensor::randn([2, 4, 6, 6], 1.0, &mut rng);
+        let auto = layer.forward(&x, false);
+        layer.set_formulation(ConvFormulation::Direct);
+        let direct = layer.forward(&x, false);
+        layer.set_formulation(ConvFormulation::Im2colGemm);
+        let gemm = layer.forward(&x, false);
+        assert_close(direct.data(), gemm.data(), 1e-4);
+        assert_close(auto.data(), gemm.data(), 1e-4);
     }
 
     #[test]

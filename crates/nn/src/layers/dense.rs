@@ -1,6 +1,6 @@
 //! Fully-connected (dense) layer.
 
-use mn_tensor::{init, ops, Tensor};
+use mn_tensor::{init, ops, Tensor, Workspace};
 use rand::Rng;
 
 use crate::layer::Param;
@@ -59,7 +59,13 @@ impl DenseLayer {
 
     /// Forward pass; caches the input for backward when `train` is set.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut y = ops::matmul(x, &self.weight.value);
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    /// [`DenseLayer::forward`] staging its output in a [`Workspace`].
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let mut y = ws.acquire_uninit([x.shape().dim(0), self.out_features()]);
+        ops::matmul_into(x, &self.weight.value, &mut y);
         ops::add_row_bias(&mut y, &self.bias.value);
         if train {
             self.cached_input = Some(x.clone());

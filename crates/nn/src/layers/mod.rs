@@ -10,7 +10,7 @@ pub mod spatial;
 
 pub use activation::ReluLayer;
 pub use batchnorm::{BatchNorm, BnLayout};
-pub use conv::ConvLayer;
+pub use conv::{ConvFormulation, ConvLayer};
 pub use dense::DenseLayer;
 pub use residual::ResidualUnit;
 pub use spatial::{FlattenLayer, GlobalAvgPoolLayer, MaxPoolLayer};

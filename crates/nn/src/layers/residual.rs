@@ -1,7 +1,7 @@
 //! Residual units (He et al.), the building block of the paper's ResNet
 //! ensembles (§3, "ResNets").
 
-use mn_tensor::Tensor;
+use mn_tensor::{Tensor, Workspace};
 use rand::Rng;
 
 use crate::layer::Param;
@@ -105,6 +105,16 @@ impl ResidualUnit {
     ///
     /// Panics if the input channel count does not match the unit width.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    /// [`ResidualUnit::forward`] threading a [`Workspace`] through the
+    /// branch; intermediate activations are recycled as they die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count does not match the unit width.
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         assert_eq!(
             x.shape().dim(1),
             self.filters(),
@@ -112,14 +122,19 @@ impl ResidualUnit {
             self.filters(),
             x.shape().dim(1)
         );
-        let h = self.conv1.forward(x, train);
-        let h = self.bn1.forward(&h, train);
-        let h = self.relu1.forward(&h, train);
-        let h = self.conv2.forward(&h, train);
-        let h = self.bn2.forward(&h, train);
-        let mut s = h;
+        let h1 = self.conv1.forward_ws(x, train, ws);
+        let h2 = self.bn1.forward_ws(&h1, train, ws);
+        ws.release(h1);
+        let h3 = self.relu1.forward_ws(&h2, train, ws);
+        ws.release(h2);
+        let h4 = self.conv2.forward_ws(&h3, train, ws);
+        ws.release(h3);
+        let mut s = self.bn2.forward_ws(&h4, train, ws);
+        ws.release(h4);
         s.add_assign(x);
-        self.relu_out.forward(&s, train)
+        let out = self.relu_out.forward_ws(&s, train, ws);
+        ws.release(s);
+        out
     }
 
     /// Backward pass through both the branch and the skip connection.

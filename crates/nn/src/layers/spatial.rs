@@ -1,6 +1,6 @@
 //! Spatial reshaping layers: max pooling, global average pooling, flatten.
 
-use mn_tensor::{pool, Tensor};
+use mn_tensor::{pool, Tensor, Workspace};
 
 /// 2×2 stride-2 max pooling — the block separator of the paper's VGG- and
 /// ResNet-style architectures.
@@ -21,12 +21,25 @@ impl MaxPoolLayer {
 
     /// Forward pass; caches routing information when `train` is set.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let out = pool::maxpool2x2_forward(x);
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    /// [`MaxPoolLayer::forward`] staging its output in a [`Workspace`].
+    ///
+    /// In eval mode the argmax bookkeeping (only needed for backward) is
+    /// skipped entirely.
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         if train {
+            let out = pool::maxpool2x2_forward(x);
             self.argmax = Some(out.argmax);
             self.input_shape = Some(x.shape().dims().to_vec());
+            out.output
+        } else {
+            let d = x.shape().dims();
+            let mut out = ws.acquire_uninit([d[0], d[1], d[2] / 2, d[3] / 2]);
+            pool::maxpool2x2_forward_eval_into(x, &mut out);
+            out
         }
-        out.output
     }
 
     /// Backward pass: routes gradients to the argmax positions.
@@ -67,10 +80,19 @@ impl GlobalAvgPoolLayer {
 
     /// Forward pass.
     pub fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        self.forward_ws(x, train, &mut Workspace::new())
+    }
+
+    /// [`GlobalAvgPoolLayer::forward`] staging its output in a
+    /// [`Workspace`].
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         if train {
             self.input_shape = Some(x.shape().dims().to_vec());
         }
-        pool::global_avg_pool_forward(x)
+        let d = x.shape().dims();
+        let mut out = ws.acquire_uninit([d[0], d[1]]);
+        pool::global_avg_pool_forward_into(x, &mut out);
+        out
     }
 
     /// Backward pass.
@@ -117,6 +139,22 @@ impl FlattenLayer {
             self.input_shape = Some(d.to_vec());
         }
         x.reshape([d[0], d[1] * d[2] * d[3]])
+    }
+
+    /// [`FlattenLayer::forward`] staging its output in a [`Workspace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 4-D.
+    pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let d = x.shape().dims();
+        assert_eq!(d.len(), 4, "flatten expects [N,C,H,W], got {}", x.shape());
+        if train {
+            self.input_shape = Some(d.to_vec());
+        }
+        let mut out = ws.acquire_uninit([d[0], d[1] * d[2] * d[3]]);
+        out.data_mut().copy_from_slice(x.data());
+        out
     }
 
     /// Backward pass: un-flattens the gradient.

@@ -1,6 +1,6 @@
 //! Evaluation metrics and batching helpers.
 
-use mn_tensor::{ops, Tensor};
+use mn_tensor::{ops, Tensor, Workspace};
 
 use crate::layer::Mode;
 use crate::loss::softmax_cross_entropy;
@@ -94,17 +94,38 @@ pub fn evaluate(net: &mut Network, x: &Tensor, labels: &[usize], batch_size: usi
 
 /// Collects class-probability predictions over a set in mini-batches.
 pub fn predict_proba_batched(net: &mut Network, x: &Tensor, batch_size: usize) -> Tensor {
+    predict_proba_batched_with(net, x, batch_size, &mut Workspace::new())
+}
+
+/// [`predict_proba_batched`] staging the mini-batch and every activation
+/// in a [`Workspace`]: after the first batch, steady-state prediction
+/// stops allocating activations, mini-batches, and im2col scratch. This
+/// is the per-member hot path of the ensemble inference engine.
+pub fn predict_proba_batched_with(
+    net: &mut Network,
+    x: &Tensor,
+    batch_size: usize,
+    ws: &mut Workspace,
+) -> Tensor {
     let n = x.shape().dim(0);
     let k = net.arch().num_classes;
     let bs = batch_size.max(1);
+    let row = x.len().checked_div(n).unwrap_or(0);
     let mut out = Tensor::zeros([n, k]);
     let mut start = 0;
     while start < n {
         let end = (start + bs).min(n);
-        let idx: Vec<usize> = (start..end).collect();
-        let xb = gather_examples(x, &idx);
-        let probs = net.predict_proba(&xb);
+        let mut dims = x.shape().dims().to_vec();
+        dims[0] = end - start;
+        // Mini-batches are contiguous example ranges: a straight copy,
+        // no index gather needed.
+        let mut xb = ws.acquire_uninit(dims);
+        xb.data_mut()
+            .copy_from_slice(&x.data()[start * row..end * row]);
+        let probs = net.predict_proba_with(&xb, ws);
         out.data_mut()[start * k..end * k].copy_from_slice(probs.data());
+        ws.release(probs);
+        ws.release(xb);
         start = end;
     }
     out

@@ -1,6 +1,6 @@
 //! [`Network`]: an executable network built from an [`Architecture`].
 
-use mn_tensor::{ops, Tensor};
+use mn_tensor::{ops, Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -108,11 +108,27 @@ impl Network {
 
     /// Forward pass over a batch `[N, C, H, W]`, returning logits `[N, K]`.
     pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let mut h = x.clone();
+        self.forward_with(x, mode, &mut Workspace::new())
+    }
+
+    /// [`Network::forward`] staging every activation in a [`Workspace`].
+    ///
+    /// Each layer's input buffer is released back into the workspace as
+    /// soon as the layer has consumed it, so a forward pass keeps at most
+    /// two live activations plus kernel scratch — and a workspace retained
+    /// across calls (as the ensemble inference engine does per member)
+    /// serves steady-state traffic without reallocating activations or
+    /// im2col scratch.
+    pub fn forward_with(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        let mut h: Option<Tensor> = None;
         for node in &mut self.nodes {
-            h = node.forward(&h, mode);
+            let next = node.forward_ws(h.as_ref().unwrap_or(x), mode, ws);
+            if let Some(prev) = h.take() {
+                ws.release(prev);
+            }
+            h = Some(next);
         }
-        h
+        h.unwrap_or_else(|| x.clone())
     }
 
     /// Backward pass from logit gradients; accumulates parameter gradients.
@@ -130,6 +146,13 @@ impl Network {
     /// Class-probability predictions `[N, K]` (eval mode).
     pub fn predict_proba(&mut self, x: &Tensor) -> Tensor {
         let mut logits = self.forward(x, Mode::Eval);
+        ops::softmax_rows(&mut logits);
+        logits
+    }
+
+    /// [`Network::predict_proba`] staging activations in a [`Workspace`].
+    pub fn predict_proba_with(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut logits = self.forward_with(x, Mode::Eval, ws);
         ops::softmax_rows(&mut logits);
         logits
     }

@@ -6,7 +6,7 @@
 //! natural over an enum and awkward over trait objects — and the training
 //! loop benefits from static dispatch.
 
-use mn_tensor::Tensor;
+use mn_tensor::{Tensor, Workspace};
 
 use crate::layer::{Mode, Param};
 use crate::layers::{
@@ -40,16 +40,21 @@ pub enum LayerNode {
 impl LayerNode {
     /// Forward pass through this node.
     pub fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        self.forward_ws(x, mode, &mut Workspace::new())
+    }
+
+    /// Forward pass staging activations in a [`Workspace`].
+    pub fn forward_ws(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
         let train = mode == Mode::Train;
         match self {
-            LayerNode::Dense(l) => l.forward(x, train),
-            LayerNode::Conv(l) => l.forward(x, train),
-            LayerNode::BatchNorm(l) => l.forward(x, train),
-            LayerNode::Relu(l) => l.forward(x, train),
-            LayerNode::MaxPool(l) => l.forward(x, train),
-            LayerNode::Flatten(l) => l.forward(x, train),
-            LayerNode::GlobalAvgPool(l) => l.forward(x, train),
-            LayerNode::Residual(l) => l.forward(x, train),
+            LayerNode::Dense(l) => l.forward_ws(x, train, ws),
+            LayerNode::Conv(l) => l.forward_ws(x, train, ws),
+            LayerNode::BatchNorm(l) => l.forward_ws(x, train, ws),
+            LayerNode::Relu(l) => l.forward_ws(x, train, ws),
+            LayerNode::MaxPool(l) => l.forward_ws(x, train, ws),
+            LayerNode::Flatten(l) => l.forward_ws(x, train, ws),
+            LayerNode::GlobalAvgPool(l) => l.forward_ws(x, train, ws),
+            LayerNode::Residual(l) => l.forward_ws(x, train, ws),
         }
     }
 

@@ -1,0 +1,101 @@
+//! Shared sequential-vs-parallel dispatch for kernels that split their
+//! output into fixed-size disjoint chunks (one batch item, plane, or
+//! filter per chunk).
+//!
+//! Centralizing the dispatch keeps every kernel's policy identical:
+//! degenerate work (empty output or zero-sized chunks, legal now that
+//! shapes may have zero extents) is a no-op, single-chunk or
+//! not-worthwhile work runs inline, and everything else fans out across
+//! rayon workers. Chunk boundaries never depend on the thread count, so
+//! either path produces bitwise-identical results.
+
+use rayon::prelude::*;
+
+/// Runs `f(chunk_index, chunk)` over fixed-size chunks of `data`.
+///
+/// `parallel_worthwhile` is the caller's cost estimate (e.g. "enough
+/// multiply-adds to amortize a worker spawn"); the helper additionally
+/// requires more than one chunk and more than one available thread.
+pub(crate) fn for_each_chunk(
+    data: &mut [f32],
+    chunk: usize,
+    parallel_worthwhile: bool,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if data.is_empty() || chunk == 0 {
+        return;
+    }
+    let items = data.len().div_ceil(chunk);
+    if items <= 1 || !parallel_worthwhile || rayon::current_num_threads() <= 1 {
+        for (i, c) in data.chunks_mut(chunk).enumerate() {
+            f(i, c);
+        }
+    } else {
+        data.par_chunks_mut(chunk)
+            .enumerate()
+            .for_each(|(i, c)| f(i, c));
+    }
+}
+
+/// [`for_each_chunk`] over two equally-chunked buffers (an output and its
+/// argmax companion).
+pub(crate) fn for_each_chunk_zip(
+    data: &mut [f32],
+    aux: &mut [usize],
+    chunk: usize,
+    parallel_worthwhile: bool,
+    f: impl Fn(usize, &mut [f32], &mut [usize]) + Sync,
+) {
+    if data.is_empty() || chunk == 0 {
+        return;
+    }
+    let items = data.len().div_ceil(chunk);
+    if items <= 1 || !parallel_worthwhile || rayon::current_num_threads() <= 1 {
+        for (i, (c, a)) in data
+            .chunks_mut(chunk)
+            .zip(aux.chunks_mut(chunk))
+            .enumerate()
+        {
+            f(i, c, a);
+        }
+    } else {
+        data.par_chunks_mut(chunk)
+            .zip(aux.par_chunks_mut(chunk))
+            .enumerate()
+            .for_each(|(i, (c, a))| f(i, c, a));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_data_and_zero_chunk_are_no_ops() {
+        for_each_chunk(&mut [], 4, true, |_, _| panic!("must not run"));
+        let mut data = [1.0f32; 4];
+        for_each_chunk(&mut data, 0, true, |_, _| panic!("must not run"));
+        for_each_chunk_zip(&mut [], &mut [], 4, true, |_, _, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn covers_all_chunks_in_order() {
+        let mut data = [0.0f32; 10];
+        for_each_chunk(&mut data, 4, true, |i, c| {
+            c.iter_mut().for_each(|v| *v = i as f32)
+        });
+        assert_eq!(data, [0., 0., 0., 0., 1., 1., 1., 1., 2., 2.]);
+    }
+
+    #[test]
+    fn zip_pairs_aux_chunks() {
+        let mut data = [0.0f32; 6];
+        let mut aux = [0usize; 6];
+        for_each_chunk_zip(&mut data, &mut aux, 3, false, |i, c, a| {
+            c.iter_mut().for_each(|v| *v = i as f32);
+            a.iter_mut().for_each(|v| *v = 10 * i);
+        });
+        assert_eq!(data, [0., 0., 0., 1., 1., 1.]);
+        assert_eq!(aux, [0, 0, 0, 10, 10, 10]);
+    }
+}

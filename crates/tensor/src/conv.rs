@@ -11,8 +11,19 @@
 //! The loops are organized as *scalar × shifted-row* accumulations: for each
 //! `(n, f, c, kh, kw)` the kernel weight multiplies a contiguous row of the
 //! input, which keeps the inner loop vectorizable and branch-free.
+//!
+//! Batch loops fan out across rayon worker threads: the forward and
+//! input-gradient kernels split the output over batch items, the
+//! weight-gradient kernel over filters. Every split is a disjoint output
+//! region computed in a fixed order, so results are bitwise identical
+//! across thread counts.
 
+use crate::chunking::for_each_chunk;
 use crate::Tensor;
+
+/// Below this many multiply-adds a kernel runs on the calling thread
+/// rather than fanning out (spawn overhead would dominate).
+const PARALLEL_MAC_THRESHOLD: usize = 128 * 1024;
 
 /// Output spatial extent of a stride-1 convolution.
 ///
@@ -49,6 +60,29 @@ pub fn same_padding(kernel: usize) -> usize {
 /// Panics on any layout mismatch between `input` `[N, C, H, W]`,
 /// `weight` `[F, C, K, K]` and `bias` `[F]`.
 pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize) -> Tensor {
+    let (n_batch, _, h, w) = dims4(input, "conv input");
+    let (f_out, _, k, _) = dims4(weight, "conv weight");
+    let ho = conv_out_extent(h, k, pad);
+    let wo = conv_out_extent(w, k, pad);
+    let mut out = Tensor::zeros([n_batch, f_out, ho, wo]);
+    conv2d_forward_into(input, weight, bias, pad, &mut out);
+    out
+}
+
+/// [`conv2d_forward`] writing into a caller-provided (e.g.
+/// workspace-acquired) output tensor; every element is overwritten. The
+/// batch loop runs in parallel (one batch item per work unit).
+///
+/// # Panics
+///
+/// Panics on layout mismatches, including a wrongly shaped `out`.
+pub fn conv2d_forward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    pad: usize,
+    out: &mut Tensor,
+) {
     let (n_batch, c_in, h, w) = dims4(input, "conv input");
     let (f_out, c_w, kh, kw) = dims4(weight, "conv weight");
     assert_eq!(c_in, c_w, "input channels {c_in} != weight channels {c_w}");
@@ -57,58 +91,59 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize
     let k = kh;
     let ho = conv_out_extent(h, k, pad);
     let wo = conv_out_extent(w, k, pad);
-
-    let mut out = Tensor::zeros([n_batch, f_out, ho, wo]);
-    // Initialize with bias.
-    {
-        let od = out.data_mut();
-        let bd = bias.data();
-        for n in 0..n_batch {
-            for (f, &b) in bd.iter().enumerate() {
-                let base = (n * f_out + f) * ho * wo;
-                od[base..base + ho * wo].iter_mut().for_each(|x| *x = b);
-            }
-        }
-    }
+    assert_eq!(
+        out.shape().dims(),
+        &[n_batch, f_out, ho, wo],
+        "conv output must be [{n_batch}, {f_out}, {ho}, {wo}]"
+    );
 
     let id = input.data();
     let wd = weight.data();
-    let od = out.data_mut();
+    let bd = bias.data();
     let ipad = pad as isize;
-    for n in 0..n_batch {
-        for f in 0..f_out {
-            let obase = (n * f_out + f) * ho * wo;
-            for c in 0..c_in {
-                let ibase = (n * c_in + c) * h * w;
-                let wbase = (f * c_in + c) * k * k;
-                for dkh in 0..k {
-                    for dkw in 0..k {
-                        let wval = wd[wbase + dkh * k + dkw];
-                        if wval == 0.0 {
-                            continue;
-                        }
-                        // out[oh, ow] += wval * in[oh + dkh - pad, ow + dkw - pad]
-                        let oh_lo = (ipad - dkh as isize).max(0) as usize;
-                        let oh_hi =
-                            ((h as isize + ipad - dkh as isize).min(ho as isize)).max(0) as usize;
-                        let ow_lo = (ipad - dkw as isize).max(0) as usize;
-                        let ow_hi =
-                            ((w as isize + ipad - dkw as isize).min(wo as isize)).max(0) as usize;
-                        for oh in oh_lo..oh_hi {
-                            let ih = (oh as isize + dkh as isize - ipad) as usize;
-                            let irow = ibase + ih * w;
-                            let orow = obase + oh * wo;
-                            for ow in ow_lo..ow_hi {
-                                let iw = (ow as isize + dkw as isize - ipad) as usize;
-                                od[orow + ow] += wval * id[irow + iw];
+    let macs = n_batch * f_out * c_in * k * k * ho * wo;
+    for_each_chunk(
+        out.data_mut(),
+        f_out * ho * wo,
+        macs >= PARALLEL_MAC_THRESHOLD,
+        |n, ochunk| {
+            // Initialize this item's planes with the bias.
+            for (f, &b) in bd.iter().enumerate() {
+                ochunk[f * ho * wo..(f + 1) * ho * wo].fill(b);
+            }
+            for f in 0..f_out {
+                let obase = f * ho * wo;
+                for c in 0..c_in {
+                    let ibase = (n * c_in + c) * h * w;
+                    let wbase = (f * c_in + c) * k * k;
+                    for dkh in 0..k {
+                        for dkw in 0..k {
+                            let wval = wd[wbase + dkh * k + dkw];
+                            if wval == 0.0 {
+                                continue;
+                            }
+                            // out[oh, ow] += wval * in[oh + dkh - pad, ow + dkw - pad]
+                            let oh_lo = (ipad - dkh as isize).max(0) as usize;
+                            let oh_hi = ((h as isize + ipad - dkh as isize).min(ho as isize)).max(0)
+                                as usize;
+                            let ow_lo = (ipad - dkw as isize).max(0) as usize;
+                            let ow_hi = ((w as isize + ipad - dkw as isize).min(wo as isize)).max(0)
+                                as usize;
+                            for oh in oh_lo..oh_hi {
+                                let ih = (oh as isize + dkh as isize - ipad) as usize;
+                                let irow = ibase + ih * w;
+                                let orow = obase + oh * wo;
+                                for ow in ow_lo..ow_hi {
+                                    let iw = (ow as isize + dkw as isize - ipad) as usize;
+                                    ochunk[orow + ow] += wval * id[irow + iw];
+                                }
                             }
                         }
                     }
                 }
             }
-        }
-    }
-    out
+        },
+    );
 }
 
 /// Gradient of the loss w.r.t. the convolution input.
@@ -147,41 +182,46 @@ pub fn conv2d_backward_input(
     let mut gin = Tensor::zeros([n_batch, c_in, h, w]);
     let gd = grad_out.data();
     let wd = weight.data();
-    let gid = gin.data_mut();
     let ipad = pad as isize;
-    for n in 0..n_batch {
-        for f in 0..f_out {
-            let gbase = (n * f_out + f) * ho * wo;
-            for c in 0..c_in {
-                let ibase = (n * c_in + c) * h * w;
-                let wbase = (f * c_in + c) * k * k;
-                for dkh in 0..k {
-                    for dkw in 0..k {
-                        let wval = wd[wbase + dkh * k + dkw];
-                        if wval == 0.0 {
-                            continue;
-                        }
-                        // gin[ih, iw] += wval * gout[ih - dkh + pad, iw - dkw + pad]
-                        let oh_lo = (ipad - dkh as isize).max(0) as usize;
-                        let oh_hi =
-                            ((h as isize + ipad - dkh as isize).min(ho as isize)).max(0) as usize;
-                        let ow_lo = (ipad - dkw as isize).max(0) as usize;
-                        let ow_hi =
-                            ((w as isize + ipad - dkw as isize).min(wo as isize)).max(0) as usize;
-                        for oh in oh_lo..oh_hi {
-                            let ih = (oh as isize + dkh as isize - ipad) as usize;
-                            let irow = ibase + ih * w;
-                            let grow = gbase + oh * wo;
-                            for ow in ow_lo..ow_hi {
-                                let iw = (ow as isize + dkw as isize - ipad) as usize;
-                                gid[irow + iw] += wval * gd[grow + ow];
+    let macs = n_batch * f_out * c_in * k * k * ho * wo;
+    for_each_chunk(
+        gin.data_mut(),
+        c_in * h * w,
+        macs >= PARALLEL_MAC_THRESHOLD,
+        |n, gchunk| {
+            for f in 0..f_out {
+                let gbase = (n * f_out + f) * ho * wo;
+                for c in 0..c_in {
+                    let ibase = c * h * w;
+                    let wbase = (f * c_in + c) * k * k;
+                    for dkh in 0..k {
+                        for dkw in 0..k {
+                            let wval = wd[wbase + dkh * k + dkw];
+                            if wval == 0.0 {
+                                continue;
+                            }
+                            // gin[ih, iw] += wval * gout[ih - dkh + pad, iw - dkw + pad]
+                            let oh_lo = (ipad - dkh as isize).max(0) as usize;
+                            let oh_hi = ((h as isize + ipad - dkh as isize).min(ho as isize)).max(0)
+                                as usize;
+                            let ow_lo = (ipad - dkw as isize).max(0) as usize;
+                            let ow_hi = ((w as isize + ipad - dkw as isize).min(wo as isize)).max(0)
+                                as usize;
+                            for oh in oh_lo..oh_hi {
+                                let ih = (oh as isize + dkh as isize - ipad) as usize;
+                                let irow = ibase + ih * w;
+                                let grow = gbase + oh * wo;
+                                for ow in ow_lo..ow_hi {
+                                    let iw = (ow as isize + dkw as isize - ipad) as usize;
+                                    gchunk[irow + iw] += wval * gd[grow + ow];
+                                }
                             }
                         }
                     }
                 }
             }
-        }
-    }
+        },
+    );
     gin
 }
 
@@ -227,37 +267,45 @@ pub fn conv2d_backward_params(
             }
         }
     }
-    let gwd = gw.data_mut();
-    for n in 0..n_batch {
-        for f in 0..f_out {
-            let gbase = (n * f_out + f) * ho * wo;
-            for c in 0..c_in {
-                let ibase = (n * c_in + c) * h * w;
-                let wbase = (f * c_in + c) * k * k;
-                for dkh in 0..k {
-                    for dkw in 0..k {
-                        let oh_lo = (ipad - dkh as isize).max(0) as usize;
-                        let oh_hi =
-                            ((h as isize + ipad - dkh as isize).min(ho as isize)).max(0) as usize;
-                        let ow_lo = (ipad - dkw as isize).max(0) as usize;
-                        let ow_hi =
-                            ((w as isize + ipad - dkw as isize).min(wo as isize)).max(0) as usize;
-                        let mut acc = 0.0;
-                        for oh in oh_lo..oh_hi {
-                            let ih = (oh as isize + dkh as isize - ipad) as usize;
-                            let irow = ibase + ih * w;
-                            let grow = gbase + oh * wo;
-                            for ow in ow_lo..ow_hi {
-                                let iw = (ow as isize + dkw as isize - ipad) as usize;
-                                acc += gd[grow + ow] * id[irow + iw];
+    // The weight gradient reduces over the batch, so the parallel split is
+    // over filters instead: each worker owns one filter's `[C, K, K]`
+    // slice and scans the batch in order (bitwise-deterministic).
+    let macs = n_batch * f_out * c_in * k * k * ho * wo;
+    for_each_chunk(
+        gw.data_mut(),
+        c_in * k * k,
+        macs >= PARALLEL_MAC_THRESHOLD,
+        |f, gwchunk| {
+            for n in 0..n_batch {
+                let gbase = (n * f_out + f) * ho * wo;
+                for c in 0..c_in {
+                    let ibase = (n * c_in + c) * h * w;
+                    let wbase = c * k * k;
+                    for dkh in 0..k {
+                        for dkw in 0..k {
+                            let oh_lo = (ipad - dkh as isize).max(0) as usize;
+                            let oh_hi = ((h as isize + ipad - dkh as isize).min(ho as isize)).max(0)
+                                as usize;
+                            let ow_lo = (ipad - dkw as isize).max(0) as usize;
+                            let ow_hi = ((w as isize + ipad - dkw as isize).min(wo as isize)).max(0)
+                                as usize;
+                            let mut acc = 0.0;
+                            for oh in oh_lo..oh_hi {
+                                let ih = (oh as isize + dkh as isize - ipad) as usize;
+                                let irow = ibase + ih * w;
+                                let grow = gbase + oh * wo;
+                                for ow in ow_lo..ow_hi {
+                                    let iw = (ow as isize + dkw as isize - ipad) as usize;
+                                    acc += gd[grow + ow] * id[irow + iw];
+                                }
                             }
+                            gwchunk[wbase + dkh * k + dkw] += acc;
                         }
-                        gwd[wbase + dkh * k + dkw] += acc;
                     }
                 }
             }
-        }
-    }
+        },
+    );
     (gw, gb)
 }
 

@@ -1,13 +1,26 @@
 //! im2col + GEMM convolution: the standard alternative formulation.
 //!
-//! Direct convolution ([`crate::conv`]) wins on the small spatial extents
-//! this workspace trains at; the im2col path lowers convolution onto the
-//! matrix-multiply kernel instead, which wins when `C·K·K` is large. Both
-//! are exposed so the `tensor_kernels` bench can compare them, and the
-//! property tests pin them to identical outputs.
+//! The im2col path lowers convolution onto the blocked matrix-multiply
+//! kernel ([`crate::ops`]): unfold the input into a `[N·H'·W', C·K·K]`
+//! matrix, multiply by the `[F, C·K·K]` weight view, and fold back to
+//! NCHW. With the register-tiled GEMM this wins whenever the reduction
+//! depth `C·K·K` is non-trivial; the direct kernel ([`crate::conv`]) wins
+//! for very shallow reductions (e.g. 1×1 kernels on few channels). The
+//! `ConvLayer` in `mn-nn` picks between them per layer shape, and the
+//! property tests pin both to identical outputs.
+//!
+//! The unfold's batch loop fans out across rayon worker threads (one batch
+//! item's rows per work unit — disjoint output, bitwise-deterministic).
+//! The [`conv2d_forward_im2col_ws`] variant stages the unfold matrix and
+//! GEMM product in a [`Workspace`] so steady-state inference reuses both
+//! buffers instead of reallocating them per call.
 
+use crate::chunking::for_each_chunk;
 use crate::conv::conv_out_extent;
-use crate::{ops, Tensor};
+use crate::{ops, Tensor, Workspace};
+
+/// Below this many copied elements the unfold runs on the calling thread.
+const PARALLEL_COPY_THRESHOLD: usize = 64 * 1024;
 
 /// Unfolds `input: [N, C, H, W]` into the im2col matrix
 /// `[N·H'·W', C·K·K]`, where each row is the receptive field of one output
@@ -23,46 +36,97 @@ pub fn im2col(input: &Tensor, k: usize, pad: usize) -> Tensor {
     let (n_batch, c_in, h, w) = (d[0], d[1], d[2], d[3]);
     let ho = conv_out_extent(h, k, pad);
     let wo = conv_out_extent(w, k, pad);
+    let mut out = Tensor::zeros([n_batch * ho * wo, c_in * k * k]);
+    im2col_into(input, k, pad, &mut out);
+    out
+}
+
+/// [`im2col`] writing into a caller-provided output tensor.
+///
+/// `out` must be `[N·H'·W', C·K·K]`; every element is written (zeros for
+/// out-of-bounds receptive-field positions), so the buffer need not be
+/// zeroed beforehand.
+///
+/// # Panics
+///
+/// Panics on layout mismatches, including a wrongly shaped `out`.
+pub fn im2col_into(input: &Tensor, k: usize, pad: usize, out: &mut Tensor) {
+    let d = input.shape().dims();
+    assert_eq!(d.len(), 4, "im2col input must be [N, C, H, W]");
+    let (n_batch, c_in, h, w) = (d[0], d[1], d[2], d[3]);
+    let ho = conv_out_extent(h, k, pad);
+    let wo = conv_out_extent(w, k, pad);
     let row_len = c_in * k * k;
-    let mut out = Tensor::zeros([n_batch * ho * wo, row_len]);
+    assert_eq!(
+        out.shape().dims(),
+        &[n_batch * ho * wo, row_len],
+        "im2col output must be [{}, {row_len}]",
+        n_batch * ho * wo
+    );
     let id = input.data();
-    let od = out.data_mut();
     let ipad = pad as isize;
-    for n in 0..n_batch {
+    let per_item = ho * wo * row_len;
+    let total = n_batch * per_item;
+    let unfold_item = |n: usize, ochunk: &mut [f32]| {
         for oh in 0..ho {
             for ow in 0..wo {
-                let row = ((n * ho + oh) * wo + ow) * row_len;
+                let row = (oh * wo + ow) * row_len;
                 for c in 0..c_in {
                     let ibase = (n * c_in + c) * h * w;
                     for kh in 0..k {
+                        let obase = row + (c * k + kh) * k;
                         let ih = oh as isize + kh as isize - ipad;
                         if ih < 0 || ih as usize >= h {
-                            continue; // leave zero padding
+                            ochunk[obase..obase + k].fill(0.0); // padding
+                            continue;
                         }
                         let irow = ibase + ih as usize * w;
-                        let obase = row + (c * k + kh) * k;
                         for kw in 0..k {
                             let iw = ow as isize + kw as isize - ipad;
-                            if iw >= 0 && (iw as usize) < w {
-                                od[obase + kw] = id[irow + iw as usize];
-                            }
+                            ochunk[obase + kw] = if iw >= 0 && (iw as usize) < w {
+                                id[irow + iw as usize]
+                            } else {
+                                0.0 // padding
+                            };
                         }
                     }
                 }
             }
         }
-    }
-    out
+    };
+    for_each_chunk(
+        out.data_mut(),
+        per_item,
+        total >= PARALLEL_COPY_THRESHOLD,
+        unfold_item,
+    );
 }
 
 /// Convolution via im2col + GEMM; numerically identical to
-/// [`crate::conv::conv2d_forward`].
+/// [`crate::conv::conv2d_forward`] up to float summation order.
 ///
 /// # Panics
 ///
 /// Panics on the same layout violations as the direct kernel.
 pub fn conv2d_forward_im2col(input: &Tensor, weight: &Tensor, bias: &Tensor, pad: usize) -> Tensor {
+    conv2d_forward_im2col_ws(input, weight, bias, pad, &mut Workspace::new())
+}
+
+/// [`conv2d_forward_im2col`] staging its unfold and GEMM buffers in a
+/// [`Workspace`], so repeated calls reuse them.
+///
+/// # Panics
+///
+/// Panics on the same layout violations as the direct kernel.
+pub fn conv2d_forward_im2col_ws(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    pad: usize,
+    ws: &mut Workspace,
+) -> Tensor {
     let d = input.shape().dims();
+    assert_eq!(d.len(), 4, "conv input must be [N, C, H, W]");
     let (n_batch, _, h, w) = (d[0], d[1], d[2], d[3]);
     let wd = weight.shape().dims();
     assert_eq!(wd.len(), 4, "conv weight must be [F, C, K, K]");
@@ -72,27 +136,40 @@ pub fn conv2d_forward_im2col(input: &Tensor, weight: &Tensor, bias: &Tensor, pad
     assert_eq!(bias.shape().dims(), &[f_out], "bias must be [filters]");
     let ho = conv_out_extent(h, k, pad);
     let wo = conv_out_extent(w, k, pad);
+    let positions = n_batch * ho * wo;
+    let row_len = c_w * k * k;
 
-    // [NHW, CKK] x [CKK, F] = [NHW, F]
-    let cols = im2col(input, k, pad);
-    let w_mat = weight.reshape([f_out, c_w * k * k]);
-    let mut prod = ops::matmul_nt(&cols, &w_mat);
-    ops::add_row_bias(&mut prod, bias);
+    // [NHW, CKK] x [F, CKK]ᵀ = [NHW, F]; the weight tensor's storage
+    // already is the [F, CKK] matrix, so no reshape copy is needed.
+    let mut cols = ws.acquire_uninit([positions, row_len]);
+    im2col_into(input, k, pad, &mut cols);
+    let mut prod = ws.acquire_uninit([positions, f_out]);
+    ops::gemm_nt_raw(
+        cols.data(),
+        weight.data(),
+        prod.data_mut(),
+        positions,
+        f_out,
+        row_len,
+    );
+    ws.release(cols);
 
-    // Rearrange [N·H'·W', F] -> [N, F, H', W'].
-    let mut out = Tensor::zeros([n_batch, f_out, ho, wo]);
+    // Rearrange [N·H'·W', F] -> [N, F, H', W'] and add the bias.
+    let mut out = ws.acquire_uninit([n_batch, f_out, ho, wo]);
     let pd = prod.data();
+    let bd = bias.data();
     let od = out.data_mut();
     for n in 0..n_batch {
         for oh in 0..ho {
             for ow in 0..wo {
                 let prow = ((n * ho + oh) * wo + ow) * f_out;
                 for f in 0..f_out {
-                    od[((n * f_out + f) * ho + oh) * wo + ow] = pd[prow + f];
+                    od[((n * f_out + f) * ho + oh) * wo + ow] = pd[prow + f] + bd[f];
                 }
             }
         }
     }
+    ws.release(prod);
     out
 }
 
@@ -133,6 +210,25 @@ mod tests {
             let direct = conv2d_forward(&input, &weight, &bias, pad);
             let gemm = conv2d_forward_im2col(&input, &weight, &bias, pad);
             assert_close(gemm.data(), direct.data(), 1e-4);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_does_not_change_results() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut ws = Workspace::new();
+        let weight = Tensor::randn([4, 3, 3, 3], 1.0, &mut rng);
+        let bias = Tensor::randn([4], 1.0, &mut rng);
+        for round in 0..3 {
+            let input = Tensor::randn([2, 3, 6, 6], 1.0, &mut rng);
+            let fresh = conv2d_forward_im2col(&input, &weight, &bias, 1);
+            let reused = conv2d_forward_im2col_ws(&input, &weight, &bias, 1, &mut ws);
+            assert_eq!(
+                fresh.data(),
+                reused.data(),
+                "round {round} diverged under workspace reuse"
+            );
+            ws.release(reused);
         }
     }
 

@@ -11,8 +11,16 @@
 //!
 //! The crate is deliberately small and dependency-light: it implements only
 //! what the paper's networks need (stride-1 same-padding convolutions,
-//! 2×2 max pooling, dense layers), with straightforward cache-friendly loops
-//! rather than a general einsum engine.
+//! 2×2 max pooling, dense layers), rather than a general einsum engine.
+//! The matrix products are cache-blocked and register-tiled (see
+//! [`ops`]'s module docs for the layout), the batch loops of convolution,
+//! im2col and pooling fan out across rayon worker threads, and the
+//! [`Workspace`] arena lets callers run repeated forward passes without
+//! reallocating activations or im2col scratch. All parallel kernels are
+//! bitwise-deterministic across thread counts: work is only ever split
+//! over disjoint output regions whose per-element accumulation order is
+//! fixed. The pre-optimization kernels survive as [`ops::reference`] (and
+//! [`conv::conv2d_forward_reference`]) as the property-test ground truth.
 //!
 //! ## Conventions
 //!
@@ -33,6 +41,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+pub(crate) mod chunking;
 pub mod conv;
 pub mod im2col;
 pub mod init;
@@ -40,9 +49,11 @@ pub mod ops;
 pub mod pool;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::Workspace;
 
 /// Numeric tolerance used throughout the workspace when asserting that a
 /// function-preserving transformation left network outputs unchanged.

@@ -2,96 +2,442 @@
 //!
 //! All matrices are `[rows, cols]`, row-major. Every function panics on
 //! shape mismatch (see crate-level documentation).
+//!
+//! ## Blocked-kernel layout
+//!
+//! The three matrix products ([`matmul`], [`matmul_tn`], [`matmul_nt`])
+//! share one cache-blocked, register-tiled GEMM core:
+//!
+//! 1. **Pack B.** The right operand is repacked once per call into
+//!    column panels of [`NR`] columns, each panel laid out `[k × NR]`
+//!    contiguously (zero-padded past the matrix edge). The transposed
+//!    variants differ *only* in their packing routine, so the hot loop is
+//!    identical for all three products.
+//! 2. **Pack A per row tile.** Each [`MR`]-row tile of the left operand is
+//!    repacked into a `[k × MR]` panel so the micro-kernel reads both
+//!    operands as unit-stride streams.
+//! 3. **Micro-kernel.** An `MR × NR` accumulator tile lives entirely in
+//!    registers across the whole `k` loop; each step performs
+//!    `MR · NR` fused multiply-adds against one packed row of A and one
+//!    packed row of B, using the hardware FMA instruction when the target
+//!    has one (build with `target-cpu=native` — see `.cargo/config.toml`).
+//!    `MR × NR = 10 × 16` was tuned empirically: it autovectorizes to
+//!    dense FMA streams on AVX2/AVX-512 while staying within register
+//!    budget.
+//! 4. **Parallel row bands.** Output rows are split into bands (a few per
+//!    worker for load balance, capped at [`BAND_ROWS`] for packed-A
+//!    locality) distributed across rayon worker threads. Bands are always
+//!    multiples of [`MR`], so the register tiles stay globally aligned and
+//!    every output element accumulates its `k` products in the same order
+//!    under any banding or schedule — results are **bitwise identical
+//!    across thread counts**.
+//!
+//! The pre-optimization triple-loop kernels survive as [`reference`]; the
+//! `kernel_equivalence` property suite pins the blocked kernels to them
+//! within `1e-5` across randomized (including degenerate) shapes.
 
 use crate::Tensor;
 
-/// `C = A · B` for `A: [m, k]`, `B: [k, n]`.
-///
-/// Straightforward ikj-ordered triple loop — cache-friendly for the sizes
-/// the workspace uses (hundreds × hundreds at most).
+/// Rows per register tile (see module docs).
+pub const MR: usize = 10;
+/// Columns per register tile (see module docs).
+pub const NR: usize = 16;
+/// Maximum output rows per band (packed-A locality cap); a multiple of
+/// [`MR`].
+pub const BAND_ROWS: usize = 10 * 16;
+
+/// Below this many multiply-adds the whole product runs on the calling
+/// thread: spawning workers would cost more than the arithmetic.
+const PARALLEL_FLOP_THRESHOLD: usize = 128 * 1024;
+
+pub mod reference {
+    //! The original naive (obviously-correct) matrix kernels.
+    //!
+    //! These are the ground truth the blocked kernels in the parent module
+    //! are property-tested against, and the baseline the `kernels` bench
+    //! harness measures speedups from. They are not used on any hot path.
+
+    use super::mat_dims;
+    use crate::Tensor;
+
+    /// `C = A · B` for `A: [m, k]`, `B: [k, n]`; ikj-ordered triple loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `A` and `B` are matrices with matching inner
+    /// dimension.
+    pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = mat_dims(a, "matmul lhs");
+        let (k2, n) = mat_dims(b, "matmul rhs");
+        assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+        let mut c = Tensor::zeros([m, n]);
+        let ad = a.data();
+        let bd = b.data();
+        let cd = c.data_mut();
+        for i in 0..m {
+            for p in 0..k {
+                let aip = ad[i * k + p];
+                if aip == 0.0 {
+                    continue;
+                }
+                let brow = &bd[p * n..(p + 1) * n];
+                let crow = &mut cd[i * n..(i + 1) * n];
+                for j in 0..n {
+                    crow[j] += aip * brow[j];
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (no explicit transpose).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are matrices with matching leading dimension.
+    pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+        let (k, m) = mat_dims(a, "matmul_tn lhs");
+        let (k2, n) = mat_dims(b, "matmul_tn rhs");
+        assert_eq!(k, k2, "matmul_tn leading dims differ: {k} vs {k2}");
+        let mut c = Tensor::zeros([m, n]);
+        let ad = a.data();
+        let bd = b.data();
+        let cd = c.data_mut();
+        for p in 0..k {
+            let arow = &ad[p * m..(p + 1) * m];
+            let brow = &bd[p * n..(p + 1) * n];
+            for i in 0..m {
+                let aip = arow[i];
+                if aip == 0.0 {
+                    continue;
+                }
+                let crow = &mut cd[i * n..(i + 1) * n];
+                for j in 0..n {
+                    crow[j] += aip * brow[j];
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (no explicit transpose).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both are matrices with matching trailing dimension.
+    pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = mat_dims(a, "matmul_nt lhs");
+        let (n, k2) = mat_dims(b, "matmul_nt rhs");
+        assert_eq!(k, k2, "matmul_nt trailing dims differ: {k} vs {k2}");
+        let mut c = Tensor::zeros([m, n]);
+        let ad = a.data();
+        let bd = b.data();
+        let cd = c.data_mut();
+        for i in 0..m {
+            let arow = &ad[i * k..(i + 1) * k];
+            for j in 0..n {
+                let brow = &bd[j * k..(j + 1) * k];
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += arow[p] * brow[p];
+                }
+                cd[i * n + j] = acc;
+            }
+        }
+        c
+    }
+}
+
+/// How the GEMM core's packing routines read their operands.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum AShape {
+    /// `A: [m, k]`, element `(i, p)` at `a[i * k + p]`.
+    RowMajor,
+    /// `A: [k, m]` interpreted transposed, element `(i, p)` at
+    /// `a[p * m + i]`.
+    Transposed,
+}
+
+/// One fused-multiply-add step, using the hardware FMA instruction when
+/// the compilation target has one. Without the guard `f32::mul_add` lowers
+/// to a libm call on non-FMA targets, which is far slower than separate
+/// mul + add.
+#[inline(always)]
+fn fma(a: f32, b: f32, c: f32) -> f32 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
+/// The register-tile micro-kernel: `acc[MR × NR] += Apanel · Bpanel` over
+/// the full depth `k`, both panels packed unit-stride (see module docs).
+#[inline(always)]
+fn microkernel(k: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [f32; MR * NR]) {
+    debug_assert!(a_panel.len() >= k * MR);
+    debug_assert!(b_panel.len() >= k * NR);
+    let mut tile = [[0.0f32; NR]; MR];
+    for (a_row, b_row) in a_panel
+        .chunks_exact(MR)
+        .zip(b_panel.chunks_exact(NR))
+        .take(k)
+    {
+        let b_vec: [f32; NR] = b_row.try_into().unwrap();
+        for (r, row) in tile.iter_mut().enumerate() {
+            let arp = a_row[r];
+            for (c, cell) in row.iter_mut().enumerate() {
+                *cell = fma(arp, b_vec[c], *cell);
+            }
+        }
+    }
+    for (r, row) in tile.iter().enumerate() {
+        acc[r * NR..(r + 1) * NR].copy_from_slice(row);
+    }
+}
+
+/// Packs the `MR`-row tile of A starting at output row `i0` into
+/// `dst: [k × MR]`, zero-padding rows past `m`.
+#[inline]
+fn pack_a_tile(dst: &mut [f32], a: &[f32], shape: AShape, m: usize, k: usize, i0: usize) {
+    let rows = MR.min(m - i0);
+    match shape {
+        AShape::RowMajor => {
+            for p in 0..k {
+                let d = &mut dst[p * MR..p * MR + MR];
+                for (r, v) in d.iter_mut().enumerate() {
+                    *v = if r < rows { a[(i0 + r) * k + p] } else { 0.0 };
+                }
+            }
+        }
+        AShape::Transposed => {
+            for p in 0..k {
+                let src = &a[p * m + i0..p * m + i0 + rows];
+                let d = &mut dst[p * MR..p * MR + MR];
+                d[..rows].copy_from_slice(src);
+                d[rows..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Packs `B: [k, n]` into `NR`-column panels, each `[k × NR]` contiguous,
+/// zero-padded past `n`.
+fn pack_b_nn(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let panels = n.div_ceil(NR);
+    let mut buf = vec![0.0f32; panels * k * NR];
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = NR.min(n - j0);
+        let panel = &mut buf[jp * k * NR..(jp + 1) * k * NR];
+        for p in 0..k {
+            panel[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+        }
+    }
+    buf
+}
+
+/// Packs `B: [n, k]` (used transposed) into the same panel layout as
+/// [`pack_b_nn`], so `C = A · Bᵀ` shares the micro-kernel.
+fn pack_b_nt(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let panels = n.div_ceil(NR);
+    let mut buf = vec![0.0f32; panels * k * NR];
+    for jp in 0..panels {
+        let j0 = jp * NR;
+        let w = NR.min(n - j0);
+        let panel = &mut buf[jp * k * NR..(jp + 1) * k * NR];
+        for c in 0..w {
+            let row = &b[(j0 + c) * k..(j0 + c) * k + k];
+            for (p, &v) in row.iter().enumerate() {
+                panel[p * NR + c] = v;
+            }
+        }
+    }
+    buf
+}
+
+/// The shared GEMM driver: writes `C = op(A) · op(B)` into `c`, which must
+/// hold `m * n` elements. Every element of `c` is overwritten.
+fn gemm_driver(
+    a: &[f32],
+    a_shape: AShape,
+    b_packed: &[f32],
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.fill(0.0);
+        return;
+    }
+    let panels = n.div_ceil(NR);
+    // Band size adapts to the worker count (a few bands per worker for
+    // load balance), capped at BAND_ROWS for packed-A locality. Banding
+    // cannot affect numerics: bands are multiples of MR, so the register
+    // tiles stay globally MR-aligned and every output element is computed
+    // in the same order for ANY band size — results are bitwise identical
+    // across thread counts.
+    let threads = rayon::current_num_threads();
+    let worthwhile = m * n * k >= PARALLEL_FLOP_THRESHOLD && threads > 1 && m > MR;
+    let chunk_rows = if worthwhile {
+        (m.div_ceil(4 * threads).div_ceil(MR) * MR).min(BAND_ROWS)
+    } else {
+        BAND_ROWS
+    };
+    let band = |cband: &mut [f32], band_idx: usize| {
+        let i_base = band_idx * chunk_rows;
+        let band_rows = cband.len() / n;
+        let tiles = band_rows.div_ceil(MR);
+        // Pack the band's A tiles once; the j-panel loop then runs outermost
+        // so each 16-or-so-KB B panel stays L1-resident across every tile.
+        let mut a_band = vec![0.0f32; tiles * k * MR];
+        for (t, a_panel) in a_band.chunks_mut(k * MR).enumerate() {
+            pack_a_tile(a_panel, a, a_shape, m, k, i_base + t * MR);
+        }
+        for jp in 0..panels {
+            let j0 = jp * NR;
+            let w = NR.min(n - j0);
+            let b_panel = &b_packed[jp * k * NR..(jp + 1) * k * NR];
+            for (t, a_panel) in a_band.chunks(k * MR).enumerate() {
+                let it = t * MR;
+                let rows = MR.min(band_rows - it);
+                let mut acc = [0.0f32; MR * NR];
+                microkernel(k, a_panel, b_panel, &mut acc);
+                for r in 0..rows {
+                    cband[(it + r) * n + j0..(it + r) * n + j0 + w]
+                        .copy_from_slice(&acc[r * NR..r * NR + w]);
+                }
+            }
+        }
+    };
+    crate::chunking::for_each_chunk(c, chunk_rows * n, worthwhile, |band_idx, cband| {
+        band(cband, band_idx)
+    });
+}
+
+/// `C = A · B` for `A: [m, k]`, `B: [k, n]` — cache-blocked and
+/// register-tiled (see module docs).
 ///
 /// # Panics
 ///
 /// Panics unless `A` and `B` are matrices with matching inner dimension.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
-    let (m, k) = mat_dims(a, "matmul lhs");
-    let (k2, n) = mat_dims(b, "matmul rhs");
-    assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+    let (m, _) = mat_dims(a, "matmul lhs");
+    let (_, n) = mat_dims(b, "matmul rhs");
     let mut c = Tensor::zeros([m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    let cd = c.data_mut();
-    for i in 0..m {
-        for p in 0..k {
-            let aip = ad[i * k + p];
-            if aip == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            let crow = &mut cd[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += aip * brow[j];
-            }
-        }
-    }
+    matmul_into(a, b, &mut c);
     c
 }
 
-/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (no explicit transpose).
+/// [`matmul`] writing into a caller-provided (e.g. workspace-acquired)
+/// output tensor. Every element of `c` is overwritten.
+///
+/// # Panics
+///
+/// Panics on operand shape mismatch or if `c` is not `[m, n]`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (m, k) = mat_dims(a, "matmul lhs");
+    let (k2, n) = mat_dims(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
+    assert_eq!(
+        c.shape().dims(),
+        &[m, n],
+        "matmul output must be [{m}, {n}]"
+    );
+    let b_packed = pack_b_nn(b.data(), k, n);
+    gemm_driver(a.data(), AShape::RowMajor, &b_packed, c.data_mut(), m, n, k);
+}
+
+/// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (no explicit transpose) —
+/// cache-blocked and register-tiled (see module docs).
 ///
 /// # Panics
 ///
 /// Panics unless both are matrices with matching leading dimension.
 pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    let (k, m) = mat_dims(a, "matmul_tn lhs");
-    let (k2, n) = mat_dims(b, "matmul_tn rhs");
-    assert_eq!(k, k2, "matmul_tn leading dims differ: {k} vs {k2}");
+    let (_, m) = mat_dims(a, "matmul_tn lhs");
+    let (_, n) = mat_dims(b, "matmul_tn rhs");
     let mut c = Tensor::zeros([m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    let cd = c.data_mut();
-    for p in 0..k {
-        let arow = &ad[p * m..(p + 1) * m];
-        let brow = &bd[p * n..(p + 1) * n];
-        for i in 0..m {
-            let aip = arow[i];
-            if aip == 0.0 {
-                continue;
-            }
-            let crow = &mut cd[i * n..(i + 1) * n];
-            for j in 0..n {
-                crow[j] += aip * brow[j];
-            }
-        }
-    }
+    matmul_tn_into(a, b, &mut c);
     c
 }
 
-/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (no explicit transpose).
+/// [`matmul_tn`] writing into a caller-provided output tensor.
+///
+/// # Panics
+///
+/// Panics on operand shape mismatch or if `c` is not `[m, n]`.
+pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    let (k, m) = mat_dims(a, "matmul_tn lhs");
+    let (k2, n) = mat_dims(b, "matmul_tn rhs");
+    assert_eq!(k, k2, "matmul_tn leading dims differ: {k} vs {k2}");
+    assert_eq!(
+        c.shape().dims(),
+        &[m, n],
+        "matmul_tn output must be [{m}, {n}]"
+    );
+    let b_packed = pack_b_nn(b.data(), k, n);
+    gemm_driver(
+        a.data(),
+        AShape::Transposed,
+        &b_packed,
+        c.data_mut(),
+        m,
+        n,
+        k,
+    );
+}
+
+/// `C = A · Bᵀ` for `A: [m, k]`, `B: [n, k]` (no explicit transpose) —
+/// cache-blocked and register-tiled (see module docs).
 ///
 /// # Panics
 ///
 /// Panics unless both are matrices with matching trailing dimension.
 pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, _) = mat_dims(a, "matmul_nt lhs");
+    let (n, _) = mat_dims(b, "matmul_nt rhs");
+    let mut c = Tensor::zeros([m, n]);
+    matmul_nt_into(a, b, &mut c);
+    c
+}
+
+/// [`matmul_nt`] writing into a caller-provided output tensor.
+///
+/// # Panics
+///
+/// Panics on operand shape mismatch or if `c` is not `[m, n]`.
+pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
     let (m, k) = mat_dims(a, "matmul_nt lhs");
     let (n, k2) = mat_dims(b, "matmul_nt rhs");
     assert_eq!(k, k2, "matmul_nt trailing dims differ: {k} vs {k2}");
-    let mut c = Tensor::zeros([m, n]);
-    let ad = a.data();
-    let bd = b.data();
-    let cd = c.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * k..(i + 1) * k];
-        for j in 0..n {
-            let brow = &bd[j * k..(j + 1) * k];
-            let mut acc = 0.0;
-            for p in 0..k {
-                acc += arow[p] * brow[p];
-            }
-            cd[i * n + j] = acc;
-        }
-    }
-    c
+    assert_eq!(
+        c.shape().dims(),
+        &[m, n],
+        "matmul_nt output must be [{m}, {n}]"
+    );
+    let b_packed = pack_b_nt(b.data(), k, n);
+    gemm_driver(a.data(), AShape::RowMajor, &b_packed, c.data_mut(), m, n, k);
+}
+
+/// `C = A · Bᵀ` on raw row-major buffers — the im2col convolution path
+/// calls this to avoid materializing a reshaped weight tensor.
+///
+/// `a` is `[m, k]`, `b` is `[n, k]`, `c` must hold `m * n` elements and is
+/// fully overwritten.
+pub(crate) fn gemm_nt_raw(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    let b_packed = pack_b_nt(b, k, n);
+    gemm_driver(a, AShape::RowMajor, &b_packed, c, m, n, k);
 }
 
 /// Transposes a matrix.
@@ -230,6 +576,19 @@ mod tests {
     }
 
     #[test]
+    fn blocked_matmul_matches_reference_beyond_band_size() {
+        // Spans multiple bands, register tiles, and ragged edges at once.
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn([2 * BAND_ROWS + 3, 37], 1.0, &mut rng);
+        let b = Tensor::randn([37, 2 * NR + 5], 1.0, &mut rng);
+        assert_close(
+            matmul(&a, &b).data(),
+            reference::matmul(&a, &b).data(),
+            1e-5,
+        );
+    }
+
+    #[test]
     fn matmul_tn_matches_explicit_transpose() {
         let mut rng = StdRng::seed_from_u64(2);
         let a = Tensor::randn([5, 3], 1.0, &mut rng);
@@ -247,6 +606,28 @@ mod tests {
         let via_nt = matmul_nt(&a, &b);
         let via_t = matmul(&a, &transpose(&b));
         assert_close(via_nt.data(), via_t.data(), 1e-5);
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_output() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::randn([9, 7], 1.0, &mut rng);
+        let b = Tensor::randn([7, 11], 1.0, &mut rng);
+        let mut c = Tensor::filled([9, 11], f32::NAN);
+        matmul_into(&a, &b, &mut c);
+        assert_close(c.data(), reference::matmul(&a, &b).data(), 1e-5);
+    }
+
+    #[test]
+    fn empty_operands_produce_empty_products() {
+        let a = Tensor::zeros([0, 5]);
+        let b = Tensor::zeros([5, 4]);
+        assert_eq!(matmul(&a, &b).shape().dims(), &[0, 4]);
+        let a = Tensor::zeros([3, 0]);
+        let b = Tensor::zeros([0, 4]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape().dims(), &[3, 4]);
+        assert!(c.data().iter().all(|&v| v == 0.0));
     }
 
     #[test]

@@ -1,7 +1,71 @@
 //! Pooling kernels: 2×2 max pooling (the VGG/ResNet block separator in the
 //! paper) and global average pooling (ResNet-style heads).
+//!
+//! The max-pool batch loop fans out across rayon worker threads (one batch
+//! item per work unit, disjoint output and argmax chunks, so results are
+//! bitwise identical across thread counts). Eval-mode inference uses
+//! [`maxpool2x2_forward_eval_into`], which skips the argmax bookkeeping
+//! entirely and writes into a workspace-acquired output.
 
+use crate::chunking::{for_each_chunk, for_each_chunk_zip};
 use crate::Tensor;
+
+/// Below this many pooled elements the kernel runs on the calling thread.
+const PARALLEL_ELEMENT_THRESHOLD: usize = 16 * 1024;
+
+fn pool_geometry(input: &Tensor) -> (usize, usize, usize, usize, usize, usize) {
+    let d = input.shape().dims();
+    assert_eq!(
+        d.len(),
+        4,
+        "maxpool input must be 4-D, got {}",
+        input.shape()
+    );
+    let (n_batch, c, h, w) = (d[0], d[1], d[2], d[3]);
+    assert!(
+        h >= 2 && w >= 2,
+        "maxpool needs spatial extent >= 2, got {h}x{w}"
+    );
+    (n_batch, c, h, w, h / 2, w / 2)
+}
+
+/// Max-pools one batch item's `C` planes from `ichunk` into `ochunk`,
+/// recording argmax indices (relative to `ibase_abs`) when given.
+#[inline]
+fn maxpool_item(
+    ichunk: &[f32],
+    ochunk: &mut [f32],
+    mut argmax: Option<(&mut [usize], usize)>,
+    c: usize,
+    h: usize,
+    w: usize,
+) {
+    let (ho, wo) = (h / 2, w / 2);
+    for ch in 0..c {
+        let ibase = ch * h * w;
+        let obase = ch * ho * wo;
+        for oh in 0..ho {
+            for ow in 0..wo {
+                let i00 = ibase + (2 * oh) * w + 2 * ow;
+                let i01 = i00 + 1;
+                let i10 = i00 + w;
+                let i11 = i10 + 1;
+                let mut best_idx = i00;
+                let mut best = ichunk[i00];
+                for idx in [i01, i10, i11] {
+                    if ichunk[idx] > best {
+                        best = ichunk[idx];
+                        best_idx = idx;
+                    }
+                }
+                ochunk[obase + oh * wo + ow] = best;
+                if let Some((am, ibase_abs)) = argmax.as_mut() {
+                    am[obase + oh * wo + ow] = *ibase_abs + best_idx;
+                }
+            }
+        }
+    }
+}
 
 /// Result of a max-pool forward pass: the pooled output plus the linear
 /// index (into the input tensor) of each selected maximum, which the
@@ -23,52 +87,64 @@ pub struct MaxPoolOutput {
 ///
 /// Panics if the input is not 4-D or has spatial extent < 2.
 pub fn maxpool2x2_forward(input: &Tensor) -> MaxPoolOutput {
-    let d = input.shape().dims();
-    assert_eq!(
-        d.len(),
-        4,
-        "maxpool input must be 4-D, got {}",
-        input.shape()
-    );
-    let (n_batch, c, h, w) = (d[0], d[1], d[2], d[3]);
-    assert!(
-        h >= 2 && w >= 2,
-        "maxpool needs spatial extent >= 2, got {h}x{w}"
-    );
-    let ho = h / 2;
-    let wo = w / 2;
+    let (n_batch, c, h, w, ho, wo) = pool_geometry(input);
     let mut out = Tensor::zeros([n_batch, c, ho, wo]);
     let mut argmax = vec![0usize; n_batch * c * ho * wo];
     let id = input.data();
+    let in_item = c * h * w;
+    let out_item = c * ho * wo;
     let od = out.data_mut();
-    for n in 0..n_batch {
-        for ch in 0..c {
-            let ibase = (n * c + ch) * h * w;
-            let obase = (n * c + ch) * ho * wo;
-            for oh in 0..ho {
-                for ow in 0..wo {
-                    let i00 = ibase + (2 * oh) * w + 2 * ow;
-                    let i01 = i00 + 1;
-                    let i10 = i00 + w;
-                    let i11 = i10 + 1;
-                    let mut best_idx = i00;
-                    let mut best = id[i00];
-                    for idx in [i01, i10, i11] {
-                        if id[idx] > best {
-                            best = id[idx];
-                            best_idx = idx;
-                        }
-                    }
-                    od[obase + oh * wo + ow] = best;
-                    argmax[obase + oh * wo + ow] = best_idx;
-                }
-            }
-        }
-    }
+    let pool_one = |n: usize, ochunk: &mut [f32], achunk: &mut [usize]| {
+        let ibase_abs = n * in_item;
+        maxpool_item(
+            &id[ibase_abs..ibase_abs + in_item],
+            ochunk,
+            Some((achunk, ibase_abs)),
+            c,
+            h,
+            w,
+        );
+    };
+    for_each_chunk_zip(
+        od,
+        &mut argmax,
+        out_item,
+        n_batch * out_item >= PARALLEL_ELEMENT_THRESHOLD,
+        pool_one,
+    );
     MaxPoolOutput {
         output: out,
         argmax,
     }
+}
+
+/// Eval-mode 2×2 max pooling into a caller-provided (e.g.
+/// workspace-acquired) output, skipping argmax bookkeeping entirely.
+///
+/// # Panics
+///
+/// Panics on the same layout violations as [`maxpool2x2_forward`], or if
+/// `out` is not `[N, C, H/2, W/2]`.
+pub fn maxpool2x2_forward_eval_into(input: &Tensor, out: &mut Tensor) {
+    let (n_batch, c, h, w, ho, wo) = pool_geometry(input);
+    assert_eq!(
+        out.shape().dims(),
+        &[n_batch, c, ho, wo],
+        "maxpool output must be [{n_batch}, {c}, {ho}, {wo}]"
+    );
+    let id = input.data();
+    let in_item = c * h * w;
+    let out_item = c * ho * wo;
+    let pool_one = |n: usize, ochunk: &mut [f32]| {
+        let ibase_abs = n * in_item;
+        maxpool_item(&id[ibase_abs..ibase_abs + in_item], ochunk, None, c, h, w);
+    };
+    for_each_chunk(
+        out.data_mut(),
+        out_item,
+        n_batch * out_item >= PARALLEL_ELEMENT_THRESHOLD,
+        pool_one,
+    );
 }
 
 /// Backward pass of 2×2 max pooling: routes each upstream gradient to the
@@ -102,9 +178,34 @@ pub fn maxpool2x2_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[u
 pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
     let d = input.shape().dims();
     assert_eq!(d.len(), 4, "gap input must be 4-D, got {}", input.shape());
-    let (n_batch, c, h, w) = (d[0], d[1], d[2], d[3]);
-    let inv = 1.0 / (h * w) as f32;
+    let (n_batch, c) = (d[0], d[1]);
     let mut out = Tensor::zeros([n_batch, c]);
+    global_avg_pool_forward_into(input, &mut out);
+    out
+}
+
+/// [`global_avg_pool_forward`] writing into a caller-provided output.
+///
+/// # Panics
+///
+/// Panics if the input is not 4-D or `out` is not `[N, C]`.
+pub fn global_avg_pool_forward_into(input: &Tensor, out: &mut Tensor) {
+    let d = input.shape().dims();
+    assert_eq!(d.len(), 4, "gap input must be 4-D, got {}", input.shape());
+    let (n_batch, c, h, w) = (d[0], d[1], d[2], d[3]);
+    assert_eq!(
+        out.shape().dims(),
+        &[n_batch, c],
+        "gap output must be [{n_batch}, {c}]"
+    );
+    // Zero spatial extent is legal (zero-extent shapes are allowed for
+    // degenerate serving inputs); the mean of an empty window is defined
+    // as 0 rather than 0 * inf = NaN.
+    let inv = if h * w == 0 {
+        0.0
+    } else {
+        1.0 / (h * w) as f32
+    };
     let id = input.data();
     let od = out.data_mut();
     for n in 0..n_batch {
@@ -113,7 +214,6 @@ pub fn global_avg_pool_forward(input: &Tensor) -> Tensor {
             od[n * c + ch] = id[ibase..ibase + h * w].iter().sum::<f32>() * inv;
         }
     }
-    out
 }
 
 /// Backward pass of global average pooling: spreads each upstream gradient
@@ -168,6 +268,17 @@ mod tests {
         let MaxPoolOutput { output, argmax } = maxpool2x2_forward(&input);
         assert_eq!(output.data(), &[4., 8., 12., 16.]);
         assert_eq!(argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn eval_into_matches_train_path() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let input = Tensor::randn([3, 2, 6, 8], 1.0, &mut StdRng::seed_from_u64(5));
+        let full = maxpool2x2_forward(&input);
+        let mut out = Tensor::zeros([3, 2, 3, 4]);
+        maxpool2x2_forward_eval_into(&input, &mut out);
+        assert_eq!(out.data(), full.output.data());
     }
 
     #[test]

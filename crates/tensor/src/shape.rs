@@ -21,17 +21,18 @@ pub struct Shape(Vec<usize>);
 impl Shape {
     /// Creates a shape from dimension extents.
     ///
+    /// Zero extents are legal and produce a zero-element tensor: the
+    /// inference engine represents an empty request batch as `[0, C, H, W]`
+    /// and its predictions as `[0, K]`. Kernels degrade to empty (or
+    /// bias-only) outputs on zero batch/channel/filter extents; kernels
+    /// with a minimum spatial extent (convolution, max pooling) still
+    /// panic loudly when it is violated.
+    ///
     /// # Panics
     ///
-    /// Panics if `dims` is empty or any extent is zero: zero-sized tensors
-    /// are never meaningful in this workspace and almost always indicate an
-    /// upstream bug.
+    /// Panics if `dims` is empty (a tensor always has a rank).
     pub fn new(dims: Vec<usize>) -> Self {
         assert!(!dims.is_empty(), "shape must have at least one dimension");
-        assert!(
-            dims.iter().all(|&d| d > 0),
-            "shape extents must be positive, got {dims:?}"
-        );
         Shape(dims)
     }
 
@@ -45,8 +46,8 @@ impl Shape {
         self.0.iter().product()
     }
 
-    /// Whether the shape has zero total elements. Always `false` for a
-    /// validly constructed shape; provided for API completeness.
+    /// Whether the shape has zero total elements (some extent is zero,
+    /// e.g. an empty request batch).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -137,9 +138,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_extent_rejected() {
-        Shape::new(vec![2, 0]);
+    fn zero_extent_is_a_legal_empty_batch() {
+        let s = Shape::new(vec![0, 3, 8, 8]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.dim(0), 0);
+        assert_eq!(s.dim(1), 3);
     }
 
     #[test]

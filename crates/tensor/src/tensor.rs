@@ -101,8 +101,8 @@ impl Tensor {
         self.data.len()
     }
 
-    /// Whether the tensor has zero elements (never true for a validly
-    /// constructed tensor).
+    /// Whether the tensor has zero elements (some extent is zero, e.g. an
+    /// empty request batch).
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }

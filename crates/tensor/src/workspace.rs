@@ -1,0 +1,229 @@
+//! [`Workspace`]: a reusable scratch-buffer arena for inference hot paths.
+//!
+//! Every layer of a forward pass produces a fresh activation tensor, and
+//! the im2col convolution path needs a large unfold buffer per call. Under
+//! batched serving those allocations repeat with identical sizes on every
+//! request, so the network forward pass threads a `Workspace` through the
+//! layers instead: finished buffers are [released](Workspace::release) back
+//! into a pool and the next [acquire](Workspace::acquire) reuses them.
+//! After the first request through a network the pool reaches its
+//! high-water set of buffers and steady-state inference performs no heap
+//! allocation for activations or im2col scratch.
+//!
+//! A workspace is deliberately not thread-safe: the batched ensemble
+//! engine keeps one workspace **per member worker**, which keeps the hot
+//! path lock-free.
+//!
+//! ```
+//! use mn_tensor::{Tensor, Workspace};
+//!
+//! let mut ws = Workspace::new();
+//! let a = ws.acquire([4, 4]);
+//! assert_eq!(a.sum(), 0.0); // acquired tensors are zeroed
+//! ws.release(a);
+//! let b = ws.acquire([2, 8]); // reuses the same 16-element buffer
+//! assert_eq!(b.len(), 16);
+//! assert_eq!(ws.pooled_buffers(), 0);
+//! ```
+
+use crate::{Shape, Tensor};
+
+/// A pool of reusable `f32` buffers handed out as zeroed [`Tensor`]s.
+#[derive(Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Returns a **zeroed** tensor of `shape`, reusing pooled storage when
+    /// possible.
+    ///
+    /// Reuse picks the smallest pooled buffer whose capacity fits; if none
+    /// fits, the largest pooled buffer is grown instead of allocating a
+    /// fresh one, so the pool size stays bounded by the high-water count of
+    /// simultaneously live tensors.
+    pub fn acquire<S: Into<Shape>>(&mut self, shape: S) -> Tensor {
+        let shape = shape.into();
+        let len = shape.len();
+        let mut buf = self.take_buffer(len);
+        buf.clear();
+        buf.resize(len, 0.0);
+        Tensor::from_vec(shape, buf)
+    }
+
+    /// Like [`Workspace::acquire`], but with **unspecified** (stale)
+    /// contents — for kernels that overwrite every output element, this
+    /// skips a full-buffer zeroing memset per call. Do **not** use for
+    /// outputs with elements the consuming kernel leaves untouched.
+    pub fn acquire_uninit<S: Into<Shape>>(&mut self, shape: S) -> Tensor {
+        let shape = shape.into();
+        let len = shape.len();
+        let mut buf = self.take_buffer(len);
+        if buf.len() >= len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, 0.0);
+        }
+        Tensor::from_vec(shape, buf)
+    }
+
+    /// Removes and returns the best-fitting pooled buffer for `len`
+    /// elements (smallest sufficient capacity, else the largest so growth
+    /// reuses it), or a fresh allocation when the pool is empty.
+    fn take_buffer(&mut self, len: usize) -> Vec<f32> {
+        let mut best: Option<usize> = None;
+        for (i, buf) in self.pool.iter().enumerate() {
+            let fits = buf.capacity() >= len;
+            match best {
+                Some(j) => {
+                    let best_fits = self.pool[j].capacity() >= len;
+                    let better = if fits && best_fits {
+                        buf.capacity() < self.pool[j].capacity()
+                    } else if fits != best_fits {
+                        fits
+                    } else {
+                        buf.capacity() > self.pool[j].capacity()
+                    };
+                    if better {
+                        best = Some(i);
+                    }
+                }
+                None => best = Some(i),
+            }
+        }
+        match best {
+            Some(i) => self.pool.swap_remove(i),
+            None => Vec::with_capacity(len),
+        }
+    }
+
+    /// Returns a tensor's storage to the pool for future reuse.
+    ///
+    /// Releasing a tensor the workspace did not create is fine — the pool
+    /// only cares about raw buffers.
+    pub fn release(&mut self, t: Tensor) {
+        let buf = t.into_vec();
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Number of buffers currently parked in the pool.
+    pub fn pooled_buffers(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Total `f32` capacity currently parked in the pool.
+    pub fn pooled_capacity(&self) -> usize {
+        self.pool.iter().map(|b| b.capacity()).sum()
+    }
+
+    /// Drops every pooled buffer.
+    pub fn clear(&mut self) {
+        self.pool.clear();
+    }
+}
+
+impl std::fmt::Debug for Workspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workspace")
+            .field("buffers", &self.pool.len())
+            .field("capacity", &self.pooled_capacity())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_returns_zeroed_tensor_of_requested_shape() {
+        let mut ws = Workspace::new();
+        let mut t = ws.acquire([3, 4]);
+        assert_eq!(t.shape().dims(), &[3, 4]);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        // Dirty the buffer, release, re-acquire: still zeroed.
+        t.data_mut().iter_mut().for_each(|v| *v = 7.0);
+        ws.release(t);
+        let t2 = ws.acquire([3, 4]);
+        assert!(t2.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn acquire_uninit_reuses_without_zeroing_and_sizes_correctly() {
+        let mut ws = Workspace::new();
+        let mut t = ws.acquire([8]);
+        t.data_mut().iter_mut().for_each(|v| *v = 3.0);
+        ws.release(t);
+        // Same-size reuse: contents are unspecified (here: stale 3s), but
+        // the length and shape must be exact.
+        let t2 = ws.acquire_uninit([2, 4]);
+        assert_eq!(t2.len(), 8);
+        assert_eq!(t2.shape().dims(), &[2, 4]);
+        ws.release(t2);
+        // Shrinking and growing reuse must also produce exact lengths.
+        let small = ws.acquire_uninit([3]);
+        assert_eq!(small.len(), 3);
+        ws.release(small);
+        let big = ws.acquire_uninit([16]);
+        assert_eq!(big.len(), 16);
+    }
+
+    #[test]
+    fn release_then_acquire_reuses_storage() {
+        let mut ws = Workspace::new();
+        let t = ws.acquire([64]);
+        ws.release(t);
+        assert_eq!(ws.pooled_buffers(), 1);
+        let _t2 = ws.acquire([32]); // fits in the pooled 64-element buffer
+        assert_eq!(ws.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn best_fit_prefers_smallest_sufficient_buffer() {
+        let mut ws = Workspace::new();
+        let big = ws.acquire([100]);
+        let small = ws.acquire([10]);
+        ws.release(big);
+        ws.release(small);
+        let t = ws.acquire([8]);
+        assert!(t.len() == 8);
+        // The 10-capacity buffer was chosen; the 100 one is still pooled.
+        assert_eq!(ws.pooled_capacity(), 100);
+    }
+
+    #[test]
+    fn grows_largest_buffer_instead_of_accumulating() {
+        let mut ws = Workspace::new();
+        let t = ws.acquire([4]);
+        ws.release(t);
+        let big = ws.acquire([1000]); // grows the pooled buffer
+        assert_eq!(big.len(), 1000);
+        assert_eq!(ws.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn zero_element_shapes_are_supported() {
+        let mut ws = Workspace::new();
+        let t = ws.acquire([0, 5]);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.shape().dims(), &[0, 5]);
+        ws.release(t);
+    }
+
+    #[test]
+    fn clear_empties_pool() {
+        let mut ws = Workspace::new();
+        let t = ws.acquire([16]);
+        ws.release(t);
+        ws.clear();
+        assert_eq!(ws.pooled_buffers(), 0);
+        assert_eq!(ws.pooled_capacity(), 0);
+    }
+}

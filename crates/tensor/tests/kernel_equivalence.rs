@@ -1,0 +1,284 @@
+//! The reference-kernel lockdown suite: every blocked / parallel kernel
+//! must match its naive reference implementation to ≤ 1e-5 across
+//! randomized shapes — including shapes that are not multiples of the
+//! register-tile or band sizes, and degenerate shapes with 0- or 1-extent
+//! dimensions.
+//!
+//! This is the contract that lets later PRs rewrite the hot kernels
+//! freely: as long as this suite passes, the optimization is behaviorally
+//! invisible.
+
+use mn_tensor::pool::{maxpool2x2_forward, maxpool2x2_forward_eval_into};
+use mn_tensor::{conv, im2col, ops, Tensor, Workspace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f32 = 1e-5;
+
+fn randn(shape: Vec<usize>, seed: u64) -> Tensor {
+    Tensor::randn(shape, 1.0, &mut StdRng::seed_from_u64(seed))
+}
+
+/// Normalized max abs diff: tolerance scales with the reduction depth so
+/// reordered f32 summation over long dots stays within budget.
+fn close(a: &Tensor, b: &Tensor, k: usize) -> bool {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    mn_tensor::max_abs_diff(a.data(), b.data()) <= TOL * (k.max(1) as f32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Blocked matmul == reference across randomized shapes, including
+    /// 0-extent (empty) and 1-extent (vector-like) dimensions and sizes
+    /// straddling the MR/NR/BAND_ROWS boundaries.
+    #[test]
+    fn matmul_matches_reference(
+        m in 0usize..40,
+        k in 0usize..40,
+        n in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = randn(vec![m, k], seed);
+        let b = randn(vec![k, n], seed + 1);
+        prop_assert!(close(&ops::matmul(&a, &b), &ops::reference::matmul(&a, &b), k));
+    }
+
+    /// Blocked A-transposed product == reference.
+    #[test]
+    fn matmul_tn_matches_reference(
+        m in 0usize..40,
+        k in 0usize..40,
+        n in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = randn(vec![k, m], seed);
+        let b = randn(vec![k, n], seed + 1);
+        prop_assert!(close(&ops::matmul_tn(&a, &b), &ops::reference::matmul_tn(&a, &b), k));
+    }
+
+    /// Blocked B-transposed product == reference.
+    #[test]
+    fn matmul_nt_matches_reference(
+        m in 0usize..40,
+        k in 0usize..40,
+        n in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = randn(vec![m, k], seed);
+        let b = randn(vec![n, k], seed + 1);
+        prop_assert!(close(&ops::matmul_nt(&a, &b), &ops::reference::matmul_nt(&a, &b), k));
+    }
+
+    /// Shapes crossing whole parallel-band boundaries (the multi-band code
+    /// path) still match the reference.
+    #[test]
+    fn matmul_matches_reference_across_bands(
+        extra in 0usize..(2 * ops::MR + 1),
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let m = ops::BAND_ROWS + extra;
+        let a = randn(vec![m, k], seed);
+        let b = randn(vec![k, n], seed + 1);
+        prop_assert!(close(&ops::matmul(&a, &b), &ops::reference::matmul(&a, &b), k));
+    }
+
+    /// Parallel direct convolution == naive reference, arbitrary geometry.
+    #[test]
+    fn conv_direct_matches_reference(
+        n in 0usize..4,
+        c in 1usize..5,
+        f in 1usize..5,
+        hw in 3usize..9,
+        k_idx in 0usize..3,
+        pad_same in proptest::bool::ANY,
+        seed in 0u64..1_000_000,
+    ) {
+        let k = [1usize, 3, 5][k_idx];
+        prop_assume!(hw + 2 * (if pad_same { k / 2 } else { 0 }) >= k);
+        let pad = if pad_same { k / 2 } else { 0 };
+        let input = randn(vec![n, c, hw, hw], seed);
+        let weight = randn(vec![f, c, k, k], seed + 1);
+        let bias = randn(vec![f], seed + 2);
+        let fast = conv::conv2d_forward(&input, &weight, &bias, pad);
+        if n == 0 {
+            prop_assert!(fast.is_empty());
+        } else {
+            let slow = conv::conv2d_forward_reference(&input, &weight, &bias, pad);
+            prop_assert!(close(&fast, &slow, c * k * k));
+        }
+    }
+
+    /// im2col + blocked GEMM convolution == naive reference, with and
+    /// without workspace reuse.
+    #[test]
+    fn conv_im2col_matches_reference(
+        n in 0usize..4,
+        c in 1usize..5,
+        f in 1usize..5,
+        hw in 3usize..9,
+        k_idx in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let k = [1usize, 3, 5][k_idx];
+        let pad = k / 2;
+        let input = randn(vec![n, c, hw, hw], seed);
+        let weight = randn(vec![f, c, k, k], seed + 1);
+        let bias = randn(vec![f], seed + 2);
+        let gemm = im2col::conv2d_forward_im2col(&input, &weight, &bias, pad);
+        if n == 0 {
+            prop_assert!(gemm.is_empty());
+        } else {
+            let slow = conv::conv2d_forward_reference(&input, &weight, &bias, pad);
+            prop_assert!(close(&gemm, &slow, c * k * k));
+            // A dirty reused workspace must not change the result.
+            let mut ws = Workspace::new();
+            let warm = im2col::conv2d_forward_im2col_ws(&input, &weight, &bias, pad, &mut ws);
+            ws.release(warm);
+            let reused = im2col::conv2d_forward_im2col_ws(&input, &weight, &bias, pad, &mut ws);
+            prop_assert_eq!(gemm.data(), reused.data());
+        }
+    }
+
+    /// Parallel max pooling == an inline naive reference, and the
+    /// eval-mode variant matches the train-mode output.
+    #[test]
+    fn maxpool_matches_reference(
+        n in 1usize..5,
+        c in 1usize..4,
+        h in 2usize..9,
+        w in 2usize..9,
+        seed in 0u64..1_000_000,
+    ) {
+        let input = randn(vec![n, c, h, w], seed);
+        let fast = maxpool2x2_forward(&input);
+        let (ho, wo) = (h / 2, w / 2);
+        for b in 0..n {
+            for ch in 0..c {
+                for oh in 0..ho {
+                    for ow in 0..wo {
+                        let window = [
+                            input.at4(b, ch, 2 * oh, 2 * ow),
+                            input.at4(b, ch, 2 * oh, 2 * ow + 1),
+                            input.at4(b, ch, 2 * oh + 1, 2 * ow),
+                            input.at4(b, ch, 2 * oh + 1, 2 * ow + 1),
+                        ];
+                        let expect = window.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                        prop_assert_eq!(fast.output.at4(b, ch, oh, ow), expect);
+                    }
+                }
+            }
+        }
+        let mut eval = Tensor::zeros([n, c, ho, wo]);
+        maxpool2x2_forward_eval_into(&input, &mut eval);
+        prop_assert_eq!(eval.data(), fast.output.data());
+    }
+
+    /// `matmul_into` into a dirty reused workspace tensor == fresh matmul.
+    #[test]
+    fn matmul_into_workspace_reuse_is_invisible(
+        m in 0usize..24,
+        k in 0usize..24,
+        n in 0usize..24,
+        seed in 0u64..1_000_000,
+    ) {
+        let a = randn(vec![m, k], seed);
+        let b = randn(vec![k, n], seed + 1);
+        let mut ws = Workspace::new();
+        let dirty = randn(vec![(m * n).max(1)], seed + 2);
+        ws.release(dirty);
+        let mut c = ws.acquire([m, n]);
+        ops::matmul_into(&a, &b, &mut c);
+        prop_assert_eq!(c.data(), ops::matmul(&a, &b).data());
+    }
+}
+
+/// Pinned (non-randomized) degenerate and boundary shapes, so failures
+/// name the exact case.
+#[test]
+fn pinned_boundary_shapes() {
+    let cases = [
+        (0, 0, 0),
+        (1, 1, 1),
+        (1, 0, 1),
+        (0, 7, 3),
+        (ops::MR, 1, ops::NR),
+        (ops::MR - 1, 3, ops::NR - 1),
+        (ops::MR + 1, 3, ops::NR + 1),
+        (2 * ops::MR + 1, 17, 3 * ops::NR - 1),
+        (ops::BAND_ROWS, 8, ops::NR),
+        (ops::BAND_ROWS + 1, 8, ops::NR + 3),
+    ];
+    for (i, &(m, k, n)) in cases.iter().enumerate() {
+        let a = randn(vec![m, k], 100 + i as u64);
+        let b = randn(vec![k, n], 200 + i as u64);
+        let fast = ops::matmul(&a, &b);
+        let slow = ops::reference::matmul(&a, &b);
+        assert!(
+            mn_tensor::max_abs_diff(fast.data(), slow.data()) <= TOL * (k.max(1) as f32),
+            "matmul mismatch at case {i}: ({m}, {k}, {n})"
+        );
+    }
+}
+
+/// Zero extents in *non-batch* dimensions (channels, filters) are legal
+/// too and degrade to empty or bias-only outputs instead of panicking.
+#[test]
+fn zero_extent_non_batch_dims_are_no_ops() {
+    // Zero channels through max pooling.
+    let x = Tensor::zeros([2, 0, 4, 4]);
+    let pooled = maxpool2x2_forward(&x);
+    assert_eq!(pooled.output.shape().dims(), &[2, 0, 2, 2]);
+    let mut eval = Tensor::zeros([2, 0, 2, 2]);
+    maxpool2x2_forward_eval_into(&x, &mut eval);
+    assert!(eval.is_empty());
+
+    // Zero filters through both convolution formulations.
+    let input = Tensor::zeros([1, 3, 4, 4]);
+    let no_filters = Tensor::zeros([0, 3, 3, 3]);
+    let no_bias = Tensor::zeros([0]);
+    assert_eq!(
+        conv::conv2d_forward(&input, &no_filters, &no_bias, 1)
+            .shape()
+            .dims(),
+        &[1, 0, 4, 4]
+    );
+    assert_eq!(
+        im2col::conv2d_forward_im2col(&input, &no_filters, &no_bias, 1)
+            .shape()
+            .dims(),
+        &[1, 0, 4, 4]
+    );
+
+    // Zero input channels: the output is bias-only.
+    let empty_input = Tensor::zeros([1, 0, 4, 4]);
+    let weight = Tensor::zeros([2, 0, 3, 3]);
+    let bias = Tensor::from_vec([2], vec![1.5, -2.0]);
+    let y = conv::conv2d_forward(&empty_input, &weight, &bias, 1);
+    assert_eq!(y.shape().dims(), &[1, 2, 4, 4]);
+    assert!(y.data()[..16].iter().all(|&v| v == 1.5));
+    assert!(y.data()[16..].iter().all(|&v| v == -2.0));
+}
+
+/// The blocked kernels are bitwise identical across thread counts — the
+/// parallel split is over disjoint output bands whose per-element
+/// accumulation order is fixed.
+#[test]
+fn matmul_bitwise_identical_across_thread_counts() {
+    let a = randn(vec![3 * ops::BAND_ROWS + 7, 64], 7);
+    let b = randn(vec![64, 48], 8);
+    let one = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| ops::matmul(&a, &b));
+    let many = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build()
+        .unwrap()
+        .install(|| ops::matmul(&a, &b));
+    assert_eq!(one.data(), many.data());
+}

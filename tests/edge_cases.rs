@@ -4,6 +4,8 @@
 
 use mn_data::presets::{cifar10_sim, Scale};
 use mn_data::synthetic::{generate, SyntheticSpec};
+use mn_ensemble::engine::InferenceEngine;
+use mn_ensemble::{EnsembleMember, MemberPredictions};
 use mn_morph::{morph_to, MorphError};
 use mn_nn::arch::{Architecture, ConvBlockSpec, ConvLayerSpec, InputSpec, ResBlockSpec};
 use mn_nn::io::{load_weights, save_weights};
@@ -190,6 +192,97 @@ fn snapshot_on_single_architecture() {
     let trained = train_ensemble(&[arch], &task.train, &strategy, &cfg).unwrap();
     assert_eq!(trained.members.len(), 1);
     assert_eq!(trained.member_records[0].epochs, 2);
+}
+
+fn small_conv_members(n: u64) -> Vec<EnsembleMember> {
+    let arch = Architecture::plain(
+        "edge",
+        InputSpec::new(3, 8, 8),
+        4,
+        vec![ConvBlockSpec::repeated(3, 4, 1)],
+        vec![8],
+    );
+    (0..n)
+        .map(|s| EnsembleMember::new(format!("edge{s}"), Network::seeded(&arch, 50 + s)))
+        .collect()
+}
+
+#[test]
+fn member_predictions_prefix_invariants() {
+    let probs: Vec<Tensor> = (0..4)
+        .map(|m| Tensor::filled([3, 2], 0.25 * (m + 1) as f32))
+        .collect();
+    let preds = MemberPredictions::from_probs(probs);
+    assert_eq!(preds.num_members(), 4);
+    assert_eq!(preds.num_examples(), 3);
+    assert_eq!(preds.num_classes(), 2);
+    // prefix(k) keeps exactly the first k members, in order, unchanged.
+    for k in 1..=4 {
+        let p = preds.prefix(k);
+        assert_eq!(p.num_members(), k);
+        assert_eq!(p.num_examples(), 3);
+        assert_eq!(p.num_classes(), 2);
+        for (i, t) in p.probs().iter().enumerate() {
+            assert_eq!(t.data(), preds.probs()[i].data());
+        }
+    }
+    // The full prefix is the identity.
+    let full = preds.prefix(4);
+    assert_eq!(full.num_members(), preds.num_members());
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn member_predictions_prefix_rejects_zero() {
+    MemberPredictions::from_probs(vec![Tensor::filled([1, 2], 0.5)]).prefix(0);
+}
+
+#[test]
+#[should_panic(expected = "out of range")]
+fn member_predictions_prefix_rejects_overrun() {
+    MemberPredictions::from_probs(vec![Tensor::filled([1, 2], 0.5)]).prefix(2);
+}
+
+#[test]
+#[should_panic(expected = "shapes disagree")]
+fn member_predictions_from_probs_rejects_ragged_shapes() {
+    MemberPredictions::from_probs(vec![Tensor::zeros([2, 3]), Tensor::zeros([2, 4])]);
+}
+
+#[test]
+fn empty_batch_through_engine() {
+    // A serving engine sees empty request batches (e.g. a drained queue);
+    // they must flow through cleanly rather than panic.
+    let mut engine = InferenceEngine::new(small_conv_members(3), 8);
+    let empty = Tensor::zeros([0, 3, 8, 8]);
+    let preds = engine.predict(&empty);
+    assert_eq!(preds.num_members(), 3);
+    assert_eq!(preds.num_examples(), 0);
+    assert_eq!(preds.num_classes(), 4);
+    assert!(engine.predict_labels(&empty).is_empty());
+    assert!(engine.predict_vote_labels(&empty).is_empty());
+    let avg = engine.predict_average(&empty);
+    assert_eq!(avg.shape().dims(), &[0, 4]);
+}
+
+#[test]
+fn single_example_through_engine_matches_batched() {
+    // One-example requests (interactive traffic) must agree exactly with
+    // the same example served inside a larger batch.
+    let x = Tensor::randn([5, 3, 8, 8], 1.0, &mut rand::thread_rng());
+    let mut engine = InferenceEngine::new(small_conv_members(2), 8);
+    let batched = engine.predict(&x);
+    let first = mn_nn::metrics::gather_examples(&x, &[0]);
+    let single = engine.predict(&first);
+    assert_eq!(single.num_examples(), 1);
+    for m in 0..2 {
+        let batch_row = &batched.probs()[m].data()[..batched.num_classes()];
+        assert_eq!(
+            single.probs()[m].data(),
+            batch_row,
+            "member {m}: single-example prediction diverged from batched"
+        );
+    }
 }
 
 #[test]

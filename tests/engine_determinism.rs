@@ -1,0 +1,124 @@
+//! Determinism-under-parallelism: the batched ensemble inference engine
+//! must produce **bitwise identical** output regardless of how many rayon
+//! worker threads execute it, and across repeated runs from the same
+//! seeds.
+//!
+//! This holds by construction — members fan out over disjoint result
+//! slots, and every tensor kernel splits work over disjoint output
+//! regions with a fixed per-element accumulation order — and this suite
+//! pins it so a future kernel rewrite cannot silently trade it away.
+//!
+//! Note: the vendored rayon's `ThreadPool::install` sets a process-global
+//! thread-count override, so these tests serialize on a local lock.
+
+use mn_ensemble::engine::InferenceEngine;
+use mn_ensemble::EnsembleMember;
+use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec, ResBlockSpec};
+use mn_nn::Network;
+use mn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+static THREAD_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// A small but representative ensemble: conv, residual, and MLP members,
+/// so the determinism check exercises every kernel family.
+fn build_members(master_seed: u64) -> Vec<EnsembleMember> {
+    let input = InputSpec::new(3, 8, 8);
+    let archs = vec![
+        Architecture::plain(
+            "conv",
+            input,
+            5,
+            vec![ConvBlockSpec::repeated(3, 6, 1)],
+            vec![12],
+        ),
+        Architecture::plain(
+            "conv5",
+            input,
+            5,
+            vec![ConvBlockSpec::repeated(5, 4, 1)],
+            vec![8],
+        ),
+        Architecture::residual("res", input, 5, vec![ResBlockSpec::new(1, 4, 3)]),
+        Architecture::mlp("mlp", input, 5, vec![16]),
+    ];
+    archs
+        .into_iter()
+        .enumerate()
+        .map(|(i, arch)| {
+            let name = arch.name.clone();
+            EnsembleMember::new(name, Network::seeded(&arch, master_seed + i as u64))
+        })
+        .collect()
+}
+
+fn predict_with_threads(threads: usize, master_seed: u64, x: &Tensor) -> Vec<Vec<f32>> {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool builds");
+    pool.install(|| {
+        let mut engine = InferenceEngine::new(build_members(master_seed), 4);
+        // Two rounds so the second runs against warm (reused) workspaces.
+        let _ = engine.predict(x);
+        engine
+            .predict(x)
+            .probs()
+            .iter()
+            .map(|p| p.data().to_vec())
+            .collect()
+    })
+}
+
+#[test]
+fn engine_output_is_bitwise_identical_across_thread_counts() {
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    let x = Tensor::randn([11, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(42));
+    let single = predict_with_threads(1, 7, &x);
+    let multi = predict_with_threads(4, 7, &x);
+    assert_eq!(single.len(), multi.len());
+    for (m, (a, b)) in single.iter().zip(&multi).enumerate() {
+        let bits_a: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits_a, bits_b,
+            "member {m} diverged between 1 and 4 threads"
+        );
+    }
+}
+
+#[test]
+fn engine_output_is_bitwise_identical_across_runs_with_same_seed() {
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    let x = Tensor::randn([9, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(43));
+    let first = predict_with_threads(2, 11, &x);
+    let second = predict_with_threads(2, 11, &x);
+    for (m, (a, b)) in first.iter().zip(&second).enumerate() {
+        let bits_a: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            bits_a, bits_b,
+            "member {m} diverged between two seeded runs"
+        );
+    }
+}
+
+#[test]
+fn engine_agrees_with_plain_member_prediction() {
+    // The engine is an execution strategy, not a different model: its
+    // per-member probabilities must equal each member predicting alone.
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    let x = Tensor::randn([6, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(44));
+    let mut engine = InferenceEngine::new(build_members(3), 4);
+    let fanned = engine.predict(&x);
+    let mut solo_members = build_members(3);
+    for (m, solo) in solo_members.iter_mut().enumerate() {
+        let solo_probs = solo.predict_proba(&x, 4);
+        assert_eq!(
+            fanned.probs()[m].data(),
+            solo_probs.data(),
+            "member {m} diverged from solo prediction"
+        );
+    }
+}

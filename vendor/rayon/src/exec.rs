@@ -1,0 +1,161 @@
+//! The shared work-distribution engine behind every parallel pipeline in
+//! this shim.
+//!
+//! All public iterator types funnel into [`run_map`]: materialize the work
+//! items, split them into contiguous chunks (one per worker), run the
+//! chunks on `std::thread::scope` threads, and collect results in input
+//! order. Chunk *assignment* depends on the active thread count, but chunk
+//! *contents* are processed in input order either way, so any pipeline
+//! whose items write disjoint outputs is bitwise-deterministic across
+//! thread counts.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// `0` means "no override": use [`std::thread::available_parallelism`].
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set on worker threads for the duration of their chunk: nested
+    /// pipelines (e.g. a parallel tensor kernel inside an
+    /// already-parallel ensemble fan-out) see one thread and run inline,
+    /// instead of oversubscribing the machine with spawn-per-call
+    /// workers.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The number of worker threads parallel pipelines currently fan out to.
+///
+/// Mirrors `rayon::current_num_threads`. Returns 1 on a pipeline worker
+/// thread (nested parallelism runs inline); otherwise reflects a
+/// thread-count override installed via [`crate::ThreadPool::install`],
+/// else the machine's available parallelism (queried once and cached —
+/// kernels call this on every invocation, and `available_parallelism` is
+/// a syscall).
+pub fn current_num_threads() -> usize {
+    static MACHINE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    if IN_WORKER.with(|f| f.get()) {
+        return 1;
+    }
+    let overridden = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if overridden > 0 {
+        overridden
+    } else {
+        *MACHINE.get_or_init(|| {
+            std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1)
+        })
+    }
+}
+
+/// Sets the process-global thread-count override (`0` clears it) and
+/// returns the previous raw value. Used by [`crate::ThreadPool::install`].
+pub(crate) fn set_thread_override(n: usize) -> usize {
+    THREAD_OVERRIDE.swap(n, Ordering::Relaxed)
+}
+
+/// Serializes tests (across this crate's test modules) that set or
+/// observe the process-global override, so the test harness's own
+/// parallelism cannot interleave them.
+#[cfg(test)]
+pub(crate) static TEST_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs `f` over every item, in parallel across contiguous chunks, and
+/// returns the results in input order.
+pub(crate) fn run_map<I, R, F>(items: Vec<I>, f: &F) -> Vec<R>
+where
+    I: Send,
+    R: Send,
+    F: Fn(I) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let chunk = n.div_ceil(threads);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let mut rest = items;
+    std::thread::scope(|scope| {
+        for slot_chunk in slots.chunks_mut(chunk) {
+            let tail = rest.split_off(slot_chunk.len().min(rest.len()));
+            let work = std::mem::replace(&mut rest, tail);
+            scope.spawn(move || {
+                IN_WORKER.with(|flag| flag.set(true));
+                for (item, slot) in work.into_iter().zip(slot_chunk.iter_mut()) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker thread filled every slot"))
+        .collect()
+}
+
+/// Runs `f` over every item for its side effects, in parallel.
+pub(crate) fn run_for_each<I, F>(items: Vec<I>, f: &F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    let _: Vec<()> = run_map(items, &|item| f(item));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_map_preserves_order() {
+        let out = run_map((0..100).collect(), &|x: usize| x * 3);
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_map_handles_empty_and_single() {
+        let empty: Vec<usize> = run_map(Vec::new(), &|x: usize| x);
+        assert!(empty.is_empty());
+        assert_eq!(run_map(vec![7], &|x: usize| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn override_caps_thread_count() {
+        let _guard = TEST_OVERRIDE_LOCK.lock().unwrap();
+        let prev = set_thread_override(1);
+        assert_eq!(current_num_threads(), 1);
+        set_thread_override(prev);
+    }
+
+    #[test]
+    fn nested_pipelines_run_inline_on_workers() {
+        // When the outer pipeline goes parallel, inner pipelines on its
+        // workers must see one thread (no spawn cascade); results stay
+        // correct either way.
+        let _guard = TEST_OVERRIDE_LOCK.lock().unwrap();
+        let outer: Vec<usize> = (0..8).collect();
+        let out = run_map(outer, &|i: usize| {
+            let seen = if std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1)
+                > 1
+            {
+                Some(current_num_threads())
+            } else {
+                None // outer ran sequentially; nothing to observe
+            };
+            let inner: Vec<usize> = run_map((0..4).collect(), &|j: usize| i * 10 + j);
+            (seen, inner)
+        });
+        for (i, (seen, inner)) in out.into_iter().enumerate() {
+            if let Some(threads) = seen {
+                assert_eq!(threads, 1, "worker {i} saw nested parallelism");
+            }
+            assert_eq!(inner, (0..4).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,4 +1,6 @@
-//! The `par_iter().map().collect()` pipeline.
+//! The `par_iter()` / `par_iter_mut()` pipelines.
+
+use crate::exec;
 
 /// Types whose contents can be iterated in parallel by reference.
 pub trait IntoParallelRefIterator<'data> {
@@ -25,7 +27,32 @@ impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
     }
 }
 
-/// Parallel iterator over a slice.
+/// Types whose contents can be iterated in parallel by mutable reference.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The mutably borrowed item type.
+    type Item: 'data;
+
+    /// Returns a parallel iterator over mutably borrowed items.
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, Self::Item>;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter_mut(&'data mut self) -> ParIterMut<'data, T> {
+        ParIterMut { items: self }
+    }
+}
+
+/// Parallel iterator over a shared slice.
 pub struct ParIter<'data, T> {
     items: &'data [T],
 }
@@ -59,31 +86,81 @@ impl<'data, T: Sync, F> ParMap<'data, T, F> {
         R: Send,
         C: FromIterator<R>,
     {
-        let n = self.items.len();
-        let threads = std::thread::available_parallelism()
-            .map(|c| c.get())
-            .unwrap_or(1)
-            .min(n.max(1));
-        if threads <= 1 {
-            return self.items.iter().map(&self.f).collect();
-        }
+        let items: Vec<&'data T> = self.items.iter().collect();
+        exec::run_map(items, &self.f).into_iter().collect()
+    }
+}
 
-        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
-        slots.resize_with(n, || None);
-        let chunk = n.div_ceil(threads);
-        let f = &self.f;
-        std::thread::scope(|scope| {
-            for (item_chunk, slot_chunk) in self.items.chunks(chunk).zip(slots.chunks_mut(chunk)) {
-                scope.spawn(move || {
-                    for (item, slot) in item_chunk.iter().zip(slot_chunk.iter_mut()) {
-                        *slot = Some(f(item));
-                    }
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| s.expect("worker thread filled every slot"))
-            .collect()
+/// Parallel iterator over a mutable slice.
+pub struct ParIterMut<'data, T> {
+    items: &'data mut [T],
+}
+
+impl<'data, T: Send> ParIterMut<'data, T> {
+    /// Maps each item through `f` (in parallel at collect time).
+    pub fn map<F, R>(self, f: F) -> ParMapMut<'data, T, F>
+    where
+        F: Fn(&'data mut T) -> R + Sync,
+        R: Send,
+    {
+        ParMapMut {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Runs `f` on every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'data mut T) + Sync,
+    {
+        let items: Vec<&'data mut T> = self.items.iter_mut().collect();
+        exec::run_for_each(items, &f);
+    }
+}
+
+/// The mutably-mapped pipeline; work runs when [`ParMapMut::collect`] is
+/// called.
+pub struct ParMapMut<'data, T, F> {
+    items: &'data mut [T],
+    f: F,
+}
+
+impl<'data, T: Send, F> ParMapMut<'data, T, F> {
+    /// Runs the map across scoped threads and collects results in input
+    /// order.
+    pub fn collect<R, C>(self) -> C
+    where
+        F: Fn(&'data mut T) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let items: Vec<&'data mut T> = self.items.iter_mut().collect();
+        exec::run_map(items, &self.f).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_iter_mut_mutates_in_place() {
+        let mut items: Vec<usize> = (0..64).collect();
+        items.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(items, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_map_collects_in_order() {
+        let mut items: Vec<usize> = (0..33).collect();
+        let out: Vec<usize> = items
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x
+            })
+            .collect();
+        assert_eq!(out, (1..34).collect::<Vec<_>>());
     }
 }

@@ -1,23 +1,118 @@
 //! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon)
 //! crate (see `vendor/README.md` for the vendoring policy).
 //!
-//! Supports the one pattern the workspace uses —
-//! `slice.par_iter().map(f).collect()` — with genuine parallelism: the
-//! input is chunked across `std::thread::scope` threads (one per available
-//! core, capped by item count) and results are collected in input order.
-//! There is no work-stealing; ensemble-member training jobs are
-//! coarse-grained enough that static chunking is an even split.
+//! Supports the patterns the workspace uses with genuine parallelism on
+//! `std::thread::scope` threads:
+//!
+//! * `slice.par_iter().map(f).collect()` — read-only fan-out (ensemble
+//!   member training jobs);
+//! * `slice.par_iter_mut().map(f).collect()` / `.for_each(f)` — mutable
+//!   fan-out (the batched inference engine's per-member workers);
+//! * `slice.par_chunks_mut(n)` with `enumerate`/`zip`/`for_each` — disjoint
+//!   output-buffer partitioning (the blocked tensor kernels);
+//! * `ThreadPoolBuilder::new().num_threads(n).build()?.install(f)` — a
+//!   process-global thread-count override, used by tests to pin kernels to
+//!   one thread and by benchmarks to measure scaling.
+//!
+//! There is no work-stealing: items are split into contiguous chunks, one
+//! per worker. The workspace's parallel jobs are coarse-grained enough that
+//! a static even split is fine, and the materialized-chunk design keeps
+//! every pipeline's output bitwise-independent of the thread count (each
+//! item is processed in input order against disjoint outputs).
 
+pub mod exec;
 pub mod iter;
+pub mod slice;
+
+pub use exec::current_num_threads;
 
 pub mod prelude {
     //! Glob-import surface mirroring `rayon::prelude`.
-    pub use crate::iter::IntoParallelRefIterator;
+    pub use crate::iter::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::slice::ParallelSliceMut;
+}
+
+/// Builder for a [`ThreadPool`], mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default (machine-sized) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool's thread count (`0` means machine-sized).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this shim; the `Result` mirrors the
+    /// upstream signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`]; never produced by this shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A thread-count scope, mirroring `rayon::ThreadPool`.
+///
+/// Unlike upstream (which owns worker threads), this shim's pools are
+/// lightweight: [`ThreadPool::install`] sets a **process-global**
+/// thread-count override for the duration of the closure, so concurrent
+/// `install`s from different threads see whichever override was set last.
+/// The workspace only uses `install` from tests and benchmarks, where that
+/// is acceptable.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's configured thread count (machine-sized if built with 0).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            exec::current_num_threads()
+        }
+    }
+
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// pipeline, restoring the previous setting afterwards (also on
+    /// panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                exec::set_thread_override(self.0);
+            }
+        }
+        let _restore = Restore(exec::set_thread_override(self.num_threads));
+        op()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn collects_in_input_order() {
@@ -41,11 +136,45 @@ mod tests {
     }
 
     #[test]
+    fn install_scopes_the_thread_count() {
+        let _guard = crate::exec::TEST_OVERRIDE_LOCK.lock().unwrap();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+        });
+        let wide = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(wide.current_num_threads(), 3);
+        wide.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn single_thread_pool_runs_sequentially() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+
+        let _guard = crate::exec::TEST_OVERRIDE_LOCK.lock().unwrap();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..64).collect();
+        let _: Vec<()> = pool.install(|| {
+            items
+                .par_iter()
+                .map(|_| {
+                    seen.lock().unwrap().insert(std::thread::current().id());
+                })
+                .collect()
+        });
+        assert_eq!(seen.lock().unwrap().len(), 1);
+    }
+
+    #[test]
     fn actually_runs_on_multiple_threads_when_available() {
         use std::collections::HashSet;
         use std::sync::Mutex;
         use std::thread::ThreadId;
 
+        let _guard = crate::exec::TEST_OVERRIDE_LOCK.lock().unwrap();
         let seen: Mutex<HashSet<ThreadId>> = Mutex::new(HashSet::new());
         let items: Vec<usize> = (0..64).collect();
         let _: Vec<()> = items

@@ -1,0 +1,146 @@
+//! Parallel mutable slice pipelines: `par_chunks_mut`, with the
+//! `enumerate`/`zip`/`for_each` adaptors the tensor kernels drive them
+//! with.
+//!
+//! Unlike upstream rayon's lazy splitters, chunk lists are materialized
+//! eagerly (a `Vec` of disjoint `&mut [T]` borrows) and handed to the
+//! shared executor; at the chunk granularity the kernels use (one batch
+//! item or one filter per chunk) the materialization cost is noise.
+
+use crate::exec;
+
+/// Types whose contents can be mutably chunked and iterated in parallel.
+pub trait ParallelSliceMut<T: Send> {
+    /// Returns a parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` elements (the last chunk may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParItems<'_, &mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParItems<'_, &mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParItems {
+            items: self.chunks_mut(chunk_size).collect(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A materialized parallel iterator over work items (mutable chunk borrows
+/// or tuples built from them via [`ParItems::enumerate`]/[`ParItems::zip`]).
+pub struct ParItems<'data, I> {
+    items: Vec<I>,
+    _marker: std::marker::PhantomData<&'data ()>,
+}
+
+impl<'data, I: Send + 'data> ParItems<'data, I> {
+    /// Number of work items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no work items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Pairs every item with its index.
+    pub fn enumerate(self) -> ParItems<'data, (usize, I)> {
+        ParItems {
+            items: self.items.into_iter().enumerate().collect(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Pairs items positionally with a second parallel iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sides have different lengths (the kernels always
+    /// chunk parallel output buffers identically).
+    pub fn zip<J: Send + 'data>(self, other: ParItems<'data, J>) -> ParItems<'data, (I, J)> {
+        assert_eq!(
+            self.items.len(),
+            other.items.len(),
+            "zip length mismatch: {} vs {}",
+            self.items.len(),
+            other.items.len()
+        );
+        ParItems {
+            items: self.items.into_iter().zip(other.items).collect(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs `f` on every item, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        exec::run_for_each(self.items, &f);
+    }
+
+    /// Maps every item through `f` in parallel, collecting in input order.
+    pub fn map_collect<R, F, C>(self, f: F) -> C
+    where
+        R: Send,
+        F: Fn(I) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        exec::run_map(self.items, &f).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_write_disjoint_regions() {
+        let mut data = vec![0usize; 10];
+        data.par_chunks_mut(3).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3, 4]);
+    }
+
+    #[test]
+    fn zip_pairs_chunks() {
+        let mut a = vec![0usize; 6];
+        let mut b = vec![0usize; 6];
+        a.par_chunks_mut(2)
+            .zip(b.par_chunks_mut(2))
+            .enumerate()
+            .for_each(|(i, (ca, cb))| {
+                ca.iter_mut().for_each(|v| *v = i);
+                cb.iter_mut().for_each(|v| *v = 10 * i);
+            });
+        assert_eq!(a, vec![0, 0, 1, 1, 2, 2]);
+        assert_eq!(b, vec![0, 0, 10, 10, 20, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zip length mismatch")]
+    fn zip_rejects_length_mismatch() {
+        let mut a = [0usize; 6];
+        let mut b = [0usize; 9];
+        a.par_chunks_mut(2)
+            .zip(b.par_chunks_mut(2))
+            .for_each(|_| {});
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let mut data: Vec<usize> = (0..9).collect();
+        let sums: Vec<usize> = data
+            .par_chunks_mut(4)
+            .map_collect(|chunk| chunk.iter().sum());
+        assert_eq!(sums, vec![6, 22, 8]);
+    }
+}
