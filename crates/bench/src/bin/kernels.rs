@@ -1,17 +1,18 @@
-//! Kernel/engine speedup harness:
+//! Kernel/engine/training speedup harness:
 //!
 //! ```text
 //! cargo run --release -p mn-bench --bin kernels [-- --reps N] [--out DIR]
 //! ```
 //!
-//! Measures the blocked matmul and the batched ensemble inference engine
-//! against their naive baselines, prints a table, and saves
-//! `<out>/kernels.json` (default `results/`).
+//! Measures the blocked matmul, the batched ensemble inference engine,
+//! and the GEMM-backed training step against their naive baselines,
+//! prints both tables, and saves `<out>/kernels.json` plus
+//! `<out>/training.json` (default `results/`).
 
 use std::path::PathBuf;
 
-use mn_bench::kernels;
 use mn_bench::report::save_json;
+use mn_bench::{kernels, training};
 
 fn main() {
     let mut reps = 15usize;
@@ -43,12 +44,27 @@ fn main() {
     print!("{}", result.table());
     save_json(&out_dir, "kernels", &result);
 
+    println!("\ntraining bench: {reps} reps\n");
+    let train_result = training::run(reps);
+    print!("{}", train_result.table());
+    save_json(&out_dir, "training", &train_result);
+
     let matmul = result.get("matmul_256").expect("matmul comparison present");
     let infer = result
         .get("ensemble_infer_8x64")
         .expect("ensemble comparison present");
+    let step1 = train_result
+        .get("train_step_1thread")
+        .expect("single-thread training comparison present");
+    let step = train_result
+        .get("train_step")
+        .expect("training comparison present");
     println!(
         "\nmatmul 256^3: {:.2}x over naive; 8-member inference: {:.2}x over one-by-one",
         matmul.speedup, infer.speedup
+    );
+    println!(
+        "training step: {:.2}x over naive backward (1 core), {:.2}x ({} cores); {:.0} steps/sec",
+        step1.speedup, step.speedup, train_result.threads, train_result.steps_per_sec
     );
 }

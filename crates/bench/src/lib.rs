@@ -10,6 +10,8 @@
 //! * [`experiments`] — one runner per table/figure;
 //! * [`kernels`] — kernel/engine speedup measurements vs their naive
 //!   baselines (`cargo run -p mn-bench --release --bin kernels`);
+//! * [`training`] — training-throughput measurements (SGD step and epoch
+//!   wall time vs the naive backward path), emitted by the same binary;
 //! * [`report`] — JSON persistence and text tables.
 //!
 //! Run experiments with the `reproduce` binary:
@@ -26,4 +28,5 @@
 pub mod experiments;
 pub mod kernels;
 pub mod report;
+pub mod training;
 pub mod zoo;

@@ -1,0 +1,268 @@
+//! Training-throughput measurements (the "BENCH json" numbers backing the
+//! fast-training-path claims).
+//!
+//! The headline comparisons, on a small representative CNN (two VGG-style
+//! conv blocks + dense head, batch 32):
+//!
+//! * **train_step_1thread** — one full SGD step (forward, loss, backward,
+//!   fused update) on a **single core**: the naive path (direct-loop
+//!   convolution forward *and backward*, fresh allocations every step)
+//!   vs the fast path (GEMM-backed kernels both ways, retained
+//!   [`Workspace`], fused optimizer). This isolates the kernel win from
+//!   parallel speedup — the paper's time-to-accuracy comparisons assume
+//!   per-step cost drops on equal hardware.
+//! * **train_step** — the same comparison at the machine's full thread
+//!   count (adds the chunk-parallel batch loops).
+//!
+//! The report also carries absolute throughput of the fast path:
+//! steps/sec on the step benchmark and the wall time of one full epoch
+//! (including shuffling, batch gathering and validation) through the real
+//! [`mn_nn::train::train`] loop.
+//!
+//! Run via `cargo run --release -p mn-bench --bin kernels` — prints a
+//! table and saves `results/training.json` next to `results/kernels.json`.
+
+use std::time::Instant;
+
+use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
+use mn_nn::layer::Mode;
+use mn_nn::layers::ConvFormulation;
+use mn_nn::loss::softmax_cross_entropy_ws;
+use mn_nn::optim::Sgd;
+use mn_nn::train::{train, TrainConfig};
+use mn_nn::Network;
+use mn_tensor::{Tensor, Workspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::kernels::{force_conv_formulation, KernelComparison};
+use crate::report::render_table;
+
+/// The training-throughput report saved as `results/training.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainingBenchResult {
+    /// Worker threads available to the parallel paths.
+    pub threads: usize,
+    /// Naive-vs-fast step comparisons, in measurement order.
+    pub comparisons: Vec<KernelComparison>,
+    /// Fast-path gradient steps per second (full thread count, batch 32).
+    pub steps_per_sec: f64,
+    /// Wall milliseconds of one full training epoch (512 examples,
+    /// batch 32, including validation) through the real train loop.
+    pub epoch_wall_ms: f64,
+}
+
+impl TrainingBenchResult {
+    /// Looks up a comparison by name.
+    pub fn get(&self, name: &str) -> Option<&KernelComparison> {
+        self.comparisons.iter().find(|c| c.name == name)
+    }
+
+    /// Renders the report as a fixed-width table.
+    pub fn table(&self) -> String {
+        let mut rows: Vec<Vec<String>> = self
+            .comparisons
+            .iter()
+            .map(|c| {
+                vec![
+                    c.name.clone(),
+                    format!("{:.3}", c.baseline_ms),
+                    format!("{:.3}", c.optimized_ms),
+                    format!("{:.2}x", c.speedup),
+                ]
+            })
+            .collect();
+        rows.push(vec![
+            "steps_per_sec".into(),
+            String::new(),
+            format!("{:.1}", self.steps_per_sec),
+            String::new(),
+        ]);
+        rows.push(vec![
+            "epoch_wall_ms".into(),
+            String::new(),
+            format!("{:.1}", self.epoch_wall_ms),
+            String::new(),
+        ]);
+        render_table(
+            &["training bench", "baseline ms", "optimized ms", "speedup"],
+            &rows,
+        )
+    }
+}
+
+/// The small CNN the training benches exercise: two conv blocks
+/// (3→16→16 channels, 3×3 kernels — deep enough reductions that Auto
+/// lowers onto the GEMM core) and a 32-unit dense head on 8×8 inputs.
+fn bench_arch() -> Architecture {
+    Architecture::plain(
+        "train-bench-cnn",
+        InputSpec::new(3, 8, 8),
+        10,
+        vec![
+            ConvBlockSpec::repeated(3, 16, 1),
+            ConvBlockSpec::repeated(3, 16, 1),
+        ],
+        vec![32],
+    )
+}
+
+/// One full SGD training step through the workspace-threaded fast path.
+fn fast_step(net: &mut Network, opt: &mut Sgd, x: &Tensor, y: &[usize], ws: &mut Workspace) -> f32 {
+    let logits = net.forward_with(x, Mode::Train, ws);
+    let (loss, grad) = softmax_cross_entropy_ws(&logits, y, ws);
+    ws.release(logits);
+    net.backward_with(&grad, ws);
+    ws.release(grad);
+    opt.step_network(net);
+    loss
+}
+
+/// One full SGD training step the pre-optimization way: direct-formulation
+/// kernels (the caller pins the formulation), a fresh workspace every call
+/// (i.e. fresh allocations for every activation, gradient and cache), and
+/// the materialized-parameter-list optimizer entry point.
+fn naive_step(net: &mut Network, opt: &mut Sgd, x: &Tensor, y: &[usize]) -> f32 {
+    let logits = net.forward(x, Mode::Train);
+    let (loss, grad) = softmax_cross_entropy_ws(&logits, y, &mut Workspace::new());
+    net.backward(&grad);
+    let mut params = net.params_mut();
+    opt.step(&mut params);
+    loss
+}
+
+/// Median wall-clock milliseconds of `reps` calls to `f` (after one
+/// warm-up call).
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: page in buffers, fill workspaces, build velocity
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1000.0
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Measures the naive-vs-fast step pair inside a pool of `threads`
+/// workers (0 = the ambient pool).
+fn step_comparison(name: &str, reps: usize, threads: usize) -> KernelComparison {
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = Tensor::randn([32, 3, 8, 8], 1.0, &mut rng);
+    let y: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    let arch = bench_arch();
+
+    let mut naive_net = Network::seeded(&arch, 1);
+    force_conv_formulation(&mut naive_net, ConvFormulation::Direct);
+    let mut naive_opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut fast_net = Network::seeded(&arch, 1);
+    let mut fast_opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut ws = Workspace::new();
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool builds");
+    let baseline_ms = pool.install(|| {
+        median_ms(reps, || {
+            std::hint::black_box(naive_step(&mut naive_net, &mut naive_opt, &x, &y));
+        })
+    });
+    let optimized_ms = pool.install(|| {
+        median_ms(reps, || {
+            std::hint::black_box(fast_step(&mut fast_net, &mut fast_opt, &x, &y, &mut ws));
+        })
+    });
+    KernelComparison {
+        name: name.to_string(),
+        baseline_ms,
+        optimized_ms,
+        speedup: baseline_ms / optimized_ms.max(1e-9),
+    }
+}
+
+/// Runs every training measurement and returns the report.
+pub fn run(reps: usize) -> TrainingBenchResult {
+    let comparisons = vec![
+        step_comparison("train_step_1thread", reps, 1),
+        step_comparison("train_step", reps, 0),
+    ];
+
+    // Absolute fast-path throughput: steps/sec on the step benchmark.
+    let mut rng = StdRng::seed_from_u64(6);
+    let x = Tensor::randn([32, 3, 8, 8], 1.0, &mut rng);
+    let y: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    let mut net = Network::seeded(&bench_arch(), 2);
+    let mut opt = Sgd::new(0.05, 0.9, 1e-4);
+    let mut ws = Workspace::new();
+    let step_ms = median_ms(reps.max(5), || {
+        std::hint::black_box(fast_step(&mut net, &mut opt, &x, &y, &mut ws));
+    });
+    let steps_per_sec = 1000.0 / step_ms.max(1e-9);
+
+    // One full epoch (512 examples, batch 32, plus validation) through
+    // the real training loop.
+    let n = 512usize;
+    let x_train = Tensor::randn([n, 3, 8, 8], 1.0, &mut rng);
+    let y_train: Vec<usize> = (0..n).map(|i| i % 10).collect();
+    let x_val = Tensor::randn([64, 3, 8, 8], 1.0, &mut rng);
+    let y_val: Vec<usize> = (0..64).map(|i| i % 10).collect();
+    let cfg = TrainConfig {
+        max_epochs: 1,
+        batch_size: 32,
+        ..TrainConfig::default()
+    };
+    let mut epoch_net = Network::seeded(&bench_arch(), 3);
+    let report = train(&mut epoch_net, &x_train, &y_train, &x_val, &y_val, &cfg);
+    let epoch_wall_ms = report.epochs[0].wall_secs * 1000.0;
+
+    TrainingBenchResult {
+        threads: rayon::current_num_threads(),
+        comparisons,
+        steps_per_sec,
+        epoch_wall_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_and_renders() {
+        let result = TrainingBenchResult {
+            threads: 2,
+            comparisons: vec![KernelComparison {
+                name: "train_step_1thread".into(),
+                baseline_ms: 4.0,
+                optimized_ms: 1.0,
+                speedup: 4.0,
+            }],
+            steps_per_sec: 500.0,
+            epoch_wall_ms: 123.0,
+        };
+        let json = serde_json::to_string(&result).unwrap();
+        let back: TrainingBenchResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.get("train_step_1thread").unwrap().speedup, 4.0);
+        assert!(back.get("absent").is_none());
+        let table = result.table();
+        assert!(table.contains("4.00x"));
+        assert!(table.contains("steps_per_sec"));
+    }
+
+    #[test]
+    fn smoke_run_produces_positive_timings() {
+        // One rep keeps this cheap; the real numbers come from the bin.
+        let result = run(1);
+        assert_eq!(result.comparisons.len(), 2);
+        for c in &result.comparisons {
+            assert!(c.baseline_ms > 0.0 && c.optimized_ms > 0.0, "{c:?}");
+            assert!(c.speedup.is_finite());
+        }
+        assert!(result.steps_per_sec > 0.0);
+        assert!(result.epoch_wall_ms > 0.0);
+    }
+}

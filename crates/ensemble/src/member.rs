@@ -65,7 +65,7 @@ impl MemberPredictions {
             .iter_mut()
             .map(|m| m.predict_proba(x, batch_size))
             .collect();
-        let shape = probs[0].shape().clone();
+        let shape = *probs[0].shape();
         assert!(
             probs.iter().all(|p| *p.shape() == shape),
             "members disagree on prediction shape"
@@ -81,7 +81,7 @@ impl MemberPredictions {
     /// Panics if `probs` is empty or shapes disagree.
     pub fn from_probs(probs: Vec<Tensor>) -> Self {
         assert!(!probs.is_empty(), "need at least one member");
-        let shape = probs[0].shape().clone();
+        let shape = *probs[0].shape();
         assert!(
             probs.iter().all(|p| *p.shape() == shape),
             "prediction shapes disagree"

@@ -14,14 +14,14 @@ pub struct Param {
 impl Param {
     /// Wraps a value tensor with a zeroed gradient of the same shape.
     pub fn new(value: Tensor) -> Self {
-        let grad = Tensor::zeros(value.shape().dims().to_vec());
+        let grad = Tensor::zeros(value.shape());
         Param { value, grad }
     }
 
     /// Replaces the value and resizes the gradient to match (used by the
     /// morphism engine when a parameter changes shape).
     pub fn replace(&mut self, value: Tensor) {
-        self.grad = Tensor::zeros(value.shape().dims().to_vec());
+        self.grad = Tensor::zeros(value.shape());
         self.value = value;
     }
 

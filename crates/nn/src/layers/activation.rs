@@ -24,12 +24,16 @@ impl ReluLayer {
         self.forward_ws(x, train, &mut Workspace::new())
     }
 
-    /// [`ReluLayer::forward`] staging its output in a [`Workspace`].
+    /// [`ReluLayer::forward`] staging its output in a [`Workspace`]. The
+    /// activation mask's allocation is reused across steps.
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         if train {
-            self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+            let mut mask = self.mask.take().unwrap_or_default();
+            mask.clear();
+            mask.extend(x.data().iter().map(|&v| v > 0.0));
+            self.mask = Some(mask);
         }
-        let mut y = ws.acquire_uninit(x.shape().dims().to_vec());
+        let mut y = ws.acquire_uninit(x.shape().dims());
         for (out, &v) in y.data_mut().iter_mut().zip(x.data()) {
             *out = v.max(0.0);
         }
@@ -43,13 +47,25 @@ impl ReluLayer {
     /// Panics if called before a training-mode forward pass or on a length
     /// mismatch.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`ReluLayer::backward`] staging its output in a [`Workspace`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`ReluLayer::backward`].
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let mask = self.mask.as_ref().expect("relu backward before forward");
         assert_eq!(mask.len(), grad_out.len(), "relu mask length mismatch");
-        let mut g = grad_out.clone();
-        for (v, &keep) in g.data_mut().iter_mut().zip(mask.iter()) {
-            if !keep {
-                *v = 0.0;
-            }
+        let mut g = ws.acquire_uninit(grad_out.shape().dims());
+        for ((out, &v), &keep) in g
+            .data_mut()
+            .iter_mut()
+            .zip(grad_out.data())
+            .zip(mask.iter())
+        {
+            *out = if keep { v } else { 0.0 };
         }
         g
     }

@@ -13,9 +13,13 @@
 //! the deepening morphism *exactly* function-preserving (see
 //! [`BatchNorm::identity`]).
 
+use mn_tensor::chunking::for_each_chunk;
 use mn_tensor::{Tensor, Workspace};
 
 use crate::layer::Param;
+
+/// Below this many elements the backward loops run on the calling thread.
+const PARALLEL_ELEMENT_THRESHOLD: usize = 16 * 1024;
 
 /// Which axis grouping the statistics are computed over.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -29,7 +33,7 @@ pub enum BnLayout {
 #[derive(Clone, Debug)]
 struct BnCache {
     xhat: Tensor,
-    inv_std: Vec<f32>,
+    inv_std: Tensor,
     m: usize,
 }
 
@@ -49,7 +53,9 @@ pub struct BatchNorm {
     /// Numerical-stability epsilon.
     pub eps: f32,
     layout: BnLayout,
-    cache: Option<BnCache>,
+    // Boxed: the cache holds two tensors and would otherwise dominate the
+    // size of every `LayerNode`.
+    cache: Option<Box<BnCache>>,
 }
 
 impl BatchNorm {
@@ -122,7 +128,9 @@ impl BatchNorm {
         self.forward_ws(x, train, &mut Workspace::new())
     }
 
-    /// [`BatchNorm::forward`] staging its output in a [`Workspace`].
+    /// [`BatchNorm::forward`] staging its output — and in train mode the
+    /// statistics scratch and `x̂`/inv-std caches — in a [`Workspace`], so
+    /// steady-state training steps reuse every buffer.
     ///
     /// # Panics
     ///
@@ -130,14 +138,21 @@ impl BatchNorm {
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let (nb, cc, inner) = self.group_geometry(x);
         let m = nb * inner;
-        let mut y = ws.acquire_uninit(x.shape().dims().to_vec());
+        let mut y = ws.acquire_uninit(x.shape().dims());
         if train {
             assert!(
                 m >= 2,
                 "batch-norm needs >= 2 elements per channel in train mode"
             );
-            let mut mean = vec![0.0f32; cc];
-            let mut var = vec![0.0f32; cc];
+            // Recycle the previous step's cache buffers through the pool.
+            if let Some(old) = self.cache.take() {
+                ws.release(old.xhat);
+                ws.release(old.inv_std);
+            }
+            let mut mean_t = ws.acquire([cc]);
+            let mut var_t = ws.acquire([cc]);
+            let mean = mean_t.data_mut();
+            let var = var_t.data_mut();
             let xd = x.data();
             for n in 0..nb {
                 for (c, m) in mean.iter_mut().enumerate() {
@@ -149,21 +164,25 @@ impl BatchNorm {
             let inv_m = 1.0 / m as f32;
             mean.iter_mut().for_each(|v| *v *= inv_m);
             for n in 0..nb {
-                for c in 0..cc {
+                for (c, v) in var.iter_mut().enumerate() {
                     let base = (n * cc + c) * inner;
                     let mu = mean[c];
                     let s: f32 = xd[base..base + inner]
                         .iter()
                         .map(|v| (v - mu) * (v - mu))
                         .sum();
-                    var[c] += s;
+                    *v += s;
                 }
             }
             var.iter_mut().for_each(|v| *v *= inv_m);
 
-            let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
-            let mut xhat = Tensor::zeros(x.shape().dims().to_vec());
+            let mut inv_std = ws.acquire_uninit([cc]);
+            for (o, &v) in inv_std.data_mut().iter_mut().zip(var.iter()) {
+                *o = 1.0 / (v + self.eps).sqrt();
+            }
+            let mut xhat = ws.acquire_uninit(x.shape().dims());
             {
+                let isd = inv_std.data();
                 let xh = xhat.data_mut();
                 let yd = y.data_mut();
                 let g = self.gamma.value.data();
@@ -172,7 +191,7 @@ impl BatchNorm {
                     for c in 0..cc {
                         let base = (n * cc + c) * inner;
                         let mu = mean[c];
-                        let is = inv_std[c];
+                        let is = isd[c];
                         for i in base..base + inner {
                             let h = (xd[i] - mu) * is;
                             xh[i] = h;
@@ -190,7 +209,9 @@ impl BatchNorm {
                     rv[c] = self.momentum * rv[c] + (1.0 - self.momentum) * var[c];
                 }
             }
-            self.cache = Some(BnCache { xhat, inv_std, m });
+            ws.release(mean_t);
+            ws.release(var_t);
+            self.cache = Some(Box::new(BnCache { xhat, inv_std, m }));
         } else {
             let xd = x.data();
             let yd = y.data_mut();
@@ -220,6 +241,20 @@ impl BatchNorm {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`BatchNorm::backward`] staging its scratch and output in a
+    /// [`Workspace`]. Both batch loops fan out through the shared chunk
+    /// dispatcher: the per-channel `dγ`/`dβ` reduction splits over
+    /// channels (each worker owns one channel's pair and scans the batch
+    /// in order), the input-gradient loop over batch items — so results
+    /// are bitwise identical across thread counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let cache = self
             .cache
             .as_ref()
@@ -228,46 +263,64 @@ impl BatchNorm {
         let m = cache.m as f32;
         let gd = grad_out.data();
         let xh = cache.xhat.data();
+        let worthwhile = nb * cc * inner >= PARALLEL_ELEMENT_THRESHOLD;
 
-        let mut dgamma = vec![0.0f32; cc];
-        let mut dbeta = vec![0.0f32; cc];
-        for n in 0..nb {
-            for c in 0..cc {
+        // stats[c] = (dgamma_c, dbeta_c): one interleaved buffer so the
+        // per-channel split stays a single chunked dispatch.
+        let mut stats = ws.acquire_uninit([cc.max(1), 2]);
+        for_each_chunk(&mut stats.data_mut()[..2 * cc], 2, worthwhile, |c, s| {
+            let (mut dg, mut db) = (0.0f32, 0.0f32);
+            for n in 0..nb {
                 let base = (n * cc + c) * inner;
                 for i in base..base + inner {
-                    dgamma[c] += gd[i] * xh[i];
-                    dbeta[c] += gd[i];
+                    dg += gd[i] * xh[i];
+                    db += gd[i];
                 }
             }
-        }
+            s[0] = dg;
+            s[1] = db;
+        });
+        let sd = stats.data();
         {
             let gg = self.gamma.grad.data_mut();
             let gb = self.beta.grad.data_mut();
             for c in 0..cc {
-                gg[c] += dgamma[c];
-                gb[c] += dbeta[c];
+                gg[c] += sd[2 * c];
+                gb[c] += sd[2 * c + 1];
             }
         }
-        let mut gin = Tensor::zeros(grad_out.shape().dims().to_vec());
+        let mut gin = ws.acquire_uninit(grad_out.shape().dims());
         {
-            let gi = gin.data_mut();
             let g = self.gamma.value.data();
-            for n in 0..nb {
+            let isd = cache.inv_std.data();
+            for_each_chunk(gin.data_mut(), cc * inner, worthwhile, |n, gchunk| {
                 for c in 0..cc {
                     let base = (n * cc + c) * inner;
-                    let coeff = g[c] * cache.inv_std[c] / m;
-                    for i in base..base + inner {
-                        gi[i] = coeff * (m * gd[i] - dbeta[c] - xh[i] * dgamma[c]);
+                    let coeff = g[c] * isd[c] / m;
+                    let (dg, db) = (sd[2 * c], sd[2 * c + 1]);
+                    for (o, i) in gchunk[c * inner..(c + 1) * inner]
+                        .iter_mut()
+                        .zip(base..base + inner)
+                    {
+                        *o = coeff * (m * gd[i] - db - xh[i] * dg);
                     }
                 }
-            }
+            });
         }
+        ws.release(stats);
         gin
     }
 
     /// The layer's trainable parameters.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gamma, &mut self.beta]
+    }
+
+    /// Visits the layer's trainable parameters in [`BatchNorm::params_mut`]
+    /// order without materializing a `Vec`.
+    pub fn visit_params_mut(&mut self, f: &mut impl FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
     }
 
     /// Drops cached activations.

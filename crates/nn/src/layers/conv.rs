@@ -134,7 +134,8 @@ impl ConvLayer {
     }
 
     /// [`ConvLayer::forward`] staging its output (and, on the GEMM path,
-    /// the im2col scratch) in a [`Workspace`].
+    /// the im2col scratch; in train mode, the cached-input copy) in a
+    /// [`Workspace`].
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let k = self.kernel();
         let pad = self.padding();
@@ -149,7 +150,12 @@ impl ConvLayer {
             y
         };
         if train {
-            self.cached_input = Some(x.clone());
+            if let Some(old) = self.cached_input.take() {
+                ws.release(old);
+            }
+            let mut cache = ws.acquire_uninit(x.shape().dims());
+            cache.data_mut().copy_from_slice(x.data());
+            self.cached_input = Some(cache);
         }
         y
     }
@@ -161,21 +167,60 @@ impl ConvLayer {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`ConvLayer::backward`] staging every intermediate in a
+    /// [`Workspace`]. The same [`ConvFormulation`] switch as the forward
+    /// pass applies: deep reductions run the GEMM-backed backward kernels
+    /// (col2im input gradient, im2col-transposed weight gradient), shallow
+    /// ones the direct loops — both pinned to each other by the
+    /// `gradient_equivalence` suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self
             .cached_input
             .as_ref()
             .expect("conv backward before forward");
-        let (gw, gb) = conv::conv2d_backward_params(grad_out, x, self.kernel(), self.padding());
-        self.weight.grad.add_assign(&gw);
-        self.bias.grad.add_assign(&gb);
+        let k = self.kernel();
+        let pad = self.padding();
         let h = x.shape().dim(2);
         let w = x.shape().dim(3);
-        conv::conv2d_backward_input(grad_out, &self.weight.value, h, w, self.padding())
+        if self.use_gemm() {
+            let (gw, gb) = im2col::conv2d_backward_params_im2col_ws(grad_out, x, k, pad, ws);
+            self.weight.grad.add_assign(&gw);
+            self.bias.grad.add_assign(&gb);
+            ws.release(gw);
+            ws.release(gb);
+            im2col::conv2d_backward_input_im2col_ws(grad_out, &self.weight.value, h, w, pad, ws)
+        } else {
+            let mut gw = ws.acquire_uninit(self.weight.value.shape().dims());
+            let mut gb = ws.acquire_uninit(self.bias.value.shape().dims());
+            conv::conv2d_backward_params_into(grad_out, x, k, pad, &mut gw, &mut gb);
+            self.weight.grad.add_assign(&gw);
+            self.bias.grad.add_assign(&gb);
+            ws.release(gw);
+            ws.release(gb);
+            let d = x.shape().dims();
+            let mut gin = ws.acquire_uninit([d[0], d[1], h, w]);
+            conv::conv2d_backward_input_into(grad_out, &self.weight.value, pad, &mut gin);
+            gin
+        }
     }
 
     /// The layer's trainable parameters.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Visits the layer's trainable parameters in [`ConvLayer::params_mut`]
+    /// order without materializing a `Vec`.
+    pub fn visit_params_mut(&mut self, f: &mut impl FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 
     /// Drops cached activations.

@@ -62,13 +62,20 @@ impl DenseLayer {
         self.forward_ws(x, train, &mut Workspace::new())
     }
 
-    /// [`DenseLayer::forward`] staging its output in a [`Workspace`].
+    /// [`DenseLayer::forward`] staging its output — and in train mode the
+    /// cached-input copy — in a [`Workspace`], so steady-state training
+    /// steps reuse both buffers.
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let mut y = ws.acquire_uninit([x.shape().dim(0), self.out_features()]);
-        ops::matmul_into(x, &self.weight.value, &mut y);
+        ops::matmul_into_ws(x, &self.weight.value, &mut y, ws);
         ops::add_row_bias(&mut y, &self.bias.value);
         if train {
-            self.cached_input = Some(x.clone());
+            if let Some(old) = self.cached_input.take() {
+                ws.release(old);
+            }
+            let mut cache = ws.acquire_uninit(x.shape().dims());
+            cache.data_mut().copy_from_slice(x.data());
+            self.cached_input = Some(cache);
         }
         y
     }
@@ -80,19 +87,45 @@ impl DenseLayer {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`DenseLayer::backward`] staging every intermediate (weight/bias
+    /// gradient scratch and the returned input gradient) in a
+    /// [`Workspace`]. Both parameter-gradient products run on the blocked
+    /// GEMM core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let x = self
             .cached_input
             .as_ref()
             .expect("dense backward before forward");
-        let gw = ops::matmul_tn(x, grad_out);
+        let mut gw = ws.acquire_uninit([self.in_features(), self.out_features()]);
+        ops::matmul_tn_into_ws(x, grad_out, &mut gw, ws);
         self.weight.grad.add_assign(&gw);
-        self.bias.grad.add_assign(&ops::column_sums(grad_out));
-        ops::matmul_nt(grad_out, &self.weight.value)
+        ws.release(gw);
+        let mut gb = ws.acquire_uninit([self.out_features()]);
+        ops::column_sums_into(grad_out, &mut gb);
+        self.bias.grad.add_assign(&gb);
+        ws.release(gb);
+        let mut gin = ws.acquire_uninit([grad_out.shape().dim(0), self.in_features()]);
+        ops::matmul_nt_into_ws(grad_out, &self.weight.value, &mut gin, ws);
+        gin
     }
 
     /// The layer's trainable parameters.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Visits the layer's trainable parameters in [`DenseLayer::params_mut`]
+    /// order without materializing a `Vec`.
+    pub fn visit_params_mut(&mut self, f: &mut impl FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 
     /// Drops cached activations (used between training runs).

@@ -143,13 +143,28 @@ impl ResidualUnit {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let gs = self.relu_out.backward(grad_out);
-        let g = self.bn2.backward(&gs);
-        let g = self.conv2.backward(&g);
-        let g = self.relu1.backward(&g);
-        let g = self.bn1.backward(&g);
-        let mut gin = self.conv1.backward(&g);
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`ResidualUnit::backward`] threading a [`Workspace`] through the
+    /// branch; intermediate gradients are recycled as they die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let gs = self.relu_out.backward_ws(grad_out, ws);
+        let g1 = self.bn2.backward_ws(&gs, ws);
+        let g2 = self.conv2.backward_ws(&g1, ws);
+        ws.release(g1);
+        let g3 = self.relu1.backward_ws(&g2, ws);
+        ws.release(g2);
+        let g4 = self.bn1.backward_ws(&g3, ws);
+        ws.release(g3);
+        let mut gin = self.conv1.backward_ws(&g4, ws);
+        ws.release(g4);
         gin.add_assign(&gs); // skip path
+        ws.release(gs);
         gin
     }
 
@@ -160,6 +175,17 @@ impl ResidualUnit {
         p.extend(self.conv2.params_mut());
         p.extend(self.bn2.params_mut());
         p
+    }
+
+    /// Visits the unit's trainable parameters in
+    /// [`ResidualUnit::params_mut`] order without materializing a `Vec`,
+    /// delegating to each sub-layer's visitor so the two orders cannot
+    /// drift apart independently.
+    pub fn visit_params_mut(&mut self, f: &mut impl FnMut(&mut Param)) {
+        self.conv1.visit_params_mut(f);
+        self.bn1.visit_params_mut(f);
+        self.conv2.visit_params_mut(f);
+        self.bn2.visit_params_mut(f);
     }
 
     /// Drops cached activations.

@@ -27,19 +27,26 @@ impl MaxPoolLayer {
     /// [`MaxPoolLayer::forward`] staging its output in a [`Workspace`].
     ///
     /// In eval mode the argmax bookkeeping (only needed for backward) is
-    /// skipped entirely.
+    /// skipped entirely; in train mode the argmax buffer's allocation is
+    /// reused across steps.
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let d = x.shape().dims();
+        let mut out = ws.acquire_uninit([d[0], d[1], d[2] / 2, d[3] / 2]);
         if train {
-            let out = pool::maxpool2x2_forward(x);
-            self.argmax = Some(out.argmax);
-            self.input_shape = Some(x.shape().dims().to_vec());
-            out.output
+            let mut argmax = self.argmax.take().unwrap_or_default();
+            pool::maxpool2x2_forward_into(x, &mut out, &mut argmax);
+            self.argmax = Some(argmax);
+            match &mut self.input_shape {
+                Some(s) => {
+                    s.clear();
+                    s.extend_from_slice(d);
+                }
+                None => self.input_shape = Some(d.to_vec()),
+            }
         } else {
-            let d = x.shape().dims();
-            let mut out = ws.acquire_uninit([d[0], d[1], d[2] / 2, d[3] / 2]);
             pool::maxpool2x2_forward_eval_into(x, &mut out);
-            out
         }
+        out
     }
 
     /// Backward pass: routes gradients to the argmax positions.
@@ -48,6 +55,15 @@ impl MaxPoolLayer {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`MaxPoolLayer::backward`] staging its output in a [`Workspace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let argmax = self
             .argmax
             .as_ref()
@@ -56,7 +72,9 @@ impl MaxPoolLayer {
             .input_shape
             .as_ref()
             .expect("maxpool backward before forward");
-        pool::maxpool2x2_backward(grad_out, argmax, shape)
+        let mut gin = ws.acquire_uninit(shape.as_slice());
+        pool::maxpool2x2_backward_into(grad_out, argmax, &mut gin);
+        gin
     }
 
     /// Drops cached activations.
@@ -84,12 +102,19 @@ impl GlobalAvgPoolLayer {
     }
 
     /// [`GlobalAvgPoolLayer::forward`] staging its output in a
-    /// [`Workspace`].
+    /// [`Workspace`]. The cached shape's allocation is reused across
+    /// steps.
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
-        if train {
-            self.input_shape = Some(x.shape().dims().to_vec());
-        }
         let d = x.shape().dims();
+        if train {
+            match &mut self.input_shape {
+                Some(s) => {
+                    s.clear();
+                    s.extend_from_slice(d);
+                }
+                None => self.input_shape = Some(d.to_vec()),
+            }
+        }
         let mut out = ws.acquire_uninit([d[0], d[1]]);
         pool::global_avg_pool_forward_into(x, &mut out);
         out
@@ -101,11 +126,23 @@ impl GlobalAvgPoolLayer {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`GlobalAvgPoolLayer::backward`] staging its output in a
+    /// [`Workspace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let shape = self
             .input_shape
             .as_ref()
             .expect("gap backward before forward");
-        pool::global_avg_pool_backward(grad_out, shape)
+        let mut gin = ws.acquire_uninit(shape.as_slice());
+        pool::global_avg_pool_backward_into(grad_out, &mut gin);
+        gin
     }
 
     /// Drops cached activations.
@@ -142,6 +179,7 @@ impl FlattenLayer {
     }
 
     /// [`FlattenLayer::forward`] staging its output in a [`Workspace`].
+    /// The cached shape's allocation is reused across steps.
     ///
     /// # Panics
     ///
@@ -150,7 +188,13 @@ impl FlattenLayer {
         let d = x.shape().dims();
         assert_eq!(d.len(), 4, "flatten expects [N,C,H,W], got {}", x.shape());
         if train {
-            self.input_shape = Some(d.to_vec());
+            match &mut self.input_shape {
+                Some(s) => {
+                    s.clear();
+                    s.extend_from_slice(d);
+                }
+                None => self.input_shape = Some(d.to_vec()),
+            }
         }
         let mut out = ws.acquire_uninit([d[0], d[1] * d[2] * d[3]]);
         out.data_mut().copy_from_slice(x.data());
@@ -163,11 +207,22 @@ impl FlattenLayer {
     ///
     /// Panics if called before a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// [`FlattenLayer::backward`] staging its output in a [`Workspace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before a training-mode forward pass.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let shape = self
             .input_shape
             .as_ref()
             .expect("flatten backward before forward");
-        grad_out.reshape(shape.clone())
+        let mut gin = ws.acquire_uninit(shape.as_slice());
+        gin.data_mut().copy_from_slice(grad_out.data());
+        gin
     }
 
     /// Drops cached activations.

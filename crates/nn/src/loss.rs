@@ -1,6 +1,6 @@
 //! Softmax cross-entropy loss.
 
-use mn_tensor::{ops, Tensor};
+use mn_tensor::{ops, Tensor, Workspace};
 
 /// Mean softmax cross-entropy over a batch, plus the gradient w.r.t. the
 /// logits.
@@ -12,6 +12,20 @@ use mn_tensor::{ops, Tensor};
 ///
 /// Panics on shape mismatch or out-of-range labels.
 pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    softmax_cross_entropy_ws(logits, labels, &mut Workspace::new())
+}
+
+/// [`softmax_cross_entropy`] staging the returned gradient tensor in a
+/// [`Workspace`] — the training loop's per-step hot path.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or out-of-range labels.
+pub fn softmax_cross_entropy_ws(
+    logits: &Tensor,
+    labels: &[usize],
+    ws: &mut Workspace,
+) -> (f32, Tensor) {
     let n = logits.shape().dim(0);
     let k = logits.shape().dim(1);
     assert_eq!(
@@ -20,7 +34,8 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
         "labels length {} != batch {n}",
         labels.len()
     );
-    let mut probs = logits.clone();
+    let mut probs = ws.acquire_uninit([n, k]);
+    probs.data_mut().copy_from_slice(logits.data());
     ops::softmax_rows(&mut probs);
     let mut loss = 0.0f32;
     {

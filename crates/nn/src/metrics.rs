@@ -35,18 +35,33 @@ pub fn error_rate(predictions: &[usize], labels: &[usize]) -> f32 {
 ///
 /// Panics if any index is out of range.
 pub fn gather_examples(x: &Tensor, indices: &[usize]) -> Tensor {
+    let mut out = Tensor::zeros(x.shape().with_dim(0, indices.len()));
+    gather_examples_into(x, indices, &mut out);
+    out
+}
+
+/// [`gather_examples`] writing into a caller-provided (e.g.
+/// workspace-acquired) output of shape `[indices.len(), ...]`; every
+/// element is overwritten. This is the training loop's persistent
+/// batch-gather buffer path.
+///
+/// # Panics
+///
+/// Panics if any index is out of range or `out` has the wrong shape.
+pub fn gather_examples_into(x: &Tensor, indices: &[usize], out: &mut Tensor) {
     let n = x.shape().dim(0);
-    let row = x.len() / n;
-    let mut dims = x.shape().dims().to_vec();
-    dims[0] = indices.len();
-    let mut out = Tensor::zeros(dims);
+    let row = x.len().checked_div(n).unwrap_or(0);
+    assert_eq!(
+        out.shape(),
+        &x.shape().with_dim(0, indices.len()),
+        "gather output shape mismatch"
+    );
     let xd = x.data();
     let od = out.data_mut();
     for (dst, &src) in indices.iter().enumerate() {
         assert!(src < n, "index {src} out of range for batch {n}");
         od[dst * row..(dst + 1) * row].copy_from_slice(&xd[src * row..(src + 1) * row]);
     }
-    out
 }
 
 /// Result of evaluating a network on a labelled set.
@@ -115,11 +130,9 @@ pub fn predict_proba_batched_with(
     let mut start = 0;
     while start < n {
         let end = (start + bs).min(n);
-        let mut dims = x.shape().dims().to_vec();
-        dims[0] = end - start;
         // Mini-batches are contiguous example ranges: a straight copy,
         // no index gather needed.
-        let mut xb = ws.acquire_uninit(dims);
+        let mut xb = ws.acquire_uninit(x.shape().with_dim(0, end - start));
         xb.data_mut()
             .copy_from_slice(&x.data()[start * row..end * row]);
         let probs = net.predict_proba_with(&xb, ws);

@@ -137,9 +137,32 @@ impl Network {
     ///
     /// Panics unless a training-mode forward pass preceded this call.
     pub fn backward(&mut self, grad_logits: &Tensor) {
-        let mut g = grad_logits.clone();
+        self.backward_with(grad_logits, &mut Workspace::new());
+    }
+
+    /// [`Network::backward`] staging every intermediate gradient in a
+    /// [`Workspace`].
+    ///
+    /// Each node's upstream gradient is released back into the workspace
+    /// as soon as the node has consumed it, so a backward pass keeps at
+    /// most two live gradients plus kernel scratch — and a workspace
+    /// retained across steps (as the training loop does) runs steady-state
+    /// backward passes without heap allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless a training-mode forward pass preceded this call.
+    pub fn backward_with(&mut self, grad_logits: &Tensor, ws: &mut Workspace) {
+        let mut g: Option<Tensor> = None;
         for node in self.nodes.iter_mut().rev() {
-            g = node.backward(&g);
+            let next = node.backward_ws(g.as_ref().unwrap_or(grad_logits), ws);
+            if let Some(prev) = g.take() {
+                ws.release(prev);
+            }
+            g = Some(next);
+        }
+        if let Some(last) = g {
+            ws.release(last);
         }
     }
 
@@ -166,6 +189,15 @@ impl Network {
     /// All trainable parameters, in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
         self.nodes.iter_mut().flat_map(|n| n.params_mut()).collect()
+    }
+
+    /// Visits all trainable parameters in the same stable order as
+    /// [`Network::params_mut`], without materializing a `Vec` — the
+    /// zero-allocation path the fused optimizer steps through.
+    pub fn visit_params_mut(&mut self, f: &mut impl FnMut(&mut Param)) {
+        for node in &mut self.nodes {
+            node.visit_params_mut(f);
+        }
     }
 
     /// Zeroes every parameter gradient.
@@ -404,6 +436,36 @@ mod tests {
         let net = Network::seeded(&arch, 7);
         let (_, nodes) = net.into_parts();
         Network::from_parts(other, nodes);
+    }
+
+    #[test]
+    fn visit_params_matches_params_mut_order_all_families() {
+        // The fused optimizer pairs velocity entries with parameters by
+        // visit order, so the visitor must walk the exact same sequence
+        // as params_mut — pinned by pointer identity across every layer
+        // family (dense, conv, batch norm, residual units).
+        let archs = vec![
+            Architecture::mlp("m", input(), 5, vec![8]),
+            Architecture::plain(
+                "p",
+                input(),
+                5,
+                vec![ConvBlockSpec::repeated(3, 4, 1)],
+                vec![8],
+            ),
+            Architecture::residual("r", input(), 5, vec![ResBlockSpec::new(2, 4, 3)]),
+        ];
+        for arch in archs {
+            let mut net = Network::seeded(&arch, 11);
+            let listed: Vec<*const Param> = net
+                .params_mut()
+                .iter()
+                .map(|p| *p as *const Param)
+                .collect();
+            let mut visited: Vec<*const Param> = Vec::new();
+            net.visit_params_mut(&mut |p| visited.push(p as *const Param));
+            assert_eq!(listed, visited, "order diverged for {}", arch.name);
+        }
     }
 
     #[test]

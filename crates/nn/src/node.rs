@@ -64,15 +64,24 @@ impl LayerNode {
     ///
     /// Panics if the node has not run a training-mode forward pass.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.backward_ws(grad_out, &mut Workspace::new())
+    }
+
+    /// Backward pass staging gradients in a [`Workspace`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node has not run a training-mode forward pass.
+    pub fn backward_ws(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         match self {
-            LayerNode::Dense(l) => l.backward(grad_out),
-            LayerNode::Conv(l) => l.backward(grad_out),
-            LayerNode::BatchNorm(l) => l.backward(grad_out),
-            LayerNode::Relu(l) => l.backward(grad_out),
-            LayerNode::MaxPool(l) => l.backward(grad_out),
-            LayerNode::Flatten(l) => l.backward(grad_out),
-            LayerNode::GlobalAvgPool(l) => l.backward(grad_out),
-            LayerNode::Residual(l) => l.backward(grad_out),
+            LayerNode::Dense(l) => l.backward_ws(grad_out, ws),
+            LayerNode::Conv(l) => l.backward_ws(grad_out, ws),
+            LayerNode::BatchNorm(l) => l.backward_ws(grad_out, ws),
+            LayerNode::Relu(l) => l.backward_ws(grad_out, ws),
+            LayerNode::MaxPool(l) => l.backward_ws(grad_out, ws),
+            LayerNode::Flatten(l) => l.backward_ws(grad_out, ws),
+            LayerNode::GlobalAvgPool(l) => l.backward_ws(grad_out, ws),
+            LayerNode::Residual(l) => l.backward_ws(grad_out, ws),
         }
     }
 
@@ -87,6 +96,24 @@ impl LayerNode {
             | LayerNode::MaxPool(_)
             | LayerNode::Flatten(_)
             | LayerNode::GlobalAvgPool(_) => Vec::new(),
+        }
+    }
+
+    /// Visits the node's trainable parameters in the same stable order as
+    /// [`LayerNode::params_mut`], without materializing a `Vec` — the
+    /// zero-allocation path the fused optimizer steps through. Each arm
+    /// delegates to its layer's own visitor, which is defined next to
+    /// that layer's `params_mut`, so the two orders cannot drift apart.
+    pub fn visit_params_mut(&mut self, f: &mut impl FnMut(&mut Param)) {
+        match self {
+            LayerNode::Dense(l) => l.visit_params_mut(f),
+            LayerNode::Conv(l) => l.visit_params_mut(f),
+            LayerNode::BatchNorm(l) => l.visit_params_mut(f),
+            LayerNode::Residual(l) => l.visit_params_mut(f),
+            LayerNode::Relu(_)
+            | LayerNode::MaxPool(_)
+            | LayerNode::Flatten(_)
+            | LayerNode::GlobalAvgPool(_) => {}
         }
     }
 

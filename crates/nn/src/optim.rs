@@ -1,9 +1,25 @@
 //! Stochastic gradient descent with momentum and weight decay — the
 //! optimizer family the paper trains with (§3).
+//!
+//! The update is **fused**: weight decay, momentum and the parameter
+//! update run as one pass over each parameter buffer (no cloned
+//! gradients, no temporaries), with large buffers split across rayon
+//! workers through the shared chunk dispatcher. Chunk boundaries are
+//! fixed (independent of the thread count) and the update is elementwise,
+//! so results are bitwise identical across thread counts.
 
+use mn_tensor::chunking::for_each_chunk3;
 use mn_tensor::Tensor;
 
 use crate::layer::Param;
+use crate::network::Network;
+
+/// Fixed elements-per-chunk of the fused update (thread-count
+/// independent, so parallelism cannot perturb results).
+const FUSED_CHUNK: usize = 16 * 1024;
+
+/// Below this many elements a parameter updates on the calling thread.
+const PARALLEL_ELEMENT_THRESHOLD: usize = 64 * 1024;
 
 /// SGD with classical momentum and decoupled L2 weight decay.
 #[derive(Clone, Debug)]
@@ -37,37 +53,62 @@ impl Sgd {
 
     /// Applies one update step to `params` and zeroes their gradients.
     ///
-    /// Velocity buffers are created lazily on first use; if the parameter
-    /// list changes shape (e.g. after a morphism) the buffers are reset.
+    /// Velocity buffers are created lazily on first use. If an individual
+    /// parameter changes shape (e.g. after a width morphism), only
+    /// **that** entry's velocity is reset — parameters whose list
+    /// position and shape are unchanged keep their momentum. Pairing is
+    /// positional: after a *structural* rewrite that shifts parameters to
+    /// new list positions (e.g. inserting a layer mid-network), call
+    /// [`Sgd::reset`] — a shifted parameter whose shape happens to match
+    /// its slot's previous occupant would otherwise inherit that
+    /// parameter's momentum. (The ensemble trainer always constructs a
+    /// fresh optimizer per training run, so this only concerns callers
+    /// that reuse one `Sgd` across morphisms.)
     pub fn step(&mut self, params: &mut [&mut Param]) {
-        let shapes_match = self.velocity.len() == params.len()
-            && self
-                .velocity
-                .iter()
-                .zip(params.iter())
-                .all(|(v, p)| v.shape() == p.value.shape());
-        if !shapes_match {
-            self.velocity = params
-                .iter()
-                .map(|p| Tensor::zeros(p.value.shape().dims().to_vec()))
-                .collect();
+        self.velocity.truncate(params.len());
+        for (i, p) in params.iter_mut().enumerate() {
+            self.update_entry(i, p);
         }
-        for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
-            if self.weight_decay > 0.0 {
-                let wd = self.weight_decay;
-                let value = p.value.clone();
-                p.grad.axpy(wd, &value);
-            }
-            if self.momentum > 0.0 {
-                v.scale(self.momentum);
-                v.add_assign(&p.grad);
-                p.value.axpy(-self.lr, v);
-            } else {
-                let grad = p.grad.clone();
-                p.value.axpy(-self.lr, &grad);
-            }
-            p.zero_grad();
+    }
+
+    /// [`Sgd::step`] over a whole network without materializing the
+    /// parameter list — the zero-allocation training-step path.
+    pub fn step_network(&mut self, net: &mut Network) {
+        let mut i = 0usize;
+        net.visit_params_mut(&mut |p| {
+            self.update_entry(i, p);
+            i += 1;
+        });
+        self.velocity.truncate(i);
+    }
+
+    /// The fused per-parameter update: `g += wd·x; v = μ·v + g;
+    /// x -= lr·v; g = 0` in one pass, chunk-parallel for large buffers.
+    fn update_entry(&mut self, i: usize, p: &mut Param) {
+        debug_assert!(i <= self.velocity.len());
+        if i == self.velocity.len() {
+            self.velocity.push(Tensor::zeros(p.value.shape()));
+        } else if self.velocity[i].shape() != p.value.shape() {
+            self.velocity[i] = Tensor::zeros(p.value.shape());
         }
+        let v = &mut self.velocity[i];
+        let (lr, mom, wd) = (self.lr, self.momentum, self.weight_decay);
+        let worthwhile = p.value.len() >= PARALLEL_ELEMENT_THRESHOLD;
+        for_each_chunk3(
+            p.value.data_mut(),
+            v.data_mut(),
+            p.grad.data_mut(),
+            FUSED_CHUNK,
+            worthwhile,
+            |_, value, vel, grad| {
+                for ((x, v), g) in value.iter_mut().zip(vel.iter_mut()).zip(grad.iter_mut()) {
+                    let gi = *g + wd * *x;
+                    *v = mom * *v + gi;
+                    *x -= lr * *v;
+                    *g = 0.0;
+                }
+            },
+        );
     }
 
     /// Resets momentum state (used when reusing an optimizer across runs).
@@ -145,5 +186,103 @@ mod tests {
     #[should_panic(expected = "learning rate")]
     fn rejects_zero_lr() {
         Sgd::new(0.0, 0.0, 0.0);
+    }
+
+    /// Hand-computed two-step momentum trace: lr = 0.1, μ = 0.9, g ≡ 1.
+    ///
+    /// step 1: v = 1,   x = 1 − 0.1·1   = 0.9
+    /// step 2: v = 1.9, x = 0.9 − 0.19  = 0.71
+    #[test]
+    fn momentum_matches_hand_computed_trace() {
+        let mut p = quadratic_param(1.0);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        p.grad = Tensor::ones([1]);
+        opt.step(&mut [&mut p]);
+        assert!((p.value[0] - 0.9).abs() < 1e-6, "step 1: {}", p.value[0]);
+        p.grad = Tensor::ones([1]);
+        opt.step(&mut [&mut p]);
+        assert!((p.value[0] - 0.71).abs() < 1e-6, "step 2: {}", p.value[0]);
+    }
+
+    /// Hand-computed momentum + weight-decay interaction: the decay term
+    /// is folded into the gradient *before* the velocity update
+    /// (classical coupled L2).
+    ///
+    /// lr = 0.1, μ = 0.5, wd = 0.2, g ≡ 0, x₀ = 1:
+    /// step 1: g' = 0.2,   v = 0.2,   x = 1 − 0.02   = 0.98
+    /// step 2: g' = 0.196, v = 0.296, x = 0.98 − 0.0296 = 0.9504
+    #[test]
+    fn weight_decay_feeds_momentum() {
+        let mut p = quadratic_param(1.0);
+        let mut opt = Sgd::new(0.1, 0.5, 0.2);
+        opt.step(&mut [&mut p]);
+        assert!((p.value[0] - 0.98).abs() < 1e-6, "step 1: {}", p.value[0]);
+        opt.step(&mut [&mut p]);
+        assert!((p.value[0] - 0.9504).abs() < 1e-6, "step 2: {}", p.value[0]);
+    }
+
+    /// Velocity must survive across steps (regression: the optimizer used
+    /// to re-zero the full velocity list whenever *any* shape mismatched).
+    /// Reshaping one parameter resets only that entry's momentum.
+    #[test]
+    fn velocity_survives_other_params_shape_change() {
+        let mut a = quadratic_param(1.0);
+        let mut b = quadratic_param(1.0);
+        let mut opt = Sgd::new(0.1, 0.9, 0.0);
+        // Step 1: both velocities become 1.
+        a.grad = Tensor::ones([1]);
+        b.grad = Tensor::ones([1]);
+        opt.step(&mut [&mut a, &mut b]);
+        // Reshape b (as a morphism would); a's momentum must persist.
+        b.replace(Tensor::ones([3]));
+        a.grad = Tensor::ones([1]);
+        b.grad = Tensor::ones([3]);
+        let a_before = a.value[0];
+        let b_before = b.value[0];
+        opt.step(&mut [&mut a, &mut b]);
+        // a: v = 0.9·1 + 1 = 1.9 → surviving momentum.
+        assert!(
+            (a_before - a.value[0] - 0.19).abs() < 1e-6,
+            "a's velocity was reset: Δ = {}",
+            a_before - a.value[0]
+        );
+        // b: fresh velocity → v = 1 → plain step.
+        assert!(
+            (b_before - b.value[0] - 0.1).abs() < 1e-6,
+            "b's velocity was not reset: Δ = {}",
+            b_before - b.value[0]
+        );
+    }
+
+    /// `step_network` must be equivalent to `step` over `params_mut()`.
+    #[test]
+    fn step_network_matches_step() {
+        use crate::arch::{Architecture, InputSpec};
+        use crate::layer::Mode;
+        use crate::network::Network;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let arch = Architecture::mlp("m", InputSpec::new(1, 2, 2), 3, vec![8]);
+        let mut via_list = Network::seeded(&arch, 3);
+        let mut via_visit = Network::seeded(&arch, 3);
+        let x = Tensor::randn([4, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(4));
+        let mut opt_a = Sgd::new(0.05, 0.9, 1e-4);
+        let mut opt_b = Sgd::new(0.05, 0.9, 1e-4);
+        for _ in 0..3 {
+            let ya = via_list.forward(&x, Mode::Train);
+            via_list.backward(&ya);
+            let mut params = via_list.params_mut();
+            opt_a.step(&mut params);
+
+            let yb = via_visit.forward(&x, Mode::Train);
+            via_visit.backward(&yb);
+            opt_b.step_network(&mut via_visit);
+        }
+        let pa = via_list.params_mut();
+        let pb = via_visit.params_mut();
+        for (a, b) in pa.iter().zip(pb.iter()) {
+            assert_eq!(a.value.data(), b.value.data());
+        }
     }
 }

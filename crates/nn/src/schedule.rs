@@ -162,4 +162,71 @@ mod tests {
         let s = LrSchedule::default();
         assert!((s.factor(2) - 0.97f32 * 0.97).abs() < 1e-6);
     }
+
+    /// Exact factors at every epoch boundary: the epoch *before* a drop
+    /// still runs at the old rate, the boundary epoch at the new one.
+    #[test]
+    fn step_boundary_epochs_are_exact() {
+        let s = LrSchedule::Step {
+            every: 3,
+            gamma: 0.5,
+        };
+        // Epochs 0..2 → 1.0; 3..5 → 0.5; 6..8 → 0.25.
+        for (epoch, expect) in [(0, 1.0), (2, 1.0), (3, 0.5), (5, 0.5), (6, 0.25), (8, 0.25)] {
+            assert!(
+                (s.factor(epoch) - expect).abs() < 1e-7,
+                "epoch {epoch}: {} != {expect}",
+                s.factor(epoch)
+            );
+        }
+    }
+
+    /// Cosine hits its hand-computed midpoint and endpoint exactly:
+    /// factor(t) = min + (1 − min)·(1 + cos(πt/T))/2.
+    #[test]
+    fn cosine_midpoint_matches_closed_form() {
+        let s = LrSchedule::Cosine {
+            period: 8,
+            min_factor: 0.2,
+        };
+        // t = 4/8 = 1/2 → cos(π/2) = 0 → factor = 0.2 + 0.8·0.5 = 0.6.
+        assert!((s.factor(4) - 0.6).abs() < 1e-6);
+        // t = 2/8 = 1/4 → cos(π/4) = √2/2 → 0.2 + 0.8·(1 + √2/2)/2.
+        let expect = 0.2 + 0.8 * 0.5 * (1.0 + std::f32::consts::FRAC_1_SQRT_2);
+        assert!((s.factor(2) - expect).abs() < 1e-6);
+        // Boundary epoch and beyond hold the floor exactly.
+        assert_eq!(s.factor(8), 0.2);
+        assert_eq!(s.factor(9), 0.2);
+    }
+
+    /// Cyclic cosine restarts exactly at multiples of the cycle length and
+    /// repeats the same within-cycle factors every cycle.
+    #[test]
+    fn cyclic_factors_repeat_across_cycles() {
+        let s = LrSchedule::CyclicCosine {
+            cycle_len: 5,
+            min_factor: 0.1,
+        };
+        for epoch in 0..5 {
+            assert_eq!(
+                s.factor(epoch),
+                s.factor(epoch + 5),
+                "cycle 0 vs 1 differ at offset {epoch}"
+            );
+            assert_eq!(s.factor(epoch), s.factor(epoch + 10));
+        }
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(5), 1.0);
+        // Cycle-end flags fire exactly on the last epoch of each cycle.
+        let ends: Vec<usize> = (0..12).filter(|&e| s.is_cycle_end(e)).collect();
+        assert_eq!(ends, vec![4, 9]);
+    }
+
+    /// Exponential decay at hand-computed epochs.
+    #[test]
+    fn exponential_hand_computed_epochs() {
+        let s = LrSchedule::Exponential { gamma: 0.9 };
+        assert!((s.factor(5) - 0.59049).abs() < 1e-5);
+        assert!((s.factor(10) - 0.348_678_44).abs() < 1e-6);
+    }
 }

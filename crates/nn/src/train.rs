@@ -19,14 +19,14 @@
 
 use std::time::Instant;
 
-use mn_tensor::Tensor;
+use mn_tensor::{Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 use crate::layer::Mode;
-use crate::loss::softmax_cross_entropy;
-use crate::metrics::{evaluate, gather_examples, Evaluation};
+use crate::loss::softmax_cross_entropy_ws;
+use crate::metrics::{evaluate, gather_examples_into, Evaluation};
 use crate::network::Network;
 use crate::optim::Sgd;
 use crate::schedule::LrSchedule;
@@ -124,12 +124,35 @@ impl TrainReport {
     }
 }
 
+/// Splits `n` examples into mini-batch ranges of `batch_size`, merging a
+/// trailing range of size 1 into its predecessor (batch norm needs ≥ 2
+/// elements per channel in train mode, and dropping the example would
+/// silently shrink the epoch). A lone size-1 range (`n == 1`) is kept.
+fn batch_ranges(n: usize, batch_size: usize) -> impl Iterator<Item = std::ops::Range<usize>> {
+    let merge_tail = batch_size >= 2 && n > batch_size && n % batch_size == 1;
+    let mut starts: Vec<usize> = (0..n).step_by(batch_size).collect();
+    if merge_tail {
+        starts.pop(); // the last range absorbs the trailing example
+    }
+    let count = starts.len();
+    starts.into_iter().enumerate().map(move |(i, s)| {
+        s..if i + 1 == count {
+            n
+        } else {
+            (s + batch_size).min(n)
+        }
+    })
+}
+
 /// Trains `net` on `(x_train, y_train)` until convergence, validating on
 /// `(x_val, y_val)`.
 ///
 /// # Panics
 ///
-/// Panics on empty inputs or label/example count mismatches.
+/// Panics on empty inputs or label/example count mismatches. A training
+/// set of exactly one example trains with a batch of 1 (rather than
+/// silently skipping it), which batch-norm networks reject loudly
+/// ("needs >= 2 elements per channel").
 pub fn train(
     net: &mut Network,
     x_train: &Tensor,
@@ -137,6 +160,41 @@ pub fn train(
     x_val: &Tensor,
     y_val: &[usize],
     cfg: &TrainConfig,
+) -> TrainReport {
+    train_with(
+        net,
+        x_train,
+        y_train,
+        x_val,
+        y_val,
+        cfg,
+        &mut Workspace::new(),
+    )
+}
+
+/// [`train`] staging every per-step buffer — mini-batch gather, forward
+/// activations, loss gradient, backward gradients, layer caches and
+/// kernel scratch — in the caller's [`Workspace`].
+///
+/// After the first step of the first epoch the workspace reaches its
+/// high-water set of buffers and a steady-state training step performs no
+/// heap allocation (the optimizer's velocity buffers persist inside
+/// [`Sgd`]). Callers that train many networks (the ensemble trainer's
+/// per-worker jobs) pass a retained workspace so the pool survives across
+/// member fine-tunes of equal geometry.
+///
+/// # Panics
+///
+/// Same conditions as [`train`].
+#[allow(clippy::too_many_arguments)]
+pub fn train_with(
+    net: &mut Network,
+    x_train: &Tensor,
+    y_train: &[usize],
+    x_val: &Tensor,
+    y_val: &[usize],
+    cfg: &TrainConfig,
+    ws: &mut Workspace,
 ) -> TrainReport {
     let n = x_train.shape().dim(0);
     assert_eq!(y_train.len(), n, "train labels length mismatch");
@@ -156,25 +214,27 @@ pub fn train(
     let mut converged = false;
 
     let mut order: Vec<usize> = (0..n).collect();
+    // Persistent label buffer: reused across every step of the run.
+    let mut yb: Vec<usize> = Vec::with_capacity(cfg.batch_size + 1);
     for epoch in 0..cfg.max_epochs {
         let epoch_start = Instant::now();
         opt.lr = cfg.lr * cfg.schedule.factor(epoch);
         order.shuffle(&mut rng);
         let mut epoch_loss = 0.0f64;
         let mut seen = 0usize;
-        for chunk in order.chunks(cfg.batch_size) {
-            // Skip a trailing chunk of size 1: batch norm needs >= 2
-            // elements per channel in training mode.
-            if chunk.len() < 2 && cfg.batch_size >= 2 {
-                continue;
-            }
-            let xb = gather_examples(x_train, chunk);
-            let yb: Vec<usize> = chunk.iter().map(|&i| y_train[i]).collect();
-            let logits = net.forward(&xb, Mode::Train);
-            let (loss, grad) = softmax_cross_entropy(&logits, &yb);
-            net.backward(&grad);
-            let mut params = net.params_mut();
-            opt.step(&mut params);
+        for range in batch_ranges(n, cfg.batch_size) {
+            let chunk = &order[range];
+            let mut xb = ws.acquire_uninit(x_train.shape().with_dim(0, chunk.len()));
+            gather_examples_into(x_train, chunk, &mut xb);
+            yb.clear();
+            yb.extend(chunk.iter().map(|&i| y_train[i]));
+            let logits = net.forward_with(&xb, Mode::Train, ws);
+            ws.release(xb);
+            let (loss, grad) = softmax_cross_entropy_ws(&logits, &yb, ws);
+            ws.release(logits);
+            net.backward_with(&grad, ws);
+            ws.release(grad);
+            opt.step_network(net);
             epoch_loss += loss as f64 * chunk.len() as f64;
             seen += chunk.len();
             steps += 1;
@@ -298,6 +358,66 @@ mod tests {
         let rb = train(&mut b, &x, &y, &x, &y, &cfg);
         assert_eq!(ra.final_val.loss, rb.final_val.loss);
         assert_eq!(ra.gradient_steps, rb.gradient_steps);
+    }
+
+    #[test]
+    fn batch_ranges_merge_trailing_singleton() {
+        // 33 examples at batch 32: one merged batch of 33 (no drop).
+        let r: Vec<_> = batch_ranges(33, 32).collect();
+        assert_eq!(r, vec![0..33]);
+        // 65 at 32: 0..32, 32..65.
+        let r: Vec<_> = batch_ranges(65, 32).collect();
+        assert_eq!(r, vec![0..32, 32..65]);
+        // Exact multiples and non-singleton tails are untouched.
+        let r: Vec<_> = batch_ranges(64, 32).collect();
+        assert_eq!(r, vec![0..32, 32..64]);
+        let r: Vec<_> = batch_ranges(34, 32).collect();
+        assert_eq!(r, vec![0..32, 32..34]);
+        // A lone example (or batch_size 1) is preserved, not merged away.
+        let r: Vec<_> = batch_ranges(1, 32).collect();
+        assert_eq!(r, vec![0..1]);
+        let r: Vec<_> = batch_ranges(3, 1).collect();
+        assert_eq!(r, vec![0..1, 1..2, 2..3]);
+    }
+
+    #[test]
+    fn every_example_is_seen_with_trailing_singleton() {
+        // Regression: n ≡ 1 (mod batch_size) used to silently drop one
+        // example per epoch; it must now be merged into the last batch.
+        let (x, y) = toy_data(33, 9);
+        let arch = Architecture::mlp("m", InputSpec::new(3, 4, 4), 3, vec![8]);
+        let mut net = Network::seeded(&arch, 10);
+        let cfg = TrainConfig {
+            max_epochs: 1,
+            batch_size: 32,
+            patience: 5,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut net, &x, &y, &x, &y, &cfg);
+        // One merged batch of 33 → exactly one gradient step, finite loss
+        // computed over all 33 examples.
+        assert_eq!(report.gradient_steps, 1);
+        assert!(report.epochs[0].train_loss.is_finite());
+    }
+
+    #[test]
+    fn train_with_reused_workspace_matches_fresh() {
+        let (x, y) = toy_data(40, 11);
+        let arch = Architecture::mlp("m", InputSpec::new(3, 4, 4), 3, vec![8]);
+        let cfg = TrainConfig {
+            max_epochs: 2,
+            ..TrainConfig::default()
+        };
+        let mut fresh = Network::seeded(&arch, 12);
+        let fresh_report = train(&mut fresh, &x, &y, &x, &y, &cfg);
+        // A workspace dirtied by a full prior run must not perturb results.
+        let mut ws = mn_tensor::Workspace::new();
+        let mut warm = Network::seeded(&arch, 1);
+        train_with(&mut warm, &x, &y, &x, &y, &cfg, &mut ws);
+        let mut reused = Network::seeded(&arch, 12);
+        let reused_report = train_with(&mut reused, &x, &y, &x, &y, &cfg, &mut ws);
+        assert_eq!(fresh_report.final_val.loss, reused_report.final_val.loss);
+        assert_eq!(fresh_report.gradient_steps, reused_report.gradient_steps);
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! not-worthwhile work runs inline, and everything else fans out across
 //! rayon workers. Chunk boundaries never depend on the thread count, so
 //! either path produces bitwise-identical results.
+//!
+//! The module is public: the `mn-nn` training layer drives its own batch
+//! loops (batch-norm backward, the fused SGD step) through the same
+//! dispatcher, so every parallel loop in the workspace shares one policy.
 
 use rayon::prelude::*;
 
@@ -16,7 +20,7 @@ use rayon::prelude::*;
 /// `parallel_worthwhile` is the caller's cost estimate (e.g. "enough
 /// multiply-adds to amortize a worker spawn"); the helper additionally
 /// requires more than one chunk and more than one available thread.
-pub(crate) fn for_each_chunk(
+pub fn for_each_chunk(
     data: &mut [f32],
     chunk: usize,
     parallel_worthwhile: bool,
@@ -39,7 +43,7 @@ pub(crate) fn for_each_chunk(
 
 /// [`for_each_chunk`] over two equally-chunked buffers (an output and its
 /// argmax companion).
-pub(crate) fn for_each_chunk_zip(
+pub fn for_each_chunk_zip(
     data: &mut [f32],
     aux: &mut [usize],
     chunk: usize,
@@ -66,6 +70,45 @@ pub(crate) fn for_each_chunk_zip(
     }
 }
 
+/// [`for_each_chunk`] over three equally-chunked `f32` buffers — the fused
+/// SGD step's split (parameter values, velocity, gradients). All three
+/// must have equal lengths so the chunk triples stay aligned.
+///
+/// # Panics
+///
+/// Panics if the buffer lengths differ.
+pub fn for_each_chunk3(
+    a: &mut [f32],
+    b: &mut [f32],
+    c: &mut [f32],
+    chunk: usize,
+    parallel_worthwhile: bool,
+    f: impl Fn(usize, &mut [f32], &mut [f32], &mut [f32]) + Sync,
+) {
+    assert_eq!(a.len(), b.len(), "chunk3 length mismatch");
+    assert_eq!(a.len(), c.len(), "chunk3 length mismatch");
+    if a.is_empty() || chunk == 0 {
+        return;
+    }
+    let items = a.len().div_ceil(chunk);
+    if items <= 1 || !parallel_worthwhile || rayon::current_num_threads() <= 1 {
+        for (i, ((ca, cb), cc)) in a
+            .chunks_mut(chunk)
+            .zip(b.chunks_mut(chunk))
+            .zip(c.chunks_mut(chunk))
+            .enumerate()
+        {
+            f(i, ca, cb, cc);
+        }
+    } else {
+        a.par_chunks_mut(chunk)
+            .zip(b.par_chunks_mut(chunk))
+            .zip(c.par_chunks_mut(chunk))
+            .enumerate()
+            .for_each(|(i, ((ca, cb), cc))| f(i, ca, cb, cc));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,6 +119,9 @@ mod tests {
         let mut data = [1.0f32; 4];
         for_each_chunk(&mut data, 0, true, |_, _| panic!("must not run"));
         for_each_chunk_zip(&mut [], &mut [], 4, true, |_, _, _| panic!("must not run"));
+        for_each_chunk3(&mut [], &mut [], &mut [], 4, true, |_, _, _, _| {
+            panic!("must not run")
+        });
     }
 
     #[test]
@@ -97,5 +143,33 @@ mod tests {
         });
         assert_eq!(data, [0., 0., 0., 1., 1., 1.]);
         assert_eq!(aux, [0, 0, 0, 10, 10, 10]);
+    }
+
+    #[test]
+    fn chunk3_aligns_all_three_buffers() {
+        let mut a = [0.0f32; 7];
+        let mut b = [0.0f32; 7];
+        let mut c = [0.0f32; 7];
+        for_each_chunk3(&mut a, &mut b, &mut c, 3, true, |i, ca, cb, cc| {
+            ca.iter_mut().for_each(|v| *v = i as f32);
+            cb.iter_mut().for_each(|v| *v = 10.0 * i as f32);
+            cc.iter_mut().for_each(|v| *v = 100.0 * i as f32);
+        });
+        assert_eq!(a, [0., 0., 0., 1., 1., 1., 2.]);
+        assert_eq!(b, [0., 0., 0., 10., 10., 10., 20.]);
+        assert_eq!(c, [0., 0., 0., 100., 100., 100., 200.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk3 length mismatch")]
+    fn chunk3_rejects_mismatched_lengths() {
+        for_each_chunk3(
+            &mut [0.0; 2],
+            &mut [0.0; 3],
+            &mut [0.0; 2],
+            1,
+            false,
+            |_, _, _, _| {},
+        );
     }
 }

@@ -161,6 +161,26 @@ pub fn conv2d_backward_input(
     w: usize,
     pad: usize,
 ) -> Tensor {
+    let (n_batch, _, _, _) = dims4(grad_out, "conv grad_out");
+    let (_, c_in, _, _) = dims4(weight, "conv weight");
+    let mut gin = Tensor::zeros([n_batch, c_in, h, w]);
+    conv2d_backward_input_into(grad_out, weight, pad, &mut gin);
+    gin
+}
+
+/// [`conv2d_backward_input`] writing into a caller-provided (e.g.
+/// workspace-acquired) output tensor of shape `[N, C, H, W]`; every
+/// element is overwritten (zeroed first, then accumulated).
+///
+/// # Panics
+///
+/// Panics on layout mismatches, including a wrongly shaped `gin`.
+pub fn conv2d_backward_input_into(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    pad: usize,
+    gin: &mut Tensor,
+) {
     let (n_batch, f_out, ho, wo) = dims4(grad_out, "conv grad_out");
     let (f_w, c_in, k, k2) = dims4(weight, "conv weight");
     assert_eq!(
@@ -168,6 +188,11 @@ pub fn conv2d_backward_input(
         "grad_out filters {f_out} != weight filters {f_w}"
     );
     assert_eq!(k, k2, "only square kernels supported");
+    let gdims = gin.shape().dims();
+    assert_eq!(gdims.len(), 4, "conv input grad must be 4-D");
+    assert_eq!(gdims[0], n_batch, "input grad batch mismatch");
+    assert_eq!(gdims[1], c_in, "input grad channel mismatch");
+    let (h, w) = (gdims[2], gdims[3]);
     assert_eq!(
         ho,
         conv_out_extent(h, k, pad),
@@ -179,7 +204,6 @@ pub fn conv2d_backward_input(
         "grad_out width inconsistent"
     );
 
-    let mut gin = Tensor::zeros([n_batch, c_in, h, w]);
     let gd = grad_out.data();
     let wd = weight.data();
     let ipad = pad as isize;
@@ -189,6 +213,7 @@ pub fn conv2d_backward_input(
         c_in * h * w,
         macs >= PARALLEL_MAC_THRESHOLD,
         |n, gchunk| {
+            gchunk.fill(0.0);
             for f in 0..f_out {
                 let gbase = (n * f_out + f) * ho * wo;
                 for c in 0..c_in {
@@ -222,7 +247,6 @@ pub fn conv2d_backward_input(
             }
         },
     );
-    gin
 }
 
 /// Gradients of the loss w.r.t. the convolution weight and bias.
@@ -239,6 +263,29 @@ pub fn conv2d_backward_params(
     k: usize,
     pad: usize,
 ) -> (Tensor, Tensor) {
+    let (_, f_out, _, _) = dims4(grad_out, "conv grad_out");
+    let (_, c_in, _, _) = dims4(input, "conv input");
+    let mut gw = Tensor::zeros([f_out, c_in, k, k]);
+    let mut gb = Tensor::zeros([f_out]);
+    conv2d_backward_params_into(grad_out, input, k, pad, &mut gw, &mut gb);
+    (gw, gb)
+}
+
+/// [`conv2d_backward_params`] writing into caller-provided (e.g.
+/// workspace-acquired) gradient tensors `gw: [F, C, K, K]` and `gb: [F]`;
+/// every element of both is overwritten.
+///
+/// # Panics
+///
+/// Panics on layout mismatches, including wrongly shaped outputs.
+pub fn conv2d_backward_params_into(
+    grad_out: &Tensor,
+    input: &Tensor,
+    k: usize,
+    pad: usize,
+    gw: &mut Tensor,
+    gb: &mut Tensor,
+) {
     let (n_batch, f_out, ho, wo) = dims4(grad_out, "conv grad_out");
     let (n_in, c_in, h, w) = dims4(input, "conv input");
     assert_eq!(n_batch, n_in, "batch mismatch");
@@ -252,14 +299,19 @@ pub fn conv2d_backward_params(
         conv_out_extent(w, k, pad),
         "grad_out width inconsistent"
     );
+    assert_eq!(
+        gw.shape().dims(),
+        &[f_out, c_in, k, k],
+        "weight grad must be [{f_out}, {c_in}, {k}, {k}]"
+    );
+    assert_eq!(gb.shape().dims(), &[f_out], "bias grad must be [{f_out}]");
 
-    let mut gw = Tensor::zeros([f_out, c_in, k, k]);
-    let mut gb = Tensor::zeros([f_out]);
     let gd = grad_out.data();
     let id = input.data();
     let ipad = pad as isize;
     {
         let gbd = gb.data_mut();
+        gbd.fill(0.0);
         for n in 0..n_batch {
             for (f, g) in gbd.iter_mut().enumerate() {
                 let gbase = (n * f_out + f) * ho * wo;
@@ -276,6 +328,7 @@ pub fn conv2d_backward_params(
         c_in * k * k,
         macs >= PARALLEL_MAC_THRESHOLD,
         |f, gwchunk| {
+            gwchunk.fill(0.0);
             for n in 0..n_batch {
                 let gbase = (n * f_out + f) * ho * wo;
                 for c in 0..c_in {
@@ -306,7 +359,6 @@ pub fn conv2d_backward_params(
             }
         },
     );
-    (gw, gb)
 }
 
 /// Reference (naive, obviously-correct) forward convolution used by tests to

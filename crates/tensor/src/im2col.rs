@@ -14,6 +14,18 @@
 //! The [`conv2d_forward_im2col_ws`] variant stages the unfold matrix and
 //! GEMM product in a [`Workspace`] so steady-state inference reuses both
 //! buffers instead of reallocating them per call.
+//!
+//! The **backward** pass lowers onto the same GEMM core:
+//!
+//! * input gradient ([`conv2d_backward_input_im2col`]) — multiply the
+//!   rearranged upstream gradient `[N·H'·W', F]` by the `[F, C·K·K]`
+//!   weight view, then fold overlapping receptive fields back with the
+//!   col2im scatter ([`col2im_accumulate_into`]);
+//! * weight gradient ([`conv2d_backward_params_im2col`]) — the
+//!   im2col-transposed product `[N·H'·W', F]ᵀ × [N·H'·W', C·K·K]`.
+//!
+//! The direct loops in [`crate::conv`] survive as the ground truth the
+//! `gradient_equivalence` property suite pins these kernels against.
 
 use crate::chunking::for_each_chunk;
 use crate::conv::conv_out_extent;
@@ -144,13 +156,14 @@ pub fn conv2d_forward_im2col_ws(
     let mut cols = ws.acquire_uninit([positions, row_len]);
     im2col_into(input, k, pad, &mut cols);
     let mut prod = ws.acquire_uninit([positions, f_out]);
-    ops::gemm_nt_raw(
+    ops::gemm_nt_raw_ws(
         cols.data(),
         weight.data(),
         prod.data_mut(),
         positions,
         f_out,
         row_len,
+        ws,
     );
     ws.release(cols);
 
@@ -171,6 +184,261 @@ pub fn conv2d_forward_im2col_ws(
     }
     ws.release(prod);
     out
+}
+
+/// Rearranges `grad_out: [N, F, H', W']` into the GEMM-ready matrix
+/// `[N·H'·W', F]` (the transpose of the forward path's product layout),
+/// staging the output in `ws`. The batch loop fans out across rayon
+/// workers (disjoint output rows per item).
+fn grad_out_to_mat_ws(grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+    let d = grad_out.shape().dims();
+    assert_eq!(d.len(), 4, "conv grad_out must be [N, F, H', W']");
+    let (n_batch, f_out, ho, wo) = (d[0], d[1], d[2], d[3]);
+    let positions = ho * wo;
+    let mut mat = ws.acquire_uninit([n_batch * positions, f_out]);
+    let gd = grad_out.data();
+    let per_item = positions * f_out;
+    for_each_chunk(
+        mat.data_mut(),
+        per_item,
+        n_batch * per_item >= PARALLEL_COPY_THRESHOLD,
+        |n, mchunk| {
+            let gbase = n * f_out * positions;
+            for f in 0..f_out {
+                let grow = gbase + f * positions;
+                for p in 0..positions {
+                    mchunk[p * f_out + f] = gd[grow + p];
+                }
+            }
+        },
+    );
+    mat
+}
+
+/// Folds an im2col-layout gradient matrix `cols: [N·H'·W', C·K·K]` back
+/// into an input-shaped gradient `out: [N, C, H, W]`, accumulating
+/// overlapping receptive-field contributions (the col2im scatter). Every
+/// element of `out` is overwritten (zeroed first), so the buffer may come
+/// from [`Workspace::acquire_uninit`].
+///
+/// The batch loop fans out across rayon workers; within one item the
+/// scatter runs in a fixed order, so results are bitwise identical across
+/// thread counts.
+///
+/// # Panics
+///
+/// Panics on layout mismatches between `cols`, `k`, `pad` and `out`.
+pub fn col2im_accumulate_into(cols: &Tensor, k: usize, pad: usize, out: &mut Tensor) {
+    let d = *out.shape();
+    let d = d.dims();
+    assert_eq!(d.len(), 4, "col2im output must be [N, C, H, W]");
+    let (n_batch, c_in, h, w) = (d[0], d[1], d[2], d[3]);
+    let ho = conv_out_extent(h, k, pad);
+    let wo = conv_out_extent(w, k, pad);
+    let row_len = c_in * k * k;
+    assert_eq!(
+        cols.shape().dims(),
+        &[n_batch * ho * wo, row_len],
+        "col2im input must be [{}, {row_len}]",
+        n_batch * ho * wo
+    );
+    let cd = cols.data();
+    let ipad = pad as isize;
+    let per_item = c_in * h * w;
+    let total = n_batch * ho * wo * row_len;
+    for_each_chunk(
+        out.data_mut(),
+        per_item,
+        total >= PARALLEL_COPY_THRESHOLD,
+        |n, gchunk| {
+            gchunk.fill(0.0);
+            for oh in 0..ho {
+                for ow in 0..wo {
+                    let row = ((n * ho + oh) * wo + ow) * row_len;
+                    for c in 0..c_in {
+                        let ibase = c * h * w;
+                        for kh in 0..k {
+                            let ih = oh as isize + kh as isize - ipad;
+                            if ih < 0 || ih as usize >= h {
+                                continue; // padding rows carry no gradient
+                            }
+                            let irow = ibase + ih as usize * w;
+                            let cbase = row + (c * k + kh) * k;
+                            for kw in 0..k {
+                                let iw = ow as isize + kw as isize - ipad;
+                                if iw >= 0 && (iw as usize) < w {
+                                    gchunk[irow + iw as usize] += cd[cbase + kw];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        },
+    );
+}
+
+/// Gradient of the loss w.r.t. the convolution input via the blocked GEMM
+/// core: `[N·H'·W', F] × [F, C·K·K]` followed by a col2im fold. Matches
+/// [`crate::conv::conv2d_backward_input`] up to float summation order
+/// (pinned by the `gradient_equivalence` suite).
+///
+/// # Panics
+///
+/// Panics on the same layout violations as the direct kernel.
+pub fn conv2d_backward_input_im2col(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    h: usize,
+    w: usize,
+    pad: usize,
+) -> Tensor {
+    conv2d_backward_input_im2col_ws(grad_out, weight, h, w, pad, &mut Workspace::new())
+}
+
+/// [`conv2d_backward_input_im2col`] staging every intermediate (the
+/// rearranged gradient matrix, the GEMM product, and the returned input
+/// gradient) in a [`Workspace`].
+///
+/// # Panics
+///
+/// Panics on the same layout violations as the direct kernel.
+pub fn conv2d_backward_input_im2col_ws(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    h: usize,
+    w: usize,
+    pad: usize,
+    ws: &mut Workspace,
+) -> Tensor {
+    let gd = grad_out.shape().dims();
+    assert_eq!(gd.len(), 4, "conv grad_out must be [N, F, H', W']");
+    let (n_batch, f_out, ho, wo) = (gd[0], gd[1], gd[2], gd[3]);
+    let wd = weight.shape().dims();
+    assert_eq!(wd.len(), 4, "conv weight must be [F, C, K, K]");
+    let (f_w, c_in, k) = (wd[0], wd[1], wd[2]);
+    assert_eq!(wd[3], k, "only square kernels supported");
+    assert_eq!(
+        f_out, f_w,
+        "grad_out filters {f_out} != weight filters {f_w}"
+    );
+    assert_eq!(
+        ho,
+        conv_out_extent(h, k, pad),
+        "grad_out height inconsistent"
+    );
+    assert_eq!(
+        wo,
+        conv_out_extent(w, k, pad),
+        "grad_out width inconsistent"
+    );
+
+    let positions = n_batch * ho * wo;
+    let row_len = c_in * k * k;
+    // cols_grad[(n,oh,ow), (c,kh,kw)] = Σ_f g[n,f,oh,ow] · w[f,c,kh,kw]:
+    // a [NHW, F] × [F, CKK] product straight onto the weight storage.
+    let gmat = grad_out_to_mat_ws(grad_out, ws);
+    let mut cols_grad = ws.acquire_uninit([positions, row_len]);
+    ops::gemm_nn_raw_ws(
+        gmat.data(),
+        weight.data(),
+        cols_grad.data_mut(),
+        positions,
+        row_len,
+        f_out,
+        ws,
+    );
+    ws.release(gmat);
+    let mut gin = ws.acquire_uninit([n_batch, c_in, h, w]);
+    col2im_accumulate_into(&cols_grad, k, pad, &mut gin);
+    ws.release(cols_grad);
+    gin
+}
+
+/// Gradients of the loss w.r.t. the convolution weight and bias via the
+/// blocked GEMM core: the weight gradient is the im2col-transposed
+/// product `[N·H'·W', F]ᵀ × [N·H'·W', C·K·K]`. Matches
+/// [`crate::conv::conv2d_backward_params`] up to float summation order.
+///
+/// # Panics
+///
+/// Panics on layout mismatches between `grad_out`, `input` and `k`.
+pub fn conv2d_backward_params_im2col(
+    grad_out: &Tensor,
+    input: &Tensor,
+    k: usize,
+    pad: usize,
+) -> (Tensor, Tensor) {
+    conv2d_backward_params_im2col_ws(grad_out, input, k, pad, &mut Workspace::new())
+}
+
+/// [`conv2d_backward_params_im2col`] staging every intermediate (unfold
+/// matrix, gradient matrix, and the returned gradients) in a
+/// [`Workspace`].
+///
+/// # Panics
+///
+/// Panics on layout mismatches between `grad_out`, `input` and `k`.
+pub fn conv2d_backward_params_im2col_ws(
+    grad_out: &Tensor,
+    input: &Tensor,
+    k: usize,
+    pad: usize,
+    ws: &mut Workspace,
+) -> (Tensor, Tensor) {
+    let gd = grad_out.shape().dims();
+    assert_eq!(gd.len(), 4, "conv grad_out must be [N, F, H', W']");
+    let (n_batch, f_out, ho, wo) = (gd[0], gd[1], gd[2], gd[3]);
+    let id = input.shape().dims();
+    assert_eq!(id.len(), 4, "conv input must be [N, C, H, W]");
+    let (n_in, c_in, h, w) = (id[0], id[1], id[2], id[3]);
+    assert_eq!(n_batch, n_in, "batch mismatch");
+    assert_eq!(
+        ho,
+        conv_out_extent(h, k, pad),
+        "grad_out height inconsistent"
+    );
+    assert_eq!(
+        wo,
+        conv_out_extent(w, k, pad),
+        "grad_out width inconsistent"
+    );
+
+    let positions = n_batch * ho * wo;
+    let row_len = c_in * k * k;
+
+    // Bias gradient: plain sum over batch and positions, in the same
+    // order as the direct kernel (bitwise-equal results).
+    let mut gb = ws.acquire([f_out]);
+    {
+        let gbd = gb.data_mut();
+        let g = grad_out.data();
+        for n in 0..n_batch {
+            for (f, acc) in gbd.iter_mut().enumerate() {
+                let gbase = (n * f_out + f) * ho * wo;
+                *acc += g[gbase..gbase + ho * wo].iter().sum::<f32>();
+            }
+        }
+    }
+
+    // Weight gradient: gw = gmatᵀ · cols over the full batch of output
+    // positions.
+    let mut cols = ws.acquire_uninit([positions, row_len]);
+    im2col_into(input, k, pad, &mut cols);
+    let gmat = grad_out_to_mat_ws(grad_out, ws);
+    let mut gw = ws.acquire_uninit([f_out, c_in, k, k]);
+    ops::gemm_tn_raw_ws(
+        gmat.data(),
+        cols.data(),
+        gw.data_mut(),
+        f_out,
+        row_len,
+        positions,
+        ws,
+    );
+    ws.release(gmat);
+    ws.release(cols);
+    (gw, gb)
 }
 
 #[cfg(test)]

@@ -14,13 +14,20 @@
 //! 2×2 max pooling, dense layers), rather than a general einsum engine.
 //! The matrix products are cache-blocked and register-tiled (see
 //! [`ops`]'s module docs for the layout), the batch loops of convolution,
-//! im2col and pooling fan out across rayon worker threads, and the
-//! [`Workspace`] arena lets callers run repeated forward passes without
-//! reallocating activations or im2col scratch. All parallel kernels are
+//! im2col and pooling fan out across rayon worker threads (through the
+//! shared [`chunking`] dispatcher, which higher layers reuse for their
+//! own batch loops), and the [`Workspace`] arena lets callers run
+//! repeated forward **and backward** passes without reallocating
+//! activations, gradients, or im2col scratch — [`Shape`] stores its
+//! extents inline so even tensor construction stays off the allocator.
+//! Convolution's backward pass lowers onto the same GEMM core as its
+//! forward pass (col2im input gradient, im2col-transposed weight
+//! gradient — see [`im2col`]). All parallel kernels are
 //! bitwise-deterministic across thread counts: work is only ever split
 //! over disjoint output regions whose per-element accumulation order is
 //! fixed. The pre-optimization kernels survive as [`ops::reference`] (and
-//! [`conv::conv2d_forward_reference`]) as the property-test ground truth.
+//! [`conv::conv2d_forward_reference`], plus the direct backward loops in
+//! [`conv`]) as the property-test ground truth.
 //!
 //! ## Conventions
 //!
@@ -41,7 +48,7 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
-pub(crate) mod chunking;
+pub mod chunking;
 pub mod conv;
 pub mod im2col;
 pub mod init;

@@ -224,11 +224,18 @@ fn pack_a_tile(dst: &mut [f32], a: &[f32], shape: AShape, m: usize, k: usize, i0
     }
 }
 
+/// Number of `f32` elements a packed-B buffer needs for a `[k, n]` (or
+/// transposed `[n, k]`) right operand.
+fn packed_b_len(k: usize, n: usize) -> usize {
+    n.div_ceil(NR) * k * NR
+}
+
 /// Packs `B: [k, n]` into `NR`-column panels, each `[k × NR]` contiguous,
-/// zero-padded past `n`.
-fn pack_b_nn(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+/// zero-padded past `n`, writing into `buf` (every element is written).
+fn pack_b_nn_into(b: &[f32], k: usize, n: usize, buf: &mut [f32]) {
+    debug_assert_eq!(buf.len(), packed_b_len(k, n));
+    buf.fill(0.0);
     let panels = n.div_ceil(NR);
-    let mut buf = vec![0.0f32; panels * k * NR];
     for jp in 0..panels {
         let j0 = jp * NR;
         let w = NR.min(n - j0);
@@ -237,14 +244,14 @@ fn pack_b_nn(b: &[f32], k: usize, n: usize) -> Vec<f32> {
             panel[p * NR..p * NR + w].copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
         }
     }
-    buf
 }
 
 /// Packs `B: [n, k]` (used transposed) into the same panel layout as
-/// [`pack_b_nn`], so `C = A · Bᵀ` shares the micro-kernel.
-fn pack_b_nt(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+/// [`pack_b_nn_into`], so `C = A · Bᵀ` shares the micro-kernel.
+fn pack_b_nt_into(b: &[f32], k: usize, n: usize, buf: &mut [f32]) {
+    debug_assert_eq!(buf.len(), packed_b_len(k, n));
+    buf.fill(0.0);
     let panels = n.div_ceil(NR);
-    let mut buf = vec![0.0f32; panels * k * NR];
     for jp in 0..panels {
         let j0 = jp * NR;
         let w = NR.min(n - j0);
@@ -256,7 +263,49 @@ fn pack_b_nt(b: &[f32], k: usize, n: usize) -> Vec<f32> {
             }
         }
     }
-    buf
+}
+
+/// How a raw GEMM call's right operand is packed.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BShape {
+    /// `B: [k, n]`, row-major.
+    RowMajor,
+    /// `B: [n, k]`, used transposed.
+    Transposed,
+}
+
+/// Stages the packed-B buffer in `ws` (when given) or a fresh `Vec`, then
+/// runs the shared GEMM driver. All public products funnel through here.
+#[allow(clippy::too_many_arguments)]
+fn gemm_raw(
+    a: &[f32],
+    a_shape: AShape,
+    b: &[f32],
+    b_shape: BShape,
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    ws: Option<&mut crate::Workspace>,
+) {
+    let plen = packed_b_len(k, n);
+    let pack = |buf: &mut [f32]| match b_shape {
+        BShape::RowMajor => pack_b_nn_into(b, k, n, buf),
+        BShape::Transposed => pack_b_nt_into(b, k, n, buf),
+    };
+    match ws {
+        Some(ws) => {
+            let mut bp = ws.acquire_uninit([plen]);
+            pack(bp.data_mut());
+            gemm_driver(a, a_shape, bp.data(), c, m, n, k);
+            ws.release(bp);
+        }
+        None => {
+            let mut bp = vec![0.0f32; plen];
+            pack(&mut bp);
+            gemm_driver(a, a_shape, &bp, c, m, n, k);
+        }
+    }
 }
 
 /// The shared GEMM driver: writes `C = op(A) · op(B)` into `c`, which must
@@ -343,6 +392,20 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics on operand shape mismatch or if `c` is not `[m, n]`.
 pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    matmul_into_dispatch(a, b, c, None);
+}
+
+/// [`matmul_into`] staging the GEMM's packed-B operand buffer in a
+/// [`Workspace`], so repeated products reuse it instead of reallocating.
+///
+/// # Panics
+///
+/// Panics on operand shape mismatch or if `c` is not `[m, n]`.
+pub fn matmul_into_ws(a: &Tensor, b: &Tensor, c: &mut Tensor, ws: &mut crate::Workspace) {
+    matmul_into_dispatch(a, b, c, Some(ws));
+}
+
+fn matmul_into_dispatch(a: &Tensor, b: &Tensor, c: &mut Tensor, ws: Option<&mut crate::Workspace>) {
     let (m, k) = mat_dims(a, "matmul lhs");
     let (k2, n) = mat_dims(b, "matmul rhs");
     assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
@@ -351,8 +414,17 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
         &[m, n],
         "matmul output must be [{m}, {n}]"
     );
-    let b_packed = pack_b_nn(b.data(), k, n);
-    gemm_driver(a.data(), AShape::RowMajor, &b_packed, c.data_mut(), m, n, k);
+    gemm_raw(
+        a.data(),
+        AShape::RowMajor,
+        b.data(),
+        BShape::RowMajor,
+        c.data_mut(),
+        m,
+        n,
+        k,
+        ws,
+    );
 }
 
 /// `C = Aᵀ · B` for `A: [k, m]`, `B: [k, n]` (no explicit transpose) —
@@ -375,6 +447,25 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics on operand shape mismatch or if `c` is not `[m, n]`.
 pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    matmul_tn_into_dispatch(a, b, c, None);
+}
+
+/// [`matmul_tn_into`] staging the GEMM's packed-B operand buffer in a
+/// [`Workspace`].
+///
+/// # Panics
+///
+/// Panics on operand shape mismatch or if `c` is not `[m, n]`.
+pub fn matmul_tn_into_ws(a: &Tensor, b: &Tensor, c: &mut Tensor, ws: &mut crate::Workspace) {
+    matmul_tn_into_dispatch(a, b, c, Some(ws));
+}
+
+fn matmul_tn_into_dispatch(
+    a: &Tensor,
+    b: &Tensor,
+    c: &mut Tensor,
+    ws: Option<&mut crate::Workspace>,
+) {
     let (k, m) = mat_dims(a, "matmul_tn lhs");
     let (k2, n) = mat_dims(b, "matmul_tn rhs");
     assert_eq!(k, k2, "matmul_tn leading dims differ: {k} vs {k2}");
@@ -383,15 +474,16 @@ pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
         &[m, n],
         "matmul_tn output must be [{m}, {n}]"
     );
-    let b_packed = pack_b_nn(b.data(), k, n);
-    gemm_driver(
+    gemm_raw(
         a.data(),
         AShape::Transposed,
-        &b_packed,
+        b.data(),
+        BShape::RowMajor,
         c.data_mut(),
         m,
         n,
         k,
+        ws,
     );
 }
 
@@ -415,6 +507,25 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
 ///
 /// Panics on operand shape mismatch or if `c` is not `[m, n]`.
 pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
+    matmul_nt_into_dispatch(a, b, c, None);
+}
+
+/// [`matmul_nt_into`] staging the GEMM's packed-B operand buffer in a
+/// [`Workspace`].
+///
+/// # Panics
+///
+/// Panics on operand shape mismatch or if `c` is not `[m, n]`.
+pub fn matmul_nt_into_ws(a: &Tensor, b: &Tensor, c: &mut Tensor, ws: &mut crate::Workspace) {
+    matmul_nt_into_dispatch(a, b, c, Some(ws));
+}
+
+fn matmul_nt_into_dispatch(
+    a: &Tensor,
+    b: &Tensor,
+    c: &mut Tensor,
+    ws: Option<&mut crate::Workspace>,
+) {
     let (m, k) = mat_dims(a, "matmul_nt lhs");
     let (n, k2) = mat_dims(b, "matmul_nt rhs");
     assert_eq!(k, k2, "matmul_nt trailing dims differ: {k} vs {k2}");
@@ -423,21 +534,104 @@ pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
         &[m, n],
         "matmul_nt output must be [{m}, {n}]"
     );
-    let b_packed = pack_b_nt(b.data(), k, n);
-    gemm_driver(a.data(), AShape::RowMajor, &b_packed, c.data_mut(), m, n, k);
+    gemm_raw(
+        a.data(),
+        AShape::RowMajor,
+        b.data(),
+        BShape::Transposed,
+        c.data_mut(),
+        m,
+        n,
+        k,
+        ws,
+    );
 }
 
 /// `C = A · Bᵀ` on raw row-major buffers — the im2col convolution path
-/// calls this to avoid materializing a reshaped weight tensor.
+/// calls this to avoid materializing a reshaped weight tensor. The
+/// packed-B scratch is staged in `ws`.
 ///
 /// `a` is `[m, k]`, `b` is `[n, k]`, `c` must hold `m * n` elements and is
 /// fully overwritten.
-pub(crate) fn gemm_nt_raw(a: &[f32], b: &[f32], c: &mut [f32], m: usize, n: usize, k: usize) {
+pub(crate) fn gemm_nt_raw_ws(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    ws: &mut crate::Workspace,
+) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
-    let b_packed = pack_b_nt(b, k, n);
-    gemm_driver(a, AShape::RowMajor, &b_packed, c, m, n, k);
+    gemm_raw(
+        a,
+        AShape::RowMajor,
+        b,
+        BShape::Transposed,
+        c,
+        m,
+        n,
+        k,
+        Some(ws),
+    );
+}
+
+/// `C = A · B` on raw row-major buffers — the conv backward-input path's
+/// `[N·H'·W', F] × [F, C·K·K]` product. The packed-B scratch is staged in
+/// `ws`.
+pub(crate) fn gemm_nn_raw_ws(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    ws: &mut crate::Workspace,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_raw(
+        a,
+        AShape::RowMajor,
+        b,
+        BShape::RowMajor,
+        c,
+        m,
+        n,
+        k,
+        Some(ws),
+    );
+}
+
+/// `C = Aᵀ · B` on raw row-major buffers — the conv backward-params path's
+/// `[N·H'·W', F]ᵀ × [N·H'·W', C·K·K]` product. `a` is `[k, m]` (used
+/// transposed); the packed-B scratch is staged in `ws`.
+pub(crate) fn gemm_tn_raw_ws(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    ws: &mut crate::Workspace,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_raw(
+        a,
+        AShape::Transposed,
+        b,
+        BShape::RowMajor,
+        c,
+        m,
+        n,
+        k,
+        Some(ws),
+    );
 }
 
 /// Transposes a matrix.
@@ -487,17 +681,38 @@ pub fn add_row_bias(x: &mut Tensor, bias: &Tensor) {
 ///
 /// Panics if `x` is not 2-D.
 pub fn column_sums(x: &Tensor) -> Tensor {
-    let (m, n) = mat_dims(x, "column_sums");
+    let (_, n) = mat_dims(x, "column_sums");
     let mut s = Tensor::zeros([n]);
-    let xd = x.data();
-    let sd = s.data_mut();
-    for i in 0..m {
-        let row = &xd[i * n..(i + 1) * n];
-        for j in 0..n {
-            sd[j] += row[j];
-        }
-    }
+    column_sums_into(x, &mut s);
     s
+}
+
+/// [`column_sums`] writing into a caller-provided (e.g.
+/// workspace-acquired) `[n]` output; every element is overwritten. Wide
+/// matrices split the column range across rayon workers (each worker owns
+/// a disjoint column band and scans the rows in order, so the result is
+/// bitwise identical across thread counts).
+///
+/// # Panics
+///
+/// Panics if `x` is not 2-D or `out` is not `[n]`.
+pub fn column_sums_into(x: &Tensor, out: &mut Tensor) {
+    let (m, n) = mat_dims(x, "column_sums");
+    assert_eq!(out.shape().dims(), &[n], "column_sums output must be [{n}]");
+    let xd = x.data();
+    // One cache line of f32 per column band keeps bands false-sharing-free.
+    const COL_BAND: usize = 16;
+    let worthwhile = m * n >= PARALLEL_FLOP_THRESHOLD;
+    crate::chunking::for_each_chunk(out.data_mut(), COL_BAND, worthwhile, |band, schunk| {
+        let j0 = band * COL_BAND;
+        schunk.fill(0.0);
+        for i in 0..m {
+            let row = &xd[i * n + j0..i * n + j0 + schunk.len()];
+            for (s, &v) in schunk.iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+    });
 }
 
 /// Row-wise numerically-stable softmax, in place, for `x: [m, n]`.

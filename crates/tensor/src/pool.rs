@@ -87,13 +87,37 @@ pub struct MaxPoolOutput {
 ///
 /// Panics if the input is not 4-D or has spatial extent < 2.
 pub fn maxpool2x2_forward(input: &Tensor) -> MaxPoolOutput {
-    let (n_batch, c, h, w, ho, wo) = pool_geometry(input);
+    let (n_batch, c, _, _, ho, wo) = pool_geometry(input);
     let mut out = Tensor::zeros([n_batch, c, ho, wo]);
-    let mut argmax = vec![0usize; n_batch * c * ho * wo];
+    let mut argmax = Vec::new();
+    maxpool2x2_forward_into(input, &mut out, &mut argmax);
+    MaxPoolOutput {
+        output: out,
+        argmax,
+    }
+}
+
+/// [`maxpool2x2_forward`] writing into a caller-provided output tensor and
+/// argmax buffer (resized in place, reusing its allocation). Every output
+/// element is overwritten, so both buffers may be reused across steps —
+/// this is the train-loop hot path.
+///
+/// # Panics
+///
+/// Panics on the same layout violations as [`maxpool2x2_forward`], or if
+/// `out` is not `[N, C, H/2, W/2]`.
+pub fn maxpool2x2_forward_into(input: &Tensor, out: &mut Tensor, argmax: &mut Vec<usize>) {
+    let (n_batch, c, h, w, ho, wo) = pool_geometry(input);
+    assert_eq!(
+        out.shape().dims(),
+        &[n_batch, c, ho, wo],
+        "maxpool output must be [{n_batch}, {c}, {ho}, {wo}]"
+    );
     let id = input.data();
     let in_item = c * h * w;
     let out_item = c * ho * wo;
-    let od = out.data_mut();
+    argmax.clear();
+    argmax.resize(n_batch * out_item, 0);
     let pool_one = |n: usize, ochunk: &mut [f32], achunk: &mut [usize]| {
         let ibase_abs = n * in_item;
         maxpool_item(
@@ -106,16 +130,12 @@ pub fn maxpool2x2_forward(input: &Tensor) -> MaxPoolOutput {
         );
     };
     for_each_chunk_zip(
-        od,
-        &mut argmax,
+        out.data_mut(),
+        argmax,
         out_item,
         n_batch * out_item >= PARALLEL_ELEMENT_THRESHOLD,
         pool_one,
     );
-    MaxPoolOutput {
-        output: out,
-        argmax,
-    }
 }
 
 /// Eval-mode 2×2 max pooling into a caller-provided (e.g.
@@ -154,6 +174,22 @@ pub fn maxpool2x2_forward_eval_into(input: &Tensor, out: &mut Tensor) {
 ///
 /// Panics if `grad_out` length does not match `argmax` length.
 pub fn maxpool2x2_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[usize]) -> Tensor {
+    let mut gin = Tensor::zeros(input_shape.to_vec());
+    maxpool2x2_backward_into(grad_out, argmax, &mut gin);
+    gin
+}
+
+/// [`maxpool2x2_backward`] writing into a caller-provided (e.g.
+/// workspace-acquired) `[N, C, H, W]` gradient; every element is
+/// overwritten (zeroed, then scattered into). The batch loop fans out
+/// across rayon workers — each item's argmax indices stay inside that
+/// item's slice, so the scatter regions are disjoint and results are
+/// bitwise identical across thread counts.
+///
+/// # Panics
+///
+/// Panics if shapes or the argmax length are inconsistent.
+pub fn maxpool2x2_backward_into(grad_out: &Tensor, argmax: &[usize], gin: &mut Tensor) {
     assert_eq!(
         grad_out.len(),
         argmax.len(),
@@ -161,13 +197,31 @@ pub fn maxpool2x2_backward(grad_out: &Tensor, argmax: &[usize], input_shape: &[u
         grad_out.len(),
         argmax.len()
     );
-    let mut gin = Tensor::zeros(input_shape.to_vec());
+    let gdims = gin.shape().dims();
+    assert_eq!(gdims.len(), 4, "maxpool input grad must be 4-D");
+    let odims = grad_out.shape().dims();
+    assert_eq!(odims.len(), 4, "maxpool grad_out must be 4-D");
+    let n_batch = gdims[0];
+    assert_eq!(odims[0], n_batch, "maxpool grad batch mismatch");
+    let in_item = gdims[1] * gdims[2] * gdims[3];
+    let out_item = odims[1] * odims[2] * odims[3];
     let gd = grad_out.data();
-    let gid = gin.data_mut();
-    for (g, &idx) in gd.iter().zip(argmax.iter()) {
-        gid[idx] += g;
-    }
-    gin
+    for_each_chunk(
+        gin.data_mut(),
+        in_item,
+        n_batch * out_item >= PARALLEL_ELEMENT_THRESHOLD,
+        |n, gchunk| {
+            gchunk.fill(0.0);
+            let obase = n * out_item;
+            let ibase = n * in_item;
+            for (g, &idx) in gd[obase..obase + out_item]
+                .iter()
+                .zip(&argmax[obase..obase + out_item])
+            {
+                gchunk[idx - ibase] += g;
+            }
+        },
+    );
 }
 
 /// Global average pooling: `[N, C, H, W] -> [N, C]`.
@@ -223,30 +277,44 @@ pub fn global_avg_pool_forward_into(input: &Tensor, out: &mut Tensor) {
 ///
 /// Panics if shapes are inconsistent.
 pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &[usize]) -> Tensor {
-    assert_eq!(input_shape.len(), 4, "gap input shape must be 4-D");
-    let (n_batch, c, h, w) = (
-        input_shape[0],
-        input_shape[1],
-        input_shape[2],
-        input_shape[3],
-    );
+    let mut gin = Tensor::zeros(input_shape.to_vec());
+    global_avg_pool_backward_into(grad_out, &mut gin);
+    gin
+}
+
+/// [`global_avg_pool_backward`] writing into a caller-provided (e.g.
+/// workspace-acquired) `[N, C, H, W]` gradient; every element is
+/// overwritten. The batch loop fans out across rayon workers.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn global_avg_pool_backward_into(grad_out: &Tensor, gin: &mut Tensor) {
+    let gshape = *gin.shape();
+    let gdims = gshape.dims();
+    assert_eq!(gdims.len(), 4, "gap input grad must be 4-D");
+    let (n_batch, c, h, w) = (gdims[0], gdims[1], gdims[2], gdims[3]);
     assert_eq!(
         grad_out.shape().dims(),
         &[n_batch, c],
         "gap grad_out shape mismatch"
     );
     let inv = 1.0 / (h * w) as f32;
-    let mut gin = Tensor::zeros(input_shape.to_vec());
     let gd = grad_out.data();
-    let gid = gin.data_mut();
-    for n in 0..n_batch {
-        for ch in 0..c {
-            let g = gd[n * c + ch] * inv;
-            let ibase = (n * c + ch) * h * w;
-            gid[ibase..ibase + h * w].iter_mut().for_each(|x| *x = g);
-        }
-    }
-    gin
+    let item = c * h * w;
+    for_each_chunk(
+        gin.data_mut(),
+        item,
+        n_batch * item >= PARALLEL_ELEMENT_THRESHOLD,
+        |n, gchunk| {
+            for ch in 0..c {
+                let g = gd[n * c + ch] * inv;
+                gchunk[ch * h * w..(ch + 1) * h * w]
+                    .iter_mut()
+                    .for_each(|x| *x = g);
+            }
+        },
+    );
 }
 
 #[cfg(test)]

@@ -2,10 +2,18 @@
 
 use std::fmt;
 
+/// Maximum tensor rank. The paper's networks need at most NCHW (4-D);
+/// keeping the bound const lets [`Shape`] store its extents inline.
+pub const MAX_NDIM: usize = 4;
+
 /// The shape of a [`crate::Tensor`]: a list of dimension extents.
 ///
-/// A `Shape` is an inexpensive wrapper around `Vec<usize>` that adds the
-/// index arithmetic the kernels need (row-major linearization) and a
+/// A `Shape` stores up to [`MAX_NDIM`] extents **inline** (no heap
+/// allocation), which is what lets the [`crate::Workspace`]-driven hot
+/// paths build tensors without touching the allocator: a steady-state
+/// training or inference step constructs thousands of shapes, and each
+/// one is a couple of register moves. Besides storage it adds the index
+/// arithmetic the kernels need (row-major linearization) and a
 /// human-readable `Display`.
 ///
 /// ```
@@ -15,8 +23,11 @@ use std::fmt;
 /// assert_eq!(s.ndim(), 3);
 /// assert_eq!(format!("{s}"), "[2, 3, 4]");
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
-pub struct Shape(Vec<usize>);
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Shape {
+    dims: [usize; MAX_NDIM],
+    ndim: usize,
+}
 
 impl Shape {
     /// Creates a shape from dimension extents.
@@ -30,20 +41,40 @@ impl Shape {
     ///
     /// # Panics
     ///
-    /// Panics if `dims` is empty (a tensor always has a rank).
+    /// Panics if `dims` is empty (a tensor always has a rank) or has more
+    /// than [`MAX_NDIM`] dimensions.
     pub fn new(dims: Vec<usize>) -> Self {
+        Shape::from_dims(&dims)
+    }
+
+    /// Creates a shape from a slice of extents, without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Shape::new`].
+    pub fn from_dims(dims: &[usize]) -> Self {
         assert!(!dims.is_empty(), "shape must have at least one dimension");
-        Shape(dims)
+        assert!(
+            dims.len() <= MAX_NDIM,
+            "shape rank {} exceeds MAX_NDIM {MAX_NDIM}",
+            dims.len()
+        );
+        let mut inline = [0usize; MAX_NDIM];
+        inline[..dims.len()].copy_from_slice(dims);
+        Shape {
+            dims: inline,
+            ndim: dims.len(),
+        }
     }
 
     /// Number of dimensions.
     pub fn ndim(&self) -> usize {
-        self.0.len()
+        self.ndim
     }
 
     /// Total number of elements (product of extents).
     pub fn len(&self) -> usize {
-        self.0.iter().product()
+        self.dims[..self.ndim].iter().product()
     }
 
     /// Whether the shape has zero total elements (some extent is zero,
@@ -58,12 +89,27 @@ impl Shape {
     ///
     /// Panics if `i >= self.ndim()`.
     pub fn dim(&self, i: usize) -> usize {
-        self.0[i]
+        assert!(i < self.ndim, "dimension {i} out of rank {}", self.ndim);
+        self.dims[i]
     }
 
     /// The extents as a slice.
     pub fn dims(&self) -> &[usize] {
-        &self.0
+        &self.dims[..self.ndim]
+    }
+
+    /// Returns a copy of the shape with dimension `i` replaced by `v` —
+    /// the allocation-free way to derive a mini-batch shape from a full
+    /// batch shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.ndim()`.
+    pub fn with_dim(&self, i: usize, v: usize) -> Shape {
+        assert!(i < self.ndim, "dimension {i} out of rank {}", self.ndim);
+        let mut s = *self;
+        s.dims[i] = v;
+        s
     }
 
     /// Row-major linear index of a 2-D coordinate.
@@ -75,8 +121,11 @@ impl Shape {
     #[inline]
     pub fn index2(&self, r: usize, c: usize) -> usize {
         debug_assert_eq!(self.ndim(), 2, "index2 on non-matrix shape {self}");
-        debug_assert!(r < self.0[0] && c < self.0[1], "({r},{c}) out of {self}");
-        r * self.0[1] + c
+        debug_assert!(
+            r < self.dims[0] && c < self.dims[1],
+            "({r},{c}) out of {self}"
+        );
+        r * self.dims[1] + c
     }
 
     /// Row-major linear index of a 4-D (NCHW) coordinate.
@@ -89,17 +138,17 @@ impl Shape {
     pub fn index4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
         debug_assert_eq!(self.ndim(), 4, "index4 on non-4D shape {self}");
         debug_assert!(
-            n < self.0[0] && c < self.0[1] && h < self.0[2] && w < self.0[3],
+            n < self.dims[0] && c < self.dims[1] && h < self.dims[2] && w < self.dims[3],
             "({n},{c},{h},{w}) out of {self}"
         );
-        ((n * self.0[1] + c) * self.0[2] + h) * self.0[3] + w
+        ((n * self.dims[1] + c) * self.dims[2] + h) * self.dims[3] + w
     }
 }
 
 impl fmt::Display for Shape {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[")?;
-        for (i, d) in self.0.iter().enumerate() {
+        for (i, d) in self.dims().iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -111,19 +160,25 @@ impl fmt::Display for Shape {
 
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
-        Shape::new(dims)
+        Shape::from_dims(&dims)
     }
 }
 
 impl From<&[usize]> for Shape {
     fn from(dims: &[usize]) -> Self {
-        Shape::new(dims.to_vec())
+        Shape::from_dims(dims)
+    }
+}
+
+impl From<&Shape> for Shape {
+    fn from(shape: &Shape) -> Self {
+        *shape
     }
 }
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape::new(dims.to_vec())
+        Shape::from_dims(&dims)
     }
 }
 
@@ -150,6 +205,18 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn empty_rejected() {
         Shape::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_NDIM")]
+    fn over_rank_rejected() {
+        Shape::new(vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of rank")]
+    fn dim_out_of_rank_rejected() {
+        Shape::new(vec![2, 3]).dim(2);
     }
 
     #[test]
@@ -181,6 +248,10 @@ mod tests {
     fn conversions() {
         let a: Shape = vec![2, 2].into();
         let b: Shape = [2usize, 2].into();
+        let c: Shape = (&a).into();
+        let d: Shape = a.dims().into();
         assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(a, d);
     }
 }

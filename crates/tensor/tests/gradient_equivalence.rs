@@ -1,0 +1,257 @@
+//! The backward-kernel lockdown suite: the GEMM-backed backward
+//! convolution kernels (col2im input gradient, im2col-transposed weight
+//! gradient) must match the direct-loop ground truth in `mn_tensor::conv`
+//! to ≤ 1e-5 (normalized by reduction depth) across randomized shapes —
+//! including 0/1-extent dimensions and sizes off the register-tile and
+//! band boundaries — and must be unaffected by dirty workspace reuse.
+//!
+//! This is the training-side counterpart of `kernel_equivalence.rs`: as
+//! long as this suite passes, a backward-kernel rewrite is behaviorally
+//! invisible to training.
+
+use mn_tensor::{conv, im2col, Tensor, Workspace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TOL: f32 = 1e-5;
+
+fn randn(shape: Vec<usize>, seed: u64) -> Tensor {
+    Tensor::randn(shape, 1.0, &mut StdRng::seed_from_u64(seed))
+}
+
+/// Normalized closeness: tolerance scales with the reduction depth so
+/// reordered f32 summation over long dots stays within budget.
+fn close(a: &Tensor, b: &Tensor, depth: usize) -> bool {
+    assert_eq!(a.shape(), b.shape(), "shape mismatch");
+    mn_tensor::max_abs_diff(a.data(), b.data()) <= TOL * (depth.max(1) as f32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GEMM-backed input gradient == direct input gradient. The reduction
+    /// depth per input element is F·K·K.
+    #[test]
+    fn backward_input_matches_direct(
+        n in 0usize..4,
+        c in 1usize..5,
+        f in 1usize..6,
+        hw in 3usize..9,
+        k_idx in 0usize..3,
+        pad_same in proptest::bool::ANY,
+        seed in 0u64..1_000_000,
+    ) {
+        let k = [1usize, 3, 5][k_idx];
+        prop_assume!(hw + 2 * (if pad_same { k / 2 } else { 0 }) >= k);
+        let pad = if pad_same { k / 2 } else { 0 };
+        let ho = conv::conv_out_extent(hw, k, pad);
+        let wo = ho;
+        let grad_out = randn(vec![n, f, ho, wo], seed);
+        let weight = randn(vec![f, c, k, k], seed + 1);
+        let direct = conv::conv2d_backward_input(&grad_out, &weight, hw, hw, pad);
+        let gemm = im2col::conv2d_backward_input_im2col(&grad_out, &weight, hw, hw, pad);
+        prop_assert!(close(&gemm, &direct, f * k * k));
+    }
+
+    /// GEMM-backed weight gradient == direct weight gradient; bias
+    /// gradients are computed in the identical order and must be bitwise
+    /// equal. The weight reduction depth is N·H'·W'.
+    #[test]
+    fn backward_params_match_direct(
+        n in 0usize..4,
+        c in 1usize..5,
+        f in 1usize..6,
+        hw in 3usize..9,
+        k_idx in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let k = [1usize, 3, 5][k_idx];
+        let pad = k / 2;
+        let ho = conv::conv_out_extent(hw, k, pad);
+        let input = randn(vec![n, c, hw, hw], seed);
+        let grad_out = randn(vec![n, f, ho, ho], seed + 1);
+        let (gw_d, gb_d) = conv::conv2d_backward_params(&grad_out, &input, k, pad);
+        let (gw_g, gb_g) = im2col::conv2d_backward_params_im2col(&grad_out, &input, k, pad);
+        prop_assert!(close(&gw_g, &gw_d, n * ho * ho));
+        prop_assert_eq!(gb_g.data(), gb_d.data());
+    }
+
+    /// A dirty reused workspace must not change either backward kernel's
+    /// result (bitwise).
+    #[test]
+    fn backward_workspace_reuse_is_invisible(
+        n in 1usize..3,
+        c in 1usize..4,
+        f in 1usize..4,
+        hw in 3usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let (k, pad) = (3usize, 1usize);
+        let input = randn(vec![n, c, hw, hw], seed);
+        let grad_out = randn(vec![n, f, hw, hw], seed + 1);
+        let weight = randn(vec![f, c, k, k], seed + 2);
+
+        let mut ws = Workspace::new();
+        // Warm the pool with dirty buffers of the shapes the kernels use.
+        let fresh_gin = im2col::conv2d_backward_input_im2col(&grad_out, &weight, hw, hw, pad);
+        let warm = im2col::conv2d_backward_input_im2col_ws(&grad_out, &weight, hw, hw, pad, &mut ws);
+        ws.release(warm);
+        let reused = im2col::conv2d_backward_input_im2col_ws(&grad_out, &weight, hw, hw, pad, &mut ws);
+        prop_assert_eq!(fresh_gin.data(), reused.data());
+        ws.release(reused);
+
+        let (fresh_gw, fresh_gb) = im2col::conv2d_backward_params_im2col(&grad_out, &input, k, pad);
+        let (warm_gw, warm_gb) =
+            im2col::conv2d_backward_params_im2col_ws(&grad_out, &input, k, pad, &mut ws);
+        ws.release(warm_gw);
+        ws.release(warm_gb);
+        let (gw, gb) = im2col::conv2d_backward_params_im2col_ws(&grad_out, &input, k, pad, &mut ws);
+        prop_assert_eq!(fresh_gw.data(), gw.data());
+        prop_assert_eq!(fresh_gb.data(), gb.data());
+    }
+
+    /// The `_into` variants of the direct backward kernels overwrite stale
+    /// buffer contents completely.
+    #[test]
+    fn direct_into_variants_overwrite_stale_output(
+        n in 1usize..3,
+        c in 1usize..4,
+        f in 1usize..4,
+        hw in 3usize..7,
+        seed in 0u64..1_000_000,
+    ) {
+        let (k, pad) = (3usize, 1usize);
+        let input = randn(vec![n, c, hw, hw], seed);
+        let grad_out = randn(vec![n, f, hw, hw], seed + 1);
+        let weight = randn(vec![f, c, k, k], seed + 2);
+
+        let mut gin = Tensor::filled([n, c, hw, hw], f32::NAN);
+        conv::conv2d_backward_input_into(&grad_out, &weight, pad, &mut gin);
+        let expect = conv::conv2d_backward_input(&grad_out, &weight, hw, hw, pad);
+        prop_assert_eq!(gin.data(), expect.data());
+
+        let mut gw = Tensor::filled([f, c, k, k], f32::NAN);
+        let mut gb = Tensor::filled([f], f32::NAN);
+        conv::conv2d_backward_params_into(&grad_out, &input, k, pad, &mut gw, &mut gb);
+        let (ew, eb) = conv::conv2d_backward_params(&grad_out, &input, k, pad);
+        prop_assert_eq!(gw.data(), ew.data());
+        prop_assert_eq!(gb.data(), eb.data());
+    }
+}
+
+/// Pinned degenerate and boundary geometries, so failures name the exact
+/// case: empty batch, single filter/channel, 1×1 spatial output, and a
+/// batch·position count that crosses GEMM band boundaries.
+#[test]
+fn pinned_backward_boundary_shapes() {
+    let cases: &[(usize, usize, usize, usize, usize)] = &[
+        // (n, c, f, hw, k)
+        (0, 3, 4, 5, 3),  // empty batch
+        (1, 1, 1, 3, 3),  // all-ones geometry
+        (2, 1, 1, 3, 1),  // 1x1 kernel
+        (1, 2, 3, 3, 5),  // kernel == padded extent edge
+        (3, 2, 17, 8, 3), // filters past one NR panel
+        (2, 4, 4, 16, 3), // positions cross MR/BAND boundaries
+    ];
+    for (i, &(n, c, f, hw, k)) in cases.iter().enumerate() {
+        let pad = k / 2;
+        let ho = conv::conv_out_extent(hw, k, pad);
+        let input = randn(vec![n, c, hw, hw], 300 + i as u64);
+        let grad_out = randn(vec![n, f, ho, ho], 400 + i as u64);
+        let weight = randn(vec![f, c, k, k], 500 + i as u64);
+
+        let direct = conv::conv2d_backward_input(&grad_out, &weight, hw, hw, pad);
+        let gemm = im2col::conv2d_backward_input_im2col(&grad_out, &weight, hw, hw, pad);
+        assert!(
+            mn_tensor::max_abs_diff(direct.data(), gemm.data()) <= TOL * (f * k * k) as f32,
+            "backward_input mismatch at case {i}: ({n}, {c}, {f}, {hw}, {k})"
+        );
+
+        let (gw_d, gb_d) = conv::conv2d_backward_params(&grad_out, &input, k, pad);
+        let (gw_g, gb_g) = im2col::conv2d_backward_params_im2col(&grad_out, &input, k, pad);
+        assert!(
+            mn_tensor::max_abs_diff(gw_d.data(), gw_g.data()) <= TOL * (n * ho * ho).max(1) as f32,
+            "backward_params mismatch at case {i}: ({n}, {c}, {f}, {hw}, {k})"
+        );
+        assert_eq!(gb_d.data(), gb_g.data(), "bias grad differs at case {i}");
+    }
+}
+
+/// The GEMM backward kernels are bitwise identical across thread counts —
+/// the GEMM core accumulates every output element in a fixed order, and
+/// the col2im scatter splits work per batch item.
+#[test]
+fn backward_kernels_bitwise_identical_across_thread_counts() {
+    let (n, c, f, hw, k, pad) = (4usize, 6usize, 8usize, 12usize, 3usize, 1usize);
+    let input = randn(vec![n, c, hw, hw], 7);
+    let grad_out = randn(vec![n, f, hw, hw], 8);
+    let weight = randn(vec![f, c, k, k], 9);
+    let run = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds")
+            .install(|| {
+                let gin = im2col::conv2d_backward_input_im2col(&grad_out, &weight, hw, hw, pad);
+                let (gw, gb) = im2col::conv2d_backward_params_im2col(&grad_out, &input, k, pad);
+                (gin, gw, gb)
+            })
+    };
+    let (gin1, gw1, gb1) = run(1);
+    let (gin4, gw4, gb4) = run(4);
+    assert_eq!(gin1.data(), gin4.data());
+    assert_eq!(gw1.data(), gw4.data());
+    assert_eq!(gb1.data(), gb4.data());
+}
+
+/// Finite-difference spot check of the GEMM backward kernels directly
+/// (not just vs the direct loops): L = 0.5‖conv(x)‖² gradients.
+#[test]
+fn gemm_backward_finite_difference() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut input = Tensor::randn([1, 2, 4, 4], 1.0, &mut rng);
+    let mut weight = Tensor::randn([3, 2, 3, 3], 1.0, &mut rng);
+    let bias = Tensor::zeros([3]);
+    let pad = 1;
+    let loss = |x: &Tensor, w: &Tensor| -> f32 {
+        conv::conv2d_forward(x, w, &bias, pad)
+            .data()
+            .iter()
+            .map(|v| v * v)
+            .sum::<f32>()
+            * 0.5
+    };
+    let out = conv::conv2d_forward(&input, &weight, &bias, pad);
+    let gin = im2col::conv2d_backward_input_im2col(&out, &weight, 4, 4, pad);
+    let (gw, _) = im2col::conv2d_backward_params_im2col(&out, &input, 3, pad);
+    let eps = 1e-2;
+    for idx in [0usize, 9, 21, 31] {
+        let orig = input[idx];
+        input[idx] = orig + eps;
+        let lp = loss(&input, &weight);
+        input[idx] = orig - eps;
+        let lm = loss(&input, &weight);
+        input[idx] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - gin[idx]).abs() / (1.0 + gin[idx].abs()) < 5e-2,
+            "input grad mismatch at {idx}: {numeric} vs {}",
+            gin[idx]
+        );
+    }
+    for idx in [0usize, 13, 27, 53] {
+        let orig = weight[idx];
+        weight[idx] = orig + eps;
+        let lp = loss(&input, &weight);
+        weight[idx] = orig - eps;
+        let lm = loss(&input, &weight);
+        weight[idx] = orig;
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - gw[idx]).abs() / (1.0 + gw[idx].abs()) < 5e-2,
+            "weight grad mismatch at {idx}: {numeric} vs {}",
+            gw[idx]
+        );
+    }
+}

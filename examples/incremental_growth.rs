@@ -84,6 +84,7 @@ fn main() {
     .expect("training succeeds");
     let mother_secs: f64 = trained.mother_records.iter().map(|r| r.wall_secs).sum();
     println!("MotherNet cost: {mother_secs:.2}s\n");
+    let growth_start = std::time::Instant::now();
 
     let (_, val) = train_val_split(&task.train, cfg.val_fraction, cfg.seed);
     println!(
@@ -111,5 +112,10 @@ fn main() {
             eval.ea_error * 100.0
         );
     }
-    println!("\nEach extra member costs a hatch + short fine-tune — not a full training run.");
+    println!(
+        "\ngrowth wall clock: {:.2}s elapsed vs {:.2}s sequential-equivalent training time",
+        growth_start.elapsed().as_secs_f64(),
+        trained.total_wall_secs()
+    );
+    println!("Each extra member costs a hatch + short fine-tune — not a full training run.");
 }

@@ -1,0 +1,151 @@
+//! Determinism-under-parallelism for the **training** path: for a fixed
+//! seed, training must produce **bitwise identical** weights (and running
+//! batch-norm statistics) regardless of how many rayon worker threads
+//! execute the kernels, and regardless of workspace reuse.
+//!
+//! This holds by construction — the GEMM core accumulates every output
+//! element in a fixed order under any banding, the backward batch loops
+//! split work over disjoint chunks whose boundaries never depend on the
+//! thread count, and the fused SGD step uses a fixed chunk size — and
+//! this suite pins it so a future kernel rewrite cannot silently trade it
+//! away.
+//!
+//! Note: the vendored rayon's `ThreadPool::install` sets a process-global
+//! thread-count override, so these tests serialize on a local lock.
+
+use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec, ResBlockSpec};
+use mn_nn::train::{train, train_with, TrainConfig};
+use mn_nn::Network;
+use mn_tensor::{Tensor, Workspace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+static THREAD_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// A linearly separable toy task (class = brightest channel).
+fn toy_data(n: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = Tensor::randn([n, 3, 8, 8], 0.3, &mut rng);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 3;
+        labels.push(class);
+        for h in 0..8 {
+            for w in 0..8 {
+                *x.at4_mut(i, class, h, w) += 1.0;
+            }
+        }
+    }
+    (x, labels)
+}
+
+/// Snapshot of every persistent state tensor (weights, biases, batch-norm
+/// gamma/beta and running statistics), bit-exact.
+fn state_bits(net: &mut Network) -> Vec<Vec<u32>> {
+    net.nodes_mut()
+        .iter_mut()
+        .flat_map(|n| n.state_mut())
+        .map(|t| t.data().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+fn train_with_threads(threads: usize, arch: &Architecture) -> Vec<Vec<u32>> {
+    let (x_train, y_train) = toy_data(48, 1);
+    let (x_val, y_val) = toy_data(24, 2);
+    let cfg = TrainConfig {
+        max_epochs: 2,
+        batch_size: 16,
+        ..TrainConfig::default()
+    };
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool builds")
+        .install(|| {
+            let mut net = Network::seeded(arch, 7);
+            train(&mut net, &x_train, &y_train, &x_val, &y_val, &cfg);
+            state_bits(&mut net)
+        })
+}
+
+/// Architectures covering every kernel family the training step uses:
+/// conv (GEMM and direct formulations), batch norm, max pool, residual
+/// units with global average pooling, and dense layers.
+fn arch_zoo() -> Vec<Architecture> {
+    let input = InputSpec::new(3, 8, 8);
+    vec![
+        Architecture::plain(
+            "conv",
+            input,
+            3,
+            vec![ConvBlockSpec::repeated(3, 6, 2)],
+            vec![16],
+        ),
+        Architecture::residual("res", input, 3, vec![ResBlockSpec::new(1, 4, 3)]),
+        Architecture::mlp("mlp", input, 3, vec![12]),
+    ]
+}
+
+#[test]
+fn training_is_bitwise_identical_across_thread_counts() {
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    for arch in arch_zoo() {
+        let one = train_with_threads(1, &arch);
+        let four = train_with_threads(4, &arch);
+        assert_eq!(
+            one, four,
+            "weights diverged across thread counts for {}",
+            arch.name
+        );
+    }
+}
+
+#[test]
+fn workspace_reuse_does_not_change_training() {
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    let arch = &arch_zoo()[0];
+    let (x_train, y_train) = toy_data(48, 3);
+    let (x_val, y_val) = toy_data(24, 4);
+    let cfg = TrainConfig {
+        max_epochs: 2,
+        batch_size: 16,
+        ..TrainConfig::default()
+    };
+    // Fresh workspace per run vs a dirty one retained across two runs.
+    let mut fresh_net = Network::seeded(arch, 9);
+    train(&mut fresh_net, &x_train, &y_train, &x_val, &y_val, &cfg);
+    let fresh = state_bits(&mut fresh_net);
+
+    let mut ws = Workspace::new();
+    let mut warmup = Network::seeded(arch, 1);
+    train_with(
+        &mut warmup,
+        &x_train,
+        &y_train,
+        &x_val,
+        &y_val,
+        &cfg,
+        &mut ws,
+    );
+    let mut reused_net = Network::seeded(arch, 9);
+    train_with(
+        &mut reused_net,
+        &x_train,
+        &y_train,
+        &x_val,
+        &y_val,
+        &cfg,
+        &mut ws,
+    );
+    let reused = state_bits(&mut reused_net);
+    assert_eq!(fresh, reused, "dirty workspace reuse changed training");
+}
+
+#[test]
+fn repeated_runs_are_bitwise_identical() {
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    let arch = &arch_zoo()[1];
+    let a = train_with_threads(2, arch);
+    let b = train_with_threads(2, arch);
+    assert_eq!(a, b, "same-seed training runs diverged");
+}
