@@ -15,7 +15,8 @@ fn bench_engine_vs_naive(c: &mut Criterion) {
     let x = Tensor::randn([64, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(2));
     let mut group = c.benchmark_group("ensemble_infer_8x64");
 
-    let mut engine = InferenceEngine::new(bench_ensemble_members(), 32);
+    let mut engine =
+        InferenceEngine::new(bench_ensemble_members(), 32).expect("bench ensemble builds");
     group.bench_function("engine", |b| b.iter(|| black_box(engine.predict(&x))));
 
     let mut naive = bench_ensemble_members();
@@ -36,7 +37,8 @@ fn bench_engine_batch_sizes(c: &mut Criterion) {
     let x = Tensor::randn([256, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(3));
     let mut group = c.benchmark_group("engine_batch_size");
     for bs in [16usize, 64, 256] {
-        let mut engine = InferenceEngine::new(bench_ensemble_members(), bs);
+        let mut engine =
+            InferenceEngine::new(bench_ensemble_members(), bs).expect("bench ensemble builds");
         group.bench_function(format!("bs{bs}_n256"), |b| {
             b.iter(|| black_box(engine.predict(&x)))
         });
@@ -44,5 +46,31 @@ fn bench_engine_batch_sizes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine_vs_naive, bench_engine_batch_sizes);
+fn bench_engine_policies(c: &mut Criterion) {
+    use mn_ensemble::ExecPolicy;
+    let x = Tensor::randn([256, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(4));
+    let mut group = c.benchmark_group("engine_policy_n256");
+    let threads = rayon::current_num_threads();
+    for (label, policy) in [
+        ("member_parallel", ExecPolicy::MemberParallel),
+        (
+            "data_parallel",
+            ExecPolicy::DataParallel { shards: threads },
+        ),
+        ("auto", ExecPolicy::Auto),
+    ] {
+        let mut engine =
+            InferenceEngine::new(bench_ensemble_members(), 32).expect("bench ensemble builds");
+        engine.set_policy(policy);
+        group.bench_function(label, |b| b.iter(|| black_box(engine.predict(&x))));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_vs_naive,
+    bench_engine_batch_sizes,
+    bench_engine_policies
+);
 criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Serving-stack harness:
+//!
+//! ```text
+//! cargo run --release -p mn-bench --bin serving \
+//!     [-- --requests N] [--clients C] [--reps R] [--out DIR]
+//! ```
+//!
+//! Runs the save → load → serve smoke (bitwise cold-start check), drives
+//! the dynamic-batching server with closed-loop single-example clients,
+//! sweeps the engine's parallelism policies on a large batch, prints the
+//! tables, and saves `<out>/serving.json` (default `results/`).
+
+use std::path::PathBuf;
+
+use mn_bench::report::save_json;
+use mn_bench::serving;
+
+fn main() {
+    let mut requests = 2000usize;
+    let mut clients = 4usize;
+    let mut reps = 15usize;
+    let mut out_dir = PathBuf::from("results");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => {
+                requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--requests needs a positive integer"));
+            }
+            "--clients" => {
+                clients = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--clients needs a positive integer"));
+            }
+            "--reps" => {
+                reps = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--reps needs a positive integer"));
+            }
+            "--out" => {
+                out_dir = args
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| panic!("--out needs a directory"));
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --requests N / --clients C / --reps R / --out DIR)"
+            ),
+        }
+    }
+
+    println!(
+        "serving bench: {requests} requests from {clients} client(s), {} worker thread(s)\n",
+        rayon::current_num_threads()
+    );
+    let result = serving::run(requests, clients, reps);
+    print!("{}", result.table());
+    save_json(&out_dir, "serving", &result);
+    println!(
+        "\nserver: {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms, mean micro-batch {:.1}",
+        result.throughput_rps, result.p50_ms, result.p99_ms, result.mean_batch
+    );
+    for p in &result.policies {
+        println!(
+            "engine {:>15}: {:>8.0} examples/s",
+            p.policy, p.examples_per_sec
+        );
+    }
+}

@@ -191,7 +191,8 @@ pub fn run(reps: usize) -> KernelBenchResult {
     for m in naive_members.iter_mut() {
         force_conv_formulation(&mut m.network, ConvFormulation::Direct);
     }
-    let mut engine = InferenceEngine::new(bench_ensemble_members(), 32);
+    let mut engine =
+        InferenceEngine::new(bench_ensemble_members(), 32).expect("bench ensemble builds");
     comparisons.push(compare(
         "ensemble_infer_8x64",
         reps,

@@ -28,5 +28,6 @@
 pub mod experiments;
 pub mod kernels;
 pub mod report;
+pub mod serving;
 pub mod training;
 pub mod zoo;

@@ -1,0 +1,296 @@
+//! Serving-stack measurements: cold start, dynamic batching, and the
+//! engine's parallelism axes.
+//!
+//! The harness exercises the full production path once per run:
+//!
+//! 1. **save → load** — the 8-member bench ensemble is written as an
+//!    `MNE1` artifact and booted back through
+//!    [`InferenceEngine::from_artifact_bytes`]; the run *asserts* the
+//!    round trip is bitwise exact before measuring anything (a serving
+//!    smoke check, not just a benchmark).
+//! 2. **serve** — a dynamic-batching [`Server`] answers a closed loop of
+//!    single-example requests from several client threads; per-request
+//!    latencies yield p50/p99 and wall-clock throughput.
+//! 3. **policy sweep** — the bare engine runs one large batch under
+//!    member-parallel, data-parallel, and auto plans.
+//!
+//! Run via `cargo run --release -p mn-bench --bin serving` — prints a
+//! table and saves `results/serving.json`.
+
+use std::time::Instant;
+
+use mn_ensemble::engine::{ExecPolicy, InferenceEngine};
+use mn_ensemble::serve::{BatchingConfig, Server};
+use mn_ensemble::EnsembleManifest;
+use mn_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::kernels::bench_ensemble_members;
+use crate::report::render_table;
+
+/// Throughput of one engine execution policy on the sweep batch.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PolicyThroughput {
+    /// Policy label (`member-parallel`, `data-parallel`, `auto`).
+    pub policy: String,
+    /// Examples per second over the sweep batch.
+    pub examples_per_sec: f64,
+}
+
+/// The full serving-bench report (saved as `results/serving.json`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ServingBenchResult {
+    /// Worker threads available to the engine.
+    pub threads: usize,
+    /// Ensemble members served.
+    pub members: usize,
+    /// Single-example requests answered by the server.
+    pub requests: u64,
+    /// Closed-loop client threads that issued them.
+    pub clients: usize,
+    /// Micro-batcher bound: max examples per engine call.
+    pub max_batch: usize,
+    /// Micro-batcher bound: max microseconds a batch stays open.
+    pub max_wait_us: u64,
+    /// Requests per second over the whole closed loop.
+    pub throughput_rps: f64,
+    /// Median end-to-end request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean examples per engine call the micro-batcher achieved.
+    pub mean_batch: f64,
+    /// Engine-level throughput of each parallelism policy on a large
+    /// batch.
+    pub policies: Vec<PolicyThroughput>,
+}
+
+impl ServingBenchResult {
+    /// Renders the report as fixed-width tables.
+    pub fn table(&self) -> String {
+        let server_rows = vec![vec![
+            format!("{}", self.requests),
+            format!("{}", self.clients),
+            format!("{:.0}", self.throughput_rps),
+            format!("{:.2}", self.p50_ms),
+            format!("{:.2}", self.p99_ms),
+            format!("{:.1}", self.mean_batch),
+        ]];
+        let mut out = render_table(
+            &[
+                "requests",
+                "clients",
+                "req/s",
+                "p50 ms",
+                "p99 ms",
+                "mean batch",
+            ],
+            &server_rows,
+        );
+        let policy_rows: Vec<Vec<String>> = self
+            .policies
+            .iter()
+            .map(|p| vec![p.policy.clone(), format!("{:.0}", p.examples_per_sec)])
+            .collect();
+        out.push('\n');
+        out.push_str(&render_table(
+            &["engine policy", "examples/s"],
+            &policy_rows,
+        ));
+        out
+    }
+}
+
+/// Sorted-percentile over latencies in milliseconds.
+fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx]
+}
+
+/// Engine examples/second on `x` under `policy`, median of `reps` calls.
+fn policy_examples_per_sec(
+    engine: &mut InferenceEngine,
+    policy: ExecPolicy,
+    x: &Tensor,
+    reps: usize,
+) -> f64 {
+    engine.set_policy(policy);
+    let _ = engine.predict(x); // warm-up: fill workspaces / replica lanes
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(engine.predict(x));
+            t.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    x.shape().dim(0) as f64 / samples[samples.len() / 2]
+}
+
+/// Runs the save → load → serve smoke plus all measurements.
+///
+/// # Panics
+///
+/// Panics when the artifact round trip is not bitwise exact, or when the
+/// server drops a request — both are correctness failures, not noise.
+pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
+    let members = bench_ensemble_members();
+    let num_members = members.len();
+    let mut direct = InferenceEngine::new(members, 32).expect("bench ensemble builds");
+
+    // --- save → load: cold start must be bitwise exact ---
+    let bytes = direct.to_artifact_bytes(&EnsembleManifest::default());
+    let mut loaded = InferenceEngine::from_artifact_bytes(&bytes, 32).expect("artifact round trip");
+    let mut rng = StdRng::seed_from_u64(99);
+    let probe = Tensor::randn([16, 3, 8, 8], 1.0, &mut rng);
+    let a = direct.predict(&probe);
+    let b = loaded.predict(&probe);
+    for (m, (pa, pb)) in a.probs().iter().zip(b.probs()).enumerate() {
+        assert_eq!(
+            pa.data(),
+            pb.data(),
+            "member {m}: loaded engine diverged from in-memory engine"
+        );
+    }
+
+    // --- serve: closed-loop single-example clients ---
+    let cfg = BatchingConfig::default();
+    let server = Server::start(loaded, cfg);
+    let clients = clients.max(1);
+    let per_client = requests.div_ceil(clients);
+    let total = per_client * clients;
+    let started = Instant::now();
+    let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let client = server.client();
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(1000 + c as u64);
+                    let mut lat = Vec::with_capacity(per_client);
+                    for _ in 0..per_client {
+                        let x = Tensor::randn([3, 8, 8], 1.0, &mut rng);
+                        let prediction = client
+                            .submit(&x)
+                            .expect("server accepts well-formed example")
+                            .wait()
+                            .expect("server answers before shutdown");
+                        lat.push(prediction.latency.as_secs_f64() * 1000.0);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread exits cleanly"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, total as u64, "server dropped requests");
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    // --- engine policy sweep on a large batch ---
+    let sweep = Tensor::randn([256, 3, 8, 8], 1.0, &mut rng);
+    let mut engine =
+        InferenceEngine::from_artifact_bytes(&bytes, 32).expect("artifact loads again");
+    let threads = rayon::current_num_threads();
+    let policies = vec![
+        PolicyThroughput {
+            policy: "member-parallel".to_string(),
+            examples_per_sec: policy_examples_per_sec(
+                &mut engine,
+                ExecPolicy::MemberParallel,
+                &sweep,
+                reps,
+            ),
+        },
+        PolicyThroughput {
+            policy: "data-parallel".to_string(),
+            examples_per_sec: policy_examples_per_sec(
+                &mut engine,
+                ExecPolicy::DataParallel { shards: threads },
+                &sweep,
+                reps,
+            ),
+        },
+        PolicyThroughput {
+            policy: "auto".to_string(),
+            examples_per_sec: policy_examples_per_sec(&mut engine, ExecPolicy::Auto, &sweep, reps),
+        },
+    ];
+
+    ServingBenchResult {
+        threads,
+        members: num_members,
+        requests: total as u64,
+        clients,
+        max_batch: cfg.max_batch,
+        max_wait_us: cfg.max_wait.as_micros() as u64,
+        throughput_rps: total as f64 / wall,
+        p50_ms: percentile_ms(&latencies_ms, 50.0),
+        p99_ms: percentile_ms(&latencies_ms, 99.0),
+        mean_batch: stats.mean_batch(),
+        policies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_roundtrips_and_renders() {
+        let result = ServingBenchResult {
+            threads: 4,
+            members: 8,
+            requests: 100,
+            clients: 2,
+            max_batch: 64,
+            max_wait_us: 2000,
+            throughput_rps: 1234.5,
+            p50_ms: 1.5,
+            p99_ms: 9.75,
+            mean_batch: 6.5,
+            policies: vec![PolicyThroughput {
+                policy: "auto".into(),
+                examples_per_sec: 9999.0,
+            }],
+        };
+        let json = serde_json::to_string(&result).unwrap();
+        let back: ServingBenchResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.requests, 100);
+        assert_eq!(back.policies[0].policy, "auto");
+        let table = result.table();
+        assert!(table.contains("p99"));
+        assert!(table.contains("auto"));
+    }
+
+    #[test]
+    fn percentiles_pick_sorted_positions() {
+        let sorted = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_ms(&sorted, 50.0), 3.0);
+        assert_eq!(percentile_ms(&sorted, 100.0), 5.0);
+        assert_eq!(percentile_ms(&sorted, 0.0), 1.0);
+        assert_eq!(percentile_ms(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn smoke_run_save_load_serve() {
+        // Small but end-to-end: exercises the bitwise round-trip assert,
+        // the server closed loop, and the policy sweep.
+        let result = run(24, 2, 1);
+        assert_eq!(result.requests, 24);
+        assert!(result.throughput_rps > 0.0);
+        assert!(result.p99_ms >= result.p50_ms);
+        assert_eq!(result.policies.len(), 3);
+        for p in &result.policies {
+            assert!(p.examples_per_sec > 0.0, "{p:?}");
+        }
+    }
+}

@@ -33,7 +33,7 @@ use std::time::Instant;
 
 use mn_data::sampler::{bag_seeded, train_val_split};
 use mn_data::Dataset;
-use mn_ensemble::EnsembleMember;
+use mn_ensemble::{ArtifactError, EnsembleManifest, EnsembleMember};
 use mn_morph::MorphOptions;
 use mn_nn::arch::Architecture;
 use mn_nn::train::{train_with, TrainConfig, TrainReport};
@@ -241,6 +241,9 @@ pub struct TrainedEnsemble {
     /// Incremental growth via [`TrainedEnsemble::hatch_additional`] adds
     /// its own elapsed time.
     pub wall_clock_secs: f64,
+    /// Label of the strategy that trained the ensemble (see
+    /// [`Strategy::label`]); recorded in the serving artifact's manifest.
+    pub strategy_label: String,
 }
 
 fn derive_seed(master: u64, salt: u64, index: usize) -> u64 {
@@ -331,6 +334,7 @@ pub fn train_ensemble(
                 Vec::new(),
                 None,
                 run_start,
+                strategy.label(),
             ))
         }
         Strategy::Bagging => {
@@ -356,6 +360,7 @@ pub fn train_ensemble(
                 Vec::new(),
                 None,
                 run_start,
+                strategy.label(),
             ))
         }
         Strategy::Snapshot(scfg) => {
@@ -416,6 +421,7 @@ pub fn train_ensemble(
                 mothernets: Vec::new(),
                 clustering: None,
                 wall_clock_secs: run_start.elapsed().as_secs_f64(),
+                strategy_label: strategy.label().to_string(),
             })
         }
         Strategy::MotherNets(mcfg) => {
@@ -517,6 +523,7 @@ pub fn train_ensemble(
                 mothernets,
                 clustering: Some(clustering),
                 wall_clock_secs: run_start.elapsed().as_secs_f64(),
+                strategy_label: strategy.label().to_string(),
             })
         }
     }
@@ -553,6 +560,7 @@ fn assemble(
     mothernets: Vec<(Architecture, Network)>,
     clustering: Option<Clustering>,
     run_start: Instant,
+    strategy_label: &str,
 ) -> TrainedEnsemble {
     let mut members = Vec::with_capacity(archs.len());
     let mut member_records = Vec::with_capacity(archs.len());
@@ -572,6 +580,7 @@ fn assemble(
         mothernets,
         clustering,
         wall_clock_secs: run_start.elapsed().as_secs_f64(),
+        strategy_label: strategy_label.to_string(),
     }
 }
 
@@ -590,6 +599,36 @@ fn zero_report(net: &mut Network, val: &Dataset) -> TrainReport {
 }
 
 impl TrainedEnsemble {
+    /// The manifest recorded in this ensemble's serving artifact: the
+    /// paper's default combination rule (ensemble averaging) plus the
+    /// training strategy that produced the members.
+    pub fn manifest(&self) -> EnsembleManifest {
+        EnsembleManifest {
+            combine: "average".to_string(),
+            strategy: self.strategy_label.clone(),
+        }
+    }
+
+    /// Serializes the trained members as `MNE1` ensemble-artifact bytes
+    /// (see `mn_ensemble::artifact`). An `InferenceEngine` booted from
+    /// these bytes produces predictions bitwise identical to one built
+    /// from [`TrainedEnsemble::members`] directly.
+    pub fn to_artifact_bytes(&self) -> Vec<u8> {
+        mn_ensemble::artifact::save_ensemble(&self.members, &self.manifest())
+    }
+
+    /// Writes the `MNE1` serving artifact to `path` — the hand-off from
+    /// training to serving: a server cold-starts from this file via
+    /// `InferenceEngine::load` without touching training code or data.
+    ///
+    /// # Errors
+    ///
+    /// [`mn_ensemble::ArtifactError::Io`] when the file cannot be
+    /// written.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ArtifactError> {
+        mn_ensemble::artifact::write_ensemble_file(path, &self.members, &self.manifest())
+    }
+
     /// Sum of wall-clock seconds over MotherNets and members —
     /// sequential-equivalent total training time (what Figures 5b–9b plot).
     /// Compare against [`TrainedEnsemble::wall_clock_secs`] (elapsed time

@@ -1,0 +1,387 @@
+//! `MNE1`: the ensemble artifact format — how a trained ensemble gets to
+//! disk and how a serving process cold-starts from it.
+//!
+//! An artifact bundles, little-endian:
+//!
+//! * magic `MNE1`;
+//! * `u32` member count;
+//! * `u32` manifest length + the [`EnsembleManifest`] as JSON
+//!   (combine-rule and training-strategy metadata);
+//! * per member: `u32` name length + the member name (UTF-8), then
+//!   `u32` section length + a network checkpoint
+//!   ([`mn_nn::io::save_network`]: architecture JSON + `MNW1` weight
+//!   blob).
+//!
+//! Restoring an artifact rebuilds every member network from its own
+//! section, so loading needs nothing but the bytes — and produces
+//! predictions bitwise identical to the ensemble that was saved (pinned
+//! by the `serving_stack` integration suite). `TrainedEnsemble::save` in
+//! the `mothernets` crate writes this format;
+//! [`crate::engine::InferenceEngine::load`] boots from it.
+
+use std::fmt;
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+
+use mn_nn::io::{load_network, save_network, WeightsError};
+
+use crate::engine::EngineError;
+use crate::member::EnsembleMember;
+
+const MAGIC: &[u8; 4] = b"MNE1";
+
+/// Ensemble-level metadata carried alongside the member weights.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct EnsembleManifest {
+    /// The combination rule the ensemble was evaluated/served with
+    /// (e.g. `"average"`, `"vote"`).
+    pub combine: String,
+    /// The training strategy that produced the members
+    /// (e.g. `"mothernets"`, `"full-data"`), informational.
+    pub strategy: String,
+}
+
+impl Default for EnsembleManifest {
+    fn default() -> Self {
+        EnsembleManifest {
+            combine: "average".to_string(),
+            strategy: "unspecified".to_string(),
+        }
+    }
+}
+
+/// Why an ensemble artifact could not be written or restored.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ArtifactError {
+    /// The bytes do not start with the `MNE1` magic.
+    BadMagic,
+    /// The bytes ended before all sections were read.
+    Truncated,
+    /// Bytes remain after the last member section.
+    TrailingBytes {
+        /// Number of unread bytes.
+        count: usize,
+    },
+    /// The manifest section is not valid JSON for an
+    /// [`EnsembleManifest`].
+    BadManifest {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A member's name section is not valid UTF-8.
+    BadName {
+        /// Member index within the artifact.
+        index: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The artifact contains zero members.
+    EmptyEnsemble,
+    /// A member's network checkpoint failed to restore.
+    Member {
+        /// Member index within the artifact.
+        index: usize,
+        /// The underlying checkpoint error.
+        source: WeightsError,
+    },
+    /// The restored members cannot form an engine (e.g. mismatched
+    /// geometry).
+    Rejected {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Reading or writing the artifact file failed.
+    Io {
+        /// Human-readable detail (path + OS error).
+        detail: String,
+    },
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::BadMagic => write!(f, "not an MNE1 ensemble artifact"),
+            ArtifactError::Truncated => write!(f, "ensemble artifact ended early"),
+            ArtifactError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after ensemble artifact")
+            }
+            ArtifactError::BadManifest { detail } => write!(f, "bad manifest: {detail}"),
+            ArtifactError::BadName { index, detail } => {
+                write!(f, "member {index} has a malformed name: {detail}")
+            }
+            ArtifactError::EmptyEnsemble => write!(f, "ensemble artifact has no members"),
+            ArtifactError::Member { index, source } => {
+                write!(f, "member {index} failed to restore: {source}")
+            }
+            ArtifactError::Rejected { detail } => {
+                write!(f, "restored ensemble rejected: {detail}")
+            }
+            ArtifactError::Io { detail } => write!(f, "artifact I/O failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Member { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ArtifactError {
+    fn from(e: EngineError) -> Self {
+        match e {
+            EngineError::EmptyEnsemble => ArtifactError::EmptyEnsemble,
+            EngineError::MemberMismatch { detail } => ArtifactError::Rejected { detail },
+        }
+    }
+}
+
+/// Serializes an ensemble (members + manifest) as `MNE1` bytes.
+pub fn save_ensemble(members: &[EnsembleMember], manifest: &EnsembleManifest) -> Vec<u8> {
+    let refs: Vec<&EnsembleMember> = members.iter().collect();
+    save_ensemble_refs(&refs, manifest)
+}
+
+/// [`save_ensemble`] over borrowed members — the engine serializes its
+/// slots through this without cloning networks.
+pub fn save_ensemble_refs(members: &[&EnsembleMember], manifest: &EnsembleManifest) -> Vec<u8> {
+    let manifest_json = serde_json::to_string(manifest).expect("manifest serializes");
+    let mut out = Vec::new();
+    out.put_slice(MAGIC);
+    out.put_u32_le(members.len() as u32);
+    out.put_u32_le(manifest_json.len() as u32);
+    out.put_slice(manifest_json.as_bytes());
+    for m in members {
+        let section = save_network(&m.network);
+        out.put_u32_le(m.name.len() as u32);
+        out.put_slice(m.name.as_bytes());
+        out.put_u32_le(section.len() as u32);
+        out.put_slice(&section);
+    }
+    out
+}
+
+/// Reads a length-prefixed byte section, advancing `blob`.
+fn take_section<'a>(blob: &mut &'a [u8]) -> Result<&'a [u8], ArtifactError> {
+    if blob.remaining() < 4 {
+        return Err(ArtifactError::Truncated);
+    }
+    let len = blob.get_u32_le() as usize;
+    if blob.remaining() < len {
+        return Err(ArtifactError::Truncated);
+    }
+    let (section, rest) = blob.split_at(len);
+    *blob = rest;
+    Ok(section)
+}
+
+/// Restores an ensemble from `MNE1` bytes.
+///
+/// # Errors
+///
+/// Every structural defect maps to a distinct [`ArtifactError`]: wrong
+/// magic, truncation at any section boundary, trailing bytes, a
+/// malformed manifest, a non-UTF-8 member name, zero members, or a
+/// member checkpoint that fails to restore (with its index and
+/// underlying [`WeightsError`]).
+pub fn load_ensemble(
+    mut blob: &[u8],
+) -> Result<(EnsembleManifest, Vec<EnsembleMember>), ArtifactError> {
+    if blob.remaining() < 8 {
+        return Err(ArtifactError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    blob.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let count = blob.get_u32_le() as usize;
+    if count == 0 {
+        return Err(ArtifactError::EmptyEnsemble);
+    }
+    let manifest_bytes = take_section(&mut blob)?;
+    let manifest_json =
+        std::str::from_utf8(manifest_bytes).map_err(|e| ArtifactError::BadManifest {
+            detail: format!("manifest is not UTF-8: {e}"),
+        })?;
+    let manifest: EnsembleManifest =
+        serde_json::from_str(manifest_json).map_err(|e| ArtifactError::BadManifest {
+            detail: format!("manifest JSON does not parse: {e}"),
+        })?;
+    let mut members = Vec::with_capacity(count);
+    for index in 0..count {
+        let name_bytes = take_section(&mut blob)?;
+        let name = std::str::from_utf8(name_bytes)
+            .map_err(|e| ArtifactError::BadName {
+                index,
+                detail: format!("name is not UTF-8: {e}"),
+            })?
+            .to_string();
+        let section = take_section(&mut blob)?;
+        let network =
+            load_network(section).map_err(|source| ArtifactError::Member { index, source })?;
+        members.push(EnsembleMember::new(name, network));
+    }
+    if blob.has_remaining() {
+        return Err(ArtifactError::TrailingBytes {
+            count: blob.remaining(),
+        });
+    }
+    Ok((manifest, members))
+}
+
+/// Writes an `MNE1` artifact file.
+///
+/// # Errors
+///
+/// [`ArtifactError::Io`] when the file cannot be written.
+pub fn write_ensemble_file(
+    path: impl AsRef<Path>,
+    members: &[EnsembleMember],
+    manifest: &EnsembleManifest,
+) -> Result<(), ArtifactError> {
+    let path = path.as_ref();
+    std::fs::write(path, save_ensemble(members, manifest)).map_err(|e| ArtifactError::Io {
+        detail: format!("cannot write {}: {e}", path.display()),
+    })
+}
+
+/// Reads an `MNE1` artifact file.
+///
+/// # Errors
+///
+/// [`ArtifactError::Io`] when the file cannot be read, else any
+/// [`load_ensemble`] error.
+pub fn read_ensemble_file(
+    path: impl AsRef<Path>,
+) -> Result<(EnsembleManifest, Vec<EnsembleMember>), ArtifactError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| ArtifactError::Io {
+        detail: format!("cannot read {}: {e}", path.display()),
+    })?;
+    load_ensemble(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mn_nn::arch::{Architecture, InputSpec};
+    use mn_nn::Network;
+
+    fn members() -> Vec<EnsembleMember> {
+        let arch = Architecture::mlp("m", InputSpec::new(1, 2, 2), 3, vec![4]);
+        (0..3u64)
+            .map(|s| EnsembleMember::new(format!("m{s}"), Network::seeded(&arch, s)))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_manifest_names_and_weights() {
+        let original = members();
+        let manifest = EnsembleManifest {
+            combine: "vote".into(),
+            strategy: "mothernets".into(),
+        };
+        let bytes = save_ensemble(&original, &manifest);
+        let (got_manifest, got_members) = load_ensemble(&bytes).unwrap();
+        assert_eq!(got_manifest, manifest);
+        assert_eq!(got_members.len(), original.len());
+        for (a, b) in original.iter().zip(&got_members) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                mn_nn::io::save_weights(&a.network),
+                mn_nn::io::save_weights(&b.network),
+                "weights changed through the artifact"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_yields_distinct_typed_errors() {
+        let bytes = save_ensemble(&members(), &EnsembleManifest::default());
+        assert!(matches!(
+            load_ensemble(b"xx"),
+            Err(ArtifactError::Truncated)
+        ));
+        assert!(matches!(
+            load_ensemble(b"JUNKJUNKJUNK"),
+            Err(ArtifactError::BadMagic)
+        ));
+        assert!(matches!(
+            load_ensemble(&bytes[..bytes.len() - 3]),
+            Err(ArtifactError::Truncated)
+        ));
+        let mut trailing = bytes.clone();
+        trailing.extend_from_slice(&[0, 0]);
+        assert!(matches!(
+            load_ensemble(&trailing),
+            Err(ArtifactError::TrailingBytes { count: 2 })
+        ));
+        let mut empty = bytes.clone();
+        empty[4..8].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            load_ensemble(&empty),
+            Err(ArtifactError::EmptyEnsemble)
+        ));
+        // Smash the manifest JSON.
+        let mut bad_manifest = bytes.clone();
+        bad_manifest[12] = b'!';
+        assert!(matches!(
+            load_ensemble(&bad_manifest),
+            Err(ArtifactError::BadManifest { .. })
+        ));
+    }
+
+    #[test]
+    fn member_restore_failures_carry_index_and_source() {
+        let bytes = save_ensemble(&members(), &EnsembleManifest::default());
+        // Corrupt the very last byte: member 2's weight payload.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt.truncate(last);
+        // Shrinking the file truncates the final section.
+        assert!(matches!(
+            load_ensemble(&corrupt),
+            Err(ArtifactError::Truncated)
+        ));
+        // Keep the length but break the member's inner MNW1 magic.
+        let mut bad_member = bytes.clone();
+        // Find the first member section: after magic(4) + count(4) +
+        // manifest frame, then name frame; easier to corrupt from the end:
+        // flip a byte well inside the last member's weight data.
+        bad_member[last] ^= 0xFF;
+        match load_ensemble(&bad_member) {
+            Ok((_, got)) => {
+                // Flipping a float byte still parses; it must land in the
+                // last member's weights.
+                let orig = members();
+                assert_ne!(
+                    mn_nn::io::save_weights(&orig[2].network),
+                    mn_nn::io::save_weights(&got[2].network)
+                );
+            }
+            Err(e) => panic!("byte flip inside f32 payload should still parse, got {e}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip_and_io_errors() {
+        let dir = std::env::temp_dir().join("mn-artifact-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ensemble.mne1");
+        write_ensemble_file(&path, &members(), &EnsembleManifest::default()).unwrap();
+        let (manifest, got) = read_ensemble_file(&path).unwrap();
+        assert_eq!(manifest, EnsembleManifest::default());
+        assert_eq!(got.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            read_ensemble_file(&path),
+            Err(ArtifactError::Io { .. })
+        ));
+    }
+}

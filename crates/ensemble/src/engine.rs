@@ -1,17 +1,29 @@
-//! [`InferenceEngine`]: batched, parallel ensemble inference.
+//! [`InferenceEngine`]: a planned, two-axis parallel ensemble executor.
 //!
 //! Serving an ensemble means paying the "combine many members per query"
-//! cost on every request. The naive loop — run each member over the batch,
-//! one after another, reallocating every activation — wastes both the
-//! machine's cores and its allocator. The engine fixes both:
+//! cost on every request. The engine turns each request batch into an
+//! execution plan along one of two parallelism axes:
 //!
-//! * **Parallel member fan-out.** Each member lives in a [`Worker`]
-//!   (member + private [`Workspace`]); a request batch is fanned across
-//!   workers with rayon, so independent members run on independent cores.
-//! * **Workspace reuse.** Every worker keeps its workspace across
-//!   requests, so steady-state serving stops allocating activations,
-//!   mini-batches, and im2col scratch (the GEMM's internal
-//!   operand-packing buffers are the remaining per-call allocations).
+//! * **Member-parallel** ([`Plan::MemberParallel`]) — each member runs the
+//!   whole batch in its own worker slot (member + private [`Workspace`]),
+//!   fanned across rayon worker threads. The right axis when the member
+//!   count already saturates the machine, and for small batches.
+//! * **Data-parallel** ([`Plan::DataParallel`]) — the batch is split into
+//!   contiguous shards ([`mn_tensor::chunking::shard_ranges`]); each shard
+//!   runs on its own *replica lane* (a full copy of every member with its
+//!   own workspaces), and per-member outputs are stitched back in example
+//!   order. The right axis when a large batch arrives and there are more
+//!   cores than members. Replica lanes are materialized lazily, so an
+//!   engine that never runs a data-parallel plan never pays the replica
+//!   memory.
+//!
+//! [`ExecPolicy::Auto`] (the default) picks the axis per batch from batch
+//! size × member count × worker-thread count; [`InferenceEngine::plan`]
+//! exposes the decision for inspection and tests.
+//!
+//! * **Workspace reuse.** Every slot keeps its workspace across requests,
+//!   so steady-state serving stops allocating activations, mini-batches,
+//!   im2col scratch, and GEMM operand-packing buffers.
 //! * **Existing combine machinery.** Results stream into
 //!   [`MemberPredictions`], so every combination rule the paper evaluates
 //!   (EA / Voting / Super Learner / Oracle — see [`crate::combine`] and
@@ -19,12 +31,19 @@
 //!
 //! ## Determinism
 //!
-//! Engine output is bitwise identical across thread counts and across
-//! runs: members are independent, each worker's forward pass is
-//! sequential over its mini-batches, and every tensor kernel underneath
-//! partitions work over disjoint output regions with a fixed per-element
-//! accumulation order. The `engine_determinism` integration suite pins
-//! this property.
+//! Engine output is bitwise identical across execution plans, thread
+//! counts, and runs: every tensor kernel partitions work over disjoint
+//! output regions with a fixed per-element accumulation order, and each
+//! example's forward pass is independent of its batch neighbors — so
+//! member fan-out, batch sharding, and mini-batch boundaries cannot change
+//! a single bit of any prediction. The `engine_determinism` integration
+//! suite pins this property across policies.
+//!
+//! ## Cold start
+//!
+//! [`InferenceEngine::load`] boots an engine straight from an `MNE1`
+//! ensemble artifact on disk (see [`crate::artifact`]) — no retraining,
+//! and bitwise-identical predictions to the engine that saved it.
 //!
 //! ## Example
 //!
@@ -39,60 +58,260 @@
 //! let members: Vec<EnsembleMember> = (0..4)
 //!     .map(|s| EnsembleMember::new(format!("m{s}"), Network::seeded(&arch, s)))
 //!     .collect();
-//! let mut engine = InferenceEngine::new(members, 32);
+//! let mut engine = InferenceEngine::new(members, 32).unwrap();
 //! let x = Tensor::zeros([5, 1, 2, 2]);
 //! let labels = engine.predict_labels(&x);
 //! assert_eq!(labels.len(), 5);
 //! ```
 
+use std::fmt;
+use std::path::Path;
+
+use mn_nn::arch::InputSpec;
+use mn_tensor::chunking::shard_ranges;
 use mn_tensor::{ops, Tensor, Workspace};
 
 use rayon::prelude::*;
 
+use crate::artifact::{self, ArtifactError, EnsembleManifest};
 use crate::combine;
 use crate::member::{EnsembleMember, MemberPredictions};
 
+/// Why an engine could not be constructed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum EngineError {
+    /// No members were supplied.
+    EmptyEnsemble,
+    /// Members disagree on input geometry or class count, so they cannot
+    /// serve the same requests.
+    MemberMismatch {
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EmptyEnsemble => write!(f, "inference engine needs at least one member"),
+            EngineError::MemberMismatch { detail } => {
+                write!(f, "ensemble members are not servable together: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// How the engine chooses its parallelism axis (see module docs).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecPolicy {
+    /// Pick per batch from batch size × member count × thread count.
+    #[default]
+    Auto,
+    /// Always fan members across threads, each running the whole batch.
+    MemberParallel,
+    /// Always shard the batch across this many replica lanes (clamped to
+    /// at least 1, to the batch size, and to
+    /// [`InferenceEngine::max_shards`] — each lane keeps a full ensemble
+    /// replica alive).
+    DataParallel {
+        /// Number of batch shards / replica lanes.
+        shards: usize,
+    },
+}
+
+/// The resolved execution plan for one request batch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Plan {
+    /// One task per member over the full batch.
+    MemberParallel,
+    /// `shards` tasks, each running every member over one batch shard.
+    DataParallel {
+        /// Number of batch shards actually used.
+        shards: usize,
+    },
+}
+
 /// One ensemble member plus its private inference scratch.
 #[derive(Debug)]
-struct Worker {
+struct Slot {
     member: EnsembleMember,
     workspace: Workspace,
 }
 
-/// A batched parallel inference engine over a fixed ensemble.
+impl Slot {
+    fn new(member: EnsembleMember) -> Self {
+        Slot {
+            member,
+            workspace: Workspace::new(),
+        }
+    }
+}
+
+/// A batched, planned, two-axis parallel inference engine over a fixed
+/// ensemble.
 #[derive(Debug)]
 pub struct InferenceEngine {
-    workers: Vec<Worker>,
+    /// Primary slots: one per member (member-parallel axis, and replica
+    /// lane 0 of the data-parallel axis).
+    slots: Vec<Slot>,
+    /// Extra replica lanes for data-parallel plans, built lazily. Lane
+    /// `r` of a plan with `s` shards is `slots` for `r == 0`, else
+    /// `replicas[r - 1]`.
+    replicas: Vec<Vec<Slot>>,
     batch_size: usize,
+    policy: ExecPolicy,
+    input: InputSpec,
+    num_classes: usize,
 }
 
 impl InferenceEngine {
     /// Builds an engine that runs each member in mini-batches of
-    /// `batch_size` examples (clamped to at least 1).
+    /// `batch_size` examples (clamped to at least 1), under the default
+    /// [`ExecPolicy::Auto`].
     ///
-    /// # Panics
+    /// Cached training activations are dropped from every member (a
+    /// serving engine never needs them).
     ///
-    /// Panics if `members` is empty.
-    pub fn new(members: Vec<EnsembleMember>, batch_size: usize) -> Self {
-        assert!(
-            !members.is_empty(),
-            "inference engine needs at least one member"
-        );
-        InferenceEngine {
-            workers: members
-                .into_iter()
-                .map(|member| Worker {
-                    member,
-                    workspace: Workspace::new(),
-                })
-                .collect(),
-            batch_size: batch_size.max(1),
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyEnsemble`] for zero members, and
+    /// [`EngineError::MemberMismatch`] when members disagree on input
+    /// geometry or class count.
+    pub fn new(mut members: Vec<EnsembleMember>, batch_size: usize) -> Result<Self, EngineError> {
+        let Some(first) = members.first() else {
+            return Err(EngineError::EmptyEnsemble);
+        };
+        let input = first.network.arch().input;
+        let num_classes = first.network.arch().num_classes;
+        for m in &members {
+            let arch = m.network.arch();
+            if arch.input != input || arch.num_classes != num_classes {
+                return Err(EngineError::MemberMismatch {
+                    detail: format!(
+                        "member {} expects {}x{}x{} -> {} classes, member {} expects \
+                         {}x{}x{} -> {} classes",
+                        first.name,
+                        input.channels,
+                        input.height,
+                        input.width,
+                        num_classes,
+                        m.name,
+                        arch.input.channels,
+                        arch.input.height,
+                        arch.input.width,
+                        arch.num_classes
+                    ),
+                });
+            }
         }
+        for m in members.iter_mut() {
+            m.network.clear_caches();
+        }
+        Ok(InferenceEngine {
+            slots: members.into_iter().map(Slot::new).collect(),
+            replicas: Vec::new(),
+            batch_size: batch_size.max(1),
+            policy: ExecPolicy::Auto,
+            input,
+            num_classes,
+        })
+    }
+
+    /// Boots an engine from an `MNE1` ensemble artifact file — the serving
+    /// cold-start path. Predictions are bitwise identical to the engine
+    /// that saved the artifact.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`] from reading or parsing the file.
+    pub fn load(path: impl AsRef<Path>, batch_size: usize) -> Result<Self, ArtifactError> {
+        let (_, members) = artifact::read_ensemble_file(path)?;
+        InferenceEngine::new(members, batch_size).map_err(ArtifactError::from)
+    }
+
+    /// [`InferenceEngine::load`] over in-memory artifact bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`] from parsing the bytes.
+    pub fn from_artifact_bytes(bytes: &[u8], batch_size: usize) -> Result<Self, ArtifactError> {
+        let (_, members) = artifact::load_ensemble(bytes)?;
+        InferenceEngine::new(members, batch_size).map_err(ArtifactError::from)
+    }
+
+    /// Serializes the engine's members as an `MNE1` artifact.
+    pub fn to_artifact_bytes(&self, manifest: &EnsembleManifest) -> Vec<u8> {
+        let members: Vec<&EnsembleMember> = self.slots.iter().map(|s| &s.member).collect();
+        artifact::save_ensemble_refs(&members, manifest)
+    }
+
+    /// Overrides the parallelism policy (the default is
+    /// [`ExecPolicy::Auto`]).
+    pub fn set_policy(&mut self, policy: ExecPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active parallelism policy.
+    pub fn policy(&self) -> ExecPolicy {
+        self.policy
+    }
+
+    /// Resolves the execution plan for a batch of `n` examples under the
+    /// current policy and worker-thread count.
+    ///
+    /// The auto rule: shard the batch only when sharding yields more
+    /// parallel tasks than member fan-out can — i.e. when the thread count
+    /// exceeds the member count *and* the batch is large enough to cut
+    /// into more than `num_members` shards of at least one mini-batch
+    /// each. Plans never affect results (see module docs), only wall
+    /// clock.
+    ///
+    /// Explicit [`ExecPolicy::DataParallel`] requests are clamped to the
+    /// batch size and to [`InferenceEngine::max_shards`] — every lane
+    /// costs a permanent replica of the whole ensemble, and lanes beyond
+    /// the worker count buy no parallelism, so an oversized request must
+    /// not be able to clone the ensemble thousands of times.
+    pub fn plan(&self, n: usize) -> Plan {
+        match self.policy {
+            ExecPolicy::MemberParallel => Plan::MemberParallel,
+            ExecPolicy::DataParallel { shards } => {
+                let shards = shards.clamp(1, n.max(1)).min(self.max_shards());
+                if shards == 1 {
+                    Plan::MemberParallel
+                } else {
+                    Plan::DataParallel { shards }
+                }
+            }
+            ExecPolicy::Auto => {
+                let threads = rayon::current_num_threads();
+                let members = self.slots.len();
+                if n == 0 || threads <= members {
+                    return Plan::MemberParallel;
+                }
+                let shards = n.div_ceil(self.batch_size).min(threads);
+                if shards > members {
+                    Plan::DataParallel { shards }
+                } else {
+                    Plan::MemberParallel
+                }
+            }
+        }
+    }
+
+    /// Upper bound on data-parallel shards (and so on replica lanes):
+    /// the worker-thread count, with a small floor so the sharding path
+    /// stays exercisable on single-core machines. Caps the replica
+    /// memory an explicit [`ExecPolicy::DataParallel`] request can pin.
+    pub fn max_shards(&self) -> usize {
+        const SHARD_FLOOR: usize = 16;
+        rayon::current_num_threads().max(SHARD_FLOOR)
     }
 
     /// Number of ensemble members.
     pub fn num_members(&self) -> usize {
-        self.workers.len()
+        self.slots.len()
     }
 
     /// Mini-batch size used per member.
@@ -100,26 +319,113 @@ impl InferenceEngine {
         self.batch_size
     }
 
-    /// Member names, in engine order.
-    pub fn member_names(&self) -> Vec<&str> {
-        self.workers
-            .iter()
-            .map(|w| w.member.name.as_str())
-            .collect()
+    /// Input geometry every member expects.
+    pub fn input_spec(&self) -> InputSpec {
+        self.input
     }
 
-    /// Runs every member over the request batch `x: [N, C, H, W]` in
-    /// parallel and collects per-member probabilities.
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of materialized replica lanes (including the primary).
+    /// Starts at 1 and grows only when a data-parallel plan runs.
+    pub fn replica_lanes(&self) -> usize {
+        1 + self.replicas.len()
+    }
+
+    /// Member names, in engine order.
+    pub fn member_names(&self) -> Vec<&str> {
+        self.slots.iter().map(|s| s.member.name.as_str()).collect()
+    }
+
+    /// Runs every member over the request batch `x: [N, C, H, W]` under
+    /// the resolved plan and collects per-member probabilities.
     ///
     /// An empty batch (`N = 0`) is legal and yields `[0, K]` predictions.
     pub fn predict(&mut self, x: &Tensor) -> MemberPredictions {
+        match self.plan(x.shape().dim(0)) {
+            Plan::MemberParallel => self.predict_member_parallel(x),
+            Plan::DataParallel { shards } => self.predict_data_parallel(x, shards),
+        }
+    }
+
+    fn predict_member_parallel(&mut self, x: &Tensor) -> MemberPredictions {
         let bs = self.batch_size;
         let probs: Vec<Tensor> = self
-            .workers
+            .slots
             .par_iter_mut()
-            .map(|w| w.member.predict_proba_with(x, bs, &mut w.workspace))
+            .map(|s| s.member.predict_proba_with(x, bs, &mut s.workspace))
             .collect();
         MemberPredictions::from_probs(probs)
+    }
+
+    fn predict_data_parallel(&mut self, x: &Tensor, shards: usize) -> MemberPredictions {
+        let n = x.shape().dim(0);
+        let ranges = shard_ranges(n, shards);
+        let shards = ranges.len(); // shard_ranges may shrink degenerate requests
+        if shards <= 1 {
+            return self.predict_member_parallel(x);
+        }
+        self.ensure_replicas(shards - 1);
+        let bs = self.batch_size;
+        let members = self.slots.len();
+        let k = self.num_classes;
+        let row = x.len() / n.max(1);
+
+        // Lane 0 is the primary slot set; lanes 1.. are replicas. Each
+        // lane copies its shard rows once, then runs every member over
+        // the shard with that member's own workspace.
+        let mut lanes: Vec<(std::ops::Range<usize>, &mut Vec<Slot>)> = Vec::with_capacity(shards);
+        let mut lane_slots = std::iter::once(&mut self.slots)
+            .chain(self.replicas.iter_mut())
+            .take(shards);
+        for range in ranges {
+            lanes.push((range, lane_slots.next().expect("lane per shard")));
+        }
+        let shard_probs: Vec<Vec<Tensor>> = lanes
+            .par_iter_mut()
+            .map(|(range, slots)| {
+                let rows = range.len();
+                let mut xs = slots[0]
+                    .workspace
+                    .acquire_uninit(x.shape().with_dim(0, rows));
+                xs.data_mut()
+                    .copy_from_slice(&x.data()[range.start * row..range.end * row]);
+                let out: Vec<Tensor> = slots
+                    .iter_mut()
+                    .map(|s| s.member.predict_proba_with(&xs, bs, &mut s.workspace))
+                    .collect();
+                slots[0].workspace.release(xs);
+                out
+            })
+            .collect();
+
+        // Stitch per-member outputs back in example order.
+        let mut probs: Vec<Tensor> = (0..members).map(|_| Tensor::zeros([n, k])).collect();
+        let mut start = 0;
+        for lane in &shard_probs {
+            let rows = lane[0].shape().dim(0);
+            for (m, shard) in lane.iter().enumerate() {
+                probs[m].data_mut()[start * k..(start + rows) * k].copy_from_slice(shard.data());
+            }
+            start += rows;
+        }
+        MemberPredictions::from_probs(probs)
+    }
+
+    /// Grows the replica lane pool to at least `extra` lanes beyond the
+    /// primary, cloning the current member weights.
+    fn ensure_replicas(&mut self, extra: usize) {
+        while self.replicas.len() < extra {
+            self.replicas.push(
+                self.slots
+                    .iter()
+                    .map(|s| Slot::new(s.member.clone()))
+                    .collect(),
+            );
+        }
     }
 
     /// Ensemble-averaged probabilities `[N, K]` for the request batch.
@@ -139,12 +445,13 @@ impl InferenceEngine {
 
     /// Read access to the members, in engine order.
     pub fn members(&self) -> Vec<&EnsembleMember> {
-        self.workers.iter().map(|w| &w.member).collect()
+        self.slots.iter().map(|s| &s.member).collect()
     }
 
-    /// Decomposes the engine back into its members (workspaces dropped).
+    /// Decomposes the engine back into its members (workspaces and
+    /// replica lanes dropped).
     pub fn into_members(self) -> Vec<EnsembleMember> {
-        self.workers.into_iter().map(|w| w.member).collect()
+        self.slots.into_iter().map(|s| s.member).collect()
     }
 }
 
@@ -163,12 +470,16 @@ mod tests {
             .collect()
     }
 
+    fn engine(n: u64, batch: usize) -> InferenceEngine {
+        InferenceEngine::new(members(n), batch).unwrap()
+    }
+
     #[test]
     fn engine_matches_sequential_collection() {
         let x = Tensor::randn([7, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(1));
         let mut seq_members = members(3);
         let sequential = MemberPredictions::collect(&mut seq_members, &x, 2);
-        let mut engine = InferenceEngine::new(members(3), 2);
+        let mut engine = engine(3, 2);
         let parallel = engine.predict(&x);
         assert_eq!(parallel.num_members(), 3);
         for (p, s) in parallel.probs().iter().zip(sequential.probs()) {
@@ -178,7 +489,7 @@ mod tests {
 
     #[test]
     fn repeated_predictions_reuse_workspaces_and_stay_identical() {
-        let mut engine = InferenceEngine::new(members(2), 4);
+        let mut engine = engine(2, 4);
         let x = Tensor::randn([9, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(2));
         let first = engine.predict(&x);
         let second = engine.predict(&x);
@@ -189,7 +500,7 @@ mod tests {
 
     #[test]
     fn combination_rules_run_on_engine_output() {
-        let mut engine = InferenceEngine::new(members(3), 8);
+        let mut engine = engine(3, 8);
         let x = Tensor::randn([5, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(3));
         let avg = engine.predict_average(&x);
         assert_eq!(avg.shape().dims(), &[5, 3]);
@@ -203,25 +514,129 @@ mod tests {
 
     #[test]
     fn accessors_expose_members() {
-        let engine = InferenceEngine::new(members(2), 16);
+        let engine = engine(2, 16);
         assert_eq!(engine.num_members(), 2);
         assert_eq!(engine.batch_size(), 16);
         assert_eq!(engine.member_names(), vec!["m0", "m1"]);
+        assert_eq!(engine.num_classes(), 3);
+        assert_eq!(engine.input_spec(), InputSpec::new(1, 2, 2));
         let back = engine.into_members();
         assert_eq!(back.len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "at least one member")]
-    fn empty_ensemble_rejected() {
-        InferenceEngine::new(Vec::new(), 8);
+    fn empty_ensemble_yields_typed_error() {
+        assert_eq!(
+            InferenceEngine::new(Vec::new(), 8).unwrap_err(),
+            EngineError::EmptyEnsemble
+        );
+    }
+
+    #[test]
+    fn mismatched_members_yield_typed_error() {
+        let arch_a = Architecture::mlp("a", InputSpec::new(1, 2, 2), 3, vec![4]);
+        let arch_b = Architecture::mlp("b", InputSpec::new(1, 2, 2), 5, vec![4]);
+        let mixed = vec![
+            EnsembleMember::new("a", Network::seeded(&arch_a, 0)),
+            EnsembleMember::new("b", Network::seeded(&arch_b, 1)),
+        ];
+        assert!(matches!(
+            InferenceEngine::new(mixed, 8),
+            Err(EngineError::MemberMismatch { .. })
+        ));
     }
 
     #[test]
     fn zero_batch_size_clamps_to_one() {
-        let mut engine = InferenceEngine::new(members(1), 0);
+        let mut engine = engine(1, 0);
         assert_eq!(engine.batch_size(), 1);
         let x = Tensor::zeros([2, 1, 2, 2]);
         assert_eq!(engine.predict_labels(&x).len(), 2);
+    }
+
+    #[test]
+    fn data_parallel_plan_matches_member_parallel_bitwise() {
+        let x = Tensor::randn([13, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(4));
+        let mut baseline = engine(3, 4);
+        baseline.set_policy(ExecPolicy::MemberParallel);
+        let reference = baseline.predict(&x);
+        for shards in [2usize, 3, 5, 13, 40] {
+            let mut sharded = engine(3, 4);
+            sharded.set_policy(ExecPolicy::DataParallel { shards });
+            let got = sharded.predict(&x);
+            for (m, (a, b)) in reference.probs().iter().zip(got.probs()).enumerate() {
+                assert_eq!(
+                    a.data(),
+                    b.data(),
+                    "member {m} diverged under {shards}-way sharding"
+                );
+            }
+            assert!(sharded.replica_lanes() >= 2, "sharding built replica lanes");
+        }
+    }
+
+    #[test]
+    fn replica_lanes_grow_lazily_and_persist() {
+        let mut e = engine(2, 2);
+        assert_eq!(e.replica_lanes(), 1);
+        e.set_policy(ExecPolicy::MemberParallel);
+        let x = Tensor::zeros([8, 1, 2, 2]);
+        let _ = e.predict(&x);
+        assert_eq!(e.replica_lanes(), 1, "member-parallel must not replicate");
+        e.set_policy(ExecPolicy::DataParallel { shards: 4 });
+        let _ = e.predict(&x);
+        assert_eq!(e.replica_lanes(), 4);
+        let _ = e.predict(&x);
+        assert_eq!(e.replica_lanes(), 4, "lanes are reused, not re-cloned");
+    }
+
+    #[test]
+    fn explicit_shards_clamp_to_batch_and_lane_cap() {
+        let mut e = engine(2, 2);
+        e.set_policy(ExecPolicy::DataParallel { shards: 0 });
+        assert_eq!(e.plan(5), Plan::MemberParallel);
+        e.set_policy(ExecPolicy::DataParallel { shards: 8 });
+        assert_eq!(e.plan(3), Plan::DataParallel { shards: 3 });
+        assert_eq!(e.plan(0), Plan::MemberParallel);
+        // An absurd request must not be able to demand one replica lane
+        // per example of a huge batch.
+        e.set_policy(ExecPolicy::DataParallel { shards: usize::MAX });
+        match e.plan(1_000_000) {
+            Plan::DataParallel { shards } => assert_eq!(shards, e.max_shards()),
+            plan => panic!("expected a capped data-parallel plan, got {plan:?}"),
+        }
+        let x = Tensor::zeros([64, 1, 2, 2]);
+        let _ = e.predict(&x);
+        assert!(e.replica_lanes() <= e.max_shards());
+    }
+
+    #[test]
+    fn auto_plan_prefers_member_fanout_unless_sharding_wins() {
+        let e = engine(3, 4);
+        // Empty batches never shard.
+        assert_eq!(e.plan(0), Plan::MemberParallel);
+        // With the test runner's thread count unknown, pin only the
+        // invariants: sharding must yield strictly more tasks than member
+        // fan-out, and never more shards than threads or mini-batches.
+        for n in [1usize, 8, 64, 1024] {
+            match e.plan(n) {
+                Plan::MemberParallel => {}
+                Plan::DataParallel { shards } => {
+                    assert!(shards > e.num_members());
+                    assert!(shards <= rayon::current_num_threads());
+                    assert!(shards <= n.div_ceil(e.batch_size()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_under_data_parallel_policy() {
+        let mut e = engine(2, 4);
+        e.set_policy(ExecPolicy::DataParallel { shards: 3 });
+        let empty = Tensor::zeros([0, 1, 2, 2]);
+        let preds = e.predict(&empty);
+        assert_eq!(preds.num_examples(), 0);
+        assert_eq!(preds.num_members(), 2);
     }
 }

@@ -15,10 +15,22 @@
 //!
 //! [`evaluate::evaluate_members`] runs all four at once.
 //!
-//! Serving lives in [`engine`]: a batched inference engine that fans each
-//! request batch across the members on rayon worker threads, keeps a
-//! reusable scratch [`mn_tensor::Workspace`] per member, and streams
-//! results into the same [`MemberPredictions`]/combine machinery.
+//! Serving is a three-layer stack:
+//!
+//! * [`engine`] — a planned, two-axis parallel executor: member-parallel
+//!   fan-out for small batches, data-parallel batch sharding across
+//!   replica lanes for large ones, chosen per batch by
+//!   [`engine::ExecPolicy::Auto`]. Per-member workspaces make
+//!   steady-state serving allocation-free, and results stream into the
+//!   same [`MemberPredictions`]/combine machinery. Output is bitwise
+//!   identical across plans and thread counts.
+//! * [`artifact`] — the `MNE1` ensemble artifact format (manifest +
+//!   per-member architecture JSON and `MNW1` weights), so serving
+//!   cold-starts from disk via [`engine::InferenceEngine::load`] without
+//!   retraining.
+//! * [`serve`] — a dynamic-batching [`serve::Server`]: a request queue
+//!   plus a micro-batcher that coalesces single-example requests up to a
+//!   batch/deadline bound, with per-request latency capture.
 //!
 //! ## Example
 //!
@@ -36,14 +48,18 @@
 //! assert_eq!(eval.oracle_error, 0.0);
 //! ```
 
+pub mod artifact;
 pub mod combine;
 pub mod diversity;
 pub mod engine;
 pub mod evaluate;
 pub mod member;
+pub mod serve;
 pub mod super_learner;
 
-pub use engine::InferenceEngine;
+pub use artifact::{ArtifactError, EnsembleManifest};
+pub use engine::{EngineError, ExecPolicy, InferenceEngine, Plan};
 pub use evaluate::{evaluate_members, evaluate_predictions, EnsembleEvaluation};
 pub use member::{EnsembleMember, MemberPredictions};
+pub use serve::{BatchingConfig, Prediction, ServeError, Server, ServerStats};
 pub use super_learner::{SuperLearner, SuperLearnerConfig};

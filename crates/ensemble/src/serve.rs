@@ -1,0 +1,446 @@
+//! [`Server`]: a dynamic-batching front-end over the
+//! [`InferenceEngine`](crate::engine::InferenceEngine).
+//!
+//! Production ensemble traffic is dominated by single-example requests,
+//! but every kernel underneath is batch-oriented — served one by one,
+//! each request would pay the full member fan-out for one row of GEMM
+//! work. The server closes that gap with a **dynamic micro-batcher**:
+//!
+//! * requests enter a queue ([`ServeClient::submit`] is cheap and
+//!   thread-safe; clients are `Clone` and live on any thread);
+//! * a dedicated worker thread coalesces queued requests into one batch,
+//!   up to [`BatchingConfig::max_batch`] examples or until
+//!   [`BatchingConfig::max_wait`] has passed since the batch opened —
+//!   whichever comes first (an idle server therefore adds at most
+//!   `max_wait` latency, a busy one none);
+//! * the batch runs through the engine once, and each requester receives
+//!   its own row: ensemble-averaged probabilities, the arg-max label,
+//!   the end-to-end latency of *its* request, and the size of the
+//!   micro-batch it rode in.
+//!
+//! Micro-batch composition never affects results: each example's forward
+//! pass is independent of its batch neighbors (the engine's determinism
+//! contract), so a request answered alone is bitwise identical to the
+//! same request answered inside a full batch — pinned by the
+//! `serving_stack` integration suite.
+//!
+//! ## Example
+//!
+//! ```
+//! use mn_ensemble::engine::InferenceEngine;
+//! use mn_ensemble::serve::{BatchingConfig, Server};
+//! use mn_ensemble::EnsembleMember;
+//! use mn_nn::arch::{Architecture, InputSpec};
+//! use mn_nn::Network;
+//! use mn_tensor::Tensor;
+//!
+//! let arch = Architecture::mlp("m", InputSpec::new(1, 2, 2), 3, vec![4]);
+//! let members = vec![EnsembleMember::new("m", Network::seeded(&arch, 0))];
+//! let engine = InferenceEngine::new(members, 32).unwrap();
+//! let server = Server::start(engine, BatchingConfig::default());
+//! let pending = server.submit(&Tensor::zeros([1, 2, 2])).unwrap();
+//! let prediction = pending.wait().unwrap();
+//! assert_eq!(prediction.probs.len(), 3);
+//! let stats = server.shutdown();
+//! assert_eq!(stats.requests, 1);
+//! ```
+
+use std::fmt;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mn_nn::arch::InputSpec;
+use mn_tensor::{ops, Tensor, Workspace};
+
+use crate::engine::InferenceEngine;
+
+/// Dynamic micro-batcher bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchingConfig {
+    /// Maximum examples coalesced into one engine call.
+    pub max_batch: usize,
+    /// Maximum time a batch stays open waiting for more requests.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchingConfig {
+    fn default() -> Self {
+        BatchingConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Why a request could not be served.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ServeError {
+    /// The submitted example does not match the ensemble's input
+    /// geometry.
+    BadExample {
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// The server has shut down (or shut down before answering).
+    Closed,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadExample { detail } => write!(f, "bad example: {detail}"),
+            ServeError::Closed => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One answered request.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    /// Ensemble-averaged class probabilities for this example.
+    pub probs: Vec<f32>,
+    /// Arg-max label under ensemble averaging.
+    pub label: usize,
+    /// End-to-end latency: submit to answer, including queueing and
+    /// batching delay.
+    pub latency: Duration,
+    /// Size of the micro-batch this request was served in.
+    pub batch: usize,
+}
+
+/// Aggregate counters the worker reports at shutdown (also readable as
+/// the return value of [`Server::shutdown`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests answered.
+    pub requests: u64,
+    /// Engine calls made (micro-batches executed).
+    pub batches: u64,
+    /// Largest micro-batch executed.
+    pub max_batch_filled: usize,
+}
+
+impl ServerStats {
+    /// Mean examples per engine call — the batching win over
+    /// one-request-per-call serving.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+struct Request {
+    /// `[1, C, H, W]` example.
+    example: Tensor,
+    enqueued: Instant,
+    reply: mpsc::Sender<Prediction>,
+}
+
+enum Msg {
+    Request(Box<Request>),
+    Shutdown,
+}
+
+/// A handle for submitting requests; cheap to clone and send across
+/// threads.
+#[derive(Clone)]
+pub struct ServeClient {
+    tx: mpsc::Sender<Msg>,
+    input: InputSpec,
+}
+
+impl ServeClient {
+    /// Submits one example — `[C, H, W]` or `[1, C, H, W]` — and returns
+    /// a handle to await its prediction.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadExample`] when the shape does not match the
+    /// ensemble input, [`ServeError::Closed`] when the server is gone.
+    pub fn submit(&self, example: &Tensor) -> Result<PendingPrediction, ServeError> {
+        let want = [self.input.channels, self.input.height, self.input.width];
+        let dims = example.shape().dims();
+        let ok = dims == want || (dims.len() == 4 && dims[0] == 1 && dims[1..] == want);
+        if !ok {
+            return Err(ServeError::BadExample {
+                detail: format!(
+                    "expected [{}, {}, {}] (or leading batch dim of 1), got {}",
+                    want[0],
+                    want[1],
+                    want[2],
+                    example.shape()
+                ),
+            });
+        }
+        let example = Tensor::from_vec(
+            [1, self.input.channels, self.input.height, self.input.width],
+            example.data().to_vec(),
+        );
+        let (reply, rx) = mpsc::channel();
+        let request = Box::new(Request {
+            example,
+            enqueued: Instant::now(),
+            reply,
+        });
+        self.tx
+            .send(Msg::Request(request))
+            .map_err(|_| ServeError::Closed)?;
+        Ok(PendingPrediction { rx })
+    }
+}
+
+/// A submitted request awaiting its answer.
+pub struct PendingPrediction {
+    rx: mpsc::Receiver<Prediction>,
+}
+
+impl PendingPrediction {
+    /// Blocks until the prediction arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] when the server shut down before answering.
+    pub fn wait(self) -> Result<Prediction, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::Closed)
+    }
+}
+
+/// A running ensemble server: an [`InferenceEngine`] owned by a worker
+/// thread behind a dynamic micro-batcher.
+pub struct Server {
+    client: ServeClient,
+    worker: Option<JoinHandle<ServerStats>>,
+}
+
+impl Server {
+    /// Takes ownership of `engine` and starts the batching worker.
+    pub fn start(engine: InferenceEngine, cfg: BatchingConfig) -> Server {
+        let input = engine.input_spec();
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let worker = std::thread::Builder::new()
+            .name("mn-serve".to_string())
+            .spawn(move || worker_loop(engine, cfg, rx))
+            .expect("serving worker spawns");
+        Server {
+            client: ServeClient { tx, input },
+            worker: Some(worker),
+        }
+    }
+
+    /// A cloneable submission handle for client threads.
+    pub fn client(&self) -> ServeClient {
+        self.client.clone()
+    }
+
+    /// Submits one example on the server's own handle (see
+    /// [`ServeClient::submit`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeClient::submit`].
+    pub fn submit(&self, example: &Tensor) -> Result<PendingPrediction, ServeError> {
+        self.client.submit(example)
+    }
+
+    /// Stops the worker after the micro-batch in flight completes and
+    /// returns its counters. Requests still queued (and clients still
+    /// holding handles) observe [`ServeError::Closed`].
+    pub fn shutdown(mut self) -> ServerStats {
+        let _ = self.client.tx.send(Msg::Shutdown);
+        let handle = self.worker.take().expect("worker present until shutdown");
+        handle.join().expect("serving worker exits cleanly")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(handle) = self.worker.take() {
+            let _ = self.client.tx.send(Msg::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(
+    mut engine: InferenceEngine,
+    cfg: BatchingConfig,
+    rx: mpsc::Receiver<Msg>,
+) -> ServerStats {
+    let max_batch = cfg.max_batch.max(1);
+    let input = engine.input_spec();
+    let row = input.channels * input.height * input.width;
+    let k = engine.num_classes();
+    let mut ws = Workspace::new();
+    let mut stats = ServerStats::default();
+    'serve: loop {
+        // Block for the request that opens the next micro-batch.
+        let first = match rx.recv() {
+            Ok(Msg::Request(r)) => r,
+            Ok(Msg::Shutdown) | Err(_) => break 'serve,
+        };
+        let deadline = Instant::now() + cfg.max_wait;
+        let mut batch = vec![first];
+        let mut stop_after = false;
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(Msg::Request(r)) => batch.push(r),
+                Ok(Msg::Shutdown) => {
+                    stop_after = true;
+                    break;
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => break,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    stop_after = true;
+                    break;
+                }
+            }
+        }
+
+        // One engine call for the whole micro-batch.
+        let b = batch.len();
+        let mut xb = ws.acquire_uninit([b, input.channels, input.height, input.width]);
+        for (i, req) in batch.iter().enumerate() {
+            xb.data_mut()[i * row..(i + 1) * row].copy_from_slice(req.example.data());
+        }
+        let avg = engine.predict_average(&xb);
+        ws.release(xb);
+        let answered = Instant::now();
+        let labels = ops::argmax_rows(&avg);
+        for (i, req) in batch.into_iter().enumerate() {
+            let prediction = Prediction {
+                probs: avg.data()[i * k..(i + 1) * k].to_vec(),
+                label: labels[i],
+                latency: answered - req.enqueued,
+                batch: b,
+            };
+            // A requester that gave up (dropped its handle) is not an
+            // error for the server.
+            let _ = req.reply.send(prediction);
+        }
+        stats.requests += b as u64;
+        stats.batches += 1;
+        stats.max_batch_filled = stats.max_batch_filled.max(b);
+        if stop_after {
+            break 'serve;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::member::EnsembleMember;
+    use mn_nn::arch::{Architecture, InputSpec};
+    use mn_nn::Network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn engine() -> InferenceEngine {
+        let arch = Architecture::mlp("m", InputSpec::new(1, 2, 2), 3, vec![6]);
+        let members: Vec<EnsembleMember> = (0..2)
+            .map(|s| EnsembleMember::new(format!("m{s}"), Network::seeded(&arch, s)))
+            .collect();
+        InferenceEngine::new(members, 8).unwrap()
+    }
+
+    #[test]
+    fn serves_single_requests_with_latency_and_stats() {
+        let server = Server::start(engine(), BatchingConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pending = Vec::new();
+        for _ in 0..5 {
+            let x = Tensor::randn([1, 2, 2], 1.0, &mut rng);
+            pending.push(server.submit(&x).unwrap());
+        }
+        for p in pending {
+            let got = p.wait().unwrap();
+            assert_eq!(got.probs.len(), 3);
+            assert!(got.label < 3);
+            assert!(got.batch >= 1);
+            assert!(got.latency > Duration::ZERO);
+            let sum: f32 = got.probs.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 5);
+        assert!(stats.batches >= 1 && stats.batches <= 5);
+        assert!(stats.mean_batch() >= 1.0);
+    }
+
+    #[test]
+    fn rejects_wrong_geometry_eagerly() {
+        let server = Server::start(engine(), BatchingConfig::default());
+        let bad = Tensor::zeros([2, 2, 2]);
+        assert!(matches!(
+            server.submit(&bad),
+            Err(ServeError::BadExample { .. })
+        ));
+        let batch_of_two = Tensor::zeros([2, 1, 2, 2]);
+        assert!(matches!(
+            server.submit(&batch_of_two),
+            Err(ServeError::BadExample { .. })
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn accepts_three_d_and_unit_batch_examples() {
+        let server = Server::start(engine(), BatchingConfig::default());
+        let a = server.submit(&Tensor::zeros([1, 2, 2])).unwrap();
+        let b = server.submit(&Tensor::zeros([1, 1, 2, 2])).unwrap();
+        let (pa, pb) = (a.wait().unwrap(), b.wait().unwrap());
+        assert_eq!(pa.probs, pb.probs, "same example, same answer");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_outstanding_clients() {
+        let server = Server::start(engine(), BatchingConfig::default());
+        let client = server.client();
+        server.shutdown();
+        assert!(matches!(
+            client.submit(&Tensor::zeros([1, 2, 2])),
+            Err(ServeError::Closed)
+        ));
+    }
+
+    #[test]
+    fn micro_batching_coalesces_under_load() {
+        // A generous wait window plus a burst submitted before the first
+        // answer can complete must produce fewer engine calls than
+        // requests.
+        let server = Server::start(
+            engine(),
+            BatchingConfig {
+                max_batch: 32,
+                max_wait: Duration::from_millis(50),
+            },
+        );
+        let mut pending = Vec::new();
+        for _ in 0..16 {
+            pending.push(server.submit(&Tensor::zeros([1, 2, 2])).unwrap());
+        }
+        for p in pending {
+            p.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 16);
+        assert!(
+            stats.batches < 16,
+            "expected coalescing, got {} batches",
+            stats.batches
+        );
+        assert!(stats.max_batch_filled > 1);
+    }
+}

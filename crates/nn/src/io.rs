@@ -1,24 +1,34 @@
-//! Network weight checkpointing.
+//! Network checkpointing: weight blobs and self-describing checkpoints.
 //!
-//! Serializes every persistent tensor of a network — trainable parameters
-//! *and* batch-norm running statistics — into a compact little-endian
-//! binary format, and restores them into a structurally identical network.
-//! Architectures themselves serialize as JSON via serde
-//! ([`crate::arch::Architecture`]); a checkpoint is the pair
-//! (architecture JSON, weight blob).
+//! Two formats live here, both little-endian:
 //!
-//! Format: magic `MNW1`, `u32` tensor count, then per tensor a `u32`
-//! element count followed by that many `f32` values.
+//! * **`MNW1` weight blob** ([`save_weights`] / [`load_weights`]) —
+//!   every persistent tensor of a network (trainable parameters *and*
+//!   batch-norm running statistics), restorable into a structurally
+//!   identical network. Layout: magic `MNW1`, `u32` tensor count, then
+//!   per tensor a `u32` element count followed by that many `f32` values.
+//! * **Network checkpoint** ([`save_network`] / [`load_network`]) — a
+//!   self-describing section pairing the architecture (JSON via serde,
+//!   see [`crate::arch::Architecture`]) with its `MNW1` blob, so a
+//!   network can be rebuilt from bytes alone. Layout: `u32` architecture
+//!   JSON length, the JSON, then the `MNW1` blob to the end. The `MNE1`
+//!   ensemble artifact in `mn-ensemble` frames one such section per
+//!   member.
+//!
+//! Serialization needs only shared access ([`save_weights`] takes
+//! `&Network` and walks the shared-ref state visitor); restoring mutates
+//! and takes `&mut Network`.
 
 use std::fmt;
 
 use bytes::{Buf, BufMut};
 
+use crate::arch::Architecture;
 use crate::network::Network;
 
 const MAGIC: &[u8; 4] = b"MNW1";
 
-/// Errors when restoring a weight blob.
+/// Errors when restoring a weight blob or network checkpoint.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum WeightsError {
     /// The blob does not start with the expected magic bytes.
@@ -36,6 +46,12 @@ pub enum WeightsError {
         /// Number of unread bytes.
         count: usize,
     },
+    /// A checkpoint's architecture section is not valid JSON, or describes
+    /// an architecture that fails validation.
+    BadArchitecture {
+        /// Human-readable detail.
+        detail: String,
+    },
 }
 
 impl fmt::Display for WeightsError {
@@ -49,6 +65,9 @@ impl fmt::Display for WeightsError {
             WeightsError::TrailingBytes { count } => {
                 write!(f, "{count} trailing bytes after weights")
             }
+            WeightsError::BadArchitecture { detail } => {
+                write!(f, "bad architecture section: {detail}")
+            }
         }
     }
 }
@@ -56,21 +75,30 @@ impl fmt::Display for WeightsError {
 impl std::error::Error for WeightsError {}
 
 /// Serializes all persistent state of `net` into a weight blob.
-pub fn save_weights(net: &mut Network) -> Vec<u8> {
-    let state: Vec<Vec<f32>> = net
-        .nodes_mut()
-        .iter_mut()
-        .flat_map(|n| n.state_mut().into_iter().map(|t| t.data().to_vec()))
-        .collect();
-    let total: usize = state.iter().map(|t| 4 + 4 * t.len()).sum();
-    let mut out = Vec::with_capacity(8 + total);
+///
+/// Read-only: walks the network's shared-ref state visitor, so a network
+/// being served (or borrowed elsewhere) can be checkpointed without `&mut`
+/// access and without staging per-tensor copies.
+pub fn save_weights(net: &Network) -> Vec<u8> {
+    // First pass: size the blob exactly.
+    let mut count: u32 = 0;
+    let mut payload = 0usize;
+    for node in net.nodes() {
+        node.visit_state(&mut |t| {
+            count += 1;
+            payload += 4 + 4 * t.len();
+        });
+    }
+    let mut out = Vec::with_capacity(8 + payload);
     out.put_slice(MAGIC);
-    out.put_u32_le(state.len() as u32);
-    for tensor in &state {
-        out.put_u32_le(tensor.len() as u32);
-        for &v in tensor {
-            out.put_f32_le(v);
-        }
+    out.put_u32_le(count);
+    for node in net.nodes() {
+        node.visit_state(&mut |t| {
+            out.put_u32_le(t.len() as u32);
+            for &v in t.data() {
+                out.put_f32_le(v);
+            }
+        });
     }
     out
 }
@@ -130,6 +158,57 @@ pub fn load_weights(net: &mut Network, mut blob: &[u8]) -> Result<(), WeightsErr
     Ok(())
 }
 
+/// Serializes a network as a self-describing checkpoint: `u32`
+/// architecture-JSON length, the JSON, then the [`save_weights`] blob.
+///
+/// [`load_network`] rebuilds the network from these bytes alone — no
+/// pre-built target network is needed, which is what lets a serving
+/// process cold-start an ensemble from disk.
+pub fn save_network(net: &Network) -> Vec<u8> {
+    let arch_json = serde_json::to_string(net.arch()).expect("architecture serializes");
+    let weights = save_weights(net);
+    let mut out = Vec::with_capacity(4 + arch_json.len() + weights.len());
+    out.put_u32_le(arch_json.len() as u32);
+    out.put_slice(arch_json.as_bytes());
+    out.put_slice(&weights);
+    out
+}
+
+/// Rebuilds a network from a [`save_network`] checkpoint: parses and
+/// validates the architecture JSON, constructs the network, and restores
+/// every persistent tensor. The result is bitwise identical to the saved
+/// network's state.
+///
+/// # Errors
+///
+/// Returns [`WeightsError::BadArchitecture`] for an unparseable or
+/// invalid architecture section, and the usual [`WeightsError`]s for a
+/// malformed weight blob.
+pub fn load_network(mut blob: &[u8]) -> Result<Network, WeightsError> {
+    if blob.remaining() < 4 {
+        return Err(WeightsError::Truncated);
+    }
+    let arch_len = blob.get_u32_le() as usize;
+    if blob.remaining() < arch_len {
+        return Err(WeightsError::Truncated);
+    }
+    let (arch_bytes, rest) = blob.split_at(arch_len);
+    blob = rest;
+    let arch_json = std::str::from_utf8(arch_bytes).map_err(|e| WeightsError::BadArchitecture {
+        detail: format!("architecture JSON is not UTF-8: {e}"),
+    })?;
+    let arch: Architecture =
+        serde_json::from_str(arch_json).map_err(|e| WeightsError::BadArchitecture {
+            detail: format!("architecture JSON does not parse: {e}"),
+        })?;
+    arch.validate().map_err(|e| WeightsError::BadArchitecture {
+        detail: e.to_string(),
+    })?;
+    let mut net = Network::seeded(&arch, 0);
+    load_weights(&mut net, blob)?;
+    Ok(net)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,7 +239,7 @@ mod tests {
             let x = Tensor::randn([4, 3, 8, 8], 1.0, &mut rand::thread_rng());
             original.forward(&x, Mode::Train);
             original.clear_caches();
-            let blob = save_weights(&mut original);
+            let blob = save_weights(&original);
 
             let mut restored = Network::seeded(&arch, 999); // different init
             load_weights(&mut restored, &blob).unwrap();
@@ -171,11 +250,55 @@ mod tests {
     }
 
     #[test]
+    fn network_checkpoint_rebuilds_from_bytes_alone() {
+        for arch in archs() {
+            let mut original = Network::seeded(&arch, 21);
+            let x = Tensor::randn([3, 3, 8, 8], 1.0, &mut rand::thread_rng());
+            original.forward(&x, Mode::Train); // perturb running stats
+            original.clear_caches();
+            let bytes = save_network(&original);
+            let mut rebuilt = load_network(&bytes).unwrap();
+            assert_eq!(rebuilt.arch(), original.arch());
+            let a = original.forward(&x, Mode::Eval);
+            let b = rebuilt.forward(&x, Mode::Eval);
+            assert_eq!(a.data(), b.data(), "checkpoint not exact for {}", arch.name);
+        }
+    }
+
+    #[test]
+    fn network_checkpoint_rejects_corruption() {
+        let input = InputSpec::new(3, 8, 8);
+        let net = Network::seeded(&Architecture::mlp("m", input, 5, vec![8]), 1);
+        let bytes = save_network(&net);
+        // Too short for even the length prefix.
+        assert!(matches!(
+            load_network(&bytes[..3]),
+            Err(WeightsError::Truncated)
+        ));
+        // Length prefix pointing past the end.
+        let mut huge = bytes.clone();
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(load_network(&huge), Err(WeightsError::Truncated)));
+        // Garbage in the JSON section.
+        let mut bad_json = bytes.clone();
+        bad_json[4] = b'!';
+        assert!(matches!(
+            load_network(&bad_json),
+            Err(WeightsError::BadArchitecture { .. })
+        ));
+        // Truncated weight section.
+        assert!(matches!(
+            load_network(&bytes[..bytes.len() - 2]),
+            Err(WeightsError::Truncated)
+        ));
+    }
+
+    #[test]
     fn rejects_wrong_network() {
         let input = InputSpec::new(3, 8, 8);
-        let mut small = Network::seeded(&Architecture::mlp("s", input, 5, vec![8]), 1);
+        let small = Network::seeded(&Architecture::mlp("s", input, 5, vec![8]), 1);
         let mut big = Network::seeded(&Architecture::mlp("b", input, 5, vec![16]), 1);
-        let blob = save_weights(&mut small);
+        let blob = save_weights(&small);
         assert!(matches!(
             load_weights(&mut big, &blob),
             Err(WeightsError::ShapeMismatch { .. })
@@ -195,11 +318,11 @@ mod tests {
             Err(WeightsError::BadMagic)
         );
         // Valid header, truncated body.
-        let mut blob = save_weights(&mut net);
+        let mut blob = save_weights(&net);
         blob.truncate(blob.len() - 2);
         assert_eq!(load_weights(&mut net, &blob), Err(WeightsError::Truncated));
         // Trailing bytes.
-        let mut blob = save_weights(&mut net);
+        let mut blob = save_weights(&net);
         blob.push(0);
         assert!(matches!(
             load_weights(&mut net, &blob),

@@ -160,6 +160,48 @@ impl LayerNode {
         }
     }
 
+    /// Visits the node's persistent state tensors by shared reference, in
+    /// exactly the [`LayerNode::state_mut`] order — the read-only side of
+    /// the checkpointing surface, used by `mn_nn::io::save_weights` so
+    /// serialization needs no `&mut` access. A unit test pins the two
+    /// orders to each other by pointer identity.
+    pub fn visit_state<'s>(&'s self, f: &mut impl FnMut(&'s mn_tensor::Tensor)) {
+        match self {
+            LayerNode::Dense(l) => {
+                f(&l.weight.value);
+                f(&l.bias.value);
+            }
+            LayerNode::Conv(l) => {
+                f(&l.weight.value);
+                f(&l.bias.value);
+            }
+            LayerNode::BatchNorm(l) => {
+                f(&l.gamma.value);
+                f(&l.beta.value);
+                f(&l.running_mean);
+                f(&l.running_var);
+            }
+            LayerNode::Residual(l) => {
+                f(&l.conv1.weight.value);
+                f(&l.conv1.bias.value);
+                f(&l.bn1.gamma.value);
+                f(&l.bn1.beta.value);
+                f(&l.bn1.running_mean);
+                f(&l.bn1.running_var);
+                f(&l.conv2.weight.value);
+                f(&l.conv2.bias.value);
+                f(&l.bn2.gamma.value);
+                f(&l.bn2.beta.value);
+                f(&l.bn2.running_mean);
+                f(&l.bn2.running_var);
+            }
+            LayerNode::Relu(_)
+            | LayerNode::MaxPool(_)
+            | LayerNode::Flatten(_)
+            | LayerNode::GlobalAvgPool(_) => {}
+        }
+    }
+
     /// Short kind name for diagnostics.
     pub fn kind(&self) -> &'static str {
         match self {
@@ -211,6 +253,34 @@ mod tests {
         assert_eq!(nodes[2].param_count(), 0);
         assert_eq!(nodes[3].param_count(), 0);
         assert_eq!(nodes[4].param_count(), 0);
+    }
+
+    #[test]
+    fn visit_state_matches_state_mut_order() {
+        // save_weights walks visit_state while load_weights walks
+        // state_mut; the two must agree tensor-for-tensor across every
+        // layer family, pinned here by pointer identity.
+        let mut rng = StdRng::seed_from_u64(7);
+        let nodes = vec![
+            LayerNode::Dense(DenseLayer::new(4, 3, &mut rng)),
+            LayerNode::Conv(ConvLayer::new(3, 4, 3, &mut rng)),
+            LayerNode::BatchNorm(BatchNorm::new(4, crate::layers::BnLayout::Spatial)),
+            LayerNode::Residual(Box::new(crate::layers::ResidualUnit::new(4, 3, &mut rng))),
+            LayerNode::Relu(ReluLayer::new()),
+            LayerNode::MaxPool(MaxPoolLayer::new()),
+            LayerNode::Flatten(FlattenLayer::new()),
+            LayerNode::GlobalAvgPool(GlobalAvgPoolLayer::new()),
+        ];
+        for mut node in nodes {
+            let mut shared: Vec<*const Tensor> = Vec::new();
+            node.visit_state(&mut |t| shared.push(t as *const Tensor));
+            let unique: Vec<*const Tensor> = node
+                .state_mut()
+                .into_iter()
+                .map(|t| t as *const Tensor)
+                .collect();
+            assert_eq!(shared, unique, "order diverged for {}", node.kind());
+        }
     }
 
     #[test]

@@ -109,6 +109,34 @@ pub fn for_each_chunk3(
     }
 }
 
+/// Splits `0..total` into at most `shards` contiguous, non-empty,
+/// near-equal ranges (the first `total % shards` ranges are one longer).
+///
+/// This is the batch-sharding rule of the ensemble engine's data-parallel
+/// execution plan. Boundaries depend only on `(total, shards)` — never on
+/// the thread count or schedule — and concatenating the ranges in order
+/// reproduces `0..total` exactly, so any per-item-deterministic kernel
+/// produces bitwise-identical results under any sharding.
+///
+/// Degenerate inputs shrink gracefully: more shards than items yields one
+/// range per item, and `total == 0` or `shards == 0` yields no ranges.
+pub fn shard_ranges(total: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    if total == 0 || shards == 0 {
+        return Vec::new();
+    }
+    let shards = shards.min(total);
+    let base = total / shards;
+    let extra = total % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -158,6 +186,38 @@ mod tests {
         assert_eq!(a, [0., 0., 0., 1., 1., 1., 2.]);
         assert_eq!(b, [0., 0., 0., 10., 10., 10., 20.]);
         assert_eq!(c, [0., 0., 0., 100., 100., 100., 200.]);
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for total in [0usize, 1, 2, 7, 64, 1000] {
+            for shards in [0usize, 1, 2, 3, 8, 2000] {
+                let ranges = shard_ranges(total, shards);
+                if total == 0 || shards == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert_eq!(ranges.len(), shards.min(total));
+                // Contiguous, non-empty, and covering 0..total in order.
+                let mut cursor = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, cursor);
+                    assert!(!r.is_empty());
+                    cursor = r.end;
+                }
+                assert_eq!(cursor, total);
+                // Balanced: lengths differ by at most one.
+                let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced shards {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_ranges_known_split() {
+        assert_eq!(shard_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(shard_ranges(2, 5), vec![0..1, 1..2]);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 use crate::chunking::for_each_chunk;
 use crate::conv::conv_out_extent;
+use crate::ops::MatRef;
 use crate::{ops, Tensor, Workspace};
 
 /// Below this many copied elements the unfold runs on the calling thread.
@@ -156,13 +157,10 @@ pub fn conv2d_forward_im2col_ws(
     let mut cols = ws.acquire_uninit([positions, row_len]);
     im2col_into(input, k, pad, &mut cols);
     let mut prod = ws.acquire_uninit([positions, f_out]);
-    ops::gemm_nt_raw_ws(
-        cols.data(),
-        weight.data(),
-        prod.data_mut(),
-        positions,
-        f_out,
-        row_len,
+    ops::matmul_nt_into_ws(
+        &cols,
+        MatRef::reshaped(weight, f_out, row_len),
+        &mut prod,
         ws,
     );
     ws.release(cols);
@@ -339,13 +337,10 @@ pub fn conv2d_backward_input_im2col_ws(
     // a [NHW, F] × [F, CKK] product straight onto the weight storage.
     let gmat = grad_out_to_mat_ws(grad_out, ws);
     let mut cols_grad = ws.acquire_uninit([positions, row_len]);
-    ops::gemm_nn_raw_ws(
-        gmat.data(),
-        weight.data(),
-        cols_grad.data_mut(),
-        positions,
-        row_len,
-        f_out,
+    ops::matmul_into_ws(
+        &gmat,
+        MatRef::reshaped(weight, f_out, row_len),
+        &mut cols_grad,
         ws,
     );
     ws.release(gmat);
@@ -422,20 +417,15 @@ pub fn conv2d_backward_params_im2col_ws(
     }
 
     // Weight gradient: gw = gmatᵀ · cols over the full batch of output
-    // positions.
+    // positions. The product is computed in the GEMM's [F, CKK] matrix
+    // layout, then the owned output is relabeled to the weight's
+    // [F, C, K, K] shape (same storage, no copy).
     let mut cols = ws.acquire_uninit([positions, row_len]);
     im2col_into(input, k, pad, &mut cols);
     let gmat = grad_out_to_mat_ws(grad_out, ws);
-    let mut gw = ws.acquire_uninit([f_out, c_in, k, k]);
-    ops::gemm_tn_raw_ws(
-        gmat.data(),
-        cols.data(),
-        gw.data_mut(),
-        f_out,
-        row_len,
-        positions,
-        ws,
-    );
+    let mut gw = ws.acquire_uninit([f_out, row_len]);
+    ops::matmul_tn_into_ws(&gmat, &cols, &mut gw, ws);
+    gw.reshape_in_place([f_out, c_in, k, k]);
     ws.release(gmat);
     ws.release(cols);
     (gw, gb)

@@ -371,6 +371,75 @@ fn gemm_driver(
     });
 }
 
+/// A borrowed row-major matrix view over contiguous `f32` storage.
+///
+/// Every GEMM entry point takes its operands as `impl Into<MatRef>`, so a
+/// plain 2-D [`Tensor`] works directly — and callers whose storage is
+/// already the right matrix under a different logical shape (the im2col
+/// convolution path reads the `[F, C, K, K]` weight tensor as its
+/// `[F, C·K·K]` matrix) route through the same public entry points via
+/// [`MatRef::reshaped`], with no reshape copy and no raw side doors.
+#[derive(Clone, Copy, Debug)]
+pub struct MatRef<'a> {
+    data: &'a [f32],
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a> MatRef<'a> {
+    /// Views `rows × cols` contiguous elements as a row-major matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data.len() == rows * cols`.
+    pub fn new(data: &'a [f32], rows: usize, cols: usize) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix view [{rows}, {cols}] needs {} elements, got {}",
+            rows * cols,
+            data.len()
+        );
+        MatRef { data, rows, cols }
+    }
+
+    /// Views a tensor of any rank as a `[rows, cols]` matrix over its
+    /// existing storage (row-major, no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor holds exactly `rows * cols` elements.
+    pub fn reshaped(t: &'a Tensor, rows: usize, cols: usize) -> Self {
+        MatRef::new(t.data(), rows, cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The underlying row-major storage.
+    pub fn data(&self) -> &'a [f32] {
+        self.data
+    }
+}
+
+impl<'a> From<&'a Tensor> for MatRef<'a> {
+    fn from(t: &'a Tensor) -> Self {
+        let (rows, cols) = mat_dims(t, "matrix operand");
+        MatRef {
+            data: t.data(),
+            rows,
+            cols,
+        }
+    }
+}
+
 /// `C = A · B` for `A: [m, k]`, `B: [k, n]` — cache-blocked and
 /// register-tiled (see module docs).
 ///
@@ -386,13 +455,14 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 }
 
 /// [`matmul`] writing into a caller-provided (e.g. workspace-acquired)
-/// output tensor. Every element of `c` is overwritten.
+/// output tensor. Every element of `c` is overwritten. Operands are
+/// anything viewable as a matrix (a 2-D [`Tensor`] or a [`MatRef`]).
 ///
 /// # Panics
 ///
 /// Panics on operand shape mismatch or if `c` is not `[m, n]`.
-pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
-    matmul_into_dispatch(a, b, c, None);
+pub fn matmul_into<'a>(a: impl Into<MatRef<'a>>, b: impl Into<MatRef<'a>>, c: &mut Tensor) {
+    matmul_into_dispatch(a.into(), b.into(), c, None);
 }
 
 /// [`matmul_into`] staging the GEMM's packed-B operand buffer in a
@@ -401,13 +471,18 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
 /// # Panics
 ///
 /// Panics on operand shape mismatch or if `c` is not `[m, n]`.
-pub fn matmul_into_ws(a: &Tensor, b: &Tensor, c: &mut Tensor, ws: &mut crate::Workspace) {
-    matmul_into_dispatch(a, b, c, Some(ws));
+pub fn matmul_into_ws<'a>(
+    a: impl Into<MatRef<'a>>,
+    b: impl Into<MatRef<'a>>,
+    c: &mut Tensor,
+    ws: &mut crate::Workspace,
+) {
+    matmul_into_dispatch(a.into(), b.into(), c, Some(ws));
 }
 
-fn matmul_into_dispatch(a: &Tensor, b: &Tensor, c: &mut Tensor, ws: Option<&mut crate::Workspace>) {
-    let (m, k) = mat_dims(a, "matmul lhs");
-    let (k2, n) = mat_dims(b, "matmul rhs");
+fn matmul_into_dispatch(a: MatRef, b: MatRef, c: &mut Tensor, ws: Option<&mut crate::Workspace>) {
+    let (m, k) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul inner dims differ: {k} vs {k2}");
     assert_eq!(
         c.shape().dims(),
@@ -441,13 +516,14 @@ pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
     c
 }
 
-/// [`matmul_tn`] writing into a caller-provided output tensor.
+/// [`matmul_tn`] writing into a caller-provided output tensor. Operands
+/// are anything viewable as a matrix (a 2-D [`Tensor`] or a [`MatRef`]).
 ///
 /// # Panics
 ///
 /// Panics on operand shape mismatch or if `c` is not `[m, n]`.
-pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
-    matmul_tn_into_dispatch(a, b, c, None);
+pub fn matmul_tn_into<'a>(a: impl Into<MatRef<'a>>, b: impl Into<MatRef<'a>>, c: &mut Tensor) {
+    matmul_tn_into_dispatch(a.into(), b.into(), c, None);
 }
 
 /// [`matmul_tn_into`] staging the GEMM's packed-B operand buffer in a
@@ -456,18 +532,23 @@ pub fn matmul_tn_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
 /// # Panics
 ///
 /// Panics on operand shape mismatch or if `c` is not `[m, n]`.
-pub fn matmul_tn_into_ws(a: &Tensor, b: &Tensor, c: &mut Tensor, ws: &mut crate::Workspace) {
-    matmul_tn_into_dispatch(a, b, c, Some(ws));
+pub fn matmul_tn_into_ws<'a>(
+    a: impl Into<MatRef<'a>>,
+    b: impl Into<MatRef<'a>>,
+    c: &mut Tensor,
+    ws: &mut crate::Workspace,
+) {
+    matmul_tn_into_dispatch(a.into(), b.into(), c, Some(ws));
 }
 
 fn matmul_tn_into_dispatch(
-    a: &Tensor,
-    b: &Tensor,
+    a: MatRef,
+    b: MatRef,
     c: &mut Tensor,
     ws: Option<&mut crate::Workspace>,
 ) {
-    let (k, m) = mat_dims(a, "matmul_tn lhs");
-    let (k2, n) = mat_dims(b, "matmul_tn rhs");
+    let (k, m) = (a.rows(), a.cols());
+    let (k2, n) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_tn leading dims differ: {k} vs {k2}");
     assert_eq!(
         c.shape().dims(),
@@ -501,13 +582,16 @@ pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
     c
 }
 
-/// [`matmul_nt`] writing into a caller-provided output tensor.
+/// [`matmul_nt`] writing into a caller-provided output tensor. Operands
+/// are anything viewable as a matrix (a 2-D [`Tensor`] or a [`MatRef`]) —
+/// the im2col convolution path passes the `[F, C, K, K]` weight tensor as
+/// `MatRef::reshaped(weight, f, c*k*k)` to avoid a reshape copy.
 ///
 /// # Panics
 ///
 /// Panics on operand shape mismatch or if `c` is not `[m, n]`.
-pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
-    matmul_nt_into_dispatch(a, b, c, None);
+pub fn matmul_nt_into<'a>(a: impl Into<MatRef<'a>>, b: impl Into<MatRef<'a>>, c: &mut Tensor) {
+    matmul_nt_into_dispatch(a.into(), b.into(), c, None);
 }
 
 /// [`matmul_nt_into`] staging the GEMM's packed-B operand buffer in a
@@ -516,18 +600,23 @@ pub fn matmul_nt_into(a: &Tensor, b: &Tensor, c: &mut Tensor) {
 /// # Panics
 ///
 /// Panics on operand shape mismatch or if `c` is not `[m, n]`.
-pub fn matmul_nt_into_ws(a: &Tensor, b: &Tensor, c: &mut Tensor, ws: &mut crate::Workspace) {
-    matmul_nt_into_dispatch(a, b, c, Some(ws));
+pub fn matmul_nt_into_ws<'a>(
+    a: impl Into<MatRef<'a>>,
+    b: impl Into<MatRef<'a>>,
+    c: &mut Tensor,
+    ws: &mut crate::Workspace,
+) {
+    matmul_nt_into_dispatch(a.into(), b.into(), c, Some(ws));
 }
 
 fn matmul_nt_into_dispatch(
-    a: &Tensor,
-    b: &Tensor,
+    a: MatRef,
+    b: MatRef,
     c: &mut Tensor,
     ws: Option<&mut crate::Workspace>,
 ) {
-    let (m, k) = mat_dims(a, "matmul_nt lhs");
-    let (n, k2) = mat_dims(b, "matmul_nt rhs");
+    let (m, k) = (a.rows(), a.cols());
+    let (n, k2) = (b.rows(), b.cols());
     assert_eq!(k, k2, "matmul_nt trailing dims differ: {k} vs {k2}");
     assert_eq!(
         c.shape().dims(),
@@ -544,93 +633,6 @@ fn matmul_nt_into_dispatch(
         n,
         k,
         ws,
-    );
-}
-
-/// `C = A · Bᵀ` on raw row-major buffers — the im2col convolution path
-/// calls this to avoid materializing a reshaped weight tensor. The
-/// packed-B scratch is staged in `ws`.
-///
-/// `a` is `[m, k]`, `b` is `[n, k]`, `c` must hold `m * n` elements and is
-/// fully overwritten.
-pub(crate) fn gemm_nt_raw_ws(
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    m: usize,
-    n: usize,
-    k: usize,
-    ws: &mut crate::Workspace,
-) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), n * k);
-    debug_assert_eq!(c.len(), m * n);
-    gemm_raw(
-        a,
-        AShape::RowMajor,
-        b,
-        BShape::Transposed,
-        c,
-        m,
-        n,
-        k,
-        Some(ws),
-    );
-}
-
-/// `C = A · B` on raw row-major buffers — the conv backward-input path's
-/// `[N·H'·W', F] × [F, C·K·K]` product. The packed-B scratch is staged in
-/// `ws`.
-pub(crate) fn gemm_nn_raw_ws(
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    m: usize,
-    n: usize,
-    k: usize,
-    ws: &mut crate::Workspace,
-) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    gemm_raw(
-        a,
-        AShape::RowMajor,
-        b,
-        BShape::RowMajor,
-        c,
-        m,
-        n,
-        k,
-        Some(ws),
-    );
-}
-
-/// `C = Aᵀ · B` on raw row-major buffers — the conv backward-params path's
-/// `[N·H'·W', F]ᵀ × [N·H'·W', C·K·K]` product. `a` is `[k, m]` (used
-/// transposed); the packed-B scratch is staged in `ws`.
-pub(crate) fn gemm_tn_raw_ws(
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    m: usize,
-    n: usize,
-    k: usize,
-    ws: &mut crate::Workspace,
-) {
-    debug_assert_eq!(a.len(), k * m);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(c.len(), m * n);
-    gemm_raw(
-        a,
-        AShape::Transposed,
-        b,
-        BShape::RowMajor,
-        c,
-        m,
-        n,
-        k,
-        Some(ws),
     );
 }
 
@@ -788,6 +790,38 @@ mod tests {
         let a = Tensor::randn([4, 4], 1.0, &mut rng);
         let c = matmul(&a, &Tensor::eye(4));
         assert_close(c.data(), a.data(), 1e-6);
+    }
+
+    #[test]
+    fn matref_reshaped_view_matches_reshape_copy() {
+        // A 4-D tensor viewed as its flattened matrix must multiply exactly
+        // like an explicit reshape copy — this is the im2col weight path.
+        let mut rng = StdRng::seed_from_u64(11);
+        let w4 = Tensor::randn([4, 3, 3, 3], 1.0, &mut rng);
+        let a = Tensor::randn([6, 27], 1.0, &mut rng);
+        let wmat = w4.reshape([4, 27]);
+        let mut via_view = Tensor::zeros([6, 4]);
+        matmul_nt_into(&a, MatRef::reshaped(&w4, 4, 27), &mut via_view);
+        let mut via_copy = Tensor::zeros([6, 4]);
+        matmul_nt_into(&a, &wmat, &mut via_copy);
+        assert_eq!(via_view.data(), via_copy.data());
+        let view = MatRef::reshaped(&w4, 4, 27);
+        assert_eq!((view.rows(), view.cols()), (4, 27));
+        assert_eq!(view.data().len(), 108);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 2-D")]
+    fn matref_from_tensor_rejects_non_matrix() {
+        let t = Tensor::zeros([2, 2, 2]);
+        let _ = MatRef::from(&t);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn matref_reshaped_rejects_wrong_element_count() {
+        let t = Tensor::zeros([2, 3]);
+        let _ = MatRef::reshaped(&t, 2, 4);
     }
 
     #[test]

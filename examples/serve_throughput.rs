@@ -4,24 +4,30 @@
 //! cargo run --release --example serve_throughput
 //! ```
 //!
-//! Builds an 8-member convolutional ensemble, then serves a stream of
-//! request batches two ways:
+//! Builds an 8-member convolutional ensemble, then walks the whole
+//! serving stack:
 //!
-//! * **naive** — members run one-by-one on a single thread with the
-//!   pre-optimization direct convolution kernels, reallocating every
-//!   activation (the state of the repo before the performance layer);
-//! * **engine** — the [`mn_ensemble::InferenceEngine`]: members fan out
-//!   across rayon worker threads, each with a persistent scratch
-//!   workspace, convolutions lowered onto the blocked GEMM.
+//! 1. **naive vs engine** — members one-by-one on a single thread with
+//!    the pre-optimization direct convolution kernels (the state of the
+//!    repo before the performance layer) against the
+//!    [`mn_ensemble::InferenceEngine`] (parallel fan-out, persistent
+//!    workspaces, blocked GEMM);
+//! 2. **parallelism axes** — the same engine under member-parallel,
+//!    data-parallel, and auto plans, verified bitwise identical;
+//! 3. **artifact cold start** — the ensemble is saved as an `MNE1`
+//!    artifact and booted back, bitwise exact;
+//! 4. **dynamic batching** — a [`mn_ensemble::Server`] answers a burst
+//!    of single-example requests, reporting latency and micro-batch
+//!    fill.
 //!
-//! Prints examples/second for both paths and verifies the two produce
-//! identical predictions — the speedup is an execution-strategy change,
-//! not a model change.
+//! Speedups are execution-strategy changes, never model changes — every
+//! step asserts its predictions against the previous one.
 
 use std::time::Instant;
 
 use mn_bench::kernels::{bench_ensemble_members, force_conv_formulation};
-use mn_ensemble::{InferenceEngine, MemberPredictions};
+use mn_ensemble::serve::{BatchingConfig, Server};
+use mn_ensemble::{EnsembleManifest, ExecPolicy, InferenceEngine, MemberPredictions};
 use mn_nn::layers::ConvFormulation;
 use mn_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -62,7 +68,8 @@ fn main() {
     let naive_secs = start.elapsed().as_secs_f64();
 
     // Engine path: parallel fan-out + workspace reuse + blocked kernels.
-    let mut engine = InferenceEngine::new(bench_ensemble_members(), 32);
+    let mut engine =
+        InferenceEngine::new(bench_ensemble_members(), 32).expect("bench ensemble builds");
     let start = Instant::now();
     let mut engine_last = None;
     for x in &requests {
@@ -94,5 +101,73 @@ fn main() {
     println!(
         "\nspeedup: {:.2}x (outputs agree to {worst:.1e})",
         naive_secs / engine_secs
+    );
+
+    // Parallelism axes: plans change wall clock, never output bits.
+    println!("\nexecution plans over one {BATCH}-example batch:");
+    let x = &requests[0];
+    let threads = rayon::current_num_threads();
+    engine.set_policy(ExecPolicy::MemberParallel);
+    let reference = engine.predict(x);
+    for (label, policy) in [
+        ("member-parallel", ExecPolicy::MemberParallel),
+        (
+            "data-parallel",
+            ExecPolicy::DataParallel { shards: threads },
+        ),
+        ("auto", ExecPolicy::Auto),
+    ] {
+        engine.set_policy(policy);
+        let _ = engine.predict(x); // warm replica lanes
+        let start = Instant::now();
+        let preds = engine.predict(x);
+        let secs = start.elapsed().as_secs_f64();
+        for (a, b) in reference.probs().iter().zip(preds.probs()) {
+            assert_eq!(a.data(), b.data(), "{label} changed the predictions!");
+        }
+        println!(
+            "  {label:>15} -> plan {:?}: {:8.0} examples/s",
+            engine.plan(BATCH),
+            BATCH as f64 / secs
+        );
+    }
+
+    // Artifact cold start: save, boot a fresh engine, verify bitwise.
+    let bytes = engine.to_artifact_bytes(&EnsembleManifest::default());
+    let mut cold =
+        InferenceEngine::from_artifact_bytes(&bytes, 32).expect("artifact round trip loads");
+    let warm_preds = engine.predict(x);
+    let cold_preds = cold.predict(x);
+    for (a, b) in warm_preds.probs().iter().zip(cold_preds.probs()) {
+        assert_eq!(a.data(), b.data(), "cold start changed the predictions!");
+    }
+    println!(
+        "\nMNE1 artifact: {} KiB, cold-started engine is bitwise identical",
+        bytes.len() / 1024
+    );
+
+    // Dynamic batching: a burst of single-example requests.
+    let server = Server::start(cold, BatchingConfig::default());
+    let mut pending = Vec::new();
+    let mut rng = StdRng::seed_from_u64(8);
+    let burst = 128;
+    let start = Instant::now();
+    for _ in 0..burst {
+        let example = Tensor::randn([3, 8, 8], 1.0, &mut rng);
+        pending.push(server.submit(&example).expect("example accepted"));
+    }
+    let mut worst_latency_ms = 0.0f64;
+    for p in pending {
+        let prediction = p.wait().expect("server answers");
+        worst_latency_ms = worst_latency_ms.max(prediction.latency.as_secs_f64() * 1000.0);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let stats = server.shutdown();
+    println!(
+        "dynamic batching: {burst} single-example requests in {:.0} ms \
+         ({:.0} req/s), mean micro-batch {:.1}, worst latency {worst_latency_ms:.1} ms",
+        wall * 1000.0,
+        burst as f64 / wall,
+        stats.mean_batch()
     );
 }

@@ -1,0 +1,276 @@
+//! Checkpoint-format lockdown: `MNW1` weight blobs, network checkpoints,
+//! and `MNE1` ensemble artifacts must round-trip bitwise across
+//! randomized architectures — and every corruption mode must map to its
+//! distinct typed error rather than a panic or a silently wrong network.
+
+use mn_ensemble::{artifact, ArtifactError, EnsembleManifest, EnsembleMember};
+use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec, ResBlockSpec};
+use mn_nn::io::{load_network, load_weights, save_network, save_weights, WeightsError};
+use mn_nn::{Mode, Network};
+use mn_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A randomized architecture from any of the three families.
+fn arch_from(family: usize, width: usize, depth: usize) -> Architecture {
+    let input = InputSpec::new(2, 8, 8);
+    let width = 2 + width; // at least 2 units / filters
+    let depth = 1 + depth; // at least one layer / block
+    match family % 3 {
+        0 => Architecture::mlp("m", input, 4, vec![width; depth]),
+        1 => Architecture::plain(
+            "p",
+            input,
+            4,
+            vec![ConvBlockSpec::repeated(3, width, depth)],
+            vec![width * 2],
+        ),
+        _ => Architecture::residual("r", input, 4, vec![ResBlockSpec::new(depth, width, 3)]),
+    }
+}
+
+/// A network with perturbed batch-norm running statistics, so checkpoints
+/// cover non-trainable state too.
+fn perturbed_network(arch: &Architecture, seed: u64) -> Network {
+    let mut net = Network::seeded(arch, seed);
+    let x = Tensor::randn([3, 2, 8, 8], 1.0, &mut StdRng::seed_from_u64(seed ^ 0xABCD));
+    net.forward(&x, Mode::Train);
+    net.clear_caches();
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// MNW1: save → load restores every persistent tensor bitwise.
+    #[test]
+    fn mnw1_round_trip_is_bitwise(
+        family in 0usize..3,
+        width in 0usize..6,
+        depth in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let arch = arch_from(family, width, depth);
+        let original = perturbed_network(&arch, seed);
+        let blob = save_weights(&original);
+        let mut restored = Network::seeded(&arch, seed.wrapping_add(1));
+        load_weights(&mut restored, &blob).unwrap();
+        // Bitwise: re-serializing the restored network gives the same blob.
+        prop_assert_eq!(save_weights(&restored), blob);
+    }
+
+    /// Network checkpoints rebuild from bytes alone, bitwise.
+    #[test]
+    fn network_checkpoint_round_trip_is_bitwise(
+        family in 0usize..3,
+        width in 0usize..6,
+        depth in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let arch = arch_from(family, width, depth);
+        let original = perturbed_network(&arch, seed);
+        let bytes = save_network(&original);
+        let rebuilt = load_network(&bytes).unwrap();
+        prop_assert_eq!(rebuilt.arch(), original.arch());
+        prop_assert_eq!(save_weights(&rebuilt), save_weights(&original));
+    }
+
+    /// MNW1: truncating the blob at any byte inside the payload fails
+    /// loudly with Truncated (or BadMagic for cuts inside the magic).
+    #[test]
+    fn mnw1_truncation_always_detected(
+        cut_fraction in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let arch = arch_from(0, 2, 1);
+        let original = perturbed_network(&arch, seed);
+        let blob = save_weights(&original);
+        let cut = ((blob.len() - 1) as f64 * cut_fraction) as usize;
+        let mut net = Network::seeded(&arch, seed);
+        let err = load_weights(&mut net, &blob[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, WeightsError::Truncated | WeightsError::BadMagic),
+            "cut at {} gave {:?}", cut, err
+        );
+    }
+
+    /// MNE1: ensembles of randomized size and family round-trip with
+    /// names, manifest, and weights intact.
+    #[test]
+    fn mne1_round_trip_is_bitwise(
+        count in 1usize..4,
+        family in 0usize..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let members: Vec<EnsembleMember> = (0..count)
+            .map(|i| {
+                let arch = arch_from(family, i, 1);
+                EnsembleMember::new(
+                    format!("member-{i}"),
+                    perturbed_network(&arch, seed.wrapping_add(i as u64)),
+                )
+            })
+            .collect();
+        let manifest = EnsembleManifest {
+            combine: "vote".into(),
+            strategy: "full-data".into(),
+        };
+        let bytes = artifact::save_ensemble(&members, &manifest);
+        let (got_manifest, got_members) = artifact::load_ensemble(&bytes).unwrap();
+        prop_assert_eq!(got_manifest, manifest);
+        prop_assert_eq!(got_members.len(), members.len());
+        for (a, b) in members.iter().zip(&got_members) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(save_weights(&a.network), save_weights(&b.network));
+        }
+    }
+
+    /// MNE1: truncating the artifact at any byte fails loudly with a
+    /// typed error, never a panic or a silently short ensemble.
+    #[test]
+    fn mne1_truncation_always_detected(
+        cut_fraction in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let members = vec![EnsembleMember::new(
+            "only",
+            perturbed_network(&arch_from(0, 2, 1), seed),
+        )];
+        let bytes = artifact::save_ensemble(&members, &EnsembleManifest::default());
+        let cut = ((bytes.len() - 1) as f64 * cut_fraction) as usize;
+        let err = artifact::load_ensemble(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                ArtifactError::Truncated
+                    | ArtifactError::BadMagic
+                    | ArtifactError::Member { .. }
+            ),
+            "cut at {} gave {:?}", cut, err
+        );
+    }
+}
+
+#[test]
+fn mnw1_explicit_error_cases() {
+    let arch = Architecture::mlp("m", InputSpec::new(2, 8, 8), 4, vec![6]);
+    let mut net = Network::seeded(&arch, 5);
+
+    // BadMagic: right length, wrong magic.
+    let mut blob = save_weights(&net);
+    blob[0..4].copy_from_slice(b"NOPE");
+    assert_eq!(load_weights(&mut net, &blob), Err(WeightsError::BadMagic));
+
+    // Truncated: empty and short inputs.
+    assert_eq!(load_weights(&mut net, b""), Err(WeightsError::Truncated));
+    let blob = save_weights(&net);
+    assert_eq!(
+        load_weights(&mut net, &blob[..blob.len() - 1]),
+        Err(WeightsError::Truncated)
+    );
+
+    // TrailingBytes: count preserved in the error.
+    let mut blob = save_weights(&net);
+    blob.extend_from_slice(&[1, 2, 3]);
+    assert_eq!(
+        load_weights(&mut net, &blob),
+        Err(WeightsError::TrailingBytes { count: 3 })
+    );
+
+    // ShapeMismatch: blob from a structurally different network.
+    let other_arch = Architecture::mlp("o", InputSpec::new(2, 8, 8), 4, vec![7]);
+    let other = Network::seeded(&other_arch, 6);
+    let blob = save_weights(&other);
+    assert!(matches!(
+        load_weights(&mut net, &blob),
+        Err(WeightsError::ShapeMismatch { .. })
+    ));
+
+    // ShapeMismatch: tensor-count field corrupted.
+    let mut blob = save_weights(&net);
+    blob[4] = blob[4].wrapping_add(1);
+    assert!(matches!(
+        load_weights(&mut net, &blob),
+        Err(WeightsError::ShapeMismatch { .. })
+    ));
+}
+
+#[test]
+fn mne1_explicit_error_cases() {
+    let members = vec![EnsembleMember::new(
+        "m",
+        Network::seeded(
+            &Architecture::mlp("m", InputSpec::new(2, 8, 8), 4, vec![6]),
+            7,
+        ),
+    )];
+    let bytes = artifact::save_ensemble(&members, &EnsembleManifest::default());
+
+    // BadMagic.
+    let mut bad = bytes.clone();
+    bad[0..4].copy_from_slice(b"ELF\0");
+    assert!(matches!(
+        artifact::load_ensemble(&bad),
+        Err(ArtifactError::BadMagic)
+    ));
+
+    // EmptyEnsemble: member count forced to zero.
+    let mut empty = bytes.clone();
+    empty[4..8].copy_from_slice(&0u32.to_le_bytes());
+    assert!(matches!(
+        artifact::load_ensemble(&empty),
+        Err(ArtifactError::EmptyEnsemble)
+    ));
+
+    // TrailingBytes.
+    let mut trailing = bytes.clone();
+    trailing.push(0xFF);
+    assert!(matches!(
+        artifact::load_ensemble(&trailing),
+        Err(ArtifactError::TrailingBytes { count: 1 })
+    ));
+
+    // BadManifest: manifest JSON corrupted in place.
+    let mut bad_manifest = bytes.clone();
+    bad_manifest[12] = b'{';
+    bad_manifest[13] = b'{';
+    assert!(matches!(
+        artifact::load_ensemble(&bad_manifest),
+        Err(ArtifactError::BadManifest { .. })
+    ));
+
+    // BadName: a member name corrupted into invalid UTF-8 is rejected,
+    // not silently mangled. The first name section starts right after
+    // the manifest frame: magic(4) + count(4) + len(4) + manifest + len(4).
+    let manifest_len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let name_pos = 12 + manifest_len + 4;
+    let mut bad_name = bytes.clone();
+    bad_name[name_pos] = 0xFF;
+    match artifact::load_ensemble(&bad_name) {
+        Err(ArtifactError::BadName { index, .. }) => assert_eq!(index, 0),
+        other => panic!("expected BadName error, got {other:?}"),
+    }
+
+    // Member: the member's inner weight blob magic destroyed — the error
+    // names the member and carries the underlying WeightsError.
+    let mut bad_member = bytes.clone();
+    let inner_magic = bytes
+        .windows(4)
+        .rposition(|w| w == b"MNW1")
+        .expect("member section contains a weight blob");
+    bad_member[inner_magic..inner_magic + 4].copy_from_slice(b"XXXX");
+    match artifact::load_ensemble(&bad_member) {
+        Err(ArtifactError::Member { index, source }) => {
+            assert_eq!(index, 0);
+            assert_eq!(source, WeightsError::BadMagic);
+        }
+        other => panic!("expected Member error, got {other:?}"),
+    }
+
+    // Io: missing file.
+    assert!(matches!(
+        artifact::read_ensemble_file("/nonexistent/path/x.mne1"),
+        Err(ArtifactError::Io { .. })
+    ));
+}

@@ -130,7 +130,7 @@ fn residual_and_plain_never_cross_morph() {
 fn corrupted_checkpoint_cannot_poison_a_network() {
     let arch = Architecture::mlp("m", InputSpec::new(3, 8, 8), 5, vec![8]);
     let mut net = Network::seeded(&arch, 36);
-    let mut blob = save_weights(&mut net);
+    let mut blob = save_weights(&net);
     // Flip the tensor count field.
     blob[4] = blob[4].wrapping_add(1);
     assert!(load_weights(&mut net, &blob).is_err());
@@ -253,7 +253,7 @@ fn member_predictions_from_probs_rejects_ragged_shapes() {
 fn empty_batch_through_engine() {
     // A serving engine sees empty request batches (e.g. a drained queue);
     // they must flow through cleanly rather than panic.
-    let mut engine = InferenceEngine::new(small_conv_members(3), 8);
+    let mut engine = InferenceEngine::new(small_conv_members(3), 8).unwrap();
     let empty = Tensor::zeros([0, 3, 8, 8]);
     let preds = engine.predict(&empty);
     assert_eq!(preds.num_members(), 3);
@@ -270,7 +270,7 @@ fn single_example_through_engine_matches_batched() {
     // One-example requests (interactive traffic) must agree exactly with
     // the same example served inside a larger batch.
     let x = Tensor::randn([5, 3, 8, 8], 1.0, &mut rand::thread_rng());
-    let mut engine = InferenceEngine::new(small_conv_members(2), 8);
+    let mut engine = InferenceEngine::new(small_conv_members(2), 8).unwrap();
     let batched = engine.predict(&x);
     let first = mn_nn::metrics::gather_examples(&x, &[0]);
     let single = engine.predict(&first);

@@ -1,17 +1,19 @@
-//! Determinism-under-parallelism: the batched ensemble inference engine
+//! Determinism-under-parallelism: the planned ensemble inference engine
 //! must produce **bitwise identical** output regardless of how many rayon
-//! worker threads execute it, and across repeated runs from the same
-//! seeds.
+//! worker threads execute it, which execution plan (member-parallel,
+//! data-parallel sharding, or auto) it picks, and across repeated runs
+//! from the same seeds.
 //!
 //! This holds by construction — members fan out over disjoint result
-//! slots, and every tensor kernel splits work over disjoint output
-//! regions with a fixed per-element accumulation order — and this suite
-//! pins it so a future kernel rewrite cannot silently trade it away.
+//! slots, batch shards cover disjoint example ranges, and every tensor
+//! kernel splits work over disjoint output regions with a fixed
+//! per-element accumulation order — and this suite pins it so a future
+//! kernel or executor rewrite cannot silently trade it away.
 //!
 //! Note: the vendored rayon's `ThreadPool::install` sets a process-global
 //! thread-count override, so these tests serialize on a local lock.
 
-use mn_ensemble::engine::InferenceEngine;
+use mn_ensemble::engine::{ExecPolicy, InferenceEngine};
 use mn_ensemble::EnsembleMember;
 use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec, ResBlockSpec};
 use mn_nn::Network;
@@ -53,13 +55,20 @@ fn build_members(master_seed: u64) -> Vec<EnsembleMember> {
         .collect()
 }
 
-fn predict_with_threads(threads: usize, master_seed: u64, x: &Tensor) -> Vec<Vec<f32>> {
+fn predict_with_threads_and_policy(
+    threads: usize,
+    master_seed: u64,
+    x: &Tensor,
+    policy: ExecPolicy,
+) -> Vec<Vec<f32>> {
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
         .expect("pool builds");
     pool.install(|| {
-        let mut engine = InferenceEngine::new(build_members(master_seed), 4);
+        let mut engine =
+            InferenceEngine::new(build_members(master_seed), 4).expect("members build");
+        engine.set_policy(policy);
         // Two rounds so the second runs against warm (reused) workspaces.
         let _ = engine.predict(x);
         engine
@@ -69,6 +78,10 @@ fn predict_with_threads(threads: usize, master_seed: u64, x: &Tensor) -> Vec<Vec
             .map(|p| p.data().to_vec())
             .collect()
     })
+}
+
+fn predict_with_threads(threads: usize, master_seed: u64, x: &Tensor) -> Vec<Vec<f32>> {
+    predict_with_threads_and_policy(threads, master_seed, x, ExecPolicy::Auto)
 }
 
 #[test]
@@ -105,12 +118,36 @@ fn engine_output_is_bitwise_identical_across_runs_with_same_seed() {
 }
 
 #[test]
+fn engine_output_is_bitwise_identical_across_execution_plans() {
+    // Member-parallel, every data-parallel shard count, and auto must
+    // agree bit for bit — under both a single- and a multi-thread pool.
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    let x = Tensor::randn([17, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(45));
+    let reference = predict_with_threads_and_policy(1, 5, &x, ExecPolicy::MemberParallel);
+    let mut policies = vec![ExecPolicy::Auto, ExecPolicy::MemberParallel];
+    policies.extend([2usize, 3, 4, 8, 17].map(|shards| ExecPolicy::DataParallel { shards }));
+    for threads in [1usize, 4] {
+        for &policy in &policies {
+            let got = predict_with_threads_and_policy(threads, 5, &x, policy);
+            for (m, (a, b)) in reference.iter().zip(&got).enumerate() {
+                let bits_a: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+                let bits_b: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(
+                    bits_a, bits_b,
+                    "member {m} diverged under {policy:?} on {threads} thread(s)"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn engine_agrees_with_plain_member_prediction() {
     // The engine is an execution strategy, not a different model: its
     // per-member probabilities must equal each member predicting alone.
     let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
     let x = Tensor::randn([6, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(44));
-    let mut engine = InferenceEngine::new(build_members(3), 4);
+    let mut engine = InferenceEngine::new(build_members(3), 4).expect("members build");
     let fanned = engine.predict(&x);
     let mut solo_members = build_members(3);
     for (m, solo) in solo_members.iter_mut().enumerate() {

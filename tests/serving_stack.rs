@@ -1,0 +1,262 @@
+//! The serving stack end to end: train → save → load → serve must be
+//! bitwise faithful at every hand-off, and the dynamic-batching server
+//! must be an execution strategy — never a model change.
+
+use std::time::Duration;
+
+use mn_data::presets::{cifar10_sim, Scale};
+use mn_ensemble::engine::{EngineError, ExecPolicy, InferenceEngine};
+use mn_ensemble::serve::{BatchingConfig, ServeError, Server};
+use mn_ensemble::{artifact, EnsembleManifest, EnsembleMember};
+use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec, ResBlockSpec};
+use mn_nn::train::TrainConfig;
+use mn_nn::Network;
+use mn_tensor::Tensor;
+use mothernets::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Conv + residual + MLP members, so every kernel family crosses the
+/// artifact boundary.
+fn mixed_members(master_seed: u64) -> Vec<EnsembleMember> {
+    let input = InputSpec::new(3, 8, 8);
+    let archs = vec![
+        Architecture::plain(
+            "conv",
+            input,
+            5,
+            vec![ConvBlockSpec::repeated(3, 6, 1)],
+            vec![12],
+        ),
+        Architecture::residual("res", input, 5, vec![ResBlockSpec::new(1, 4, 3)]),
+        Architecture::mlp("mlp", input, 5, vec![16]),
+    ];
+    archs
+        .into_iter()
+        .enumerate()
+        .map(|(i, arch)| {
+            let name = arch.name.clone();
+            EnsembleMember::new(name, Network::seeded(&arch, master_seed + i as u64))
+        })
+        .collect()
+}
+
+#[test]
+fn save_load_serve_round_trip_is_bitwise_exact() {
+    let mut warm = InferenceEngine::new(mixed_members(7), 4).unwrap();
+    let bytes = warm.to_artifact_bytes(&EnsembleManifest::default());
+    let mut cold = InferenceEngine::from_artifact_bytes(&bytes, 4).unwrap();
+    assert_eq!(cold.num_members(), 3);
+    assert_eq!(cold.member_names(), vec!["conv", "res", "mlp"]);
+
+    let x = Tensor::randn([9, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(1));
+    let a = warm.predict(&x);
+    let b = cold.predict(&x);
+    for (m, (pa, pb)) in a.probs().iter().zip(b.probs()).enumerate() {
+        let bits_a: Vec<u32> = pa.data().iter().map(|v| v.to_bits()).collect();
+        let bits_b: Vec<u32> = pb.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_a, bits_b, "member {m} changed through the artifact");
+    }
+}
+
+#[test]
+fn trained_ensemble_saves_and_cold_starts() {
+    let task = cifar10_sim(Scale::Tiny, 41);
+    let input = InputSpec::new(3, 8, 8);
+    let archs = vec![
+        Architecture::mlp("small", input, 10, vec![12]),
+        Architecture::mlp("large", input, 10, vec![16]),
+    ];
+    let cfg = EnsembleTrainConfig {
+        train: TrainConfig {
+            max_epochs: 2,
+            ..TrainConfig::default()
+        },
+        ..Default::default()
+    };
+    let trained = train_ensemble(&archs, &task.train, &Strategy::mothernets(), &cfg).unwrap();
+    assert_eq!(trained.manifest().strategy, "MotherNets");
+    assert_eq!(trained.manifest().combine, "average");
+
+    let dir = std::env::temp_dir().join("mn-serving-stack-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trained.mne1");
+    trained.save(&path).unwrap();
+
+    // The manifest survives the file round trip.
+    let (manifest, _) = artifact::read_ensemble_file(&path).unwrap();
+    assert_eq!(manifest.strategy, "MotherNets");
+
+    // Cold-started engine vs an engine over the in-memory members.
+    let mut cold = InferenceEngine::load(&path, 8).unwrap();
+    let mut warm = InferenceEngine::new(trained.members.clone(), 8).unwrap();
+    let x = Tensor::randn([6, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(2));
+    let a = warm.predict(&x);
+    let b = cold.predict(&x);
+    for (m, (pa, pb)) in a.probs().iter().zip(b.probs()).enumerate() {
+        assert_eq!(
+            pa.data(),
+            pb.data(),
+            "member {m}: disk cold start diverged from training output"
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn server_answers_match_direct_engine_bitwise() {
+    // Requests served one at a time through the micro-batcher must equal
+    // the same examples predicted as one direct engine batch.
+    let x = Tensor::randn([12, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(3));
+    let mut direct = InferenceEngine::new(mixed_members(11), 4).unwrap();
+    let expected = direct.predict_average(&x);
+    let expected_labels = direct.predict_labels(&x);
+
+    let server = Server::start(
+        InferenceEngine::new(mixed_members(11), 4).unwrap(),
+        BatchingConfig {
+            max_batch: 5,
+            max_wait: Duration::from_millis(1),
+        },
+    );
+    let n = x.shape().dim(0);
+    let row = x.len() / n;
+    let k = expected.shape().dim(1);
+    let pending: Vec<_> = (0..n)
+        .map(|i| {
+            let example = Tensor::from_vec([3, 8, 8], x.data()[i * row..(i + 1) * row].to_vec());
+            server.submit(&example).unwrap()
+        })
+        .collect();
+    for (i, p) in pending.into_iter().enumerate() {
+        let got = p.wait().unwrap();
+        let want = &expected.data()[i * k..(i + 1) * k];
+        let bits_got: Vec<u32> = got.probs.iter().map(|v| v.to_bits()).collect();
+        let bits_want: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits_got, bits_want, "request {i} diverged through batching");
+        assert_eq!(got.label, expected_labels[i]);
+        assert!(got.batch >= 1 && got.batch <= 5);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, n as u64);
+}
+
+#[test]
+fn concurrent_clients_all_get_correct_answers() {
+    let mut direct = InferenceEngine::new(mixed_members(13), 8).unwrap();
+    let server = Server::start(
+        InferenceEngine::new(mixed_members(13), 8).unwrap(),
+        BatchingConfig::default(),
+    );
+    let answers: Vec<(Vec<f32>, Vec<f32>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4u64)
+            .map(|c| {
+                let client = server.client();
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(100 + c);
+                    let mut out = Vec::new();
+                    for _ in 0..8 {
+                        let x = Tensor::randn([3, 8, 8], 1.0, &mut rng);
+                        let got = client.submit(&x).unwrap().wait().unwrap();
+                        out.push((x.into_vec(), got.probs));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 32);
+    // Every interleaved answer must equal the direct single-example path.
+    for (example, probs) in answers {
+        let x = Tensor::from_vec([1, 3, 8, 8], example);
+        let want = direct.predict_average(&x);
+        assert_eq!(
+            probs,
+            want.data(),
+            "a concurrent request got a wrong answer"
+        );
+    }
+}
+
+#[test]
+fn engine_rejects_bad_ensembles_with_typed_errors() {
+    assert_eq!(
+        InferenceEngine::new(Vec::new(), 8).unwrap_err(),
+        EngineError::EmptyEnsemble
+    );
+    let input = InputSpec::new(3, 8, 8);
+    let mismatched = vec![
+        EnsembleMember::new(
+            "five",
+            Network::seeded(&Architecture::mlp("a", input, 5, vec![8]), 0),
+        ),
+        EnsembleMember::new(
+            "ten",
+            Network::seeded(&Architecture::mlp("b", input, 10, vec![8]), 1),
+        ),
+    ];
+    assert!(matches!(
+        InferenceEngine::new(mismatched, 8),
+        Err(EngineError::MemberMismatch { .. })
+    ));
+}
+
+#[test]
+fn server_rejects_malformed_requests_and_survives() {
+    let server = Server::start(
+        InferenceEngine::new(mixed_members(17), 4).unwrap(),
+        BatchingConfig::default(),
+    );
+    assert!(matches!(
+        server.submit(&Tensor::zeros([3, 4, 4])),
+        Err(ServeError::BadExample { .. })
+    ));
+    // A good request still goes through after the rejection.
+    let good = server.submit(&Tensor::zeros([3, 8, 8])).unwrap();
+    assert_eq!(good.wait().unwrap().probs.len(), 5);
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 1);
+}
+
+#[test]
+fn data_parallel_engine_behind_server_stays_exact() {
+    // Force the sharding axis under the server and compare to the
+    // member-parallel direct path.
+    let mut direct = InferenceEngine::new(mixed_members(19), 2).unwrap();
+    direct.set_policy(ExecPolicy::MemberParallel);
+    let x = Tensor::randn([6, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(5));
+    let expected = direct.predict_average(&x);
+
+    let mut sharded = InferenceEngine::new(mixed_members(19), 2).unwrap();
+    sharded.set_policy(ExecPolicy::DataParallel { shards: 3 });
+    let server = Server::start(
+        sharded,
+        BatchingConfig {
+            max_batch: 6,
+            max_wait: Duration::from_millis(20),
+        },
+    );
+    let n = x.shape().dim(0);
+    let row = x.len() / n;
+    let k = expected.shape().dim(1);
+    let pending: Vec<_> = (0..n)
+        .map(|i| {
+            let example = Tensor::from_vec([3, 8, 8], x.data()[i * row..(i + 1) * row].to_vec());
+            server.submit(&example).unwrap()
+        })
+        .collect();
+    for (i, p) in pending.into_iter().enumerate() {
+        let got = p.wait().unwrap();
+        assert_eq!(
+            got.probs,
+            &expected.data()[i * k..(i + 1) * k],
+            "request {i}: sharded serving diverged"
+        );
+    }
+    server.shutdown();
+}
