@@ -5,10 +5,13 @@
 //!     [-- --requests N] [--clients C] [--reps R] [--out DIR]
 //! ```
 //!
-//! Runs the save → load → serve smoke (bitwise cold-start check), drives
-//! the dynamic-batching server with closed-loop single-example clients,
-//! sweeps the engine's parallelism policies on a large batch, prints the
-//! tables, and saves `<out>/serving.json` (default `results/`).
+//! Runs the save → load → serve smoke (bitwise cold-start check), times
+//! the zero-init vs seeded construction paths (asserting zero-init
+//! wins), drives the sharded dynamic-batching server with closed-loop
+//! single-example clients at 1, 2, and 4 worker shards over one shared
+//! plan, sweeps the engine's parallelism policies on a large batch,
+//! prints the tables, and saves `<out>/serving.json` (default
+//! `results/`).
 
 use std::path::PathBuf;
 
@@ -60,9 +63,18 @@ fn main() {
     let result = serving::run(requests, clients, reps);
     print!("{}", result.table());
     save_json(&out_dir, "serving", &result);
+    for e in &result.shard_sweep {
+        println!(
+            "\nserver x{} shard(s): {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms, mean micro-batch {:.1}",
+            e.shards, e.throughput_rps, e.p50_ms, e.p99_ms, e.mean_batch
+        );
+    }
     println!(
-        "\nserver: {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms, mean micro-batch {:.1}",
-        result.throughput_rps, result.p50_ms, result.p99_ms, result.mean_batch
+        "cold start: artifact boot {:.2} ms; net construction zero-init {:.2} ms vs seeded {:.2} ms ({:.1}x)",
+        result.cold_start.artifact_boot_ms,
+        result.cold_start.zero_init_ms,
+        result.cold_start.seeded_init_ms,
+        result.cold_start.init_speedup()
     );
     for p in &result.policies {
         println!(

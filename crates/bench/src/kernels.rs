@@ -17,8 +17,6 @@
 //! Run via `cargo run --release -p mn-bench --bin kernels` — prints a
 //! table and saves `results/kernels.json`.
 
-use std::time::Instant;
-
 use mn_ensemble::{EnsembleMember, InferenceEngine, MemberPredictions};
 use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
 use mn_nn::layers::ConvFormulation;
@@ -27,7 +25,7 @@ use mn_tensor::{conv, im2col, ops, Tensor, Workspace};
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use crate::report::render_table;
+use crate::report::{median_ms, render_table};
 
 /// One timed comparison: a baseline implementation vs its optimized
 /// replacement.
@@ -77,21 +75,6 @@ impl KernelBenchResult {
             &rows,
         )
     }
-}
-
-/// Median wall-clock milliseconds of `reps` calls to `f` (after one
-/// warm-up call).
-fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warm-up: page in buffers, fill workspaces
-    let mut samples: Vec<f64> = (0..reps.max(1))
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64() * 1000.0
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    samples[samples.len() / 2]
 }
 
 fn compare(

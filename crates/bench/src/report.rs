@@ -1,10 +1,28 @@
-//! Result types (JSON-serializable) and plain-text table rendering for the
-//! figure harness.
+//! Result types (JSON-serializable), plain-text table rendering, and the
+//! shared timing helper for the figure harness.
 
 use std::fs;
 use std::path::Path;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+
+/// Median wall-clock milliseconds of `reps` calls to `f`, after one
+/// warm-up call (pages in buffers, fills workspaces, builds lanes). The
+/// one timing helper every bench module shares, so the sampling rule
+/// cannot drift between reports.
+pub fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1000.0
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
 
 /// Test error under the four inference methods, in percent.
 #[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]

@@ -1,34 +1,41 @@
-//! Serving-stack measurements: cold start, dynamic batching, and the
-//! engine's parallelism axes.
+//! Serving-stack measurements: cold start, dynamic batching, shard
+//! scaling, and the engine's parallelism axes.
 //!
 //! The harness exercises the full production path once per run:
 //!
 //! 1. **save → load** — the 8-member bench ensemble is written as an
 //!    `MNE1` artifact and booted back through
-//!    [`InferenceEngine::from_artifact_bytes`]; the run *asserts* the
-//!    round trip is bitwise exact before measuring anything (a serving
-//!    smoke check, not just a benchmark).
-//! 2. **serve** — a dynamic-batching [`Server`] answers a closed loop of
-//!    single-example requests from several client threads; per-request
-//!    latencies yield p50/p99 and wall-clock throughput.
-//! 3. **policy sweep** — the bare engine runs one large batch under
+//!    [`EnginePlan::from_artifact_bytes`]; the run *asserts* the round
+//!    trip is bitwise exact before measuring anything (a serving smoke
+//!    check, not just a benchmark).
+//! 2. **cold start** — artifact boot time, plus a direct comparison of
+//!    the zero-init restore-target construction path
+//!    (`Network::zeroed`) against the random-init path
+//!    (`Network::seeded`); the run *asserts* zero-init is cheaper, since
+//!    restore overwrites every sampled value anyway.
+//! 3. **shard sweep** — a sharded [`Server`] (1, 2, and 4 worker shards
+//!    over **one** shared plan) answers a closed loop of single-example
+//!    requests from several client threads; per-request latencies yield
+//!    p50/p99 and wall-clock throughput per shard count.
+//! 4. **policy sweep** — a bare session runs one large batch under
 //!    member-parallel, data-parallel, and auto plans.
 //!
-//! Run via `cargo run --release -p mn-bench --bin serving` — prints a
-//! table and saves `results/serving.json`.
+//! Run via `cargo run --release -p mn-bench --bin serving` — prints the
+//! tables and saves `results/serving.json`.
 
 use std::time::Instant;
 
-use mn_ensemble::engine::{ExecPolicy, InferenceEngine};
+use mn_ensemble::engine::{EnginePlan, ExecPolicy, InferenceEngine};
 use mn_ensemble::serve::{BatchingConfig, Server};
 use mn_ensemble::EnsembleManifest;
+use mn_nn::Network;
 use mn_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::kernels::bench_ensemble_members;
-use crate::report::render_table;
+use crate::report::{median_ms, render_table};
 
 /// Throughput of one engine execution policy on the sweep batch.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -39,6 +46,43 @@ pub struct PolicyThroughput {
     pub examples_per_sec: f64,
 }
 
+/// Closed-loop server measurements for one shard count.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardSweepEntry {
+    /// Worker shards (each an `EngineSession` over the shared plan).
+    pub shards: usize,
+    /// Requests per second over the whole closed loop.
+    pub throughput_rps: f64,
+    /// Median end-to-end request latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile end-to-end request latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean examples per engine call the micro-batchers achieved.
+    pub mean_batch: f64,
+}
+
+/// Cold-start timings (medians over repetitions).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ColdStartTimings {
+    /// Booting the ensemble plan from `MNE1` artifact bytes,
+    /// milliseconds (zero-init restore path).
+    pub artifact_boot_ms: f64,
+    /// Constructing every bench-ensemble network via `Network::zeroed`,
+    /// milliseconds.
+    pub zero_init_ms: f64,
+    /// Constructing every bench-ensemble network via `Network::seeded`
+    /// (Box–Muller sampling that a restore would immediately overwrite),
+    /// milliseconds.
+    pub seeded_init_ms: f64,
+}
+
+impl ColdStartTimings {
+    /// Sampling cost eliminated by the zero-init restore path.
+    pub fn init_speedup(&self) -> f64 {
+        self.seeded_init_ms / self.zero_init_ms.max(1e-9)
+    }
+}
+
 /// The full serving-bench report (saved as `results/serving.json`).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ServingBenchResult {
@@ -46,7 +90,7 @@ pub struct ServingBenchResult {
     pub threads: usize,
     /// Ensemble members served.
     pub members: usize,
-    /// Single-example requests answered by the server.
+    /// Single-example requests answered per shard-sweep entry.
     pub requests: u64,
     /// Closed-loop client threads that issued them.
     pub clients: usize,
@@ -54,14 +98,19 @@ pub struct ServingBenchResult {
     pub max_batch: usize,
     /// Micro-batcher bound: max microseconds a batch stays open.
     pub max_wait_us: u64,
-    /// Requests per second over the whole closed loop.
+    /// Requests per second of the single-shard configuration (the
+    /// baseline; the full curve is in `shard_sweep`).
     pub throughput_rps: f64,
-    /// Median end-to-end request latency, milliseconds.
+    /// Single-shard median end-to-end request latency, milliseconds.
     pub p50_ms: f64,
-    /// 99th-percentile end-to-end request latency, milliseconds.
+    /// Single-shard 99th-percentile latency, milliseconds.
     pub p99_ms: f64,
-    /// Mean examples per engine call the micro-batcher achieved.
+    /// Single-shard mean examples per engine call.
     pub mean_batch: f64,
+    /// Cold-start timings and the zero-init construction win.
+    pub cold_start: ColdStartTimings,
+    /// Closed-loop measurements per shard count (1, 2, 4).
+    pub shard_sweep: Vec<ShardSweepEntry>,
     /// Engine-level throughput of each parallelism policy on a large
     /// batch.
     pub policies: Vec<PolicyThroughput>,
@@ -70,16 +119,24 @@ pub struct ServingBenchResult {
 impl ServingBenchResult {
     /// Renders the report as fixed-width tables.
     pub fn table(&self) -> String {
-        let server_rows = vec![vec![
-            format!("{}", self.requests),
-            format!("{}", self.clients),
-            format!("{:.0}", self.throughput_rps),
-            format!("{:.2}", self.p50_ms),
-            format!("{:.2}", self.p99_ms),
-            format!("{:.1}", self.mean_batch),
-        ]];
+        let sweep_rows: Vec<Vec<String>> = self
+            .shard_sweep
+            .iter()
+            .map(|e| {
+                vec![
+                    format!("{}", e.shards),
+                    format!("{}", self.requests),
+                    format!("{}", self.clients),
+                    format!("{:.0}", e.throughput_rps),
+                    format!("{:.2}", e.p50_ms),
+                    format!("{:.2}", e.p99_ms),
+                    format!("{:.1}", e.mean_batch),
+                ]
+            })
+            .collect();
         let mut out = render_table(
             &[
+                "shards",
                 "requests",
                 "clients",
                 "req/s",
@@ -87,8 +144,26 @@ impl ServingBenchResult {
                 "p99 ms",
                 "mean batch",
             ],
-            &server_rows,
+            &sweep_rows,
         );
+        out.push('\n');
+        out.push_str(&render_table(
+            &["cold start", "ms"],
+            &[
+                vec![
+                    "artifact boot".to_string(),
+                    format!("{:.3}", self.cold_start.artifact_boot_ms),
+                ],
+                vec![
+                    "zero-init nets".to_string(),
+                    format!("{:.3}", self.cold_start.zero_init_ms),
+                ],
+                vec![
+                    "seeded nets".to_string(),
+                    format!("{:.3}", self.cold_start.seeded_init_ms),
+                ],
+            ],
+        ));
         let policy_rows: Vec<Vec<String>> = self
             .policies
             .iter()
@@ -112,7 +187,9 @@ fn percentile_ms(sorted: &[f64], p: f64) -> f64 {
     sorted[idx]
 }
 
-/// Engine examples/second on `x` under `policy`, median of `reps` calls.
+/// Engine examples/second on `x` under `policy`, median of `reps` calls
+/// (the shared helper's warm-up call also fills workspaces / replica
+/// lanes).
 fn policy_examples_per_sec(
     engine: &mut InferenceEngine,
     policy: ExecPolicy,
@@ -120,49 +197,63 @@ fn policy_examples_per_sec(
     reps: usize,
 ) -> f64 {
     engine.set_policy(policy);
-    let _ = engine.predict(x); // warm-up: fill workspaces / replica lanes
-    let mut samples: Vec<f64> = (0..reps.max(1))
-        .map(|_| {
-            let t = Instant::now();
-            std::hint::black_box(engine.predict(x));
-            t.elapsed().as_secs_f64()
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    x.shape().dim(0) as f64 / samples[samples.len() / 2]
+    let ms = median_ms(reps, || {
+        std::hint::black_box(engine.predict(x));
+    });
+    x.shape().dim(0) as f64 / (ms / 1000.0)
 }
 
-/// Runs the save → load → serve smoke plus all measurements.
-///
-/// # Panics
-///
-/// Panics when the artifact round trip is not bitwise exact, or when the
-/// server drops a request — both are correctness failures, not noise.
-pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
-    let members = bench_ensemble_members();
-    let num_members = members.len();
-    let mut direct = InferenceEngine::new(members, 32).expect("bench ensemble builds");
+/// Cold-start timings; asserts the zero-init construction path is
+/// actually cheaper than sampling a random init that restore would
+/// overwrite.
+fn measure_cold_start(
+    bytes: &[u8],
+    archs: &[mn_nn::arch::Architecture],
+    reps: usize,
+) -> ColdStartTimings {
+    let reps = reps.max(5);
+    let artifact_boot_ms = median_ms(reps, || {
+        std::hint::black_box(EnginePlan::from_artifact_bytes(bytes, 32).expect("artifact boots"));
+    });
+    let zero_init_ms = median_ms(reps, || {
+        for arch in archs {
+            std::hint::black_box(Network::zeroed(arch));
+        }
+    });
+    let seeded_init_ms = median_ms(reps, || {
+        for (s, arch) in archs.iter().enumerate() {
+            std::hint::black_box(Network::seeded(arch, s as u64));
+        }
+    });
+    let timings = ColdStartTimings {
+        artifact_boot_ms,
+        zero_init_ms,
+        seeded_init_ms,
+    };
+    // The point of the zero-init path: restore targets skip Box–Muller
+    // sampling entirely, so construction must be measurably cheaper.
+    assert!(
+        timings.zero_init_ms < timings.seeded_init_ms,
+        "zero-init construction ({:.3} ms) should beat random init ({:.3} ms)",
+        timings.zero_init_ms,
+        timings.seeded_init_ms
+    );
+    timings
+}
 
-    // --- save → load: cold start must be bitwise exact ---
-    let bytes = direct.to_artifact_bytes(&EnsembleManifest::default());
-    let mut loaded = InferenceEngine::from_artifact_bytes(&bytes, 32).expect("artifact round trip");
-    let mut rng = StdRng::seed_from_u64(99);
-    let probe = Tensor::randn([16, 3, 8, 8], 1.0, &mut rng);
-    let a = direct.predict(&probe);
-    let b = loaded.predict(&probe);
-    for (m, (pa, pb)) in a.probs().iter().zip(b.probs()).enumerate() {
-        assert_eq!(
-            pa.data(),
-            pb.data(),
-            "member {m}: loaded engine diverged from in-memory engine"
-        );
-    }
-
-    // --- serve: closed-loop single-example clients ---
-    let cfg = BatchingConfig::default();
-    let server = Server::start(loaded, cfg);
-    let clients = clients.max(1);
-    let per_client = requests.div_ceil(clients);
+/// Closed-loop single-example clients against a sharded server over the
+/// shared plan; panics if the server drops a request.
+fn closed_loop(
+    plan: &std::sync::Arc<EnginePlan>,
+    shards: usize,
+    cfg: BatchingConfig,
+    per_client: usize,
+    clients: usize,
+) -> ShardSweepEntry {
+    let server = Server::builder(std::sync::Arc::clone(plan))
+        .shards(shards)
+        .batching(cfg)
+        .start();
     let total = per_client * clients;
     let started = Instant::now();
     let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
@@ -176,7 +267,7 @@ pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
                         let x = Tensor::randn([3, 8, 8], 1.0, &mut rng);
                         let prediction = client
                             .submit(&x)
-                            .expect("server accepts well-formed example")
+                            .expect("closed-loop client stays under the queue bound")
                             .wait()
                             .expect("server answers before shutdown");
                         lat.push(prediction.latency.as_secs_f64() * 1000.0);
@@ -191,14 +282,81 @@ pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
             .collect()
     });
     let wall = started.elapsed().as_secs_f64();
-    let stats = server.shutdown();
-    assert_eq!(stats.requests, total as u64, "server dropped requests");
+    let report = server.shutdown();
+    assert_eq!(
+        report.aggregate.requests, total as u64,
+        "server dropped requests at {shards} shard(s)"
+    );
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    ShardSweepEntry {
+        shards,
+        throughput_rps: total as f64 / wall,
+        p50_ms: percentile_ms(&latencies_ms, 50.0),
+        p99_ms: percentile_ms(&latencies_ms, 99.0),
+        mean_batch: report.aggregate.mean_batch(),
+    }
+}
+
+/// Runs the save → load → serve smoke plus all measurements.
+///
+/// # Panics
+///
+/// Panics when the artifact round trip is not bitwise exact, when the
+/// zero-init construction path is not cheaper than random init, or when
+/// the server drops a request — all correctness failures, not noise.
+pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
+    let members = bench_ensemble_members();
+    let num_members = members.len();
+    let direct_plan = EnginePlan::new(members, 32)
+        .expect("bench ensemble builds")
+        .into_shared();
+    let mut direct = direct_plan.session();
+
+    // --- save → load: cold start must be bitwise exact ---
+    let bytes = direct_plan.to_artifact_bytes(&EnsembleManifest::default());
+    let loaded_plan = EnginePlan::from_artifact_bytes(&bytes, 32)
+        .expect("artifact round trip")
+        .into_shared();
+    let mut loaded = loaded_plan.session();
+    let mut rng = StdRng::seed_from_u64(99);
+    let probe = Tensor::randn([16, 3, 8, 8], 1.0, &mut rng);
+    let a = direct.predict(&probe);
+    let b = loaded.predict(&probe);
+    for (m, (pa, pb)) in a.probs().iter().zip(b.probs()).enumerate() {
+        assert_eq!(
+            pa.data(),
+            pb.data(),
+            "member {m}: loaded plan diverged from in-memory plan"
+        );
+    }
+    drop(loaded);
+
+    // --- cold start: artifact boot + zero-init vs seeded construction ---
+    // (architectures come from the loaded plan — no need to build another
+    // fully-sampled ensemble just to read them)
+    let archs: Vec<_> = loaded_plan
+        .members()
+        .iter()
+        .map(|m| m.network.arch().clone())
+        .collect();
+    let cold_start = measure_cold_start(&bytes, &archs, reps);
+
+    // --- shard sweep: 1, 2, 4 worker shards over ONE shared plan ---
+    // The requested count is rounded up here, once, to an even per-client
+    // share; closed_loop and the report both derive from it.
+    let cfg = BatchingConfig::default();
+    let clients = clients.max(1);
+    let per_client = requests.div_ceil(clients);
+    let total = per_client * clients;
+    let shard_sweep: Vec<ShardSweepEntry> = [1usize, 2, 4]
+        .iter()
+        .map(|&s| closed_loop(&loaded_plan, s, cfg, per_client, clients))
+        .collect();
+    let baseline = shard_sweep[0].clone();
 
     // --- engine policy sweep on a large batch ---
     let sweep = Tensor::randn([256, 3, 8, 8], 1.0, &mut rng);
-    let mut engine =
-        InferenceEngine::from_artifact_bytes(&bytes, 32).expect("artifact loads again");
+    let mut engine = InferenceEngine::from_plan(std::sync::Arc::clone(&loaded_plan));
     let threads = rayon::current_num_threads();
     let policies = vec![
         PolicyThroughput {
@@ -232,10 +390,12 @@ pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
         clients,
         max_batch: cfg.max_batch,
         max_wait_us: cfg.max_wait.as_micros() as u64,
-        throughput_rps: total as f64 / wall,
-        p50_ms: percentile_ms(&latencies_ms, 50.0),
-        p99_ms: percentile_ms(&latencies_ms, 99.0),
-        mean_batch: stats.mean_batch(),
+        throughput_rps: baseline.throughput_rps,
+        p50_ms: baseline.p50_ms,
+        p99_ms: baseline.p99_ms,
+        mean_batch: baseline.mean_batch,
+        cold_start,
+        shard_sweep,
         policies,
     }
 }
@@ -257,6 +417,18 @@ mod tests {
             p50_ms: 1.5,
             p99_ms: 9.75,
             mean_batch: 6.5,
+            cold_start: ColdStartTimings {
+                artifact_boot_ms: 2.0,
+                zero_init_ms: 0.5,
+                seeded_init_ms: 2.5,
+            },
+            shard_sweep: vec![ShardSweepEntry {
+                shards: 2,
+                throughput_rps: 2000.0,
+                p50_ms: 1.0,
+                p99_ms: 4.0,
+                mean_batch: 5.0,
+            }],
             policies: vec![PolicyThroughput {
                 policy: "auto".into(),
                 examples_per_sec: 9999.0,
@@ -266,9 +438,12 @@ mod tests {
         let back: ServingBenchResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back.requests, 100);
         assert_eq!(back.policies[0].policy, "auto");
+        assert_eq!(back.shard_sweep[0].shards, 2);
+        assert!((back.cold_start.init_speedup() - 5.0).abs() < 1e-9);
         let table = result.table();
         assert!(table.contains("p99"));
         assert!(table.contains("auto"));
+        assert!(table.contains("zero-init"));
     }
 
     #[test]
@@ -283,11 +458,24 @@ mod tests {
     #[test]
     fn smoke_run_save_load_serve() {
         // Small but end-to-end: exercises the bitwise round-trip assert,
-        // the server closed loop, and the policy sweep.
+        // the cold-start assert, the shard sweep, and the policy sweep.
         let result = run(24, 2, 1);
         assert_eq!(result.requests, 24);
         assert!(result.throughput_rps > 0.0);
         assert!(result.p99_ms >= result.p50_ms);
+        assert_eq!(result.shard_sweep.len(), 3);
+        assert_eq!(
+            result
+                .shard_sweep
+                .iter()
+                .map(|e| e.shards)
+                .collect::<Vec<_>>(),
+            vec![1, 2, 4]
+        );
+        for e in &result.shard_sweep {
+            assert!(e.throughput_rps > 0.0, "{e:?}");
+        }
+        assert!(result.cold_start.zero_init_ms < result.cold_start.seeded_init_ms);
         assert_eq!(result.policies.len(), 3);
         for p in &result.policies {
             assert!(p.examples_per_sec > 0.0, "{p:?}");

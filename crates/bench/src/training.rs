@@ -22,8 +22,6 @@
 //! Run via `cargo run --release -p mn-bench --bin kernels` — prints a
 //! table and saves `results/training.json` next to `results/kernels.json`.
 
-use std::time::Instant;
-
 use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
 use mn_nn::layer::Mode;
 use mn_nn::layers::ConvFormulation;
@@ -37,7 +35,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
 use crate::kernels::{force_conv_formulation, KernelComparison};
-use crate::report::render_table;
+use crate::report::{median_ms, render_table};
 
 /// The training-throughput report saved as `results/training.json`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -130,21 +128,6 @@ fn naive_step(net: &mut Network, opt: &mut Sgd, x: &Tensor, y: &[usize]) -> f32 
     let mut params = net.params_mut();
     opt.step(&mut params);
     loss
-}
-
-/// Median wall-clock milliseconds of `reps` calls to `f` (after one
-/// warm-up call).
-fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warm-up: page in buffers, fill workspaces, build velocity
-    let mut samples: Vec<f64> = (0..reps.max(1))
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64() * 1000.0
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    samples[samples.len() / 2]
 }
 
 /// Measures the naive-vs-fast step pair inside a pool of `threads`

@@ -33,7 +33,7 @@ use std::time::Instant;
 
 use mn_data::sampler::{bag_seeded, train_val_split};
 use mn_data::Dataset;
-use mn_ensemble::{ArtifactError, EnsembleManifest, EnsembleMember};
+use mn_ensemble::{ArtifactError, EngineError, EnginePlan, EnsembleManifest, EnsembleMember};
 use mn_morph::MorphOptions;
 use mn_nn::arch::Architecture;
 use mn_nn::train::{train_with, TrainConfig, TrainReport};
@@ -619,7 +619,7 @@ impl TrainedEnsemble {
 
     /// Writes the `MNE1` serving artifact to `path` — the hand-off from
     /// training to serving: a server cold-starts from this file via
-    /// `InferenceEngine::load` without touching training code or data.
+    /// `EnginePlan::load` without touching training code or data.
     ///
     /// # Errors
     ///
@@ -627,6 +627,23 @@ impl TrainedEnsemble {
     /// written.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ArtifactError> {
         mn_ensemble::artifact::write_ensemble_file(path, &self.members, &self.manifest())
+    }
+
+    /// The in-process hand-off from training to serving: builds a shared
+    /// [`EnginePlan`] over clones of the trained members. Wrap it
+    /// (`.into_shared()`) and open one `EngineSession` per serving worker
+    /// — or hand it straight to `mn_ensemble::ServerBuilder` — without a
+    /// disk round trip. Predictions are bitwise identical to the artifact
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::MemberMismatch`] when the trained members disagree
+    /// on geometry (distinct tasks trained into one ensemble);
+    /// [`EngineError::EmptyEnsemble`] is unreachable for a successfully
+    /// trained ensemble.
+    pub fn to_engine_plan(&self, batch_size: usize) -> Result<EnginePlan, EngineError> {
+        EnginePlan::new(self.members.clone(), batch_size)
     }
 
     /// Sum of wall-clock seconds over MotherNets and members —

@@ -1,54 +1,69 @@
-//! [`InferenceEngine`]: a planned, two-axis parallel ensemble executor.
+//! The two-layer inference engine: an immutable, shareable [`EnginePlan`]
+//! and cheap per-worker [`EngineSession`]s.
 //!
 //! Serving an ensemble means paying the "combine many members per query"
-//! cost on every request. The engine turns each request batch into an
-//! execution plan along one of two parallelism axes:
+//! cost on every request — and a server only scales past one worker if
+//! additional workers do **not** mean additional copies of every member's
+//! weights. The engine therefore splits into two layers:
+//!
+//! * [`EnginePlan`] — everything immutable: the members (weights), input
+//!   geometry, mini-batch size, default execution policy, the planning
+//!   logic ([`EnginePlan::resolve`]), and artifact load/save. A plan is
+//!   wrapped in an [`Arc`] and shared by every worker; eval-mode forward
+//!   passes read it through `&self` only (see
+//!   [`mn_nn::Network::forward_eval_with`]), so N workers execute **one**
+//!   copy of the ensemble concurrently.
+//! * [`EngineSession`] — everything mutable and per-worker: workspaces
+//!   (activations, im2col scratch, GEMM packing buffers), replica-lane
+//!   scratch for data-parallel plans, and staging buffers. Sessions are
+//!   cheap — a handful of empty buffer pools — so a server spins up one
+//!   per shard without cloning a single weight.
+//!
+//! [`InferenceEngine`] remains as a thin compatibility facade: one plan
+//! plus one session, with the same API surface earlier PRs exposed, so
+//! existing call sites keep working during migration.
+//!
+//! ## Execution plans
+//!
+//! Each request batch resolves to a plan along one of two parallelism
+//! axes:
 //!
 //! * **Member-parallel** ([`Plan::MemberParallel`]) — each member runs the
-//!   whole batch in its own worker slot (member + private [`Workspace`]),
-//!   fanned across rayon worker threads. The right axis when the member
-//!   count already saturates the machine, and for small batches.
+//!   whole batch on its own worker slot (shared member + private
+//!   [`Workspace`]), fanned across rayon worker threads. The right axis
+//!   when the member count already saturates the machine, and for small
+//!   batches.
 //! * **Data-parallel** ([`Plan::DataParallel`]) — the batch is split into
 //!   contiguous shards ([`mn_tensor::chunking::shard_ranges`]); each shard
-//!   runs on its own *replica lane* (a full copy of every member with its
-//!   own workspaces), and per-member outputs are stitched back in example
-//!   order. The right axis when a large batch arrives and there are more
-//!   cores than members. Replica lanes are materialized lazily, so an
-//!   engine that never runs a data-parallel plan never pays the replica
-//!   memory.
+//!   runs on its own *replica lane* (a per-member set of workspaces — the
+//!   weights stay shared), and per-member outputs are stitched back in
+//!   example order. Lanes are materialized lazily, so a session that
+//!   never runs a data-parallel plan never pays the extra scratch.
 //!
 //! [`ExecPolicy::Auto`] (the default) picks the axis per batch from batch
-//! size × member count × worker-thread count; [`InferenceEngine::plan`]
+//! size × member count × worker-thread count; [`EnginePlan::resolve`]
 //! exposes the decision for inspection and tests.
-//!
-//! * **Workspace reuse.** Every slot keeps its workspace across requests,
-//!   so steady-state serving stops allocating activations, mini-batches,
-//!   im2col scratch, and GEMM operand-packing buffers.
-//! * **Existing combine machinery.** Results stream into
-//!   [`MemberPredictions`], so every combination rule the paper evaluates
-//!   (EA / Voting / Super Learner / Oracle — see [`crate::combine`] and
-//!   [`crate::super_learner`]) applies unchanged.
 //!
 //! ## Determinism
 //!
-//! Engine output is bitwise identical across execution plans, thread
-//! counts, and runs: every tensor kernel partitions work over disjoint
-//! output regions with a fixed per-element accumulation order, and each
-//! example's forward pass is independent of its batch neighbors — so
-//! member fan-out, batch sharding, and mini-batch boundaries cannot change
-//! a single bit of any prediction. The `engine_determinism` integration
-//! suite pins this property across policies.
+//! Output is bitwise identical across execution plans, shard counts,
+//! session counts, thread counts, and the old-vs-new API: every tensor
+//! kernel partitions work over disjoint output regions with a fixed
+//! per-element accumulation order, and each example's forward pass is
+//! independent of its batch neighbors. The `engine_determinism`
+//! integration suite pins this property.
 //!
 //! ## Cold start
 //!
-//! [`InferenceEngine::load`] boots an engine straight from an `MNE1`
-//! ensemble artifact on disk (see [`crate::artifact`]) — no retraining,
-//! and bitwise-identical predictions to the engine that saved it.
+//! [`EnginePlan::load`] boots a plan straight from an `MNE1` ensemble
+//! artifact on disk (see [`crate::artifact`]) — no retraining, zero-init
+//! construction (weights are restored, never sampled), and
+//! bitwise-identical predictions to the ensemble that saved it.
 //!
 //! ## Example
 //!
 //! ```
-//! use mn_ensemble::engine::InferenceEngine;
+//! use mn_ensemble::engine::EnginePlan;
 //! use mn_ensemble::EnsembleMember;
 //! use mn_nn::arch::{Architecture, InputSpec};
 //! use mn_nn::Network;
@@ -58,14 +73,17 @@
 //! let members: Vec<EnsembleMember> = (0..4)
 //!     .map(|s| EnsembleMember::new(format!("m{s}"), Network::seeded(&arch, s)))
 //!     .collect();
-//! let mut engine = InferenceEngine::new(members, 32).unwrap();
+//! let plan = EnginePlan::new(members, 32).unwrap().into_shared();
+//! // Two sessions over one plan: no weight clones, independent scratch.
+//! let mut a = plan.session();
+//! let mut b = plan.session();
 //! let x = Tensor::zeros([5, 1, 2, 2]);
-//! let labels = engine.predict_labels(&x);
-//! assert_eq!(labels.len(), 5);
+//! assert_eq!(a.predict_labels(&x), b.predict_labels(&x));
 //! ```
 
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 use mn_nn::arch::InputSpec;
 use mn_tensor::chunking::shard_ranges;
@@ -77,7 +95,7 @@ use crate::artifact::{self, ArtifactError, EnsembleManifest};
 use crate::combine;
 use crate::member::{EnsembleMember, MemberPredictions};
 
-/// Why an engine could not be constructed.
+/// Why an engine plan could not be constructed.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum EngineError {
     /// No members were supplied.
@@ -103,7 +121,7 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// How the engine chooses its parallelism axis (see module docs).
+/// How a session chooses its parallelism axis (see module docs).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum ExecPolicy {
     /// Pick per batch from batch size × member count × thread count.
@@ -112,9 +130,7 @@ pub enum ExecPolicy {
     /// Always fan members across threads, each running the whole batch.
     MemberParallel,
     /// Always shard the batch across this many replica lanes (clamped to
-    /// at least 1, to the batch size, and to
-    /// [`InferenceEngine::max_shards`] — each lane keeps a full ensemble
-    /// replica alive).
+    /// at least 1, to the batch size, and to [`EnginePlan::max_shards`]).
     DataParallel {
         /// Number of batch shards / replica lanes.
         shards: usize,
@@ -133,46 +149,27 @@ pub enum Plan {
     },
 }
 
-/// One ensemble member plus its private inference scratch.
+/// The immutable half of the engine: members (weights), geometry, planning
+/// logic, and artifact load/save. Wrap it in an [`Arc`]
+/// ([`EnginePlan::into_shared`]) and hand it to as many
+/// [`EngineSession`]s — across as many threads — as the machine can run:
+/// they all execute this one copy of the weights.
 #[derive(Debug)]
-struct Slot {
-    member: EnsembleMember,
-    workspace: Workspace,
-}
-
-impl Slot {
-    fn new(member: EnsembleMember) -> Self {
-        Slot {
-            member,
-            workspace: Workspace::new(),
-        }
-    }
-}
-
-/// A batched, planned, two-axis parallel inference engine over a fixed
-/// ensemble.
-#[derive(Debug)]
-pub struct InferenceEngine {
-    /// Primary slots: one per member (member-parallel axis, and replica
-    /// lane 0 of the data-parallel axis).
-    slots: Vec<Slot>,
-    /// Extra replica lanes for data-parallel plans, built lazily. Lane
-    /// `r` of a plan with `s` shards is `slots` for `r == 0`, else
-    /// `replicas[r - 1]`.
-    replicas: Vec<Vec<Slot>>,
+pub struct EnginePlan {
+    members: Vec<EnsembleMember>,
     batch_size: usize,
     policy: ExecPolicy,
     input: InputSpec,
     num_classes: usize,
 }
 
-impl InferenceEngine {
-    /// Builds an engine that runs each member in mini-batches of
-    /// `batch_size` examples (clamped to at least 1), under the default
+impl EnginePlan {
+    /// Builds a plan that runs each member in mini-batches of `batch_size`
+    /// examples (clamped to at least 1), defaulting sessions to
     /// [`ExecPolicy::Auto`].
     ///
     /// Cached training activations are dropped from every member (a
-    /// serving engine never needs them).
+    /// serving plan never needs them, and sessions never write new ones).
     ///
     /// # Errors
     ///
@@ -209,9 +206,8 @@ impl InferenceEngine {
         for m in members.iter_mut() {
             m.network.clear_caches();
         }
-        Ok(InferenceEngine {
-            slots: members.into_iter().map(Slot::new).collect(),
-            replicas: Vec::new(),
+        Ok(EnginePlan {
+            members,
             batch_size: batch_size.max(1),
             policy: ExecPolicy::Auto,
             input,
@@ -219,47 +215,54 @@ impl InferenceEngine {
         })
     }
 
-    /// Boots an engine from an `MNE1` ensemble artifact file — the serving
-    /// cold-start path. Predictions are bitwise identical to the engine
-    /// that saved the artifact.
+    /// Sets the default policy sessions start with (builder-style, before
+    /// the plan is shared).
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Boots a plan from an `MNE1` ensemble artifact file — the serving
+    /// cold-start path. Member networks are constructed zero-initialized
+    /// and restored in place (no RNG sampling), and predictions are
+    /// bitwise identical to the ensemble that saved the artifact.
     ///
     /// # Errors
     ///
     /// Any [`ArtifactError`] from reading or parsing the file.
     pub fn load(path: impl AsRef<Path>, batch_size: usize) -> Result<Self, ArtifactError> {
         let (_, members) = artifact::read_ensemble_file(path)?;
-        InferenceEngine::new(members, batch_size).map_err(ArtifactError::from)
+        EnginePlan::new(members, batch_size).map_err(ArtifactError::from)
     }
 
-    /// [`InferenceEngine::load`] over in-memory artifact bytes.
+    /// [`EnginePlan::load`] over in-memory artifact bytes.
     ///
     /// # Errors
     ///
     /// Any [`ArtifactError`] from parsing the bytes.
     pub fn from_artifact_bytes(bytes: &[u8], batch_size: usize) -> Result<Self, ArtifactError> {
         let (_, members) = artifact::load_ensemble(bytes)?;
-        InferenceEngine::new(members, batch_size).map_err(ArtifactError::from)
+        EnginePlan::new(members, batch_size).map_err(ArtifactError::from)
     }
 
-    /// Serializes the engine's members as an `MNE1` artifact.
+    /// Serializes the plan's members as an `MNE1` artifact.
     pub fn to_artifact_bytes(&self, manifest: &EnsembleManifest) -> Vec<u8> {
-        let members: Vec<&EnsembleMember> = self.slots.iter().map(|s| &s.member).collect();
+        let members: Vec<&EnsembleMember> = self.members.iter().collect();
         artifact::save_ensemble_refs(&members, manifest)
     }
 
-    /// Overrides the parallelism policy (the default is
-    /// [`ExecPolicy::Auto`]).
-    pub fn set_policy(&mut self, policy: ExecPolicy) {
-        self.policy = policy;
+    /// Wraps the plan for sharing across sessions/threads.
+    pub fn into_shared(self) -> Arc<EnginePlan> {
+        Arc::new(self)
     }
 
-    /// The active parallelism policy.
-    pub fn policy(&self) -> ExecPolicy {
+    /// The default policy sessions start with.
+    pub fn default_policy(&self) -> ExecPolicy {
         self.policy
     }
 
-    /// Resolves the execution plan for a batch of `n` examples under the
-    /// current policy and worker-thread count.
+    /// Resolves the execution plan for a batch of `n` examples under
+    /// `policy` and the current worker-thread count.
     ///
     /// The auto rule: shard the batch only when sharding yields more
     /// parallel tasks than member fan-out can — i.e. when the thread count
@@ -269,12 +272,11 @@ impl InferenceEngine {
     /// clock.
     ///
     /// Explicit [`ExecPolicy::DataParallel`] requests are clamped to the
-    /// batch size and to [`InferenceEngine::max_shards`] — every lane
-    /// costs a permanent replica of the whole ensemble, and lanes beyond
-    /// the worker count buy no parallelism, so an oversized request must
-    /// not be able to clone the ensemble thousands of times.
-    pub fn plan(&self, n: usize) -> Plan {
-        match self.policy {
+    /// batch size and to [`EnginePlan::max_shards`] — lanes beyond the
+    /// worker count buy no parallelism, so an oversized request must not
+    /// be able to pin unbounded per-lane scratch.
+    pub fn resolve(&self, n: usize, policy: ExecPolicy) -> Plan {
+        match policy {
             ExecPolicy::MemberParallel => Plan::MemberParallel,
             ExecPolicy::DataParallel { shards } => {
                 let shards = shards.clamp(1, n.max(1)).min(self.max_shards());
@@ -286,7 +288,7 @@ impl InferenceEngine {
             }
             ExecPolicy::Auto => {
                 let threads = rayon::current_num_threads();
-                let members = self.slots.len();
+                let members = self.members.len();
                 if n == 0 || threads <= members {
                     return Plan::MemberParallel;
                 }
@@ -300,10 +302,10 @@ impl InferenceEngine {
         }
     }
 
-    /// Upper bound on data-parallel shards (and so on replica lanes):
-    /// the worker-thread count, with a small floor so the sharding path
-    /// stays exercisable on single-core machines. Caps the replica
-    /// memory an explicit [`ExecPolicy::DataParallel`] request can pin.
+    /// Upper bound on data-parallel shards (and so on replica lanes): the
+    /// worker-thread count, with a small floor so the sharding path stays
+    /// exercisable on single-core machines. Caps the per-lane scratch an
+    /// explicit [`ExecPolicy::DataParallel`] request can pin.
     pub fn max_shards(&self) -> usize {
         const SHARD_FLOOR: usize = 16;
         rayon::current_num_threads().max(SHARD_FLOOR)
@@ -311,7 +313,7 @@ impl InferenceEngine {
 
     /// Number of ensemble members.
     pub fn num_members(&self) -> usize {
-        self.slots.len()
+        self.members.len()
     }
 
     /// Mini-batch size used per member.
@@ -329,15 +331,84 @@ impl InferenceEngine {
         self.num_classes
     }
 
-    /// Number of materialized replica lanes (including the primary).
-    /// Starts at 1 and grows only when a data-parallel plan runs.
-    pub fn replica_lanes(&self) -> usize {
-        1 + self.replicas.len()
+    /// Read access to the members, in plan order — a borrowed slice, no
+    /// per-call allocation.
+    pub fn members(&self) -> &[EnsembleMember] {
+        &self.members
     }
 
-    /// Member names, in engine order.
-    pub fn member_names(&self) -> Vec<&str> {
-        self.slots.iter().map(|s| s.member.name.as_str()).collect()
+    /// Member names, in plan order — an iterator, no per-call allocation.
+    pub fn member_names(&self) -> impl Iterator<Item = &str> {
+        self.members.iter().map(|m| m.name.as_str())
+    }
+
+    /// Decomposes the plan back into its members.
+    pub fn into_members(self) -> Vec<EnsembleMember> {
+        self.members
+    }
+}
+
+/// One session over a shared [`EnginePlan`].
+impl EnginePlan {
+    /// Opens a new session over this shared plan: per-worker workspaces
+    /// and replica-lane scratch, zero weight clones. Cheap — a server
+    /// opens one per shard.
+    pub fn session(self: &Arc<Self>) -> EngineSession {
+        EngineSession::new(Arc::clone(self))
+    }
+}
+
+/// The mutable half of the engine, private to one worker: per-member
+/// workspaces (lane 0) plus lazily-built replica-lane scratch for
+/// data-parallel plans. Holds **no weights** — every forward pass reads
+/// the shared [`EnginePlan`] through `&self`.
+#[derive(Debug)]
+pub struct EngineSession {
+    plan: Arc<EnginePlan>,
+    policy: ExecPolicy,
+    /// `lanes[lane][member]`: workspace scratch. Lane 0 always exists
+    /// (member-parallel axis); lanes 1.. appear the first time a
+    /// data-parallel plan needs them and are reused afterwards.
+    lanes: Vec<Vec<Workspace>>,
+}
+
+impl EngineSession {
+    fn new(plan: Arc<EnginePlan>) -> Self {
+        let lane0 = (0..plan.num_members()).map(|_| Workspace::new()).collect();
+        let policy = plan.default_policy();
+        EngineSession {
+            plan,
+            policy,
+            lanes: vec![lane0],
+        }
+    }
+
+    /// The shared plan this session executes.
+    pub fn plan(&self) -> &Arc<EnginePlan> {
+        &self.plan
+    }
+
+    /// Overrides this session's parallelism policy (other sessions over
+    /// the same plan are unaffected).
+    pub fn set_policy(&mut self, policy: ExecPolicy) {
+        self.policy = policy;
+    }
+
+    /// The session's active parallelism policy.
+    pub fn policy(&self) -> ExecPolicy {
+        self.policy
+    }
+
+    /// Resolves the execution plan for a batch of `n` examples under this
+    /// session's policy (see [`EnginePlan::resolve`]).
+    pub fn plan_for(&self, n: usize) -> Plan {
+        self.plan.resolve(n, self.policy)
+    }
+
+    /// Number of materialized workspace lanes (including the primary).
+    /// Starts at 1 and grows only when a data-parallel plan runs.
+    pub fn replica_lanes(&self) -> usize {
+        self.lanes.len()
     }
 
     /// Runs every member over the request batch `x: [N, C, H, W]` under
@@ -345,18 +416,23 @@ impl InferenceEngine {
     ///
     /// An empty batch (`N = 0`) is legal and yields `[0, K]` predictions.
     pub fn predict(&mut self, x: &Tensor) -> MemberPredictions {
-        match self.plan(x.shape().dim(0)) {
+        match self.plan_for(x.shape().dim(0)) {
             Plan::MemberParallel => self.predict_member_parallel(x),
             Plan::DataParallel { shards } => self.predict_data_parallel(x, shards),
         }
     }
 
     fn predict_member_parallel(&mut self, x: &Tensor) -> MemberPredictions {
-        let bs = self.batch_size;
-        let probs: Vec<Tensor> = self
-            .slots
+        let bs = self.plan.batch_size();
+        let mut jobs: Vec<(&EnsembleMember, &mut Workspace)> = self
+            .plan
+            .members()
+            .iter()
+            .zip(self.lanes[0].iter_mut())
+            .collect();
+        let probs: Vec<Tensor> = jobs
             .par_iter_mut()
-            .map(|s| s.member.predict_proba_with(x, bs, &mut s.workspace))
+            .map(|(member, ws)| member.predict_proba_eval(x, bs, ws))
             .collect();
         MemberPredictions::from_probs(probs)
     }
@@ -368,42 +444,37 @@ impl InferenceEngine {
         if shards <= 1 {
             return self.predict_member_parallel(x);
         }
-        self.ensure_replicas(shards - 1);
-        let bs = self.batch_size;
-        let members = self.slots.len();
-        let k = self.num_classes;
+        self.ensure_lanes(shards);
+        let plan = &self.plan;
+        let bs = plan.batch_size();
+        let members = plan.members();
+        let k = plan.num_classes();
         let row = x.len() / n.max(1);
 
-        // Lane 0 is the primary slot set; lanes 1.. are replicas. Each
-        // lane copies its shard rows once, then runs every member over
-        // the shard with that member's own workspace.
-        let mut lanes: Vec<(std::ops::Range<usize>, &mut Vec<Slot>)> = Vec::with_capacity(shards);
-        let mut lane_slots = std::iter::once(&mut self.slots)
-            .chain(self.replicas.iter_mut())
-            .take(shards);
-        for range in ranges {
-            lanes.push((range, lane_slots.next().expect("lane per shard")));
-        }
-        let shard_probs: Vec<Vec<Tensor>> = lanes
+        // Each lane copies its shard rows once (staged in its first
+        // workspace), then runs every shared member over the shard with
+        // that member's own lane workspace.
+        let mut lane_jobs: Vec<(std::ops::Range<usize>, &mut Vec<Workspace>)> =
+            ranges.into_iter().zip(self.lanes.iter_mut()).collect();
+        let shard_probs: Vec<Vec<Tensor>> = lane_jobs
             .par_iter_mut()
-            .map(|(range, slots)| {
+            .map(|(range, lane)| {
                 let rows = range.len();
-                let mut xs = slots[0]
-                    .workspace
-                    .acquire_uninit(x.shape().with_dim(0, rows));
+                let mut xs = lane[0].acquire_uninit(x.shape().with_dim(0, rows));
                 xs.data_mut()
                     .copy_from_slice(&x.data()[range.start * row..range.end * row]);
-                let out: Vec<Tensor> = slots
-                    .iter_mut()
-                    .map(|s| s.member.predict_proba_with(&xs, bs, &mut s.workspace))
+                let out: Vec<Tensor> = members
+                    .iter()
+                    .zip(lane.iter_mut())
+                    .map(|(m, ws)| m.predict_proba_eval(&xs, bs, ws))
                     .collect();
-                slots[0].workspace.release(xs);
+                lane[0].release(xs);
                 out
             })
             .collect();
 
         // Stitch per-member outputs back in example order.
-        let mut probs: Vec<Tensor> = (0..members).map(|_| Tensor::zeros([n, k])).collect();
+        let mut probs: Vec<Tensor> = (0..members.len()).map(|_| Tensor::zeros([n, k])).collect();
         let mut start = 0;
         for lane in &shard_probs {
             let rows = lane[0].shape().dim(0);
@@ -415,16 +486,14 @@ impl InferenceEngine {
         MemberPredictions::from_probs(probs)
     }
 
-    /// Grows the replica lane pool to at least `extra` lanes beyond the
-    /// primary, cloning the current member weights.
-    fn ensure_replicas(&mut self, extra: usize) {
-        while self.replicas.len() < extra {
-            self.replicas.push(
-                self.slots
-                    .iter()
-                    .map(|s| Slot::new(s.member.clone()))
-                    .collect(),
-            );
+    /// Grows the workspace-lane pool to at least `lanes` lanes. Unlike the
+    /// pre-split engine this clones **no weights** — a lane is just one
+    /// empty workspace per member.
+    fn ensure_lanes(&mut self, lanes: usize) {
+        let members = self.plan.num_members();
+        while self.lanes.len() < lanes {
+            self.lanes
+                .push((0..members).map(|_| Workspace::new()).collect());
         }
     }
 
@@ -443,15 +512,172 @@ impl InferenceEngine {
         combine::vote_labels(&self.predict(x))
     }
 
-    /// Read access to the members, in engine order.
-    pub fn members(&self) -> Vec<&EnsembleMember> {
-        self.slots.iter().map(|s| &s.member).collect()
+    /// Closes the session, returning its handle on the shared plan.
+    pub fn into_plan(self) -> Arc<EnginePlan> {
+        self.plan
+    }
+}
+
+/// Compatibility facade over the plan/session split: one shared
+/// [`EnginePlan`] plus one [`EngineSession`], exposing the single-owner
+/// API earlier PRs shipped. New code that wants several workers over one
+/// ensemble should hold an `Arc<EnginePlan>` and open sessions directly;
+/// the facade's [`InferenceEngine::plan_handle`] bridges the two worlds.
+#[derive(Debug)]
+pub struct InferenceEngine {
+    session: EngineSession,
+}
+
+impl InferenceEngine {
+    /// Builds a plan from `members` and opens one session over it (see
+    /// [`EnginePlan::new`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::EmptyEnsemble`] for zero members, and
+    /// [`EngineError::MemberMismatch`] when members disagree on input
+    /// geometry or class count.
+    pub fn new(members: Vec<EnsembleMember>, batch_size: usize) -> Result<Self, EngineError> {
+        Ok(InferenceEngine::from_plan(
+            EnginePlan::new(members, batch_size)?.into_shared(),
+        ))
     }
 
-    /// Decomposes the engine back into its members (workspaces and
-    /// replica lanes dropped).
+    /// Opens an engine (facade) over an existing shared plan.
+    pub fn from_plan(plan: Arc<EnginePlan>) -> Self {
+        InferenceEngine {
+            session: plan.session(),
+        }
+    }
+
+    /// Boots an engine from an `MNE1` ensemble artifact file (see
+    /// [`EnginePlan::load`]).
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`] from reading or parsing the file.
+    pub fn load(path: impl AsRef<Path>, batch_size: usize) -> Result<Self, ArtifactError> {
+        Ok(InferenceEngine::from_plan(
+            EnginePlan::load(path, batch_size)?.into_shared(),
+        ))
+    }
+
+    /// [`InferenceEngine::load`] over in-memory artifact bytes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ArtifactError`] from parsing the bytes.
+    pub fn from_artifact_bytes(bytes: &[u8], batch_size: usize) -> Result<Self, ArtifactError> {
+        Ok(InferenceEngine::from_plan(
+            EnginePlan::from_artifact_bytes(bytes, batch_size)?.into_shared(),
+        ))
+    }
+
+    /// Serializes the engine's members as an `MNE1` artifact.
+    pub fn to_artifact_bytes(&self, manifest: &EnsembleManifest) -> Vec<u8> {
+        self.session.plan().to_artifact_bytes(manifest)
+    }
+
+    /// A shareable handle on the engine's plan — open more sessions (or a
+    /// sharded server) over the same weights.
+    pub fn plan_handle(&self) -> Arc<EnginePlan> {
+        Arc::clone(self.session.plan())
+    }
+
+    /// Overrides this engine's parallelism policy (the default is
+    /// [`ExecPolicy::Auto`]).
+    pub fn set_policy(&mut self, policy: ExecPolicy) {
+        self.session.set_policy(policy);
+    }
+
+    /// The active parallelism policy.
+    pub fn policy(&self) -> ExecPolicy {
+        self.session.policy()
+    }
+
+    /// Resolves the execution plan for a batch of `n` examples (see
+    /// [`EnginePlan::resolve`]).
+    pub fn plan(&self, n: usize) -> Plan {
+        self.session.plan_for(n)
+    }
+
+    /// Upper bound on data-parallel shards (see
+    /// [`EnginePlan::max_shards`]).
+    pub fn max_shards(&self) -> usize {
+        self.session.plan().max_shards()
+    }
+
+    /// Number of ensemble members.
+    pub fn num_members(&self) -> usize {
+        self.session.plan().num_members()
+    }
+
+    /// Mini-batch size used per member.
+    pub fn batch_size(&self) -> usize {
+        self.session.plan().batch_size()
+    }
+
+    /// Input geometry every member expects.
+    pub fn input_spec(&self) -> InputSpec {
+        self.session.plan().input_spec()
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.session.plan().num_classes()
+    }
+
+    /// Number of materialized workspace lanes (see
+    /// [`EngineSession::replica_lanes`]).
+    pub fn replica_lanes(&self) -> usize {
+        self.session.replica_lanes()
+    }
+
+    /// Member names, in engine order — no per-call allocation.
+    pub fn member_names(&self) -> impl Iterator<Item = &str> {
+        self.session.plan().member_names()
+    }
+
+    /// Read access to the members, in engine order — a borrowed slice, no
+    /// per-call allocation.
+    pub fn members(&self) -> &[EnsembleMember] {
+        self.session.plan().members()
+    }
+
+    /// Runs every member over the request batch (see
+    /// [`EngineSession::predict`]).
+    pub fn predict(&mut self, x: &Tensor) -> MemberPredictions {
+        self.session.predict(x)
+    }
+
+    /// Ensemble-averaged probabilities `[N, K]` for the request batch.
+    pub fn predict_average(&mut self, x: &Tensor) -> Tensor {
+        self.session.predict_average(x)
+    }
+
+    /// Hard labels under ensemble averaging (the paper's EA rule).
+    pub fn predict_labels(&mut self, x: &Tensor) -> Vec<usize> {
+        self.session.predict_labels(x)
+    }
+
+    /// Hard labels under majority voting with probability tie-breaking.
+    pub fn predict_vote_labels(&mut self, x: &Tensor) -> Vec<usize> {
+        self.session.predict_vote_labels(x)
+    }
+
+    /// Decomposes the engine back into its plan (session scratch dropped).
+    pub fn into_plan(self) -> Arc<EnginePlan> {
+        self.session.into_plan()
+    }
+
+    /// Decomposes the engine back into its members (workspaces and lane
+    /// scratch dropped). If other sessions still share the plan, the
+    /// members are cloned; sole owners pay nothing.
     pub fn into_members(self) -> Vec<EnsembleMember> {
-        self.slots.into_iter().map(|s| s.member).collect()
+        match Arc::try_unwrap(self.session.into_plan()) {
+            Ok(plan) => plan.into_members(),
+            Err(shared) => shared.members().to_vec(),
+        }
     }
 }
 
@@ -517,7 +743,9 @@ mod tests {
         let engine = engine(2, 16);
         assert_eq!(engine.num_members(), 2);
         assert_eq!(engine.batch_size(), 16);
-        assert_eq!(engine.member_names(), vec!["m0", "m1"]);
+        assert_eq!(engine.member_names().collect::<Vec<_>>(), vec!["m0", "m1"]);
+        assert_eq!(engine.members().len(), 2);
+        assert_eq!(engine.members()[1].name, "m1");
         assert_eq!(engine.num_classes(), 3);
         assert_eq!(engine.input_spec(), InputSpec::new(1, 2, 2));
         let back = engine.into_members();
@@ -582,12 +810,12 @@ mod tests {
         e.set_policy(ExecPolicy::MemberParallel);
         let x = Tensor::zeros([8, 1, 2, 2]);
         let _ = e.predict(&x);
-        assert_eq!(e.replica_lanes(), 1, "member-parallel must not replicate");
+        assert_eq!(e.replica_lanes(), 1, "member-parallel must not build lanes");
         e.set_policy(ExecPolicy::DataParallel { shards: 4 });
         let _ = e.predict(&x);
         assert_eq!(e.replica_lanes(), 4);
         let _ = e.predict(&x);
-        assert_eq!(e.replica_lanes(), 4, "lanes are reused, not re-cloned");
+        assert_eq!(e.replica_lanes(), 4, "lanes are reused, not rebuilt");
     }
 
     #[test]
@@ -598,8 +826,8 @@ mod tests {
         e.set_policy(ExecPolicy::DataParallel { shards: 8 });
         assert_eq!(e.plan(3), Plan::DataParallel { shards: 3 });
         assert_eq!(e.plan(0), Plan::MemberParallel);
-        // An absurd request must not be able to demand one replica lane
-        // per example of a huge batch.
+        // An absurd request must not be able to demand one lane per
+        // example of a huge batch.
         e.set_policy(ExecPolicy::DataParallel { shards: usize::MAX });
         match e.plan(1_000_000) {
             Plan::DataParallel { shards } => assert_eq!(shards, e.max_shards()),
@@ -638,5 +866,75 @@ mod tests {
         let preds = e.predict(&empty);
         assert_eq!(preds.num_examples(), 0);
         assert_eq!(preds.num_members(), 2);
+    }
+
+    #[test]
+    fn sessions_share_one_plan_without_weight_clones() {
+        // The acceptance criterion of the plan/session split: N sessions
+        // over one plan reference the *same* member storage (pointer
+        // identity), produce identical output, and per-session policies
+        // stay independent.
+        let plan = EnginePlan::new(members(3), 4).unwrap().into_shared();
+        let mut a = plan.session();
+        let mut b = plan.session();
+        assert!(
+            Arc::ptr_eq(a.plan(), b.plan()),
+            "sessions must share one plan"
+        );
+        let pa = a.plan().members().as_ptr();
+        let pb = b.plan().members().as_ptr();
+        assert_eq!(pa, pb, "sessions must not clone member storage");
+        // First member's weight data is the same allocation from both.
+        let wa = a.plan().members()[0].network.nodes().as_ptr();
+        let wb = b.plan().members()[0].network.nodes().as_ptr();
+        assert_eq!(wa, wb, "member weights must be shared, not cloned");
+
+        let x = Tensor::randn([10, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(9));
+        b.set_policy(ExecPolicy::DataParallel { shards: 4 });
+        assert_eq!(a.policy(), ExecPolicy::Auto, "policies are per-session");
+        let ra = a.predict(&x);
+        let rb = b.predict(&x);
+        for (m, (p, q)) in ra.probs().iter().zip(rb.probs()).enumerate() {
+            assert_eq!(p.data(), q.data(), "member {m} diverged across sessions");
+        }
+        // Data-parallel lanes grew only in the session that ran them.
+        assert_eq!(a.replica_lanes(), 1);
+        assert!(b.replica_lanes() >= 2);
+    }
+
+    #[test]
+    fn with_policy_sets_the_session_default() {
+        let plan = EnginePlan::new(members(2), 4)
+            .unwrap()
+            .with_policy(ExecPolicy::DataParallel { shards: 2 })
+            .into_shared();
+        assert_eq!(
+            plan.default_policy(),
+            ExecPolicy::DataParallel { shards: 2 }
+        );
+        // New sessions inherit the plan default; overriding one session
+        // leaves the plan (and future sessions) untouched.
+        let mut session = plan.session();
+        assert_eq!(session.policy(), ExecPolicy::DataParallel { shards: 2 });
+        assert_eq!(session.plan_for(8), Plan::DataParallel { shards: 2 });
+        session.set_policy(ExecPolicy::MemberParallel);
+        assert_eq!(
+            plan.session().policy(),
+            ExecPolicy::DataParallel { shards: 2 }
+        );
+    }
+
+    #[test]
+    fn facade_matches_direct_session_bitwise() {
+        // Old API (facade) vs new API (plan + session): same bits.
+        let x = Tensor::randn([8, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(10));
+        let mut old = engine(3, 4);
+        let plan = EnginePlan::new(members(3), 4).unwrap().into_shared();
+        let mut new = plan.session();
+        let a = old.predict(&x);
+        let b = new.predict(&x);
+        for (m, (p, q)) in a.probs().iter().zip(b.probs()).enumerate() {
+            assert_eq!(p.data(), q.data(), "member {m} diverged old-vs-new API");
+        }
     }
 }

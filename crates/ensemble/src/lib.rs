@@ -17,20 +17,27 @@
 //!
 //! Serving is a three-layer stack:
 //!
-//! * [`engine`] — a planned, two-axis parallel executor: member-parallel
-//!   fan-out for small batches, data-parallel batch sharding across
-//!   replica lanes for large ones, chosen per batch by
-//!   [`engine::ExecPolicy::Auto`]. Per-member workspaces make
-//!   steady-state serving allocation-free, and results stream into the
-//!   same [`MemberPredictions`]/combine machinery. Output is bitwise
-//!   identical across plans and thread counts.
+//! * [`engine`] — split into an immutable, `Arc`-shared
+//!   [`engine::EnginePlan`] (members/weights, planning logic, artifact
+//!   load/save) and cheap per-worker [`engine::EngineSession`]s
+//!   (workspaces + replica-lane scratch only), so N workers execute one
+//!   copy of the ensemble. Each batch resolves to a two-axis plan —
+//!   member-parallel fan-out or data-parallel batch sharding — chosen by
+//!   [`engine::ExecPolicy::Auto`]; results stream into the same
+//!   [`MemberPredictions`]/combine machinery. Output is bitwise identical
+//!   across plans, sessions, and thread counts.
+//!   [`engine::InferenceEngine`] remains as a one-plan-one-session
+//!   compatibility facade.
 //! * [`artifact`] — the `MNE1` ensemble artifact format (manifest +
 //!   per-member architecture JSON and `MNW1` weights), so serving
-//!   cold-starts from disk via [`engine::InferenceEngine::load`] without
-//!   retraining.
-//! * [`serve`] — a dynamic-batching [`serve::Server`]: a request queue
-//!   plus a micro-batcher that coalesces single-example requests up to a
-//!   batch/deadline bound, with per-request latency capture.
+//!   cold-starts from disk via [`engine::EnginePlan::load`] (zero-init
+//!   restore, no RNG) without retraining.
+//! * [`serve`] — a sharded, backpressured [`serve::Server`]
+//!   ([`serve::ServerBuilder`]): N worker shards, each an
+//!   [`engine::EngineSession`] over the shared plan, pull from one
+//!   bounded MPMC queue with typed [`serve::ServeError::Overloaded`]
+//!   admission control, dynamic micro-batching per shard, per-shard +
+//!   aggregate [`serve::ServerStats`], and graceful drain on shutdown.
 //!
 //! ## Example
 //!
@@ -58,8 +65,10 @@ pub mod serve;
 pub mod super_learner;
 
 pub use artifact::{ArtifactError, EnsembleManifest};
-pub use engine::{EngineError, ExecPolicy, InferenceEngine, Plan};
+pub use engine::{EngineError, EnginePlan, EngineSession, ExecPolicy, InferenceEngine, Plan};
 pub use evaluate::{evaluate_members, evaluate_predictions, EnsembleEvaluation};
 pub use member::{EnsembleMember, MemberPredictions};
-pub use serve::{BatchingConfig, Prediction, ServeError, Server, ServerStats};
+pub use serve::{
+    BatchingConfig, Prediction, ServeError, Server, ServerBuilder, ServerReport, ServerStats,
+};
 pub use super_learner::{SuperLearner, SuperLearnerConfig};

@@ -1,6 +1,8 @@
 //! Ensemble members and batched prediction collection.
 
-use mn_nn::metrics::{predict_proba_batched, predict_proba_batched_with};
+use mn_nn::metrics::{
+    predict_proba_batched, predict_proba_batched_eval, predict_proba_batched_with,
+};
 use mn_nn::Network;
 use mn_tensor::{Tensor, Workspace};
 
@@ -37,6 +39,15 @@ impl EnsembleMember {
         ws: &mut Workspace,
     ) -> Tensor {
         predict_proba_batched_with(&mut self.network, x, batch_size, ws)
+    }
+
+    /// [`EnsembleMember::predict_proba_with`] through shared access only:
+    /// eval-mode prediction never writes back into the member, so many
+    /// [`crate::engine::EngineSession`] workers can execute one shared
+    /// member concurrently, each with its own workspace. Bitwise identical
+    /// to the `&mut` variants (same underlying code).
+    pub fn predict_proba_eval(&self, x: &Tensor, batch_size: usize, ws: &mut Workspace) -> Tensor {
+        predict_proba_batched_eval(&self.network, x, batch_size, ws)
     }
 }
 

@@ -1,34 +1,50 @@
-//! [`Server`]: a dynamic-batching front-end over the
-//! [`InferenceEngine`](crate::engine::InferenceEngine).
+//! [`Server`]: a sharded, backpressured, dynamic-batching front-end over
+//! a shared [`EnginePlan`].
 //!
 //! Production ensemble traffic is dominated by single-example requests,
 //! but every kernel underneath is batch-oriented — served one by one,
 //! each request would pay the full member fan-out for one row of GEMM
-//! work. The server closes that gap with a **dynamic micro-batcher**:
+//! work. And one batching worker caps the whole server at a single
+//! engine's throughput. The server closes both gaps:
 //!
-//! * requests enter a queue ([`ServeClient::submit`] is cheap and
-//!   thread-safe; clients are `Clone` and live on any thread);
-//! * a dedicated worker thread coalesces queued requests into one batch,
-//!   up to [`BatchingConfig::max_batch`] examples or until
-//!   [`BatchingConfig::max_wait`] has passed since the batch opened —
-//!   whichever comes first (an idle server therefore adds at most
-//!   `max_wait` latency, a busy one none);
-//! * the batch runs through the engine once, and each requester receives
-//!   its own row: ensemble-averaged probabilities, the arg-max label,
-//!   the end-to-end latency of *its* request, and the size of the
-//!   micro-batch it rode in.
+//! ```text
+//!                  ┌──────────────────────────────┐
+//!  ServeClient ──▶ │   bounded MPMC request queue │──▶ shard 0: EngineSession ─┐
+//!  ServeClient ──▶ │  (Overloaded when full)      │──▶ shard 1: EngineSession ─┼─▶ replies
+//!      ...         │                              │──▶ shard N: EngineSession ─┘
+//!                  └──────────────────────────────┘         │
+//!                                            Arc<EnginePlan> (one copy of all weights)
+//! ```
 //!
-//! Micro-batch composition never affects results: each example's forward
-//! pass is independent of its batch neighbors (the engine's determinism
-//! contract), so a request answered alone is bitwise identical to the
-//! same request answered inside a full batch — pinned by the
-//! `serving_stack` integration suite.
+//! * **Sharding** — [`ServerBuilder::shards`] starts N worker threads,
+//!   each owning an [`EngineSession`] over one shared [`EnginePlan`]: no
+//!   per-shard weight clones, N concurrent micro-batches.
+//! * **Backpressure** — the request queue is bounded
+//!   ([`ServerBuilder::queue_capacity`]). A submit against a full queue
+//!   fails *immediately* with [`ServeError::Overloaded`] (carrying the
+//!   observed queue depth) instead of growing the queue without bound;
+//!   the server keeps serving and later submits succeed again.
+//! * **Dynamic micro-batching** — each shard coalesces queued requests
+//!   into one engine call, up to [`BatchingConfig::max_batch`] examples
+//!   or until [`BatchingConfig::max_wait`] has passed since its batch
+//!   opened (an idle server adds at most `max_wait` latency, a busy one
+//!   none).
+//! * **Graceful shutdown** — [`Server::shutdown`] closes the queue to new
+//!   submissions, lets every shard drain the requests already admitted
+//!   (each gets its answer, none observe `Closed`), then joins the
+//!   workers and returns per-shard plus aggregate [`ServerStats`].
+//!
+//! Micro-batch composition and shard count never affect results: each
+//! example's forward pass is independent of its batch neighbors (the
+//! engine's determinism contract), so a request answered alone on shard 3
+//! is bitwise identical to the same request answered inside a full batch
+//! on shard 0 — pinned by the `serving_stack` integration suite.
 //!
 //! ## Example
 //!
 //! ```
-//! use mn_ensemble::engine::InferenceEngine;
-//! use mn_ensemble::serve::{BatchingConfig, Server};
+//! use mn_ensemble::engine::EnginePlan;
+//! use mn_ensemble::serve::Server;
 //! use mn_ensemble::EnsembleMember;
 //! use mn_nn::arch::{Architecture, InputSpec};
 //! use mn_nn::Network;
@@ -36,26 +52,30 @@
 //!
 //! let arch = Architecture::mlp("m", InputSpec::new(1, 2, 2), 3, vec![4]);
 //! let members = vec![EnsembleMember::new("m", Network::seeded(&arch, 0))];
-//! let engine = InferenceEngine::new(members, 32).unwrap();
-//! let server = Server::start(engine, BatchingConfig::default());
+//! let plan = EnginePlan::new(members, 32).unwrap().into_shared();
+//! let server = Server::builder(plan).shards(2).queue_capacity(64).start();
 //! let pending = server.submit(&Tensor::zeros([1, 2, 2])).unwrap();
 //! let prediction = pending.wait().unwrap();
 //! assert_eq!(prediction.probs.len(), 3);
-//! let stats = server.shutdown();
-//! assert_eq!(stats.requests, 1);
+//! let report = server.shutdown();
+//! assert_eq!(report.aggregate.requests, 1);
+//! assert_eq!(report.per_shard.len(), 2);
 //! ```
 
+use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mn_nn::arch::InputSpec;
 use mn_tensor::{ops, Tensor, Workspace};
 
-use crate::engine::InferenceEngine;
+use crate::engine::{EnginePlan, EngineSession, ExecPolicy, InferenceEngine};
 
-/// Dynamic micro-batcher bounds.
+/// Dynamic micro-batcher bounds (per shard).
 #[derive(Clone, Copy, Debug)]
 pub struct BatchingConfig {
     /// Maximum examples coalesced into one engine call.
@@ -82,6 +102,14 @@ pub enum ServeError {
         /// Human-readable detail.
         detail: String,
     },
+    /// The bounded request queue is full: the server is admitting work
+    /// faster than its shards drain it. Typed so callers can shed load /
+    /// retry with backoff instead of growing an unbounded queue.
+    Overloaded {
+        /// Queue depth observed at rejection time (= the configured
+        /// capacity).
+        queue_depth: usize,
+    },
     /// The server has shut down (or shut down before answering).
     Closed,
 }
@@ -90,6 +118,9 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::BadExample { detail } => write!(f, "bad example: {detail}"),
+            ServeError::Overloaded { queue_depth } => {
+                write!(f, "server overloaded: request queue full at {queue_depth}")
+            }
             ServeError::Closed => write!(f, "server is shut down"),
         }
     }
@@ -109,10 +140,12 @@ pub struct Prediction {
     pub latency: Duration,
     /// Size of the micro-batch this request was served in.
     pub batch: usize,
+    /// Worker shard that served this request.
+    pub shard: usize,
 }
 
-/// Aggregate counters the worker reports at shutdown (also readable as
-/// the return value of [`Server::shutdown`]).
+/// Counters one shard (or the whole server, aggregated) reports at
+/// shutdown.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerStats {
     /// Requests answered.
@@ -133,6 +166,25 @@ impl ServerStats {
             self.requests as f64 / self.batches as f64
         }
     }
+
+    fn merge(&mut self, other: &ServerStats) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.max_batch_filled = self.max_batch_filled.max(other.max_batch_filled);
+    }
+}
+
+/// What [`Server::shutdown`] returns: aggregate counters, the per-shard
+/// breakdown, and the admission-control tally.
+#[derive(Clone, Debug)]
+pub struct ServerReport {
+    /// Counters summed over all shards.
+    pub aggregate: ServerStats,
+    /// Counters per worker shard, in shard order.
+    pub per_shard: Vec<ServerStats>,
+    /// Submissions rejected with [`ServeError::Overloaded`] over the
+    /// server's lifetime.
+    pub rejected: u64,
 }
 
 struct Request {
@@ -142,16 +194,110 @@ struct Request {
     reply: mpsc::Sender<Prediction>,
 }
 
-enum Msg {
-    Request(Box<Request>),
-    Shutdown,
+/// The bounded MPMC request queue every shard pulls from. Hand-rolled on
+/// `Mutex<VecDeque>` + `Condvar` (the workspace has no queue dependency):
+/// admission is O(1) under one lock, `close` flips `open` so producers
+/// are rejected while consumers drain what was already admitted.
+struct SharedQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+    rejected: AtomicU64,
+}
+
+struct QueueState {
+    queue: VecDeque<Box<Request>>,
+    open: bool,
+}
+
+impl SharedQueue {
+    fn new(capacity: usize) -> Self {
+        SharedQueue {
+            state: Mutex::new(QueueState {
+                queue: VecDeque::with_capacity(capacity.min(1024)),
+                open: true,
+            }),
+            available: Condvar::new(),
+            capacity,
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Admission control: typed rejection instead of unbounded growth.
+    fn push(&self, request: Box<Request>) -> Result<(), ServeError> {
+        let mut state = self.state.lock().expect("queue lock");
+        if !state.open {
+            return Err(ServeError::Closed);
+        }
+        if state.queue.len() >= self.capacity {
+            let depth = state.queue.len();
+            drop(state);
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded { queue_depth: depth });
+        }
+        state.queue.push_back(request);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a request is available. Returns `None` only when the
+    /// queue is closed **and** fully drained — shutdown answers every
+    /// admitted request.
+    fn pop_blocking(&self) -> Option<Box<Request>> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(r) = state.queue.pop_front() {
+                return Some(r);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Non-blocking-ish pop with a deadline, used while a shard's batch
+    /// is open: returns `None` on deadline or when the queue is closed
+    /// and empty (the shard then flushes its open batch).
+    fn pop_until(&self, deadline: Instant) -> Option<Box<Request>> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(r) = state.queue.pop_front() {
+                return Some(r);
+            }
+            if !state.open {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timeout) = self
+                .available
+                .wait_timeout(state, deadline - now)
+                .expect("queue lock");
+            state = guard;
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.open = false;
+        drop(state);
+        self.available.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").queue.len()
+    }
 }
 
 /// A handle for submitting requests; cheap to clone and send across
 /// threads.
 #[derive(Clone)]
 pub struct ServeClient {
-    tx: mpsc::Sender<Msg>,
+    queue: Arc<SharedQueue>,
     input: InputSpec,
 }
 
@@ -162,7 +308,8 @@ impl ServeClient {
     /// # Errors
     ///
     /// [`ServeError::BadExample`] when the shape does not match the
-    /// ensemble input, [`ServeError::Closed`] when the server is gone.
+    /// ensemble input, [`ServeError::Overloaded`] when the bounded queue
+    /// is full, [`ServeError::Closed`] when the server is gone.
     pub fn submit(&self, example: &Tensor) -> Result<PendingPrediction, ServeError> {
         let want = [self.input.channels, self.input.height, self.input.width];
         let dims = example.shape().dims();
@@ -188,9 +335,7 @@ impl ServeClient {
             enqueued: Instant::now(),
             reply,
         });
-        self.tx
-            .send(Msg::Request(request))
-            .map_err(|_| ServeError::Closed)?;
+        self.queue.push(request)?;
         Ok(PendingPrediction { rx })
     }
 }
@@ -211,26 +356,109 @@ impl PendingPrediction {
     }
 }
 
-/// A running ensemble server: an [`InferenceEngine`] owned by a worker
-/// thread behind a dynamic micro-batcher.
+/// Configures and starts a [`Server`]: shard count, queue bound, batching
+/// window, and execution policy, all over one shared [`EnginePlan`].
+pub struct ServerBuilder {
+    plan: Arc<EnginePlan>,
+    policy: ExecPolicy,
+    shards: usize,
+    queue_capacity: usize,
+    batching: BatchingConfig,
+}
+
+impl ServerBuilder {
+    /// Starts from a shared plan with 1 shard, a 1024-request queue
+    /// bound, the default batching window, and the plan's default policy.
+    pub fn new(plan: Arc<EnginePlan>) -> Self {
+        let policy = plan.default_policy();
+        ServerBuilder {
+            plan,
+            policy,
+            shards: 1,
+            queue_capacity: 1024,
+            batching: BatchingConfig::default(),
+        }
+    }
+
+    /// Number of worker shards, each owning an [`EngineSession`] over the
+    /// shared plan (clamped to at least 1).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Bound on queued (admitted, not yet batched) requests; submissions
+    /// beyond it are rejected with [`ServeError::Overloaded`] (clamped to
+    /// at least 1).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Per-shard micro-batching bounds.
+    pub fn batching(mut self, cfg: BatchingConfig) -> Self {
+        self.batching = cfg;
+        self
+    }
+
+    /// Execution policy every shard's session runs.
+    pub fn policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Starts the worker shards and returns the running server.
+    pub fn start(self) -> Server {
+        let queue = Arc::new(SharedQueue::new(self.queue_capacity));
+        let input = self.plan.input_spec();
+        let workers: Vec<JoinHandle<ServerStats>> = (0..self.shards)
+            .map(|shard| {
+                let mut session = self.plan.session();
+                session.set_policy(self.policy);
+                let queue = Arc::clone(&queue);
+                let cfg = self.batching;
+                std::thread::Builder::new()
+                    .name(format!("mn-serve-{shard}"))
+                    .spawn(move || shard_loop(shard, session, cfg, queue))
+                    .expect("serving worker spawns")
+            })
+            .collect();
+        Server {
+            client: ServeClient {
+                queue: Arc::clone(&queue),
+                input,
+            },
+            queue,
+            workers,
+        }
+    }
+}
+
+/// A running ensemble server: N worker shards — each an [`EngineSession`]
+/// over one shared [`EnginePlan`] — pulling from one bounded MPMC request
+/// queue. See the module docs for the full picture.
 pub struct Server {
     client: ServeClient,
-    worker: Option<JoinHandle<ServerStats>>,
+    queue: Arc<SharedQueue>,
+    workers: Vec<JoinHandle<ServerStats>>,
 }
 
 impl Server {
-    /// Takes ownership of `engine` and starts the batching worker.
+    /// Entry point of the builder API (see [`ServerBuilder`]).
+    pub fn builder(plan: Arc<EnginePlan>) -> ServerBuilder {
+        ServerBuilder::new(plan)
+    }
+
+    /// Compatibility constructor over the pre-split API: consumes an
+    /// [`InferenceEngine`], inherits its policy, and serves its plan with
+    /// one shard. Equivalent to
+    /// `Server::builder(engine.into_plan()).batching(cfg).start()`.
     pub fn start(engine: InferenceEngine, cfg: BatchingConfig) -> Server {
-        let input = engine.input_spec();
-        let (tx, rx) = mpsc::channel::<Msg>();
-        let worker = std::thread::Builder::new()
-            .name("mn-serve".to_string())
-            .spawn(move || worker_loop(engine, cfg, rx))
-            .expect("serving worker spawns");
-        Server {
-            client: ServeClient { tx, input },
-            worker: Some(worker),
-        }
+        let policy = engine.policy();
+        Server::builder(engine.into_plan())
+            .policy(policy)
+            .batching(cfg)
+            .start()
     }
 
     /// A cloneable submission handle for client threads.
@@ -248,61 +476,69 @@ impl Server {
         self.client.submit(example)
     }
 
-    /// Stops the worker after the micro-batch in flight completes and
-    /// returns its counters. Requests still queued (and clients still
-    /// holding handles) observe [`ServeError::Closed`].
-    pub fn shutdown(mut self) -> ServerStats {
-        let _ = self.client.tx.send(Msg::Shutdown);
-        let handle = self.worker.take().expect("worker present until shutdown");
-        handle.join().expect("serving worker exits cleanly")
+    /// Number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Requests currently admitted but not yet pulled into a micro-batch.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Graceful shutdown: closes the queue to new submissions (clients
+    /// observe [`ServeError::Closed`]), drains every request already
+    /// admitted — each receives its answer — then joins the shards and
+    /// returns per-shard plus aggregate counters.
+    pub fn shutdown(mut self) -> ServerReport {
+        self.queue.close();
+        let per_shard: Vec<ServerStats> = self
+            .workers
+            .drain(..)
+            .map(|w| w.join().expect("serving worker exits cleanly"))
+            .collect();
+        let mut aggregate = ServerStats::default();
+        for s in &per_shard {
+            aggregate.merge(s);
+        }
+        ServerReport {
+            aggregate,
+            per_shard,
+            rejected: self.queue.rejected.load(Ordering::Relaxed),
+        }
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        if let Some(handle) = self.worker.take() {
-            let _ = self.client.tx.send(Msg::Shutdown);
-            let _ = handle.join();
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
     }
 }
 
-fn worker_loop(
-    mut engine: InferenceEngine,
+fn shard_loop(
+    shard: usize,
+    mut session: EngineSession,
     cfg: BatchingConfig,
-    rx: mpsc::Receiver<Msg>,
+    queue: Arc<SharedQueue>,
 ) -> ServerStats {
     let max_batch = cfg.max_batch.max(1);
-    let input = engine.input_spec();
+    let input = session.plan().input_spec();
     let row = input.channels * input.height * input.width;
-    let k = engine.num_classes();
+    let k = session.plan().num_classes();
     let mut ws = Workspace::new();
     let mut stats = ServerStats::default();
-    'serve: loop {
-        // Block for the request that opens the next micro-batch.
-        let first = match rx.recv() {
-            Ok(Msg::Request(r)) => r,
-            Ok(Msg::Shutdown) | Err(_) => break 'serve,
-        };
+    // `pop_blocking` returns None only when the queue is closed *and*
+    // drained, so every admitted request is answered before exit.
+    while let Some(first) = queue.pop_blocking() {
         let deadline = Instant::now() + cfg.max_wait;
         let mut batch = vec![first];
-        let mut stop_after = false;
         while batch.len() < max_batch {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            match rx.recv_timeout(deadline - now) {
-                Ok(Msg::Request(r)) => batch.push(r),
-                Ok(Msg::Shutdown) => {
-                    stop_after = true;
-                    break;
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => break,
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    stop_after = true;
-                    break;
-                }
+            match queue.pop_until(deadline) {
+                Some(r) => batch.push(r),
+                None => break,
             }
         }
 
@@ -312,7 +548,7 @@ fn worker_loop(
         for (i, req) in batch.iter().enumerate() {
             xb.data_mut()[i * row..(i + 1) * row].copy_from_slice(req.example.data());
         }
-        let avg = engine.predict_average(&xb);
+        let avg = session.predict_average(&xb);
         ws.release(xb);
         let answered = Instant::now();
         let labels = ops::argmax_rows(&avg);
@@ -322,6 +558,7 @@ fn worker_loop(
                 label: labels[i],
                 latency: answered - req.enqueued,
                 batch: b,
+                shard,
             };
             // A requester that gave up (dropped its handle) is not an
             // error for the server.
@@ -330,9 +567,6 @@ fn worker_loop(
         stats.requests += b as u64;
         stats.batches += 1;
         stats.max_batch_filled = stats.max_batch_filled.max(b);
-        if stop_after {
-            break 'serve;
-        }
     }
     stats
 }
@@ -346,12 +580,16 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn engine() -> InferenceEngine {
+    fn plan() -> Arc<EnginePlan> {
         let arch = Architecture::mlp("m", InputSpec::new(1, 2, 2), 3, vec![6]);
         let members: Vec<EnsembleMember> = (0..2)
             .map(|s| EnsembleMember::new(format!("m{s}"), Network::seeded(&arch, s)))
             .collect();
-        InferenceEngine::new(members, 8).unwrap()
+        EnginePlan::new(members, 8).unwrap().into_shared()
+    }
+
+    fn engine() -> InferenceEngine {
+        InferenceEngine::from_plan(plan())
     }
 
     #[test]
@@ -368,14 +606,17 @@ mod tests {
             assert_eq!(got.probs.len(), 3);
             assert!(got.label < 3);
             assert!(got.batch >= 1);
+            assert_eq!(got.shard, 0, "single-shard server has one shard id");
             assert!(got.latency > Duration::ZERO);
             let sum: f32 = got.probs.iter().sum();
             assert!((sum - 1.0).abs() < 1e-4);
         }
-        let stats = server.shutdown();
-        assert_eq!(stats.requests, 5);
-        assert!(stats.batches >= 1 && stats.batches <= 5);
-        assert!(stats.mean_batch() >= 1.0);
+        let report = server.shutdown();
+        assert_eq!(report.aggregate.requests, 5);
+        assert!(report.aggregate.batches >= 1 && report.aggregate.batches <= 5);
+        assert!(report.aggregate.mean_batch() >= 1.0);
+        assert_eq!(report.per_shard.len(), 1);
+        assert_eq!(report.rejected, 0);
     }
 
     #[test]
@@ -434,13 +675,104 @@ mod tests {
         for p in pending {
             p.wait().unwrap();
         }
-        let stats = server.shutdown();
-        assert_eq!(stats.requests, 16);
+        let report = server.shutdown();
+        assert_eq!(report.aggregate.requests, 16);
         assert!(
-            stats.batches < 16,
+            report.aggregate.batches < 16,
             "expected coalescing, got {} batches",
-            stats.batches
+            report.aggregate.batches
         );
-        assert!(stats.max_batch_filled > 1);
+        assert!(report.aggregate.max_batch_filled > 1);
+    }
+
+    #[test]
+    fn sharded_server_answers_every_request() {
+        let server = Server::builder(plan())
+            .shards(3)
+            .batching(BatchingConfig {
+                max_batch: 4,
+                max_wait: Duration::from_micros(200),
+            })
+            .start();
+        assert_eq!(server.num_shards(), 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pending: Vec<_> = (0..24)
+            .map(|_| {
+                let x = Tensor::randn([1, 2, 2], 1.0, &mut rng);
+                server.submit(&x).unwrap()
+            })
+            .collect();
+        for p in pending {
+            let got = p.wait().unwrap();
+            assert!(got.shard < 3);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.aggregate.requests, 24);
+        assert_eq!(report.per_shard.len(), 3);
+        let summed: u64 = report.per_shard.iter().map(|s| s.requests).sum();
+        assert_eq!(summed, 24, "per-shard stats must sum to the aggregate");
+    }
+
+    #[test]
+    fn overload_rejects_typed_then_recovers() {
+        // Tiny queue, small batches: flooding submits must hit the bound
+        // with a typed Overloaded error...
+        let server = Server::builder(plan())
+            .shards(1)
+            .queue_capacity(2)
+            .batching(BatchingConfig {
+                max_batch: 2,
+                max_wait: Duration::ZERO,
+            })
+            .start();
+        let x = Tensor::zeros([1, 2, 2]);
+        let mut pending = Vec::new();
+        let mut overloaded = None;
+        for _ in 0..100_000 {
+            match server.submit(&x) {
+                Ok(p) => pending.push(p),
+                Err(ServeError::Overloaded { queue_depth }) => {
+                    overloaded = Some(queue_depth);
+                    break;
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        let depth = overloaded.expect("a tiny queue must overflow under a submit flood");
+        assert_eq!(depth, 2, "rejection reports the configured bound");
+        // ...every admitted request still gets its answer...
+        for p in pending {
+            p.wait().expect("admitted requests are served");
+        }
+        // ...and the server recovers: later submits succeed again.
+        let recovered = server
+            .submit(&x)
+            .expect("server accepts again once the queue drains");
+        recovered.wait().unwrap();
+        let report = server.shutdown();
+        assert!(report.rejected >= 1, "rejections are counted");
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        // Requests admitted before shutdown must be answered, not dropped
+        // with Closed — even with a batching window that would otherwise
+        // hold them open.
+        let server = Server::builder(plan())
+            .shards(2)
+            .batching(BatchingConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(200),
+            })
+            .start();
+        let pending: Vec<_> = (0..12)
+            .map(|_| server.submit(&Tensor::zeros([1, 2, 2])).unwrap())
+            .collect();
+        let report = server.shutdown();
+        assert_eq!(report.aggregate.requests, 12, "shutdown drained the queue");
+        for p in pending {
+            p.wait()
+                .expect("in-flight request answered during graceful shutdown");
+        }
     }
 }

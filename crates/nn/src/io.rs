@@ -204,7 +204,10 @@ pub fn load_network(mut blob: &[u8]) -> Result<Network, WeightsError> {
     arch.validate().map_err(|e| WeightsError::BadArchitecture {
         detail: e.to_string(),
     })?;
-    let mut net = Network::seeded(&arch, 0);
+    // Zero-init target: every persistent tensor is overwritten by
+    // load_weights below, so sampling a random init first would only
+    // burn cold-start CPU (roughly half of it for large members).
+    let mut net = Network::zeroed(&arch);
     load_weights(&mut net, blob)?;
     Ok(net)
 }

@@ -33,6 +33,12 @@ impl ReluLayer {
             mask.extend(x.data().iter().map(|&v| v > 0.0));
             self.mask = Some(mask);
         }
+        self.forward_eval_ws(x, ws)
+    }
+
+    /// Eval-mode forward through shared access only (no backward mask is
+    /// recorded), so many serving sessions can share one layer.
+    pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let mut y = ws.acquire_uninit(x.shape().dims());
         for (out, &v) in y.data_mut().iter_mut().zip(x.data()) {
             *out = v.max(0.0);

@@ -138,8 +138,8 @@ impl BatchNorm {
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let (nb, cc, inner) = self.group_geometry(x);
         let m = nb * inner;
-        let mut y = ws.acquire_uninit(x.shape().dims());
         if train {
+            let mut y = ws.acquire_uninit(x.shape().dims());
             assert!(
                 m >= 2,
                 "batch-norm needs >= 2 elements per channel in train mode"
@@ -212,25 +212,42 @@ impl BatchNorm {
             ws.release(mean_t);
             ws.release(var_t);
             self.cache = Some(Box::new(BnCache { xhat, inv_std, m }));
+            y
         } else {
+            self.forward_eval_ws(x, ws)
+        }
+    }
+
+    /// Eval-mode forward through shared access only: normalizes with the
+    /// frozen running statistics and writes nothing back into the layer,
+    /// so many serving sessions can share one set of statistics. The
+    /// inv-std scratch is staged in the workspace.
+    pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let (nb, cc, inner) = self.group_geometry(x);
+        let mut y = ws.acquire_uninit(x.shape().dims());
+        let mut inv_std = ws.acquire_uninit([cc]);
+        for (o, &v) in inv_std.data_mut().iter_mut().zip(self.running_var.data()) {
+            *o = 1.0 / (v + self.eps).sqrt();
+        }
+        {
             let xd = x.data();
             let yd = y.data_mut();
             let g = self.gamma.value.data();
             let b = self.beta.value.data();
             let rm = self.running_mean.data();
-            let rv = self.running_var.data();
-            let inv_std: Vec<f32> = rv.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+            let isd = inv_std.data();
             for n in 0..nb {
                 for c in 0..cc {
                     let base = (n * cc + c) * inner;
                     let mu = rm[c];
-                    let is = inv_std[c];
+                    let is = isd[c];
                     for i in base..base + inner {
                         yd[i] = g[c] * (xd[i] - mu) * is + b[c];
                     }
                 }
             }
         }
+        ws.release(inv_std);
         y
     }
 

@@ -63,6 +63,21 @@ impl ConvLayer {
         }
     }
 
+    /// Creates a conv layer with all-zero kernels and bias — no RNG, no
+    /// Box–Muller sampling. This is the cold-start construction path for
+    /// checkpoint restore, where every value is immediately overwritten
+    /// anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is even.
+    pub fn zeroed(in_channels: usize, filters: usize, kernel: usize) -> Self {
+        ConvLayer::from_params(
+            Tensor::zeros([filters, in_channels, kernel, kernel]),
+            Tensor::zeros([filters]),
+        )
+    }
+
     /// Creates a conv layer from explicit parameters (morphism engine,
     /// tests).
     ///
@@ -137,18 +152,7 @@ impl ConvLayer {
     /// the im2col scratch; in train mode, the cached-input copy) in a
     /// [`Workspace`].
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
-        let k = self.kernel();
-        let pad = self.padding();
-        let y = if self.use_gemm() {
-            im2col::conv2d_forward_im2col_ws(x, &self.weight.value, &self.bias.value, pad, ws)
-        } else {
-            let d = x.shape().dims();
-            let ho = conv::conv_out_extent(d[2], k, pad);
-            let wo = conv::conv_out_extent(d[3], k, pad);
-            let mut y = ws.acquire_uninit([d[0], self.filters(), ho, wo]);
-            conv::conv2d_forward_into(x, &self.weight.value, &self.bias.value, pad, &mut y);
-            y
-        };
+        let y = self.forward_eval_ws(x, ws);
         if train {
             if let Some(old) = self.cached_input.take() {
                 ws.release(old);
@@ -158,6 +162,26 @@ impl ConvLayer {
             self.cached_input = Some(cache);
         }
         y
+    }
+
+    /// Eval-mode forward through shared access only: the same
+    /// [`ConvFormulation`] dispatch as [`ConvLayer::forward_ws`], but it
+    /// reads the kernel weights without writing anything back into the
+    /// layer — many serving sessions can execute one set of weights
+    /// concurrently.
+    pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let k = self.kernel();
+        let pad = self.padding();
+        if self.use_gemm() {
+            im2col::conv2d_forward_im2col_ws(x, &self.weight.value, &self.bias.value, pad, ws)
+        } else {
+            let d = x.shape().dims();
+            let ho = conv::conv_out_extent(d[2], k, pad);
+            let wo = conv::conv_out_extent(d[3], k, pad);
+            let mut y = ws.acquire_uninit([d[0], self.filters(), ho, wo]);
+            conv::conv2d_forward_into(x, &self.weight.value, &self.bias.value, pad, &mut y);
+            y
+        }
     }
 
     /// Backward pass: accumulates parameter gradients and returns the

@@ -27,6 +27,17 @@ impl DenseLayer {
         }
     }
 
+    /// Creates a dense layer with all-zero weights and bias — no RNG, no
+    /// Box–Muller sampling. This is the cold-start construction path for
+    /// checkpoint restore, where every value is immediately overwritten
+    /// anyway.
+    pub fn zeroed(in_features: usize, out_features: usize) -> Self {
+        DenseLayer::from_params(
+            Tensor::zeros([in_features, out_features]),
+            Tensor::zeros([out_features]),
+        )
+    }
+
     /// Creates a dense layer from explicit weights (used by the morphism
     /// engine and by tests).
     ///
@@ -66,9 +77,7 @@ impl DenseLayer {
     /// cached-input copy — in a [`Workspace`], so steady-state training
     /// steps reuse both buffers.
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
-        let mut y = ws.acquire_uninit([x.shape().dim(0), self.out_features()]);
-        ops::matmul_into_ws(x, &self.weight.value, &mut y, ws);
-        ops::add_row_bias(&mut y, &self.bias.value);
+        let y = self.forward_eval_ws(x, ws);
         if train {
             if let Some(old) = self.cached_input.take() {
                 ws.release(old);
@@ -77,6 +86,18 @@ impl DenseLayer {
             cache.data_mut().copy_from_slice(x.data());
             self.cached_input = Some(cache);
         }
+        y
+    }
+
+    /// Eval-mode forward through shared access only: reads the weights,
+    /// writes nothing back into the layer. This is what lets many serving
+    /// sessions execute one set of layer weights concurrently (the
+    /// train-mode cache is the only thing `forward_ws` mutates, and eval
+    /// never needs it).
+    pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut y = ws.acquire_uninit([x.shape().dim(0), self.out_features()]);
+        ops::matmul_into_ws(x, &self.weight.value, &mut y, ws);
+        ops::add_row_bias(&mut y, &self.bias.value);
         y
     }
 

@@ -50,6 +50,18 @@ impl ResidualUnit {
         }
     }
 
+    /// Creates a residual unit whose convolutions are all-zero — no RNG
+    /// cost; the cold-start construction path for checkpoint restore,
+    /// where every value is immediately overwritten anyway.
+    pub fn zeroed(filters: usize, kernel: usize) -> Self {
+        ResidualUnit::from_parts(
+            ConvLayer::zeroed(filters, filters, kernel),
+            BatchNorm::new(filters, BnLayout::Spatial),
+            ConvLayer::zeroed(filters, filters, kernel),
+            BatchNorm::new(filters, BnLayout::Spatial),
+        )
+    }
+
     /// Creates a residual unit that computes the identity function:
     /// `conv1` is randomly initialized (so the unit can learn once trained)
     /// but `conv2` is all-zero and `bn2` is the exact-identity batch norm,
@@ -115,6 +127,9 @@ impl ResidualUnit {
     ///
     /// Panics if the input channel count does not match the unit width.
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        if !train {
+            return self.forward_eval_ws(x, ws);
+        }
         assert_eq!(
             x.shape().dim(1),
             self.filters(),
@@ -133,6 +148,36 @@ impl ResidualUnit {
         ws.release(h4);
         s.add_assign(x);
         let out = self.relu_out.forward_ws(&s, train, ws);
+        ws.release(s);
+        out
+    }
+
+    /// Eval-mode forward through shared access only, composing the
+    /// sub-layers' shared eval forwards — many serving sessions can share
+    /// one unit's weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input channel count does not match the unit width.
+    pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(
+            x.shape().dim(1),
+            self.filters(),
+            "residual unit width {} does not match input channels {}",
+            self.filters(),
+            x.shape().dim(1)
+        );
+        let h1 = self.conv1.forward_eval_ws(x, ws);
+        let h2 = self.bn1.forward_eval_ws(&h1, ws);
+        ws.release(h1);
+        let h3 = self.relu1.forward_eval_ws(&h2, ws);
+        ws.release(h2);
+        let h4 = self.conv2.forward_eval_ws(&h3, ws);
+        ws.release(h3);
+        let mut s = self.bn2.forward_eval_ws(&h4, ws);
+        ws.release(h4);
+        s.add_assign(x);
+        let out = self.relu_out.forward_eval_ws(&s, ws);
         ws.release(s);
         out
     }

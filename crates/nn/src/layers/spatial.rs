@@ -30,22 +30,30 @@ impl MaxPoolLayer {
     /// skipped entirely; in train mode the argmax buffer's allocation is
     /// reused across steps.
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        if !train {
+            return self.forward_eval_ws(x, ws);
+        }
         let d = x.shape().dims();
         let mut out = ws.acquire_uninit([d[0], d[1], d[2] / 2, d[3] / 2]);
-        if train {
-            let mut argmax = self.argmax.take().unwrap_or_default();
-            pool::maxpool2x2_forward_into(x, &mut out, &mut argmax);
-            self.argmax = Some(argmax);
-            match &mut self.input_shape {
-                Some(s) => {
-                    s.clear();
-                    s.extend_from_slice(d);
-                }
-                None => self.input_shape = Some(d.to_vec()),
+        let mut argmax = self.argmax.take().unwrap_or_default();
+        pool::maxpool2x2_forward_into(x, &mut out, &mut argmax);
+        self.argmax = Some(argmax);
+        match &mut self.input_shape {
+            Some(s) => {
+                s.clear();
+                s.extend_from_slice(d);
             }
-        } else {
-            pool::maxpool2x2_forward_eval_into(x, &mut out);
+            None => self.input_shape = Some(d.to_vec()),
         }
+        out
+    }
+
+    /// Eval-mode forward through shared access only (no argmax routing is
+    /// recorded), so many serving sessions can share one layer.
+    pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let d = x.shape().dims();
+        let mut out = ws.acquire_uninit([d[0], d[1], d[2] / 2, d[3] / 2]);
+        pool::maxpool2x2_forward_eval_into(x, &mut out);
         out
     }
 
@@ -105,8 +113,8 @@ impl GlobalAvgPoolLayer {
     /// [`Workspace`]. The cached shape's allocation is reused across
     /// steps.
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
-        let d = x.shape().dims();
         if train {
+            let d = x.shape().dims();
             match &mut self.input_shape {
                 Some(s) => {
                     s.clear();
@@ -115,6 +123,13 @@ impl GlobalAvgPoolLayer {
                 None => self.input_shape = Some(d.to_vec()),
             }
         }
+        self.forward_eval_ws(x, ws)
+    }
+
+    /// Eval-mode forward through shared access only (no input shape is
+    /// recorded), so many serving sessions can share one layer.
+    pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let d = x.shape().dims();
         let mut out = ws.acquire_uninit([d[0], d[1]]);
         pool::global_avg_pool_forward_into(x, &mut out);
         out
@@ -185,9 +200,9 @@ impl FlattenLayer {
     ///
     /// Panics if the input is not 4-D.
     pub fn forward_ws(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
-        let d = x.shape().dims();
-        assert_eq!(d.len(), 4, "flatten expects [N,C,H,W], got {}", x.shape());
         if train {
+            let d = x.shape().dims();
+            assert_eq!(d.len(), 4, "flatten expects [N,C,H,W], got {}", x.shape());
             match &mut self.input_shape {
                 Some(s) => {
                     s.clear();
@@ -196,6 +211,18 @@ impl FlattenLayer {
                 None => self.input_shape = Some(d.to_vec()),
             }
         }
+        self.forward_eval_ws(x, ws)
+    }
+
+    /// Eval-mode forward through shared access only (no input shape is
+    /// recorded), so many serving sessions can share one layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not 4-D.
+    pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let d = x.shape().dims();
+        assert_eq!(d.len(), 4, "flatten expects [N,C,H,W], got {}", x.shape());
         let mut out = ws.acquire_uninit([d[0], d[1] * d[2] * d[3]]);
         out.data_mut().copy_from_slice(x.data());
         out

@@ -122,6 +122,20 @@ pub fn predict_proba_batched_with(
     batch_size: usize,
     ws: &mut Workspace,
 ) -> Tensor {
+    predict_proba_batched_eval(net, x, batch_size, ws)
+}
+
+/// [`predict_proba_batched_with`] through shared access only: eval-mode
+/// forward passes never write back into the network, so many serving
+/// sessions — each with its own workspace — can batch-predict over one
+/// shared set of weights concurrently. The `&mut` variants above delegate
+/// here, so the two paths are the same code and bitwise identical.
+pub fn predict_proba_batched_eval(
+    net: &Network,
+    x: &Tensor,
+    batch_size: usize,
+    ws: &mut Workspace,
+) -> Tensor {
     let n = x.shape().dim(0);
     let k = net.arch().num_classes;
     let bs = batch_size.max(1);
@@ -135,7 +149,7 @@ pub fn predict_proba_batched_with(
         let mut xb = ws.acquire_uninit(x.shape().with_dim(0, end - start));
         xb.data_mut()
             .copy_from_slice(&x.data()[start * row..end * row]);
-        let probs = net.predict_proba_with(&xb, ws);
+        let probs = net.predict_proba_eval_with(&xb, ws);
         out.data_mut()[start * k..end * k].copy_from_slice(probs.data());
         ws.release(probs);
         ws.release(xb);

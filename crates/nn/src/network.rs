@@ -54,6 +54,27 @@ impl Network {
         Network::new(arch, &mut StdRng::seed_from_u64(seed))
     }
 
+    /// Builds a structurally complete network with **all-zero** weights —
+    /// no RNG, no Box–Muller sampling. This is the cold-start construction
+    /// path: checkpoint restore (`mn_nn::io::load_network`) overwrites
+    /// every persistent tensor immediately after construction, so sampling
+    /// a random init first is pure wasted CPU (roughly half the cold-start
+    /// cost for large members). Not a usable init for training — use
+    /// [`Network::new`] / [`Network::seeded`] for that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arch` fails [`Architecture::validate`].
+    pub fn zeroed(arch: &Architecture) -> Self {
+        arch.validate()
+            .unwrap_or_else(|e| panic!("invalid architecture {}: {e}", arch.name));
+        let nodes = build_nodes_with(arch, &mut ZeroInit);
+        Network {
+            arch: arch.clone(),
+            nodes,
+        }
+    }
+
     /// Reassembles a network from an architecture and a layer sequence —
     /// the constructor used by the morphism engine after structural
     /// rewrites.
@@ -120,9 +141,38 @@ impl Network {
     /// serves steady-state traffic without reallocating activations or
     /// im2col scratch.
     pub fn forward_with(&mut self, x: &Tensor, mode: Mode, ws: &mut Workspace) -> Tensor {
+        if mode == Mode::Eval {
+            return self.forward_eval_with(x, ws);
+        }
         let mut h: Option<Tensor> = None;
         for node in &mut self.nodes {
             let next = node.forward_ws(h.as_ref().unwrap_or(x), mode, ws);
+            if let Some(prev) = h.take() {
+                ws.release(prev);
+            }
+            h = Some(next);
+        }
+        h.unwrap_or_else(|| x.clone())
+    }
+
+    /// Eval-mode forward pass through shared access only: reads weights
+    /// and running statistics, writes nothing back into the network. Many
+    /// serving sessions (each with its own [`Workspace`]) can therefore
+    /// execute one shared network concurrently — this is the hot path of
+    /// the ensemble engine's plan/session split. Bitwise identical to
+    /// [`Network::forward`] in [`Mode::Eval`]: both route through the same
+    /// per-layer eval code.
+    pub fn forward_eval(&self, x: &Tensor) -> Tensor {
+        self.forward_eval_with(x, &mut Workspace::new())
+    }
+
+    /// [`Network::forward_eval`] staging every activation in a
+    /// [`Workspace`] (see [`Network::forward_with`] for the buffer
+    /// lifecycle).
+    pub fn forward_eval_with(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut h: Option<Tensor> = None;
+        for node in &self.nodes {
+            let next = node.forward_eval_ws(h.as_ref().unwrap_or(x), ws);
             if let Some(prev) = h.take() {
                 ws.release(prev);
             }
@@ -175,7 +225,13 @@ impl Network {
 
     /// [`Network::predict_proba`] staging activations in a [`Workspace`].
     pub fn predict_proba_with(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
-        let mut logits = self.forward_with(x, Mode::Eval, ws);
+        self.predict_proba_eval_with(x, ws)
+    }
+
+    /// [`Network::predict_proba_with`] through shared access only (see
+    /// [`Network::forward_eval_with`]).
+    pub fn predict_proba_eval_with(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut logits = self.forward_eval_with(x, ws);
         ops::softmax_rows(&mut logits);
         logits
     }
@@ -220,33 +276,68 @@ impl Network {
     }
 }
 
+/// How the parameterized layers of a fresh network get their values. One
+/// structural walk ([`build_nodes_with`]) serves both the random-init
+/// training path and the zero-init checkpoint-restore path, so the two
+/// cannot drift apart layer-for-layer.
+trait LayerInit {
+    fn dense(&mut self, in_features: usize, out_features: usize) -> DenseLayer;
+    fn conv(&mut self, in_channels: usize, filters: usize, kernel: usize) -> ConvLayer;
+    fn residual(&mut self, filters: usize, kernel: usize) -> ResidualUnit;
+}
+
+/// He-initialized layers drawn from the wrapped RNG.
+struct RandomInit<'r, R: Rng>(&'r mut R);
+
+impl<R: Rng> LayerInit for RandomInit<'_, R> {
+    fn dense(&mut self, in_features: usize, out_features: usize) -> DenseLayer {
+        DenseLayer::new(in_features, out_features, self.0)
+    }
+    fn conv(&mut self, in_channels: usize, filters: usize, kernel: usize) -> ConvLayer {
+        ConvLayer::new(in_channels, filters, kernel, self.0)
+    }
+    fn residual(&mut self, filters: usize, kernel: usize) -> ResidualUnit {
+        ResidualUnit::new(filters, kernel, self.0)
+    }
+}
+
+/// All-zero layers: no RNG cost, for restore targets only.
+struct ZeroInit;
+
+impl LayerInit for ZeroInit {
+    fn dense(&mut self, in_features: usize, out_features: usize) -> DenseLayer {
+        DenseLayer::zeroed(in_features, out_features)
+    }
+    fn conv(&mut self, in_channels: usize, filters: usize, kernel: usize) -> ConvLayer {
+        ConvLayer::zeroed(in_channels, filters, kernel)
+    }
+    fn residual(&mut self, filters: usize, kernel: usize) -> ResidualUnit {
+        ResidualUnit::zeroed(filters, kernel)
+    }
+}
+
 fn build_nodes<R: Rng>(arch: &Architecture, rng: &mut R) -> Vec<LayerNode> {
+    build_nodes_with(arch, &mut RandomInit(rng))
+}
+
+fn build_nodes_with(arch: &Architecture, init: &mut impl LayerInit) -> Vec<LayerNode> {
     let mut nodes = Vec::new();
     match &arch.body {
         Body::Mlp { hidden } => {
             nodes.push(LayerNode::Flatten(FlattenLayer::new()));
             let mut fan_in = arch.input.channels * arch.input.height * arch.input.width;
             for &units in hidden {
-                nodes.push(LayerNode::Dense(DenseLayer::new(fan_in, units, rng)));
+                nodes.push(LayerNode::Dense(init.dense(fan_in, units)));
                 nodes.push(LayerNode::Relu(ReluLayer::new()));
                 fan_in = units;
             }
-            nodes.push(LayerNode::Dense(DenseLayer::new(
-                fan_in,
-                arch.num_classes,
-                rng,
-            )));
+            nodes.push(LayerNode::Dense(init.dense(fan_in, arch.num_classes)));
         }
         Body::Plain { blocks, dense } => {
             let mut c_in = arch.input.channels;
             for block in blocks {
                 for l in &block.layers {
-                    nodes.push(LayerNode::Conv(ConvLayer::new(
-                        c_in,
-                        l.filters,
-                        l.filter_size,
-                        rng,
-                    )));
+                    nodes.push(LayerNode::Conv(init.conv(c_in, l.filters, l.filter_size)));
                     nodes.push(LayerNode::BatchNorm(BatchNorm::new(
                         l.filters,
                         BnLayout::Spatial,
@@ -260,25 +351,16 @@ fn build_nodes<R: Rng>(arch: &Architecture, rng: &mut R) -> Vec<LayerNode> {
             let (h, w) = arch.spatial_after_body();
             let mut fan_in = c_in * h * w;
             for &units in dense {
-                nodes.push(LayerNode::Dense(DenseLayer::new(fan_in, units, rng)));
+                nodes.push(LayerNode::Dense(init.dense(fan_in, units)));
                 nodes.push(LayerNode::Relu(ReluLayer::new()));
                 fan_in = units;
             }
-            nodes.push(LayerNode::Dense(DenseLayer::new(
-                fan_in,
-                arch.num_classes,
-                rng,
-            )));
+            nodes.push(LayerNode::Dense(init.dense(fan_in, arch.num_classes)));
         }
         Body::Residual { blocks } => {
             // Stem.
             let stem_f = blocks[0].filters;
-            nodes.push(LayerNode::Conv(ConvLayer::new(
-                arch.input.channels,
-                stem_f,
-                3,
-                rng,
-            )));
+            nodes.push(LayerNode::Conv(init.conv(arch.input.channels, stem_f, 3)));
             nodes.push(LayerNode::BatchNorm(BatchNorm::new(
                 stem_f,
                 BnLayout::Spatial,
@@ -290,7 +372,7 @@ fn build_nodes<R: Rng>(arch: &Architecture, rng: &mut R) -> Vec<LayerNode> {
                     nodes.push(LayerNode::MaxPool(MaxPoolLayer::new()));
                 }
                 // Unconditional 1x1 transition: see Architecture::param_count.
-                nodes.push(LayerNode::Conv(ConvLayer::new(c_in, block.filters, 1, rng)));
+                nodes.push(LayerNode::Conv(init.conv(c_in, block.filters, 1)));
                 nodes.push(LayerNode::BatchNorm(BatchNorm::new(
                     block.filters,
                     BnLayout::Spatial,
@@ -298,19 +380,13 @@ fn build_nodes<R: Rng>(arch: &Architecture, rng: &mut R) -> Vec<LayerNode> {
                 nodes.push(LayerNode::Relu(ReluLayer::new()));
                 c_in = block.filters;
                 for _ in 0..block.units {
-                    nodes.push(LayerNode::Residual(Box::new(ResidualUnit::new(
-                        block.filters,
-                        block.filter_size,
-                        rng,
-                    ))));
+                    nodes.push(LayerNode::Residual(Box::new(
+                        init.residual(block.filters, block.filter_size),
+                    )));
                 }
             }
             nodes.push(LayerNode::GlobalAvgPool(GlobalAvgPoolLayer::new()));
-            nodes.push(LayerNode::Dense(DenseLayer::new(
-                c_in,
-                arch.num_classes,
-                rng,
-            )));
+            nodes.push(LayerNode::Dense(init.dense(c_in, arch.num_classes)));
         }
     }
     nodes
@@ -465,6 +541,94 @@ mod tests {
             let mut visited: Vec<*const Param> = Vec::new();
             net.visit_params_mut(&mut |p| visited.push(p as *const Param));
             assert_eq!(listed, visited, "order diverged for {}", arch.name);
+        }
+    }
+
+    #[test]
+    fn zeroed_matches_seeded_structure_across_families() {
+        // The zero-init restore target must be layer-for-layer identical
+        // in structure to the random-init path: same param count, same
+        // node kinds, and a weight blob saved from a seeded network must
+        // restore into it exactly.
+        let archs = vec![
+            Architecture::mlp("m", input(), 5, vec![8]),
+            Architecture::plain(
+                "p",
+                input(),
+                5,
+                vec![ConvBlockSpec::repeated(3, 4, 1)],
+                vec![8],
+            ),
+            Architecture::residual("r", input(), 5, vec![ResBlockSpec::new(2, 4, 3)]),
+        ];
+        for arch in archs {
+            let mut seeded = Network::seeded(&arch, 3);
+            let mut zeroed = Network::zeroed(&arch);
+            assert_eq!(
+                seeded.param_count(),
+                zeroed.param_count(),
+                "param count diverged for {}",
+                arch.name
+            );
+            let kinds_a: Vec<&str> = seeded.nodes().iter().map(|n| n.kind()).collect();
+            let kinds_b: Vec<&str> = zeroed.nodes().iter().map(|n| n.kind()).collect();
+            assert_eq!(kinds_a, kinds_b, "node sequence diverged for {}", arch.name);
+            // Sampled layers are all-zero (batch-norm keeps its gamma=1,
+            // beta=0 defaults — those are constant, not sampled).
+            for node in zeroed.nodes() {
+                match node {
+                    LayerNode::Dense(l) => {
+                        assert_eq!(l.weight.value.sq_norm(), 0.0, "dense init is not zero")
+                    }
+                    LayerNode::Conv(l) => {
+                        assert_eq!(l.weight.value.sq_norm(), 0.0, "conv init is not zero")
+                    }
+                    LayerNode::Residual(l) => {
+                        assert_eq!(l.conv1.weight.value.sq_norm(), 0.0);
+                        assert_eq!(l.conv2.weight.value.sq_norm(), 0.0);
+                    }
+                    _ => {}
+                }
+            }
+            let blob = crate::io::save_weights(&seeded);
+            crate::io::load_weights(&mut zeroed, &blob).unwrap();
+            let x = Tensor::randn([2, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(4));
+            assert_eq!(
+                seeded.forward(&x, Mode::Eval).data(),
+                zeroed.forward(&x, Mode::Eval).data(),
+                "restored zeroed network diverged for {}",
+                arch.name
+            );
+        }
+    }
+
+    #[test]
+    fn shared_eval_forward_matches_mut_forward_bitwise() {
+        // forward_eval (shared access) and forward(Mode::Eval) must be
+        // the same computation across every layer family — this is the
+        // contract that lets serving sessions share one set of weights.
+        let archs = vec![
+            Architecture::mlp("m", input(), 5, vec![8]),
+            Architecture::plain(
+                "p",
+                input(),
+                5,
+                vec![ConvBlockSpec::repeated(3, 4, 1)],
+                vec![8],
+            ),
+            Architecture::residual("r", input(), 5, vec![ResBlockSpec::new(1, 4, 3)]),
+        ];
+        for arch in archs {
+            let mut net = Network::seeded(&arch, 5);
+            let x = Tensor::randn([3, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(6));
+            let shared = net.forward_eval(&x);
+            let muted = net.forward(&x, Mode::Eval);
+            assert_eq!(
+                shared.data(),
+                muted.data(),
+                "shared eval path diverged for {}",
+                arch.name
+            );
         }
     }
 

@@ -58,6 +58,26 @@ impl LayerNode {
         }
     }
 
+    /// Eval-mode forward through shared access only: every arm delegates
+    /// to its layer's `forward_eval_ws`, which reads weights and running
+    /// statistics without writing anything back into the layer. This is
+    /// the execution path that lets many serving sessions run one shared
+    /// set of network weights concurrently; it is bitwise identical to
+    /// [`LayerNode::forward_ws`] in [`Mode::Eval`], which routes through
+    /// the same per-layer code.
+    pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        match self {
+            LayerNode::Dense(l) => l.forward_eval_ws(x, ws),
+            LayerNode::Conv(l) => l.forward_eval_ws(x, ws),
+            LayerNode::BatchNorm(l) => l.forward_eval_ws(x, ws),
+            LayerNode::Relu(l) => l.forward_eval_ws(x, ws),
+            LayerNode::MaxPool(l) => l.forward_eval_ws(x, ws),
+            LayerNode::Flatten(l) => l.forward_eval_ws(x, ws),
+            LayerNode::GlobalAvgPool(l) => l.forward_eval_ws(x, ws),
+            LayerNode::Residual(l) => l.forward_eval_ws(x, ws),
+        }
+    }
+
     /// Backward pass through this node.
     ///
     /// # Panics

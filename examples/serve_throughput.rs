@@ -15,10 +15,12 @@
 //! 2. **parallelism axes** — the same engine under member-parallel,
 //!    data-parallel, and auto plans, verified bitwise identical;
 //! 3. **artifact cold start** — the ensemble is saved as an `MNE1`
-//!    artifact and booted back, bitwise exact;
-//! 4. **dynamic batching** — a [`mn_ensemble::Server`] answers a burst
-//!    of single-example requests, reporting latency and micro-batch
-//!    fill.
+//!    artifact and booted back (zero-init restore), bitwise exact;
+//! 4. **sharded dynamic batching** — a [`mn_ensemble::Server`] built via
+//!    [`mn_ensemble::ServerBuilder`] runs two worker shards over ONE
+//!    shared [`mn_ensemble::EnginePlan`] (no weight clones) and answers
+//!    a burst of single-example requests, reporting latency, micro-batch
+//!    fill, and the per-shard split.
 //!
 //! Speedups are execution-strategy changes, never model changes — every
 //! step asserts its predictions against the previous one.
@@ -27,7 +29,7 @@ use std::time::Instant;
 
 use mn_bench::kernels::{bench_ensemble_members, force_conv_formulation};
 use mn_ensemble::serve::{BatchingConfig, Server};
-use mn_ensemble::{EnsembleManifest, ExecPolicy, InferenceEngine, MemberPredictions};
+use mn_ensemble::{EnginePlan, EnsembleManifest, ExecPolicy, InferenceEngine, MemberPredictions};
 use mn_nn::layers::ConvFormulation;
 use mn_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -132,22 +134,30 @@ fn main() {
         );
     }
 
-    // Artifact cold start: save, boot a fresh engine, verify bitwise.
+    // Artifact cold start: save, boot a fresh shared plan (zero-init
+    // restore — no RNG sampling), verify bitwise.
     let bytes = engine.to_artifact_bytes(&EnsembleManifest::default());
-    let mut cold =
-        InferenceEngine::from_artifact_bytes(&bytes, 32).expect("artifact round trip loads");
+    let cold_plan = EnginePlan::from_artifact_bytes(&bytes, 32)
+        .expect("artifact round trip loads")
+        .into_shared();
     let warm_preds = engine.predict(x);
-    let cold_preds = cold.predict(x);
+    let cold_preds = cold_plan.session().predict(x);
     for (a, b) in warm_preds.probs().iter().zip(cold_preds.probs()) {
         assert_eq!(a.data(), b.data(), "cold start changed the predictions!");
     }
     println!(
-        "\nMNE1 artifact: {} KiB, cold-started engine is bitwise identical",
+        "\nMNE1 artifact: {} KiB, cold-started plan is bitwise identical",
         bytes.len() / 1024
     );
 
-    // Dynamic batching: a burst of single-example requests.
-    let server = Server::start(cold, BatchingConfig::default());
+    // Sharded dynamic batching: two worker shards over the one shared
+    // plan (sessions hold scratch only — the weights are never cloned),
+    // a bounded queue, and a burst of single-example requests.
+    let server = Server::builder(cold_plan)
+        .shards(2)
+        .queue_capacity(256)
+        .batching(BatchingConfig::default())
+        .start();
     let mut pending = Vec::new();
     let mut rng = StdRng::seed_from_u64(8);
     let burst = 128;
@@ -162,12 +172,21 @@ fn main() {
         worst_latency_ms = worst_latency_ms.max(prediction.latency.as_secs_f64() * 1000.0);
     }
     let wall = start.elapsed().as_secs_f64();
-    let stats = server.shutdown();
+    let report = server.shutdown();
     println!(
-        "dynamic batching: {burst} single-example requests in {:.0} ms \
-         ({:.0} req/s), mean micro-batch {:.1}, worst latency {worst_latency_ms:.1} ms",
+        "sharded dynamic batching: {burst} single-example requests across {} shard(s) \
+         in {:.0} ms ({:.0} req/s), mean micro-batch {:.1}, worst latency {worst_latency_ms:.1} ms",
+        report.per_shard.len(),
         wall * 1000.0,
         burst as f64 / wall,
-        stats.mean_batch()
+        report.aggregate.mean_batch()
     );
+    for (shard, s) in report.per_shard.iter().enumerate() {
+        println!(
+            "  shard {shard}: {} requests in {} micro-batches (mean {:.1})",
+            s.requests,
+            s.batches,
+            s.mean_batch()
+        );
+    }
 }

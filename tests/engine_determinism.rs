@@ -13,7 +13,7 @@
 //! Note: the vendored rayon's `ThreadPool::install` sets a process-global
 //! thread-count override, so these tests serialize on a local lock.
 
-use mn_ensemble::engine::{ExecPolicy, InferenceEngine};
+use mn_ensemble::engine::{EnginePlan, ExecPolicy, InferenceEngine};
 use mn_ensemble::EnsembleMember;
 use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec, ResBlockSpec};
 use mn_nn::Network;
@@ -138,6 +138,62 @@ fn engine_output_is_bitwise_identical_across_execution_plans() {
                 );
             }
         }
+    }
+}
+
+#[test]
+fn concurrent_sessions_over_one_plan_are_bitwise_identical() {
+    // Many sessions executing ONE shared plan from separate OS threads —
+    // under different per-session policies — must all produce the bits
+    // the single-owner engine produces. This is the determinism contract
+    // of the plan/session split (weights shared, scratch private).
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    let x = Tensor::randn([14, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(46));
+    let mut reference_engine = InferenceEngine::new(build_members(13), 4).expect("members build");
+    let reference: Vec<Vec<u32>> = reference_engine
+        .predict(&x)
+        .probs()
+        .iter()
+        .map(|p| p.data().iter().map(|v| v.to_bits()).collect())
+        .collect();
+
+    let plan = EnginePlan::new(build_members(13), 4)
+        .expect("members build")
+        .into_shared();
+    let policies = [
+        ExecPolicy::Auto,
+        ExecPolicy::MemberParallel,
+        ExecPolicy::DataParallel { shards: 3 },
+        ExecPolicy::DataParallel { shards: 7 },
+    ];
+    let results: Vec<Vec<Vec<u32>>> = std::thread::scope(|scope| {
+        policies
+            .iter()
+            .map(|&policy| {
+                let plan = std::sync::Arc::clone(&plan);
+                let x = &x;
+                scope.spawn(move || {
+                    let mut session = plan.session();
+                    session.set_policy(policy);
+                    let _ = session.predict(x); // warm lanes
+                    session
+                        .predict(x)
+                        .probs()
+                        .iter()
+                        .map(|p| p.data().iter().map(|v| v.to_bits()).collect())
+                        .collect()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("session thread exits cleanly"))
+            .collect()
+    });
+    for (policy, got) in policies.iter().zip(&results) {
+        assert_eq!(
+            &reference, got,
+            "a concurrent session diverged under {policy:?}"
+        );
     }
 }
 

@@ -1,11 +1,12 @@
 //! The serving stack end to end: train → save → load → serve must be
-//! bitwise faithful at every hand-off, and the dynamic-batching server
-//! must be an execution strategy — never a model change.
+//! bitwise faithful at every hand-off, and the sharded dynamic-batching
+//! server must be an execution strategy — never a model change.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use mn_data::presets::{cifar10_sim, Scale};
-use mn_ensemble::engine::{EngineError, ExecPolicy, InferenceEngine};
+use mn_ensemble::engine::{EngineError, EnginePlan, ExecPolicy, InferenceEngine};
 use mn_ensemble::serve::{BatchingConfig, ServeError, Server};
 use mn_ensemble::{artifact, EnsembleManifest, EnsembleMember};
 use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec, ResBlockSpec};
@@ -47,7 +48,10 @@ fn save_load_serve_round_trip_is_bitwise_exact() {
     let bytes = warm.to_artifact_bytes(&EnsembleManifest::default());
     let mut cold = InferenceEngine::from_artifact_bytes(&bytes, 4).unwrap();
     assert_eq!(cold.num_members(), 3);
-    assert_eq!(cold.member_names(), vec!["conv", "res", "mlp"]);
+    assert_eq!(
+        cold.member_names().collect::<Vec<_>>(),
+        vec!["conv", "res", "mlp"]
+    );
 
     let x = Tensor::randn([9, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(1));
     let a = warm.predict(&x);
@@ -137,8 +141,8 @@ fn server_answers_match_direct_engine_bitwise() {
         assert_eq!(got.label, expected_labels[i]);
         assert!(got.batch >= 1 && got.batch <= 5);
     }
-    let stats = server.shutdown();
-    assert_eq!(stats.requests, n as u64);
+    let report = server.shutdown();
+    assert_eq!(report.aggregate.requests, n as u64);
 }
 
 #[test]
@@ -169,8 +173,8 @@ fn concurrent_clients_all_get_correct_answers() {
             .flat_map(|h| h.join().unwrap())
             .collect()
     });
-    let stats = server.shutdown();
-    assert_eq!(stats.requests, 32);
+    let report = server.shutdown();
+    assert_eq!(report.aggregate.requests, 32);
     // Every interleaved answer must equal the direct single-example path.
     for (example, probs) in answers {
         let x = Tensor::from_vec([1, 3, 8, 8], example);
@@ -219,8 +223,8 @@ fn server_rejects_malformed_requests_and_survives() {
     // A good request still goes through after the rejection.
     let good = server.submit(&Tensor::zeros([3, 8, 8])).unwrap();
     assert_eq!(good.wait().unwrap().probs.len(), 5);
-    let stats = server.shutdown();
-    assert_eq!(stats.requests, 1);
+    let report = server.shutdown();
+    assert_eq!(report.aggregate.requests, 1);
 }
 
 #[test]
@@ -259,4 +263,173 @@ fn data_parallel_engine_behind_server_stays_exact() {
         );
     }
     server.shutdown();
+}
+
+#[test]
+fn multi_shard_server_over_shared_plan_is_bitwise_exact() {
+    // The plan/session acceptance criterion: N >= 2 worker shards over
+    // ONE shared EnginePlan must produce bitwise-identical predictions
+    // to the single-engine path, while sharing member weights (no
+    // per-shard clones — pointer identity on the plan).
+    let x = Tensor::randn([16, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(23));
+    let mut direct = InferenceEngine::new(mixed_members(23), 4).unwrap();
+    let expected = direct.predict_average(&x);
+    let expected_labels = direct.predict_labels(&x);
+    let k = expected.shape().dim(1);
+
+    let plan = EnginePlan::new(mixed_members(23), 4).unwrap().into_shared();
+    for shards in [2usize, 4] {
+        let server = Server::builder(Arc::clone(&plan))
+            .shards(shards)
+            .batching(BatchingConfig {
+                max_batch: 3,
+                max_wait: Duration::from_millis(1),
+            })
+            .start();
+        assert_eq!(server.num_shards(), shards);
+        let n = x.shape().dim(0);
+        let row = x.len() / n;
+        let pending: Vec<_> = (0..n)
+            .map(|i| {
+                let example =
+                    Tensor::from_vec([3, 8, 8], x.data()[i * row..(i + 1) * row].to_vec());
+                server.submit(&example).unwrap()
+            })
+            .collect();
+        let mut shards_seen = std::collections::HashSet::new();
+        for (i, p) in pending.into_iter().enumerate() {
+            let got = p.wait().unwrap();
+            shards_seen.insert(got.shard);
+            let bits_got: Vec<u32> = got.probs.iter().map(|v| v.to_bits()).collect();
+            let bits_want: Vec<u32> = expected.data()[i * k..(i + 1) * k]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(
+                bits_got, bits_want,
+                "request {i} diverged on a {shards}-shard server"
+            );
+            assert_eq!(got.label, expected_labels[i]);
+            assert!(got.shard < shards);
+        }
+        let report = server.shutdown();
+        assert_eq!(report.aggregate.requests, n as u64);
+        assert_eq!(report.per_shard.len(), shards);
+        assert_eq!(
+            report.per_shard.iter().map(|s| s.requests).sum::<u64>(),
+            n as u64
+        );
+    }
+    // The servers consumed only sessions: the plan (and its weights) is
+    // still uniquely reachable from here, never cloned per shard.
+    assert_eq!(
+        Arc::strong_count(&plan),
+        1,
+        "worker shards must not retain weight clones after shutdown"
+    );
+}
+
+#[test]
+fn overloaded_server_rejects_typed_and_recovers() {
+    // Fill the bounded queue, assert typed rejection, then assert the
+    // server keeps answering admitted work and accepts again.
+    let plan = EnginePlan::new(mixed_members(29), 4).unwrap().into_shared();
+    let server = Server::builder(plan)
+        .shards(1)
+        .queue_capacity(3)
+        .batching(BatchingConfig {
+            max_batch: 2,
+            max_wait: Duration::ZERO,
+        })
+        .start();
+    let x = Tensor::zeros([3, 8, 8]);
+    let mut admitted = Vec::new();
+    let mut rejection = None;
+    for _ in 0..100_000 {
+        match server.submit(&x) {
+            Ok(p) => admitted.push(p),
+            Err(ServeError::Overloaded { queue_depth }) => {
+                rejection = Some(queue_depth);
+                break;
+            }
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    assert_eq!(
+        rejection.expect("a capacity-3 queue must overflow under a submit flood"),
+        3,
+        "Overloaded reports the configured queue bound"
+    );
+    for p in admitted {
+        p.wait().expect("admitted requests are still answered");
+    }
+    // Recovery: the same server accepts and serves again.
+    let again = server.submit(&x).expect("server recovers after overload");
+    assert_eq!(again.wait().unwrap().probs.len(), 5);
+    let report = server.shutdown();
+    assert!(report.rejected >= 1, "rejections are tallied in the report");
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_requests() {
+    let plan = EnginePlan::new(mixed_members(31), 4).unwrap().into_shared();
+    let server = Server::builder(plan)
+        .shards(2)
+        .batching(BatchingConfig {
+            max_batch: 64,
+            // A window long enough that requests are still coalescing
+            // when shutdown lands.
+            max_wait: Duration::from_millis(250),
+        })
+        .start();
+    let pending: Vec<_> = (0..10)
+        .map(|_| server.submit(&Tensor::zeros([3, 8, 8])).unwrap())
+        .collect();
+    let report = server.shutdown();
+    assert_eq!(
+        report.aggregate.requests, 10,
+        "shutdown must drain admitted requests, not drop them"
+    );
+    for (i, p) in pending.into_iter().enumerate() {
+        p.wait()
+            .unwrap_or_else(|e| panic!("request {i} dropped during graceful shutdown: {e}"));
+    }
+}
+
+#[test]
+fn trained_ensemble_hands_off_to_plan_without_disk() {
+    // train -> EnginePlan -> sharded server, all in memory, bitwise
+    // equal to the artifact path.
+    let task = cifar10_sim(Scale::Tiny, 43);
+    let input = InputSpec::new(3, 8, 8);
+    let archs = vec![
+        Architecture::mlp("small", input, 10, vec![12]),
+        Architecture::mlp("large", input, 10, vec![16]),
+    ];
+    let cfg = EnsembleTrainConfig {
+        train: TrainConfig {
+            max_epochs: 2,
+            ..TrainConfig::default()
+        },
+        ..Default::default()
+    };
+    let trained = train_ensemble(&archs, &task.train, &Strategy::mothernets(), &cfg).unwrap();
+    let plan = trained.to_engine_plan(8).unwrap().into_shared();
+    assert_eq!(plan.num_members(), 2);
+    assert_eq!(
+        plan.member_names().collect::<Vec<_>>(),
+        vec!["small", "large"]
+    );
+
+    let x = Tensor::randn([5, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(6));
+    let mut direct = plan.session();
+    let expected = direct.predict_average(&x);
+
+    let bytes = trained.to_artifact_bytes();
+    let mut from_artifact = InferenceEngine::from_artifact_bytes(&bytes, 8).unwrap();
+    assert_eq!(
+        from_artifact.predict_average(&x).data(),
+        expected.data(),
+        "in-memory plan hand-off diverged from the artifact path"
+    );
 }
