@@ -82,4 +82,16 @@ fn main() {
             p.policy, p.examples_per_sec
         );
     }
+    let t = &result.trunk_sharing;
+    println!(
+        "trunk sharing ({} members, trunk {}/{} nodes, {:.1}% of params shared): \
+         flat {:.0} -> trunk {:.0} examples/s ({:.2}x)",
+        t.members,
+        t.trunk_len,
+        t.member_nodes,
+        t.shared_params_fraction * 100.0,
+        t.flat_examples_per_sec,
+        t.trunk_examples_per_sec,
+        t.speedup
+    );
 }

@@ -27,8 +27,9 @@ use std::time::Instant;
 
 use mn_ensemble::engine::{EnginePlan, ExecPolicy, InferenceEngine};
 use mn_ensemble::serve::{BatchingConfig, Server};
-use mn_ensemble::EnsembleManifest;
-use mn_nn::Network;
+use mn_ensemble::{EnsembleManifest, EnsembleMember};
+use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
+use mn_nn::{LayerNode, Network};
 use mn_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -59,6 +60,29 @@ pub struct ShardSweepEntry {
     pub p99_ms: f64,
     /// Mean examples per engine call the micro-batchers achieved.
     pub mean_batch: f64,
+}
+
+/// Trunk-sharing measurements on a deep-shared-trunk ensemble: flat
+/// (member-parallel) vs trunk-shared throughput on the same weights, with
+/// outputs asserted bitwise identical before timing.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrunkSharingResult {
+    /// Members in the trunked ensemble.
+    pub members: usize,
+    /// Layer nodes per member.
+    pub member_nodes: usize,
+    /// Shared-prefix nodes the plan detected.
+    pub trunk_len: usize,
+    /// Analytic fraction of one member's parameters living in the shared
+    /// trunk (the work the trunk plan runs once instead of `members`
+    /// times).
+    pub shared_params_fraction: f64,
+    /// Examples/s under the flat member-parallel plan.
+    pub flat_examples_per_sec: f64,
+    /// Examples/s under the trunk-shared plan.
+    pub trunk_examples_per_sec: f64,
+    /// `trunk_examples_per_sec / flat_examples_per_sec`.
+    pub speedup: f64,
 }
 
 /// Cold-start timings (medians over repetitions).
@@ -114,6 +138,8 @@ pub struct ServingBenchResult {
     /// Engine-level throughput of each parallelism policy on a large
     /// batch.
     pub policies: Vec<PolicyThroughput>,
+    /// Trunk-shared vs flat execution on a deep-shared-trunk ensemble.
+    pub trunk_sharing: TrunkSharingResult,
 }
 
 impl ServingBenchResult {
@@ -173,6 +199,30 @@ impl ServingBenchResult {
         out.push_str(&render_table(
             &["engine policy", "examples/s"],
             &policy_rows,
+        ));
+        let t = &self.trunk_sharing;
+        out.push('\n');
+        out.push_str(&render_table(
+            &["trunk sharing", "value"],
+            &[
+                vec![
+                    "trunk nodes".to_string(),
+                    format!("{}/{}", t.trunk_len, t.member_nodes),
+                ],
+                vec![
+                    "shared params".to_string(),
+                    format!("{:.1}%", t.shared_params_fraction * 100.0),
+                ],
+                vec![
+                    "flat examples/s".to_string(),
+                    format!("{:.0}", t.flat_examples_per_sec),
+                ],
+                vec![
+                    "trunk examples/s".to_string(),
+                    format!("{:.0}", t.trunk_examples_per_sec),
+                ],
+                vec!["speedup".to_string(), format!("{:.2}x", t.speedup)],
+            ],
         ));
         out
     }
@@ -239,6 +289,97 @@ fn measure_cold_start(
         timings.seeded_init_ms
     );
     timings
+}
+
+/// The trunk-sharing scenario: an 8-member ensemble whose members are
+/// head-perturbed clones of one deep convolutional base — the shape a
+/// MotherNets hatch produces (shared conv trunk, divergent classifier).
+fn deep_trunk_members() -> Vec<EnsembleMember> {
+    let arch = Architecture::plain(
+        "trunked",
+        InputSpec::new(3, 8, 8),
+        10,
+        vec![
+            ConvBlockSpec::repeated(3, 8, 2),
+            ConvBlockSpec::repeated(3, 8, 2),
+        ],
+        vec![16],
+    );
+    let base = Network::seeded(&arch, 77);
+    (0..8)
+        .map(|s| {
+            let mut net = base.clone();
+            match net.nodes_mut().last_mut() {
+                Some(LayerNode::Dense(l)) => {
+                    for w in l.weight.value.data_mut() {
+                        *w += (s as f32 + 1.0) * 0.01;
+                    }
+                }
+                other => panic!("expected a dense head, got {other:?}"),
+            }
+            EnsembleMember::new(format!("t{s}"), net)
+        })
+        .collect()
+}
+
+/// Measures flat vs trunk-shared throughput on the deep-trunk ensemble,
+/// asserting first that the plan detected the trunk and that both paths
+/// produce bitwise-identical output.
+fn measure_trunk_sharing(reps: usize) -> TrunkSharingResult {
+    let plan = EnginePlan::new(deep_trunk_members(), 32)
+        .expect("trunked ensemble builds")
+        .into_shared();
+    assert!(
+        plan.shares_trunk(),
+        "deep-trunk bench ensemble must share a parameterized trunk"
+    );
+    let trunk_len = plan.trunk_len();
+    let nodes = plan.members()[0].network.nodes();
+    let member_nodes = nodes.len();
+    let params_in = |nodes: &[LayerNode]| -> usize {
+        nodes
+            .iter()
+            .map(|n| {
+                let mut count = 0usize;
+                n.visit_state(&mut |t| count += t.len());
+                count
+            })
+            .sum()
+    };
+    let shared_params_fraction =
+        params_in(&nodes[..trunk_len]) as f64 / params_in(nodes).max(1) as f64;
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let x = Tensor::randn([256, 3, 8, 8], 1.0, &mut rng);
+    let mut engine = InferenceEngine::from_plan(std::sync::Arc::clone(&plan));
+    let trunk_policy = ExecPolicy::TrunkShared {
+        shards: rayon::current_num_threads(),
+    };
+    // Correctness gate before timing anything: the two paths must agree
+    // bit for bit.
+    engine.set_policy(ExecPolicy::MemberParallel);
+    let flat_out = engine.predict(&x);
+    engine.set_policy(trunk_policy);
+    let trunk_out = engine.predict(&x);
+    for (m, (a, b)) in flat_out.probs().iter().zip(trunk_out.probs()).enumerate() {
+        assert_eq!(
+            a.data(),
+            b.data(),
+            "member {m}: trunk-shared output diverged from flat"
+        );
+    }
+
+    let flat = policy_examples_per_sec(&mut engine, ExecPolicy::MemberParallel, &x, reps);
+    let trunk = policy_examples_per_sec(&mut engine, trunk_policy, &x, reps);
+    TrunkSharingResult {
+        members: plan.num_members(),
+        member_nodes,
+        trunk_len,
+        shared_params_fraction,
+        flat_examples_per_sec: flat,
+        trunk_examples_per_sec: trunk,
+        speedup: trunk / flat.max(1e-9),
+    }
 }
 
 /// Closed-loop single-example clients against a sharded server over the
@@ -383,6 +524,9 @@ pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
         },
     ];
 
+    // --- trunk sharing: flat vs shared-prefix execution ---
+    let trunk_sharing = measure_trunk_sharing(reps);
+
     ServingBenchResult {
         threads,
         members: num_members,
@@ -397,6 +541,7 @@ pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
         cold_start,
         shard_sweep,
         policies,
+        trunk_sharing,
     }
 }
 
@@ -433,6 +578,15 @@ mod tests {
                 policy: "auto".into(),
                 examples_per_sec: 9999.0,
             }],
+            trunk_sharing: TrunkSharingResult {
+                members: 8,
+                member_nodes: 18,
+                trunk_len: 17,
+                shared_params_fraction: 0.94,
+                flat_examples_per_sec: 1000.0,
+                trunk_examples_per_sec: 4000.0,
+                speedup: 4.0,
+            },
         };
         let json = serde_json::to_string(&result).unwrap();
         let back: ServingBenchResult = serde_json::from_str(&json).unwrap();
@@ -440,10 +594,12 @@ mod tests {
         assert_eq!(back.policies[0].policy, "auto");
         assert_eq!(back.shard_sweep[0].shards, 2);
         assert!((back.cold_start.init_speedup() - 5.0).abs() < 1e-9);
+        assert_eq!(back.trunk_sharing.trunk_len, 17);
         let table = result.table();
         assert!(table.contains("p99"));
         assert!(table.contains("auto"));
         assert!(table.contains("zero-init"));
+        assert!(table.contains("trunk"));
     }
 
     #[test]
@@ -480,5 +636,13 @@ mod tests {
         for p in &result.policies {
             assert!(p.examples_per_sec > 0.0, "{p:?}");
         }
+        // The trunk scenario detected a deep shared prefix (the bitwise
+        // flat-vs-trunk agreement is asserted inside the measurement);
+        // speedup itself is only pinned in the release-mode CI gate.
+        let t = &result.trunk_sharing;
+        assert_eq!(t.members, 8);
+        assert!(t.trunk_len > 0 && t.trunk_len < t.member_nodes);
+        assert!(t.shared_params_fraction > 0.5, "{t:?}");
+        assert!(t.flat_examples_per_sec > 0.0 && t.trunk_examples_per_sec > 0.0);
     }
 }

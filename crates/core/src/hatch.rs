@@ -22,6 +22,11 @@ pub struct HatchReport {
     pub plan: MorphPlan,
     /// Wall-clock seconds spent hatching (weight transfer only).
     pub wall_secs: f64,
+    /// Number of leading layer nodes of the hatched network that are
+    /// bitwise identical (config and state) to the MotherNet's — the
+    /// measured shared trunk the inference engine can evaluate once and
+    /// reuse across members hatched from the same mother.
+    pub shared_prefix_nodes: usize,
 }
 
 /// Hatches `target` from a trained `mothernet`, exactly.
@@ -47,9 +52,11 @@ pub fn hatch_with_report(
     let plan = MorphPlan::between(mothernet.arch(), target)?;
     let start = Instant::now();
     let net = morph_to_with(mothernet, target, opts)?;
+    let wall_secs = start.elapsed().as_secs_f64();
     let report = HatchReport {
         plan,
-        wall_secs: start.elapsed().as_secs_f64(),
+        wall_secs,
+        shared_prefix_nodes: mothernet.shared_eval_prefix(&net),
     };
     Ok((net, report))
 }
@@ -87,6 +94,32 @@ mod tests {
         assert!(report.plan.total_ops() > 0);
         assert!(report.wall_secs >= 0.0);
         assert!(report.plan.inherited_fraction > 0.0);
+        // The very first conv widens, so no leading node survives bitwise.
+        assert_eq!(report.shared_prefix_nodes, 0);
+    }
+
+    #[test]
+    fn hatch_reports_shared_prefix_when_only_tail_changes() {
+        let mother_arch = Architecture::plain(
+            "mother",
+            InputSpec::new(3, 8, 8),
+            10,
+            vec![ConvBlockSpec::repeated(3, 4, 1)],
+            vec![8],
+        );
+        // Same conv trunk, wider dense tail: the exact hatch copies the
+        // conv/BN weights bit-for-bit, so the whole conv prefix
+        // (Conv, BatchNorm, Relu, MaxPool, Flatten) is shared.
+        let member_arch = Architecture::plain(
+            "member",
+            InputSpec::new(3, 8, 8),
+            10,
+            vec![ConvBlockSpec::repeated(3, 4, 1)],
+            vec![16],
+        );
+        let mother = Network::seeded(&mother_arch, 3);
+        let (_, report) = hatch_with_report(&mother, &member_arch, &MorphOptions::exact()).unwrap();
+        assert_eq!(report.shared_prefix_nodes, 5);
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //!
 //! ## Execution plans
 //!
-//! Each request batch resolves to a plan along one of two parallelism
+//! Each request batch resolves to a plan along one of three parallelism
 //! axes:
 //!
 //! * **Member-parallel** ([`Plan::MemberParallel`]) — each member runs the
@@ -39,10 +39,19 @@
 //!   weights stay shared), and per-member outputs are stitched back in
 //!   example order. Lanes are materialized lazily, so a session that
 //!   never runs a data-parallel plan never pays the extra scratch.
+//! * **Trunk-shared** ([`Plan::TrunkShared`]) — members hatched from one
+//!   MotherNet share a common prefix of bitwise-identical layers (the
+//!   paper's hatching step). The plan detects that prefix at build time
+//!   ([`EnginePlan::trunk_len`]), evaluates it **once** per mini-batch
+//!   chunk, and fans only the divergent tails across members — roughly
+//!   `1/K` of the trunk FLOPs for a `K`-member ensemble with a deep
+//!   trunk. Shards compose with this axis exactly as in data-parallel.
 //!
-//! [`ExecPolicy::Auto`] (the default) picks the axis per batch from batch
-//! size × member count × worker-thread count; [`EnginePlan::resolve`]
-//! exposes the decision for inspection and tests.
+//! [`ExecPolicy::Auto`] (the default) prefers the trunk-shared axis
+//! whenever the detected trunk contains parameterized work, and otherwise
+//! picks between the flat axes per batch from batch size × member count ×
+//! worker-thread count; [`EnginePlan::resolve`] exposes the decision for
+//! inspection and tests.
 //!
 //! ## Determinism
 //!
@@ -135,6 +144,17 @@ pub enum ExecPolicy {
         /// Number of batch shards / replica lanes.
         shards: usize,
     },
+    /// Always evaluate the shared member prefix once per mini-batch chunk
+    /// and fan only the divergent tails across members, over this many
+    /// batch shards (clamped like [`ExecPolicy::DataParallel`], but a
+    /// single shard still shares the trunk rather than falling back to
+    /// the flat member-parallel plan). Correct — and bitwise identical to
+    /// the flat plans — even when the detected trunk is empty; it just
+    /// saves nothing then.
+    TrunkShared {
+        /// Number of batch shards / replica lanes.
+        shards: usize,
+    },
 }
 
 /// The resolved execution plan for one request batch.
@@ -144,6 +164,12 @@ pub enum Plan {
     MemberParallel,
     /// `shards` tasks, each running every member over one batch shard.
     DataParallel {
+        /// Number of batch shards actually used.
+        shards: usize,
+    },
+    /// `shards` tasks, each evaluating the shared trunk once per
+    /// mini-batch chunk and fanning the divergent member tails.
+    TrunkShared {
         /// Number of batch shards actually used.
         shards: usize,
     },
@@ -161,6 +187,12 @@ pub struct EnginePlan {
     policy: ExecPolicy,
     input: InputSpec,
     num_classes: usize,
+    /// Longest common prefix of bitwise-identical (config and state)
+    /// layer nodes across *all* members; 0 for fewer than two members.
+    trunk_len: usize,
+    /// Whether the trunk contains at least one parameterized node — i.e.
+    /// whether sharing it actually saves work.
+    trunk_profitable: bool,
 }
 
 impl EnginePlan {
@@ -203,6 +235,26 @@ impl EnginePlan {
                 });
             }
         }
+        // Trunk detection: the longest member prefix whose nodes are
+        // bitwise identical (weights, running stats, and eval-relevant
+        // config) across every member. Hatched ensembles share their
+        // MotherNet prefix by construction; independently trained members
+        // degrade gracefully to a trunk of 0 (or of cheap stateless
+        // nodes, which `trunk_profitable` filters out).
+        let trunk_len = if members.len() < 2 {
+            0
+        } else {
+            members[1..]
+                .iter()
+                .map(|m| members[0].network.shared_eval_prefix(&m.network))
+                .min()
+                .unwrap_or(0)
+        };
+        let trunk_profitable = members[0].network.nodes()[..trunk_len].iter().any(|node| {
+            let mut stateful = false;
+            node.visit_state(&mut |_| stateful = true);
+            stateful
+        });
         for m in members.iter_mut() {
             m.network.clear_caches();
         }
@@ -212,6 +264,8 @@ impl EnginePlan {
             policy: ExecPolicy::Auto,
             input,
             num_classes,
+            trunk_len,
+            trunk_profitable,
         })
     }
 
@@ -271,24 +325,37 @@ impl EnginePlan {
     /// each. Plans never affect results (see module docs), only wall
     /// clock.
     ///
-    /// Explicit [`ExecPolicy::DataParallel`] requests are clamped to the
-    /// batch size and to [`EnginePlan::max_shards`] — lanes beyond the
-    /// worker count buy no parallelism, so an oversized request must not
-    /// be able to pin unbounded per-lane scratch.
+    /// Explicit [`ExecPolicy::DataParallel`] and
+    /// [`ExecPolicy::TrunkShared`] shard requests are clamped by
+    /// [`EnginePlan::clamp_shards`] — lanes beyond the worker count buy no
+    /// parallelism, so an oversized request must not be able to pin
+    /// unbounded per-lane scratch.
     pub fn resolve(&self, n: usize, policy: ExecPolicy) -> Plan {
         match policy {
             ExecPolicy::MemberParallel => Plan::MemberParallel,
             ExecPolicy::DataParallel { shards } => {
-                let shards = shards.clamp(1, n.max(1)).min(self.max_shards());
+                let shards = self.clamp_shards(shards, n);
                 if shards == 1 {
                     Plan::MemberParallel
                 } else {
                     Plan::DataParallel { shards }
                 }
             }
+            ExecPolicy::TrunkShared { shards } => Plan::TrunkShared {
+                shards: self.clamp_shards(shards, n),
+            },
             ExecPolicy::Auto => {
                 let threads = rayon::current_num_threads();
                 let members = self.members.len();
+                if self.shares_trunk() && n > 0 {
+                    // Sharing a parameterized trunk saves FLOPs on every
+                    // plan shape; shard only as far as there are whole
+                    // mini-batch chunks and threads to run them.
+                    let shards = n.div_ceil(self.batch_size).min(threads);
+                    return Plan::TrunkShared {
+                        shards: self.clamp_shards(shards, n),
+                    };
+                }
                 if n == 0 || threads <= members {
                     return Plan::MemberParallel;
                 }
@@ -302,6 +369,20 @@ impl EnginePlan {
         }
     }
 
+    /// Clamps a requested shard count for a batch of `n` examples. The
+    /// constraint order is deliberate and pinned by unit tests: an empty
+    /// batch always resolves to one shard (nothing to split, and `0`
+    /// shards would be degenerate); otherwise the request is raised to at
+    /// least 1, lowered to at most one shard per example, and finally
+    /// capped at [`EnginePlan::max_shards`] so an absurd request cannot
+    /// pin unbounded per-lane scratch.
+    pub fn clamp_shards(&self, requested: usize, n: usize) -> usize {
+        if n == 0 {
+            return 1;
+        }
+        requested.max(1).min(n).min(self.max_shards())
+    }
+
     /// Upper bound on data-parallel shards (and so on replica lanes): the
     /// worker-thread count, with a small floor so the sharding path stays
     /// exercisable on single-core machines. Caps the per-lane scratch an
@@ -309,6 +390,22 @@ impl EnginePlan {
     pub fn max_shards(&self) -> usize {
         const SHARD_FLOOR: usize = 16;
         rayon::current_num_threads().max(SHARD_FLOOR)
+    }
+
+    /// Length (in layer nodes) of the shared member trunk: the longest
+    /// common prefix of bitwise-identical layers across every member,
+    /// detected at plan build time. 0 when there are fewer than two
+    /// members or the members share nothing.
+    pub fn trunk_len(&self) -> usize {
+        self.trunk_len
+    }
+
+    /// Whether the detected trunk contains parameterized work worth
+    /// sharing (a trunk of only stateless nodes — e.g. the leading
+    /// `Flatten` every MLP starts with — is not). [`ExecPolicy::Auto`]
+    /// picks [`Plan::TrunkShared`] exactly when this holds.
+    pub fn shares_trunk(&self) -> bool {
+        self.trunk_profitable
     }
 
     /// Number of ensemble members.
@@ -419,6 +516,7 @@ impl EngineSession {
         match self.plan_for(x.shape().dim(0)) {
             Plan::MemberParallel => self.predict_member_parallel(x),
             Plan::DataParallel { shards } => self.predict_data_parallel(x, shards),
+            Plan::TrunkShared { shards } => self.predict_trunk_shared(x, shards),
         }
     }
 
@@ -474,6 +572,81 @@ impl EngineSession {
             .collect();
 
         // Stitch per-member outputs back in example order.
+        let mut probs: Vec<Tensor> = (0..members.len()).map(|_| Tensor::zeros([n, k])).collect();
+        let mut start = 0;
+        for lane in &shard_probs {
+            let rows = lane[0].shape().dim(0);
+            for (m, shard) in lane.iter().enumerate() {
+                probs[m].data_mut()[start * k..(start + rows) * k].copy_from_slice(shard.data());
+            }
+            start += rows;
+        }
+        MemberPredictions::from_probs(probs)
+    }
+
+    /// Trunk-shared execution: each lane walks its shard in mini-batch
+    /// chunks, evaluates the shared member prefix **once** per chunk
+    /// (from member 0's nodes — bitwise identical to every member's own
+    /// prefix by construction, see [`EnginePlan::trunk_len`]), then fans
+    /// only the divergent tails across members. Output is bitwise
+    /// identical to the flat plans: prefix-then-tail evaluation equals
+    /// whole-network evaluation node for node, and each example's forward
+    /// pass is independent of its batch neighbors.
+    fn predict_trunk_shared(&mut self, x: &Tensor, shards: usize) -> MemberPredictions {
+        let n = x.shape().dim(0);
+        if n == 0 {
+            return self.predict_member_parallel(x);
+        }
+        let ranges = shard_ranges(n, shards);
+        self.ensure_lanes(ranges.len());
+        let plan = &self.plan;
+        let trunk = plan.trunk_len();
+        let bs = plan.batch_size();
+        let members = plan.members();
+        let k = plan.num_classes();
+        let row = x.len() / n;
+
+        let mut lane_jobs: Vec<(std::ops::Range<usize>, &mut Vec<Workspace>)> =
+            ranges.into_iter().zip(self.lanes.iter_mut()).collect();
+        let shard_probs: Vec<Vec<Tensor>> = lane_jobs
+            .par_iter_mut()
+            .map(|(range, lane)| {
+                let rows = range.len();
+                let mut outs: Vec<Tensor> =
+                    members.iter().map(|_| Tensor::zeros([rows, k])).collect();
+                let mut start = range.start;
+                while start < range.end {
+                    let end = (start + bs).min(range.end);
+                    let chunk = end - start;
+                    let mut xb = lane[0].acquire_uninit(x.shape().with_dim(0, chunk));
+                    xb.data_mut()
+                        .copy_from_slice(&x.data()[start * row..end * row]);
+                    let h = members[0]
+                        .network
+                        .forward_eval_prefix_with(&xb, trunk, &mut lane[0]);
+                    lane[0].release(xb);
+                    let local = start - range.start;
+                    let mut tails: Vec<((&EnsembleMember, &mut Workspace), &mut Tensor)> = members
+                        .iter()
+                        .zip(lane.iter_mut())
+                        .zip(outs.iter_mut())
+                        .collect();
+                    tails.par_iter_mut().for_each(|((member, ws), out)| {
+                        let mut probs = member.network.forward_eval_tail_with(&h, trunk, ws);
+                        ops::softmax_rows(&mut probs);
+                        out.data_mut()[local * k..(local + chunk) * k]
+                            .copy_from_slice(probs.data());
+                        ws.release(probs);
+                    });
+                    lane[0].release(h);
+                    start = end;
+                }
+                outs
+            })
+            .collect();
+
+        // Stitch per-member outputs back in example order, exactly as the
+        // data-parallel plan does.
         let mut probs: Vec<Tensor> = (0..members.len()).map(|_| Tensor::zeros([n, k])).collect();
         let mut start = 0;
         for lane in &shard_probs {
@@ -700,6 +873,28 @@ mod tests {
         InferenceEngine::new(members(n), batch).unwrap()
     }
 
+    /// Members cloned from one seed network with only the classifier head
+    /// re-perturbed — the hatched-ensemble shape: every node but the last
+    /// Dense is bitwise shared.
+    fn trunked_members(n: u64) -> Vec<EnsembleMember> {
+        let arch = Architecture::mlp("m", InputSpec::new(1, 2, 2), 3, vec![6]);
+        let base = Network::seeded(&arch, 42);
+        (0..n)
+            .map(|s| {
+                let mut net = base.clone();
+                match net.nodes_mut().last_mut() {
+                    Some(mn_nn::LayerNode::Dense(l)) => {
+                        for w in l.weight.value.data_mut() {
+                            *w += (s as f32 + 1.0) * 0.01;
+                        }
+                    }
+                    other => panic!("expected a dense head, got {other:?}"),
+                }
+                EnsembleMember::new(format!("t{s}"), net)
+            })
+            .collect()
+    }
+
     #[test]
     fn engine_matches_sequential_collection() {
         let x = Tensor::randn([7, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(1));
@@ -839,6 +1034,145 @@ mod tests {
     }
 
     #[test]
+    fn trunk_detection_finds_hatched_prefix_and_ignores_stateless_trunks() {
+        // Head-only divergence: everything up to (not including) the
+        // final Dense is shared, and the trunk carries real weights.
+        let plan = EnginePlan::new(trunked_members(4), 8).unwrap();
+        let nodes = plan.members()[0].network.nodes().len();
+        assert_eq!(plan.trunk_len(), nodes - 1);
+        assert!(plan.shares_trunk());
+
+        // Independently seeded members share only the leading stateless
+        // Flatten — detected, but not worth sharing.
+        let flat = EnginePlan::new(members(3), 8).unwrap();
+        assert_eq!(flat.trunk_len(), 1);
+        assert!(!flat.shares_trunk());
+
+        // A single member has no trunk to share.
+        let solo = EnginePlan::new(members(1), 8).unwrap();
+        assert_eq!(solo.trunk_len(), 0);
+        assert!(!solo.shares_trunk());
+    }
+
+    #[test]
+    fn auto_picks_trunk_shared_exactly_when_trunk_is_parameterized() {
+        let trunked = EnginePlan::new(trunked_members(3), 4).unwrap();
+        assert!(matches!(
+            trunked.resolve(16, ExecPolicy::Auto),
+            Plan::TrunkShared { .. }
+        ));
+        // Empty batches never shard and never need the trunk path.
+        assert_eq!(trunked.resolve(0, ExecPolicy::Auto), Plan::MemberParallel);
+        // A stateless trunk keeps the flat auto rule.
+        let flat = EnginePlan::new(members(3), 4).unwrap();
+        assert!(!matches!(
+            flat.resolve(16, ExecPolicy::Auto),
+            Plan::TrunkShared { .. }
+        ));
+    }
+
+    #[test]
+    fn trunk_shared_matches_member_parallel_bitwise() {
+        let x = Tensor::randn([13, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(6));
+        let plan = EnginePlan::new(trunked_members(4), 4)
+            .unwrap()
+            .into_shared();
+        let mut baseline = plan.session();
+        baseline.set_policy(ExecPolicy::MemberParallel);
+        let reference = baseline.predict(&x);
+        // Members genuinely diverge (the trunk path has something to get
+        // wrong): head perturbations must show up in the outputs.
+        assert_ne!(
+            reference.probs()[0].data(),
+            reference.probs()[1].data(),
+            "trunked members must still disagree at the head"
+        );
+        for shards in [1usize, 2, 3, 5, 13, 40] {
+            let mut trunked = plan.session();
+            trunked.set_policy(ExecPolicy::TrunkShared { shards });
+            let got = trunked.predict(&x);
+            for (m, (a, b)) in reference.probs().iter().zip(got.probs()).enumerate() {
+                assert_eq!(
+                    a.data(),
+                    b.data(),
+                    "member {m} diverged under {shards}-shard trunk sharing"
+                );
+            }
+        }
+        // Zero shared prefix (explicit policy on unrelated members) is
+        // correct too — it just shares nothing.
+        let flat_plan = EnginePlan::new(members(3), 4).unwrap().into_shared();
+        let mut a = flat_plan.session();
+        a.set_policy(ExecPolicy::MemberParallel);
+        let mut b = flat_plan.session();
+        b.set_policy(ExecPolicy::TrunkShared { shards: 2 });
+        let ra = a.predict(&x);
+        let rb = b.predict(&x);
+        for (p, q) in ra.probs().iter().zip(rb.probs()) {
+            assert_eq!(p.data(), q.data());
+        }
+    }
+
+    #[test]
+    fn trunk_shared_handles_empty_batch_and_single_shard() {
+        let plan = EnginePlan::new(trunked_members(2), 4)
+            .unwrap()
+            .into_shared();
+        let mut s = plan.session();
+        s.set_policy(ExecPolicy::TrunkShared { shards: 3 });
+        let empty = Tensor::zeros([0, 1, 2, 2]);
+        let preds = s.predict(&empty);
+        assert_eq!(preds.num_examples(), 0);
+        assert_eq!(preds.num_members(), 2);
+        // One shard stays on the trunk-shared plan (unlike data-parallel,
+        // which would fall back to member-parallel).
+        assert_eq!(
+            plan.resolve(8, ExecPolicy::TrunkShared { shards: 1 }),
+            Plan::TrunkShared { shards: 1 }
+        );
+        let x = Tensor::randn([3, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(7));
+        s.set_policy(ExecPolicy::TrunkShared { shards: 1 });
+        assert_eq!(s.predict(&x).num_examples(), 3);
+    }
+
+    #[test]
+    fn clamp_shards_pins_constraint_order() {
+        let plan = EnginePlan::new(members(2), 2).unwrap();
+        // Empty batch: always one shard, regardless of the request.
+        assert_eq!(plan.clamp_shards(0, 0), 1);
+        assert_eq!(plan.clamp_shards(usize::MAX, 0), 1);
+        // Zero-shard requests are raised to one.
+        assert_eq!(plan.clamp_shards(0, 5), 1);
+        // At most one shard per example.
+        assert_eq!(plan.clamp_shards(8, 3), 3);
+        // The lane cap binds last.
+        assert_eq!(plan.clamp_shards(usize::MAX, 1_000_000), plan.max_shards());
+        // And resolve() exposes the same behavior through both policies.
+        assert_eq!(
+            plan.resolve(0, ExecPolicy::DataParallel { shards: 7 }),
+            Plan::MemberParallel
+        );
+        assert_eq!(
+            plan.resolve(0, ExecPolicy::TrunkShared { shards: 7 }),
+            Plan::TrunkShared { shards: 1 }
+        );
+        assert_eq!(
+            plan.resolve(5, ExecPolicy::DataParallel { shards: 0 }),
+            Plan::MemberParallel
+        );
+        assert_eq!(
+            plan.resolve(3, ExecPolicy::DataParallel { shards: 8 }),
+            Plan::DataParallel { shards: 3 }
+        );
+        assert_eq!(
+            plan.resolve(1_000_000, ExecPolicy::DataParallel { shards: usize::MAX }),
+            Plan::DataParallel {
+                shards: plan.max_shards()
+            }
+        );
+    }
+
+    #[test]
     fn auto_plan_prefers_member_fanout_unless_sharding_wins() {
         let e = engine(3, 4);
         // Empty batches never shard.
@@ -853,6 +1187,9 @@ mod tests {
                     assert!(shards > e.num_members());
                     assert!(shards <= rayon::current_num_threads());
                     assert!(shards <= n.div_ceil(e.batch_size()));
+                }
+                Plan::TrunkShared { .. } => {
+                    panic!("independently seeded members must not auto-share a trunk")
                 }
             }
         }

@@ -33,6 +33,13 @@
 //!   submissions, lets every shard drain the requests already admitted
 //!   (each gets its answer, none observe `Closed`), then joins the
 //!   workers and returns per-shard plus aggregate [`ServerStats`].
+//! * **Panic containment** — every queue lock recovers from mutex
+//!   poisoning, so one worker dying mid-request cannot cascade panics
+//!   into the other shards or any client: remaining shards keep serving,
+//!   the orphaned request's [`PendingPrediction::wait`] returns
+//!   [`ServeError::WorkerGone`] instead of blocking forever, and
+//!   [`Server::shutdown`] counts the death in
+//!   [`ServerReport::worker_panics`] rather than re-panicking.
 //!
 //! Micro-batch composition and shard count never affect results: each
 //! example's forward pass is independent of its batch neighbors (the
@@ -66,7 +73,7 @@ use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -112,6 +119,11 @@ pub enum ServeError {
     },
     /// The server has shut down (or shut down before answering).
     Closed,
+    /// The worker shard serving this request died (panicked) after
+    /// dequeueing it, so no answer will ever arrive. Typed so a waiting
+    /// client returns instead of blocking forever on a reply channel
+    /// whose sender unwound.
+    WorkerGone,
 }
 
 impl fmt::Display for ServeError {
@@ -122,6 +134,9 @@ impl fmt::Display for ServeError {
                 write!(f, "server overloaded: request queue full at {queue_depth}")
             }
             ServeError::Closed => write!(f, "server is shut down"),
+            ServeError::WorkerGone => {
+                write!(f, "serving worker died before answering this request")
+            }
         }
     }
 }
@@ -185,6 +200,10 @@ pub struct ServerReport {
     /// Submissions rejected with [`ServeError::Overloaded`] over the
     /// server's lifetime.
     pub rejected: u64,
+    /// Worker shards that died (panicked) instead of exiting cleanly.
+    /// Their [`ServerReport::per_shard`] entries are zeroed — the
+    /// counters unwound with the worker.
+    pub worker_panics: u64,
 }
 
 struct Request {
@@ -198,11 +217,21 @@ struct Request {
 /// `Mutex<VecDeque>` + `Condvar` (the workspace has no queue dependency):
 /// admission is O(1) under one lock, `close` flips `open` so producers
 /// are rejected while consumers drain what was already admitted.
+///
+/// Every lock acquisition recovers from poisoning: a worker that panics
+/// while holding the lock must not cascade its panic into every other
+/// shard and client. The state under the lock (a deque plus a flag) is
+/// structurally valid at every point a panic can unwind through, so the
+/// "poisoned" data is safe to keep serving from.
 struct SharedQueue {
     state: Mutex<QueueState>,
     available: Condvar,
     capacity: usize,
     rejected: AtomicU64,
+    /// Test-only failpoint (see [`ServerBuilder::panic_on_nan_example`]):
+    /// when set, popping a request whose example contains NaN panics
+    /// *while holding the queue lock* — the worst-case worker death.
+    poison_pill: bool,
 }
 
 struct QueueState {
@@ -211,7 +240,7 @@ struct QueueState {
 }
 
 impl SharedQueue {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, poison_pill: bool) -> Self {
         SharedQueue {
             state: Mutex::new(QueueState {
                 queue: VecDeque::with_capacity(capacity.min(1024)),
@@ -220,12 +249,26 @@ impl SharedQueue {
             available: Condvar::new(),
             capacity,
             rejected: AtomicU64::new(0),
+            poison_pill,
+        }
+    }
+
+    /// Locks the queue state, recovering from a poisoned mutex (see the
+    /// type-level docs for why that is sound here).
+    fn lock_state(&self) -> MutexGuard<'_, QueueState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Fires the injected failpoint if `request` is a poison pill.
+    fn maybe_detonate(&self, request: &Request) {
+        if self.poison_pill && request.example.data().iter().any(|v| v.is_nan()) {
+            panic!("injected failpoint: dequeued a poison-pill request");
         }
     }
 
     /// Admission control: typed rejection instead of unbounded growth.
     fn push(&self, request: Box<Request>) -> Result<(), ServeError> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.lock_state();
         if !state.open {
             return Err(ServeError::Closed);
         }
@@ -245,15 +288,19 @@ impl SharedQueue {
     /// queue is closed **and** fully drained — shutdown answers every
     /// admitted request.
     fn pop_blocking(&self) -> Option<Box<Request>> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.lock_state();
         loop {
             if let Some(r) = state.queue.pop_front() {
+                self.maybe_detonate(&r);
                 return Some(r);
             }
             if !state.open {
                 return None;
             }
-            state = self.available.wait(state).expect("queue lock");
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(|e| e.into_inner());
         }
     }
 
@@ -261,9 +308,10 @@ impl SharedQueue {
     /// is open: returns `None` on deadline or when the queue is closed
     /// and empty (the shard then flushes its open batch).
     fn pop_until(&self, deadline: Instant) -> Option<Box<Request>> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.lock_state();
         loop {
             if let Some(r) = state.queue.pop_front() {
+                self.maybe_detonate(&r);
                 return Some(r);
             }
             if !state.open {
@@ -276,20 +324,20 @@ impl SharedQueue {
             let (guard, _timeout) = self
                 .available
                 .wait_timeout(state, deadline - now)
-                .expect("queue lock");
+                .unwrap_or_else(|e| e.into_inner());
             state = guard;
         }
     }
 
     fn close(&self) {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = self.lock_state();
         state.open = false;
         drop(state);
         self.available.notify_all();
     }
 
     fn depth(&self) -> usize {
-        self.state.lock().expect("queue lock").queue.len()
+        self.lock_state().queue.len()
     }
 }
 
@@ -348,11 +396,18 @@ pub struct PendingPrediction {
 impl PendingPrediction {
     /// Blocks until the prediction arrives.
     ///
+    /// Graceful shutdown (and even dropping the server) drains and
+    /// answers every admitted request first, so this does not error on a
+    /// normal shutdown race — an error here means the reply sender was
+    /// dropped without ever sending, i.e. the worker holding this request
+    /// died.
+    ///
     /// # Errors
     ///
-    /// [`ServeError::Closed`] when the server shut down before answering.
+    /// [`ServeError::WorkerGone`] when the worker shard serving this
+    /// request panicked before replying.
     pub fn wait(self) -> Result<Prediction, ServeError> {
-        self.rx.recv().map_err(|_| ServeError::Closed)
+        self.rx.recv().map_err(|_| ServeError::WorkerGone)
     }
 }
 
@@ -364,6 +419,7 @@ pub struct ServerBuilder {
     shards: usize,
     queue_capacity: usize,
     batching: BatchingConfig,
+    poison_pill: bool,
 }
 
 impl ServerBuilder {
@@ -377,6 +433,7 @@ impl ServerBuilder {
             shards: 1,
             queue_capacity: 1024,
             batching: BatchingConfig::default(),
+            poison_pill: false,
         }
     }
 
@@ -407,9 +464,21 @@ impl ServerBuilder {
         self
     }
 
+    /// Test-only failpoint: the worker that dequeues a request whose
+    /// example contains NaN panics *while holding the queue lock* — the
+    /// worst-case worker death (the mutex is left poisoned and the
+    /// request is dropped unanswered). Regression tests use this to pin
+    /// that one dying shard neither cascades panics into the other
+    /// shards/clients nor hangs the orphaned waiter.
+    #[doc(hidden)]
+    pub fn panic_on_nan_example(mut self) -> Self {
+        self.poison_pill = true;
+        self
+    }
+
     /// Starts the worker shards and returns the running server.
     pub fn start(self) -> Server {
-        let queue = Arc::new(SharedQueue::new(self.queue_capacity));
+        let queue = Arc::new(SharedQueue::new(self.queue_capacity, self.poison_pill));
         let input = self.plan.input_spec();
         let workers: Vec<JoinHandle<ServerStats>> = (0..self.shards)
             .map(|shard| {
@@ -490,12 +559,22 @@ impl Server {
     /// observe [`ServeError::Closed`]), drains every request already
     /// admitted — each receives its answer — then joins the shards and
     /// returns per-shard plus aggregate counters.
+    ///
+    /// A shard that panicked instead of exiting cleanly does not panic
+    /// the shutdown: it is counted in [`ServerReport::worker_panics`] and
+    /// contributes zeroed per-shard stats.
     pub fn shutdown(mut self) -> ServerReport {
         self.queue.close();
+        let mut worker_panics = 0u64;
         let per_shard: Vec<ServerStats> = self
             .workers
             .drain(..)
-            .map(|w| w.join().expect("serving worker exits cleanly"))
+            .map(|w| {
+                w.join().unwrap_or_else(|_| {
+                    worker_panics += 1;
+                    ServerStats::default()
+                })
+            })
             .collect();
         let mut aggregate = ServerStats::default();
         for s in &per_shard {
@@ -505,6 +584,7 @@ impl Server {
             aggregate,
             per_shard,
             rejected: self.queue.rejected.load(Ordering::Relaxed),
+            worker_panics,
         }
     }
 }
@@ -751,6 +831,50 @@ mod tests {
         recovered.wait().unwrap();
         let report = server.shutdown();
         assert!(report.rejected >= 1, "rejections are counted");
+    }
+
+    #[test]
+    fn panicking_worker_neither_poisons_queue_nor_hangs_clients() {
+        // Two shards; a poison-pill request kills whichever shard
+        // dequeues it *while that shard holds the queue lock* — the
+        // worst case for mutex poisoning.
+        let server = Server::builder(plan())
+            .shards(2)
+            .panic_on_nan_example()
+            .batching(BatchingConfig {
+                max_batch: 4,
+                max_wait: Duration::from_micros(200),
+            })
+            .start();
+        let x = Tensor::zeros([1, 2, 2]);
+        // Sanity: the server works before the injected failure.
+        server.submit(&x).unwrap().wait().unwrap();
+
+        let pill = Tensor::from_vec([1, 2, 2], vec![f32::NAN; 4]);
+        let orphan = server.submit(&pill).unwrap();
+        // The orphaned request returns a typed error instead of blocking
+        // forever on a reply that can never come.
+        assert_eq!(orphan.wait().unwrap_err(), ServeError::WorkerGone);
+
+        // The queue mutex was poisoned by the dying worker, but both the
+        // client path (submit locks it) and the surviving shard recover:
+        // the server keeps answering.
+        for _ in 0..8 {
+            let got = server
+                .submit(&x)
+                .expect("submits succeed after a worker death")
+                .wait()
+                .expect("surviving shards keep serving");
+            assert_eq!(got.probs.len(), 3);
+        }
+        // Shutdown reports the death instead of re-panicking the caller.
+        let report = server.shutdown();
+        assert_eq!(report.worker_panics, 1);
+        assert_eq!(report.per_shard.len(), 2);
+        // The dead shard's counters unwound with it (it may have served
+        // the sanity request); the surviving shard alone answered the 8
+        // post-failure requests.
+        assert!(report.aggregate.requests >= 8);
     }
 
     #[test]

@@ -35,6 +35,16 @@ pub struct MorphPlan {
     /// `|source| / |target|` — the clustering condition requires this to
     /// exceed `1 − τ`.
     pub inherited_fraction: f64,
+    /// Leading parameterized layer specs (conv layers, residual units,
+    /// dense layers — in forward order) the hatch copies **unchanged**:
+    /// everything before the first widened/expanded/inserted spec. A
+    /// member hatched without noise carries the source's weights
+    /// bit-for-bit through this prefix, so two members hatched from one
+    /// MotherNet share at least this much trunk — the topology-level
+    /// upper bound the ensemble engine's value-level trunk detection
+    /// confirms at serving time (the measured count is
+    /// `HatchReport::shared_prefix_nodes` in `mothernets::hatch`).
+    pub shared_prefix_specs: usize,
 }
 
 impl MorphPlan {
@@ -91,6 +101,7 @@ impl MorphPlan {
         let tp = target.param_count();
         plan.new_params = tp.saturating_sub(sp);
         plan.inherited_fraction = sp as f64 / tp as f64;
+        plan.shared_prefix_specs = shared_prefix_specs(source, target);
         Ok(plan)
     }
 
@@ -111,6 +122,76 @@ impl MorphPlan {
     }
 }
 
+/// Counts the leading parameterized layer specs a hatch leaves untouched —
+/// the hatched-topology prefix. Walks the two bodies in forward (node)
+/// order and stops at the first spec that widens, grows its kernel, or is
+/// freshly inserted; every spec before that point transfers its weights
+/// verbatim (identity channel maps), so members hatched from one source
+/// stay bit-identical through it. Spec granularity: one conv layer, one
+/// residual unit, or one dense layer each count 1; the classifier head
+/// counts only when every body spec matched (its fan-in is then unchanged
+/// too). Callers should treat this as the *topological* trunk bound — the
+/// serving engine re-verifies value-level equality before sharing compute.
+fn shared_prefix_specs(source: &Architecture, target: &Architecture) -> usize {
+    /// Leading equal widths, plus whether the two lists matched fully
+    /// (only then is the classifier head's fan-in unchanged).
+    fn dense_prefix(s: &[usize], t: &[usize]) -> (usize, bool) {
+        let matched = s.iter().zip(t.iter()).take_while(|(a, b)| a == b).count();
+        (matched, matched == s.len() && matched == t.len())
+    }
+    match (&source.body, &target.body) {
+        (Body::Mlp { hidden: sh }, Body::Mlp { hidden: th }) => {
+            let (n, all) = dense_prefix(sh, th);
+            n + usize::from(all)
+        }
+        (
+            Body::Plain {
+                blocks: sb,
+                dense: sd,
+            },
+            Body::Plain {
+                blocks: tb,
+                dense: td,
+            },
+        ) => {
+            let mut n = 0;
+            for (s, t) in sb.iter().zip(tb.iter()) {
+                for (sl, tl) in s.layers.iter().zip(t.layers.iter()) {
+                    if sl.filters != tl.filters || sl.filter_size != tl.filter_size {
+                        return n;
+                    }
+                    n += 1;
+                }
+                if s.layers.len() != t.layers.len() {
+                    return n;
+                }
+            }
+            if sb.len() != tb.len() {
+                return n;
+            }
+            let (d, all) = dense_prefix(sd, td);
+            n + d + usize::from(all)
+        }
+        (Body::Residual { blocks: sb }, Body::Residual { blocks: tb }) => {
+            let mut n = 0;
+            for (s, t) in sb.iter().zip(tb.iter()) {
+                if s.filters != t.filters || s.filter_size != t.filter_size {
+                    return n;
+                }
+                // Stage topology (stem/transition) unchanged; leading
+                // units transfer verbatim, inserted identity units end
+                // the shared prefix.
+                n += s.units.min(t.units);
+                if s.units != t.units {
+                    return n;
+                }
+            }
+            n + usize::from(sb.len() == tb.len())
+        }
+        _ => 0,
+    }
+}
+
 fn diff_dense(s: &[usize], t: &[usize], plan: &mut MorphPlan) {
     for (&su, &tu) in s.iter().zip(t.iter()) {
         if tu > su {
@@ -126,7 +207,7 @@ impl fmt::Display for MorphPlan {
             f,
             "MorphPlan: {} ops (+{} conv widen, +{} kernel, +{} conv deepen, \
              +{} dense widen, +{} dense deepen, +{} stage widen, +{} units), \
-             +{} params, {:.1}% inherited",
+             +{} params, {:.1}% inherited, {} shared-prefix specs",
             self.total_ops(),
             self.widened_conv_layers,
             self.expanded_kernels,
@@ -136,7 +217,8 @@ impl fmt::Display for MorphPlan {
             self.widened_stages,
             self.added_units,
             self.new_params,
-            self.inherited_fraction * 100.0
+            self.inherited_fraction * 100.0,
+            self.shared_prefix_specs
         )
     }
 }
@@ -187,6 +269,61 @@ mod tests {
         assert!(plan.new_params > 0);
         assert!(plan.inherited_fraction < 1.0 && plan.inherited_fraction > 0.0);
         assert_eq!(plan.total_ops(), 4);
+    }
+
+    #[test]
+    fn shared_prefix_counts_leading_untouched_specs() {
+        // No-op hatch: every spec (incl. the head) is shared.
+        let a = Architecture::mlp("a", input(), 10, vec![8, 16]);
+        assert_eq!(MorphPlan::between(&a, &a).unwrap().shared_prefix_specs, 3);
+        // Widening the second hidden layer keeps only the first shared;
+        // the head's fan-in changes, so it is not counted.
+        let b = Architecture::mlp("b", input(), 10, vec![8, 32]);
+        assert_eq!(MorphPlan::between(&a, &b).unwrap().shared_prefix_specs, 1);
+        // Appending a hidden layer keeps both originals but not the head.
+        let c = Architecture::mlp("c", input(), 10, vec![8, 16, 16]);
+        assert_eq!(MorphPlan::between(&a, &c).unwrap().shared_prefix_specs, 2);
+
+        // Plain: widening the second block's layer preserves all of block
+        // one (2 conv specs), nothing after.
+        let s = Architecture::plain(
+            "s",
+            input(),
+            10,
+            vec![
+                ConvBlockSpec::repeated(3, 4, 2),
+                ConvBlockSpec::repeated(3, 8, 1),
+            ],
+            vec![8],
+        );
+        let t = Architecture::plain(
+            "t",
+            input(),
+            10,
+            vec![
+                ConvBlockSpec::repeated(3, 4, 2),
+                ConvBlockSpec::repeated(3, 16, 1),
+            ],
+            vec![8],
+        );
+        assert_eq!(MorphPlan::between(&s, &t).unwrap().shared_prefix_specs, 2);
+        // Widening the very first conv layer shares nothing.
+        let u = Architecture::plain(
+            "u",
+            input(),
+            10,
+            vec![
+                ConvBlockSpec::repeated(3, 8, 2),
+                ConvBlockSpec::repeated(3, 8, 1),
+            ],
+            vec![8],
+        );
+        assert_eq!(MorphPlan::between(&s, &u).unwrap().shared_prefix_specs, 0);
+
+        // Residual: adding units to a stage keeps the originals.
+        let rs = Architecture::residual("rs", input(), 10, vec![ResBlockSpec::new(2, 4, 3)]);
+        let rt = Architecture::residual("rt", input(), 10, vec![ResBlockSpec::new(4, 4, 3)]);
+        assert_eq!(MorphPlan::between(&rs, &rt).unwrap().shared_prefix_specs, 2);
     }
 
     #[test]

@@ -170,15 +170,62 @@ impl Network {
     /// [`Workspace`] (see [`Network::forward_with`] for the buffer
     /// lifecycle).
     pub fn forward_eval_with(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
-        let mut h: Option<Tensor> = None;
-        for node in &self.nodes {
-            let next = node.forward_eval_ws(h.as_ref().unwrap_or(x), ws);
-            if let Some(prev) = h.take() {
-                ws.release(prev);
-            }
-            h = Some(next);
-        }
-        h.unwrap_or_else(|| x.clone())
+        eval_nodes(&self.nodes, x, ws)
+    }
+
+    /// Eval-forward through the leading `upto` nodes only, returning the
+    /// intermediate activation — the **shared-trunk** pass of the ensemble
+    /// engine: when several members share a bit-identical layer prefix
+    /// (see [`crate::node::LayerNode::eval_equivalent`]), the trunk is
+    /// evaluated once and its activation fanned out to every member's
+    /// [`Network::forward_eval_tail_with`].
+    ///
+    /// `upto == 0` returns a clone of `x`; `upto == nodes.len()` runs the
+    /// whole network. Shared access only, like
+    /// [`Network::forward_eval_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upto` exceeds the node count.
+    pub fn forward_eval_prefix_with(&self, x: &Tensor, upto: usize, ws: &mut Workspace) -> Tensor {
+        assert!(
+            upto <= self.nodes.len(),
+            "prefix {upto} out of range for {} nodes",
+            self.nodes.len()
+        );
+        eval_nodes(&self.nodes[..upto], x, ws)
+    }
+
+    /// Eval-forward through the nodes from index `from` to the end, given
+    /// the activation `h` a (shared) prefix pass produced — the divergent
+    /// **tail** pass of shared-trunk ensemble execution. Bitwise: running
+    /// `forward_eval_prefix_with(x, k)` then `forward_eval_tail_with(h, k)`
+    /// equals `forward_eval_with(x)` for any split point `k`, because both
+    /// route through the identical per-node eval code in sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` exceeds the node count.
+    pub fn forward_eval_tail_with(&self, h: &Tensor, from: usize, ws: &mut Workspace) -> Tensor {
+        assert!(
+            from <= self.nodes.len(),
+            "tail start {from} out of range for {} nodes",
+            self.nodes.len()
+        );
+        eval_nodes(&self.nodes[from..], h, ws)
+    }
+
+    /// The number of leading nodes this network shares — eval-equivalently,
+    /// i.e. bit-for-bit (see [`crate::node::LayerNode::eval_equivalent`]) —
+    /// with `other`. Hatched members report how much of their mother they
+    /// still carry through this, and the ensemble engine intersects it
+    /// across members to find the servable shared trunk.
+    pub fn shared_eval_prefix(&self, other: &Network) -> usize {
+        self.nodes
+            .iter()
+            .zip(other.nodes.iter())
+            .take_while(|(a, b)| a.eval_equivalent(b))
+            .count()
     }
 
     /// Backward pass from logit gradients; accumulates parameter gradients.
@@ -274,6 +321,22 @@ impl Network {
             n.clear_cache();
         }
     }
+}
+
+/// Shared-access eval walk over a node slice: the single code path behind
+/// [`Network::forward_eval_with`] and the prefix/tail variants, so a split
+/// pass cannot drift from the whole-network pass. An empty slice yields a
+/// clone of the input.
+fn eval_nodes(nodes: &[LayerNode], x: &Tensor, ws: &mut Workspace) -> Tensor {
+    let mut h: Option<Tensor> = None;
+    for node in nodes {
+        let next = node.forward_eval_ws(h.as_ref().unwrap_or(x), ws);
+        if let Some(prev) = h.take() {
+            ws.release(prev);
+        }
+        h = Some(next);
+    }
+    h.unwrap_or_else(|| x.clone())
 }
 
 /// How the parameterized layers of a fresh network get their values. One
@@ -630,6 +693,77 @@ mod tests {
                 arch.name
             );
         }
+    }
+
+    #[test]
+    fn prefix_plus_tail_equals_whole_forward_at_every_split() {
+        // The shared-trunk contract: splitting the eval pass at ANY node
+        // boundary and resuming from the intermediate activation is
+        // bitwise identical to the unsplit pass, for every layer family.
+        let archs = vec![
+            Architecture::mlp("m", input(), 5, vec![8]),
+            Architecture::plain(
+                "p",
+                input(),
+                5,
+                vec![ConvBlockSpec::repeated(3, 4, 1)],
+                vec![8],
+            ),
+            Architecture::residual("r", input(), 5, vec![ResBlockSpec::new(1, 4, 3)]),
+        ];
+        for arch in archs {
+            let net = Network::seeded(&arch, 21);
+            let x = Tensor::randn([3, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(22));
+            let whole = net.forward_eval(&x);
+            let mut ws = mn_tensor::Workspace::new();
+            for split in 0..=net.nodes().len() {
+                let h = net.forward_eval_prefix_with(&x, split, &mut ws);
+                let out = net.forward_eval_tail_with(&h, split, &mut ws);
+                assert_eq!(
+                    whole.data(),
+                    out.data(),
+                    "split at node {split} diverged for {}",
+                    arch.name
+                );
+                ws.release(h);
+                ws.release(out);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_eval_prefix_detects_divergence_point() {
+        let arch = Architecture::mlp("m", input(), 5, vec![8, 8]);
+        let a = Network::seeded(&arch, 30);
+        // Identical clone: full prefix.
+        let b = a.clone();
+        assert_eq!(a.shared_eval_prefix(&b), a.nodes().len());
+        // Re-randomize the final dense layer only: everything before it
+        // still shared (fully-shared-but-for-head).
+        let mut c = a.clone();
+        let last = c.nodes().len() - 1;
+        if let crate::node::LayerNode::Dense(l) = &mut c.nodes_mut()[last] {
+            let fresh = DenseLayer::new(
+                l.in_features(),
+                l.out_features(),
+                &mut StdRng::seed_from_u64(31),
+            );
+            *l = fresh;
+        } else {
+            panic!("mlp must end in a dense head");
+        }
+        assert_eq!(a.shared_eval_prefix(&c), last);
+        // A different seed diverges at the first parameterized node
+        // (node 0 is Flatten, which is stateless and always shared).
+        let d = Network::seeded(&arch, 31);
+        assert_eq!(a.shared_eval_prefix(&d), 1);
+        // Flipping one bit anywhere breaks equivalence of that node.
+        let mut e = a.clone();
+        if let crate::node::LayerNode::Dense(l) = &mut e.nodes_mut()[1] {
+            let v = l.weight.value.data()[0];
+            l.weight.value.data_mut()[0] = f32::from_bits(v.to_bits() ^ 1);
+        }
+        assert_eq!(a.shared_eval_prefix(&e), 1);
     }
 
     #[test]

@@ -222,6 +222,59 @@ impl LayerNode {
         }
     }
 
+    /// Whether two nodes are **eval-interchangeable**: same layer kind,
+    /// same eval-relevant configuration, and bit-for-bit identical
+    /// persistent state (weights, biases, batch-norm statistics). Two
+    /// eval-equivalent nodes produce bitwise identical output for any
+    /// input, so an executor may run either one — this is the detection
+    /// primitive behind shared-trunk ensemble serving: members hatched
+    /// from one MotherNet keep eval-equivalent prefixes until their first
+    /// divergent (widened/retrained) layer.
+    ///
+    /// State is compared by `f32` bit pattern (`to_bits`), not `==`, so
+    /// the check is NaN-safe and distinguishes `-0.0` from `0.0` — the
+    /// same notion of identity the engine's bitwise-determinism contract
+    /// uses.
+    pub fn eval_equivalent(&self, other: &LayerNode) -> bool {
+        fn bits_eq(a: &Tensor, b: &Tensor) -> bool {
+            a.shape() == b.shape()
+                && a.data()
+                    .iter()
+                    .zip(b.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        }
+        // Eval-relevant configuration first: dimensions are implied by the
+        // state tensors below, but kernel formulation (conv) and epsilon /
+        // layout (batch norm) change the arithmetic without changing any
+        // stored tensor, so they must match for bitwise interchangeability.
+        let config_eq = match (self, other) {
+            (LayerNode::Dense(_), LayerNode::Dense(_)) => true,
+            (LayerNode::Conv(a), LayerNode::Conv(b)) => a.formulation() == b.formulation(),
+            (LayerNode::BatchNorm(a), LayerNode::BatchNorm(b)) => {
+                a.layout() == b.layout() && a.eps.to_bits() == b.eps.to_bits()
+            }
+            (LayerNode::Residual(a), LayerNode::Residual(b)) => {
+                a.conv1.formulation() == b.conv1.formulation()
+                    && a.conv2.formulation() == b.conv2.formulation()
+                    && a.bn1.eps.to_bits() == b.bn1.eps.to_bits()
+                    && a.bn2.eps.to_bits() == b.bn2.eps.to_bits()
+            }
+            (LayerNode::Relu(_), LayerNode::Relu(_))
+            | (LayerNode::MaxPool(_), LayerNode::MaxPool(_))
+            | (LayerNode::Flatten(_), LayerNode::Flatten(_))
+            | (LayerNode::GlobalAvgPool(_), LayerNode::GlobalAvgPool(_)) => true,
+            _ => false,
+        };
+        if !config_eq {
+            return false;
+        }
+        let mut mine: Vec<&Tensor> = Vec::new();
+        self.visit_state(&mut |t| mine.push(t));
+        let mut theirs: Vec<&Tensor> = Vec::new();
+        other.visit_state(&mut |t| theirs.push(t));
+        mine.len() == theirs.len() && mine.iter().zip(&theirs).all(|(a, b)| bits_eq(a, b))
+    }
+
     /// Short kind name for diagnostics.
     pub fn kind(&self) -> &'static str {
         match self {

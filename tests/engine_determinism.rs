@@ -1,8 +1,8 @@
 //! Determinism-under-parallelism: the planned ensemble inference engine
 //! must produce **bitwise identical** output regardless of how many rayon
 //! worker threads execute it, which execution plan (member-parallel,
-//! data-parallel sharding, or auto) it picks, and across repeated runs
-//! from the same seeds.
+//! data-parallel sharding, trunk-shared, or auto) it picks, and across
+//! repeated runs from the same seeds.
 //!
 //! This holds by construction — members fan out over disjoint result
 //! slots, batch shards cover disjoint example ranges, and every tensor
@@ -126,6 +126,9 @@ fn engine_output_is_bitwise_identical_across_execution_plans() {
     let reference = predict_with_threads_and_policy(1, 5, &x, ExecPolicy::MemberParallel);
     let mut policies = vec![ExecPolicy::Auto, ExecPolicy::MemberParallel];
     policies.extend([2usize, 3, 4, 8, 17].map(|shards| ExecPolicy::DataParallel { shards }));
+    // Mixed-architecture members share no trunk; the trunk-shared plan
+    // must still agree bit for bit (it just shares nothing).
+    policies.extend([1usize, 3, 17].map(|shards| ExecPolicy::TrunkShared { shards }));
     for threads in [1usize, 4] {
         for &policy in &policies {
             let got = predict_with_threads_and_policy(threads, 5, &x, policy);
@@ -137,6 +140,77 @@ fn engine_output_is_bitwise_identical_across_execution_plans() {
                     "member {m} diverged under {policy:?} on {threads} thread(s)"
                 );
             }
+        }
+    }
+}
+
+/// Members cloned from one seed network with only the classifier head
+/// perturbed — the hatched-ensemble shape with a deep shared conv trunk.
+fn build_trunked_members(master_seed: u64) -> Vec<EnsembleMember> {
+    let input = InputSpec::new(3, 8, 8);
+    let arch = Architecture::plain(
+        "trunked",
+        input,
+        5,
+        vec![ConvBlockSpec::repeated(3, 6, 2)],
+        vec![12],
+    );
+    let base = Network::seeded(&arch, master_seed);
+    (0..4)
+        .map(|s| {
+            let mut net = base.clone();
+            match net.nodes_mut().last_mut() {
+                Some(mn_nn::LayerNode::Dense(l)) => {
+                    for w in l.weight.value.data_mut() {
+                        *w += (s as f32 + 1.0) * 0.01;
+                    }
+                }
+                other => panic!("expected a dense head, got {other:?}"),
+            }
+            EnsembleMember::new(format!("t{s}"), net)
+        })
+        .collect()
+}
+
+#[test]
+fn trunk_sharing_is_bitwise_identical_across_threads_and_shards() {
+    // The tentpole's determinism criterion: trunk-shared output equals
+    // the flat reference across ExecPolicy × shard count × thread count,
+    // on an ensemble that genuinely shares a deep trunk (Auto picks the
+    // trunk plan here).
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    let x = Tensor::randn([13, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(47));
+    let run = |threads: usize, policy: ExecPolicy| -> Vec<Vec<u32>> {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        pool.install(|| {
+            let plan = EnginePlan::new(build_trunked_members(19), 4)
+                .expect("members build")
+                .into_shared();
+            let mut session = plan.session();
+            session.set_policy(policy);
+            let _ = session.predict(&x); // warm lanes
+            session
+                .predict(&x)
+                .probs()
+                .iter()
+                .map(|p| p.data().iter().map(|v| v.to_bits()).collect())
+                .collect()
+        })
+    };
+    let reference = run(1, ExecPolicy::MemberParallel);
+    let mut policies = vec![ExecPolicy::Auto, ExecPolicy::MemberParallel];
+    policies.extend([1usize, 2, 5, 13].map(|shards| ExecPolicy::TrunkShared { shards }));
+    policies.push(ExecPolicy::DataParallel { shards: 3 });
+    for threads in [1usize, 4] {
+        for &policy in &policies {
+            let got = run(threads, policy);
+            assert_eq!(
+                reference, got,
+                "trunked ensemble diverged under {policy:?} on {threads} thread(s)"
+            );
         }
     }
 }
@@ -165,6 +239,7 @@ fn concurrent_sessions_over_one_plan_are_bitwise_identical() {
         ExecPolicy::MemberParallel,
         ExecPolicy::DataParallel { shards: 3 },
         ExecPolicy::DataParallel { shards: 7 },
+        ExecPolicy::TrunkShared { shards: 2 },
     ];
     let results: Vec<Vec<Vec<u32>>> = std::thread::scope(|scope| {
         policies
