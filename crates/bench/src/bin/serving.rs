@@ -10,8 +10,9 @@
 //! wins), drives the sharded dynamic-batching server with closed-loop
 //! single-example clients at 1, 2, and 4 worker shards over one shared
 //! plan, sweeps the engine's parallelism policies on a large batch,
-//! prints the tables, and saves `<out>/serving.json` (default
-//! `results/`).
+//! measures the uncertainty-gated cascade against the flat ensemble on
+//! skewed traffic, prints the tables, and saves `<out>/serving.json`
+//! (default `results/`).
 
 use std::path::PathBuf;
 
@@ -93,5 +94,20 @@ fn main() {
         t.flat_examples_per_sec,
         t.trunk_examples_per_sec,
         t.speedup
+    );
+    let c = &result.cascade;
+    println!(
+        "cascade ({} members, {} gate @ {:.3}, {:.0}% easy traffic): \
+         {:.0}% early exits, {:.2}% label mismatch, \
+         flat {:.0} -> cascade {:.0} examples/s ({:.2}x, 1 thread)",
+        c.members,
+        c.metric,
+        c.threshold,
+        c.easy_fraction * 100.0,
+        c.early_exit_rate * 100.0,
+        c.label_mismatch_rate * 100.0,
+        c.flat_examples_per_sec,
+        c.cascade_examples_per_sec,
+        c.speedup
     );
 }

@@ -19,20 +19,30 @@
 //!    p50/p99 and wall-clock throughput per shard count.
 //! 4. **policy sweep** — a bare session runs one large batch under
 //!    member-parallel, data-parallel, and auto plans.
+//! 5. **cascade on skewed traffic** — an uncertainty-gated cascade
+//!    (threshold from [`calibrate`]) serves a batch that is mostly easy
+//!    (saturated) examples with a hard (near-uniform) minority, against
+//!    the flat full-ensemble baseline on the same weights. Both sides
+//!    are timed in a **single-thread pool**, so the numbers measure the
+//!    compute the cascade eliminates (its capacity win under load)
+//!    rather than idle-core wall-clock; the parallelism axes compose
+//!    with the cascade and are measured separately above.
 //!
 //! Run via `cargo run --release -p mn-bench --bin serving` — prints the
 //! tables and saves `results/serving.json`.
 
 use std::time::Instant;
 
-use mn_ensemble::engine::{EnginePlan, ExecPolicy, InferenceEngine};
+use mn_ensemble::engine::{
+    calibrate, Confidence, EnginePlan, EngineSession, ExecPolicy, InferenceEngine,
+};
 use mn_ensemble::serve::{BatchingConfig, Server};
 use mn_ensemble::{EnsembleManifest, EnsembleMember};
 use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
 use mn_nn::{LayerNode, Network};
 use mn_tensor::Tensor;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::kernels::bench_ensemble_members;
@@ -82,6 +92,40 @@ pub struct TrunkSharingResult {
     /// Examples/s under the trunk-shared plan.
     pub trunk_examples_per_sec: f64,
     /// `trunk_examples_per_sec / flat_examples_per_sec`.
+    pub speedup: f64,
+}
+
+/// Uncertainty-gated cascade vs flat full-ensemble execution on skewed
+/// traffic (mostly easy examples, a hard minority), same weights.
+///
+/// Both throughputs are measured in a **single-thread pool**: the
+/// cascade's win is the compute it skips, which a wall-clock measurement
+/// on idle cores would hide (the gate costs one member either way; the
+/// saving is the members that never run). Single-thread examples/s is
+/// that saving directly — the extra per-core capacity a loaded server
+/// gains.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CascadeServingResult {
+    /// Members in the cascade ensemble (member 0 is the gate).
+    pub members: usize,
+    /// Confidence metric the gate scores with (`max-prob` / `margin`).
+    pub metric: String,
+    /// Exit threshold chosen by offline calibration.
+    pub threshold: f64,
+    /// Fraction of easy (saturated) examples in the skewed batch.
+    pub easy_fraction: f64,
+    /// Gate-vs-ensemble agreement the calibration demanded.
+    pub min_agreement: f64,
+    /// Fraction of the skewed batch that exited at the gate.
+    pub early_exit_rate: f64,
+    /// Fraction of examples whose cascade label differs from the flat
+    /// full-ensemble label (the accuracy cost of early exits).
+    pub label_mismatch_rate: f64,
+    /// Flat full-ensemble examples/s, single-thread pool.
+    pub flat_examples_per_sec: f64,
+    /// Cascade examples/s on the same batch, single-thread pool.
+    pub cascade_examples_per_sec: f64,
+    /// `cascade_examples_per_sec / flat_examples_per_sec`.
     pub speedup: f64,
 }
 
@@ -140,6 +184,8 @@ pub struct ServingBenchResult {
     pub policies: Vec<PolicyThroughput>,
     /// Trunk-shared vs flat execution on a deep-shared-trunk ensemble.
     pub trunk_sharing: TrunkSharingResult,
+    /// Uncertainty-gated cascade vs flat execution on skewed traffic.
+    pub cascade: CascadeServingResult,
 }
 
 impl ServingBenchResult {
@@ -222,6 +268,38 @@ impl ServingBenchResult {
                     format!("{:.0}", t.trunk_examples_per_sec),
                 ],
                 vec!["speedup".to_string(), format!("{:.2}x", t.speedup)],
+            ],
+        ));
+        let c = &self.cascade;
+        out.push('\n');
+        out.push_str(&render_table(
+            &["cascade (1 thread)", "value"],
+            &[
+                vec![
+                    "gate metric".to_string(),
+                    format!("{} @ {:.3}", c.metric, c.threshold),
+                ],
+                vec![
+                    "easy traffic".to_string(),
+                    format!("{:.1}%", c.easy_fraction * 100.0),
+                ],
+                vec![
+                    "early exits".to_string(),
+                    format!("{:.1}%", c.early_exit_rate * 100.0),
+                ],
+                vec![
+                    "label mismatch".to_string(),
+                    format!("{:.2}%", c.label_mismatch_rate * 100.0),
+                ],
+                vec![
+                    "flat examples/s".to_string(),
+                    format!("{:.0}", c.flat_examples_per_sec),
+                ],
+                vec![
+                    "cascade examples/s".to_string(),
+                    format!("{:.0}", c.cascade_examples_per_sec),
+                ],
+                vec!["speedup".to_string(), format!("{:.2}x", c.speedup)],
             ],
         ));
         out
@@ -382,6 +460,148 @@ fn measure_trunk_sharing(reps: usize) -> TrunkSharingResult {
     }
 }
 
+/// The cascade scenario ensemble: the deep-trunk architecture with
+/// *genuinely diverged* classifier heads (multiplicative noise per
+/// member), so the gate can actually disagree with the full ensemble on
+/// hard examples — a uniform additive head shift would cancel under
+/// softmax and make every member identical.
+fn cascade_members() -> Vec<EnsembleMember> {
+    let arch = Architecture::plain(
+        "cascaded",
+        InputSpec::new(3, 8, 8),
+        10,
+        vec![
+            ConvBlockSpec::repeated(3, 8, 2),
+            ConvBlockSpec::repeated(3, 8, 2),
+        ],
+        vec![16],
+    );
+    let base = Network::seeded(&arch, 78);
+    (0..8)
+        .map(|s| {
+            let mut net = base.clone();
+            let mut rng = StdRng::seed_from_u64(900 + s as u64);
+            match net.nodes_mut().last_mut() {
+                Some(LayerNode::Dense(l)) => {
+                    for w in l.weight.value.data_mut() {
+                        *w *= 1.0 + rng.gen_range(-0.15..0.15f32);
+                    }
+                }
+                other => panic!("expected a dense head, got {other:?}"),
+            }
+            EnsembleMember::new(format!("c{s}"), net)
+        })
+        .collect()
+}
+
+/// A skewed traffic batch: mostly easy examples (large-magnitude inputs
+/// that saturate the softmax) with an interleaved hard minority
+/// (near-zero inputs whose logits land near uniform). Returns the batch
+/// and the realized easy fraction.
+fn skewed_batch(n: usize, seed: u64) -> (Tensor, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let row = 3 * 8 * 8;
+    let mut data = Vec::with_capacity(n * row);
+    let mut easy = 0usize;
+    for i in 0..n {
+        // Every 7th request is hard -> ~86% easy traffic, interleaved the
+        // way a live request stream would be.
+        let scale = if i % 7 == 3 {
+            0.05
+        } else {
+            easy += 1;
+            6.0
+        };
+        let x = Tensor::randn([row], scale, &mut rng);
+        data.extend_from_slice(x.data());
+    }
+    (
+        Tensor::from_vec([n, 3, 8, 8], data),
+        easy as f64 / n.max(1) as f64,
+    )
+}
+
+/// Scored-prediction examples/second under `policy` (cascade plans only
+/// run through `predict_scored`; the flat baseline uses the same entry
+/// point so both sides pay the same annotation cost).
+fn scored_examples_per_sec(
+    session: &mut EngineSession,
+    policy: ExecPolicy,
+    x: &Tensor,
+    reps: usize,
+) -> f64 {
+    session.set_policy(policy);
+    let ms = median_ms(reps, || {
+        std::hint::black_box(session.predict_scored(x));
+    });
+    x.shape().dim(0) as f64 / (ms / 1000.0)
+}
+
+/// Calibrates and measures the uncertainty-gated cascade against the
+/// flat full ensemble on skewed traffic, inside a single-thread pool
+/// (see [`CascadeServingResult`] for why single-thread).
+///
+/// Asserts that calibration found a usable threshold and that the
+/// cascade actually exited early on the easy majority — a zero exit
+/// rate would mean the scenario is measuring nothing.
+fn measure_cascade(reps: usize) -> CascadeServingResult {
+    let plan = EnginePlan::new(cascade_members(), 32)
+        .expect("cascade ensemble builds")
+        .into_shared();
+    assert!(
+        plan.shares_trunk(),
+        "cascade bench ensemble must share a trunk so the gate reuses it"
+    );
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("single-thread bench pool builds");
+    pool.install(|| {
+        let (cal_x, _) = skewed_batch(128, 41);
+        let (x, easy_fraction) = skewed_batch(256, 42);
+        let min_agreement = 0.98;
+        let mut session = plan.session();
+        let calibration = calibrate(&mut session, &cal_x, Confidence::MaxProb, min_agreement);
+        let policy = calibration.policy;
+        assert!(
+            policy.threshold > 0.0,
+            "calibration found no separable confident prefix on the skewed batch"
+        );
+
+        // Accuracy cost: cascade labels vs the flat full-ensemble labels.
+        session.set_policy(ExecPolicy::MemberParallel);
+        let flat_labels = session.predict_scored(&x).labels();
+        session.set_policy(ExecPolicy::Cascade(policy));
+        let scored = session.predict_scored(&x);
+        let early_exit_rate = scored.early_exit_rate();
+        assert!(
+            early_exit_rate > 0.0,
+            "cascade never exited early on mostly-easy traffic"
+        );
+        let n = flat_labels.len();
+        let mismatches = flat_labels
+            .iter()
+            .zip(scored.labels())
+            .filter(|(a, b)| *a != b)
+            .count();
+
+        let flat = scored_examples_per_sec(&mut session, ExecPolicy::MemberParallel, &x, reps);
+        let casc = scored_examples_per_sec(&mut session, ExecPolicy::Cascade(policy), &x, reps);
+        CascadeServingResult {
+            members: plan.num_members(),
+            metric: policy.metric.label().to_string(),
+            threshold: policy.threshold as f64,
+            easy_fraction,
+            min_agreement,
+            early_exit_rate,
+            label_mismatch_rate: mismatches as f64 / n.max(1) as f64,
+            flat_examples_per_sec: flat,
+            cascade_examples_per_sec: casc,
+            speedup: casc / flat.max(1e-9),
+        }
+    })
+}
+
 /// Closed-loop single-example clients against a sharded server over the
 /// shared plan; panics if the server drops a request.
 fn closed_loop(
@@ -527,6 +747,9 @@ pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
     // --- trunk sharing: flat vs shared-prefix execution ---
     let trunk_sharing = measure_trunk_sharing(reps);
 
+    // --- cascade: uncertainty-gated early exit on skewed traffic ---
+    let cascade = measure_cascade(reps);
+
     ServingBenchResult {
         threads,
         members: num_members,
@@ -542,6 +765,7 @@ pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
         shard_sweep,
         policies,
         trunk_sharing,
+        cascade,
     }
 }
 
@@ -587,6 +811,18 @@ mod tests {
                 trunk_examples_per_sec: 4000.0,
                 speedup: 4.0,
             },
+            cascade: CascadeServingResult {
+                members: 8,
+                metric: "max-prob".into(),
+                threshold: 0.4,
+                easy_fraction: 0.86,
+                min_agreement: 0.98,
+                early_exit_rate: 0.85,
+                label_mismatch_rate: 0.01,
+                flat_examples_per_sec: 500.0,
+                cascade_examples_per_sec: 2000.0,
+                speedup: 4.0,
+            },
         };
         let json = serde_json::to_string(&result).unwrap();
         let back: ServingBenchResult = serde_json::from_str(&json).unwrap();
@@ -595,11 +831,15 @@ mod tests {
         assert_eq!(back.shard_sweep[0].shards, 2);
         assert!((back.cold_start.init_speedup() - 5.0).abs() < 1e-9);
         assert_eq!(back.trunk_sharing.trunk_len, 17);
+        assert_eq!(back.cascade.metric, "max-prob");
+        assert!((back.cascade.speedup - 4.0).abs() < 1e-9);
         let table = result.table();
         assert!(table.contains("p99"));
         assert!(table.contains("auto"));
         assert!(table.contains("zero-init"));
         assert!(table.contains("trunk"));
+        assert!(table.contains("cascade"));
+        assert!(table.contains("early exits"));
     }
 
     #[test]
@@ -644,5 +884,14 @@ mod tests {
         assert!(t.trunk_len > 0 && t.trunk_len < t.member_nodes);
         assert!(t.shared_params_fraction > 0.5, "{t:?}");
         assert!(t.flat_examples_per_sec > 0.0 && t.trunk_examples_per_sec > 0.0);
+        // The cascade scenario calibrated a usable threshold and exited
+        // early on the easy majority (both asserted inside the
+        // measurement); the >= 1.2x speedup itself is the release-mode
+        // CI gate's job.
+        let c = &result.cascade;
+        assert_eq!(c.members, 8);
+        assert!(c.threshold > 0.0 && c.early_exit_rate > 0.0, "{c:?}");
+        assert!(c.easy_fraction > 0.5, "{c:?}");
+        assert!(c.flat_examples_per_sec > 0.0 && c.cascade_examples_per_sec > 0.0);
     }
 }

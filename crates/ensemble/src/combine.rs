@@ -8,6 +8,54 @@ use mn_tensor::{ops, Tensor};
 
 use crate::member::MemberPredictions;
 
+/// Per-example **max-prob confidence** of a `[N, K]` probability tensor:
+/// the largest class probability of each row. High when the distribution
+/// is peaked, `1/K` when it is uniform.
+///
+/// This is the gate signal of the serving cascade
+/// ([`crate::engine::CascadePolicy`]): a calibrated threshold on
+/// `1 - max_prob` decides which examples exit early.
+pub fn max_prob_confidence(probs: &Tensor) -> Vec<f32> {
+    let (n, k) = (probs.shape().dim(0), probs.shape().dim(1));
+    (0..n)
+        .map(|i| {
+            probs.data()[i * k..(i + 1) * k]
+                .iter()
+                .fold(f32::NEG_INFINITY, |a, &b| a.max(b))
+        })
+        .collect()
+}
+
+/// Per-example **margin confidence** of a `[N, K]` probability tensor:
+/// top-1 minus top-2 probability. 0 when the two best classes tie (a
+/// maximally ambiguous prediction), near 1 when one class dominates.
+///
+/// For `K = 1` there is no runner-up; the margin is defined as the
+/// top-1 probability itself (a one-class prediction is never ambiguous).
+pub fn margin_confidence(probs: &Tensor) -> Vec<f32> {
+    let (n, k) = (probs.shape().dim(0), probs.shape().dim(1));
+    (0..n)
+        .map(|i| {
+            let row = &probs.data()[i * k..(i + 1) * k];
+            let mut top1 = f32::NEG_INFINITY;
+            let mut top2 = f32::NEG_INFINITY;
+            for &p in row {
+                if p > top1 {
+                    top2 = top1;
+                    top1 = p;
+                } else if p > top2 {
+                    top2 = p;
+                }
+            }
+            if k < 2 {
+                top1
+            } else {
+                top1 - top2
+            }
+        })
+        .collect()
+}
+
 /// Ensemble Averaging (EA): the arithmetic mean of member probabilities.
 pub fn ensemble_average(preds: &MemberPredictions) -> Tensor {
     let mut avg = Tensor::zeros([preds.num_examples(), preds.num_classes()]);
@@ -85,6 +133,29 @@ mod tests {
         let a = Tensor::from_vec([2, 3], vec![0.8, 0.1, 0.1, 0.2, 0.7, 0.1]);
         let b = Tensor::from_vec([2, 3], vec![0.6, 0.3, 0.1, 0.1, 0.2, 0.7]);
         MemberPredictions::from_probs(vec![a, b])
+    }
+
+    #[test]
+    fn max_prob_confidence_picks_row_maxima() {
+        let probs = Tensor::from_vec([3, 3], vec![0.8, 0.1, 0.1, 0.2, 0.5, 0.3, 0.34, 0.33, 0.33]);
+        let conf = max_prob_confidence(&probs);
+        assert_eq!(conf, vec![0.8, 0.5, 0.34]);
+        assert!(max_prob_confidence(&Tensor::zeros([0, 3])).is_empty());
+    }
+
+    #[test]
+    fn margin_confidence_is_top1_minus_top2() {
+        let probs = Tensor::from_vec([3, 3], vec![0.8, 0.1, 0.1, 0.2, 0.5, 0.3, 0.34, 0.33, 0.33]);
+        let conf = margin_confidence(&probs);
+        assert!((conf[0] - 0.7).abs() < 1e-6);
+        assert!((conf[1] - 0.2).abs() < 1e-6);
+        assert!((conf[2] - 0.01).abs() < 1e-6);
+        // A two-way tie is maximally ambiguous: margin 0.
+        let tie = Tensor::from_vec([1, 2], vec![0.5, 0.5]);
+        assert_eq!(margin_confidence(&tie), vec![0.0]);
+        // One class: no runner-up, the margin is the probability itself.
+        let solo = Tensor::from_vec([1, 1], vec![1.0]);
+        assert_eq!(margin_confidence(&solo), vec![1.0]);
     }
 
     #[test]

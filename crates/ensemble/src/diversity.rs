@@ -9,7 +9,17 @@
 //!   over member pairs, of the fraction of examples on which the two
 //!   members predict different labels;
 //! * [`mean_prediction_entropy`] — the mean entropy of the per-example
-//!   vote distribution, 0 when all members always agree.
+//!   vote distribution, 0 when all members always agree;
+//! * [`per_example_disagreement`] — the same pairwise signal resolved to
+//!   individual examples, the per-request uncertainty view the serving
+//!   cascade builds on.
+//!
+//! **Degenerate-input convention:** every metric here returns `0.0` —
+//! never NaN — when there is nothing to measure: a single-member
+//! ensemble has no pairs to disagree, and an empty batch has no examples
+//! to average over. A silent NaN would poison any downstream mean (and,
+//! since the cascade work, any confidence gate) the moment it is folded
+//! in, so the degenerate cases are pinned to zero by unit tests.
 
 use mn_tensor::ops;
 
@@ -17,14 +27,16 @@ use crate::member::MemberPredictions;
 
 /// Mean pairwise disagreement rate in `[0, 1]`.
 ///
-/// Returns 0 for a single-member ensemble (no pairs).
+/// Returns `0.0` for a single-member ensemble (no pairs) and for an
+/// empty batch (no examples) — see the module-level degenerate-input
+/// convention.
 pub fn pairwise_disagreement(preds: &MemberPredictions) -> f64 {
     let m = preds.num_members();
-    if m < 2 {
+    let n = preds.num_examples();
+    if m < 2 || n == 0 {
         return 0.0;
     }
     let labels: Vec<Vec<usize>> = preds.probs().iter().map(ops::argmax_rows).collect();
-    let n = preds.num_examples();
     let mut total = 0.0f64;
     let mut pairs = 0usize;
     for i in 0..m {
@@ -41,14 +53,51 @@ pub fn pairwise_disagreement(preds: &MemberPredictions) -> f64 {
     total / pairs as f64
 }
 
+/// Per-example pairwise disagreement: for each example, the fraction of
+/// member pairs that predict different labels for it, in `[0, 1]`.
+///
+/// This is [`pairwise_disagreement`] before averaging over the batch
+/// (the batch mean of this vector equals it exactly) — the per-request
+/// view of the ensemble's uncertainty signal: an example most pairs
+/// disagree on is exactly the kind a cascade's gate member cannot be
+/// trusted alone on.
+///
+/// A single-member ensemble has no pairs, so every example scores `0.0`.
+pub fn per_example_disagreement(preds: &MemberPredictions) -> Vec<f64> {
+    let m = preds.num_members();
+    let n = preds.num_examples();
+    if m < 2 {
+        return vec![0.0; n];
+    }
+    let labels: Vec<Vec<usize>> = preds.probs().iter().map(ops::argmax_rows).collect();
+    let pairs = (m * (m - 1) / 2) as f64;
+    (0..n)
+        .map(|i| {
+            let mut disagree = 0usize;
+            for a in 0..m {
+                for b in (a + 1)..m {
+                    if labels[a][i] != labels[b][i] {
+                        disagree += 1;
+                    }
+                }
+            }
+            disagree as f64 / pairs
+        })
+        .collect()
+}
+
 /// Mean (over examples) entropy of the member-vote distribution, in nats.
 ///
 /// 0 when every member casts the same vote on every example; grows as the
-/// ensemble spreads its votes.
+/// ensemble spreads its votes. Returns `0.0` for an empty batch (no
+/// examples) — see the module-level degenerate-input convention.
 pub fn mean_prediction_entropy(preds: &MemberPredictions) -> f64 {
     let m = preds.num_members() as f64;
     let k = preds.num_classes();
     let n = preds.num_examples();
+    if n == 0 {
+        return 0.0;
+    }
     let labels: Vec<Vec<usize>> = preds.probs().iter().map(ops::argmax_rows).collect();
     let mut total = 0.0f64;
     for i in 0..n {
@@ -112,6 +161,43 @@ mod tests {
         let preds = MemberPredictions::from_probs(vec![one_hot(&[0], 2)]);
         assert_eq!(pairwise_disagreement(&preds), 0.0);
         assert_eq!(mean_prediction_entropy(&preds), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_zero_not_nan() {
+        // Empty batch, multi-member: the per-pair division by n and the
+        // final division by n used to produce 0/0 = NaN, which would
+        // silently poison any downstream mean or cascade confidence.
+        let empty = MemberPredictions::from_probs(vec![Tensor::zeros([0, 3]); 3]);
+        assert_eq!(pairwise_disagreement(&empty), 0.0);
+        assert_eq!(mean_prediction_entropy(&empty), 0.0);
+        assert!(per_example_disagreement(&empty).is_empty());
+
+        // Single member, empty batch: both degeneracies at once.
+        let solo_empty = MemberPredictions::from_probs(vec![Tensor::zeros([0, 2])]);
+        assert_eq!(pairwise_disagreement(&solo_empty), 0.0);
+        assert_eq!(mean_prediction_entropy(&solo_empty), 0.0);
+
+        // Single member, non-empty batch: no pairs to divide by.
+        let solo = MemberPredictions::from_probs(vec![one_hot(&[0, 1], 2)]);
+        assert_eq!(pairwise_disagreement(&solo), 0.0);
+        assert_eq!(per_example_disagreement(&solo), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn per_example_disagreement_resolves_the_pairwise_mean() {
+        // Three members: two identical, one different on example 1 only.
+        let a = one_hot(&[0, 0], 2);
+        let b = one_hot(&[0, 0], 2);
+        let c = one_hot(&[0, 1], 2);
+        let preds = MemberPredictions::from_probs(vec![a, b, c]);
+        let per = per_example_disagreement(&preds);
+        // Example 0: all agree. Example 1: pairs (a,c) and (b,c) of 3.
+        assert_eq!(per[0], 0.0);
+        assert!((per[1] - 2.0 / 3.0).abs() < 1e-12);
+        // The batch mean of the per-example vector is the scalar metric.
+        let mean = per.iter().sum::<f64>() / per.len() as f64;
+        assert!((mean - pairwise_disagreement(&preds)).abs() < 1e-12);
     }
 
     #[test]

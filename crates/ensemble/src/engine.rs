@@ -25,7 +25,7 @@
 //!
 //! ## Execution plans
 //!
-//! Each request batch resolves to a plan along one of three parallelism
+//! Each request batch resolves to a plan along one of the parallelism
 //! axes:
 //!
 //! * **Member-parallel** ([`Plan::MemberParallel`]) — each member runs the
@@ -46,6 +46,17 @@
 //!   chunk, and fans only the divergent tails across members — roughly
 //!   `1/K` of the trunk FLOPs for a `K`-member ensemble with a deep
 //!   trunk. Shards compose with this axis exactly as in data-parallel.
+//! * **Cascade** ([`Plan::Cascade`]) — an *early-exit* axis orthogonal to
+//!   the three above: one cheap gate pass (member 0 — over the shared
+//!   trunk when the plan has one) scores every example's uncertainty
+//!   first; examples the gate is confident about return its answer
+//!   immediately, and only the uncertain remainder is re-fanned across
+//!   the full ensemble, restitched in example order. Unlike the other
+//!   axes this plan trades *work* for latency, so it is opt-in
+//!   ([`ExecPolicy::Cascade`]) and surfaced through
+//!   [`EngineSession::predict_scored`]; the threshold should come from
+//!   [`calibrate`] against held-out data. At threshold 0 the cascade
+//!   never exits early and is bitwise identical to the flat plans.
 //!
 //! [`ExecPolicy::Auto`] (the default) prefers the trunk-shared axis
 //! whenever the detected trunk contains parameterized work, and otherwise
@@ -130,8 +141,104 @@ impl fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// How a session chooses its parallelism axis (see module docs).
+/// The per-example confidence signal a cascade gates on, computed from
+/// the gate member's class probabilities. The *uncertainty* of an example
+/// is `1 - confidence`, so both metrics live in `[0, 1]` with 0 meaning
+/// "the gate is sure".
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Confidence {
+    /// Confidence = the largest class probability
+    /// ([`combine::max_prob_confidence`]). 1 when the gate's distribution
+    /// is a one-hot, `1/K` when it is uniform.
+    #[default]
+    MaxProb,
+    /// Confidence = top-1 minus top-2 probability
+    /// ([`combine::margin_confidence`]). 0 when the two best classes tie
+    /// — maximally ambiguous even if the max-prob is large.
+    Margin,
+}
+
+impl Confidence {
+    /// The uncertainty (`1 - confidence`) of one probability row.
+    pub fn uncertainty(&self, row: &[f32]) -> f32 {
+        let mut top1 = f32::NEG_INFINITY;
+        let mut top2 = f32::NEG_INFINITY;
+        for &p in row {
+            if p > top1 {
+                top2 = top1;
+                top1 = p;
+            } else if p > top2 {
+                top2 = p;
+            }
+        }
+        match self {
+            Confidence::MaxProb => 1.0 - top1,
+            Confidence::Margin => {
+                if row.len() < 2 {
+                    1.0 - top1
+                } else {
+                    1.0 - (top1 - top2)
+                }
+            }
+        }
+    }
+
+    /// Human-readable label (used by benches and reports).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Confidence::MaxProb => "max-prob",
+            Confidence::Margin => "margin",
+        }
+    }
+}
+
+/// Uncertainty-gated cascade configuration: which confidence signal the
+/// gate member is scored with, and the uncertainty threshold below which
+/// an example exits early with the gate's answer alone.
+///
+/// An example **exits early** iff its gate uncertainty is strictly below
+/// `threshold`; everything else **escalates** to the full ensemble. The
+/// two ends of the knob are exact:
+///
+/// * `threshold = 0.0` — never exit early (uncertainty is never below
+///   zero). The cascade output is **bitwise identical** to the flat and
+///   trunk-shared plans, pinned by proptests.
+/// * `threshold = 1.0` — trust the gate on everything except completely
+///   ambiguous examples (uncertainty exactly 1.0 — e.g. a perfect top-2
+///   tie under [`Confidence::Margin`] — still escalates).
+///
+/// Thresholds between the ends should come from
+/// [`calibrate`](crate::engine::calibrate) against held-out data, not
+/// from guessing.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct CascadePolicy {
+    /// Confidence signal the gate is scored with.
+    pub metric: Confidence,
+    /// Gate uncertainty below which an example exits early. `0.0`
+    /// disables early exit entirely (full-ensemble bitwise identity).
+    pub threshold: f32,
+}
+
+impl CascadePolicy {
+    /// A max-prob cascade at `threshold` (the common case).
+    pub fn max_prob(threshold: f32) -> Self {
+        CascadePolicy {
+            metric: Confidence::MaxProb,
+            threshold,
+        }
+    }
+
+    /// A margin cascade at `threshold`.
+    pub fn margin(threshold: f32) -> Self {
+        CascadePolicy {
+            metric: Confidence::Margin,
+            threshold,
+        }
+    }
+}
+
+/// How a session chooses its parallelism axis (see module docs).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
 pub enum ExecPolicy {
     /// Pick per batch from batch size × member count × thread count.
     #[default]
@@ -155,10 +262,20 @@ pub enum ExecPolicy {
         /// Number of batch shards / replica lanes.
         shards: usize,
     },
+    /// Uncertainty-gated cascade: score each mini-batch with one cheap
+    /// gate pass (the shared trunk + member 0's tail when the plan shares
+    /// a parameterized trunk, member 0's whole network otherwise), return
+    /// immediately for examples whose gate uncertainty clears
+    /// [`CascadePolicy::threshold`], and re-fan only the uncertain
+    /// remainder across the full ensemble — restitched in example order.
+    /// Surfaced through [`EngineSession::predict_scored`]; the
+    /// member-probability APIs ([`EngineSession::predict`] and friends)
+    /// need every member and therefore always run fully escalated.
+    Cascade(CascadePolicy),
 }
 
 /// The resolved execution plan for one request batch.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Plan {
     /// One task per member over the full batch.
     MemberParallel,
@@ -173,6 +290,59 @@ pub enum Plan {
         /// Number of batch shards actually used.
         shards: usize,
     },
+    /// One gate pass over the batch, then a partial re-fan of the
+    /// uncertain remainder to the full ensemble.
+    Cascade(CascadePolicy),
+}
+
+/// Per-example scored output of [`EngineSession::predict_scored`]: final
+/// probabilities plus the uncertainty/escalation trail the serving layer
+/// surfaces per request.
+#[derive(Clone, Debug)]
+pub struct ScoredPredictions {
+    /// `[N, K]` final probabilities: the full ensemble average for
+    /// escalated examples, the gate member's row for early exits.
+    pub probs: Tensor,
+    /// Per-example gate uncertainty in `[0, 1]` (`1 - confidence` under
+    /// the scoring metric), indexed in example order.
+    pub uncertainty: Vec<f32>,
+    /// Per-example escalation flag: `true` when the example ran the full
+    /// ensemble, `false` when it exited early with the gate's answer.
+    pub escalated: Vec<bool>,
+}
+
+impl ScoredPredictions {
+    /// Hard labels (row argmax) of the final probabilities.
+    pub fn labels(&self) -> Vec<usize> {
+        ops::argmax_rows(&self.probs)
+    }
+
+    /// Number of examples that escalated to the full ensemble.
+    pub fn num_escalated(&self) -> usize {
+        self.escalated.iter().filter(|&&e| e).count()
+    }
+
+    /// Fraction of examples that exited early (0.0 for an empty batch).
+    pub fn early_exit_rate(&self) -> f64 {
+        if self.escalated.is_empty() {
+            return 0.0;
+        }
+        (self.escalated.len() - self.num_escalated()) as f64 / self.escalated.len() as f64
+    }
+}
+
+/// A calibrated cascade operating point, from [`calibrate`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CascadeCalibration {
+    /// The calibrated policy (metric + threshold) — hand it to
+    /// [`ExecPolicy::Cascade`].
+    pub policy: CascadePolicy,
+    /// Fraction of the calibration batch that would exit early at this
+    /// threshold.
+    pub exit_rate: f64,
+    /// Gate-vs-full-ensemble label agreement *among the exiting
+    /// examples* at this threshold (1.0 when nothing exits).
+    pub agreement: f64,
 }
 
 /// The immutable half of the engine: members (weights), geometry, planning
@@ -344,6 +514,10 @@ impl EnginePlan {
             ExecPolicy::TrunkShared { shards } => Plan::TrunkShared {
                 shards: self.clamp_shards(shards, n),
             },
+            // The cascade is an explicit opt-in: it changes *what work
+            // runs* (early-exiting examples skip K-1 members), so Auto
+            // never silently picks it.
+            ExecPolicy::Cascade(cp) => Plan::Cascade(cp),
             ExecPolicy::Auto => {
                 let threads = rayon::current_num_threads();
                 let members = self.members.len();
@@ -512,11 +686,23 @@ impl EngineSession {
     /// the resolved plan and collects per-member probabilities.
     ///
     /// An empty batch (`N = 0`) is legal and yields `[0, K]` predictions.
+    ///
+    /// Per-member probabilities need every member on every example, so a
+    /// [`Plan::Cascade`] session answers this API fully escalated: the
+    /// batch is re-resolved under [`ExecPolicy::Auto`] (a cascade with
+    /// nothing exiting early *is* the full ensemble). Early exit only
+    /// ever applies through [`EngineSession::predict_scored`].
     pub fn predict(&mut self, x: &Tensor) -> MemberPredictions {
-        match self.plan_for(x.shape().dim(0)) {
+        let n = x.shape().dim(0);
+        let mut plan = self.plan_for(n);
+        if matches!(plan, Plan::Cascade(_)) {
+            plan = self.plan.resolve(n, ExecPolicy::Auto);
+        }
+        match plan {
             Plan::MemberParallel => self.predict_member_parallel(x),
             Plan::DataParallel { shards } => self.predict_data_parallel(x, shards),
             Plan::TrunkShared { shards } => self.predict_trunk_shared(x, shards),
+            Plan::Cascade(_) => unreachable!("Auto never resolves to a cascade"),
         }
     }
 
@@ -659,6 +845,213 @@ impl EngineSession {
         MemberPredictions::from_probs(probs)
     }
 
+    /// Runs the request batch with per-example uncertainty and escalation
+    /// tracking — the serving-facing API.
+    ///
+    /// Under a [`Plan::Cascade`] session this is the early-exit path
+    /// ([`EngineSession::predict_cascade`]). Under every other plan the
+    /// full ensemble runs as usual and the result is annotated: final
+    /// probabilities are the ensemble average, uncertainty is the
+    /// [`Confidence::MaxProb`] signal of that average, and every example
+    /// counts as escalated (the full ensemble did run on it).
+    pub fn predict_scored(&mut self, x: &Tensor) -> ScoredPredictions {
+        if let Plan::Cascade(cp) = self.plan_for(x.shape().dim(0)) {
+            return self.predict_cascade(x, cp);
+        }
+        let probs = self.predict_average(x);
+        let (n, k) = (probs.shape().dim(0), probs.shape().dim(1));
+        let uncertainty = (0..n)
+            .map(|i| Confidence::MaxProb.uncertainty(&probs.data()[i * k..(i + 1) * k]))
+            .collect();
+        ScoredPredictions {
+            probs,
+            uncertainty,
+            escalated: vec![true; n],
+        }
+    }
+
+    /// Uncertainty-gated cascade execution (see [`Plan::Cascade`]).
+    ///
+    /// **Gate pass:** member 0 scores the whole batch. When the plan
+    /// shares a parameterized trunk the gate walks the batch in
+    /// mini-batch chunks, evaluates the shared prefix once per chunk, and
+    /// runs only member 0's tail — keeping each chunk's trunk activations
+    /// for rows that go on to escalate, so the escalation pays nothing
+    /// for the trunk a second time. Without a shared trunk the gate is
+    /// member 0's ordinary batched forward pass.
+    ///
+    /// **Escalation:** rows whose gate uncertainty is not strictly below
+    /// `cp.threshold` are gathered into a contiguous survivor batch and
+    /// fanned across members 1..K (tails over the saved trunk
+    /// activations, or whole networks), then averaged with the gate's row
+    /// in member order — the exact accumulation order (and therefore the
+    /// exact bits) of [`combine::ensemble_average`] over a full
+    /// [`EngineSession::predict`]. Early-exit rows keep the gate's row.
+    ///
+    /// Bitwise consistency: each example's forward pass is independent of
+    /// its batch neighbors and prefix-then-tail evaluation equals
+    /// whole-network evaluation (both pinned by the determinism suites),
+    /// so an escalated row's probabilities are bit-for-bit what the flat
+    /// plans produce for that row — and at `threshold = 0.0` (everything
+    /// escalates) the whole output is bitwise identical to
+    /// [`EngineSession::predict_average`] under any other plan.
+    pub fn predict_cascade(&mut self, x: &Tensor, cp: CascadePolicy) -> ScoredPredictions {
+        let plan = Arc::clone(&self.plan);
+        let n = x.shape().dim(0);
+        let k = plan.num_classes();
+        if n == 0 {
+            return ScoredPredictions {
+                probs: Tensor::zeros([0, k]),
+                uncertainty: Vec::new(),
+                escalated: Vec::new(),
+            };
+        }
+        let bs = plan.batch_size();
+        let members = plan.members();
+        let m = members.len();
+        let trunk = plan.trunk_len();
+        let share = plan.shares_trunk();
+        let row = x.len() / n;
+
+        // --- Gate pass: member 0 over the whole batch. ---
+        let mut gate_probs;
+        // Saved trunk activations for escalating rows (trunk path only):
+        // raw row data plus the per-chunk activation shape to rebuild a
+        // survivor tensor from.
+        let mut h_rows: Vec<f32> = Vec::new();
+        let mut h_shape = None;
+        let mut uncertainty = vec![0.0f32; n];
+        let mut escalated = vec![false; n];
+        let mut survivors: Vec<usize> = Vec::new();
+        if share {
+            gate_probs = Tensor::zeros([n, k]);
+            let mut start = 0;
+            while start < n {
+                let end = (start + bs).min(n);
+                let chunk = end - start;
+                let mut xb = self.lanes[0][0].acquire_uninit(x.shape().with_dim(0, chunk));
+                xb.data_mut()
+                    .copy_from_slice(&x.data()[start * row..end * row]);
+                let h =
+                    members[0]
+                        .network
+                        .forward_eval_prefix_with(&xb, trunk, &mut self.lanes[0][0]);
+                self.lanes[0][0].release(xb);
+                let mut probs =
+                    members[0]
+                        .network
+                        .forward_eval_tail_with(&h, trunk, &mut self.lanes[0][0]);
+                ops::softmax_rows(&mut probs);
+                gate_probs.data_mut()[start * k..end * k].copy_from_slice(probs.data());
+                self.lanes[0][0].release(probs);
+                let h_row = h.len() / chunk;
+                for i in 0..chunk {
+                    let g = start + i;
+                    let u = cp
+                        .metric
+                        .uncertainty(&gate_probs.data()[g * k..(g + 1) * k]);
+                    uncertainty[g] = u;
+                    // NaN uncertainty (impossible for finite inputs, but
+                    // cheap to be safe about) escalates rather than exits.
+                    if u.is_nan() || u >= cp.threshold {
+                        escalated[g] = true;
+                        survivors.push(g);
+                        h_rows.extend_from_slice(&h.data()[i * h_row..(i + 1) * h_row]);
+                    }
+                }
+                if h_shape.is_none() {
+                    h_shape = Some(*h.shape());
+                }
+                self.lanes[0][0].release(h);
+                start = end;
+            }
+        } else {
+            gate_probs = members[0].predict_proba_eval(x, bs, &mut self.lanes[0][0]);
+            for g in 0..n {
+                let u = cp
+                    .metric
+                    .uncertainty(&gate_probs.data()[g * k..(g + 1) * k]);
+                uncertainty[g] = u;
+                if u.is_nan() || u >= cp.threshold {
+                    escalated[g] = true;
+                    survivors.push(g);
+                }
+            }
+        }
+
+        // --- Escalation: members 1..K over the survivor subset only.
+        // A single-member ensemble needs none: its "full ensemble" is the
+        // gate itself, and `ensemble_average`'s multiply by 1/1 is a
+        // bitwise no-op, so the gate rows already are the answer. ---
+        let s = survivors.len();
+        if s > 0 && m > 1 {
+            let esc_probs: Vec<Tensor> = if share {
+                let h_shape = h_shape.expect("trunk gate saved an activation shape");
+                let hs = Tensor::from_vec(h_shape.with_dim(0, s), std::mem::take(&mut h_rows));
+                let h_row = hs.len() / s;
+                let mut jobs: Vec<(&EnsembleMember, &mut Workspace)> = members[1..]
+                    .iter()
+                    .zip(self.lanes[0][1..].iter_mut())
+                    .collect();
+                jobs.par_iter_mut()
+                    .map(|(member, ws)| {
+                        // Tail the survivors in mini-batch chunks, like
+                        // every other plan.
+                        let mut out = Tensor::zeros([s, k]);
+                        let mut start = 0;
+                        while start < s {
+                            let end = (start + bs).min(s);
+                            let chunk = end - start;
+                            let mut hb = ws.acquire_uninit(hs.shape().with_dim(0, chunk));
+                            hb.data_mut()
+                                .copy_from_slice(&hs.data()[start * h_row..end * h_row]);
+                            let mut probs = member.network.forward_eval_tail_with(&hb, trunk, ws);
+                            ops::softmax_rows(&mut probs);
+                            out.data_mut()[start * k..end * k].copy_from_slice(probs.data());
+                            ws.release(probs);
+                            ws.release(hb);
+                            start = end;
+                        }
+                        out
+                    })
+                    .collect()
+            } else {
+                let mut xs = Tensor::zeros(x.shape().with_dim(0, s));
+                for (si, &g) in survivors.iter().enumerate() {
+                    xs.data_mut()[si * row..(si + 1) * row]
+                        .copy_from_slice(&x.data()[g * row..(g + 1) * row]);
+                }
+                let mut jobs: Vec<(&EnsembleMember, &mut Workspace)> = members[1..]
+                    .iter()
+                    .zip(self.lanes[0][1..].iter_mut())
+                    .collect();
+                jobs.par_iter_mut()
+                    .map(|(member, ws)| member.predict_proba_eval(&xs, bs, ws))
+                    .collect()
+            };
+            // Average escalated rows exactly as `combine::ensemble_average`
+            // over a full predict: member 0 first, then 1..K in order,
+            // then one multiply by 1/K.
+            let inv_k = 1.0 / m as f32;
+            for (si, &g) in survivors.iter().enumerate() {
+                let dst = &mut gate_probs.data_mut()[g * k..(g + 1) * k];
+                for (c, v) in dst.iter_mut().enumerate() {
+                    let mut acc = *v;
+                    for t in &esc_probs {
+                        acc += t.data()[si * k + c];
+                    }
+                    *v = acc * inv_k;
+                }
+            }
+        }
+
+        ScoredPredictions {
+            probs: gate_probs,
+            uncertainty,
+            escalated,
+        }
+    }
+
     /// Grows the workspace-lane pool to at least `lanes` lanes. Unlike the
     /// pre-split engine this clones **no weights** — a lane is just one
     /// empty workspace per member.
@@ -688,6 +1081,100 @@ impl EngineSession {
     /// Closes the session, returning its handle on the shared plan.
     pub fn into_plan(self) -> Arc<EnginePlan> {
         self.plan
+    }
+}
+
+/// Calibrates a cascade threshold offline against a held-out batch `x`,
+/// label-free: the full ensemble's own answer is the reference, so any
+/// representative traffic sample works.
+///
+/// The session runs `x` once under [`ExecPolicy::Auto`] (its configured
+/// policy is saved and restored), yielding both the gate member's
+/// probabilities and the full-ensemble labels. Examples are sorted by
+/// gate uncertainty and the **largest** prefix whose gate-vs-ensemble
+/// label agreement stays at or above `min_agreement` is taken as the
+/// early-exit set; the returned threshold is the midpoint between the
+/// boundary uncertainties (so the exit set is reproduced exactly by the
+/// strict `u < threshold` rule), `0.0` when no prefix qualifies (cascade
+/// disabled — bitwise full-ensemble behavior), and `1.0` when every
+/// example qualifies. Prefixes that would split a tie in uncertainty are
+/// never chosen: no threshold could separate them.
+///
+/// The reported `exit_rate` and `agreement` are recomputed from the
+/// returned threshold, so they describe exactly what
+/// [`EngineSession::predict_cascade`] will do on this batch.
+pub fn calibrate(
+    session: &mut EngineSession,
+    x: &Tensor,
+    metric: Confidence,
+    min_agreement: f64,
+) -> CascadeCalibration {
+    let saved = session.policy();
+    session.set_policy(ExecPolicy::Auto);
+    let preds = session.predict(x);
+    session.set_policy(saved);
+
+    let n = preds.num_examples();
+    let k = preds.num_classes();
+    if n == 0 {
+        return CascadeCalibration {
+            policy: CascadePolicy {
+                metric,
+                threshold: 0.0,
+            },
+            exit_rate: 0.0,
+            agreement: 1.0,
+        };
+    }
+    let gate = &preds.probs()[0];
+    let gate_labels = ops::argmax_rows(gate);
+    let ens_labels = combine::ensemble_average_labels(&preds);
+    let unc: Vec<f32> = (0..n)
+        .map(|i| metric.uncertainty(&gate.data()[i * k..(i + 1) * k]))
+        .collect();
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        unc[a]
+            .partial_cmp(&unc[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut best_s = 0usize;
+    let mut agree = 0usize;
+    for s in 1..=n {
+        if gate_labels[order[s - 1]] == ens_labels[order[s - 1]] {
+            agree += 1;
+        }
+        // A prefix is only realizable if a threshold can separate it:
+        // its last uncertainty must be strictly below the next one.
+        let separable = s == n || unc[order[s - 1]] < unc[order[s]];
+        if separable && agree as f64 / s as f64 >= min_agreement {
+            best_s = s;
+        }
+    }
+    let threshold = if best_s == 0 {
+        0.0
+    } else if best_s == n {
+        1.0
+    } else {
+        (unc[order[best_s - 1]] + unc[order[best_s]]) / 2.0
+    };
+
+    let exits: Vec<usize> = (0..n).filter(|&i| unc[i] < threshold).collect();
+    let exit_rate = exits.len() as f64 / n as f64;
+    let agreement = if exits.is_empty() {
+        1.0
+    } else {
+        exits
+            .iter()
+            .filter(|&&i| gate_labels[i] == ens_labels[i])
+            .count() as f64
+            / exits.len() as f64
+    };
+    CascadeCalibration {
+        policy: CascadePolicy { metric, threshold },
+        exit_rate,
+        agreement,
     }
 }
 
@@ -826,6 +1313,12 @@ impl InferenceEngine {
     /// Ensemble-averaged probabilities `[N, K]` for the request batch.
     pub fn predict_average(&mut self, x: &Tensor) -> Tensor {
         self.session.predict_average(x)
+    }
+
+    /// Scored predictions with per-example uncertainty and escalation
+    /// flags (see [`EngineSession::predict_scored`]).
+    pub fn predict_scored(&mut self, x: &Tensor) -> ScoredPredictions {
+        self.session.predict_scored(x)
     }
 
     /// Hard labels under ensemble averaging (the paper's EA rule).
@@ -1191,6 +1684,7 @@ mod tests {
                 Plan::TrunkShared { .. } => {
                     panic!("independently seeded members must not auto-share a trunk")
                 }
+                Plan::Cascade(_) => panic!("auto must never pick the cascade"),
             }
         }
     }
@@ -1259,6 +1753,193 @@ mod tests {
             plan.session().policy(),
             ExecPolicy::DataParallel { shards: 2 }
         );
+    }
+
+    fn bits(t: &Tensor) -> Vec<u32> {
+        t.data().iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn cascade_policy_resolves_and_other_plans_stay_put() {
+        let plan = EnginePlan::new(members(3), 4).unwrap();
+        let cp = CascadePolicy::max_prob(0.25);
+        assert_eq!(plan.resolve(16, ExecPolicy::Cascade(cp)), Plan::Cascade(cp));
+        assert_eq!(plan.resolve(0, ExecPolicy::Cascade(cp)), Plan::Cascade(cp));
+        // Auto never picks the cascade: it changes what work runs.
+        for n in [0usize, 1, 16, 1024] {
+            assert!(!matches!(
+                plan.resolve(n, ExecPolicy::Auto),
+                Plan::Cascade(_)
+            ));
+        }
+    }
+
+    #[test]
+    fn uncertainty_metrics_match_their_confidence_complements() {
+        let row = [0.6f32, 0.3, 0.1];
+        assert!((Confidence::MaxProb.uncertainty(&row) - 0.4).abs() < 1e-6);
+        assert!((Confidence::Margin.uncertainty(&row) - 0.7).abs() < 1e-6);
+        // A top-2 tie: max-prob still semi-confident, margin maximally not.
+        let tie = [0.5f32, 0.5];
+        assert!((Confidence::MaxProb.uncertainty(&tie) - 0.5).abs() < 1e-6);
+        assert!((Confidence::Margin.uncertainty(&tie) - 1.0).abs() < 1e-6);
+        // One class: no runner-up, both metrics agree.
+        let solo = [1.0f32];
+        assert_eq!(Confidence::MaxProb.uncertainty(&solo), 0.0);
+        assert_eq!(Confidence::Margin.uncertainty(&solo), 0.0);
+    }
+
+    #[test]
+    fn cascade_threshold_zero_is_bitwise_identical_to_flat_average() {
+        let x = Tensor::randn([11, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(11));
+        for trunked in [false, true] {
+            let ms = if trunked {
+                trunked_members(4)
+            } else {
+                members(4)
+            };
+            let plan = EnginePlan::new(ms, 4).unwrap().into_shared();
+            let mut flat = plan.session();
+            flat.set_policy(ExecPolicy::MemberParallel);
+            let reference = combine::ensemble_average(&flat.predict(&x));
+            for metric in [Confidence::MaxProb, Confidence::Margin] {
+                let mut casc = plan.session();
+                casc.set_policy(ExecPolicy::Cascade(CascadePolicy {
+                    metric,
+                    threshold: 0.0,
+                }));
+                let scored = casc.predict_scored(&x);
+                assert_eq!(
+                    bits(&reference),
+                    bits(&scored.probs),
+                    "threshold-0 cascade diverged (trunked={trunked}, {metric:?})"
+                );
+                assert!(scored.escalated.iter().all(|&e| e), "nothing may exit at 0");
+                assert_eq!(scored.early_exit_rate(), 0.0);
+                assert_eq!(scored.num_escalated(), 11);
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_exit_rows_are_the_gate_member_bitwise() {
+        // Threshold 1.0: everything except complete ties exits early with
+        // member 0's row.
+        let x = Tensor::randn([9, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(12));
+        let plan = EnginePlan::new(trunked_members(3), 4)
+            .unwrap()
+            .into_shared();
+        let mut flat = plan.session();
+        flat.set_policy(ExecPolicy::MemberParallel);
+        let gate_ref = flat.predict(&x).probs()[0].clone();
+        let mut casc = plan.session();
+        casc.set_policy(ExecPolicy::Cascade(CascadePolicy::max_prob(1.0)));
+        let scored = casc.predict_scored(&x);
+        let k = plan.num_classes();
+        for (i, &esc) in scored.escalated.iter().enumerate() {
+            if !esc {
+                assert_eq!(
+                    bits(&gate_ref)[i * k..(i + 1) * k],
+                    bits(&scored.probs)[i * k..(i + 1) * k],
+                    "exit row {i} is not the gate's row"
+                );
+            }
+        }
+        assert!(
+            scored.early_exit_rate() > 0.0,
+            "a 1.0 threshold on smooth inputs must exit something"
+        );
+    }
+
+    #[test]
+    fn cascade_empty_batch_and_single_member() {
+        let plan = EnginePlan::new(members(1), 4).unwrap().into_shared();
+        let mut s = plan.session();
+        s.set_policy(ExecPolicy::Cascade(CascadePolicy::max_prob(0.5)));
+        let empty = s.predict_scored(&Tensor::zeros([0, 1, 2, 2]));
+        assert_eq!(empty.probs.shape().dims(), &[0, 3]);
+        assert!(empty.uncertainty.is_empty());
+        assert_eq!(empty.early_exit_rate(), 0.0);
+        // One member: gate == full ensemble, exits and escalations agree.
+        let x = Tensor::randn([5, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(13));
+        let scored = s.predict_scored(&x);
+        let mut flat = plan.session();
+        flat.set_policy(ExecPolicy::MemberParallel);
+        let reference = combine::ensemble_average(&flat.predict(&x));
+        assert_eq!(bits(&reference), bits(&scored.probs));
+    }
+
+    #[test]
+    fn predict_scored_annotates_non_cascade_plans() {
+        let plan = EnginePlan::new(members(3), 4).unwrap().into_shared();
+        let mut s = plan.session();
+        s.set_policy(ExecPolicy::MemberParallel);
+        let x = Tensor::randn([6, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(14));
+        let scored = s.predict_scored(&x);
+        let reference = combine::ensemble_average(&plan.session().predict(&x));
+        assert_eq!(bits(&reference), bits(&scored.probs));
+        assert!(scored.escalated.iter().all(|&e| e));
+        assert_eq!(scored.labels(), ops::argmax_rows(&reference));
+        let k = plan.num_classes();
+        for (i, &u) in scored.uncertainty.iter().enumerate() {
+            let want = Confidence::MaxProb.uncertainty(&reference.data()[i * k..(i + 1) * k]);
+            assert_eq!(u, want);
+        }
+    }
+
+    #[test]
+    fn member_probability_apis_ignore_cascade_early_exit() {
+        // predict() needs every member on every example, so a cascade
+        // session answers it fully escalated.
+        let plan = EnginePlan::new(trunked_members(3), 4)
+            .unwrap()
+            .into_shared();
+        let x = Tensor::randn([7, 1, 2, 2], 1.0, &mut StdRng::seed_from_u64(15));
+        let mut flat = plan.session();
+        flat.set_policy(ExecPolicy::MemberParallel);
+        let reference = flat.predict(&x);
+        let mut casc = plan.session();
+        casc.set_policy(ExecPolicy::Cascade(CascadePolicy::max_prob(1.0)));
+        let got = casc.predict(&x);
+        for (a, b) in reference.probs().iter().zip(got.probs()) {
+            assert_eq!(bits(a), bits(b));
+        }
+    }
+
+    #[test]
+    fn calibrate_finds_a_separating_threshold() {
+        let plan = EnginePlan::new(trunked_members(4), 8)
+            .unwrap()
+            .into_shared();
+        let mut s = plan.session();
+        let x = Tensor::randn([64, 1, 2, 2], 2.0, &mut StdRng::seed_from_u64(16));
+        let saved = ExecPolicy::Cascade(CascadePolicy::max_prob(0.9));
+        s.set_policy(saved);
+        let cal = calibrate(&mut s, &x, Confidence::MaxProb, 0.0);
+        // min_agreement 0 accepts the full batch: threshold 1.0.
+        assert_eq!(cal.policy.threshold, 1.0);
+        assert_eq!(s.policy(), saved, "calibrate must restore the policy");
+        // An impossible bar (> 1.0) accepts nothing: cascade disabled.
+        let cal = calibrate(&mut s, &x, Confidence::Margin, 1.5);
+        assert_eq!(cal.policy.threshold, 0.0);
+        assert_eq!(cal.exit_rate, 0.0);
+        assert_eq!(cal.agreement, 1.0);
+        // A mid bar yields a threshold whose strict-< exit set reproduces
+        // the reported exit rate and agreement on the same batch.
+        let cal = calibrate(&mut s, &x, Confidence::MaxProb, 0.95);
+        s.set_policy(ExecPolicy::Cascade(cal.policy));
+        let scored = s.predict_scored(&x);
+        assert!((scored.early_exit_rate() - cal.exit_rate).abs() < 1e-12);
+        assert!(cal.agreement >= 0.95 || cal.exit_rate == 0.0);
+        // Empty calibration batch: disabled, vacuous agreement.
+        let cal = calibrate(
+            &mut s,
+            &Tensor::zeros([0, 1, 2, 2]),
+            Confidence::MaxProb,
+            0.5,
+        );
+        assert_eq!(cal.policy.threshold, 0.0);
+        assert_eq!(cal.agreement, 1.0);
     }
 
     #[test]

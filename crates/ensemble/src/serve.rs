@@ -26,9 +26,18 @@
 //!   the server keeps serving and later submits succeed again.
 //! * **Dynamic micro-batching** — each shard coalesces queued requests
 //!   into one engine call, up to [`BatchingConfig::max_batch`] examples
-//!   or until [`BatchingConfig::max_wait`] has passed since its batch
-//!   opened (an idle server adds at most `max_wait` latency, a busy one
-//!   none).
+//!   or until [`BatchingConfig::max_wait`] has passed since the batch's
+//!   *first request was enqueued* (an idle server adds at most `max_wait`
+//!   latency, a busy one none — and a request that already sat in the
+//!   queue for the whole window is flushed immediately rather than
+//!   charged a second window).
+//! * **Uncertainty surface** — every [`Prediction`] carries the gate
+//!   [`Prediction::uncertainty`] and whether the example
+//!   [`Prediction::escalated`] to the full ensemble. Under a cascade
+//!   policy ([`crate::engine::ExecPolicy::Cascade`]) confident examples
+//!   skip K-1 members; under any other policy the fields still report
+//!   the ensemble's own confidence (and everything escalates).
+//!   Per-shard escalation counts land in [`ServerStats::escalated`].
 //! * **Graceful shutdown** — [`Server::shutdown`] closes the queue to new
 //!   submissions, lets every shard drain the requests already admitted
 //!   (each gets its answer, none observe `Closed`), then joins the
@@ -81,6 +90,16 @@ use mn_nn::arch::InputSpec;
 use mn_tensor::{ops, Tensor, Workspace};
 
 use crate::engine::{EnginePlan, EngineSession, ExecPolicy, InferenceEngine};
+
+/// The coalescing deadline for a micro-batch whose first request was
+/// enqueued at `enqueued`, observed at `now`: the batch closes `max_wait`
+/// after the request *entered the queue*, not after the shard popped it —
+/// a request that already waited in the queue must not be charged a
+/// second full window (clamped to `now` so an overdue batch still
+/// collects whatever is already queued without waiting).
+fn coalesce_deadline(enqueued: Instant, now: Instant, max_wait: Duration) -> Instant {
+    (enqueued + max_wait).max(now)
+}
 
 /// Dynamic micro-batcher bounds (per shard).
 #[derive(Clone, Copy, Debug)]
@@ -146,10 +165,20 @@ impl std::error::Error for ServeError {}
 /// One answered request.
 #[derive(Clone, Debug)]
 pub struct Prediction {
-    /// Ensemble-averaged class probabilities for this example.
+    /// Final class probabilities for this example: the ensemble average,
+    /// or the gate member's answer when the example exited a cascade
+    /// early.
     pub probs: Vec<f32>,
-    /// Arg-max label under ensemble averaging.
+    /// Arg-max label of [`Prediction::probs`].
     pub label: usize,
+    /// Gate uncertainty in `[0, 1]` (`1 - confidence` under the scoring
+    /// metric; [`crate::engine::Confidence::MaxProb`] over the ensemble
+    /// average when no cascade is configured).
+    pub uncertainty: f32,
+    /// Whether this example ran the full ensemble (`true`) or exited a
+    /// cascade early with the gate's answer (`false`). Always `true`
+    /// outside cascade policies.
+    pub escalated: bool,
     /// End-to-end latency: submit to answer, including queueing and
     /// batching delay.
     pub latency: Duration,
@@ -169,6 +198,10 @@ pub struct ServerStats {
     pub batches: u64,
     /// Largest micro-batch executed.
     pub max_batch_filled: usize,
+    /// Requests that ran the full ensemble. Equals
+    /// [`ServerStats::requests`] outside cascade policies; under a
+    /// cascade, `requests - escalated` exited early on the gate alone.
+    pub escalated: u64,
 }
 
 impl ServerStats {
@@ -182,10 +215,21 @@ impl ServerStats {
         }
     }
 
+    /// Fraction of requests that exited a cascade early (0.0 with no
+    /// traffic, and under non-cascade policies).
+    pub fn early_exit_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            (self.requests - self.escalated) as f64 / self.requests as f64
+        }
+    }
+
     fn merge(&mut self, other: &ServerStats) {
         self.requests += other.requests;
         self.batches += other.batches;
         self.max_batch_filled = self.max_batch_filled.max(other.max_batch_filled);
+        self.escalated += other.escalated;
     }
 }
 
@@ -228,9 +272,11 @@ struct SharedQueue {
     available: Condvar,
     capacity: usize,
     rejected: AtomicU64,
-    /// Test-only failpoint (see [`ServerBuilder::panic_on_nan_example`]):
-    /// when set, popping a request whose example contains NaN panics
-    /// *while holding the queue lock* — the worst-case worker death.
+    /// Test-only failpoint (see [`ServerBuilder::panic_on_poison_example`]):
+    /// when set, popping a request whose example contains `f32::MAX`
+    /// panics *while holding the queue lock* — the worst-case worker
+    /// death. (The marker is finite on purpose: non-finite examples are
+    /// rejected at submit and can never reach the queue.)
     poison_pill: bool,
 }
 
@@ -261,7 +307,7 @@ impl SharedQueue {
 
     /// Fires the injected failpoint if `request` is a poison pill.
     fn maybe_detonate(&self, request: &Request) {
-        if self.poison_pill && request.example.data().iter().any(|v| v.is_nan()) {
+        if self.poison_pill && request.example.data().contains(&f32::MAX) {
             panic!("injected failpoint: dequeued a poison-pill request");
         }
     }
@@ -353,11 +399,19 @@ impl ServeClient {
     /// Submits one example — `[C, H, W]` or `[1, C, H, W]` — and returns
     /// a handle to await its prediction.
     ///
+    /// Examples are validated at admission: a NaN or infinite value would
+    /// flow through softmax into probabilities, argmax, and cascade
+    /// confidence as silent garbage, so non-finite data is rejected here
+    /// with a typed error instead. The finiteness check is fused into the
+    /// one copy each request pays (the example is staged into its queued
+    /// `[1, C, H, W]` tensor), not a second traversal.
+    ///
     /// # Errors
     ///
     /// [`ServeError::BadExample`] when the shape does not match the
-    /// ensemble input, [`ServeError::Overloaded`] when the bounded queue
-    /// is full, [`ServeError::Closed`] when the server is gone.
+    /// ensemble input or the data contains a non-finite value,
+    /// [`ServeError::Overloaded`] when the bounded queue is full,
+    /// [`ServeError::Closed`] when the server is gone.
     pub fn submit(&self, example: &Tensor) -> Result<PendingPrediction, ServeError> {
         let want = [self.input.channels, self.input.height, self.input.width];
         let dims = example.shape().dims();
@@ -373,9 +427,26 @@ impl ServeClient {
                 ),
             });
         }
+        let mut bad: Option<(usize, f32)> = None;
+        let data: Vec<f32> = example
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if bad.is_none() && !v.is_finite() {
+                    bad = Some((i, v));
+                }
+                v
+            })
+            .collect();
+        if let Some((i, v)) = bad {
+            return Err(ServeError::BadExample {
+                detail: format!("non-finite value {v} at flat index {i}"),
+            });
+        }
         let example = Tensor::from_vec(
             [1, self.input.channels, self.input.height, self.input.width],
-            example.data().to_vec(),
+            data,
         );
         let (reply, rx) = mpsc::channel();
         let request = Box::new(Request {
@@ -420,6 +491,7 @@ pub struct ServerBuilder {
     queue_capacity: usize,
     batching: BatchingConfig,
     poison_pill: bool,
+    stall_first_pop: Option<Duration>,
 }
 
 impl ServerBuilder {
@@ -434,6 +506,7 @@ impl ServerBuilder {
             queue_capacity: 1024,
             batching: BatchingConfig::default(),
             poison_pill: false,
+            stall_first_pop: None,
         }
     }
 
@@ -465,14 +538,26 @@ impl ServerBuilder {
     }
 
     /// Test-only failpoint: the worker that dequeues a request whose
-    /// example contains NaN panics *while holding the queue lock* — the
-    /// worst-case worker death (the mutex is left poisoned and the
+    /// example contains `f32::MAX` panics *while holding the queue lock*
+    /// — the worst-case worker death (the mutex is left poisoned and the
     /// request is dropped unanswered). Regression tests use this to pin
     /// that one dying shard neither cascades panics into the other
-    /// shards/clients nor hangs the orphaned waiter.
+    /// shards/clients nor hangs the orphaned waiter. (A finite marker,
+    /// because non-finite examples are rejected at submit.)
     #[doc(hidden)]
-    pub fn panic_on_nan_example(mut self) -> Self {
+    pub fn panic_on_poison_example(mut self) -> Self {
         self.poison_pill = true;
+        self
+    }
+
+    /// Test-only failpoint: each worker sleeps once, for this duration,
+    /// right after its first dequeue — long enough for later requests to
+    /// accumulate queue wait, so the deadline-anchoring regression test
+    /// can observe that queued time is not double-charged against
+    /// [`BatchingConfig::max_wait`].
+    #[doc(hidden)]
+    pub fn stall_first_pop(mut self, stall: Duration) -> Self {
+        self.stall_first_pop = Some(stall);
         self
     }
 
@@ -486,9 +571,10 @@ impl ServerBuilder {
                 session.set_policy(self.policy);
                 let queue = Arc::clone(&queue);
                 let cfg = self.batching;
+                let stall = self.stall_first_pop;
                 std::thread::Builder::new()
                     .name(format!("mn-serve-{shard}"))
-                    .spawn(move || shard_loop(shard, session, cfg, queue))
+                    .spawn(move || shard_loop(shard, session, cfg, queue, stall))
                     .expect("serving worker spawns")
             })
             .collect();
@@ -603,6 +689,7 @@ fn shard_loop(
     mut session: EngineSession,
     cfg: BatchingConfig,
     queue: Arc<SharedQueue>,
+    mut stall_first_pop: Option<Duration>,
 ) -> ServerStats {
     let max_batch = cfg.max_batch.max(1);
     let input = session.plan().input_spec();
@@ -613,7 +700,13 @@ fn shard_loop(
     // `pop_blocking` returns None only when the queue is closed *and*
     // drained, so every admitted request is answered before exit.
     while let Some(first) = queue.pop_blocking() {
-        let deadline = Instant::now() + cfg.max_wait;
+        if let Some(stall) = stall_first_pop.take() {
+            std::thread::sleep(stall);
+        }
+        // The coalescing window opened when `first` was *enqueued*, not
+        // now: a request that already waited out its window in the queue
+        // flushes immediately instead of paying `max_wait` twice.
+        let deadline = coalesce_deadline(first.enqueued, Instant::now(), cfg.max_wait);
         let mut batch = vec![first];
         while batch.len() < max_batch {
             match queue.pop_until(deadline) {
@@ -628,14 +721,16 @@ fn shard_loop(
         for (i, req) in batch.iter().enumerate() {
             xb.data_mut()[i * row..(i + 1) * row].copy_from_slice(req.example.data());
         }
-        let avg = session.predict_average(&xb);
+        let scored = session.predict_scored(&xb);
         ws.release(xb);
         let answered = Instant::now();
-        let labels = ops::argmax_rows(&avg);
+        let labels = ops::argmax_rows(&scored.probs);
         for (i, req) in batch.into_iter().enumerate() {
             let prediction = Prediction {
-                probs: avg.data()[i * k..(i + 1) * k].to_vec(),
+                probs: scored.probs.data()[i * k..(i + 1) * k].to_vec(),
                 label: labels[i],
+                uncertainty: scored.uncertainty[i],
+                escalated: scored.escalated[i],
                 latency: answered - req.enqueued,
                 batch: b,
                 shard,
@@ -647,6 +742,7 @@ fn shard_loop(
         stats.requests += b as u64;
         stats.batches += 1;
         stats.max_batch_filled = stats.max_batch_filled.max(b);
+        stats.escalated += scored.num_escalated() as u64;
     }
     stats
 }
@@ -840,7 +936,7 @@ mod tests {
         // worst case for mutex poisoning.
         let server = Server::builder(plan())
             .shards(2)
-            .panic_on_nan_example()
+            .panic_on_poison_example()
             .batching(BatchingConfig {
                 max_batch: 4,
                 max_wait: Duration::from_micros(200),
@@ -850,7 +946,7 @@ mod tests {
         // Sanity: the server works before the injected failure.
         server.submit(&x).unwrap().wait().unwrap();
 
-        let pill = Tensor::from_vec([1, 2, 2], vec![f32::NAN; 4]);
+        let pill = Tensor::from_vec([1, 2, 2], vec![f32::MAX; 4]);
         let orphan = server.submit(&pill).unwrap();
         // The orphaned request returns a typed error instead of blocking
         // forever on a reply that can never come.
@@ -875,6 +971,132 @@ mod tests {
         // the sanity request); the surviving shard alone answered the 8
         // post-failure requests.
         assert!(report.aggregate.requests >= 8);
+    }
+
+    #[test]
+    fn coalesce_deadline_anchors_at_enqueue_time() {
+        let t0 = Instant::now();
+        let wait = Duration::from_millis(10);
+        // Fresh request: the window runs from its enqueue time.
+        assert_eq!(coalesce_deadline(t0, t0, wait), t0 + wait);
+        // Popped mid-window: the remaining window, not a fresh one.
+        let now = t0 + Duration::from_millis(4);
+        assert_eq!(coalesce_deadline(t0, now, wait), t0 + wait);
+        // Popped after the window already expired in the queue: flush
+        // now, never wait again.
+        let late = t0 + Duration::from_millis(25);
+        assert_eq!(coalesce_deadline(t0, late, wait), late);
+    }
+
+    #[test]
+    fn batching_deadline_does_not_double_charge_queued_requests() {
+        // Regression: the deadline used to be `Instant::now() + max_wait`
+        // at *pop* time, so a request that already sat in the queue paid
+        // its queue wait plus a second full window. Stall the (single)
+        // worker long enough for requests to age in the queue, then check
+        // the aged request is answered within ~one window of its submit,
+        // not two.
+        let max_wait = Duration::from_millis(300);
+        let server = Server::builder(plan())
+            .shards(1)
+            .stall_first_pop(Duration::from_millis(250))
+            .batching(BatchingConfig {
+                max_batch: 2,
+                max_wait,
+            })
+            .start();
+        let x = Tensor::zeros([1, 2, 2]);
+        // r1 is popped immediately; the worker then stalls 250ms while r2
+        // and r3 age in the queue.
+        let r1 = server.submit(&x).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        let r2 = server.submit(&x).unwrap();
+        let r3 = server.submit(&x).unwrap();
+        // After the stall: r2 fills r1's batch (max_batch 2). r3 opens
+        // the next batch alone at ~270ms of age — its window expired in
+        // the queue, so it must flush nearly immediately. The old code
+        // waited a fresh 300ms window on top (~570ms total latency).
+        let _ = r1.wait().unwrap();
+        let _ = r2.wait().unwrap();
+        let p3 = r3.wait().unwrap();
+        assert!(
+            p3.latency < Duration::from_millis(450),
+            "queued request was charged a second window: {:?}",
+            p3.latency
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_rejects_non_finite_examples() {
+        let server = Server::start(engine(), BatchingConfig::default());
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let x = Tensor::from_vec([1, 2, 2], vec![0.0, bad, 0.0, 0.0]);
+            match server.submit(&x) {
+                Err(ServeError::BadExample { detail }) => {
+                    assert!(
+                        detail.contains("non-finite"),
+                        "unhelpful rejection detail: {detail}"
+                    );
+                    assert!(detail.contains("index 1"), "detail locates the value");
+                }
+                Err(other) => panic!("wrong rejection for non-finite example: {other}"),
+                Ok(_) => panic!("non-finite example was admitted"),
+            }
+        }
+        // Large-but-finite values are legal inputs.
+        let big = Tensor::from_vec([1, 2, 2], vec![1e30; 4]);
+        server.submit(&big).unwrap().wait().unwrap();
+        let report = server.shutdown();
+        assert_eq!(report.aggregate.requests, 1);
+    }
+
+    #[test]
+    fn cascade_server_reports_uncertainty_and_escalation() {
+        use crate::engine::CascadePolicy;
+        // Threshold 1.0: (almost) everything trusts the gate. The point
+        // here is the surface, not the exit rate: predictions carry
+        // uncertainty/escalated and stats count escalations per shard.
+        let server = Server::builder(plan())
+            .policy(ExecPolicy::Cascade(CascadePolicy::max_prob(1.0)))
+            .shards(2)
+            .start();
+        let mut rng = StdRng::seed_from_u64(3);
+        let pending: Vec<_> = (0..12)
+            .map(|_| {
+                server
+                    .submit(&Tensor::randn([1, 2, 2], 1.0, &mut rng))
+                    .unwrap()
+            })
+            .collect();
+        let mut exited = 0;
+        for p in pending {
+            let got = p.wait().unwrap();
+            assert!((0.0..=1.0).contains(&got.uncertainty));
+            if !got.escalated {
+                exited += 1;
+            }
+        }
+        assert!(exited > 0, "a 1.0 threshold must exit some requests early");
+        let report = server.shutdown();
+        assert_eq!(report.aggregate.requests, 12);
+        assert_eq!(report.aggregate.escalated, 12 - exited as u64);
+        assert!((report.aggregate.early_exit_rate() - exited as f64 / 12.0).abs() < 1e-12);
+        let per_shard_escalated: u64 = report.per_shard.iter().map(|s| s.escalated).sum();
+        assert_eq!(per_shard_escalated, report.aggregate.escalated);
+
+        // Non-cascade servers still populate the surface: everything
+        // escalates and uncertainty reflects the ensemble average.
+        let server = Server::start(engine(), BatchingConfig::default());
+        let got = server
+            .submit(&Tensor::zeros([1, 2, 2]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(got.escalated);
+        let report = server.shutdown();
+        assert_eq!(report.aggregate.escalated, report.aggregate.requests);
+        assert_eq!(report.aggregate.early_exit_rate(), 0.0);
     }
 
     #[test]

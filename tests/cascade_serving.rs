@@ -1,0 +1,327 @@
+//! Uncertainty-gated cascade consistency: the cascade is an *early-exit*
+//! strategy, not a different model. At threshold 0 nothing exits early
+//! and the output must be **bitwise identical** to the flat and
+//! trunk-shared plans — across member counts, trunk depths, batch
+//! shapes, confidence metrics, and thread counts. At any threshold, every
+//! escalated row must be bit-for-bit the full ensemble average and every
+//! early-exit row bit-for-bit the gate member's answer: the cascade never
+//! invents a third kind of output.
+//!
+//! Note: the vendored rayon's `ThreadPool::install` sets a process-global
+//! thread-count override, so the thread-count test serializes on a local
+//! lock shared with nothing else in this binary.
+
+use mn_ensemble::engine::{calibrate, CascadePolicy, Confidence, EnginePlan, ExecPolicy, Plan};
+use mn_ensemble::{combine, EnsembleMember};
+use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec, ResBlockSpec};
+use mn_nn::Network;
+use mn_tensor::{ops, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+static THREAD_OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+fn input() -> InputSpec {
+    InputSpec::new(3, 8, 8)
+}
+
+fn arch(family: u8) -> Architecture {
+    match family % 3 {
+        0 => Architecture::mlp("m", input(), 5, vec![12, 8]),
+        1 => Architecture::plain(
+            "p",
+            input(),
+            5,
+            vec![ConvBlockSpec::repeated(3, 4, 2)],
+            vec![8],
+        ),
+        _ => Architecture::residual("r", input(), 5, vec![ResBlockSpec::new(1, 4, 3)]),
+    }
+}
+
+/// A synthetic hatch (same idiom as the trunk-sharing suite): clone
+/// `base` and multiplicatively perturb every state tensor from node `cut`
+/// onward with a member-specific seed, so members share exactly the
+/// prefix before `cut`.
+fn diverge_from(base: &Network, cut: usize, seed: u64) -> Network {
+    let mut net = base.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for node in net.nodes_mut().iter_mut().skip(cut) {
+        for t in node.state_mut() {
+            for v in t.data_mut() {
+                *v *= 1.0 + rng.gen_range(-0.2..0.2f32);
+            }
+        }
+    }
+    net
+}
+
+fn members_at_cut(family: u8, cut_pick: usize, num_members: usize) -> Vec<EnsembleMember> {
+    let arch = arch(family);
+    let base = Network::seeded(&arch, 7);
+    let cut = cut_pick % (base.nodes().len() + 1);
+    (0..num_members)
+        .map(|i| {
+            let net = diverge_from(&base, cut, 100 + i as u64);
+            EnsembleMember::new(format!("m{i}"), net)
+        })
+        .collect()
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The consistency contract: at threshold 0 nothing exits early, so
+    /// the cascade's final probabilities equal the flat plan's ensemble
+    /// average bit for bit — whatever the member count (including 1),
+    /// trunk depth, metric, or batch shape. The trunk-shared plan must
+    /// agree too (it is itself pinned bitwise-identical to flat).
+    #[test]
+    fn threshold_zero_cascade_is_bitwise_identical_to_flat_and_trunk(
+        family in 0u8..3,
+        cut_pick in 0usize..64,
+        num_members in 1usize..5,
+        n in 1usize..14,
+        batch_size in 1usize..6,
+        margin in proptest::bool::ANY,
+    ) {
+        let plan = EnginePlan::new(members_at_cut(family, cut_pick, num_members), batch_size)
+            .unwrap()
+            .into_shared();
+        let x = Tensor::randn([n, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(9));
+
+        let mut flat = plan.session();
+        flat.set_policy(ExecPolicy::MemberParallel);
+        let reference = flat.predict_average(&x);
+
+        let metric = if margin { Confidence::Margin } else { Confidence::MaxProb };
+        let cp = CascadePolicy { metric, threshold: 0.0 };
+        prop_assert_eq!(plan.resolve(n, ExecPolicy::Cascade(cp)), Plan::Cascade(cp));
+        let mut casc = plan.session();
+        casc.set_policy(ExecPolicy::Cascade(cp));
+        // Run twice so the second pass hits warm, reused scratch.
+        let _ = casc.predict_scored(&x);
+        let scored = casc.predict_scored(&x);
+        prop_assert!(scored.escalated.iter().all(|&e| e), "threshold 0 must escalate everything");
+        prop_assert_eq!(bits(&reference), bits(&scored.probs), "cascade diverged from flat");
+
+        let mut trunked = plan.session();
+        trunked.set_policy(ExecPolicy::TrunkShared { shards: 2 });
+        prop_assert_eq!(bits(&trunked.predict_average(&x)), bits(&scored.probs));
+    }
+
+    /// At *any* threshold the cascade's rows are never novel: an
+    /// escalated row is bit-for-bit the full ensemble average for that
+    /// example, an early-exit row is bit-for-bit the gate (member 0)
+    /// row, the exit decision follows the strict `u < threshold` rule,
+    /// and the reported uncertainty is the metric applied to the gate's
+    /// own probabilities.
+    #[test]
+    fn every_cascade_row_is_either_gate_or_full_ensemble(
+        family in 0u8..3,
+        cut_pick in 0usize..64,
+        num_members in 2usize..5,
+        n in 1usize..12,
+        threshold in 0.0f32..1.0,
+        margin in proptest::bool::ANY,
+    ) {
+        let plan = EnginePlan::new(members_at_cut(family, cut_pick, num_members), 4)
+            .unwrap()
+            .into_shared();
+        let x = Tensor::randn([n, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(10));
+        let k = plan.num_classes();
+
+        let mut flat = plan.session();
+        flat.set_policy(ExecPolicy::MemberParallel);
+        let member_preds = flat.predict(&x);
+        let full = combine::ensemble_average(&member_preds);
+        let gate = &member_preds.probs()[0];
+
+        let metric = if margin { Confidence::Margin } else { Confidence::MaxProb };
+        let mut casc = plan.session();
+        casc.set_policy(ExecPolicy::Cascade(CascadePolicy { metric, threshold }));
+        let scored = casc.predict_scored(&x);
+
+        for i in 0..n {
+            let row = &scored.probs.data()[i * k..(i + 1) * k];
+            let want_u = metric.uncertainty(&gate.data()[i * k..(i + 1) * k]);
+            prop_assert_eq!(scored.uncertainty[i].to_bits(), want_u.to_bits());
+            let should_exit = want_u < threshold;
+            prop_assert_eq!(!scored.escalated[i], should_exit, "exit rule broke at row {}", i);
+            let want = if should_exit { gate } else { &full };
+            let want_row = &want.data()[i * k..(i + 1) * k];
+            prop_assert_eq!(
+                row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want_row.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "row {} is neither the gate nor the full ensemble", i
+            );
+        }
+    }
+}
+
+/// A crafted ambiguous example provably reaches the full ensemble while a
+/// crafted confident one provably does not: scaling an input toward zero
+/// drives every softmax toward uniform (maximal uncertainty), scaling it
+/// up saturates the gate (minimal uncertainty).
+#[test]
+fn ambiguous_examples_escalate_and_confident_ones_exit() {
+    let members = members_at_cut(0, 64, 4); // fully shared trunk, diverged heads
+    let plan = EnginePlan::new(members, 8).unwrap().into_shared();
+    let k = plan.num_classes();
+
+    let direction = Tensor::randn([1, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(11));
+    let mut ambiguous = direction.clone();
+    for v in ambiguous.data_mut() {
+        *v *= 1e-4; // near-zero logits: softmax ~ uniform, uncertainty ~ 1 - 1/K
+    }
+    let mut confident = direction.clone();
+    for v in confident.data_mut() {
+        *v *= 30.0; // saturated logits: uncertainty ~ 0
+    }
+    let mut x = Tensor::zeros([2, 3, 8, 8]);
+    let row = x.len() / 2;
+    x.data_mut()[..row].copy_from_slice(ambiguous.data());
+    x.data_mut()[row..].copy_from_slice(confident.data());
+
+    let mut flat = plan.session();
+    flat.set_policy(ExecPolicy::MemberParallel);
+    let member_preds = flat.predict(&x);
+    let full = combine::ensemble_average(&member_preds);
+    let gate = &member_preds.probs()[0];
+
+    // Sanity on the crafted geometry before trusting the cascade with it.
+    let u_ambiguous = Confidence::MaxProb.uncertainty(&gate.data()[..k]);
+    let u_confident = Confidence::MaxProb.uncertainty(&gate.data()[k..2 * k]);
+    assert!(
+        u_ambiguous > 0.5,
+        "near-zero input failed to confuse the gate: u = {u_ambiguous}"
+    );
+    assert!(
+        u_confident < 0.2,
+        "saturated input failed to convince the gate: u = {u_confident}"
+    );
+
+    let mut casc = plan.session();
+    casc.set_policy(ExecPolicy::Cascade(CascadePolicy::max_prob(0.35)));
+    let scored = casc.predict_scored(&x);
+
+    assert!(scored.escalated[0], "the ambiguous example must escalate");
+    assert!(
+        !scored.escalated[1],
+        "the confident example must exit early"
+    );
+    assert_eq!(scored.num_escalated(), 1);
+    assert_eq!(scored.early_exit_rate(), 0.5);
+    // The escalated row carries the full ensemble's answer — provably
+    // different bits from the gate alone here — and the exit row carries
+    // exactly the gate's.
+    assert_eq!(
+        bits(&full)[..k],
+        bits(&scored.probs)[..k],
+        "escalated row must be the full ensemble average"
+    );
+    assert_ne!(
+        bits(gate)[..k],
+        bits(&scored.probs)[..k],
+        "escalation must actually change the ambiguous row's bits"
+    );
+    assert_eq!(
+        bits(gate)[k..2 * k],
+        bits(&scored.probs)[k..2 * k],
+        "exit row must be the gate's answer"
+    );
+}
+
+/// Cascade output is bitwise identical across worker thread counts, like
+/// every other plan (the vendored rayon install is process-global, hence
+/// the lock).
+#[test]
+fn cascade_is_bitwise_identical_across_thread_counts() {
+    let _guard = THREAD_OVERRIDE_LOCK.lock().unwrap();
+    let x = Tensor::randn([11, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(12));
+    let run = |threads: usize| -> (Vec<u32>, Vec<bool>) {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool builds");
+        pool.install(|| {
+            let plan = EnginePlan::new(members_at_cut(1, 64, 4), 4)
+                .unwrap()
+                .into_shared();
+            let mut s = plan.session();
+            s.set_policy(ExecPolicy::Cascade(CascadePolicy::max_prob(0.5)));
+            let _ = s.predict_scored(&x);
+            let scored = s.predict_scored(&x);
+            (bits(&scored.probs), scored.escalated)
+        })
+    };
+    let (bits1, esc1) = run(1);
+    let (bits4, esc4) = run(4);
+    assert_eq!(esc1, esc4, "escalation decisions diverged across threads");
+    assert_eq!(bits1, bits4, "cascade output diverged across threads");
+}
+
+/// Calibration round-trip: the threshold `calibrate` picks reproduces its
+/// own reported exit rate when applied, and respects the agreement bar.
+#[test]
+fn calibration_round_trips_through_the_cascade() {
+    let plan = EnginePlan::new(members_at_cut(0, 64, 4), 8)
+        .unwrap()
+        .into_shared();
+    // A mixed batch: half ambiguous (scaled-down) examples, half
+    // confident ones, so a real threshold exists between the two bands.
+    let base = Tensor::randn([16, 3, 8, 8], 1.0, &mut StdRng::seed_from_u64(13));
+    let mut x = base.clone();
+    let row = x.len() / 16;
+    for i in 0..8 {
+        for v in &mut x.data_mut()[i * row..(i + 1) * row] {
+            *v *= 1e-4;
+        }
+    }
+    for i in 8..16 {
+        for v in &mut x.data_mut()[i * row..(i + 1) * row] {
+            *v *= 30.0;
+        }
+    }
+
+    let mut s = plan.session();
+    let cal = calibrate(&mut s, &x, Confidence::MaxProb, 0.9);
+    assert!(
+        cal.exit_rate > 0.0,
+        "a half-confident batch must admit some early exit (threshold {})",
+        cal.policy.threshold
+    );
+    assert!(
+        cal.agreement >= 0.9,
+        "agreement bar violated: {}",
+        cal.agreement
+    );
+
+    s.set_policy(ExecPolicy::Cascade(cal.policy));
+    let scored = s.predict_scored(&x);
+    assert!(
+        (scored.early_exit_rate() - cal.exit_rate).abs() < 1e-12,
+        "applied exit rate {} != calibrated {}",
+        scored.early_exit_rate(),
+        cal.exit_rate
+    );
+    // Exits agree with the full ensemble at least as often as promised.
+    let mut flat = plan.session();
+    flat.set_policy(ExecPolicy::MemberParallel);
+    let full_labels = ops::argmax_rows(&flat.predict_average(&x));
+    let cascade_labels = scored.labels();
+    let exits: Vec<usize> = (0..16).filter(|&i| !scored.escalated[i]).collect();
+    let agree = exits
+        .iter()
+        .filter(|&&i| cascade_labels[i] == full_labels[i])
+        .count();
+    assert!(
+        agree as f64 / exits.len().max(1) as f64 >= 0.9,
+        "calibrated exits disagreed with the ensemble more than promised"
+    );
+}
