@@ -11,7 +11,8 @@
 //! single-example clients at 1, 2, and 4 worker shards over one shared
 //! plan, sweeps the engine's parallelism policies on a large batch,
 //! measures the uncertainty-gated cascade against the flat ensemble on
-//! skewed traffic, prints the tables, and saves `<out>/serving.json`
+//! skewed traffic, kills a worker mid-traffic to measure supervised
+//! recovery, prints the tables, and saves `<out>/serving.json`
 //! (default `results/`).
 
 use std::path::PathBuf;
@@ -109,5 +110,18 @@ fn main() {
         c.flat_examples_per_sec,
         c.cascade_examples_per_sec,
         c.speedup
+    );
+    let w = &result.worker_kill;
+    println!(
+        "worker kill ({} shards): {:.0} -> {:.0} req/s goodput ({:.2}x recovery), \
+         first answer {:.2} ms after the kill, {} request(s) lost, {} panic(s)/{} restart(s)",
+        w.shards,
+        w.pre_kill_rps,
+        w.post_kill_rps,
+        w.recovery_ratio,
+        w.recovery_ms,
+        w.killed_requests,
+        w.worker_panics,
+        w.restarts
     );
 }

@@ -28,6 +28,13 @@
 //!    rather than idle-core wall-clock; the parallelism axes compose
 //!    with the cascade and are measured separately above.
 //!
+//! 6. **worker kill** — a fault-injected worker panic mid-traffic
+//!    (`faults::sites::QUEUE_POP`, one shot) against the supervised
+//!    server: the scenario measures goodput before the kill, time until
+//!    the first successful answer after it, and goodput after the
+//!    supervisor respawns the shard. The CI gate holds post-kill goodput
+//!    at ≥ 0.9x pre-kill.
+//!
 //! Run via `cargo run --release -p mn-bench --bin serving` — prints the
 //! tables and saves `results/serving.json`.
 
@@ -36,7 +43,8 @@ use std::time::Instant;
 use mn_ensemble::engine::{
     calibrate, Confidence, EnginePlan, EngineSession, ExecPolicy, InferenceEngine,
 };
-use mn_ensemble::serve::{BatchingConfig, Server};
+use mn_ensemble::faults::{self, FaultAction};
+use mn_ensemble::serve::{BatchingConfig, ServeError, Server};
 use mn_ensemble::{EnsembleManifest, EnsembleMember};
 use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
 use mn_nn::{LayerNode, Network};
@@ -129,6 +137,28 @@ pub struct CascadeServingResult {
     pub speedup: f64,
 }
 
+/// The worker-kill scenario: goodput before an injected worker panic,
+/// recovery time, and goodput after the supervisor respawned the shard.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkerKillResult {
+    /// Worker shards the server ran with.
+    pub shards: usize,
+    /// Successful answers per second before the kill.
+    pub pre_kill_rps: f64,
+    /// Successful answers per second after recovery.
+    pub post_kill_rps: f64,
+    /// `post_kill_rps / pre_kill_rps` — the CI floor holds this ≥ 0.9.
+    pub recovery_ratio: f64,
+    /// Milliseconds from the kill until the first successful answer.
+    pub recovery_ms: f64,
+    /// Requests lost to the panic (typed `WorkerGone`, never a hang).
+    pub killed_requests: u64,
+    /// Worker panics the server recorded (the injected one).
+    pub worker_panics: u64,
+    /// Shards the supervisor respawned.
+    pub restarts: u64,
+}
+
 /// Cold-start timings (medians over repetitions).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ColdStartTimings {
@@ -186,6 +216,8 @@ pub struct ServingBenchResult {
     pub trunk_sharing: TrunkSharingResult,
     /// Uncertainty-gated cascade vs flat execution on skewed traffic.
     pub cascade: CascadeServingResult,
+    /// Goodput across an injected worker panic and supervised respawn.
+    pub worker_kill: WorkerKillResult,
 }
 
 impl ServingBenchResult {
@@ -300,6 +332,35 @@ impl ServingBenchResult {
                     format!("{:.0}", c.cascade_examples_per_sec),
                 ],
                 vec!["speedup".to_string(), format!("{:.2}x", c.speedup)],
+            ],
+        ));
+        let w = &self.worker_kill;
+        out.push('\n');
+        out.push_str(&render_table(
+            &["worker kill", "value"],
+            &[
+                vec!["shards".to_string(), format!("{}", w.shards)],
+                vec![
+                    "pre-kill req/s".to_string(),
+                    format!("{:.0}", w.pre_kill_rps),
+                ],
+                vec![
+                    "post-kill req/s".to_string(),
+                    format!("{:.0}", w.post_kill_rps),
+                ],
+                vec![
+                    "recovery ratio".to_string(),
+                    format!("{:.2}x", w.recovery_ratio),
+                ],
+                vec!["recovery ms".to_string(), format!("{:.2}", w.recovery_ms)],
+                vec![
+                    "killed requests".to_string(),
+                    format!("{}", w.killed_requests),
+                ],
+                vec![
+                    "panics/restarts".to_string(),
+                    format!("{}/{}", w.worker_panics, w.restarts),
+                ],
             ],
         ));
         out
@@ -658,6 +719,106 @@ fn closed_loop(
     }
 }
 
+/// Closed-loop goodput against an already-running server: successful
+/// answers per second, tolerating typed losses (a killed worker's
+/// in-flight requests resolve to [`ServeError::WorkerGone`]).
+fn goodput_rps(server: &Server, clients: usize, per_client: usize, seed: u64) -> (f64, u64) {
+    let started = Instant::now();
+    let ok: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let client = server.client();
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed + c as u64);
+                    let mut ok = 0u64;
+                    for _ in 0..per_client {
+                        let x = Tensor::randn([3, 8, 8], 1.0, &mut rng);
+                        match client.submit(&x) {
+                            Ok(pending) => {
+                                if pending.wait().is_ok() {
+                                    ok += 1;
+                                }
+                            }
+                            Err(ServeError::Overloaded { .. }) => {}
+                            Err(e) => panic!("unexpected submit error: {e}"),
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread exits cleanly"))
+            .sum()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    (ok as f64 / wall, ok)
+}
+
+/// Kills one worker mid-traffic with a one-shot injected panic at the
+/// queue-pop failpoint, then measures how the supervised server recovers:
+/// goodput before vs after, and the time from the kill to the first
+/// successful answer. Asserts the panic fired, that the supervisor
+/// respawned the shard, and that every request resolved to a typed
+/// outcome.
+fn measure_worker_kill(
+    plan: &std::sync::Arc<EnginePlan>,
+    clients: usize,
+    per_client: usize,
+) -> WorkerKillResult {
+    let shards = 2;
+    let server = Server::builder(std::sync::Arc::clone(plan))
+        .shards(shards)
+        .batching(BatchingConfig::default())
+        .restart_budget(4)
+        .restart_backoff(std::time::Duration::from_millis(1))
+        .start();
+
+    let (pre_kill_rps, pre_ok) = goodput_rps(&server, clients, per_client, 2000);
+    assert!(pre_ok > 0, "pre-kill phase must answer requests");
+
+    // The kill: the next queue pop panics the worker that performs it.
+    let scope = faults::scope();
+    scope.enable_times(faults::sites::QUEUE_POP, FaultAction::Panic, 1);
+    let kill_at = Instant::now();
+    let mut killed_requests = 0u64;
+    let mut rng = StdRng::seed_from_u64(3000);
+    let recovery_ms = loop {
+        let x = Tensor::randn([3, 8, 8], 1.0, &mut rng);
+        match server
+            .submit(&x)
+            .expect("kill-phase submits stay under the queue bound")
+            .wait()
+        {
+            Ok(_) if faults::fired(faults::sites::QUEUE_POP) >= 1 => {
+                break kill_at.elapsed().as_secs_f64() * 1000.0;
+            }
+            Ok(_) => {} // the armed pop hasn't happened yet; keep driving
+            Err(ServeError::WorkerGone) => killed_requests += 1,
+            Err(e) => panic!("unexpected kill-phase outcome: {e}"),
+        }
+    };
+    drop(scope);
+
+    let (post_kill_rps, post_ok) = goodput_rps(&server, clients, per_client, 4000);
+    assert!(post_ok > 0, "post-kill phase must answer requests");
+
+    let report = server.shutdown();
+    assert_eq!(report.worker_panics, 1, "exactly the injected panic fired");
+    assert_eq!(report.restarts, 1, "the supervisor respawned the shard");
+    WorkerKillResult {
+        shards,
+        pre_kill_rps,
+        post_kill_rps,
+        recovery_ratio: post_kill_rps / pre_kill_rps.max(1e-9),
+        recovery_ms,
+        killed_requests,
+        worker_panics: report.worker_panics,
+        restarts: report.restarts,
+    }
+}
+
 /// Runs the save → load → serve smoke plus all measurements.
 ///
 /// # Panics
@@ -750,6 +911,9 @@ pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
     // --- cascade: uncertainty-gated early exit on skewed traffic ---
     let cascade = measure_cascade(reps);
 
+    // --- worker kill: goodput across a supervised panic + respawn ---
+    let worker_kill = measure_worker_kill(&loaded_plan, clients, per_client);
+
     ServingBenchResult {
         threads,
         members: num_members,
@@ -766,6 +930,7 @@ pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
         policies,
         trunk_sharing,
         cascade,
+        worker_kill,
     }
 }
 
@@ -823,6 +988,16 @@ mod tests {
                 cascade_examples_per_sec: 2000.0,
                 speedup: 4.0,
             },
+            worker_kill: WorkerKillResult {
+                shards: 2,
+                pre_kill_rps: 1000.0,
+                post_kill_rps: 950.0,
+                recovery_ratio: 0.95,
+                recovery_ms: 12.5,
+                killed_requests: 1,
+                worker_panics: 1,
+                restarts: 1,
+            },
         };
         let json = serde_json::to_string(&result).unwrap();
         let back: ServingBenchResult = serde_json::from_str(&json).unwrap();
@@ -840,6 +1015,9 @@ mod tests {
         assert!(table.contains("trunk"));
         assert!(table.contains("cascade"));
         assert!(table.contains("early exits"));
+        assert!(table.contains("worker kill"));
+        assert!(table.contains("recovery ratio"));
+        assert!((back.worker_kill.recovery_ratio - 0.95).abs() < 1e-9);
     }
 
     #[test]
@@ -893,5 +1071,13 @@ mod tests {
         assert!(c.threshold > 0.0 && c.early_exit_rate > 0.0, "{c:?}");
         assert!(c.easy_fraction > 0.5, "{c:?}");
         assert!(c.flat_examples_per_sec > 0.0 && c.cascade_examples_per_sec > 0.0);
+        // The worker-kill scenario recorded exactly the injected panic
+        // and its respawn (asserted inside the measurement); the ≥ 0.9x
+        // goodput-recovery floor is the release-mode CI gate's job.
+        let w = &result.worker_kill;
+        assert_eq!(w.worker_panics, 1);
+        assert_eq!(w.restarts, 1);
+        assert!(w.pre_kill_rps > 0.0 && w.post_kill_rps > 0.0);
+        assert!(w.recovery_ms >= 0.0);
     }
 }

@@ -10,7 +10,12 @@
 //! * per member: `u32` name length + the member name (UTF-8), then
 //!   `u32` section length + a network checkpoint
 //!   ([`mn_nn::io::save_network`]: architecture JSON + `MNW1` weight
-//!   blob).
+//!   blob);
+//! * a closing `u32` CRC-32 (IEEE, [`mn_nn::io::crc32`]) over every
+//!   preceding byte, verified before any section is parsed — a
+//!   bit-flipped artifact fails loudly with
+//!   [`ArtifactError::ChecksumMismatch`] instead of cold-starting a
+//!   subtly wrong ensemble.
 //!
 //! Restoring an artifact rebuilds every member network from its own
 //! section, so loading needs nothing but the bytes — and produces
@@ -25,9 +30,10 @@ use std::path::Path;
 use bytes::{Buf, BufMut};
 use serde::{Deserialize, Serialize};
 
-use mn_nn::io::{load_network, save_network, WeightsError};
+use mn_nn::io::{crc32, load_network, save_network, WeightsError};
 
 use crate::engine::EngineError;
+use crate::faults;
 use crate::member::EnsembleMember;
 
 const MAGIC: &[u8; 4] = b"MNE1";
@@ -59,10 +65,19 @@ pub enum ArtifactError {
     BadMagic,
     /// The bytes ended before all sections were read.
     Truncated,
-    /// Bytes remain after the last member section.
+    /// Bytes remain after the last member section (before the checksum).
     TrailingBytes {
         /// Number of unread bytes.
         count: usize,
+    },
+    /// The artifact's CRC-32 does not match its payload: the bytes were
+    /// corrupted since [`save_ensemble`] wrote them. Checked before any
+    /// section is parsed.
+    ChecksumMismatch {
+        /// Checksum stored in the artifact.
+        expected: u32,
+        /// Checksum of the payload as read.
+        actual: u32,
     },
     /// The manifest section is not valid JSON for an
     /// [`EnsembleManifest`].
@@ -106,6 +121,12 @@ impl fmt::Display for ArtifactError {
             ArtifactError::Truncated => write!(f, "ensemble artifact ended early"),
             ArtifactError::TrailingBytes { count } => {
                 write!(f, "{count} trailing bytes after ensemble artifact")
+            }
+            ArtifactError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "ensemble artifact checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                )
             }
             ArtifactError::BadManifest { detail } => write!(f, "bad manifest: {detail}"),
             ArtifactError::BadName { index, detail } => {
@@ -163,6 +184,8 @@ pub fn save_ensemble_refs(members: &[&EnsembleMember], manifest: &EnsembleManife
         out.put_u32_le(section.len() as u32);
         out.put_slice(&section);
     }
+    let checksum = crc32(&out);
+    out.put_u32_le(checksum);
     out
 }
 
@@ -190,16 +213,25 @@ fn take_section<'a>(blob: &mut &'a [u8]) -> Result<&'a [u8], ArtifactError> {
 /// member checkpoint that fails to restore (with its index and
 /// underlying [`WeightsError`]).
 pub fn load_ensemble(
-    mut blob: &[u8],
+    blob: &[u8],
 ) -> Result<(EnsembleManifest, Vec<EnsembleMember>), ArtifactError> {
-    if blob.remaining() < 8 {
+    // Header (8) plus trailing checksum (4) is the smallest valid artifact.
+    if blob.len() < 12 {
         return Err(ArtifactError::Truncated);
     }
-    let mut magic = [0u8; 4];
-    blob.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
+    if &blob[..4] != MAGIC {
         return Err(ArtifactError::BadMagic);
     }
+    // Verify integrity before parsing: most single-bit flips land inside
+    // a member's f32 weight payload, where every section still frames
+    // correctly and the ensemble would restore subtly wrong.
+    let (payload, stored) = blob.split_at(blob.len() - 4);
+    let expected = u32::from_le_bytes(stored.try_into().expect("4-byte checksum"));
+    let actual = crc32(payload);
+    if expected != actual {
+        return Err(ArtifactError::ChecksumMismatch { expected, actual });
+    }
+    let mut blob = &payload[4..];
     let count = blob.get_u32_le() as usize;
     if count == 0 {
         return Err(ArtifactError::EmptyEnsemble);
@@ -261,15 +293,32 @@ pub fn read_ensemble_file(
     path: impl AsRef<Path>,
 ) -> Result<(EnsembleManifest, Vec<EnsembleMember>), ArtifactError> {
     let path = path.as_ref();
-    let bytes = std::fs::read(path).map_err(|e| ArtifactError::Io {
+    let mut bytes = std::fs::read(path).map_err(|e| ArtifactError::Io {
         detail: format!("cannot read {}: {e}", path.display()),
     })?;
+    // Failpoint: Error models an unreadable file, Corrupt models silent
+    // on-disk bit rot — which the checksum must turn into a typed error.
+    match faults::trigger(faults::sites::ARTIFACT_READ) {
+        Some(faults::Injected::Error) => {
+            return Err(ArtifactError::Io {
+                detail: format!("injected fault: {}", faults::sites::ARTIFACT_READ),
+            });
+        }
+        Some(faults::Injected::Corrupt) => {
+            let mid = bytes.len() / 2;
+            if let Some(b) = bytes.get_mut(mid) {
+                *b ^= 0x10;
+            }
+        }
+        None => {}
+    }
     load_ensemble(&bytes)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultAction;
     use mn_nn::arch::{Architecture, InputSpec};
     use mn_nn::Network;
 
@@ -278,6 +327,14 @@ mod tests {
         (0..3u64)
             .map(|s| EnsembleMember::new(format!("m{s}"), Network::seeded(&arch, s)))
             .collect()
+    }
+
+    /// Recomputes the trailing CRC after a deliberate payload edit, so a
+    /// test can reach the structural error *behind* the checksum.
+    fn reseal(bytes: &mut [u8]) {
+        let payload_len = bytes.len() - 4;
+        let fixed = crc32(&bytes[..payload_len]);
+        bytes[payload_len..].copy_from_slice(&fixed.to_le_bytes());
     }
 
     #[test]
@@ -312,25 +369,39 @@ mod tests {
             load_ensemble(b"JUNKJUNKJUNK"),
             Err(ArtifactError::BadMagic)
         ));
+        // Truncation clips the stored checksum, so it reads as corruption.
         assert!(matches!(
             load_ensemble(&bytes[..bytes.len() - 3]),
-            Err(ArtifactError::Truncated)
+            Err(ArtifactError::ChecksumMismatch { .. })
         ));
+        // Naive trailing bytes shift the checksum off its slot: corruption.
         let mut trailing = bytes.clone();
         trailing.extend_from_slice(&[0, 0]);
         assert!(matches!(
             load_ensemble(&trailing),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        // Trailing bytes with a re-sealed checksum: the structural check
+        // still catches the extra payload.
+        let mut padded = bytes.clone();
+        let crc_at = padded.len() - 4;
+        padded.splice(crc_at..crc_at, [0, 0]);
+        reseal(&mut padded);
+        assert!(matches!(
+            load_ensemble(&padded),
             Err(ArtifactError::TrailingBytes { count: 2 })
         ));
         let mut empty = bytes.clone();
         empty[4..8].copy_from_slice(&0u32.to_le_bytes());
+        reseal(&mut empty);
         assert!(matches!(
             load_ensemble(&empty),
             Err(ArtifactError::EmptyEnsemble)
         ));
-        // Smash the manifest JSON.
+        // Smash the manifest JSON (re-sealed, else the checksum fires first).
         let mut bad_manifest = bytes.clone();
         bad_manifest[12] = b'!';
+        reseal(&mut bad_manifest);
         assert!(matches!(
             load_ensemble(&bad_manifest),
             Err(ArtifactError::BadManifest { .. })
@@ -340,33 +411,70 @@ mod tests {
     #[test]
     fn member_restore_failures_carry_index_and_source() {
         let bytes = save_ensemble(&members(), &EnsembleManifest::default());
-        // Corrupt the very last byte: member 2's weight payload.
-        let mut corrupt = bytes.clone();
-        let last = corrupt.len() - 1;
-        corrupt.truncate(last);
-        // Shrinking the file truncates the final section.
-        assert!(matches!(
-            load_ensemble(&corrupt),
-            Err(ArtifactError::Truncated)
-        ));
-        // Keep the length but break the member's inner MNW1 magic.
+        // Flip a byte inside the last member's weight payload but re-seal
+        // the *outer* checksum: the artifact frames correctly, the outer
+        // CRC passes, and the member's own MNW1 checksum reports the
+        // corruption with its index.
         let mut bad_member = bytes.clone();
-        // Find the first member section: after magic(4) + count(4) +
-        // manifest frame, then name frame; easier to corrupt from the end:
-        // flip a byte well inside the last member's weight data.
-        bad_member[last] ^= 0xFF;
+        let inside_member = bad_member.len() - 12; // inside member 2's MNW1 tail
+        bad_member[inside_member] ^= 0xFF;
+        reseal(&mut bad_member);
         match load_ensemble(&bad_member) {
-            Ok((_, got)) => {
-                // Flipping a float byte still parses; it must land in the
-                // last member's weights.
-                let orig = members();
-                assert_ne!(
-                    mn_nn::io::save_weights(&orig[2].network),
-                    mn_nn::io::save_weights(&got[2].network)
+            Err(ArtifactError::Member { index, source }) => {
+                assert_eq!(index, 2);
+                assert!(
+                    matches!(source, WeightsError::ChecksumMismatch { .. }),
+                    "expected inner checksum failure, got {source:?}"
                 );
             }
-            Err(e) => panic!("byte flip inside f32 payload should still parse, got {e}"),
+            other => panic!("expected Member error for index 2, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn checksum_detects_artifact_bit_flip() {
+        let bytes = save_ensemble(&members(), &EnsembleManifest::default());
+        // A single-bit flip anywhere in the payload — here inside an f32
+        // weight, where every section still frames correctly — must fail
+        // loudly instead of cold-starting a subtly wrong ensemble.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        match load_ensemble(&flipped) {
+            Err(ArtifactError::ChecksumMismatch { expected, actual }) => {
+                assert_ne!(expected, actual);
+                assert_eq!(expected, crc32(&bytes[..bytes.len() - 4]));
+            }
+            other => panic!("expected ChecksumMismatch, got {other:?}"),
+        }
+        // The clean bytes still restore.
+        load_ensemble(&bytes).unwrap();
+    }
+
+    #[test]
+    fn artifact_read_failpoint_injects_io_error_and_corruption() {
+        let dir = std::env::temp_dir().join("mn-artifact-fault-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faulty.mne1");
+        write_ensemble_file(&path, &members(), &EnsembleManifest::default()).unwrap();
+
+        let scope = faults::scope();
+        scope.enable_times(faults::sites::ARTIFACT_READ, FaultAction::Error, 1);
+        assert!(matches!(
+            read_ensemble_file(&path),
+            Err(ArtifactError::Io { .. })
+        ));
+        // One-shot: the next read is clean.
+        read_ensemble_file(&path).unwrap();
+
+        scope.enable_times(faults::sites::ARTIFACT_READ, FaultAction::Corrupt, 1);
+        assert!(matches!(
+            read_ensemble_file(&path),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
+        assert_eq!(faults::fired(faults::sites::ARTIFACT_READ), 2);
+        drop(scope);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -870,6 +870,19 @@ impl EngineSession {
         }
     }
 
+    /// [`EngineSession::predict_scored`] under a one-batch policy
+    /// override: the session's own policy is restored afterwards, so a
+    /// server shard can degrade a single micro-batch (e.g. force
+    /// gate-only cascade execution during a brownout) without disturbing
+    /// its steady-state configuration.
+    pub fn predict_scored_with(&mut self, x: &Tensor, policy: ExecPolicy) -> ScoredPredictions {
+        let saved = self.policy;
+        self.policy = policy;
+        let scored = self.predict_scored(x);
+        self.policy = saved;
+        scored
+    }
+
     /// Uncertainty-gated cascade execution (see [`Plan::Cascade`]).
     ///
     /// **Gate pass:** member 0 scores the whole batch. When the plan

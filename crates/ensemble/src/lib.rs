@@ -63,6 +63,7 @@ pub mod combine;
 pub mod diversity;
 pub mod engine;
 pub mod evaluate;
+pub mod faults;
 pub mod member;
 pub mod serve;
 pub mod super_learner;
@@ -73,8 +74,10 @@ pub use engine::{
     EngineSession, ExecPolicy, InferenceEngine, Plan, ScoredPredictions,
 };
 pub use evaluate::{evaluate_members, evaluate_predictions, EnsembleEvaluation};
+pub use faults::FaultAction;
 pub use member::{EnsembleMember, MemberPredictions};
 pub use serve::{
-    BatchingConfig, Prediction, ServeError, Server, ServerBuilder, ServerReport, ServerStats,
+    BatchingConfig, BrownoutConfig, Prediction, ServeError, Server, ServerBuilder, ServerReport,
+    ServerStats,
 };
 pub use super_learner::{SuperLearner, SuperLearnerConfig};

@@ -5,7 +5,7 @@
 
 use mn_ensemble::{artifact, ArtifactError, EnsembleManifest, EnsembleMember};
 use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec, ResBlockSpec};
-use mn_nn::io::{load_network, load_weights, save_network, save_weights, WeightsError};
+use mn_nn::io::{crc32, load_network, load_weights, save_network, save_weights, WeightsError};
 use mn_nn::{Mode, Network};
 use mn_tensor::Tensor;
 use proptest::prelude::*;
@@ -28,6 +28,15 @@ fn arch_from(family: usize, width: usize, depth: usize) -> Architecture {
         ),
         _ => Architecture::residual("r", input, 4, vec![ResBlockSpec::new(depth, width, 3)]),
     }
+}
+
+/// Recomputes a blob's trailing CRC-32 after a deliberate payload edit,
+/// so corruption tests can reach the structural error *behind* the
+/// checksum (which otherwise fires first on any byte change).
+fn reseal(bytes: &mut [u8]) {
+    let payload_len = bytes.len() - 4;
+    let fixed = crc32(&bytes[..payload_len]);
+    bytes[payload_len..].copy_from_slice(&fixed.to_le_bytes());
 }
 
 /// A network with perturbed batch-norm running statistics, so checkpoints
@@ -77,7 +86,9 @@ proptest! {
     }
 
     /// MNW1: truncating the blob at any byte inside the payload fails
-    /// loudly with Truncated (or BadMagic for cuts inside the magic).
+    /// loudly with a typed error — Truncated below the minimum size,
+    /// BadMagic for cuts inside the magic, otherwise ChecksumMismatch
+    /// (the cut clips the trailing CRC).
     #[test]
     fn mnw1_truncation_always_detected(
         cut_fraction in 0.0f64..1.0,
@@ -90,8 +101,38 @@ proptest! {
         let mut net = Network::seeded(&arch, seed);
         let err = load_weights(&mut net, &blob[..cut]).unwrap_err();
         prop_assert!(
-            matches!(err, WeightsError::Truncated | WeightsError::BadMagic),
+            matches!(
+                err,
+                WeightsError::Truncated
+                    | WeightsError::BadMagic
+                    | WeightsError::ChecksumMismatch { .. }
+            ),
             "cut at {} gave {:?}", cut, err
+        );
+    }
+
+    /// MNW1: flipping any single bit in the payload is detected by the
+    /// checksum — including flips inside f32 weight data, where the blob
+    /// still parses structurally.
+    #[test]
+    fn mnw1_any_bit_flip_detected(
+        byte_fraction in 0.0f64..1.0,
+        bit in 0u8..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let arch = arch_from(0, 2, 1);
+        let original = perturbed_network(&arch, seed);
+        let mut blob = save_weights(&original);
+        let at = ((blob.len() - 1) as f64 * byte_fraction) as usize;
+        blob[at] ^= 1 << bit;
+        let mut net = Network::seeded(&arch, seed);
+        let err = load_weights(&mut net, &blob).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                WeightsError::ChecksumMismatch { .. } | WeightsError::BadMagic
+            ),
+            "flip at byte {} bit {} gave {:?}", at, bit, err
         );
     }
 
@@ -145,6 +186,7 @@ proptest! {
                 err,
                 ArtifactError::Truncated
                     | ArtifactError::BadMagic
+                    | ArtifactError::ChecksumMismatch { .. }
                     | ArtifactError::Member { .. }
             ),
             "cut at {} gave {:?}", cut, err
@@ -164,15 +206,30 @@ fn mnw1_explicit_error_cases() {
 
     // Truncated: empty and short inputs.
     assert_eq!(load_weights(&mut net, b""), Err(WeightsError::Truncated));
-    let blob = save_weights(&net);
-    assert_eq!(
-        load_weights(&mut net, &blob[..blob.len() - 1]),
-        Err(WeightsError::Truncated)
-    );
 
-    // TrailingBytes: count preserved in the error.
+    // ChecksumMismatch: a one-byte cut clips the trailing CRC.
+    let blob = save_weights(&net);
+    assert!(matches!(
+        load_weights(&mut net, &blob[..blob.len() - 1]),
+        Err(WeightsError::ChecksumMismatch { .. })
+    ));
+
+    // ChecksumMismatch: a bit flip inside an f32 weight — structurally
+    // the blob still parses, only the checksum can catch it.
     let mut blob = save_weights(&net);
-    blob.extend_from_slice(&[1, 2, 3]);
+    let mid = blob.len() / 2;
+    blob[mid] ^= 0x04;
+    assert!(matches!(
+        load_weights(&mut net, &blob),
+        Err(WeightsError::ChecksumMismatch { .. })
+    ));
+
+    // TrailingBytes: count preserved in the error (checksum re-sealed so
+    // the structural check is what fires).
+    let mut blob = save_weights(&net);
+    let crc_at = blob.len() - 4;
+    blob.splice(crc_at..crc_at, [1, 2, 3]);
+    reseal(&mut blob);
     assert_eq!(
         load_weights(&mut net, &blob),
         Err(WeightsError::TrailingBytes { count: 3 })
@@ -187,9 +244,10 @@ fn mnw1_explicit_error_cases() {
         Err(WeightsError::ShapeMismatch { .. })
     ));
 
-    // ShapeMismatch: tensor-count field corrupted.
+    // ShapeMismatch: tensor-count field corrupted (and re-sealed).
     let mut blob = save_weights(&net);
     blob[4] = blob[4].wrapping_add(1);
+    reseal(&mut blob);
     assert!(matches!(
         load_weights(&mut net, &blob),
         Err(WeightsError::ShapeMismatch { .. })
@@ -215,26 +273,40 @@ fn mne1_explicit_error_cases() {
         Err(ArtifactError::BadMagic)
     ));
 
-    // EmptyEnsemble: member count forced to zero.
+    // ChecksumMismatch: any in-place byte change without re-sealing the
+    // trailing CRC reads as corruption — this is the integrity tentpole.
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x01;
+    assert!(matches!(
+        artifact::load_ensemble(&flipped),
+        Err(ArtifactError::ChecksumMismatch { .. })
+    ));
+
+    // EmptyEnsemble: member count forced to zero (re-sealed).
     let mut empty = bytes.clone();
     empty[4..8].copy_from_slice(&0u32.to_le_bytes());
+    reseal(&mut empty);
     assert!(matches!(
         artifact::load_ensemble(&empty),
         Err(ArtifactError::EmptyEnsemble)
     ));
 
-    // TrailingBytes.
+    // TrailingBytes: extra payload byte ahead of a re-sealed checksum.
     let mut trailing = bytes.clone();
-    trailing.push(0xFF);
+    let crc_at = trailing.len() - 4;
+    trailing.insert(crc_at, 0xFF);
+    reseal(&mut trailing);
     assert!(matches!(
         artifact::load_ensemble(&trailing),
         Err(ArtifactError::TrailingBytes { count: 1 })
     ));
 
-    // BadManifest: manifest JSON corrupted in place.
+    // BadManifest: manifest JSON corrupted in place (re-sealed).
     let mut bad_manifest = bytes.clone();
     bad_manifest[12] = b'{';
     bad_manifest[13] = b'{';
+    reseal(&mut bad_manifest);
     assert!(matches!(
         artifact::load_ensemble(&bad_manifest),
         Err(ArtifactError::BadManifest { .. })
@@ -247,6 +319,7 @@ fn mne1_explicit_error_cases() {
     let name_pos = 12 + manifest_len + 4;
     let mut bad_name = bytes.clone();
     bad_name[name_pos] = 0xFF;
+    reseal(&mut bad_name);
     match artifact::load_ensemble(&bad_name) {
         Err(ArtifactError::BadName { index, .. }) => assert_eq!(index, 0),
         other => panic!("expected BadName error, got {other:?}"),
@@ -260,6 +333,7 @@ fn mne1_explicit_error_cases() {
         .rposition(|w| w == b"MNW1")
         .expect("member section contains a weight blob");
     bad_member[inner_magic..inner_magic + 4].copy_from_slice(b"XXXX");
+    reseal(&mut bad_member);
     match artifact::load_ensemble(&bad_member) {
         Err(ArtifactError::Member { index, source }) => {
             assert_eq!(index, 0);

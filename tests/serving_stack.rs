@@ -319,6 +319,27 @@ fn multi_shard_server_over_shared_plan_is_bitwise_exact() {
             report.per_shard.iter().map(|s| s.requests).sum::<u64>(),
             n as u64
         );
+        // The aggregate is exactly the per-shard sums — including the
+        // fault-handling counters, which a healthy run leaves at zero.
+        assert_eq!(
+            report.aggregate.deadline_expired,
+            report
+                .per_shard
+                .iter()
+                .map(|s| s.deadline_expired)
+                .sum::<u64>()
+        );
+        assert_eq!(
+            report.aggregate.degraded,
+            report.per_shard.iter().map(|s| s.degraded).sum::<u64>()
+        );
+        assert_eq!(report.aggregate.deadline_expired, 0);
+        assert_eq!(report.aggregate.degraded, 0);
+        assert_eq!(
+            report.worker_panics, 0,
+            "healthy run must not record panics"
+        );
+        assert_eq!(report.restarts, 0, "healthy run must not record restarts");
     }
     // The servers consumed only sessions: the plan (and its weights) is
     // still uniquely reachable from here, never cloned per shard.
