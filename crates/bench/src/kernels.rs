@@ -8,6 +8,11 @@
 //!   256×256×256 product;
 //! * **conv layer** — im2col + blocked GEMM vs the direct (pre-PR)
 //!   kernel on a representative VGG-style layer shape;
+//! * **SIMD dispatch** — the same blocked GEMM with the micro-kernel
+//!   dispatched to the explicit-AVX2 backend vs pinned to the portable
+//!   scalar backend (skipped on CPUs without AVX2+FMA). The
+//!   [`KernelBenchResult::compiled_avx2`] flag records whether the build
+//!   itself targeted AVX2, which decides where CI gates the speedup;
 //! * **ensemble inference** — the batched parallel
 //!   [`mn_ensemble::InferenceEngine`] vs the naive path — members run
 //!   one-by-one on a single thread with the pre-PR direct convolution
@@ -46,6 +51,16 @@ pub struct KernelComparison {
 pub struct KernelBenchResult {
     /// Worker threads available to the parallel paths.
     pub threads: usize,
+    /// Whether the *build* already compiles AVX2 into the scalar path
+    /// (`target-cpu=native` on an AVX2+ host). CI gates the explicit-SIMD
+    /// speedup only when this is `false`: on native builds the
+    /// autovectorized scalar path is itself AVX2/AVX-512 code, so the
+    /// explicit kernel's win shows on *portable* builds (the artifact
+    /// every non-native deployment actually runs).
+    pub compiled_avx2: bool,
+    /// The kernel backend runtime dispatch selected for this run
+    /// (`"scalar"` or `"avx2"`, after `MN_SIMD` and auto-detection).
+    pub simd_backend: String,
     /// All comparisons, in measurement order.
     pub comparisons: Vec<KernelComparison>,
 }
@@ -164,6 +179,27 @@ pub fn run(reps: usize) -> KernelBenchResult {
         },
     ));
 
+    // --- explicit-SIMD GEMM dispatch: scalar backend vs AVX2 backend ---
+    // Skipped (not a zero-row lie) when the CPU lacks AVX2+FMA. Both
+    // sides run the *blocked* kernel; only the micro-kernel dispatch
+    // differs, so this isolates exactly what the runtime backend buys.
+    if mn_tensor::simd::avx2_available() {
+        comparisons.push(compare(
+            "gemm_simd_dispatch_256",
+            reps,
+            || {
+                mn_tensor::simd::with_backend(mn_tensor::simd::Backend::Scalar, || {
+                    std::hint::black_box(ops::matmul(&a, &b));
+                });
+            },
+            || {
+                mn_tensor::simd::with_backend(mn_tensor::simd::Backend::Avx2, || {
+                    std::hint::black_box(ops::matmul(&a, &b));
+                });
+            },
+        ));
+    }
+
     // --- 8-member ensemble inference over a 64-example request batch ---
     let x = Tensor::randn([64, 3, 8, 8], 1.0, &mut rng);
     let single_thread = rayon::ThreadPoolBuilder::new()
@@ -193,6 +229,8 @@ pub fn run(reps: usize) -> KernelBenchResult {
 
     KernelBenchResult {
         threads: rayon::current_num_threads(),
+        compiled_avx2: cfg!(target_feature = "avx2"),
+        simd_backend: mn_tensor::simd::active().label().to_string(),
         comparisons,
     }
 }
@@ -205,6 +243,8 @@ mod tests {
     fn report_roundtrips_and_renders() {
         let result = KernelBenchResult {
             threads: 2,
+            compiled_avx2: false,
+            simd_backend: "scalar".into(),
             comparisons: vec![KernelComparison {
                 name: "matmul_256".into(),
                 baseline_ms: 2.0,
@@ -223,7 +263,13 @@ mod tests {
     fn smoke_run_produces_positive_timings() {
         // One rep keeps this cheap; the real numbers come from the bin.
         let result = run(1);
-        assert_eq!(result.comparisons.len(), 3);
+        let expected = if mn_tensor::simd::avx2_available() {
+            4
+        } else {
+            3
+        };
+        assert_eq!(result.comparisons.len(), expected);
+        assert!(result.simd_backend == "scalar" || result.simd_backend == "avx2");
         for c in &result.comparisons {
             assert!(c.baseline_ms > 0.0 && c.optimized_ms > 0.0, "{c:?}");
             assert!(c.speedup.is_finite());

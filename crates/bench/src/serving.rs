@@ -35,6 +35,12 @@
 //!    supervisor respawns the shard. The CI gate holds post-kill goodput
 //!    at ≥ 0.9x pre-kill.
 //!
+//! 7. **quantized artifacts** — the plan is saved under every
+//!    `WeightEncoding` (`f32`/`f16`/`i8`); the scenario records artifact
+//!    bytes, the resident `f32` weight footprint after load, and the
+//!    served-probability drift each encoding costs, asserting the `i8`
+//!    artifact is ≤ 0.30x the full-precision bytes.
+//!
 //! Run via `cargo run --release -p mn-bench --bin serving` — prints the
 //! tables and saves `results/serving.json`.
 
@@ -45,7 +51,7 @@ use mn_ensemble::engine::{
 };
 use mn_ensemble::faults::{self, FaultAction};
 use mn_ensemble::serve::{BatchingConfig, ServeError, Server};
-use mn_ensemble::{EnsembleManifest, EnsembleMember};
+use mn_ensemble::{EnsembleManifest, EnsembleMember, WeightEncoding};
 use mn_nn::arch::{Architecture, ConvBlockSpec, InputSpec};
 use mn_nn::{LayerNode, Network};
 use mn_tensor::Tensor;
@@ -159,6 +165,32 @@ pub struct WorkerKillResult {
     pub restarts: u64,
 }
 
+/// The quantized-artifact scenario: deployment footprint per
+/// [`mn_ensemble::WeightEncoding`] plus the served-probability drift each
+/// encoding costs, measured on the bench ensemble.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QuantizationResult {
+    /// Full-precision (`MNW1`-sectioned) artifact bytes.
+    pub f32_artifact_bytes: u64,
+    /// `f16`-encoded artifact bytes.
+    pub f16_artifact_bytes: u64,
+    /// `i8`-encoded artifact bytes.
+    pub i8_artifact_bytes: u64,
+    /// `f16_artifact_bytes / f32_artifact_bytes` (≈ 0.5).
+    pub f16_ratio: f64,
+    /// `i8_artifact_bytes / f32_artifact_bytes` — the CI gate holds this
+    /// ≤ 0.30.
+    pub i8_ratio: f64,
+    /// Resident `f32` weight bytes once loaded ([`EnginePlan::param_bytes`])
+    /// — identical for every encoding, since artifacts dequantize on load.
+    pub resident_param_bytes: u64,
+    /// Max absolute served-probability drift of the f16-loaded plan vs
+    /// the f32-loaded plan on the probe batch.
+    pub f16_prob_drift: f64,
+    /// Same for the i8-loaded plan.
+    pub i8_prob_drift: f64,
+}
+
 /// Cold-start timings (medians over repetitions).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ColdStartTimings {
@@ -218,6 +250,8 @@ pub struct ServingBenchResult {
     pub cascade: CascadeServingResult,
     /// Goodput across an injected worker panic and supervised respawn.
     pub worker_kill: WorkerKillResult,
+    /// Quantized-artifact footprint and served-probability drift.
+    pub quantization: QuantizationResult,
 }
 
 impl ServingBenchResult {
@@ -360,6 +394,37 @@ impl ServingBenchResult {
                 vec![
                     "panics/restarts".to_string(),
                     format!("{}/{}", w.worker_panics, w.restarts),
+                ],
+            ],
+        ));
+        let q = &self.quantization;
+        out.push('\n');
+        out.push_str(&render_table(
+            &["quantized artifact", "bytes", "ratio", "prob drift"],
+            &[
+                vec![
+                    "f32".to_string(),
+                    format!("{}", q.f32_artifact_bytes),
+                    "1.00x".to_string(),
+                    "0".to_string(),
+                ],
+                vec![
+                    "f16".to_string(),
+                    format!("{}", q.f16_artifact_bytes),
+                    format!("{:.2}x", q.f16_ratio),
+                    format!("{:.2e}", q.f16_prob_drift),
+                ],
+                vec![
+                    "i8".to_string(),
+                    format!("{}", q.i8_artifact_bytes),
+                    format!("{:.2}x", q.i8_ratio),
+                    format!("{:.2e}", q.i8_prob_drift),
+                ],
+                vec![
+                    "resident f32".to_string(),
+                    format!("{}", q.resident_param_bytes),
+                    "-".to_string(),
+                    "-".to_string(),
                 ],
             ],
         ));
@@ -819,6 +884,57 @@ fn measure_worker_kill(
     }
 }
 
+/// The quantization scenario: saves the plan under every
+/// [`WeightEncoding`], records artifact bytes and resident weight
+/// footprint, then boots each quantized artifact and measures the
+/// served-probability drift against the full-precision plan.
+///
+/// # Panics
+///
+/// Panics when the `i8` artifact exceeds 0.30x the `f32` bytes or a
+/// quantized artifact fails to boot/serve — footprint and loadability
+/// are the contract, not noise.
+fn measure_quantization(
+    plan: &std::sync::Arc<EnginePlan>,
+    f32_bytes: &[u8],
+    probe: &Tensor,
+) -> QuantizationResult {
+    let manifest = EnsembleManifest::default();
+    let f16_bytes = plan
+        .to_artifact_bytes_quantized(&manifest, WeightEncoding::F16)
+        .expect("bench weights are finite");
+    let i8_bytes = plan
+        .to_artifact_bytes_quantized(&manifest, WeightEncoding::I8)
+        .expect("bench weights are finite");
+    let f16_ratio = f16_bytes.len() as f64 / f32_bytes.len() as f64;
+    let i8_ratio = i8_bytes.len() as f64 / f32_bytes.len() as f64;
+    assert!(
+        i8_ratio <= 0.30,
+        "i8 artifact is {i8_ratio:.3}x the f32 bytes (contract: <= 0.30x)"
+    );
+    let reference = plan.session().predict_average(probe);
+    let drift = |bytes: &[u8]| -> f64 {
+        let served = EnginePlan::from_artifact_bytes(bytes, 32)
+            .expect("quantized artifact boots")
+            .into_shared()
+            .session()
+            .predict_average(probe);
+        mn_tensor::max_abs_diff(reference.data(), served.data()) as f64
+    };
+    let f16_prob_drift = drift(&f16_bytes);
+    let i8_prob_drift = drift(&i8_bytes);
+    QuantizationResult {
+        f32_artifact_bytes: f32_bytes.len() as u64,
+        f16_artifact_bytes: f16_bytes.len() as u64,
+        i8_artifact_bytes: i8_bytes.len() as u64,
+        f16_ratio,
+        i8_ratio,
+        resident_param_bytes: plan.param_bytes() as u64,
+        f16_prob_drift,
+        i8_prob_drift,
+    }
+}
+
 /// Runs the save → load → serve smoke plus all measurements.
 ///
 /// # Panics
@@ -914,6 +1030,9 @@ pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
     // --- worker kill: goodput across a supervised panic + respawn ---
     let worker_kill = measure_worker_kill(&loaded_plan, clients, per_client);
 
+    // --- quantized artifacts: footprint + served-probability drift ---
+    let quantization = measure_quantization(&loaded_plan, &bytes, &probe);
+
     ServingBenchResult {
         threads,
         members: num_members,
@@ -931,6 +1050,7 @@ pub fn run(requests: usize, clients: usize, reps: usize) -> ServingBenchResult {
         trunk_sharing,
         cascade,
         worker_kill,
+        quantization,
     }
 }
 
@@ -998,6 +1118,16 @@ mod tests {
                 worker_panics: 1,
                 restarts: 1,
             },
+            quantization: QuantizationResult {
+                f32_artifact_bytes: 1000,
+                f16_artifact_bytes: 510,
+                i8_artifact_bytes: 265,
+                f16_ratio: 0.51,
+                i8_ratio: 0.265,
+                resident_param_bytes: 980,
+                f16_prob_drift: 1.2e-4,
+                i8_prob_drift: 3.4e-3,
+            },
         };
         let json = serde_json::to_string(&result).unwrap();
         let back: ServingBenchResult = serde_json::from_str(&json).unwrap();
@@ -1018,6 +1148,9 @@ mod tests {
         assert!(table.contains("worker kill"));
         assert!(table.contains("recovery ratio"));
         assert!((back.worker_kill.recovery_ratio - 0.95).abs() < 1e-9);
+        assert!(table.contains("quantized artifact"));
+        assert!(table.contains("resident f32"));
+        assert!((back.quantization.i8_ratio - 0.265).abs() < 1e-9);
     }
 
     #[test]
@@ -1079,5 +1212,15 @@ mod tests {
         assert_eq!(w.restarts, 1);
         assert!(w.pre_kill_rps > 0.0 && w.post_kill_rps > 0.0);
         assert!(w.recovery_ms >= 0.0);
+        // The quantization scenario hit its footprint contract (the
+        // i8 ≤ 0.30x assert lives inside the measurement) and served
+        // within sane drift of full precision.
+        let q = &result.quantization;
+        assert!(q.f16_ratio > 0.4 && q.f16_ratio <= 0.55, "{q:?}");
+        assert!(q.i8_ratio > 0.2 && q.i8_ratio <= 0.30, "{q:?}");
+        assert!(q.resident_param_bytes > 0);
+        assert!(q.f16_prob_drift > 0.0 && q.f16_prob_drift < 0.05, "{q:?}");
+        assert!(q.i8_prob_drift > 0.0 && q.i8_prob_drift < 0.25, "{q:?}");
+        assert!(q.f16_prob_drift <= q.i8_prob_drift, "{q:?}");
     }
 }

@@ -629,6 +629,44 @@ impl TrainedEnsemble {
         mn_ensemble::artifact::write_ensemble_file(path, &self.members, &self.manifest())
     }
 
+    /// [`TrainedEnsemble::to_artifact_bytes`] with member weights stored
+    /// under `encoding` (`f16` ≈ 0.5x, `i8` ≈ 0.25x the full-precision
+    /// artifact bytes). Loading dequantizes into `f32` members, so the
+    /// engine and serving stack run unchanged; predictions drift by at
+    /// most the encoding's quantization error (pinned by the
+    /// `quantized_artifacts` integration suite).
+    ///
+    /// # Errors
+    ///
+    /// Any `save_ensemble_quantized` error (a member holding NaN/±Inf
+    /// weights).
+    pub fn to_artifact_bytes_quantized(
+        &self,
+        encoding: mn_ensemble::WeightEncoding,
+    ) -> Result<Vec<u8>, ArtifactError> {
+        mn_ensemble::artifact::save_ensemble_quantized(&self.members, &self.manifest(), encoding)
+    }
+
+    /// [`TrainedEnsemble::save`] with quantized member weights — the
+    /// small-footprint deployment hand-off.
+    ///
+    /// # Errors
+    ///
+    /// [`mn_ensemble::ArtifactError::Io`] when the file cannot be
+    /// written, else any `save_ensemble_quantized` error.
+    pub fn save_quantized(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        encoding: mn_ensemble::WeightEncoding,
+    ) -> Result<(), ArtifactError> {
+        mn_ensemble::artifact::write_ensemble_file_quantized(
+            path,
+            &self.members,
+            &self.manifest(),
+            encoding,
+        )
+    }
+
     /// The in-process hand-off from training to serving: builds a shared
     /// [`EnginePlan`] over clones of the trained members. Wrap it
     /// (`.into_shared()`) and open one `EngineSession` per serving worker

@@ -1,0 +1,140 @@
+//! End-to-end lockdown of the quantized serving hand-off: a trained
+//! ensemble saved under each [`WeightEncoding`] must (a) shrink the
+//! artifact by the documented ratio, (b) cold-start an [`EnginePlan`]
+//! through the unchanged load path, and (c) serve predictions within a
+//! pinned drift of the full-precision artifact — with `f32` remaining
+//! bitwise exact.
+
+use mn_data::presets::{cifar10_sim, Scale};
+use mn_ensemble::engine::EnginePlan;
+use mn_ensemble::WeightEncoding;
+use mn_nn::arch::{Architecture, InputSpec};
+use mn_nn::train::TrainConfig;
+use mothernets::training::{train_ensemble, EnsembleTrainConfig, Strategy};
+use mothernets::TrainedEnsemble;
+
+fn trained() -> TrainedEnsemble {
+    let input = InputSpec::new(3, 8, 8);
+    let archs = vec![
+        Architecture::mlp("small", input, 10, vec![12]),
+        Architecture::mlp("large", input, 10, vec![16]),
+    ];
+    let cfg = EnsembleTrainConfig {
+        train: TrainConfig {
+            max_epochs: 1,
+            batch_size: 32,
+            ..TrainConfig::default()
+        },
+        val_fraction: 0.2,
+        seed: 7,
+        parallel: false,
+    };
+    let task = cifar10_sim(Scale::Tiny, 9);
+    train_ensemble(&archs, &task.train, &Strategy::FullData, &cfg).unwrap()
+}
+
+/// Pinned end-to-end drift tolerances, derived from the per-encoding
+/// round-trip bounds in `mn-tensor`'s `quant_props` suite amplified
+/// through two small MLP layers. If these move, quantization regressed.
+const F16_SERVE_DRIFT: f32 = 2e-3;
+const I8_SERVE_DRIFT: f32 = 5e-2;
+
+#[test]
+fn quantized_artifacts_shrink_and_serve_within_drift() {
+    let trained = trained();
+    let f32_bytes = trained.to_artifact_bytes();
+    let f16_bytes = trained
+        .to_artifact_bytes_quantized(WeightEncoding::F16)
+        .unwrap();
+    let i8_bytes = trained
+        .to_artifact_bytes_quantized(WeightEncoding::I8)
+        .unwrap();
+
+    // (a) Size: the ISSUE-pinned deployment ratios.
+    let f16_ratio = f16_bytes.len() as f64 / f32_bytes.len() as f64;
+    let i8_ratio = i8_bytes.len() as f64 / f32_bytes.len() as f64;
+    assert!(f16_ratio <= 0.55, "f16 artifact ratio {f16_ratio:.3}");
+    assert!(i8_ratio <= 0.30, "i8 artifact ratio {i8_ratio:.3}");
+
+    // The f32 "quantized" artifact is byte-identical to the legacy one.
+    assert_eq!(
+        trained
+            .to_artifact_bytes_quantized(WeightEncoding::F32)
+            .unwrap(),
+        f32_bytes
+    );
+
+    // (b)+(c) Cold-start each artifact and compare served probabilities
+    // on a held-out batch.
+    let task = cifar10_sim(Scale::Tiny, 10);
+    let x = task.test.images();
+    let reference = EnginePlan::from_artifact_bytes(&f32_bytes, 16)
+        .unwrap()
+        .into_shared()
+        .session()
+        .predict_average(x);
+    for (bytes, tol, label) in [
+        (&f16_bytes, F16_SERVE_DRIFT, "f16"),
+        (&i8_bytes, I8_SERVE_DRIFT, "i8"),
+    ] {
+        let served = EnginePlan::from_artifact_bytes(bytes, 16)
+            .unwrap()
+            .into_shared()
+            .session()
+            .predict_average(x);
+        let drift = mn_tensor::max_abs_diff(reference.data(), served.data());
+        assert!(
+            drift <= tol,
+            "{label} served probabilities drift {drift} > {tol}"
+        );
+        assert!(drift > 0.0, "{label} artifact is suspiciously lossless");
+    }
+}
+
+#[test]
+fn quantized_artifact_file_round_trips_through_engine_load() {
+    let trained = trained();
+    let dir = std::env::temp_dir().join(format!("mn_quant_artifact_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ensemble_i8.mne");
+    trained.save_quantized(&path, WeightEncoding::I8).unwrap();
+
+    let plan = EnginePlan::load(&path, 16).unwrap();
+    assert_eq!(plan.members().len(), trained.members.len());
+    // Resident weights stay f32 regardless of the artifact encoding.
+    let mut elements = 0usize;
+    for m in &trained.members {
+        for node in m.network.nodes() {
+            node.visit_state(&mut |t| elements += t.len());
+        }
+    }
+    assert_eq!(plan.param_bytes(), elements * 4);
+    // The i8 file on disk is at most 0.30x the f32 artifact.
+    let disk = std::fs::metadata(&path).unwrap().len() as f64;
+    let full = trained.to_artifact_bytes().len() as f64;
+    assert!(disk / full <= 0.30, "i8 file ratio {:.3}", disk / full);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn quantized_save_rejects_poisoned_member() {
+    let mut trained = trained();
+    let mut poisoned = false;
+    'outer: for node in trained.members[0].network.nodes_mut() {
+        for t in node.state_mut() {
+            if !t.is_empty() {
+                t.data_mut()[0] = f32::INFINITY;
+                poisoned = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(poisoned, "no stateful tensor found to poison");
+    let err = trained
+        .to_artifact_bytes_quantized(WeightEncoding::F16)
+        .unwrap_err();
+    assert!(
+        matches!(err, mn_ensemble::ArtifactError::Member { index: 0, .. }),
+        "unexpected error: {err:?}"
+    );
+}

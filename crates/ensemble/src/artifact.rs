@@ -9,8 +9,11 @@
 //!   (combine-rule and training-strategy metadata);
 //! * per member: `u32` name length + the member name (UTF-8), then
 //!   `u32` section length + a network checkpoint
-//!   ([`mn_nn::io::save_network`]: architecture JSON + `MNW1` weight
-//!   blob);
+//!   ([`mn_nn::io::save_network`]: architecture JSON + a weight blob —
+//!   full-precision `MNW1`, or quantized `MNQ1` when the artifact was
+//!   written through [`save_ensemble_quantized`] with a `f16`/`i8`
+//!   [`WeightEncoding`]; the member sections are self-describing, so
+//!   loading needs no out-of-band encoding knowledge);
 //! * a closing `u32` CRC-32 (IEEE, [`mn_nn::io::crc32`]) over every
 //!   preceding byte, verified before any section is parsed — a
 //!   bit-flipped artifact fails loudly with
@@ -30,7 +33,7 @@ use std::path::Path;
 use bytes::{Buf, BufMut};
 use serde::{Deserialize, Serialize};
 
-use mn_nn::io::{crc32, load_network, save_network, WeightsError};
+use mn_nn::io::{crc32, load_network, save_network_quantized, WeightEncoding, WeightsError};
 
 use crate::engine::EngineError;
 use crate::faults;
@@ -168,17 +171,52 @@ pub fn save_ensemble(members: &[EnsembleMember], manifest: &EnsembleManifest) ->
     save_ensemble_refs(&refs, manifest)
 }
 
+/// [`save_ensemble`] with member weights stored under `encoding`
+/// (`f16` ≈ 0.5x, `i8` ≈ 0.25x the full-precision artifact bytes). The
+/// container layout is unchanged — each member section is a
+/// self-describing checkpoint, so [`load_ensemble`] restores either
+/// variant transparently, dequantizing into `f32` networks.
+///
+/// # Errors
+///
+/// [`ArtifactError::Member`] wrapping [`WeightsError::NonFinite`] when
+/// a member holds NaN or ±Inf weights (low-precision encodings cannot
+/// represent them; see [`mn_nn::io::save_weights_quantized`]).
+pub fn save_ensemble_quantized(
+    members: &[EnsembleMember],
+    manifest: &EnsembleManifest,
+    encoding: WeightEncoding,
+) -> Result<Vec<u8>, ArtifactError> {
+    let refs: Vec<&EnsembleMember> = members.iter().collect();
+    save_ensemble_refs_quantized(&refs, manifest, encoding)
+}
+
 /// [`save_ensemble`] over borrowed members — the engine serializes its
 /// slots through this without cloning networks.
 pub fn save_ensemble_refs(members: &[&EnsembleMember], manifest: &EnsembleManifest) -> Vec<u8> {
+    save_ensemble_refs_quantized(members, manifest, WeightEncoding::F32)
+        .expect("f32 encoding is infallible")
+}
+
+/// [`save_ensemble_quantized`] over borrowed members.
+///
+/// # Errors
+///
+/// See [`save_ensemble_quantized`].
+pub fn save_ensemble_refs_quantized(
+    members: &[&EnsembleMember],
+    manifest: &EnsembleManifest,
+    encoding: WeightEncoding,
+) -> Result<Vec<u8>, ArtifactError> {
     let manifest_json = serde_json::to_string(manifest).expect("manifest serializes");
     let mut out = Vec::new();
     out.put_slice(MAGIC);
     out.put_u32_le(members.len() as u32);
     out.put_u32_le(manifest_json.len() as u32);
     out.put_slice(manifest_json.as_bytes());
-    for m in members {
-        let section = save_network(&m.network);
+    for (index, m) in members.iter().enumerate() {
+        let section = save_network_quantized(&m.network, encoding)
+            .map_err(|source| ArtifactError::Member { index, source })?;
         out.put_u32_le(m.name.len() as u32);
         out.put_slice(m.name.as_bytes());
         out.put_u32_le(section.len() as u32);
@@ -186,7 +224,7 @@ pub fn save_ensemble_refs(members: &[&EnsembleMember], manifest: &EnsembleManife
     }
     let checksum = crc32(&out);
     out.put_u32_le(checksum);
-    out
+    Ok(out)
 }
 
 /// Reads a length-prefixed byte section, advancing `blob`.
@@ -279,6 +317,25 @@ pub fn write_ensemble_file(
 ) -> Result<(), ArtifactError> {
     let path = path.as_ref();
     std::fs::write(path, save_ensemble(members, manifest)).map_err(|e| ArtifactError::Io {
+        detail: format!("cannot write {}: {e}", path.display()),
+    })
+}
+
+/// Writes an `MNE1` artifact file with quantized member weights.
+///
+/// # Errors
+///
+/// [`ArtifactError::Io`] when the file cannot be written, else any
+/// [`save_ensemble_quantized`] error.
+pub fn write_ensemble_file_quantized(
+    path: impl AsRef<Path>,
+    members: &[EnsembleMember],
+    manifest: &EnsembleManifest,
+    encoding: WeightEncoding,
+) -> Result<(), ArtifactError> {
+    let path = path.as_ref();
+    let bytes = save_ensemble_quantized(members, manifest, encoding)?;
+    std::fs::write(path, bytes).map_err(|e| ArtifactError::Io {
         detail: format!("cannot write {}: {e}", path.display()),
     })
 }

@@ -475,6 +475,40 @@ impl EnginePlan {
         artifact::save_ensemble_refs(&members, manifest)
     }
 
+    /// [`EnginePlan::to_artifact_bytes`] with member weights stored under
+    /// `encoding` — the deployment-footprint knob: `f16` ≈ 0.5x, `i8` ≈
+    /// 0.25x the full-precision artifact bytes. [`EnginePlan::load`] /
+    /// [`EnginePlan::from_artifact_bytes`] restore either variant
+    /// transparently (members dequantize into `f32` networks, so the
+    /// serving path runs unchanged).
+    ///
+    /// # Errors
+    ///
+    /// Any [`artifact::save_ensemble_refs_quantized`] error (a member
+    /// holding NaN/±Inf weights).
+    pub fn to_artifact_bytes_quantized(
+        &self,
+        manifest: &EnsembleManifest,
+        encoding: mn_nn::io::WeightEncoding,
+    ) -> Result<Vec<u8>, ArtifactError> {
+        let members: Vec<&EnsembleMember> = self.members.iter().collect();
+        artifact::save_ensemble_refs_quantized(&members, manifest, encoding)
+    }
+
+    /// Bytes of resident `f32` parameter/state memory across all members:
+    /// every persistent tensor element at 4 bytes. This is the serving
+    /// process's weight footprint — independent of the artifact encoding,
+    /// since quantized artifacts dequantize to `f32` on load.
+    pub fn param_bytes(&self) -> usize {
+        let mut elements = 0usize;
+        for m in &self.members {
+            for node in m.network.nodes() {
+                node.visit_state(&mut |t| elements += t.len());
+            }
+        }
+        elements * std::mem::size_of::<f32>()
+    }
+
     /// Wraps the plan for sharing across sessions/threads.
     pub fn into_shared(self) -> Arc<EnginePlan> {
         Arc::new(self)

@@ -76,6 +76,7 @@ pub use engine::{
 pub use evaluate::{evaluate_members, evaluate_predictions, EnsembleEvaluation};
 pub use faults::FaultAction;
 pub use member::{EnsembleMember, MemberPredictions};
+pub use mn_nn::io::WeightEncoding;
 pub use serve::{
     BatchingConfig, BrownoutConfig, Prediction, ServeError, Server, ServerBuilder, ServerReport,
     ServerStats,

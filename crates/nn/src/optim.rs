@@ -4,9 +4,12 @@
 //! The update is **fused**: weight decay, momentum and the parameter
 //! update run as one pass over each parameter buffer (no cloned
 //! gradients, no temporaries), with large buffers split across rayon
-//! workers through the shared chunk dispatcher. Chunk boundaries are
-//! fixed (independent of the thread count) and the update is elementwise,
-//! so results are bitwise identical across thread counts.
+//! workers through the shared chunk dispatcher. Each chunk runs the
+//! dispatched kernel [`mn_tensor::simd::sgd_update_chunk`] — explicit
+//! AVX2 on capable CPUs, portable scalar otherwise, bitwise identical
+//! either way. Chunk boundaries are fixed (independent of the thread
+//! count) and the update is elementwise, so results are bitwise
+//! identical across thread counts *and* kernel backends.
 
 use mn_tensor::chunking::for_each_chunk3;
 use mn_tensor::Tensor;
@@ -101,12 +104,7 @@ impl Sgd {
             FUSED_CHUNK,
             worthwhile,
             |_, value, vel, grad| {
-                for ((x, v), g) in value.iter_mut().zip(vel.iter_mut()).zip(grad.iter_mut()) {
-                    let gi = *g + wd * *x;
-                    *v = mom * *v + gi;
-                    *x -= lr * *v;
-                    *g = 0.0;
-                }
+                mn_tensor::simd::sgd_update_chunk(value, vel, grad, lr, mom, wd);
             },
         );
     }

@@ -25,7 +25,12 @@
 //! gradient — see [`im2col`]). All parallel kernels are
 //! bitwise-deterministic across thread counts: work is only ever split
 //! over disjoint output regions whose per-element accumulation order is
-//! fixed. The pre-optimization kernels survive as [`ops::reference`] (and
+//! fixed. The hottest inner loops (the GEMM micro-kernel, axpy, the
+//! fused SGD update) additionally have explicit AVX2 implementations
+//! behind a runtime-dispatch table ([`simd`]) that are pinned bitwise
+//! identical to the portable-scalar path, and [`quant`] provides the
+//! `f16`/`i8` storage encodings backing the quantized weight artifacts.
+//! The pre-optimization kernels survive as [`ops::reference`] (and
 //! [`conv::conv2d_forward_reference`], plus the direct backward loops in
 //! [`conv`]) as the property-test ground truth.
 //!
@@ -54,7 +59,9 @@ pub mod im2col;
 pub mod init;
 pub mod ops;
 pub mod pool;
+pub mod quant;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 pub mod workspace;
 

@@ -19,11 +19,14 @@
 //! 3. **Micro-kernel.** An `MR × NR` accumulator tile lives entirely in
 //!    registers across the whole `k` loop; each step performs
 //!    `MR · NR` fused multiply-adds against one packed row of A and one
-//!    packed row of B, using the hardware FMA instruction when the target
-//!    has one (build with `target-cpu=native` — see `.cargo/config.toml`).
-//!    `MR × NR = 10 × 16` was tuned empirically: it autovectorizes to
-//!    dense FMA streams on AVX2/AVX-512 while staying within register
-//!    budget.
+//!    packed row of B. Two implementations sit behind the runtime
+//!    dispatch in [`crate::simd`]: the portable-scalar reference below
+//!    ([`microkernel_scalar`], autovectorized as well as the build flags
+//!    allow — dense FMA streams under `target-cpu=native`) and an
+//!    explicit AVX2 `std::arch` kernel selected at runtime on capable
+//!    CPUs, so a portable binary no longer depends on the compiler flag
+//!    for vector code. Both are bitwise identical (see [`crate::simd`]'s
+//!    module docs). `MR × NR = 10 × 16` was tuned empirically.
 //! 4. **Parallel row bands.** Output rows are split into bands (a few per
 //!    worker for load balance, capped at [`BAND_ROWS`] for packed-A
 //!    locality) distributed across rayon worker threads. Bands are always
@@ -161,7 +164,9 @@ enum AShape {
 /// One fused-multiply-add step, using the hardware FMA instruction when
 /// the compilation target has one. Without the guard `f32::mul_add` lowers
 /// to a libm call on non-FMA targets, which is far slower than separate
-/// mul + add.
+/// mul + add. The explicit AVX2 kernel in [`crate::simd`] follows the
+/// same compile-time switch ([`crate::simd::COMPILED_FMA`]), so both
+/// backends always round identically.
 #[inline(always)]
 fn fma(a: f32, b: f32, c: f32) -> f32 {
     #[cfg(target_feature = "fma")]
@@ -174,10 +179,17 @@ fn fma(a: f32, b: f32, c: f32) -> f32 {
     }
 }
 
-/// The register-tile micro-kernel: `acc[MR × NR] += Apanel · Bpanel` over
-/// the full depth `k`, both panels packed unit-stride (see module docs).
+/// The portable-scalar register-tile micro-kernel:
+/// `acc[MR × NR] += Apanel · Bpanel` over the full depth `k`, both panels
+/// packed unit-stride (see module docs). This is the reference path the
+/// explicit-SIMD kernel in [`crate::simd`] is pinned bitwise against.
 #[inline(always)]
-fn microkernel(k: usize, a_panel: &[f32], b_panel: &[f32], acc: &mut [f32; MR * NR]) {
+pub(crate) fn microkernel_scalar(
+    k: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    acc: &mut [f32; MR * NR],
+) {
     debug_assert!(a_panel.len() >= k * MR);
     debug_assert!(b_panel.len() >= k * NR);
     let mut tile = [[0.0f32; NR]; MR];
@@ -340,6 +352,10 @@ fn gemm_driver(
     } else {
         BAND_ROWS
     };
+    // Resolve the kernel backend once per product; the per-tile dispatch
+    // below is then a branch on a `Copy` enum. Backends are bitwise
+    // identical (see `crate::simd`), so dispatch cannot affect results.
+    let backend = crate::simd::active();
     let band = |cband: &mut [f32], band_idx: usize| {
         let i_base = band_idx * chunk_rows;
         let band_rows = cband.len() / n;
@@ -358,7 +374,7 @@ fn gemm_driver(
                 let it = t * MR;
                 let rows = MR.min(band_rows - it);
                 let mut acc = [0.0f32; MR * NR];
-                microkernel(k, a_panel, b_panel, &mut acc);
+                crate::simd::microkernel(backend, k, a_panel, b_panel, &mut acc);
                 for r in 0..rows {
                     cband[(it + r) * n + j0..(it + r) * n + j0 + w]
                         .copy_from_slice(&acc[r * NR..r * NR + w]);
@@ -652,7 +668,9 @@ pub fn transpose(a: &Tensor) -> Tensor {
     t
 }
 
-/// Adds a bias row-vector `bias: [n]` to every row of `x: [m, n]`, in place.
+/// Adds a bias row-vector `bias: [n]` to every row of `x: [m, n]`, in
+/// place — each row is one dispatched axpy ([`crate::simd::axpy`] with
+/// `alpha = 1`), so the broadcast rides the explicit-SIMD backend too.
 ///
 /// # Panics
 ///
@@ -668,10 +686,7 @@ pub fn add_row_bias(x: &mut Tensor, bias: &Tensor) {
     let bd: Vec<f32> = bias.data().to_vec();
     let xd = x.data_mut();
     for i in 0..m {
-        let row = &mut xd[i * n..(i + 1) * n];
-        for j in 0..n {
-            row[j] += bd[j];
-        }
+        crate::simd::axpy(1.0, &bd, &mut xd[i * n..(i + 1) * n]);
     }
 }
 

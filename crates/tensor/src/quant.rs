@@ -1,0 +1,311 @@
+//! Low-precision weight encodings: IEEE 754 half floats (`f16`) and
+//! symmetric 8-bit integers (`i8`) with a per-tensor scale.
+//!
+//! These are **storage** encodings: the serving stack quantizes at save
+//! time and dequantizes back into `f32` tensors at load time, so every
+//! kernel, engine plan, and server downstream runs unchanged — what
+//! shrinks is the artifact on disk, the cold-start byte copy, and the
+//! format's cache/transfer footprint. `mn-nn`'s `MNQ1` weight blob is the
+//! consumer (see `mn_nn::io`).
+//!
+//! ## Encodings
+//!
+//! * **`f16`** — IEEE 754 binary16, round-to-nearest-even, bit-level
+//!   conversion (no nightly `f16` primitive). Finite values beyond the
+//!   half range (|x| > 65504) **saturate** to ±`F16_MAX` rather than
+//!   rounding to infinity: a finite network must never dequantize to
+//!   non-finite weights. Relative round-trip error for normal-range
+//!   values is ≤ 2⁻¹¹; subnormal-range values round within 2⁻²⁵
+//!   absolute.
+//! * **`i8`** — symmetric per-tensor linear quantization:
+//!   `scale = max|x| / 127`, `q = round(x / scale)` clamped to
+//!   `[-127, 127]` (−128 unused, keeping the grid symmetric), dequantized
+//!   as `q · scale`. Absolute round-trip error is ≤ `scale / 2` (plus
+//!   one f32 rounding).
+//!
+//! Both encoders **reject non-finite input** with a typed
+//! [`QuantError::NonFinite`]: NaN/Inf cannot be represented faithfully at
+//! lower precision (and a NaN weight is corrupt anyway), so the failure
+//! surfaces at save time, not as garbage predictions after a load.
+
+use std::fmt;
+
+/// Largest finite `f16` value (what out-of-range finite floats saturate
+/// to).
+pub const F16_MAX: f32 = 65504.0;
+
+/// A value that cannot be quantized.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum QuantError {
+    /// The input contains NaN or ±Inf at flat index `index`.
+    NonFinite {
+        /// Flat index of the offending element.
+        index: usize,
+        /// The offending value (NaN or ±Inf).
+        value: f32,
+    },
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::NonFinite { index, value } => {
+                write!(
+                    f,
+                    "non-finite value {value} at index {index} cannot be quantized"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// Returns the flat index and value of the first non-finite element, if
+/// any — the save-time gate both encoders share.
+pub fn find_non_finite(src: &[f32]) -> Option<(usize, f32)> {
+    src.iter()
+        .enumerate()
+        .find(|(_, v)| !v.is_finite())
+        .map(|(i, &v)| (i, v))
+}
+
+/// Converts one `f32` to IEEE 754 binary16 bits, round-to-nearest-even.
+///
+/// Finite overflow saturates to ±[`F16_MAX`]; NaN and ±Inf map to the
+/// corresponding half-precision specials (callers that must stay finite
+/// reject them first — see [`quantize_f16`]).
+pub fn f16_bits_from_f32(value: f32) -> u16 {
+    let x = value.to_bits();
+    let sign = ((x >> 16) & 0x8000) as u16;
+    let exp = ((x >> 23) & 0xFF) as i32;
+    let man = x & 0x007F_FFFF;
+    if exp == 0xFF {
+        // Inf / NaN: preserve the class (quiet any NaN payload).
+        return if man == 0 {
+            sign | 0x7C00
+        } else {
+            sign | 0x7E00
+        };
+    }
+    let half_exp = exp - 127 + 15;
+    if half_exp >= 0x1F {
+        // Finite overflow: saturate, never round to infinity.
+        return sign | 0x7BFF;
+    }
+    if half_exp <= 0 {
+        // Result is half-subnormal (or zero). The significand (with its
+        // implicit bit) shifts right by `14 - half_exp`; values below
+        // half the smallest subnormal round to zero.
+        let shift = (14 - half_exp) as u32;
+        if shift > 24 {
+            return sign;
+        }
+        let full_man = man | 0x0080_0000;
+        let half_man = (full_man >> shift) as u16;
+        let round_bit = 1u32 << (shift - 1);
+        // Round to nearest even: round up when the round bit is set and
+        // either a lower (sticky) bit or the result's LSB is set.
+        if (full_man & round_bit) != 0 && (full_man & (3 * round_bit - 1)) != 0 {
+            return sign | (half_man + 1); // may carry into the exponent: exact
+        }
+        return sign | half_man;
+    }
+    let half = sign | ((half_exp as u16) << 10) | ((man >> 13) as u16);
+    let round_bit = 0x0000_1000u32; // bit 12: first dropped mantissa bit
+    let rounded = if (man & round_bit) != 0 && (man & (3 * round_bit - 1)) != 0 {
+        half + 1 // mantissa carry into the exponent is exact rounding
+    } else {
+        half
+    };
+    if (rounded & 0x7C00) == 0x7C00 {
+        // Rounding carried past the largest finite half: saturate.
+        return sign | 0x7BFF;
+    }
+    rounded
+}
+
+/// Converts IEEE 754 binary16 bits back to `f32` (exact — every half
+/// value is representable in single precision).
+pub fn f32_from_f16_bits(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let man = (h & 0x03FF) as u32;
+    if exp == 0x1F {
+        // Inf / NaN.
+        let man32 = if man == 0 { 0 } else { 0x0040_0000 };
+        return f32::from_bits(sign | 0x7F80_0000 | man32);
+    }
+    if exp == 0 {
+        if man == 0 {
+            return f32::from_bits(sign); // ±0
+        }
+        // Subnormal: value = man × 2⁻²⁴, exact in f32.
+        let magnitude = man as f32 * f32::from_bits(0x3380_0000); // 2^-24
+        return if sign != 0 { -magnitude } else { magnitude };
+    }
+    f32::from_bits(sign | ((exp + 112) << 23) | (man << 13))
+}
+
+/// Encodes a tensor's elements as `f16` bits.
+///
+/// # Errors
+///
+/// [`QuantError::NonFinite`] if any element is NaN or ±Inf.
+pub fn quantize_f16(src: &[f32]) -> Result<Vec<u16>, QuantError> {
+    if let Some((index, value)) = find_non_finite(src) {
+        return Err(QuantError::NonFinite { index, value });
+    }
+    Ok(src.iter().map(|&v| f16_bits_from_f32(v)).collect())
+}
+
+/// Decodes `f16` bits back into `f32` values.
+pub fn dequantize_f16(src: &[u16], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "f16 decode length mismatch");
+    for (d, &h) in dst.iter_mut().zip(src) {
+        *d = f32_from_f16_bits(h);
+    }
+}
+
+/// Encodes a tensor with symmetric per-tensor `i8` quantization,
+/// returning `(scale, codes)`. An all-zero tensor encodes with
+/// `scale = 1` (every code 0).
+///
+/// # Errors
+///
+/// [`QuantError::NonFinite`] if any element is NaN or ±Inf.
+pub fn quantize_i8(src: &[f32]) -> Result<(f32, Vec<i8>), QuantError> {
+    if let Some((index, value)) = find_non_finite(src) {
+        return Err(QuantError::NonFinite { index, value });
+    }
+    let max_abs = src.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+    let codes = src
+        .iter()
+        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    Ok((scale, codes))
+}
+
+/// Decodes symmetric `i8` codes back into `f32` values (`q · scale`).
+pub fn dequantize_i8(scale: f32, src: &[i8], dst: &mut [f32]) {
+    assert_eq!(src.len(), dst.len(), "i8 decode length mismatch");
+    for (d, &q) in dst.iter_mut().zip(src) {
+        *d = q as f32 * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exact pinned conversions: zero, one, the largest finite half, the
+    /// smallest subnormal, and classic halfway cases.
+    #[test]
+    fn f16_pinned_values() {
+        assert_eq!(f16_bits_from_f32(0.0), 0x0000);
+        assert_eq!(f16_bits_from_f32(-0.0), 0x8000);
+        assert_eq!(f16_bits_from_f32(1.0), 0x3C00);
+        assert_eq!(f16_bits_from_f32(-2.0), 0xC000);
+        assert_eq!(f16_bits_from_f32(65504.0), 0x7BFF);
+        // Smallest half subnormal: 2^-24.
+        assert_eq!(f16_bits_from_f32(5.960_464_5e-8), 0x0001);
+        assert_eq!(f32_from_f16_bits(0x0001), 5.960_464_5e-8);
+        // Below half of the smallest subnormal rounds to zero; the exact
+        // midpoint 2^-25 ties to even (zero).
+        assert_eq!(f16_bits_from_f32(2.0f32.powi(-26)), 0x0000);
+        assert_eq!(f16_bits_from_f32(2.0f32.powi(-25)), 0x0000);
+        // Just above the midpoint rounds up to the smallest subnormal.
+        assert_eq!(f16_bits_from_f32(3.0e-8), 0x0001);
+        // Round-to-nearest-even on a normal midpoint: 1 + 2^-11 is
+        // exactly between 1.0 and the next half (1 + 2^-10); even wins.
+        assert_eq!(f16_bits_from_f32(1.0 + 2.0f32.powi(-11)), 0x3C00);
+        // 1 + 3·2^-11 is between 1+2^-10 and 1+2^-9: ties to even (0x3C02).
+        assert_eq!(f16_bits_from_f32(1.0 + 3.0 * 2.0f32.powi(-11)), 0x3C02);
+    }
+
+    #[test]
+    fn f16_saturates_finite_overflow() {
+        for v in [65520.0f32, 1.0e6, 3.4e38, f32::MAX] {
+            assert_eq!(f16_bits_from_f32(v), 0x7BFF, "overflow must saturate: {v}");
+            assert_eq!(f16_bits_from_f32(-v), 0xFBFF);
+        }
+        assert_eq!(f32_from_f16_bits(0x7BFF), 65504.0);
+    }
+
+    #[test]
+    fn f16_specials_map_to_half_specials() {
+        assert_eq!(f16_bits_from_f32(f32::INFINITY), 0x7C00);
+        assert_eq!(f16_bits_from_f32(f32::NEG_INFINITY), 0xFC00);
+        let nan = f16_bits_from_f32(f32::NAN);
+        assert_eq!(nan & 0x7C00, 0x7C00);
+        assert_ne!(nan & 0x03FF, 0);
+        assert!(f32_from_f16_bits(0x7E00).is_nan());
+        assert_eq!(f32_from_f16_bits(0x7C00), f32::INFINITY);
+    }
+
+    /// Every one of the 63488 non-NaN half bit patterns survives a
+    /// decode → encode round trip exactly (decode is exact, and encoding
+    /// an exactly-representable value must not move it).
+    #[test]
+    fn f16_decode_encode_is_identity_on_all_finite_halves() {
+        for bits in 0u16..=0xFFFF {
+            if (bits & 0x7C00) == 0x7C00 {
+                continue; // Inf/NaN: encode quiets payloads by design
+            }
+            let back = f16_bits_from_f32(f32_from_f16_bits(bits));
+            assert_eq!(
+                back, bits,
+                "half bits {bits:#06x} moved through decode/encode"
+            );
+        }
+    }
+
+    #[test]
+    fn quantize_rejects_non_finite_with_index() {
+        let bad = [1.0, f32::NAN, 3.0];
+        match quantize_f16(&bad) {
+            Err(QuantError::NonFinite { index: 1, value }) => assert!(value.is_nan()),
+            other => panic!("expected NonFinite at 1, got {other:?}"),
+        }
+        match quantize_i8(&[0.0, 1.0, f32::NEG_INFINITY]) {
+            Err(QuantError::NonFinite { index: 2, value }) => {
+                assert_eq!(value, f32::NEG_INFINITY)
+            }
+            other => panic!("expected NonFinite at 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn i8_round_trip_known_values() {
+        // max_abs = 127 makes scale exactly 1.0, so every code is exact.
+        let src = [0.0f32, 127.0, -127.0, 63.5, -0.4];
+        let (scale, codes) = quantize_i8(&src).unwrap();
+        assert_eq!(scale, 1.0);
+        assert_eq!(codes, vec![0, 127, -127, 64, 0i8]); // 63.5 rounds away from zero
+        let mut back = [0.0f32; 5];
+        dequantize_i8(scale, &codes, &mut back);
+        for (b, s) in back.iter().zip(&src) {
+            assert!((b - s).abs() <= scale * 0.5001, "{b} vs {s}");
+        }
+    }
+
+    #[test]
+    fn i8_all_zero_tensor_uses_unit_scale() {
+        let (scale, codes) = quantize_i8(&[0.0, -0.0, 0.0]).unwrap();
+        assert_eq!(scale, 1.0);
+        assert!(codes.iter().all(|&q| q == 0));
+    }
+
+    #[test]
+    fn i8_extremes_hit_full_range_exactly() {
+        let (scale, codes) = quantize_i8(&[3.5, -3.5, 0.0]).unwrap();
+        assert_eq!(codes[0], 127);
+        assert_eq!(codes[1], -127);
+        let mut back = [0.0f32; 3];
+        dequantize_i8(scale, &codes, &mut back);
+        // ±max round-trip exactly: scale · 127 == max_abs up to one ulp.
+        assert!((back[0] - 3.5).abs() <= 3.5 * 1e-6);
+        assert!((back[1] + 3.5).abs() <= 3.5 * 1e-6);
+    }
+}

@@ -1,0 +1,502 @@
+//! Explicit-SIMD kernel backend with runtime dispatch.
+//!
+//! The blocked GEMM in [`crate::ops`] historically relied on the
+//! autovectorizer turning its scalar micro-kernel into FMA vector streams
+//! — which only happens when the whole workspace is compiled with
+//! `target-cpu=native` (see `.cargo/config.toml`). That couples peak
+//! throughput to a non-portable compiler flag: the same binary copied to
+//! another machine either SIGILLs (native artifacts on a lesser CPU) or
+//! runs scalar SSE2 code (portable builds).
+//!
+//! This module decouples them. The hot inner loops — the `MR × NR` GEMM
+//! micro-kernel, the axpy used by bias broadcast, and the fused SGD
+//! update — each have two implementations:
+//!
+//! * a **portable-scalar reference** (plain Rust, the original code),
+//!   autovectorized as well as the build flags allow; and
+//! * an **explicit AVX2 kernel** (`std::arch` intrinsics behind
+//!   `#[target_feature(enable = "avx2", enable = "fma")]`), compiled into
+//!   every x86-64 binary and selected at **runtime** when the CPU
+//!   reports AVX2 + FMA — so a portable (no `target-cpu=native`) release
+//!   binary still runs wide vector code on capable hardware.
+//!
+//! ## Dispatch
+//!
+//! The active backend is resolved once, on first use, from
+//! [`is_x86_feature_detected!`] — overridable for testing and operations
+//! via the `MN_SIMD` environment variable (`auto` | `scalar` | `avx2`)
+//! or programmatically via [`set_backend`]. Misspelled values and
+//! requesting `avx2` on a CPU without it fail loudly at first dispatch
+//! rather than silently falling back: a CI run that *thinks* it forced a
+//! backend must never measure the other one.
+//!
+//! ## Bitwise determinism across backends
+//!
+//! Every kernel here is pinned **bitwise identical** across backends (in
+//! any single build), extending the workspace's thread-count determinism
+//! guarantee to dispatch modes. Each output element accumulates its
+//! products in the same order on both paths, and fused-multiply-add use
+//! is decided **per build, not per backend** ([`COMPILED_FMA`]): when the
+//! build enables the `fma` target feature (e.g. `target-cpu=native`) both
+//! paths fuse, otherwise both round the multiply and add separately. A
+//! portable binary therefore trades one rounding of precision for
+//! bit-exact reproducibility across every CPU and dispatch mode it runs
+//! on; rebuild with `-C target-feature=+fma` (or `target-cpu=native`) to
+//! get fused arithmetic on both paths. The `kernel_equivalence` suite
+//! locks this down with scalar-vs-AVX2 bitwise proptests.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::ops::{MR, NR};
+
+/// Whether this build fuses multiply-adds (see module docs): both the
+/// scalar and the AVX2 kernels follow this single compile-time switch, so
+/// backends never differ in rounding.
+pub const COMPILED_FMA: bool = cfg!(target_feature = "fma");
+
+/// A selectable kernel backend.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// The portable-scalar reference kernels (autovectorized as well as
+    /// the build flags allow).
+    Scalar,
+    /// Explicit AVX2 (+ FMA) `std::arch` kernels, runtime-detected.
+    Avx2,
+}
+
+impl Backend {
+    /// Human-readable backend name (`"scalar"` / `"avx2"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+const BACKEND_UNSET: u8 = 0;
+const BACKEND_SCALAR: u8 = 1;
+const BACKEND_AVX2: u8 = 2;
+
+/// The resolved backend: 0 = not yet resolved, else `BACKEND_*`.
+static ACTIVE: AtomicU8 = AtomicU8::new(BACKEND_UNSET);
+
+/// Returns true when the running CPU can execute the explicit AVX2
+/// kernels (AVX2 and FMA both present).
+pub fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// The backend auto-detection would pick on this machine (ignoring any
+/// `MN_SIMD` override or [`set_backend`] call).
+///
+/// When the **build** already enables AVX2 (e.g. `target-cpu=native`),
+/// auto-detection keeps the scalar kernel: the autovectorizer compiled it
+/// with the same or wider vectors (AVX-512 where the host has it), and
+/// the explicit 256-bit path measures 0.7–1.0x against it. The runtime
+/// AVX2 backend exists to recover vector code in *portable* builds, where
+/// it measures 1.7–2.0x over the SSE2-autovectorized scalar path (see
+/// `results/kernels.json`).
+pub fn detected() -> Backend {
+    if cfg!(target_feature = "avx2") {
+        Backend::Scalar
+    } else if avx2_available() {
+        Backend::Avx2
+    } else {
+        Backend::Scalar
+    }
+}
+
+/// Resolves the `MN_SIMD` environment override, or auto-detects.
+///
+/// # Panics
+///
+/// Panics on an unrecognized `MN_SIMD` value, or when `MN_SIMD=avx2` is
+/// forced on a CPU without AVX2 + FMA — a run that silently measured the
+/// wrong backend would be worse than a loud failure.
+fn resolve_from_env() -> Backend {
+    match std::env::var("MN_SIMD") {
+        Ok(v) => match v.as_str() {
+            "auto" | "" => detected(),
+            "scalar" => Backend::Scalar,
+            "avx2" => {
+                assert!(
+                    avx2_available(),
+                    "MN_SIMD=avx2 requested but this CPU lacks avx2/fma"
+                );
+                Backend::Avx2
+            }
+            other => panic!("unrecognized MN_SIMD value {other:?} (expected auto|scalar|avx2)"),
+        },
+        Err(_) => detected(),
+    }
+}
+
+/// The active kernel backend, resolving it on first call (environment
+/// override first, then CPU detection — see module docs).
+pub fn active() -> Backend {
+    match ACTIVE.load(Ordering::Relaxed) {
+        BACKEND_SCALAR => Backend::Scalar,
+        BACKEND_AVX2 => Backend::Avx2,
+        _ => {
+            let resolved = resolve_from_env();
+            set_backend(resolved);
+            resolved
+        }
+    }
+}
+
+/// Forces the kernel backend, overriding detection and `MN_SIMD` — the
+/// testing/bench hook that lets one process exercise both code paths.
+///
+/// # Panics
+///
+/// Panics when forcing [`Backend::Avx2`] on a CPU without AVX2 + FMA.
+pub fn set_backend(backend: Backend) {
+    let tag = match backend {
+        Backend::Scalar => BACKEND_SCALAR,
+        Backend::Avx2 => {
+            assert!(
+                avx2_available(),
+                "cannot force the AVX2 backend: this CPU lacks avx2/fma"
+            );
+            BACKEND_AVX2
+        }
+    };
+    ACTIVE.store(tag, Ordering::Relaxed);
+}
+
+/// Runs `f` with the backend forced to `backend`, restoring the previous
+/// resolution afterwards (even on panic). Test/bench helper.
+pub fn with_backend<T>(backend: Backend, f: impl FnOnce() -> T) -> T {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            ACTIVE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(ACTIVE.load(Ordering::Relaxed));
+    set_backend(backend);
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 kernels (x86-64 only; every entry point is runtime-feature-gated by
+// the dispatcher, so the `unsafe` here is exactly "the CPU has AVX2+FMA").
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{COMPILED_FMA, MR, NR};
+    use std::arch::x86_64::*;
+
+    /// One vector multiply-add step with the same rounding as the scalar
+    /// path: fused iff the *build* enables `fma` (see [`COMPILED_FMA`]).
+    #[inline(always)]
+    unsafe fn vfma(a: __m256, b: __m256, c: __m256) -> __m256 {
+        if COMPILED_FMA {
+            _mm256_fmadd_ps(a, b, c)
+        } else {
+            _mm256_add_ps(_mm256_mul_ps(a, b), c)
+        }
+    }
+
+    /// AVX2 `MR × NR` GEMM micro-kernel over packed panels — the explicit
+    /// twin of `ops::microkernel_scalar`.
+    ///
+    /// The `10 × 16` register tile needs 20 YMM accumulators, which does
+    /// not fit the 16-register file; splitting it into two `5 × 16`
+    /// half-tiles (10 accumulators + 2 B vectors + 1 broadcast each)
+    /// keeps every accumulator in a register for the whole `k` loop. The
+    /// B panel is re-streamed once per half, but it is L1-resident (≤ 16
+    /// KB for the shapes the blocking produces). Each output element
+    /// still accumulates its `k` products in ascending-`p` order, exactly
+    /// like the scalar kernel — bitwise identical results.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 and FMA, and that
+    /// `a_panel`/`b_panel` hold at least `k * MR` / `k * NR` elements.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn microkernel(
+        k: usize,
+        a_panel: &[f32],
+        b_panel: &[f32],
+        acc: &mut [f32; MR * NR],
+    ) {
+        debug_assert!(a_panel.len() >= k * MR);
+        debug_assert!(b_panel.len() >= k * NR);
+        const HALF: usize = MR / 2;
+        let a = a_panel.as_ptr();
+        let b = b_panel.as_ptr();
+        for half in 0..2 {
+            let r0 = half * HALF;
+            let mut acc_lo = [_mm256_setzero_ps(); HALF];
+            let mut acc_hi = [_mm256_setzero_ps(); HALF];
+            for p in 0..k {
+                let b_lo = _mm256_loadu_ps(b.add(p * NR));
+                let b_hi = _mm256_loadu_ps(b.add(p * NR + 8));
+                for r in 0..HALF {
+                    let arp = _mm256_broadcast_ss(&*a.add(p * MR + r0 + r));
+                    acc_lo[r] = vfma(arp, b_lo, acc_lo[r]);
+                    acc_hi[r] = vfma(arp, b_hi, acc_hi[r]);
+                }
+            }
+            for r in 0..HALF {
+                let dst = acc.as_mut_ptr().add((r0 + r) * NR);
+                _mm256_storeu_ps(dst, acc_lo[r]);
+                _mm256_storeu_ps(dst.add(8), acc_hi[r]);
+            }
+        }
+    }
+
+    /// AVX2 `y += alpha * x` — same separate mul-then-add rounding as the
+    /// scalar loop (never fused: the scalar axpy is written `y + a * x`,
+    /// which rustc does not contract).
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 and that the slices have
+    /// equal length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        debug_assert_eq!(x.len(), y.len());
+        let n = y.len();
+        let av = _mm256_set1_ps(alpha);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let xv = _mm256_loadu_ps(xp.add(i));
+            let yv = _mm256_loadu_ps(yp.add(i));
+            _mm256_storeu_ps(yp.add(i), _mm256_add_ps(yv, _mm256_mul_ps(av, xv)));
+            i += 8;
+        }
+        while i < n {
+            *yp.add(i) += alpha * *xp.add(i);
+            i += 1;
+        }
+    }
+
+    /// AVX2 fused SGD chunk update — the explicit twin of the scalar loop
+    /// in [`super::sgd_update_chunk`]: `g' = g + wd·x; v = mom·v + g';
+    /// x -= lr·v; g = 0`, all separate mul/add roundings to match the
+    /// (uncontracted) scalar expression exactly.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure the CPU supports AVX2 and that the slices have
+    /// equal length.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sgd_update(
+        value: &mut [f32],
+        vel: &mut [f32],
+        grad: &mut [f32],
+        lr: f32,
+        mom: f32,
+        wd: f32,
+    ) {
+        debug_assert_eq!(value.len(), vel.len());
+        debug_assert_eq!(value.len(), grad.len());
+        let n = value.len();
+        let lrv = _mm256_set1_ps(lr);
+        let momv = _mm256_set1_ps(mom);
+        let wdv = _mm256_set1_ps(wd);
+        let zero = _mm256_setzero_ps();
+        let xp = value.as_mut_ptr();
+        let vp = vel.as_mut_ptr();
+        let gp = grad.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let x = _mm256_loadu_ps(xp.add(i));
+            let g = _mm256_loadu_ps(gp.add(i));
+            let v = _mm256_loadu_ps(vp.add(i));
+            let gi = _mm256_add_ps(g, _mm256_mul_ps(wdv, x));
+            let vnew = _mm256_add_ps(_mm256_mul_ps(momv, v), gi);
+            let xnew = _mm256_sub_ps(x, _mm256_mul_ps(lrv, vnew));
+            _mm256_storeu_ps(vp.add(i), vnew);
+            _mm256_storeu_ps(xp.add(i), xnew);
+            _mm256_storeu_ps(gp.add(i), zero);
+            i += 8;
+        }
+        while i < n {
+            let gi = *gp.add(i) + wd * *xp.add(i);
+            let v = mom * *vp.add(i) + gi;
+            *vp.add(i) = v;
+            *xp.add(i) -= lr * v;
+            *gp.add(i) = 0.0;
+            i += 1;
+        }
+    }
+}
+
+/// The `MR × NR` micro-kernel, dispatched (see module docs). Panels are
+/// packed unit-stride as described in [`crate::ops`]'s module docs.
+#[inline]
+pub(crate) fn microkernel(
+    backend: Backend,
+    k: usize,
+    a_panel: &[f32],
+    b_panel: &[f32],
+    acc: &mut [f32; MR * NR],
+) {
+    match backend {
+        Backend::Scalar => crate::ops::microkernel_scalar(k, a_panel, b_panel, acc),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Backend::Avx2 is only constructible after an
+        // avx2_available() check (set_backend / resolve_from_env assert).
+        Backend::Avx2 => unsafe { avx2::microkernel(k, a_panel, b_panel, acc) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => unreachable!("AVX2 backend cannot be selected off x86-64"),
+    }
+}
+
+/// `y += alpha * x`, dispatched. Bitwise identical across backends.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy operands differ in length");
+    match active() {
+        Backend::Scalar => {
+            for (yi, &xi) in y.iter_mut().zip(x) {
+                *yi += alpha * xi;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when the CPU reports avx2+fma.
+        Backend::Avx2 => unsafe { avx2::axpy(alpha, x, y) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => unreachable!("AVX2 backend cannot be selected off x86-64"),
+    }
+}
+
+/// One fused SGD chunk update: `g' = g + wd·x; v = mom·v + g';
+/// x -= lr·v; g = 0` in a single pass, dispatched. Bitwise identical
+/// across backends; `mn-nn`'s optimizer routes every parameter chunk
+/// through here.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn sgd_update_chunk(
+    value: &mut [f32],
+    vel: &mut [f32],
+    grad: &mut [f32],
+    lr: f32,
+    mom: f32,
+    wd: f32,
+) {
+    assert_eq!(
+        value.len(),
+        vel.len(),
+        "sgd update operands differ in length"
+    );
+    assert_eq!(
+        value.len(),
+        grad.len(),
+        "sgd update operands differ in length"
+    );
+    match active() {
+        Backend::Scalar => {
+            for ((x, v), g) in value.iter_mut().zip(vel.iter_mut()).zip(grad.iter_mut()) {
+                let gi = *g + wd * *x;
+                *v = mom * *v + gi;
+                *x -= lr * *v;
+                *g = 0.0;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: Avx2 is only selectable when the CPU reports avx2+fma.
+        Backend::Avx2 => unsafe { avx2::sgd_update(value, vel, grad, lr, mom, wd) },
+        #[cfg(not(target_arch = "x86_64"))]
+        Backend::Avx2 => unreachable!("AVX2 backend cannot be selected off x86-64"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn randv(n: usize, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+    }
+
+    #[test]
+    fn backend_labels_and_detection_are_consistent() {
+        assert_eq!(Backend::Scalar.label(), "scalar");
+        assert_eq!(Backend::Avx2.label(), "avx2");
+        if cfg!(target_feature = "avx2") || !avx2_available() {
+            // Native-vectorized build (or incapable CPU): scalar wins.
+            assert_eq!(detected(), Backend::Scalar);
+        } else {
+            // Portable build on a capable CPU: the explicit path carries.
+            assert_eq!(detected(), Backend::Avx2);
+        }
+    }
+
+    #[test]
+    fn with_backend_restores_previous_selection() {
+        let before = active();
+        with_backend(Backend::Scalar, || {
+            assert_eq!(active(), Backend::Scalar);
+        });
+        assert_eq!(active(), before);
+    }
+
+    #[test]
+    fn axpy_backends_bitwise_identical() {
+        if !avx2_available() {
+            return;
+        }
+        // Lengths straddling the 8-lane vector width exercise the tail.
+        for n in [0usize, 1, 7, 8, 9, 31, 64, 1000] {
+            let x = randv(n, 7 + n as u64);
+            let y0 = randv(n, 1000 + n as u64);
+            let mut y_scalar = y0.clone();
+            let mut y_avx = y0.clone();
+            with_backend(Backend::Scalar, || axpy(0.37, &x, &mut y_scalar));
+            with_backend(Backend::Avx2, || axpy(0.37, &x, &mut y_avx));
+            assert_eq!(
+                y_scalar.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                y_avx.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "axpy diverged at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sgd_update_backends_bitwise_identical() {
+        if !avx2_available() {
+            return;
+        }
+        for n in [0usize, 1, 5, 8, 13, 256, 1001] {
+            let run = |backend| {
+                let mut value = randv(n, 1 + n as u64);
+                let mut vel = randv(n, 2 + n as u64);
+                let mut grad = randv(n, 3 + n as u64);
+                with_backend(backend, || {
+                    sgd_update_chunk(&mut value, &mut vel, &mut grad, 0.05, 0.9, 1e-4)
+                });
+                assert!(grad.iter().all(|&g| g == 0.0), "gradient not zeroed");
+                (value, vel)
+            };
+            let (xs, vs) = run(Backend::Scalar);
+            let (xa, va) = run(Backend::Avx2);
+            let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&xs), bits(&xa), "values diverged at n = {n}");
+            assert_eq!(bits(&vs), bits(&va), "velocities diverged at n = {n}");
+        }
+    }
+}

@@ -282,3 +282,99 @@ fn matmul_bitwise_identical_across_thread_counts() {
         .install(|| ops::matmul(&a, &b));
     assert_eq!(one.data(), many.data());
 }
+
+/// The explicit-AVX2 kernel backend is pinned **bitwise** against the
+/// portable-scalar path — not merely within tolerance. Both paths
+/// accumulate in the same per-element k-order and fuse multiply-adds
+/// identically (governed by [`mn_tensor::simd::COMPILED_FMA`]), so
+/// `MN_SIMD=scalar` and `MN_SIMD=avx2` runs of the same build must
+/// produce identical bits.
+///
+/// One test function (not proptest) on purpose: backend selection is a
+/// process-global, so switching it from concurrently running test
+/// threads would race. The shape grid deliberately straddles the
+/// MR/NR register-tile and BAND_ROWS boundaries, plus degenerate 0/1
+/// extents.
+#[test]
+fn gemm_backends_bitwise_identical() {
+    use mn_tensor::simd::{self, Backend};
+    if !simd::avx2_available() {
+        eprintln!("skipping: AVX2+FMA not available on this CPU");
+        return;
+    }
+    let shapes: Vec<(usize, usize, usize)> = {
+        let mut s = vec![
+            (0, 5, 5),
+            (5, 0, 5),
+            (5, 5, 0),
+            (1, 1, 1),
+            (ops::MR, 17, ops::NR),
+            (ops::MR - 1, 33, ops::NR - 1),
+            (ops::MR + 1, 12, ops::NR + 1),
+            (2 * ops::MR + 3, 29, 3 * ops::NR - 5),
+            (ops::BAND_ROWS, 31, 2 * ops::NR),
+            (ops::BAND_ROWS + ops::MR + 2, 24, ops::NR + 7),
+        ];
+        // A few pseudo-random shapes off the boundary grid.
+        for seed in 0..6u64 {
+            let m = (seed.wrapping_mul(2654435761) % 70) as usize + 1;
+            let k = (seed.wrapping_mul(40503) % 50) as usize + 1;
+            let n = (seed.wrapping_mul(9973) % 60) as usize + 1;
+            s.push((m, k, n));
+        }
+        s
+    };
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        let seed = 1000 + i as u64;
+        // matmul: A [m,k] · B [k,n]
+        let a = randn(vec![m, k], seed);
+        let b = randn(vec![k, n], seed + 1);
+        let scalar = simd::with_backend(Backend::Scalar, || ops::matmul(&a, &b));
+        let avx2 = simd::with_backend(Backend::Avx2, || ops::matmul(&a, &b));
+        assert_eq!(
+            scalar.data(),
+            avx2.data(),
+            "matmul backends diverge at {m}x{k}x{n}"
+        );
+        // matmul_tn: Aᵀ [k,m] · B [k,n]
+        let at = randn(vec![k, m], seed + 2);
+        let scalar = simd::with_backend(Backend::Scalar, || ops::matmul_tn(&at, &b));
+        let avx2 = simd::with_backend(Backend::Avx2, || ops::matmul_tn(&at, &b));
+        assert_eq!(
+            scalar.data(),
+            avx2.data(),
+            "matmul_tn backends diverge at {m}x{k}x{n}"
+        );
+        // matmul_nt: A [m,k] · Bᵀ [n,k]
+        let bt = randn(vec![n, k], seed + 3);
+        let scalar = simd::with_backend(Backend::Scalar, || ops::matmul_nt(&a, &bt));
+        let avx2 = simd::with_backend(Backend::Avx2, || ops::matmul_nt(&a, &bt));
+        assert_eq!(
+            scalar.data(),
+            avx2.data(),
+            "matmul_nt backends diverge at {m}x{k}x{n}"
+        );
+    }
+}
+
+/// Backend equivalence holds through the full convolution lowering too
+/// (im2col + GEMM + bias), which exercises the axpy bias path on top of
+/// the micro-kernel.
+#[test]
+fn conv_backends_bitwise_identical() {
+    use mn_tensor::simd::{self, Backend};
+    if !simd::avx2_available() {
+        eprintln!("skipping: AVX2+FMA not available on this CPU");
+        return;
+    }
+    let input = randn(vec![2, 3, 8, 8], 51);
+    let weight = randn(vec![4, 3, 3, 3], 52);
+    let bias = randn(vec![4], 53);
+    let scalar = simd::with_backend(Backend::Scalar, || {
+        im2col::conv2d_forward_im2col(&input, &weight, &bias, 1)
+    });
+    let avx2 = simd::with_backend(Backend::Avx2, || {
+        im2col::conv2d_forward_im2col(&input, &weight, &bias, 1)
+    });
+    assert_eq!(scalar.data(), avx2.data());
+}

@@ -1,0 +1,170 @@
+//! Property lockdown for the quantized storage encodings in
+//! [`mn_tensor::quant`]: round-trip error bounds for `f16` and `i8`,
+//! exactness on representable values, and typed rejection of non-finite
+//! input. These bounds are what the quantized-artifact drift tolerances
+//! in the serving stack are derived from — if they move, the artifact
+//! suite's pins move with them.
+
+use mn_tensor::quant::{
+    dequantize_f16, dequantize_i8, f16_bits_from_f32, f32_from_f16_bits, quantize_f16, quantize_i8,
+    QuantError, F16_MAX,
+};
+use proptest::prelude::*;
+
+/// Units-in-the-last-place bound for binary16 round-to-nearest-even:
+/// relative error ≤ 2^-11 for normal halves.
+const F16_REL: f32 = 1.0 / 2048.0;
+
+/// Smallest normal binary16 (2^-14); below this, absolute error is
+/// bounded by half the subnormal step (2^-25) instead.
+const F16_MIN_NORMAL: f32 = 6.103_515_6e-5;
+const F16_SUBNORMAL_HALF_STEP: f32 = 1.0 / 33_554_432.0; // 2^-25
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// f32 → f16 → f32 over the full representable-magnitude range:
+    /// relative error ≤ 2^-11 for normal values, absolute error ≤ 2^-25
+    /// in the subnormal range, and the sign always survives.
+    #[test]
+    fn f16_round_trip_error_bound(v in -65504.0f32..65504.0) {
+        let back = f32_from_f16_bits(f16_bits_from_f32(v));
+        let err = (back - v).abs();
+        if v.abs() >= F16_MIN_NORMAL {
+            prop_assert!(
+                err <= v.abs() * F16_REL,
+                "v={v} back={back} rel_err={}",
+                err / v.abs()
+            );
+        } else {
+            prop_assert!(err <= F16_SUBNORMAL_HALF_STEP, "v={v} back={back} err={err}");
+        }
+        if v != 0.0 && back != 0.0 {
+            prop_assert_eq!(v.is_sign_negative(), back.is_sign_negative());
+        }
+    }
+
+    /// Values beyond ±65504 saturate to exactly ±F16_MAX — a finite
+    /// weight never becomes Inf in an artifact.
+    #[test]
+    fn f16_saturates_beyond_max(mag in 65505.0f32..3.0e38, neg in proptest::bool::ANY) {
+        let v = if neg { -mag } else { mag };
+        let back = f32_from_f16_bits(f16_bits_from_f32(v));
+        prop_assert_eq!(back.abs(), F16_MAX);
+        prop_assert_eq!(back.is_sign_negative(), neg);
+    }
+
+    /// Encoding an exactly representable half (any finite f16 bit
+    /// pattern lifted to f32) is lossless.
+    #[test]
+    fn f16_exact_on_representable(bits in 0u16..0xFFFF) {
+        let exp = (bits >> 10) & 0x1F;
+        prop_assume!(exp != 0x1F); // skip Inf/NaN patterns
+        let v = f32_from_f16_bits(bits);
+        let back = f32_from_f16_bits(f16_bits_from_f32(v));
+        prop_assert_eq!(v.to_bits(), back.to_bits());
+    }
+
+    /// Batch f16 round trip through the slice API preserves the same
+    /// bounds element-wise, including a zero and the extremes spliced in.
+    #[test]
+    fn f16_slice_round_trip(xs in proptest::collection::vec(-65504.0f32..65504.0, 0..64)) {
+        let mut xs = xs;
+        xs.extend_from_slice(&[0.0, -0.0, 65504.0, -65504.0, F16_MIN_NORMAL, 1e-7]);
+        let halves = quantize_f16(&xs).unwrap();
+        let mut back = vec![0.0f32; xs.len()];
+        dequantize_f16(&halves, &mut back);
+        for (v, b) in xs.iter().zip(&back) {
+            let bound = if v.abs() >= F16_MIN_NORMAL {
+                v.abs() * F16_REL
+            } else {
+                F16_SUBNORMAL_HALF_STEP
+            };
+            prop_assert!((b - v).abs() <= bound, "v={v} back={b}");
+        }
+    }
+
+    /// i8 symmetric quantization: absolute error ≤ scale/2 everywhere,
+    /// scale = max|x|/127, and the extreme element reconstructs exactly.
+    #[test]
+    fn i8_round_trip_error_bound(xs in proptest::collection::vec(-1.0e3f32..1.0e3, 1..64)) {
+        let (scale, codes) = quantize_i8(&xs).unwrap();
+        let max_abs = xs.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if max_abs > 0.0 {
+            prop_assert!((scale - max_abs / 127.0).abs() <= max_abs * 1e-6);
+        } else {
+            prop_assert_eq!(scale, 1.0);
+        }
+        let mut back = vec![0.0f32; xs.len()];
+        dequantize_i8(scale, &codes, &mut back);
+        for (v, b) in xs.iter().zip(&back) {
+            prop_assert!(
+                (b - v).abs() <= scale / 2.0 + scale * 1e-5,
+                "v={v} back={b} scale={scale}"
+            );
+        }
+        // The max-magnitude element lands on code ±127 and reconstructs
+        // to ±scale·127 — within one f32 rounding of itself.
+        if max_abs > 0.0 {
+            let i = xs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
+                .unwrap()
+                .0;
+            prop_assert_eq!(codes[i].unsigned_abs(), 127);
+            prop_assert!((back[i] - xs[i]).abs() <= max_abs * 1e-6);
+        }
+    }
+
+    /// A NaN or ±Inf anywhere in the tensor fails both encoders with the
+    /// poisoned index — never a silently saturated artifact.
+    #[test]
+    fn non_finite_rejected_with_index(
+        xs in proptest::collection::vec(-10.0f32..10.0, 1..32),
+        idx in 0usize..32,
+        kind in 0usize..3,
+    ) {
+        let mut xs = xs;
+        let idx = idx % xs.len();
+        xs[idx] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY][kind];
+        // The *first* non-finite index is reported; ours is the only one.
+        match quantize_f16(&xs) {
+            Err(QuantError::NonFinite { index, .. }) => prop_assert_eq!(index, idx),
+            other => prop_assert!(false, "f16 accepted non-finite: {other:?}"),
+        }
+        match quantize_i8(&xs) {
+            Err(QuantError::NonFinite { index, .. }) => prop_assert_eq!(index, idx),
+            other => prop_assert!(false, "i8 accepted non-finite: {other:?}"),
+        }
+    }
+}
+
+/// Deterministic corner pins that proptest ranges can miss.
+#[test]
+fn encoding_corner_cases() {
+    // Zero is exact under both encodings (and i8 uses unit scale).
+    assert_eq!(f32_from_f16_bits(f16_bits_from_f32(0.0)).to_bits(), 0);
+    assert_eq!(
+        f32_from_f16_bits(f16_bits_from_f32(-0.0)).to_bits(),
+        (-0.0f32).to_bits()
+    );
+    let (scale, codes) = quantize_i8(&[0.0, 0.0]).unwrap();
+    assert_eq!(scale, 1.0);
+    assert_eq!(codes, vec![0, 0]);
+
+    // ±F16_MAX round-trips exactly.
+    for v in [F16_MAX, -F16_MAX] {
+        assert_eq!(f32_from_f16_bits(f16_bits_from_f32(v)), v);
+    }
+
+    // The smallest positive f16 subnormal round-trips exactly; anything
+    // below half of it flushes to zero.
+    let tiny = f32_from_f16_bits(0x0001);
+    assert_eq!(f16_bits_from_f32(tiny), 0x0001);
+    assert_eq!(f16_bits_from_f32(tiny / 4.0), 0);
+
+    // f32::MIN_POSITIVE (a subnormal-range value for f16) stays finite.
+    let back = f32_from_f16_bits(f16_bits_from_f32(f32::MIN_POSITIVE));
+    assert!(back.abs() <= F16_SUBNORMAL_HALF_STEP);
+}

@@ -42,6 +42,37 @@ pub trait Buf {
     fn get_f32_le(&mut self) -> f32 {
         f32::from_bits(self.get_u32_le())
     }
+
+    /// Reads one byte, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bytes remain.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads one signed byte, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no bytes remain.
+    fn get_i8(&mut self) -> i8 {
+        self.get_u8() as i8
+    }
+
+    /// Reads a little-endian `u16`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two bytes remain.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
 }
 
 impl Buf for &[u8] {
@@ -76,6 +107,21 @@ pub trait BufMut {
     fn put_f32_le(&mut self, v: f32) {
         self.put_u32_le(v.to_bits());
     }
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends one signed byte.
+    fn put_i8(&mut self, v: i8) {
+        self.put_u8(v as u8);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
 }
 
 impl BufMut for Vec<u8> {
@@ -102,6 +148,21 @@ mod tests {
         let mut tail = [0u8; 2];
         cursor.copy_to_slice(&mut tail);
         assert_eq!(&tail, b"xy");
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn round_trip_narrow_types() {
+        let mut out = Vec::new();
+        out.put_u8(0xAB);
+        out.put_i8(-5);
+        out.put_u16_le(0xBEEF);
+
+        let mut cursor: &[u8] = &out;
+        assert_eq!(cursor.remaining(), 4);
+        assert_eq!(cursor.get_u8(), 0xAB);
+        assert_eq!(cursor.get_i8(), -5);
+        assert_eq!(cursor.get_u16_le(), 0xBEEF);
         assert!(!cursor.has_remaining());
     }
 
