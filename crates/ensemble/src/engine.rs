@@ -1033,6 +1033,7 @@ impl EngineSession {
         let s = survivors.len();
         if s > 0 && m > 1 {
             let esc_probs: Vec<Tensor> = if share {
+                // mn-lint: allow(no-panic-in-serve, reason = "invariant, not an error path: `share` is set only after the gate pass stored h_shape a few lines up in this same function; None here means engine logic is corrupted and continuing would score garbage")
                 let h_shape = h_shape.expect("trunk gate saved an activation shape");
                 let hs = Tensor::from_vec(h_shape.with_dim(0, s), std::mem::take(&mut h_rows));
                 let h_row = hs.len() / s;

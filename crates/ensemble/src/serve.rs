@@ -871,6 +871,7 @@ impl ServerBuilder {
                 .spawn(move || {
                     supervisor_loop(shared, events_rx, events_tx, handles, budget, backoff)
                 })
+                // mn-lint: allow(no-panic-in-serve, reason = "spawn fails only on OS thread exhaustion at server construction — before any request is accepted there is no degraded mode to fall back to, and the panic propagates to the caller of Server::start")
                 .expect("supervisor thread spawns")
         };
         Server {
@@ -1028,6 +1029,7 @@ fn spawn_worker(
                 panicked: outcome.is_err(),
             });
         })
+        // mn-lint: allow(no-panic-in-serve, reason = "spawn fails only on OS thread exhaustion; the supervisor calling this respawn already treats a panicking respawn path as a dead worker and re-enters backoff, so panicking here cannot wedge serving")
         .expect("serving worker spawns")
 }
 
@@ -1098,6 +1100,7 @@ fn shed_expired(request: &Request, stats: &ShardCounters) {
     let _ = request.reply.send(Err(ServeError::DeadlineExceeded));
 }
 
+// mn-lint: hot-path
 fn shard_loop(shard: usize, mut session: EngineSession, shared: &Shared) {
     let cfg = shared.batching;
     let max_batch = cfg.max_batch.max(1);
@@ -1125,6 +1128,7 @@ fn shard_loop(shard: usize, mut session: EngineSession, shared: &Shared) {
         if let Some(d) = first.deadline {
             close = close.min(d);
         }
+        // mn-lint: allow(hot-path-alloc, reason = "one Vec per micro-batch, capacity <= max_batch; the batch is the product of this loop iteration, not steady-state churn, and it is consumed (into_iter) before the next pop")
         let mut batch = vec![first];
         while batch.len() < max_batch {
             match shared.queue.pop_until(close) {
@@ -1162,6 +1166,7 @@ fn shard_loop(shard: usize, mut session: EngineSession, shared: &Shared) {
         let labels = ops::argmax_rows(&scored.probs);
         for (i, req) in batch.into_iter().enumerate() {
             let prediction = Prediction {
+                // mn-lint: allow(hot-path-alloc, reason = "the probs row is handed across the reply channel and must outlive the workspace-owned batch tensor; one k-float Vec per request is the response payload itself")
                 probs: scored.probs.data()[i * k..(i + 1) * k].to_vec(),
                 label: labels[i],
                 uncertainty: scored.uncertainty[i],

@@ -1,0 +1,500 @@
+//! A small, self-contained Rust lexer — just enough token structure for
+//! tidy-style lints, with none of `syn`'s surface.
+//!
+//! The one job this lexer must do *perfectly* is classification: an
+//! `unsafe` or `unwrap` occurrence inside a string literal, raw string,
+//! char literal, or (nested) block comment must never be mistaken for
+//! code, and a `// SAFETY:` comment must never be mistaken for anything
+//! else. Everything subtler than that (numeric suffixes, precise doc-ness
+//! of `////`) is handled on a best-effort basis — lints only look at
+//! identifiers, punctuation, and comment/string boundaries.
+//!
+//! Tokenization is lossless: concatenating every token's text reproduces
+//! the input byte-for-byte (property-tested in `tests/lexer_props.rs`),
+//! which is what makes the token stream a trustworthy view of the file.
+
+/// The classification of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (including newlines).
+    Whitespace,
+    /// A `//` comment, up to but excluding the newline. `doc` marks
+    /// `///` and `//!` forms.
+    LineComment { doc: bool },
+    /// A `/* ... */` comment, nesting tracked. `doc` marks `/**` and
+    /// `/*!` forms.
+    BlockComment { doc: bool },
+    /// A plain or byte string literal (`"..."`, `b"..."`), escapes
+    /// handled.
+    Str,
+    /// A raw string literal (`r"..."`, `r#"..."#`, `br##"..."##`, ...).
+    RawStr,
+    /// A char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// An identifier or keyword (including raw identifiers `r#type`).
+    Ident,
+    /// A numeric literal (integer or float, suffixes consumed).
+    Number,
+    /// A single punctuation character.
+    Punct,
+}
+
+impl TokenKind {
+    /// True for comments and whitespace — tokens lints skip when looking
+    /// at code structure.
+    pub fn is_trivia(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Whitespace | TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// True for both comment forms.
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+}
+
+/// One token: a classified byte range of the source.
+#[derive(Clone, Debug)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a lossless token stream (see module docs).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        chars: src.char_indices().collect(),
+        i: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    i: usize,
+    line: usize,
+    tokens: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    fn byte_at(&self, chars_idx: usize) -> usize {
+        self.chars
+            .get(chars_idx)
+            .map(|&(b, _)| b)
+            .unwrap_or(self.src.len())
+    }
+
+    /// Emits a token covering chars `[from, self.i)` and advances the
+    /// line counter past any newlines it contains.
+    fn emit(&mut self, kind: TokenKind, from: usize) {
+        let start = self.byte_at(from);
+        let end = self.byte_at(self.i);
+        let line = self.line;
+        self.line += self.src[start..end].bytes().filter(|&b| b == b'\n').count();
+        self.tokens.push(Token {
+            kind,
+            start,
+            end,
+            line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let from = self.i;
+            match c {
+                c if c.is_whitespace() => {
+                    while self.peek(0).is_some_and(char::is_whitespace) {
+                        self.i += 1;
+                    }
+                    self.emit(TokenKind::Whitespace, from);
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(from),
+                '/' if self.peek(1) == Some('*') => self.block_comment(from),
+                '"' => {
+                    self.i += 1;
+                    self.string_body();
+                    self.emit(TokenKind::Str, from);
+                }
+                '\'' => self.char_or_lifetime(from),
+                c if is_ident_start(c) => self.ident_or_prefixed_literal(from),
+                c if c.is_ascii_digit() => self.number(from),
+                _ => {
+                    self.i += 1;
+                    self.emit(TokenKind::Punct, from);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn line_comment(&mut self, from: usize) {
+        // `///` and `//!` are doc comments; `////...` is rustdoc-plain.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some('!'), _) => true,
+            (Some('/'), Some('/')) => false,
+            (Some('/'), _) => true,
+            _ => false,
+        };
+        while self.peek(0).is_some_and(|c| c != '\n') {
+            self.i += 1;
+        }
+        self.emit(TokenKind::LineComment { doc }, from);
+    }
+
+    fn block_comment(&mut self, from: usize) {
+        // `/**` (but not `/***` or the degenerate `/**/`) and `/*!` are
+        // doc comments.
+        let doc = match (self.peek(2), self.peek(3)) {
+            (Some('!'), _) => true,
+            (Some('*'), Some('*')) | (Some('*'), Some('/')) => false,
+            (Some('*'), _) => true,
+            _ => false,
+        };
+        self.i += 2;
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.i += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.i += 2;
+                }
+                (Some(_), _) => self.i += 1,
+                // Unterminated comment: consume to EOF.
+                (None, _) => break,
+            }
+        }
+        self.emit(TokenKind::BlockComment { doc }, from);
+    }
+
+    /// Consumes a `"..."` body (opening quote already consumed),
+    /// honoring `\` escapes. Unterminated: consumes to EOF.
+    fn string_body(&mut self) {
+        loop {
+            match self.peek(0) {
+                Some('\\') => self.i += 2,
+                Some('"') => {
+                    self.i += 1;
+                    break;
+                }
+                Some(_) => self.i += 1,
+                None => break,
+            }
+        }
+    }
+
+    /// Consumes `r"..."` / `r#"..."#` with `hashes` opening `#`s already
+    /// counted (cursor sits on the opening quote). Unterminated: EOF.
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.i += 1; // opening quote
+        'scan: loop {
+            match self.peek(0) {
+                Some('"') => {
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some('#') {
+                            self.i += 1;
+                            continue 'scan;
+                        }
+                    }
+                    self.i += 1 + hashes;
+                    break;
+                }
+                Some(_) => self.i += 1,
+                None => break,
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, from: usize) {
+        // `'ident` not followed by a closing quote is a lifetime; `'a'`,
+        // `'\n'`, `'"'` are char literals.
+        if self.peek(1).is_some_and(is_ident_start) && self.peek(1) != Some('\\') {
+            let mut j = 2;
+            while self.peek(j).is_some_and(is_ident_continue) {
+                j += 1;
+            }
+            if self.peek(j) != Some('\'') {
+                self.i += j;
+                self.emit(TokenKind::Lifetime, from);
+                return;
+            }
+        }
+        self.i += 1;
+        loop {
+            match self.peek(0) {
+                Some('\\') => self.i += 2,
+                Some('\'') => {
+                    self.i += 1;
+                    break;
+                }
+                // A newline inside a char literal is malformed source;
+                // stop so one bad quote cannot swallow the file.
+                Some('\n') | None => break,
+                Some(_) => self.i += 1,
+            }
+        }
+        self.emit(TokenKind::Char, from);
+    }
+
+    fn ident_or_prefixed_literal(&mut self, from: usize) {
+        let mut j = 1;
+        while self.peek(j).is_some_and(is_ident_continue) {
+            j += 1;
+        }
+        let end_byte = self.byte_at(self.i + j);
+        let word = &self.src[self.byte_at(self.i)..end_byte];
+        // String/char prefixes: the literal starts immediately after the
+        // prefix word (`r"..."`, `br#"..."#`, `b'x'`, `c"..."`).
+        let raw_capable = matches!(word, "r" | "br" | "cr");
+        let str_capable = matches!(word, "b" | "c");
+        match self.peek(j) {
+            Some('"') if raw_capable => {
+                self.i += j;
+                self.raw_string_body(0);
+                self.emit(TokenKind::RawStr, from);
+                return;
+            }
+            Some('#') if raw_capable => {
+                let mut hashes = 0;
+                while self.peek(j + hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(j + hashes) == Some('"') {
+                    self.i += j + hashes;
+                    self.raw_string_body(hashes);
+                    self.emit(TokenKind::RawStr, from);
+                    return;
+                }
+                // `r#ident`: a raw identifier, not a raw string.
+                if word == "r" && hashes == 1 && self.peek(j + 1).is_some_and(is_ident_start) {
+                    let mut k = j + 2;
+                    while self.peek(k).is_some_and(is_ident_continue) {
+                        k += 1;
+                    }
+                    self.i += k;
+                    self.emit(TokenKind::Ident, from);
+                    return;
+                }
+            }
+            Some('"') if str_capable => {
+                self.i += j + 1;
+                self.string_body();
+                self.emit(TokenKind::Str, from);
+                return;
+            }
+            Some('\'') if word == "b" => {
+                self.i += j;
+                self.char_or_lifetime(self.i);
+                // Re-tag the just-emitted char token to cover the `b`.
+                let start = self.byte_at(from);
+                let tok = self.tokens.last_mut().expect("char token emitted");
+                tok.start = start;
+                return;
+            }
+            _ => {}
+        }
+        self.i += j;
+        self.emit(TokenKind::Ident, from);
+    }
+
+    fn number(&mut self, from: usize) {
+        // Digits, underscores, and alphanumeric suffix/radix chars
+        // (0x1F, 1_000u32); one fraction part; exponent with sign.
+        while self.peek(0).is_some_and(is_ident_continue) {
+            let at_exp_sign = matches!(self.peek(0), Some('e') | Some('E'))
+                && matches!(self.peek(1), Some('+') | Some('-'))
+                && self.peek(2).is_some_and(|c| c.is_ascii_digit());
+            self.i += 1;
+            if at_exp_sign {
+                self.i += 1; // the sign
+            }
+        }
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+            while self.peek(0).is_some_and(is_ident_continue) {
+                let at_exp_sign = matches!(self.peek(0), Some('e') | Some('E'))
+                    && matches!(self.peek(1), Some('+') | Some('-'))
+                    && self.peek(2).is_some_and(|c| c.is_ascii_digit());
+                self.i += 1;
+                if at_exp_sign {
+                    self.i += 1;
+                }
+            }
+        }
+        self.emit(TokenKind::Number, from);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_basic_source() {
+        let src = "fn main() { let x = 1.0e-5; /* hi */ call(x) } // done\n";
+        let toks = lex(src);
+        let joined: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        let src = r#"let s = "unsafe unwrap() \" still in string"; unsafe {}"#;
+        assert_eq!(idents(src), ["let", "s", "unsafe"]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_keywords() {
+        let src = r###"let s = r#"unsafe " quote inside"#; unwrap()"###;
+        assert_eq!(idents(src), ["let", "s", "unwrap"]);
+    }
+
+    #[test]
+    fn nested_block_comments_hide_keywords() {
+        let src = "/* outer /* unsafe inner */ still comment unwrap */ fn f() {}";
+        assert_eq!(idents(src), ["fn", "f"]);
+        assert_eq!(lex(src)[0].kind, TokenKind::BlockComment { doc: false });
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_are_distinguished() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(toks.contains(&(TokenKind::Char, "'x'".into())));
+    }
+
+    #[test]
+    fn escaped_quote_char_does_not_unbalance() {
+        let src = r"let q = '\''; unsafe {}";
+        assert_eq!(idents(src), ["let", "q", "unsafe"]);
+    }
+
+    #[test]
+    fn byte_and_c_string_prefixes_lex_as_strings() {
+        for src in [r#"b"unsafe""#, r#"c"unsafe""#, r##"br#"unsafe"#"##] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src:?} lexed as {toks:?}");
+            assert!(
+                matches!(toks[0].kind, TokenKind::Str | TokenKind::RawStr),
+                "{src:?} lexed as {:?}",
+                toks[0].kind
+            );
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        assert_eq!(idents("let r#type = 3;"), ["let", "r#type"]);
+    }
+
+    #[test]
+    fn doc_comment_flavors() {
+        assert_eq!(lex("/// doc")[0].kind, TokenKind::LineComment { doc: true });
+        assert_eq!(lex("//! doc")[0].kind, TokenKind::LineComment { doc: true });
+        assert_eq!(lex("// no")[0].kind, TokenKind::LineComment { doc: false });
+        assert_eq!(
+            lex("//// not doc")[0].kind,
+            TokenKind::LineComment { doc: false }
+        );
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a\nb\n  c /* x\n y */ d";
+        let lines: Vec<(String, usize)> = lex(src)
+            .iter()
+            .filter(|t| !t.kind.is_trivia())
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            [
+                ("a".into(), 1),
+                ("b".into(), 2),
+                ("c".into(), 3),
+                ("d".into(), 4)
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_ranges() {
+        // `0..k` must not swallow the range dots; `1.0e-5` must stay one
+        // token.
+        assert_eq!(
+            kinds("0..k")
+                .iter()
+                .map(|(k, t)| (*k, t.as_str().to_string()))
+                .collect::<Vec<_>>()
+                .len(),
+            4
+        );
+        let toks = kinds("1.0e-5f32");
+        assert_eq!(toks, [(TokenKind::Number, "1.0e-5f32".to_string())]);
+    }
+
+    #[test]
+    fn unterminated_forms_consume_to_eof_without_panicking() {
+        for src in ["\"open", "/* open /* nested", "r#\"open", "'"] {
+            let toks = lex(src);
+            let joined: String = toks.iter().map(|t| t.text(src)).collect();
+            assert_eq!(joined, src, "lossless even on malformed input");
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! `ci-test-drift`: CI runs ~18 regression tests *by name* (`cargo test
+//! -p mn-ensemble supervisor_respawns_... `). Cargo treats an unmatched
+//! filter as "0 tests ran, exit 0", so renaming a test silently deletes
+//! its CI coverage — the chaos/deadline/brownout regressions are only
+//! worth anything if CI still runs them. This rule parses every
+//! workflow file for `cargo test` invocations and verifies:
+//!
+//! * each `--test <suite>` names an existing `tests/<suite>.rs` file in
+//!   the targeted package (any package when `-p` is absent);
+//! * each positional filter substring-matches at least one `#[test]`
+//!   function in the targeted package's sources.
+
+use super::Lint;
+use crate::lexer::TokenKind;
+use crate::report::Violation;
+use crate::source::SourceFile;
+use crate::walk::Tree;
+
+pub struct CiTestDrift;
+
+impl Lint for CiTestDrift {
+    fn name(&self) -> &'static str {
+        "ci-test-drift"
+    }
+
+    fn description(&self) -> &'static str {
+        "every test CI invokes by name must still exist in the tree"
+    }
+
+    fn finish(&mut self, tree: &Tree, out: &mut Vec<Violation>) {
+        // (fn name, repo-relative file) of every `#[test]` function.
+        let test_fns: Vec<(String, String)> = tree
+            .rust_files
+            .iter()
+            .flat_map(|f| {
+                test_fn_names(f)
+                    .into_iter()
+                    .map(move |n| (n, f.rel_path.clone()))
+            })
+            .collect();
+
+        for wf in &tree.workflow_files {
+            for (line_no, line) in wf.text.lines().enumerate() {
+                let Some(at) = line.find("cargo test") else {
+                    continue;
+                };
+                let inv = parse_invocation(&line[at + "cargo test".len()..]);
+                let line_no = line_no + 1;
+                let pkg_dirs: Vec<&str> = match &inv.package {
+                    Some(p) => tree
+                        .packages
+                        .iter()
+                        .filter(|pk| &pk.name == p)
+                        .map(|pk| pk.dir.as_str())
+                        .collect(),
+                    None => tree.packages.iter().map(|pk| pk.dir.as_str()).collect(),
+                };
+                if let Some(p) = &inv.package {
+                    if pkg_dirs.is_empty() {
+                        out.push(Violation {
+                            rule: self.name(),
+                            file: wf.rel_path.clone(),
+                            line: line_no,
+                            message: format!(
+                                "`cargo test -p {p}`: no workspace package named `{p}`"
+                            ),
+                        });
+                        continue;
+                    }
+                }
+                if let Some(suite) = &inv.suite {
+                    let found = pkg_dirs.iter().any(|d| {
+                        let want = if d.is_empty() {
+                            format!("tests/{suite}.rs")
+                        } else {
+                            format!("{d}/tests/{suite}.rs")
+                        };
+                        tree.rust_files.iter().any(|f| f.rel_path == want)
+                    });
+                    if !found {
+                        out.push(Violation {
+                            rule: self.name(),
+                            file: wf.rel_path.clone(),
+                            line: line_no,
+                            message: format!(
+                                "CI runs `--test {suite}` but no matching \
+                                 tests/{suite}.rs exists{} — the suite has drifted \
+                                 and CI is silently green",
+                                inv.package
+                                    .as_deref()
+                                    .map(|p| format!(" in package `{p}`"))
+                                    .unwrap_or_default()
+                            ),
+                        });
+                    }
+                }
+                for filter in &inv.filters {
+                    let matched = test_fns.iter().any(|(name, file)| {
+                        name.contains(filter.as_str()) && in_scope(file, &pkg_dirs, &inv.suite)
+                    });
+                    if !matched {
+                        out.push(Violation {
+                            rule: self.name(),
+                            file: wf.rel_path.clone(),
+                            line: line_no,
+                            message: format!(
+                                "CI filters on {filter:?} but no #[test] function \
+                                 matches it{} — cargo exits 0 on an empty filter, so \
+                                 this regression is no longer being run",
+                                inv.package
+                                    .as_deref()
+                                    .map(|p| format!(" in package `{p}`"))
+                                    .unwrap_or_default()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// True when `file` (repo-relative) belongs to one of `pkg_dirs`, and,
+/// when a `--test` suite was named, is that suite's file.
+fn in_scope(file: &str, pkg_dirs: &[&str], suite: &Option<String>) -> bool {
+    // The workspace-root package's dir is "": its files are `src/...`
+    // and `tests/...`, and it must not swallow `crates/*`.
+    let pkg_ok = pkg_dirs.iter().any(|d| {
+        if d.is_empty() {
+            file.starts_with("src/") || file.starts_with("tests/")
+        } else {
+            file.starts_with(&format!("{d}/"))
+        }
+    });
+    if !pkg_ok {
+        return false;
+    }
+    match suite {
+        Some(s) => file.ends_with(&format!("tests/{s}.rs")),
+        None => true,
+    }
+}
+
+/// One parsed `cargo test ...` invocation from a workflow line.
+#[derive(Default, Debug)]
+struct Invocation {
+    package: Option<String>,
+    suite: Option<String>,
+    filters: Vec<String>,
+}
+
+/// Flags whose value is the next argument (and is not a test name).
+const VALUE_FLAGS: [&str; 6] = ["-p", "--package", "--features", "-j", "--jobs", "--profile"];
+
+fn parse_invocation(rest: &str) -> Invocation {
+    let mut inv = Invocation::default();
+    let mut args = rest.split_whitespace().peekable();
+    while let Some(arg) = args.next() {
+        match arg {
+            "--" => break, // harness args, not filters
+            "--test" => inv.suite = args.next().map(str::to_string),
+            a if VALUE_FLAGS.contains(&a) => {
+                let v = args.next().map(str::to_string);
+                if a == "-p" || a == "--package" {
+                    inv.package = v;
+                }
+            }
+            a if a.starts_with('-') => {}
+            // Shell syntax around the cargo invocation (pipes, `&&`,
+            // backslash continuations) ends the argument list.
+            a if !a.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') => break,
+            a => inv.filters.push(a.to_string()),
+        }
+    }
+    inv
+}
+
+/// Collects the names of `#[test]` functions in `file` (including
+/// inside macro invocations like `proptest! {}`, whose bodies still
+/// spell `#[test] fn name`).
+fn test_fn_names(file: &SourceFile) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut k = 0;
+    let mut pending_test = false;
+    while k < file.sig.len() {
+        let t = file.sig_text(k);
+        if t == "#" {
+            // Outer `#[...]` or inner `#![...]` attribute.
+            let open = if file.sig.get(k + 1).map(|_| file.sig_text(k + 1)) == Some("[") {
+                Some(k + 1)
+            } else if file.sig.get(k + 2).is_some()
+                && file.sig_text(k + 1) == "!"
+                && file.sig_text(k + 2) == "["
+            {
+                Some(k + 2)
+            } else {
+                None
+            };
+            if let Some(open) = open {
+                if let Some(close) = file.matching_close(open) {
+                    let inner: Vec<&str> = (open + 1..close).map(|j| file.sig_text(j)).collect();
+                    if inner == ["test"] {
+                        pending_test = true;
+                    }
+                    k = close + 1;
+                    continue;
+                }
+            }
+        }
+        if pending_test {
+            match t {
+                // Tokens that may sit between `#[test]` and `fn`.
+                "pub" | "async" | "unsafe" | "extern" | "(" | ")" | "crate" => {}
+                "fn" => {
+                    if let Some(name_k) = (k + 1 < file.sig.len()).then_some(k + 1) {
+                        if file.sig_kind(name_k) == TokenKind::Ident {
+                            out.push(file.sig_text(name_k).to_string());
+                        }
+                    }
+                    pending_test = false;
+                }
+                _ if file.sig_kind(k) == TokenKind::Str => {} // extern "C"
+                _ => pending_test = false,
+            }
+        }
+        k += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::walk::{Package, RawFile};
+
+    fn tree(yml: &str, files: Vec<(&str, &str)>) -> Tree {
+        Tree {
+            root: std::path::PathBuf::new(),
+            rust_files: files
+                .into_iter()
+                .map(|(p, s)| SourceFile::parse(p.into(), s.into()))
+                .collect(),
+            workflow_files: vec![RawFile {
+                rel_path: ".github/workflows/ci.yml".into(),
+                text: yml.into(),
+            }],
+            packages: vec![
+                Package {
+                    name: "mothernets-repro".into(),
+                    dir: String::new(),
+                },
+                Package {
+                    name: "mn-ensemble".into(),
+                    dir: "crates/ensemble".into(),
+                },
+            ],
+        }
+    }
+
+    fn run(t: &Tree) -> Vec<Violation> {
+        let mut out = Vec::new();
+        CiTestDrift.finish(t, &mut out);
+        out
+    }
+
+    const SERVE_TESTS: &str = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn supervisor_respawns_dead_worker_and_keeps_serving() {}
+}
+";
+
+    #[test]
+    fn existing_name_and_suite_pass() {
+        let yml = "\
+      - run: cargo test --release -p mn-ensemble supervisor_respawns_dead_worker_and_keeps_serving -- --nocapture
+      - run: cargo test --release --test chaos_serving -- --nocapture
+";
+        let t = tree(
+            yml,
+            vec![
+                ("crates/ensemble/src/serve.rs", SERVE_TESTS),
+                ("tests/chaos_serving.rs", "#[test]\nfn chaos() {}"),
+            ],
+        );
+        assert_eq!(run(&t), Vec::new());
+    }
+
+    #[test]
+    fn renamed_test_fn_is_flagged() {
+        let yml = "      - run: cargo test -p mn-ensemble supervisor_restarts_worker\n";
+        let t = tree(yml, vec![("crates/ensemble/src/serve.rs", SERVE_TESTS)]);
+        let out = run(&t);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("supervisor_restarts_worker"));
+    }
+
+    #[test]
+    fn missing_suite_file_is_flagged() {
+        let yml = "      - run: cargo test --test chaos_serving\n";
+        let t = tree(yml, vec![("crates/ensemble/src/serve.rs", SERVE_TESTS)]);
+        let out = run(&t);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("chaos_serving"));
+    }
+
+    #[test]
+    fn package_scoping_is_respected() {
+        // The fn exists, but in a different package than CI targets.
+        let yml = "      - run: cargo test -p mothernets-repro supervisor_respawns_dead_worker_and_keeps_serving\n";
+        let t = tree(yml, vec![("crates/ensemble/src/serve.rs", SERVE_TESTS)]);
+        assert_eq!(run(&t).len(), 1);
+    }
+
+    #[test]
+    fn env_prefixes_and_harness_args_are_handled() {
+        let yml = "            MN_SIMD=$mode cargo test --release -p mn-ensemble --test missing_suite -- --nocapture\n";
+        let t = tree(yml, vec![("crates/ensemble/src/serve.rs", SERVE_TESTS)]);
+        assert_eq!(run(&t).len(), 1);
+    }
+
+    #[test]
+    fn unfiltered_cargo_test_is_ignored() {
+        let yml = "      - run: cargo test -q\n";
+        let t = tree(yml, vec![("crates/ensemble/src/serve.rs", SERVE_TESTS)]);
+        assert_eq!(run(&t), Vec::new());
+    }
+
+    #[test]
+    fn proptest_macro_bodies_still_expose_test_fns() {
+        let src = "proptest! {\n    #![proptest_config(ProptestConfig::with_cases(16))]\n    #[test]\n    fn round_trips(v in 0u32..10) {}\n}\n";
+        let f = SourceFile::parse("tests/props.rs".into(), src.into());
+        assert_eq!(test_fn_names(&f), ["round_trips"]);
+    }
+}

@@ -1,0 +1,211 @@
+//! `hot-path-alloc`: functions annotated `// mn-lint: hot-path` are the
+//! zero-alloc steady-state paths established in PR 2/3/5 (workspace-fed
+//! eval forwards, the GEMM micro-kernels, the fused SGD update). Their
+//! no-allocation property is a measured performance contract — but
+//! nothing in the compiler keeps a future edit from dropping a
+//! `.clone()` into one. Inside an annotated function this rule forbids
+//! the common allocating forms:
+//!
+//! `Vec::new` · `vec![...]` · `.to_vec()` · `Box::new` · `.clone()`
+//!
+//! Deliberate allocations (e.g. a per-request output buffer that is the
+//! function's *product*, not steady-state churn) carry a reasoned
+//! `mn-lint: allow(hot-path-alloc, ...)` marker.
+
+use super::Lint;
+use crate::lexer::TokenKind;
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+pub struct HotPathAlloc;
+
+impl Lint for HotPathAlloc {
+    fn name(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn description(&self) -> &'static str {
+        "functions marked `mn-lint: hot-path` must not allocate"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Violation>) {
+        for &marker_line in &file.hot_path_markers {
+            let Some((fn_name, body)) = annotated_fn(file, marker_line) else {
+                out.push(Violation {
+                    rule: self.name(),
+                    file: file.rel_path.clone(),
+                    line: marker_line,
+                    message: "`mn-lint: hot-path` marker is not followed by a function".to_string(),
+                });
+                continue;
+            };
+            for k in body.clone() {
+                if let Some(what) = allocating_form(file, k) {
+                    out.push(Violation {
+                        rule: self.name(),
+                        file: file.rel_path.clone(),
+                        line: file.sig_line(k),
+                        message: format!(
+                            "`{what}` allocates inside hot-path fn `{fn_name}` — route \
+                             scratch through the Workspace arena, or allow-mark a \
+                             deliberate allocation with a reason"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Resolves the function a `hot-path` marker on `marker_line`
+/// annotates: returns its name and the `sig` index range of its body.
+fn annotated_fn(file: &SourceFile, marker_line: usize) -> Option<(String, std::ops::Range<usize>)> {
+    // First significant token after the marker line, skipping attribute
+    // groups; it must begin a fn item (possibly `pub`/`unsafe`/...).
+    let mut k = (0..file.sig.len()).find(|&k| file.sig_line(k) > marker_line)?;
+    let mut fn_k = None;
+    let limit = file.sig.len();
+    while k < limit {
+        match file.sig_text(k) {
+            "#" => {
+                let open = if file.sig.get(k + 1).map(|_| file.sig_text(k + 1)) == Some("[") {
+                    k + 1
+                } else {
+                    return None;
+                };
+                k = file.matching_close(open)? + 1;
+            }
+            "pub" | "unsafe" | "async" | "const" | "extern" | "crate" | "(" | ")" => k += 1,
+            "fn" => {
+                fn_k = Some(k);
+                break;
+            }
+            t if file.sig_kind(k) == TokenKind::Str && t.starts_with('"') => k += 1, // extern "C"
+            _ => return None,
+        }
+    }
+    let fn_k = fn_k?;
+    let name = file.sig_text(fn_k + 1).to_string();
+    // Body: the first `{` after the parameter list, at paren depth 0.
+    let mut j = fn_k + 2;
+    let mut depth = 0usize;
+    while j < file.sig.len() {
+        match file.sig_text(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "{" if depth == 0 => {
+                let close = file.matching_close(j)?;
+                return Some((name, j + 1..close));
+            }
+            ";" if depth == 0 => return None, // a fn declaration without a body
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// If `sig[k]` starts a forbidden allocating form, names it.
+/// (The lexer emits `::` as two single-char puncts.)
+fn allocating_form(file: &SourceFile, k: usize) -> Option<&'static str> {
+    let t = |i: usize| file.sig.get(i).map(|_| file.sig_text(i));
+    let path_sep = t(k + 1) == Some(":") && t(k + 2) == Some(":");
+    let prev = (k > 0).then(|| file.sig_text(k - 1));
+    match file.sig_text(k) {
+        "Vec" if path_sep => match t(k + 3) {
+            Some("new") => Some("Vec::new"),
+            Some("with_capacity") => Some("Vec::with_capacity"),
+            _ => None,
+        },
+        "Box" if path_sep && t(k + 3) == Some("new") => Some("Box::new"),
+        "vec" if t(k + 1) == Some("!") => Some("vec![...]"),
+        "to_vec" if prev == Some(".") && t(k + 1) == Some("(") => Some(".to_vec()"),
+        "clone" if prev == Some(".") && t(k + 1) == Some("(") => Some(".clone()"),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Violation> {
+        let file = SourceFile::parse("crates/tensor/src/ops.rs".into(), src.into());
+        let mut out = Vec::new();
+        HotPathAlloc.check_file(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn clean_hot_path_passes() {
+        let src = "\
+// mn-lint: hot-path
+pub fn kernel(acc: &mut [f32]) {
+    for a in acc.iter_mut() {
+        *a += 1.0;
+    }
+}
+";
+        assert_eq!(check(src), Vec::new());
+    }
+
+    #[test]
+    fn each_allocating_form_is_flagged() {
+        let src = "\
+// mn-lint: hot-path
+fn hot(xs: &[f32]) {
+    let a = Vec::new();
+    let b = vec![0.0; 4];
+    let c = xs.to_vec();
+    let d = Box::new(3);
+    let e = ys.clone();
+}
+";
+        let out = check(src);
+        assert_eq!(out.len(), 5, "{out:?}");
+    }
+
+    #[test]
+    fn unannotated_fns_may_allocate() {
+        assert_eq!(check("fn cold() { let v = vec![1, 2, 3]; }"), Vec::new());
+    }
+
+    #[test]
+    fn allocations_after_the_body_are_out_of_scope() {
+        let src = "\
+// mn-lint: hot-path
+fn hot() {}
+fn cold() { let v = Vec::new(); }
+";
+        assert_eq!(check(src), Vec::new());
+    }
+
+    #[test]
+    fn marker_followed_by_attributed_fn() {
+        let src = "\
+// mn-lint: hot-path
+#[inline]
+pub fn hot() { x.clone(); }
+";
+        assert_eq!(check(src).len(), 1);
+    }
+
+    #[test]
+    fn dangling_marker_is_flagged() {
+        let out = check("// mn-lint: hot-path\nstruct NotAFn;\n");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("not followed by a function"));
+    }
+
+    #[test]
+    fn clone_in_string_or_comment_is_invisible() {
+        let src = "\
+// mn-lint: hot-path
+fn hot() {
+    // a .clone() would be bad here
+    let s = \".clone()\";
+}
+";
+        assert_eq!(check(src), Vec::new());
+    }
+}

@@ -1,0 +1,175 @@
+//! `no-panic-in-serve`: the serve path answers with typed errors, it
+//! does not die.
+//!
+//! PR 5–8 built supervision, typed `ServeError`s, and poison-recovering
+//! locks precisely so a worker can fail without taking the process (or
+//! an answer) with it. A stray `unwrap()` in these files silently
+//! reintroduces the failure mode all of that machinery exists to
+//! prevent — and nothing in `rustc`/`clippy` will say so.
+//!
+//! Scope: non-`#[cfg(test)]` code of the serve-path files listed in
+//! [`SERVE_PATH_FILES`]. Doc-comment examples are invisible to the
+//! lexer's significant-token view, so they never trip the rule. The
+//! sole built-in exception is poison recovery on a mutex:
+//! `lock()/wait() .unwrap_or_else(|e| e.into_inner())` — the sanctioned
+//! panic-containment idiom from PR 6. Any other `unwrap_or_else`
+//! closure is flagged, so the exception cannot widen silently.
+
+use super::Lint;
+use crate::lexer::TokenKind;
+use crate::report::Violation;
+use crate::source::SourceFile;
+
+/// The serve-path files this rule polices (repo-relative paths).
+pub const SERVE_PATH_FILES: [&str; 4] = [
+    "crates/ensemble/src/serve.rs",
+    "crates/ensemble/src/engine.rs",
+    "crates/ensemble/src/artifact.rs",
+    "crates/nn/src/io.rs",
+];
+
+/// Macro names that abort the current thread.
+const PANIC_MACROS: [&str; 3] = ["panic", "todo", "unimplemented"];
+
+pub struct NoPanicInServe;
+
+impl Lint for NoPanicInServe {
+    fn name(&self) -> &'static str {
+        "no-panic-in-serve"
+    }
+
+    fn description(&self) -> &'static str {
+        "serve-path files must use typed errors, not unwrap/expect/panic"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Violation>) {
+        if !SERVE_PATH_FILES.contains(&file.rel_path.as_str()) {
+            return;
+        }
+        for k in 0..file.sig.len() {
+            if file.sig_kind(k) != TokenKind::Ident {
+                continue;
+            }
+            let line = file.sig_line(k);
+            if file.in_test_code(line) {
+                continue;
+            }
+            let word = file.sig_text(k);
+            let next = file.sig.get(k + 1).map(|_| file.sig_text(k + 1));
+            let flagged = match word {
+                w if PANIC_MACROS.contains(&w) && next == Some("!") => {
+                    Some(format!("`{w}!` aborts the serving thread"))
+                }
+                "unwrap" | "expect" if next == Some("(") => Some(format!(
+                    "`{word}()` panics on the error path — return a typed error instead"
+                )),
+                "unwrap_or_else" if next == Some("(") && !is_poison_recovery(file, k + 1) => Some(
+                    "`unwrap_or_else` with a closure other than the sanctioned \
+                         poison recovery `|e| e.into_inner()`"
+                        .to_string(),
+                ),
+                _ => None,
+            };
+            if let Some(detail) = flagged {
+                out.push(Violation {
+                    rule: self.name(),
+                    file: file.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "{detail} (serve-path code must degrade via typed \
+                         ServeError/ArtifactError/WeightsError values)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Matches the exact token shape `( | <x> | <x> . into_inner ( ) )`
+/// starting at the opening paren `sig[open_k]`.
+fn is_poison_recovery(file: &SourceFile, open_k: usize) -> bool {
+    let expected_tail = [".", "into_inner", "(", ")", ")"];
+    let t = |k: usize| file.sig.get(k).map(|_| file.sig_text(k));
+    if t(open_k) != Some("(") || t(open_k + 1) != Some("|") {
+        return false;
+    }
+    let Some(var) = t(open_k + 2) else {
+        return false;
+    };
+    if file.sig_kind(open_k + 2) != TokenKind::Ident {
+        return false;
+    }
+    if t(open_k + 3) != Some("|") || t(open_k + 4) != Some(var) {
+        return false;
+    }
+    expected_tail
+        .iter()
+        .enumerate()
+        .all(|(i, &want)| t(open_k + 5 + i) == Some(want))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Violation> {
+        let file = SourceFile::parse(SERVE_PATH_FILES[0].to_string(), src.to_string());
+        let mut out = Vec::new();
+        NoPanicInServe.check_file(&file, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_the_forbidden_forms() {
+        let src = "\
+fn f() {
+    x.unwrap();
+    y.expect(\"msg\");
+    panic!(\"no\");
+    todo!();
+    unimplemented!();
+}
+";
+        assert_eq!(check(src).len(), 5);
+    }
+
+    #[test]
+    fn poison_recovery_is_the_sole_unwrap_or_else_exception() {
+        let ok = "fn f() { state.lock().unwrap_or_else(|e| e.into_inner()); }";
+        assert!(check(ok).is_empty());
+        let bad = "fn f() { state.lock().unwrap_or_else(|_| Default::default()); }";
+        assert_eq!(check(bad).len(), 1);
+        let sneaky = "fn f() { state.lock().unwrap_or_else(|e| other.into_inner()); }";
+        assert_eq!(check(sneaky).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_or_and_unwrap_or_default_are_not_unwrap() {
+        assert!(check("fn f() { x.unwrap_or(0) + y.unwrap_or_default(); }").is_empty());
+    }
+
+    #[test]
+    fn test_modules_docs_and_strings_are_exempt() {
+        let src = "\
+//! let x = plan.unwrap();
+/// y.expect(\"in docs\");
+fn f() { let s = \"unwrap()\"; }
+#[cfg(test)]
+mod tests {
+    fn t() { x.unwrap(); panic!(\"fine in tests\"); }
+}
+";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn only_serve_path_files_are_policed() {
+        let file = SourceFile::parse(
+            "crates/nn/src/train.rs".into(),
+            "fn f(){x.unwrap();}".into(),
+        );
+        let mut out = Vec::new();
+        NoPanicInServe.check_file(&file, &mut out);
+        assert!(out.is_empty());
+    }
+}

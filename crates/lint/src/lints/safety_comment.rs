@@ -1,0 +1,47 @@
+//! `safety-comment`: every `unsafe` block/fn/impl must carry an
+//! adjacent `// SAFETY:` comment stating why its preconditions hold.
+//!
+//! A rustdoc `# Safety` section documents what *callers* must uphold;
+//! the `// SAFETY:` comment documents why *this site* is sound — both
+//! are required reading, only the latter is enforceable per-site, and
+//! only the latter counts here (matching rustc's own tidy rule).
+
+use super::Lint;
+use crate::report::Violation;
+use crate::source::SourceFile;
+use crate::unsafe_sites;
+
+pub struct SafetyComment;
+
+impl Lint for SafetyComment {
+    fn name(&self) -> &'static str {
+        "safety-comment"
+    }
+
+    fn description(&self) -> &'static str {
+        "every `unsafe` site needs an adjacent `// SAFETY:` comment"
+    }
+
+    fn check_file(&mut self, file: &SourceFile, out: &mut Vec<Violation>) {
+        for site in unsafe_sites::collect(file) {
+            if site.safety.is_none() {
+                let ctx = site
+                    .context
+                    .as_deref()
+                    .map(|f| format!(" (in `{f}`)"))
+                    .unwrap_or_default();
+                out.push(Violation {
+                    rule: self.name(),
+                    file: file.rel_path.clone(),
+                    line: site.line,
+                    message: format!(
+                        "{}{} has no adjacent `// SAFETY:` comment stating its \
+                         preconditions (pointer validity, bounds, CPU-feature gating, ...)",
+                        site.kind.label(),
+                        ctx
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The `mn-lint` binary: CI entry point for the workspace lints.
+//!
+//! ```text
+//! cargo run -p mn-lint --release            # human-readable report
+//! cargo run -p mn-lint -- --github          # GitHub annotations
+//! cargo run -p mn-lint -- --update-docs     # regenerate docs/UNSAFE.md
+//! cargo run -p mn-lint -- --json report.json
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 when any violation stands.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Writes to stdout ignoring errors: a downstream `| head` closing the
+/// pipe must not turn a clean lint run into a panic.
+fn emit(text: &str) {
+    let _ = std::io::stdout().write_all(text.as_bytes());
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "mn-lint: workspace static analysis\n\
+         \n\
+         USAGE: mn-lint [OPTIONS]\n\
+         \n\
+         OPTIONS:\n\
+         \x20 --root <dir>     tree to lint (default: this workspace)\n\
+         \x20 --github         emit ::error annotations (auto-on under GITHUB_ACTIONS)\n\
+         \x20 --json <path|->  also write the machine-readable report\n\
+         \x20 --update-docs    regenerate docs/UNSAFE.md before checking\n\
+         \x20 --list-rules     print the registered rules and exit\n"
+    );
+    std::process::exit(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut github = std::env::var_os("GITHUB_ACTIONS").is_some();
+    let mut json: Option<String> = None;
+    let mut opts = mn_lint::Options::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--github" => github = true,
+            "--json" => json = Some(args.next().unwrap_or_else(|| usage())),
+            "--update-docs" => opts.update_docs = true,
+            "--list-rules" => {
+                for lint in mn_lint::lints::all() {
+                    emit(&format!("{:<18} {}\n", lint.name(), lint.description()));
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("mn-lint: unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+
+    // Default to the workspace this binary was built from, so a bare
+    // `cargo run -p mn-lint` works from any cwd inside the repo.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|e| {
+                eprintln!("mn-lint: cannot resolve workspace root: {e}");
+                std::process::exit(2)
+            })
+    });
+
+    let report = match mn_lint::run(&root, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mn-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if github {
+        emit(&report.render_github());
+    }
+    emit(&report.render_human());
+    if let Some(path) = json {
+        let body = report.render_json();
+        if path == "-" {
+            emit(&body);
+            emit("\n");
+        } else if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("mn-lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    ExitCode::from(report.exit_code() as u8)
+}

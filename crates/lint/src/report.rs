@@ -1,0 +1,150 @@
+//! Violations and the machine-readable report.
+
+use std::fmt::Write as _;
+
+/// One lint finding, anchored to a file and line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The rule name (`safety-comment`, `no-panic-in-serve`, ...).
+    pub rule: &'static str,
+    /// Repo-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    pub message: String,
+}
+
+/// The outcome of a full lint run.
+#[derive(Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    /// Violations silenced by a reasoned `mn-lint: allow` marker.
+    pub suppressed: usize,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Exit code for the process: 0 clean, 1 when violations remain.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(!self.violations.is_empty())
+    }
+
+    /// Human-readable rendering, one violation per line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            let _ = writeln!(out, "{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        let _ = writeln!(
+            out,
+            "mn-lint: {} violation(s), {} suppressed by allow markers, {} file(s) scanned",
+            self.violations.len(),
+            self.suppressed,
+            self.files_scanned
+        );
+        out
+    }
+
+    /// GitHub Actions annotation rendering (`::error file=...`): one
+    /// line per violation, surfaced inline on the PR diff.
+    pub fn render_github(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            // Annotation payloads must keep to one line; the properties
+            // (before `::`) additionally escape `,` and `:`.
+            let msg = v.message.replace('\n', " ");
+            let _ = writeln!(
+                out,
+                "::error file={},line={},title=mn-lint ({})::{}",
+                v.file, v.line, v.rule, msg
+            );
+        }
+        out
+    }
+
+    /// Machine-readable JSON rendering. Hand-rolled: mn-lint is
+    /// dependency-free by design, and the schema is four flat fields.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(v.rule),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message)
+            );
+        }
+        if !self.violations.is_empty() {
+            out.push_str("\n  ");
+        }
+        let _ = write!(
+            out,
+            "],\n  \"suppressed\": {},\n  \"files_scanned\": {}\n}}\n",
+            self.suppressed, self.files_scanned
+        );
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one() -> Report {
+        Report {
+            violations: vec![Violation {
+                rule: "no-panic-in-serve",
+                file: "crates/ensemble/src/serve.rs".into(),
+                line: 42,
+                message: "forbidden `unwrap()` with \"quotes\"".into(),
+            }],
+            suppressed: 3,
+            files_scanned: 10,
+        }
+    }
+
+    #[test]
+    fn exit_codes() {
+        assert_eq!(Report::default().exit_code(), 0);
+        assert_eq!(one().exit_code(), 1);
+    }
+
+    #[test]
+    fn github_annotations_are_single_lines() {
+        let r = one();
+        let gh = r.render_github();
+        assert!(gh.starts_with("::error file=crates/ensemble/src/serve.rs,line=42,"));
+        assert_eq!(gh.lines().count(), 1);
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let j = one().render_json();
+        assert!(j.contains(r#"\"quotes\""#), "{j}");
+        assert!(j.contains("\"line\": 42"), "{j}");
+    }
+}

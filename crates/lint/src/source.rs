@@ -1,0 +1,341 @@
+//! A lexed source file plus the derived structure lints share: line
+//! table, significant-token view, `#[cfg(test)]` item spans, and parsed
+//! `mn-lint` marker comments.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A parsed `// mn-lint: allow(<rule>, reason = "...")` marker.
+#[derive(Clone, Debug)]
+pub struct AllowMarker {
+    pub rule: String,
+    pub reason: String,
+    /// Line the marker comment sits on.
+    pub line: usize,
+    /// Lines the marker suppresses: its own line and the next line
+    /// carrying a significant token.
+    pub covers: (usize, usize),
+}
+
+/// A marker comment that failed to parse, reported as an
+/// `allow-marker` violation by the driver.
+#[derive(Clone, Debug)]
+pub struct MarkerError {
+    pub line: usize,
+    pub message: String,
+}
+
+/// One lexed `.rs` file.
+pub struct SourceFile {
+    /// Path relative to the repo root, `/`-separated.
+    pub rel_path: String,
+    pub text: String,
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-trivia tokens.
+    pub sig: Vec<usize>,
+    /// Line ranges (inclusive) of items under an exact `#[cfg(test)]`.
+    pub test_spans: Vec<(usize, usize)>,
+    pub allows: Vec<AllowMarker>,
+    /// Lines carrying a `// mn-lint: hot-path` marker.
+    pub hot_path_markers: Vec<usize>,
+    pub marker_errors: Vec<MarkerError>,
+    /// Byte offset of each line start (index 0 = line 1).
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: String, text: String) -> SourceFile {
+        let tokens = lex(&text);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.kind.is_trivia())
+            .map(|(i, _)| i)
+            .collect();
+        let mut line_starts = vec![0usize];
+        for (i, b) in text.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        let mut file = SourceFile {
+            rel_path,
+            text,
+            tokens,
+            sig,
+            test_spans: Vec::new(),
+            allows: Vec::new(),
+            hot_path_markers: Vec::new(),
+            marker_errors: Vec::new(),
+            line_starts,
+        };
+        file.test_spans = file.find_cfg_test_spans();
+        file.parse_markers();
+        file
+    }
+
+    /// Number of lines in the file.
+    pub fn line_count(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The text of 1-based line `n`, without its newline.
+    pub fn line_text(&self, n: usize) -> &str {
+        let start = self.line_starts[n - 1];
+        let end = self
+            .line_starts
+            .get(n)
+            .map(|&e| e.saturating_sub(1))
+            .unwrap_or(self.text.len());
+        &self.text[start..end.max(start)]
+    }
+
+    /// The text of significant token `sig[k]`.
+    pub fn sig_text(&self, k: usize) -> &str {
+        self.tokens[self.sig[k]].text(&self.text)
+    }
+
+    /// The kind of significant token `sig[k]`.
+    pub fn sig_kind(&self, k: usize) -> TokenKind {
+        self.tokens[self.sig[k]].kind
+    }
+
+    /// The line of significant token `sig[k]`.
+    pub fn sig_line(&self, k: usize) -> usize {
+        self.tokens[self.sig[k]].line
+    }
+
+    /// True when 1-based `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// True when any allow marker for `rule` covers `line`.
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|m| m.rule == rule && m.covers.0 <= line && line <= m.covers.1)
+    }
+
+    /// Index into `sig` of the first significant token on a line after
+    /// `line`, if any.
+    fn first_sig_after_line(&self, line: usize) -> Option<usize> {
+        (0..self.sig.len()).find(|&k| self.sig_line(k) > line)
+    }
+
+    /// Finds, for a significant token at `sig[k]` that opens a group
+    /// (`(`/`[`/`{`), the index of its matching closer. Counts all three
+    /// bracket kinds together, which is exact for well-formed code.
+    pub fn matching_close(&self, open_k: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for k in open_k..self.sig.len() {
+            match self.sig_text(k) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Collects `#[cfg(test)]`-guarded item spans. Only the exact form
+    /// `#[cfg(test)]` counts: `#[cfg(any(test, ...))]` guards code that
+    /// also ships in non-test builds and stays linted.
+    fn find_cfg_test_spans(&self) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut k = 0;
+        while k + 1 < self.sig.len() {
+            if self.sig_text(k) == "#" && self.sig_text(k + 1) == "[" {
+                if let Some(close) = self.matching_close(k + 1) {
+                    let inner: Vec<&str> = (k + 2..close).map(|j| self.sig_text(j)).collect();
+                    if inner == ["cfg", "(", "test", ")"] {
+                        if let Some(end_line) = self.item_end_line(close + 1) {
+                            spans.push((self.sig_line(k), end_line));
+                        }
+                    }
+                    k = close + 1;
+                    continue;
+                }
+            }
+            k += 1;
+        }
+        spans
+    }
+
+    /// From `sig[k]` at the start of an item (after its attributes),
+    /// returns the line where the item ends: the matching `}` of its
+    /// first brace group, or the first top-level `;`.
+    fn item_end_line(&self, mut k: usize) -> Option<usize> {
+        // Skip any further attributes before the item keyword.
+        while k + 1 < self.sig.len() && self.sig_text(k) == "#" && self.sig_text(k + 1) == "[" {
+            k = self.matching_close(k + 1)? + 1;
+        }
+        let mut j = k;
+        while j < self.sig.len() {
+            match self.sig_text(j) {
+                "{" => {
+                    let close = self.matching_close(j)?;
+                    return Some(self.sig_line(close));
+                }
+                ";" => return Some(self.sig_line(j)),
+                // Skip parameter lists / generic groups wholesale.
+                "(" | "[" => j = self.matching_close(j)? + 1,
+                _ => j += 1,
+            }
+        }
+        None
+    }
+
+    /// Parses `mn-lint:` marker comments out of the token stream.
+    fn parse_markers(&mut self) {
+        let mut allows = Vec::new();
+        let mut hot = Vec::new();
+        let mut errors = Vec::new();
+        for t in &self.tokens {
+            let TokenKind::LineComment { doc: false } = t.kind else {
+                continue;
+            };
+            let body = t.text(&self.text).trim_start_matches('/').trim();
+            let Some(directive) = body.strip_prefix("mn-lint:") else {
+                continue;
+            };
+            let directive = directive.trim();
+            if directive == "hot-path" {
+                hot.push(t.line);
+                continue;
+            }
+            match parse_allow(directive) {
+                Ok((rule, reason)) => {
+                    let next = self
+                        .first_sig_after_line(t.line)
+                        .map(|k| self.sig_line(k))
+                        .unwrap_or(t.line);
+                    allows.push(AllowMarker {
+                        rule,
+                        reason,
+                        line: t.line,
+                        covers: (t.line, next),
+                    });
+                }
+                Err(message) => errors.push(MarkerError {
+                    line: t.line,
+                    message,
+                }),
+            }
+        }
+        self.allows = allows;
+        self.hot_path_markers = hot;
+        self.marker_errors = errors;
+    }
+}
+
+/// Parses the body of an `allow(...)` directive (after `mn-lint:`),
+/// returning `(rule, reason)`. The reason is mandatory and must be
+/// non-empty: an unexplained suppression is indistinguishable from a
+/// stale one.
+fn parse_allow(directive: &str) -> Result<(String, String), String> {
+    let inner = directive
+        .strip_prefix("allow(")
+        .and_then(|rest| rest.strip_suffix(')'))
+        .ok_or_else(|| {
+            format!(
+                "unrecognized mn-lint directive {directive:?} \
+                 (expected `hot-path` or `allow(<rule>, reason = \"...\")`)"
+            )
+        })?;
+    let (rule, rest) = inner.split_once(',').ok_or_else(|| {
+        "allow marker is missing its reason: write \
+         `allow(<rule>, reason = \"...\")`"
+            .to_string()
+    })?;
+    let rule = rule.trim();
+    if rule.is_empty() {
+        return Err("allow marker names no rule".into());
+    }
+    let reason = rest
+        .trim()
+        .strip_prefix("reason")
+        .map(|r| r.trim_start())
+        .and_then(|r| r.strip_prefix('='))
+        .map(|r| r.trim())
+        .ok_or_else(|| "allow marker is missing `reason = \"...\"`".to_string())?;
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "allow reason must be a quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("allow reason must not be empty".into());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs".into(), src.into())
+    }
+
+    #[test]
+    fn cfg_test_spans_cover_the_module() {
+        let f = file("fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n");
+        assert_eq!(f.test_spans, [(2, 5)]);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(4));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn cfg_any_test_is_not_a_test_span() {
+        let f = file("#[cfg(any(test, feature = \"failpoints\"))]\nmod imp {\n    fn x() {}\n}\n");
+        assert!(f.test_spans.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_on_single_fn() {
+        let f = file("#[cfg(test)]\nfn helper() {\n    body();\n}\nfn real() {}\n");
+        assert_eq!(f.test_spans, [(1, 4)]);
+    }
+
+    #[test]
+    fn allow_markers_cover_their_own_and_next_line() {
+        let f = file("// mn-lint: allow(no-panic-in-serve, reason = \"startup only\")\nx.expect(\"boom\");\n");
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].rule, "no-panic-in-serve");
+        assert_eq!(f.allows[0].reason, "startup only");
+        assert!(f.is_allowed("no-panic-in-serve", 2));
+        assert!(!f.is_allowed("no-panic-in-serve", 3));
+        assert!(!f.is_allowed("safety-comment", 2));
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_marker_error() {
+        for bad in [
+            "// mn-lint: allow(no-panic-in-serve)",
+            "// mn-lint: allow(no-panic-in-serve, reason = \"\")",
+            "// mn-lint: allow(no-panic-in-serve, because = \"x\")",
+            "// mn-lint: alow(typo)",
+        ] {
+            let f = file(bad);
+            assert_eq!(f.marker_errors.len(), 1, "{bad:?} should fail to parse");
+            assert!(f.allows.is_empty());
+        }
+    }
+
+    #[test]
+    fn hot_path_markers_are_collected() {
+        let f = file("// mn-lint: hot-path\nfn tight() {}\n");
+        assert_eq!(f.hot_path_markers, [1]);
+    }
+
+    #[test]
+    fn markers_in_strings_and_doc_comments_are_ignored() {
+        let f = file("let s = \"// mn-lint: hot-path\";\n/// mn-lint: hot-path\nfn f() {}\n");
+        assert!(f.hot_path_markers.is_empty());
+    }
+}

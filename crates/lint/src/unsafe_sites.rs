@@ -1,0 +1,235 @@
+//! Discovery of `unsafe` sites and their `// SAFETY:` justifications —
+//! shared by the `safety-comment` lint and the `docs/UNSAFE.md`
+//! inventory generator.
+
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// What kind of construct the `unsafe` keyword introduces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnsafeKind {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+}
+
+impl UnsafeKind {
+    pub fn label(self) -> &'static str {
+        match self {
+            UnsafeKind::Block => "unsafe block",
+            UnsafeKind::Fn => "unsafe fn",
+            UnsafeKind::Impl => "unsafe impl",
+            UnsafeKind::Trait => "unsafe trait",
+        }
+    }
+}
+
+/// One `unsafe` occurrence in code (never strings or comments).
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    pub line: usize,
+    pub kind: UnsafeKind,
+    /// For `unsafe fn`, the function's own name; for blocks, the
+    /// enclosing function, when one precedes the site.
+    pub context: Option<String>,
+    /// The adjacent `SAFETY:` comment text, joined across its comment
+    /// run, or `None` when the site is undocumented.
+    pub safety: Option<String>,
+}
+
+/// Scans `file` for unsafe sites and pairs each with its `SAFETY:`
+/// comment (see [`safety_comment_for_line`] for the adjacency rule).
+pub fn collect(file: &SourceFile) -> Vec<UnsafeSite> {
+    let mut sites = Vec::new();
+    let mut last_fn_name: Option<String> = None;
+    for k in 0..file.sig.len() {
+        if file.sig_kind(k) == TokenKind::Ident && file.sig_text(k) == "fn" {
+            if let Some(name_k) = file.sig.get(k + 1).map(|_| k + 1) {
+                if file.sig_kind(name_k) == TokenKind::Ident {
+                    last_fn_name = Some(file.sig_text(name_k).to_string());
+                }
+            }
+        }
+        if !(file.sig_kind(k) == TokenKind::Ident && file.sig_text(k) == "unsafe") {
+            continue;
+        }
+        let next = file.sig.get(k + 1).map(|_| file.sig_text(k + 1));
+        let (kind, context) = match next {
+            Some("fn") => {
+                let name = file
+                    .sig
+                    .get(k + 2)
+                    .map(|_| file.sig_text(k + 2).to_string());
+                (UnsafeKind::Fn, name)
+            }
+            Some("impl") => (UnsafeKind::Impl, last_fn_name.clone()),
+            Some("trait") => (UnsafeKind::Trait, last_fn_name.clone()),
+            _ => (UnsafeKind::Block, last_fn_name.clone()),
+        };
+        let line = file.sig_line(k);
+        sites.push(UnsafeSite {
+            line,
+            kind,
+            context,
+            safety: safety_comment_for_line(file, line),
+        });
+    }
+    sites
+}
+
+/// Finds the `SAFETY:` comment adjacent to an unsafe site at `line`.
+///
+/// Accepted placements, mirroring rustc's `tidy` convention:
+/// * a trailing comment on the same line containing `SAFETY:`;
+/// * a comment run directly above, with only attribute lines
+///   (`#[...]`) and doc comments allowed between it and the site.
+///
+/// A blank line or a code line breaks the search: a safety argument
+/// that has drifted away from its `unsafe` is treated as missing.
+pub fn safety_comment_for_line(file: &SourceFile, line: usize) -> Option<String> {
+    if let Some(text) = comment_text_on_line(file, line) {
+        if text.contains("SAFETY:") {
+            return Some(text);
+        }
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let trimmed = file.line_text(l).trim();
+        if trimmed.is_empty() {
+            return None;
+        }
+        if trimmed.starts_with("#[") || trimmed.starts_with("#![") {
+            continue;
+        }
+        if trimmed.starts_with("///") || trimmed.starts_with("//!") {
+            continue;
+        }
+        if trimmed.starts_with("//") {
+            if !trimmed.contains("SAFETY:") {
+                continue; // earlier line of a multi-line comment run
+            }
+            // Found the SAFETY line: join the contiguous plain-comment
+            // run it starts (downwards, back toward the site).
+            let mut parts = Vec::new();
+            let mut j = l;
+            while j < line {
+                let t = file.line_text(j).trim();
+                if t.starts_with("//") && !t.starts_with("///") && !t.starts_with("//!") {
+                    let body = t.trim_start_matches('/').trim();
+                    // `mn-lint:` directives ride in the same comment run
+                    // but are not part of the safety argument.
+                    if !body.starts_with("mn-lint:") {
+                        parts.push(body.to_string());
+                    }
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            return Some(parts.join(" "));
+        }
+        return None; // a code line: the site has no adjacent comment
+    }
+    None
+}
+
+/// The concatenated non-doc comment text on `line`, if any.
+fn comment_text_on_line(file: &SourceFile, line: usize) -> Option<String> {
+    let mut parts = Vec::new();
+    for t in &file.tokens {
+        if t.line == line && matches!(t.kind, TokenKind::LineComment { doc: false }) {
+            parts.push(
+                t.text(&file.text)
+                    .trim_start_matches('/')
+                    .trim()
+                    .to_string(),
+            );
+        }
+        if t.line > line {
+            break;
+        }
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sites(src: &str) -> Vec<UnsafeSite> {
+        collect(&SourceFile::parse("t.rs".into(), src.into()))
+    }
+
+    #[test]
+    fn documented_block_and_fn_are_found() {
+        let src = "\
+fn caller() {
+    // SAFETY: length checked above.
+    unsafe { go() }
+}
+
+/// Docs.
+// SAFETY: caller guarantees the CPU feature.
+#[target_feature(enable = \"avx2\")]
+pub unsafe fn kernel() {}
+";
+        let s = sites(src);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].kind, UnsafeKind::Block);
+        assert_eq!(s[0].context.as_deref(), Some("caller"));
+        assert_eq!(
+            s[0].safety.as_deref(),
+            Some("SAFETY: length checked above.")
+        );
+        assert_eq!(s[1].kind, UnsafeKind::Fn);
+        assert_eq!(s[1].context.as_deref(), Some("kernel"));
+        assert!(s[1].safety.as_deref().unwrap().contains("CPU feature"));
+    }
+
+    #[test]
+    fn multi_line_safety_runs_are_joined() {
+        let src = "\
+// SAFETY: the pointer is valid for k elements
+// and the panel length was asserted by the caller.
+unsafe { go() }
+";
+        let s = sites(src);
+        assert_eq!(
+            s[0].safety.as_deref(),
+            Some(
+                "SAFETY: the pointer is valid for k elements \
+                 and the panel length was asserted by the caller."
+            )
+        );
+    }
+
+    #[test]
+    fn blank_line_breaks_adjacency() {
+        let src = "// SAFETY: stale, drifted away.\n\nunsafe { go() }\n";
+        assert!(sites(src)[0].safety.is_none());
+    }
+
+    #[test]
+    fn doc_safety_sections_do_not_count() {
+        let src = "/// # Safety\n/// Caller must check the CPU.\npub unsafe fn f() {}\n";
+        assert!(sites(src)[0].safety.is_none());
+    }
+
+    #[test]
+    fn unsafe_in_strings_and_comments_is_invisible() {
+        let src = "let s = \"unsafe\"; // an unsafe mention\n/* unsafe */ fn f() {}\n";
+        assert!(sites(src).is_empty());
+    }
+
+    #[test]
+    fn trailing_same_line_comment_counts() {
+        let src = "let x = unsafe { go() }; // SAFETY: bounds pinned above.\n";
+        assert!(sites(src)[0].safety.is_some());
+    }
+}

@@ -1,0 +1,170 @@
+//! File-tree walker: collects the lintable surface of the workspace.
+//!
+//! In scope: `src/`, `tests/`, every `crates/*/src` and `crates/*/tests`,
+//! and `.github/workflows` (for the CI drift lint). Out of scope:
+//! `vendor/` (third-party stand-ins with their own conventions, see
+//! vendor/README.md), `target/`, and `examples/` (smoke-run by CI, not
+//! part of the serving stack's invariant surface).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::source::SourceFile;
+
+/// A non-Rust file the lints read as raw text (CI workflow YAML).
+pub struct RawFile {
+    pub rel_path: String,
+    pub text: String,
+}
+
+/// A workspace package: its manifest name and repo-relative directory.
+pub struct Package {
+    pub name: String,
+    /// `""` for the workspace-root package.
+    pub dir: String,
+}
+
+/// Everything a lint run can look at.
+pub struct Tree {
+    pub root: PathBuf,
+    pub rust_files: Vec<SourceFile>,
+    pub workflow_files: Vec<RawFile>,
+    pub packages: Vec<Package>,
+}
+
+impl Tree {
+    /// The repo-relative paths of every `tests/<name>.rs` integration
+    /// suite file, `/`-separated.
+    pub fn integration_suites(&self) -> Vec<&str> {
+        self.rust_files
+            .iter()
+            .map(|f| f.rel_path.as_str())
+            .filter(|p| {
+                p.strip_suffix(".rs")
+                    .is_some_and(|stem| stem.contains("tests/") || stem.starts_with("tests/"))
+            })
+            .collect()
+    }
+}
+
+/// Loads the lintable tree under `root`. Missing directories are simply
+/// skipped, so synthesized fixture trees stay small.
+pub fn load_tree(root: &Path) -> std::io::Result<Tree> {
+    let mut rust_dirs = vec![root.join("src"), root.join("tests")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut crate_roots: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        crate_roots.sort();
+        for c in crate_roots {
+            rust_dirs.push(c.join("src"));
+            rust_dirs.push(c.join("tests"));
+        }
+    }
+
+    let mut rust_paths = Vec::new();
+    for dir in rust_dirs {
+        collect_files(&dir, "rs", &mut rust_paths)?;
+    }
+    rust_paths.sort();
+
+    let mut rust_files = Vec::new();
+    for path in rust_paths {
+        let text = fs::read_to_string(&path)?;
+        rust_files.push(SourceFile::parse(rel(root, &path), text));
+    }
+
+    let mut workflow_paths = Vec::new();
+    collect_files(&root.join(".github/workflows"), "yml", &mut workflow_paths)?;
+    collect_files(&root.join(".github/workflows"), "yaml", &mut workflow_paths)?;
+    workflow_paths.sort();
+    let mut workflow_files = Vec::new();
+    for path in workflow_paths {
+        workflow_files.push(RawFile {
+            rel_path: rel(root, &path),
+            text: fs::read_to_string(&path)?,
+        });
+    }
+
+    Ok(Tree {
+        packages: find_packages(root),
+        root: root.to_path_buf(),
+        rust_files,
+        workflow_files,
+    })
+}
+
+/// Recursively collects files with `ext` under `dir` (no-op when `dir`
+/// does not exist).
+fn collect_files(dir: &Path, ext: &str, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_files(&path, ext, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some(ext) {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Reads package names from the root and `crates/*` manifests. A flat
+/// line scan is enough: manifests in this workspace keep `name = "..."`
+/// in `[package]`, and `[workspace.dependencies]` entries are inline
+/// tables that never put `name =` at line start.
+fn find_packages(root: &Path) -> Vec<Package> {
+    let mut out = Vec::new();
+    let mut manifest_dirs = vec![root.to_path_buf()];
+    if let Ok(entries) = fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        manifest_dirs.extend(dirs);
+    }
+    for dir in manifest_dirs {
+        let Ok(text) = fs::read_to_string(dir.join("Cargo.toml")) else {
+            continue;
+        };
+        let mut in_package = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_package = line == "[package]";
+            } else if in_package {
+                if let Some(rest) = line.strip_prefix("name") {
+                    let name = rest
+                        .trim_start()
+                        .strip_prefix('=')
+                        .map(|v| v.trim().trim_matches('"'))
+                        .unwrap_or("");
+                    if !name.is_empty() {
+                        out.push(Package {
+                            name: name.to_string(),
+                            dir: rel(root, &dir),
+                        });
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,181 @@
+//! Property lockdown for the mn-lint lexer. Every lint rule rests on
+//! two lexer guarantees:
+//!
+//! 1. **Losslessness** — concatenating the token texts reproduces the
+//!    input byte-for-byte, for arbitrary (even malformed) input. A lexer
+//!    that drops or duplicates bytes mis-lines every diagnostic.
+//! 2. **Classification** — `unsafe` / `unwrap` spelled inside string
+//!    literals, raw strings, char literals, or (nested) comments never
+//!    lex as identifiers; spelled in code they always do. This is the
+//!    difference between linting the program and linting its prose.
+
+use mn_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// A composable source fragment with the number of `unsafe` and
+/// `unwrap` *identifier* tokens it is known to contribute.
+struct Piece {
+    text: &'static str,
+    unsafes: usize,
+    unwraps: usize,
+}
+
+/// The fragment menu the generator samples from. Each embeds the
+/// keywords somewhere a naive substring scan would miscount.
+const PIECES: &[Piece] = &[
+    // Real code: the keywords are identifiers.
+    Piece {
+        text: "unsafe { go() }\n",
+        unsafes: 1,
+        unwraps: 0,
+    },
+    Piece {
+        text: "let v = x.unwrap();\n",
+        unsafes: 0,
+        unwraps: 1,
+    },
+    Piece {
+        text: "pub unsafe fn k() { y.unwrap() }\n",
+        unsafes: 1,
+        unwraps: 1,
+    },
+    // Strings and chars: invisible.
+    Piece {
+        text: "let s = \"unsafe unwrap\";\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+    Piece {
+        text: "let s = \"esc \\\" unsafe\";\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+    Piece {
+        text: "let r = r#\"raw unsafe \"quoted\" unwrap\"#;\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+    Piece {
+        text: "let b = b\"unsafe bytes\";\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+    Piece {
+        text: "let c = 'u';\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+    // Comments, including nesting: invisible.
+    Piece {
+        text: "// line unsafe unwrap\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+    Piece {
+        text: "/* block unsafe */\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+    Piece {
+        text: "/* outer /* nested unsafe */ unwrap */\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+    Piece {
+        text: "/// doc unsafe\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+    // Near-miss syntax the lexer must keep separate.
+    Piece {
+        text: "let l: &'static str = \"x\";\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+    Piece {
+        text: "let n = 1.0e-5f32;\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+    Piece {
+        text: "let id = r#unsafe_named;\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+    Piece {
+        text: "#[cfg(test)]\n",
+        unsafes: 0,
+        unwraps: 0,
+    },
+];
+
+/// Characters for adversarial raw input: quote/comment/escape machinery
+/// in random order, exercising every unterminated-form path.
+const SOUP: &[char] = &[
+    '"', '\'', '#', 'r', 'b', '/', '*', '\\', '{', '}', 'u', 'n', 's', 'a', 'f', 'e', 'w', 'p',
+    '.', '(', ')', '0', '1', 'e', '-', '\n', ' ', '!', ':',
+];
+
+fn ident_count(src: &str, word: &str) -> usize {
+    lex(src)
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident && t.text(src) == word)
+        .count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Composed well-formed sources round-trip losslessly and count
+    /// exactly the keyword identifiers the composition put in code
+    /// (never the ones hidden in strings/comments).
+    #[test]
+    fn composed_sources_round_trip_and_classify(
+        idx in proptest::collection::vec(0usize..PIECES.len(), 1..40)
+    ) {
+        let mut src = String::new();
+        let (mut want_unsafe, mut want_unwrap) = (0usize, 0usize);
+        for &i in &idx {
+            src.push_str(PIECES[i].text);
+            want_unsafe += PIECES[i].unsafes;
+            want_unwrap += PIECES[i].unwraps;
+        }
+        let tokens = lex(&src);
+        let rebuilt: String = tokens.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(&rebuilt, &src, "lexer is not lossless");
+        prop_assert_eq!(ident_count(&src, "unsafe"), want_unsafe, "src: {src:?}");
+        prop_assert_eq!(ident_count(&src, "unwrap"), want_unwrap, "src: {src:?}");
+    }
+
+    /// Arbitrary character soup — mostly malformed Rust — still
+    /// round-trips losslessly with in-order, non-overlapping spans.
+    #[test]
+    fn adversarial_soup_round_trips(
+        idx in proptest::collection::vec(0usize..SOUP.len(), 0..80)
+    ) {
+        let src: String = idx.iter().map(|&i| SOUP[i]).collect();
+        let tokens = lex(&src);
+        let rebuilt: String = tokens.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(&rebuilt, &src, "lexer is not lossless on {src:?}");
+        let mut pos = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, pos, "gap or overlap at byte {pos} in {src:?}");
+            prop_assert!(t.end > t.start, "empty token in {src:?}");
+            pos = t.end;
+        }
+        prop_assert_eq!(pos, src.len());
+    }
+
+    /// Line numbers: a token's recorded line equals 1 + the number of
+    /// newlines before its start byte. (Diagnostics point here.)
+    #[test]
+    fn line_numbers_match_newline_count(
+        idx in proptest::collection::vec(0usize..PIECES.len(), 1..20)
+    ) {
+        let src: String = idx.iter().map(|&i| PIECES[i].text).collect();
+        for t in lex(&src) {
+            let want = 1 + src[..t.start].matches('\n').count();
+            prop_assert_eq!(t.line, want, "token at byte {} in {src:?}", t.start);
+        }
+    }
+}

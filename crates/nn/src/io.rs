@@ -364,6 +364,7 @@ pub fn load_weights(net: &mut Network, blob: &[u8]) -> Result<(), WeightsError> 
     // a numeric payload parses cleanly and would silently poison the
     // network.
     let (payload, stored) = blob.split_at(blob.len() - 4);
+    // mn-lint: allow(no-panic-in-serve, reason = "split_at(len - 4) yields exactly a 4-byte tail (the length was bounds-checked above), so the TryInto<[u8; 4]> conversion cannot fail")
     let expected = u32::from_le_bytes(stored.try_into().expect("4-byte checksum"));
     let actual = crc32(payload);
     if expected != actual {
@@ -440,6 +441,7 @@ pub fn load_weights(net: &mut Network, blob: &[u8]) -> Result<(), WeightsError> 
 /// pre-built target network is needed, which is what lets a serving
 /// process cold-start an ensemble from disk.
 pub fn save_network(net: &Network) -> Vec<u8> {
+    // mn-lint: allow(no-panic-in-serve, reason = "serializing an in-memory Architecture (plain enums/structs, string-keyed, no custom Serialize) cannot fail; serde_json errors only on those or on I/O, and this writes to a String")
     let arch_json = serde_json::to_string(net.arch()).expect("architecture serializes");
     let weights = save_weights(net);
     let mut out = Vec::with_capacity(4 + arch_json.len() + weights.len());
@@ -462,6 +464,7 @@ pub fn save_network_quantized(
     net: &Network,
     encoding: WeightEncoding,
 ) -> Result<Vec<u8>, WeightsError> {
+    // mn-lint: allow(no-panic-in-serve, reason = "serializing an in-memory Architecture (plain enums/structs, string-keyed, no custom Serialize) cannot fail; serde_json errors only on those or on I/O, and this writes to a String")
     let arch_json = serde_json::to_string(net.arch()).expect("architecture serializes");
     let weights = save_weights_quantized(net, encoding)?;
     let mut out = Vec::with_capacity(4 + arch_json.len() + weights.len());

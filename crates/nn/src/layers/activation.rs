@@ -38,6 +38,7 @@ impl ReluLayer {
 
     /// Eval-mode forward through shared access only (no backward mask is
     /// recorded), so many serving sessions can share one layer.
+    // mn-lint: hot-path
     pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let mut y = ws.acquire_uninit(x.shape().dims());
         for (out, &v) in y.data_mut().iter_mut().zip(x.data()) {

@@ -222,6 +222,7 @@ impl BatchNorm {
     /// frozen running statistics and writes nothing back into the layer,
     /// so many serving sessions can share one set of statistics. The
     /// inv-std scratch is staged in the workspace.
+    // mn-lint: hot-path
     pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let (nb, cc, inner) = self.group_geometry(x);
         let mut y = ws.acquire_uninit(x.shape().dims());

@@ -169,6 +169,7 @@ impl ConvLayer {
     /// reads the kernel weights without writing anything back into the
     /// layer — many serving sessions can execute one set of weights
     /// concurrently.
+    // mn-lint: hot-path
     pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let k = self.kernel();
         let pad = self.padding();

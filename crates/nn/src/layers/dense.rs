@@ -94,6 +94,7 @@ impl DenseLayer {
     /// sessions execute one set of layer weights concurrently (the
     /// train-mode cache is the only thing `forward_ws` mutates, and eval
     /// never needs it).
+    // mn-lint: hot-path
     pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let mut y = ws.acquire_uninit([x.shape().dim(0), self.out_features()]);
         ops::matmul_into_ws(x, &self.weight.value, &mut y, ws);

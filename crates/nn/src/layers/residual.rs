@@ -159,6 +159,7 @@ impl ResidualUnit {
     /// # Panics
     ///
     /// Panics if the input channel count does not match the unit width.
+    // mn-lint: hot-path
     pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(
             x.shape().dim(1),

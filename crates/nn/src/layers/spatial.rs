@@ -50,6 +50,7 @@ impl MaxPoolLayer {
 
     /// Eval-mode forward through shared access only (no argmax routing is
     /// recorded), so many serving sessions can share one layer.
+    // mn-lint: hot-path
     pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let d = x.shape().dims();
         let mut out = ws.acquire_uninit([d[0], d[1], d[2] / 2, d[3] / 2]);
@@ -128,6 +129,7 @@ impl GlobalAvgPoolLayer {
 
     /// Eval-mode forward through shared access only (no input shape is
     /// recorded), so many serving sessions can share one layer.
+    // mn-lint: hot-path
     pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let d = x.shape().dims();
         let mut out = ws.acquire_uninit([d[0], d[1]]);
@@ -220,6 +222,7 @@ impl FlattenLayer {
     /// # Panics
     ///
     /// Panics if the input is not 4-D.
+    // mn-lint: hot-path
     pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let d = x.shape().dims();
         assert_eq!(d.len(), 4, "flatten expects [N,C,H,W], got {}", x.shape());

@@ -169,6 +169,7 @@ impl Network {
     /// [`Network::forward_eval`] staging every activation in a
     /// [`Workspace`] (see [`Network::forward_with`] for the buffer
     /// lifecycle).
+    // mn-lint: hot-path
     pub fn forward_eval_with(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         eval_nodes(&self.nodes, x, ws)
     }

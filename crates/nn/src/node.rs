@@ -65,6 +65,7 @@ impl LayerNode {
     /// set of network weights concurrently; it is bitwise identical to
     /// [`LayerNode::forward_ws`] in [`Mode::Eval`], which routes through
     /// the same per-layer code.
+    // mn-lint: hot-path
     pub fn forward_eval_ws(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         match self {
             LayerNode::Dense(l) => l.forward_eval_ws(x, ws),

@@ -183,6 +183,7 @@ fn fma(a: f32, b: f32, c: f32) -> f32 {
 /// `acc[MR × NR] += Apanel · Bpanel` over the full depth `k`, both panels
 /// packed unit-stride (see module docs). This is the reference path the
 /// explicit-SIMD kernel in [`crate::simd`] is pinned bitwise against.
+// mn-lint: hot-path
 #[inline(always)]
 pub(crate) fn microkernel_scalar(
     k: usize,

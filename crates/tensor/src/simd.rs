@@ -199,6 +199,11 @@ mod avx2 {
 
     /// One vector multiply-add step with the same rounding as the scalar
     /// path: fused iff the *build* enables `fma` (see [`COMPILED_FMA`]).
+    // SAFETY: pure register arithmetic on owned __m256 values — no memory
+    // access. Unsafe only because the AVX/FMA intrinsics require the CPU
+    // features; callers are themselves `#[target_feature(enable =
+    // "avx2", enable = "fma")]` kernels reached via the runtime-detected
+    // dispatcher, so the features are guaranteed present.
     #[inline(always)]
     unsafe fn vfma(a: __m256, b: __m256, c: __m256) -> __m256 {
         if COMPILED_FMA {
@@ -224,6 +229,15 @@ mod avx2 {
     ///
     /// Caller must ensure the CPU supports AVX2 and FMA, and that
     /// `a_panel`/`b_panel` hold at least `k * MR` / `k * NR` elements.
+    // SAFETY: callable only when the CPU has AVX2+FMA (checked once by
+    // the dispatcher via is_x86_feature_detected!). All loads stay in
+    // bounds: reads touch a_panel[p*MR + r] for p < k, r < MR and
+    // b_panel[p*NR + {0..16}] for p < k, within the `k*MR` / `k*NR`
+    // panel lengths the caller guarantees (debug_assert'd below); stores
+    // touch acc[(r0+r)*NR + {0..16}] with r0+r < MR, inside the fixed
+    // `[f32; MR*NR]` array. Unaligned load/store intrinsics are used
+    // throughout, so no alignment precondition exists.
+    // mn-lint: hot-path
     #[target_feature(enable = "avx2", enable = "fma")]
     pub unsafe fn microkernel(
         k: usize,
@@ -265,6 +279,12 @@ mod avx2 {
     ///
     /// Caller must ensure the CPU supports AVX2 and that the slices have
     /// equal length.
+    // SAFETY: callable only when the CPU has AVX2 (dispatcher-checked).
+    // Pointer arithmetic is bounded by `n = y.len()`: the vector loop
+    // reads/writes offsets i..i+8 only while i + 8 <= n, the scalar tail
+    // stays below n, and x.len() == y.len() is the caller's contract
+    // (debug_assert'd). Unaligned intrinsics — no alignment requirement.
+    // mn-lint: hot-path
     #[target_feature(enable = "avx2")]
     pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
         debug_assert_eq!(x.len(), y.len());
@@ -294,6 +314,13 @@ mod avx2 {
     ///
     /// Caller must ensure the CPU supports AVX2 and that the slices have
     /// equal length.
+    // SAFETY: callable only when the CPU has AVX2 (dispatcher-checked).
+    // The three slices are distinct &mut/&mut/&mut borrows, so they
+    // cannot alias; every access is bounded by `n = value.len()` (vector
+    // loop guards i + 8 <= n, tail stays below n) and equal lengths are
+    // the caller's contract (debug_assert'd). Unaligned intrinsics — no
+    // alignment requirement.
+    // mn-lint: hot-path
     #[target_feature(enable = "avx2")]
     pub unsafe fn sgd_update(
         value: &mut [f32],
@@ -363,6 +390,7 @@ pub(crate) fn microkernel(
 /// # Panics
 ///
 /// Panics if the slices differ in length.
+// mn-lint: hot-path
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy operands differ in length");
     match active() {
@@ -387,6 +415,7 @@ pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
 /// # Panics
 ///
 /// Panics if the slices differ in length.
+// mn-lint: hot-path
 pub fn sgd_update_chunk(
     value: &mut [f32],
     vel: &mut [f32],
